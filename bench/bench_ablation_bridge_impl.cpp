@@ -1,0 +1,36 @@
+// Ablation: bridge-finding walk strategies. The paper implements
+// Algorithm 1's LCA walk naively; our shortcut variant path-compresses
+// over already-marked tree regions. Same bridges, very different work on
+// graphs whose non-tree edges pile walks onto the same tree paths.
+#include "bench_common.hpp"
+
+#include "core/bridge.hpp"
+#include "parallel/timer.hpp"
+
+int main() {
+  using namespace sbg;
+  const double scale =
+      bench::announce("Ablation: bridge walk, naive vs. shortcut");
+
+  std::printf("%-18s | %10s %11s | %8s | %8s\n", "graph", "naive(s)",
+              "shortcut(s)", "speedup", "bridges");
+  bench::print_rule(70);
+
+  for (const auto& name : bench::selected_graphs()) {
+    const CsrGraph g = make_dataset(name, scale);
+    Timer t1;
+    const auto naive = find_bridges(g, BridgeAlgo::kNaiveWalk);
+    const double naive_s = t1.seconds();
+    Timer t2;
+    const auto fast = find_bridges(g, BridgeAlgo::kShortcutWalk);
+    const double fast_s = t2.seconds();
+    if (naive.size() != fast.size()) {
+      std::printf("MISMATCH on %s: %zu vs %zu bridges\n", name.c_str(),
+                  naive.size(), fast.size());
+      return 1;
+    }
+    std::printf("%-18s | %10.4f %11.4f | %7.2fx | %8zu\n", name.c_str(),
+                naive_s, fast_s, naive_s / fast_s, naive.size());
+  }
+  return 0;
+}

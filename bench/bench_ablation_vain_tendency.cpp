@@ -1,0 +1,47 @@
+// Ablation (Section III-C): the vain tendency, measured in iterations.
+// The paper's headline anecdote: on rgg-n-2-24-s0, GM needs ~14,000
+// iterations while MM-Rand matches ~70% of the induced-subgraph vertices
+// within 17 iterations and finishes in ~400 more. This harness reproduces
+// the iteration-count contrast (scaled) and the early-match profile.
+#include "bench_common.hpp"
+
+#include "core/rand.hpp"
+#include "matching/matching.hpp"
+
+int main() {
+  using namespace sbg;
+  const double scale = bench::announce("Ablation: GM vain tendency");
+
+  std::printf("%-18s | %10s %10s | %8s | %s\n", "graph", "GM iters",
+              "Rand iters", "ratio", "matched share in first 17 intra iters");
+  bench::print_rule(110);
+
+  for (const char* name : {"rgg-n-2-23-s0", "rgg-n-2-24-s0", "germany-osm",
+                           "road-central", "web-Google"}) {
+    const CsrGraph g = make_dataset(name, scale);
+    const MatchResult gm = mm_gm(g);
+    const MatchResult rand = mm_rand(g, 10);
+
+    // Early-match profile: how much of the intra-phase matching lands in
+    // its first 17 rounds (the paper's "70% within 17 iterations").
+    const RandDecomposition d = decompose_rand(g, 10);
+    std::vector<vid_t> mate(g.num_vertices(), kNoVertex);
+    gm_extend(d.g_intra, mate, nullptr, /*max_rounds=*/17);
+    const eid_t early = matching_cardinality(mate);
+    const vid_t tail_rounds = gm_extend(d.g_intra, mate);  // run to the end
+    const eid_t intra_total = matching_cardinality(mate);
+    std::printf("%-18s | %10u %10u | %7.1fx | %.0f%% of intra matches in 17 "
+                "iters; intra phase = %.0f%% of |M| (%u iters)\n",
+                name, gm.rounds, rand.rounds,
+                static_cast<double>(gm.rounds) /
+                    static_cast<double>(std::max<vid_t>(1, rand.rounds)),
+                100.0 * static_cast<double>(early) /
+                    static_cast<double>(std::max<eid_t>(1, intra_total)),
+                100.0 * static_cast<double>(intra_total) /
+                    static_cast<double>(std::max<eid_t>(1, rand.cardinality)),
+                17 + tail_rounds);
+  }
+  std::printf("\nPaper reference (full-scale rgg-n-2-24-s0): GM ~14,000 "
+              "iterations vs ~417 for MM-Rand.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared scaffolding for the per-table / per-figure reproduction harnesses.
+//
+// Every harness prints the paper's row layout (one row per Table II graph)
+// with our measured values, so EXPERIMENTS.md can record paper-vs-measured
+// directly from bench output. Environment knobs:
+//   SBG_SCALE   — dataset scale factor (default 1/32 of paper sizes)
+//   SBG_THREADS — OpenMP thread count
+//   SBG_GRAPHS  — comma-separated subset of Table II names to run
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dataset.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace sbg::bench {
+
+/// Graphs selected for this run (SBG_GRAPHS filter applied).
+inline std::vector<std::string> selected_graphs() {
+  const auto all = dataset_names();
+  const char* env = std::getenv("SBG_GRAPHS");
+  if (!env || !*env) return all;
+  std::vector<std::string> picked;
+  std::string token;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      for (const auto& name : all) {
+        if (name == token) picked.push_back(name);
+      }
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return picked.empty() ? all : picked;
+}
+
+/// Standard harness prologue: apply thread env, print the run config.
+inline double announce(const char* title) {
+  const int threads = apply_thread_env();
+  const double scale = bench_scale();
+  std::printf("== %s ==\n", title);
+  std::printf("scale=%.5f of paper |V| (SBG_SCALE), threads=%d (SBG_THREADS)\n\n",
+              scale, threads);
+  return scale;
+}
+
+/// Geometric mean of speedups, excluding the names the paper excludes.
+class SpeedupAverager {
+ public:
+  void add(const std::string& graph, double speedup, bool excluded = false) {
+    if (excluded || speedup <= 0) return;
+    log_sum_ += std::log(speedup);
+    ++count_;
+  }
+
+  double geomean() const {
+    return count_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(count_));
+  }
+
+  int count() const { return count_; }
+
+ private:
+  double log_sum_ = 0.0;
+  int count_ = 0;
+};
+
+inline void print_rule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sbg::bench

@@ -1,0 +1,73 @@
+// Extended baselines: the wider algorithm families the paper's related-work
+// sections cite, measured side by side on a suite subset. Three tables:
+//   MM:    greedy-seq, GM, LMAX(index), LMAX(random), Israeli-Itai, MM-Rand
+//   COLOR: greedy-seq order (JP-LDF), VB, EB, JP-random, speculative, Degk
+//   MIS:   greedy-seq, LubyMIS, greedy (Blelloch), MIS-Deg2
+#include "bench_common.hpp"
+
+#include "coloring/coloring.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+
+namespace {
+const char* kGraphs[] = {"c-73", "coAuthorsCiteseer", "road-central",
+                         "kron-g500-logn20", "web-Google"};
+}
+
+int main() {
+  using namespace sbg;
+  const double scale = bench::announce("Extended baseline comparison");
+
+  std::printf("--- maximal matching (seconds / rounds) ---\n");
+  std::printf("%-18s | %12s %12s %12s %12s %12s %12s\n", "graph", "seq",
+              "GM", "LMAXidx", "LMAXrnd", "II", "MM-Rand");
+  for (const char* name : kGraphs) {
+    const CsrGraph g = make_dataset(name, scale);
+    const auto seq = mm_greedy_seq(g);
+    const auto gm = mm_gm(g);
+    const auto lmi = mm_lmax(g, 42, LmaxWeights::kIndex);
+    const auto lmr = mm_lmax(g, 42, LmaxWeights::kRandom);
+    const auto ii = mm_ii(g);
+    const auto rnd = mm_rand(g);
+    std::printf("%-18s | %8.4f/%-3u %8.4f/%-3u %8.4f/%-3u %8.4f/%-3u "
+                "%8.4f/%-3u %8.4f/%-3u\n",
+                name, seq.total_seconds, seq.rounds, gm.total_seconds,
+                gm.rounds, lmi.total_seconds, lmi.rounds, lmr.total_seconds,
+                lmr.rounds, ii.total_seconds, ii.rounds, rnd.total_seconds,
+                rnd.rounds);
+  }
+
+  std::printf("\n--- coloring (seconds / colors) ---\n");
+  std::printf("%-18s | %12s %12s %12s %12s %12s %12s\n", "graph", "JP-LDF",
+              "VB", "EB", "JP-rnd", "specul", "Degk");
+  for (const char* name : kGraphs) {
+    const CsrGraph g = make_dataset(name, scale);
+    const auto ldf = color_jp(g, JpOrder::kLargestDegreeFirst);
+    const auto vb = color_vb(g);
+    const auto eb = color_eb(g);
+    const auto jpr = color_jp(g, JpOrder::kRandom);
+    const auto sp = color_speculative(g);
+    const auto dk = color_degk(g, 2);
+    std::printf("%-18s | %8.4f/%-3u %8.4f/%-3u %8.4f/%-3u %8.4f/%-3u "
+                "%8.4f/%-3u %8.4f/%-3u\n",
+                name, ldf.total_seconds, ldf.num_colors, vb.total_seconds,
+                vb.num_colors, eb.total_seconds, eb.num_colors,
+                jpr.total_seconds, jpr.num_colors, sp.total_seconds,
+                sp.num_colors, dk.total_seconds, dk.num_colors);
+  }
+
+  std::printf("\n--- MIS (seconds / |I|) ---\n");
+  std::printf("%-18s | %16s %16s %16s %16s\n", "graph", "seq", "LubyMIS",
+              "greedy[6]", "MIS-Deg2");
+  for (const char* name : kGraphs) {
+    const CsrGraph g = make_dataset(name, scale);
+    const auto seq = mis_greedy_seq(g);
+    const auto lu = mis_luby(g);
+    const auto gr = mis_greedy(g);
+    const auto dk = mis_degk(g, 2);
+    std::printf("%-18s | %8.4f/%-7zu %8.4f/%-7zu %8.4f/%-7zu %8.4f/%-7zu\n",
+                name, seq.total_seconds, seq.size, lu.total_seconds, lu.size,
+                gr.total_seconds, gr.size, dk.total_seconds, dk.size);
+  }
+  return 0;
+}

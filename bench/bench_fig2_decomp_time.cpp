@@ -1,0 +1,42 @@
+// Figure 2 reproduction: wall time of each decomposition technique per
+// graph (paper: E5-2650, 80 threads; RAND decomposing into 10 subgraphs).
+// Expected shape: DEG2 fastest, RAND second, BRIDGE slowest — worst on
+// large-diameter road-class graphs where the BFS dominates.
+#include "bench_common.hpp"
+
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/rand.hpp"
+
+int main() {
+  using namespace sbg;
+  const double scale =
+      bench::announce("Figure 2: decomposition times (CPU path)");
+
+  std::printf("%-18s | %12s %12s %12s | %s\n", "graph", "BRIDGE(s)",
+              "RAND10(s)", "DEG2(s)", "fastest");
+  bench::print_rule(80);
+
+  int deg2_fastest = 0, total = 0;
+  for (const auto& name : bench::selected_graphs()) {
+    const CsrGraph g = make_dataset(name, scale);
+    const auto bridge = decompose_bridge(g, BridgeAlgo::kNaiveWalk);
+    const auto rand10 = decompose_rand(g, 10);
+    const auto deg2 = decompose_degk(g, 2);
+
+    const double tb = bridge.decompose_seconds;
+    const double tr = rand10.decompose_seconds;
+    const double td = deg2.decompose_seconds;
+    const char* fastest = td <= tr && td <= tb ? "DEG2"
+                          : tr <= tb           ? "RAND"
+                                               : "BRIDGE";
+    deg2_fastest += (td <= tr && td <= tb);
+    ++total;
+    std::printf("%-18s | %12.4f %12.4f %12.4f | %s\n", name.c_str(), tb, tr,
+                td, fastest);
+  }
+  std::printf("\nDEG2 fastest on %d/%d graphs "
+              "(paper: DEG2 takes the least time on all graphs).\n",
+              deg2_fastest, total);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3(a) reproduction: maximal matching on the CPU path.
+// Baseline GM vs. MM-Bridge / MM-Rand / MM-Degk; the number atop each bar
+// in the paper is MM-Rand's speedup over GM. RAND uses 10 partitions
+// (100 on the kron instances, per Section III-C); the average speedup
+// excludes the two rgg instances (paper footnote 1; paper value: 3.5x).
+#include "bench_common.hpp"
+
+#include "matching/matching.hpp"
+
+int main() {
+  using namespace sbg;
+  const double scale = bench::announce("Figure 3(a): maximal matching, CPU");
+
+  std::printf("%-18s | %9s %10s %9s %9s | %8s | %7s %7s\n", "graph", "GM(s)",
+              "Bridge(s)", "Rand(s)", "Degk(s)", "RandSpd", "GMiter",
+              "Rnditer");
+  bench::print_rule(100);
+
+  bench::SpeedupAverager avg;
+  for (const auto& name : bench::selected_graphs()) {
+    const CsrGraph g = make_dataset(name, scale);
+    const bool kron = name.rfind("kron", 0) == 0;
+    const bool rgg = name.rfind("rgg", 0) == 0;
+    const vid_t k = kron ? 100 : 10;
+
+    const MatchResult gm = mm_gm(g);
+    const MatchResult bridge = mm_bridge(g, MatchEngine::kGM);
+    const MatchResult rand = mm_rand(g, k, MatchEngine::kGM);
+    const MatchResult degk = mm_degk(g, 2, MatchEngine::kGM);
+
+    const double speedup = gm.total_seconds / rand.total_seconds;
+    avg.add(name, speedup, /*excluded=*/rgg);
+    std::printf("%-18s | %9.4f %10.4f %9.4f %9.4f | %7.2fx | %7u %7u%s\n",
+                name.c_str(), gm.total_seconds, bridge.total_seconds,
+                rand.total_seconds, degk.total_seconds, speedup, gm.rounds,
+                rand.rounds, rgg ? "  (excluded from avg)" : "");
+  }
+  std::printf("\nMM-Rand average speedup over GM (rgg excluded): %.2fx "
+              "(paper: 3.5x)\n",
+              avg.geomean());
+  return 0;
+}

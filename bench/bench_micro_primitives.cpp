@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the parallel and graph substrates:
+// the building blocks every decomposition and solver leans on.
+#include <benchmark/benchmark.h>
+
+#include "bfs/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/bitset.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace sbg;
+
+void BM_PrefixSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> data(n, 3);
+  for (auto _ : state) {
+    std::vector<std::uint64_t> copy = data;
+    benchmark::DoNotOptimize(exclusive_prefix_sum(std::span(copy)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PrefixSum)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitsetSet(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ConcurrentBitset bs(n);
+    parallel_for(n, [&](std::size_t i) { bs.set(i); });
+    benchmark::DoNotOptimize(bs.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BitsetSet)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BuildCsr(benchmark::State& state) {
+  EdgeList el = gen_erdos_renyi(1 << 14, 1 << 17, 5);
+  normalize_edge_list(el);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_csr(el));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(el.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BuildCsr);
+
+void BM_Bfs(benchmark::State& state) {
+  const CsrGraph g = build_graph(gen_rgg(1 << 15, 12.0, 7), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs(g, 0).reached);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.num_arcs()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Bfs);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const CsrGraph g =
+      build_graph(gen_erdos_renyi(1 << 15, 1 << 16, 9), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components(g).count);
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_FilterEdges(benchmark::State& state) {
+  const CsrGraph g = build_graph(gen_erdos_renyi(1 << 14, 1 << 17, 11), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter_edges(
+        g, [](vid_t u, vid_t v) { return ((u ^ v) & 1u) == 0; }));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.num_arcs()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FilterEdges);
+
+void BM_RandomStream(benchmark::State& state) {
+  const RandomStream rs(42, 1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 1024; ++i) acc ^= rs.bits(i);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(1024 * state.iterations());
+}
+BENCHMARK(BM_RandomStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks for the symmetry-breaking solvers on a
+// fixed mid-size graph: per-solver costs without decomposition effects.
+#include <benchmark/benchmark.h>
+
+#include "coloring/coloring.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+
+namespace {
+
+using namespace sbg;
+
+const CsrGraph& fixture() {
+  static const CsrGraph g = build_graph(gen_rmat(1 << 14, 1 << 17, 3), true);
+  return g;
+}
+
+void BM_MatchGM(benchmark::State& state) {
+  const CsrGraph& g = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(mm_gm(g).cardinality);
+}
+BENCHMARK(BM_MatchGM);
+
+void BM_MatchLMAX(benchmark::State& state) {
+  const CsrGraph& g = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(mm_lmax(g).cardinality);
+}
+BENCHMARK(BM_MatchLMAX);
+
+void BM_ColorVB(benchmark::State& state) {
+  const CsrGraph& g = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(color_vb(g).num_colors);
+}
+BENCHMARK(BM_ColorVB);
+
+void BM_ColorEB(benchmark::State& state) {
+  const CsrGraph& g = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(color_eb(g).num_colors);
+}
+BENCHMARK(BM_ColorEB);
+
+void BM_MisLuby(benchmark::State& state) {
+  const CsrGraph& g = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(mis_luby(g).size);
+}
+BENCHMARK(BM_MisLuby);
+
+void BM_MisOrientedOnPath(benchmark::State& state) {
+  const CsrGraph g = build_graph(gen_path(1 << 16), false);
+  for (auto _ : state) {
+    std::vector<MisState> s(g.num_vertices(), MisState::kUndecided);
+    benchmark::DoNotOptimize(oriented_extend(g, s));
+  }
+}
+BENCHMARK(BM_MisOrientedOnPath);
+
+void BM_MisLubyOnPath(benchmark::State& state) {
+  const CsrGraph g = build_graph(gen_path(1 << 16), false);
+  for (auto _ : state) {
+    std::vector<MisState> s(g.num_vertices(), MisState::kUndecided);
+    benchmark::DoNotOptimize(luby_extend(g, s, 42));
+  }
+}
+BENCHMARK(BM_MisLubyOnPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Thread-scaling harness. The paper runs its CPU experiments at 80 threads
+// on a 2x10-core machine; this sweeps the OpenMP thread count over the
+// host's range for the three headline pairs (GM vs MM-Rand, VB vs
+// COLOR-Degk, Luby vs MIS-Deg2) on one representative graph each, so the
+// thread-sensitivity of the speedups is measurable on any host.
+#include "bench_common.hpp"
+
+#include "coloring/coloring.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "parallel/thread_env.hpp"
+
+int main() {
+  using namespace sbg;
+  const double scale = bench::announce("Scaling: threads");
+
+  const CsrGraph road = make_dataset("road-central", scale);
+  const CsrGraph broom = make_dataset("lp1", scale);
+
+  std::printf("%8s | %10s %10s %8s | %10s %10s %8s | %10s %10s %8s\n",
+              "threads", "GM", "MM-Rand", "spd", "VB", "C-Degk", "spd",
+              "Luby", "MIS-Deg2", "spd");
+  bench::print_rule(104);
+
+  for (int t = 1; t <= max_threads(); t *= 2) {
+    ScopedThreads guard(t);
+    const MatchResult gm = mm_gm(road);
+    const MatchResult mr = mm_rand(road, 10);
+    const ColorResult vb = color_vb(road);
+    const ColorResult cd = color_degk(road, 2);
+    const MisResult lu = mis_luby(broom);
+    const MisResult md = mis_degk(broom, 2);
+    std::printf("%8d | %10.4f %10.4f %7.2fx | %10.4f %10.4f %7.2fx | "
+                "%10.4f %10.4f %7.2fx\n",
+                t, gm.total_seconds, mr.total_seconds,
+                gm.total_seconds / mr.total_seconds, vb.total_seconds,
+                cd.total_seconds, vb.total_seconds / cd.total_seconds,
+                lu.total_seconds, md.total_seconds,
+                lu.total_seconds / md.total_seconds);
+  }
+  return 0;
+}

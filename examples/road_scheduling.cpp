@@ -1,0 +1,57 @@
+// Domain example: conflict-free maintenance scheduling on a road network.
+//
+// Road segments that share a junction cannot be serviced in the same shift
+// (crews would block each other). That is vertex coloring of the network's
+// line-graph-like junction conflict structure — here modeled directly on
+// junctions: adjacent junctions must land in different shifts. Road
+// networks are exactly the graph class where the paper's COLOR-Degk shines
+// (>80% of OSM vertices have degree <= 2), so this example contrasts VB
+// with COLOR-Deg2 and turns the coloring into a shift roster.
+#include <cstdio>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "parallel/thread_env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbg;
+  apply_thread_env();
+  const vid_t n = argc > 1 ? static_cast<vid_t>(std::atoi(argv[1])) : 200'000;
+
+  // A germany-osm-like network: long degree-2 chains, dead-end spurs.
+  const CsrGraph g =
+      build_graph(gen_road(n, /*mean_subdiv=*/2.4, /*spur_fraction=*/0.35,
+                           /*seed=*/7),
+                  /*connect=*/true);
+  const GraphStats s = graph_stats(g);
+  std::printf("road network: %u junctions, %llu segments, %.1f%% of "
+              "junctions are degree <= 2\n",
+              s.num_vertices, static_cast<unsigned long long>(s.num_edges),
+              s.pct_deg2);
+
+  const ColorResult vb = color_vb(g);
+  const ColorResult degk = color_degk(g, 2);
+  std::string err;
+  SBG_CHECK(verify_coloring(g, vb.color, &err), err.c_str());
+  SBG_CHECK(verify_coloring(g, degk.color, &err), err.c_str());
+
+  std::printf("\nscheduling with VB:         %u shifts, %.3fs\n",
+              vb.num_colors, vb.total_seconds);
+  std::printf("scheduling with COLOR-Deg2: %u shifts, %.3fs (%.2fx)\n",
+              degk.num_colors, degk.total_seconds,
+              vb.total_seconds / degk.total_seconds);
+
+  // Roster: junctions per shift (crews want balanced shifts).
+  std::vector<vid_t> shift_size(degk.num_colors, 0);
+  for (const auto c : degk.color) ++shift_size[c];
+  std::printf("\nshift roster (COLOR-Deg2):\n");
+  for (std::uint32_t c = 0; c < degk.num_colors; ++c) {
+    std::printf("  shift %2u: %8u junctions (%.1f%%)\n", c, shift_size[c],
+                100.0 * static_cast<double>(shift_size[c]) /
+                    static_cast<double>(s.num_vertices));
+  }
+  return 0;
+}

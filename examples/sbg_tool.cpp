@@ -1,0 +1,241 @@
+// sbg_tool — command-line front end for the library.
+//
+//   sbg_tool gen <dataset|shape> <out.{sbg,el}> [--scale S] [--n N] [--seed K]
+//   sbg_tool stats <graph>
+//   sbg_tool convert <in> <out>
+//   sbg_tool decompose <graph> <bridge|rand|degk> [--k K]
+//   sbg_tool mm <graph> [gm|lmax|ii|greedy|bridge|rand|degk]
+//   sbg_tool color <graph> [vb|eb|jp|spec|bridge|rand|degk]
+//   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
+//
+// <graph> is a .mtx / .el / .sbg file, or a Table II dataset name (e.g.
+// "germany-osm"), generated on the fly at --scale.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "coloring/coloring.hpp"
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace {
+
+using namespace sbg;
+
+struct Options {
+  double scale = 1.0 / 32.0;
+  vid_t n = 100'000;
+  vid_t k = 0;
+  std::uint64_t seed = 42;
+};
+
+Options parse_flags(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw InputError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--scale") {
+      o.scale = std::atof(next());
+    } else if (a == "--n") {
+      o.n = static_cast<vid_t>(std::atoll(next()));
+    } else if (a == "--k") {
+      o.k = static_cast<vid_t>(std::atoll(next()));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    }
+  }
+  return o;
+}
+
+bool is_dataset_name(const std::string& s) {
+  for (const auto& name : dataset_names()) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+CsrGraph load_or_generate(const std::string& spec, const Options& o) {
+  if (is_dataset_name(spec)) return make_dataset(spec, o.scale, o.seed);
+  if (spec == "path") return build_graph(gen_path(o.n), false);
+  if (spec == "cycle") return build_graph(gen_cycle(o.n), false);
+  if (spec == "grid") {
+    const auto side = static_cast<vid_t>(std::sqrt(double(o.n)));
+    return build_graph(gen_grid(side, side), false);
+  }
+  if (spec == "rmat") {
+    return build_graph(gen_rmat(o.n, eid_t{8} * o.n, o.seed), true);
+  }
+  if (spec == "rgg") return build_graph(gen_rgg(o.n, 15.0, o.seed), true);
+  if (spec == "road") return build_graph(gen_road(o.n, 2.0, 0.35, o.seed), true);
+  return load_graph(spec);
+}
+
+int cmd_gen(const std::string& spec, const std::string& out,
+            const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  save_graph(out, g);
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+int cmd_stats(const std::string& spec, const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  const GraphStats s = graph_stats(g);
+  const auto bridges = find_bridges(g, BridgeAlgo::kShortcutWalk);
+  std::printf("vertices      %u\n", s.num_vertices);
+  std::printf("edges         %llu\n",
+              static_cast<unsigned long long>(s.num_edges));
+  std::printf("avg degree    %.2f\n", s.avg_degree);
+  std::printf("min/max deg   %u / %u\n", s.min_degree, s.max_degree);
+  std::printf("%%deg<=2       %.2f\n", s.pct_deg2);
+  std::printf("bridges       %zu (%.2f%% of edges)\n", bridges.size(),
+              s.num_edges ? 100.0 * static_cast<double>(bridges.size()) /
+                                static_cast<double>(s.num_edges)
+                          : 0.0);
+  return 0;
+}
+
+int cmd_decompose(const std::string& spec, const std::string& which,
+                  const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  if (which == "bridge") {
+    const auto d = decompose_bridge(g);
+    std::printf("bridges %zu, 2-edge-connected components %u (%.4fs)\n",
+                d.bridges.size(), d.components.count, d.decompose_seconds);
+  } else if (which == "rand") {
+    const vid_t k = o.k ? o.k : rand_partition_heuristic(g);
+    const auto d = decompose_rand(g, k, o.seed);
+    std::printf("k=%u: intra %llu, cross %llu edges (%.4fs)\n", d.k,
+                static_cast<unsigned long long>(d.g_intra.num_edges()),
+                static_cast<unsigned long long>(d.g_cross.num_edges()),
+                d.decompose_seconds);
+  } else if (which == "degk") {
+    const vid_t k = o.k ? o.k : 2;
+    const auto d = decompose_degk(g, k, kDegkAll);
+    std::printf("k=%u: |V_H|=%u, G_H %llu / G_L %llu / G_C %llu edges "
+                "(%.4fs)\n",
+                d.k, d.num_high,
+                static_cast<unsigned long long>(d.g_high.num_edges()),
+                static_cast<unsigned long long>(d.g_low.num_edges()),
+                static_cast<unsigned long long>(d.g_cross.num_edges()),
+                d.decompose_seconds);
+  } else {
+    throw InputError("unknown decomposition: " + which);
+  }
+  return 0;
+}
+
+int cmd_mm(const std::string& spec, const std::string& algo,
+           const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  MatchResult r;
+  if (algo == "gm") r = mm_gm(g);
+  else if (algo == "lmax") r = mm_lmax(g, o.seed);
+  else if (algo == "ii") r = mm_ii(g, o.seed);
+  else if (algo == "greedy") r = mm_greedy_seq(g);
+  else if (algo == "bridge") r = mm_bridge(g);
+  else if (algo == "rand") r = mm_rand(g, o.k);
+  else if (algo == "degk") r = mm_degk(g, o.k ? o.k : 2);
+  else throw InputError("unknown matching algorithm: " + algo);
+  std::string err;
+  SBG_CHECK(verify_maximal_matching(g, r.mate, &err), err.c_str());
+  std::printf("%s: |M|=%llu, %u rounds, %.4fs (decompose %.4fs)\n",
+              algo.c_str(), static_cast<unsigned long long>(r.cardinality),
+              r.rounds, r.total_seconds, r.decompose_seconds);
+  return 0;
+}
+
+int cmd_color(const std::string& spec, const std::string& algo,
+              const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  ColorResult r;
+  if (algo == "vb") r = color_vb(g);
+  else if (algo == "eb") r = color_eb(g);
+  else if (algo == "jp") r = color_jp(g);
+  else if (algo == "spec") r = color_speculative(g);
+  else if (algo == "bridge") r = color_bridge(g);
+  else if (algo == "rand") r = color_rand(g, o.k ? o.k : 2);
+  else if (algo == "degk") r = color_degk(g, o.k ? o.k : 2);
+  else throw InputError("unknown coloring algorithm: " + algo);
+  std::string err;
+  SBG_CHECK(verify_coloring(g, r.color, &err), err.c_str());
+  std::printf("%s: %u colors, %u rounds, %.4fs (decompose %.4fs)\n",
+              algo.c_str(), r.num_colors, r.rounds, r.total_seconds,
+              r.decompose_seconds);
+  return 0;
+}
+
+int cmd_mis(const std::string& spec, const std::string& algo,
+            const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  MisResult r;
+  if (algo == "luby") r = mis_luby(g, o.seed);
+  else if (algo == "greedy") r = mis_greedy(g, o.seed);
+  else if (algo == "bridge") r = mis_bridge(g, o.seed);
+  else if (algo == "rand") r = mis_rand(g, o.k, o.seed);
+  else if (algo == "degk") r = mis_degk(g, o.k ? o.k : 2, o.seed);
+  else throw InputError("unknown MIS algorithm: " + algo);
+  std::string err;
+  SBG_CHECK(verify_mis(g, r.state, &err), err.c_str());
+  std::printf("%s: |I|=%zu, %u rounds, %.4fs (decompose %.4fs)\n",
+              algo.c_str(), r.size, r.rounds, r.total_seconds,
+              r.decompose_seconds);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sbg_tool <gen|stats|convert|decompose|mm|color|mis> "
+               "...\nsee the header comment of examples/sbg_tool.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sbg::apply_thread_env();
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Options o = parse_flags(argc, argv, 3);
+    if (cmd == "gen" && argc >= 4) return cmd_gen(argv[2], argv[3], o);
+    if (cmd == "stats") return cmd_stats(argv[2], o);
+    if (cmd == "convert" && argc >= 4) {
+      sbg::save_graph(argv[3], sbg::load_graph(argv[2]));
+      return 0;
+    }
+    if (cmd == "decompose" && argc >= 4) {
+      return cmd_decompose(argv[2], argv[3], parse_flags(argc, argv, 4));
+    }
+    if (cmd == "mm") {
+      return cmd_mm(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "gm",
+                    parse_flags(argc, argv, 3));
+    }
+    if (cmd == "color") {
+      return cmd_color(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "vb",
+                       parse_flags(argc, argv, 3));
+    }
+    if (cmd == "mis") {
+      return cmd_mis(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "luby",
+                     parse_flags(argc, argv, 3));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

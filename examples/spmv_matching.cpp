@@ -1,0 +1,60 @@
+// Domain example: row/column pairing for sparse-matrix kernels.
+//
+// The paper motivates maximal matching with sparse matrix computations
+// [Vastenhouw & Bisseling]: pairing compatible rows/columns (here modeled
+// as vertices of a numerical-simulation graph) lets a solver fuse work and
+// halve synchronization. A maximal matching is the pairing; unmatched
+// vertices run solo. This example runs GM vs MM-Rand on a c-73-like
+// matrix graph and reports pairing quality and the vain-tendency gap.
+#include <cstdio>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "matching/matching.hpp"
+#include "parallel/thread_env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbg;
+  apply_thread_env();
+  const vid_t n = argc > 1 ? static_cast<vid_t>(std::atoi(argv[1])) : 150'000;
+
+  // A c-73-like numerical-simulation graph: banded core + pendant slack.
+  const CsrGraph g = build_graph(
+      gen_numerical(n, /*core_fraction=*/0.52, /*core_band_mean=*/5.6,
+                    /*seed=*/3),
+      /*connect=*/true);
+  const GraphStats s = graph_stats(g);
+  std::printf("matrix graph: %u rows, %llu structural pairs, avg degree "
+              "%.2f\n\n",
+              s.num_vertices, static_cast<unsigned long long>(s.num_edges),
+              s.avg_degree);
+
+  const MatchResult gm = mm_gm(g);
+  const MatchResult rnd = mm_rand(g);
+  std::string err;
+  SBG_CHECK(verify_maximal_matching(g, gm.mate, &err), err.c_str());
+  SBG_CHECK(verify_maximal_matching(g, rnd.mate, &err), err.c_str());
+
+  const auto report = [&](const char* label, const MatchResult& r) {
+    const double paired =
+        200.0 * static_cast<double>(r.cardinality) /
+        static_cast<double>(s.num_vertices);  // both endpoints count
+    std::printf("%-8s: %.3fs, %u proposal rounds, %llu pairs "
+                "(%.1f%% of rows paired)\n",
+                label, r.total_seconds, r.rounds,
+                static_cast<unsigned long long>(r.cardinality), paired);
+  };
+  report("GM", gm);
+  report("MM-Rand", rnd);
+
+  std::printf("\nMM-Rand speedup: %.2fx with the same pairing guarantee "
+              "(both matchings are maximal;\ncardinalities differ by "
+              "%.1f%% — any maximal matching is a 1/2-approximation).\n",
+              gm.total_seconds / rnd.total_seconds,
+              100.0 *
+                  (static_cast<double>(gm.cardinality) -
+                   static_cast<double>(rnd.cardinality)) /
+                  static_cast<double>(gm.cardinality));
+  return 0;
+}

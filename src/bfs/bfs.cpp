@@ -1,0 +1,85 @@
+#include "bfs/bfs.hpp"
+
+#include <omp.h>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg {
+
+BfsTree bfs(const CsrGraph& g, vid_t root) {
+  const vid_t n = g.num_vertices();
+  BfsTree t;
+  t.root = root;
+  t.parent.assign(n, kNoVertex);
+  t.level.assign(n, kNoVertex);
+  if (n == 0) return t;
+  SBG_CHECK(root < n, "BFS root out of range");
+
+  t.level[root] = 0;
+  t.reached = 1;
+  std::vector<vid_t> frontier{root};
+  std::vector<std::vector<vid_t>> next_local;
+
+  vid_t depth = 0;
+  while (!frontier.empty()) {
+    ++t.rounds;
+    ++depth;
+#pragma omp parallel
+    {
+#pragma omp single
+      next_local.assign(static_cast<std::size_t>(omp_get_num_threads()), {});
+      auto& local = next_local[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const vid_t u = frontier[static_cast<std::size_t>(i)];
+        for (const vid_t v : g.neighbors(u)) {
+          // Claim unvisited neighbors with CAS on the level array.
+          if (atomic_read(&t.level[v]) == kNoVertex &&
+              claim(&t.level[v], kNoVertex, depth)) {
+            t.parent[v] = u;
+            local.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.clear();
+    for (auto& chunk : next_local) {
+      frontier.insert(frontier.end(), chunk.begin(), chunk.end());
+      t.reached += static_cast<vid_t>(chunk.size());
+    }
+  }
+  return t;
+}
+
+bool validate_bfs_tree(const CsrGraph& g, const BfsTree& tree) {
+  const vid_t n = g.num_vertices();
+  if (tree.parent.size() != n || tree.level.size() != n) return false;
+  if (n == 0) return true;
+  if (tree.level[tree.root] != 0 || tree.parent[tree.root] != kNoVertex) {
+    return false;
+  }
+  return !parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const vid_t p = tree.parent[v];
+    const vid_t lv = tree.level[v];
+    if (lv == kNoVertex) return p != kNoVertex;  // unreached: no parent
+    if (v != tree.root) {
+      if (p == kNoVertex || !g.has_edge(v, p)) return true;
+      if (tree.level[p] + 1 != lv) return true;
+    }
+    // BFS property: no edge skips a level.
+    for (const vid_t w : g.neighbors(v)) {
+      const vid_t lw = tree.level[w];
+      if (lw == kNoVertex) return true;  // reachable neighbor unreached
+      const vid_t lo = lv < lw ? lv : lw;
+      const vid_t hi = lv < lw ? lw : lv;
+      if (hi - lo > 1) return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace sbg

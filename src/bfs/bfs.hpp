@@ -1,0 +1,34 @@
+// Parallel breadth-first search.
+//
+// Produces the parent array P(v) and level array L(v) that Step 1 of the
+// paper's Algorithm 1 (bridge decomposition) consumes: P(root) = kNoVertex
+// stands in for the paper's P(r) = -1, L(root) = 0.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+struct BfsTree {
+  vid_t root = 0;
+  /// Parent in the BFS tree; kNoVertex for the root and unreached vertices.
+  std::vector<vid_t> parent;
+  /// Distance from root; kNoVertex for unreached vertices.
+  std::vector<vid_t> level;
+  /// Number of vertices reached (including the root).
+  vid_t reached = 0;
+  /// Number of frontier expansions (== eccentricity of root + 1).
+  vid_t rounds = 0;
+};
+
+/// Frontier-based parallel BFS from `root`.
+BfsTree bfs(const CsrGraph& g, vid_t root = 0);
+
+/// True iff (parent, level) encode a valid BFS tree of g rooted at
+/// tree.root: parent edges exist, levels increase by exactly 1 along parent
+/// links, and every edge spans at most one level. For tests.
+bool validate_bfs_tree(const CsrGraph& g, const BfsTree& tree);
+
+}  // namespace sbg

@@ -1,0 +1,114 @@
+// Vertex coloring: baselines and decomposition-based composites
+// (paper Section IV).
+//
+// Solvers are extenders over a shared, global, n-sized color array
+// (kNoColor = uncolored): already-colored vertices are fixed and their
+// colors are respected; an optional active mask restricts which vertices
+// may be (re)colored. The composites (Algorithms 7-9) chain extend calls
+// plus conflict-detection steps over one color array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+/// Which base solver the composites use: VB on the CPU path, EB on the GPU
+/// path (the paper's Section IV-B choice).
+enum class ColorEngine { kVB, kEB };
+
+struct ColorResult {
+  /// color[v] in [0, num_colors) for every vertex.
+  std::vector<std::uint32_t> color;
+  std::uint32_t num_colors = 0;
+  /// Total solver rounds across all phases.
+  vid_t rounds = 0;
+  /// Vertices that entered a color conflict in the stitch step of a
+  /// decomposition variant (the Section IV-C "45% of vertices" metric).
+  vid_t conflicted_vertices = 0;
+  double total_seconds = 0.0;
+  double decompose_seconds = 0.0;  ///< 0 for the baselines
+  double solve_seconds = 0.0;
+};
+
+// ------------------------------------------------------------- extenders --
+/// Algorithm VB [Deveci et al.]: speculative coloring with a fixed-size
+/// FORBIDDEN array. Each round uncolored vertices scan neighbor colors in
+/// the window [offset, offset + forbidden_size), take the smallest free
+/// color (bumping their private offset when the window is saturated), then
+/// conflicts (equal-colored neighbors) are resolved by uncoloring the
+/// higher id. Colors start at `palette_base`. Returns rounds executed.
+vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
+                std::uint32_t forbidden_size, std::uint32_t palette_base = 0,
+                const std::vector<std::uint8_t>* active = nullptr);
+
+/// Algorithm EB [Deveci et al.]: edge-based speculative coloring for SIMD
+/// machines. Availability is a 32-bit word per vertex; conflicts are
+/// detected per edge and reset the LOWER id endpoint (the paper's rule).
+vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
+                std::uint32_t palette_base = 0,
+                const std::vector<std::uint8_t>* active = nullptr);
+
+/// The COLOR-Degk small-palette pass (Algorithm 9 step 6): color the
+/// degree <= k vertices of `g` with the (k+1)-color palette
+/// [palette_base, palette_base + k + 1), using a (k+1)-sized FORBIDDEN
+/// array. All active vertices are first initialized to palette_base;
+/// conflicted vertices (higher id yields) then rescan until stable.
+vid_t small_palette_extend(const CsrGraph& g,
+                           std::vector<std::uint32_t>& color,
+                           std::uint32_t palette_base, std::uint32_t palette,
+                           const std::vector<std::uint8_t>& active);
+
+// ------------------------------------------------------------- baselines --
+/// VB with FORBIDDEN size = average degree (the paper's CPU setting).
+ColorResult color_vb(const CsrGraph& g);
+ColorResult color_eb(const CsrGraph& g);
+
+/// Vertex orderings for Jones-Plassmann [18], per Hasenplaugh et al. [14].
+enum class JpOrder { kRandom, kLargestDegreeFirst, kSmallestDegreeFirst };
+
+/// Jones-Plassmann: priority-DAG greedy coloring; conflict-free by
+/// construction (a vertex colors only after all higher-priority
+/// neighbors). An extended baseline from the paper's Section IV-A lineage.
+ColorResult color_jp(const CsrGraph& g, JpOrder order = JpOrder::kRandom,
+                     std::uint64_t seed = 42);
+
+/// Gebremedhin-Manne / Catalyurek speculative coloring [12], [7]: greedy
+/// first-fit over the unbounded palette for every uncolored vertex, then
+/// uncolor one endpoint per conflict; repeat. The pre-Deveci baseline that
+/// VB improves on with its fixed FORBIDDEN window.
+ColorResult color_speculative(const CsrGraph& g);
+
+// ------------------------------------------------- decomposition variants --
+/// Algorithm 7 (COLOR-Bridge): color G - B with a shared palette, uncolor
+/// the conflicted bridge endpoints, recolor them against all of G.
+ColorResult color_bridge(const CsrGraph& g,
+                         ColorEngine engine = ColorEngine::kVB,
+                         BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk);
+
+/// Algorithm 8 (COLOR-Rand): color the induced subgraphs with an identical
+/// palette, uncolor cross-edge conflicts, recolor against all of G.
+/// k = 0 selects the paper's setting (Section IV-C uses few partitions).
+ColorResult color_rand(const CsrGraph& g, vid_t k = 2,
+                       ColorEngine engine = ColorEngine::kVB,
+                       std::uint64_t seed = 42);
+
+/// Algorithm 9 (COLOR-Degk): color G_H, then give G_L the k+1 extra colors
+/// max(C_H)+1 .. max(C_H)+k+1 via the small-palette pass — no recoloring
+/// against G_H is ever needed.
+ColorResult color_degk(const CsrGraph& g, vid_t k = 2,
+                       ColorEngine engine = ColorEngine::kVB);
+
+// ----------------------------------------------------------- verification --
+/// Proper coloring check: every vertex colored, no monochromatic edge.
+bool verify_coloring(const CsrGraph& g, const std::vector<std::uint32_t>& color,
+                     std::string* error = nullptr);
+
+/// Number of distinct colors used (max + 1 over colored vertices).
+std::uint32_t count_colors(const std::vector<std::uint32_t>& color);
+
+}  // namespace sbg

@@ -1,0 +1,194 @@
+// Decomposition-based coloring (paper Algorithms 7, 8, 9).
+//
+// COLOR-Bridge / COLOR-Rand: color the decomposition's inner graph with a
+// shared palette, detect the stitch conflicts G introduces (bridge / cross
+// edges), uncolor one endpoint per conflict, and recolor those vertices
+// against the FULL graph so the fix is final.
+// COLOR-Degk: color G_H, then hand G_L a disjoint (k+1)-color palette — by
+// construction no stitch conflicts exist at all.
+#include <algorithm>
+#include <cmath>
+
+#include "coloring/coloring.hpp"
+#include "core/degk.hpp"
+#include "graph/subgraph.hpp"
+#include "core/rand.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+std::uint32_t forbidden_size_for(const CsrGraph& g) {
+  return static_cast<std::uint32_t>(std::max(1.0, std::ceil(g.average_degree())));
+}
+
+vid_t extend(ColorEngine engine, const CsrGraph& g,
+             std::vector<std::uint32_t>& color, std::uint32_t forbidden_size,
+             std::uint32_t base = 0,
+             const std::vector<std::uint8_t>* active = nullptr) {
+  return engine == ColorEngine::kVB
+             ? vb_extend(g, color, forbidden_size, base, active)
+             : eb_extend(g, color, base, active);
+}
+
+/// Uncolor the higher endpoint of every monochromatic edge of `stitch`
+/// (the edges the phase-1 coloring never saw). Returns the number of
+/// vertices uncolored — the paper's "% vertices in color conflict" metric.
+vid_t uncolor_stitch_conflicts(const CsrGraph& stitch,
+                               std::vector<std::uint32_t>& color) {
+  const vid_t n = stitch.num_vertices();
+  std::vector<std::uint8_t> conflicted(n, 0);
+  parallel_for_dynamic(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const std::uint32_t c = color[v];
+    if (c == kNoColor) return;
+    for (const vid_t w : stitch.neighbors(v)) {
+      if (w < v && color[w] == c) {
+        conflicted[v] = 1;
+        return;
+      }
+    }
+  });
+  vid_t count = 0;
+#pragma omp parallel for schedule(static) reduction(+ : count)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (conflicted[static_cast<std::size_t>(i)]) {
+      color[static_cast<std::size_t>(i)] = kNoColor;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ColorResult color_bridge(const CsrGraph& g, ColorEngine engine,
+                         BridgeAlgo bridge_algo) {
+  Timer timer;
+  ColorResult r;
+  r.color.assign(g.num_vertices(), kNoColor);
+
+  const BridgeDecomposition d = decompose_bridge(g, bridge_algo);
+  r.decompose_seconds = d.decompose_seconds;
+  const std::uint32_t s = forbidden_size_for(g);
+
+  // Color the 2-edge-connected components with one shared palette; the
+  // pieces are vertex-disjoint so this is the "independently in parallel"
+  // step. Bridge edges are invisible here, so only they can conflict.
+  r.rounds += extend(engine, d.g_components, r.color, s);
+
+  // Stitch: uncolor the conflicted bridge endpoints, recolor against G.
+  CsrGraph g_bridges = filter_edges(g, [&](vid_t a, vid_t b) {
+    return d.is_bridge_vertex[a] && d.is_bridge_vertex[b] &&
+           !d.g_components.has_edge(a, b);
+  });
+  r.conflicted_vertices = uncolor_stitch_conflicts(g_bridges, r.color);
+  r.rounds += extend(engine, g, r.color, s);
+
+  r.num_colors = count_colors(r.color);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+ColorResult color_rand(const CsrGraph& g, vid_t k, ColorEngine engine,
+                       std::uint64_t seed) {
+  Timer timer;
+  ColorResult r;
+  r.color.assign(g.num_vertices(), kNoColor);
+  if (k == 0) k = 2;
+
+  const RandDecomposition d = decompose_rand(g, k, seed);
+  r.decompose_seconds = d.decompose_seconds;
+  const std::uint32_t s = forbidden_size_for(g);
+
+  // Identical palette across all induced subgraphs (they are colored
+  // together on g_intra; components never span partitions).
+  r.rounds += extend(engine, d.g_intra, r.color, s);
+
+  // Cross edges are the only possible conflicts; uncolor and recolor
+  // against the full graph.
+  r.conflicted_vertices = uncolor_stitch_conflicts(d.g_cross, r.color);
+  r.rounds += extend(engine, g, r.color, s);
+
+  r.num_colors = count_colors(r.color);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+ColorResult color_degk(const CsrGraph& g, vid_t k, ColorEngine engine) {
+  Timer timer;
+  ColorResult r;
+  const vid_t n = g.num_vertices();
+  r.color.assign(n, kNoColor);
+
+  // DEGk stays a "simple computation": classification only, no subgraph
+  // materialization. Both phases run on G itself with vertex masks —
+  // phase 1 sees only G_H edges (low endpoints are uncolored and masked
+  // out), phase 2's low vertices read high neighbors' colors but those
+  // sit below the disjoint palette and never collide.
+  const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
+  r.decompose_seconds = d.decompose_seconds;
+
+  // Phase 1: color G_H. Only one endpoint of any cross edge is colored
+  // here, so no stitch conflicts can ever appear (paper Section IV-B3).
+  const auto s_high = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(g.average_degree())));
+  r.rounds += extend(engine, g, r.color, s_high, 0, &d.is_high);
+
+  // Phase 2: G_L gets the disjoint palette max(C_H)+1 .. max(C_H)+k+1 with
+  // a (k+1)-sized FORBIDDEN array.
+  const std::uint32_t base = count_colors(r.color);
+  std::vector<std::uint8_t> low(n);
+  parallel_for(n, [&](std::size_t v) { low[v] = !d.is_high[v]; });
+  r.rounds += small_palette_extend(g, r.color, base, k + 1, low);
+
+  r.num_colors = count_colors(r.color);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+bool verify_coloring(const CsrGraph& g, const std::vector<std::uint32_t>& color,
+                     std::string* error) {
+  const vid_t n = g.num_vertices();
+  if (color.size() != n) {
+    if (error) *error = "color array size mismatch";
+    return false;
+  }
+  const bool uncolored = parallel_any(
+      n, [&](std::size_t v) { return color[v] == kNoColor; });
+  if (uncolored) {
+    if (error) *error = "uncolored vertex";
+    return false;
+  }
+  const bool mono = parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    for (const vid_t w : g.neighbors(v)) {
+      if (w > v && color[w] == color[v]) return true;
+    }
+    return false;
+  });
+  if (mono) {
+    if (error) *error = "monochromatic edge";
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t count_colors(const std::vector<std::uint32_t>& color) {
+  std::uint32_t best = 0;
+#pragma omp parallel for schedule(static) reduction(max : best)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(color.size()); ++i) {
+    const std::uint32_t c = color[static_cast<std::size_t>(i)];
+    if (c != kNoColor && c + 1 > best) best = c + 1;
+  }
+  return best;
+}
+
+}  // namespace sbg

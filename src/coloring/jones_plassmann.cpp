@@ -1,0 +1,102 @@
+// Jones-Plassmann coloring [18] with the vertex orderings studied by
+// Hasenplaugh et al. [14] — the multicore lineage the paper's Section IV-A
+// reviews. Every vertex gets a priority; a vertex colors itself (greedy
+// first-fit against already-colored neighbors) in the round where every
+// higher-priority neighbor is already colored. Deterministic given the
+// ordering; never produces conflicts, at the cost of priority-chain depth
+// many rounds.
+#include <algorithm>
+
+#include "coloring/coloring.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+std::uint64_t jp_priority(const CsrGraph& g, JpOrder order, std::uint64_t seed,
+                          vid_t v) {
+  // Priorities are (key, id) packed so comparisons are single u64 ops and
+  // strict (no ties).
+  switch (order) {
+    case JpOrder::kRandom:
+      return (mix64(seed ^ v) & ~0xffffffffull) | v;
+    case JpOrder::kLargestDegreeFirst:
+      return (static_cast<std::uint64_t>(g.degree(v)) << 32) | v;
+    case JpOrder::kSmallestDegreeFirst:
+      return (static_cast<std::uint64_t>(kNoVertex - g.degree(v)) << 32) | v;
+  }
+  return v;
+}
+
+}  // namespace
+
+ColorResult color_jp(const CsrGraph& g, JpOrder order, std::uint64_t seed) {
+  Timer timer;
+  ColorResult r;
+  const vid_t n = g.num_vertices();
+  r.color.assign(n, kNoColor);
+  const std::uint64_t base = mix64(seed ^ 0x39a55a93ull);
+
+  std::vector<vid_t> worklist;
+  worklist.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) {
+      r.color[v] = 0;
+    } else {
+      worklist.push_back(v);
+    }
+  }
+
+  std::vector<vid_t> next;
+  while (!worklist.empty()) {
+    ++r.rounds;
+#pragma omp parallel
+    {
+      std::vector<std::uint32_t> forbidden;
+#pragma omp for schedule(dynamic, 128)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(worklist.size());
+           ++i) {
+        const vid_t v = worklist[static_cast<std::size_t>(i)];
+        const std::uint64_t pv = jp_priority(g, order, base, v);
+        bool ready = true;
+        forbidden.clear();
+        for (const vid_t w : g.neighbors(v)) {
+          const std::uint32_t c = atomic_read(&r.color[w]);
+          if (c != kNoColor) {
+            forbidden.push_back(c);
+          } else if (jp_priority(g, order, base, w) > pv) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        // Greedy first-fit over the collected neighbor colors.
+        std::sort(forbidden.begin(), forbidden.end());
+        std::uint32_t c = 0;
+        for (const std::uint32_t f : forbidden) {
+          if (f == c) {
+            ++c;
+          } else if (f > c) {
+            break;
+          }
+        }
+        atomic_write(&r.color[v], c);
+      }
+    }
+    next.clear();
+    for (const vid_t v : worklist) {
+      if (r.color[v] == kNoColor) next.push_back(v);
+    }
+    SBG_CHECK(next.size() < worklist.size(), "JP made no progress");
+    worklist.swap(next);
+  }
+  r.num_colors = count_colors(r.color);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

@@ -1,0 +1,72 @@
+// The COLOR-Degk small-palette pass (paper Algorithm 9, step 6).
+//
+// For k = 2 the active vertices (V_L) have degree <= k inside the graph
+// they are colored against, so k+1 palette colors always suffice and the
+// FORBIDDEN array shrinks to k+1 slots — "using a small sized FORBIDDEN
+// array improves the performance of Algorithm COLOR-Degk".
+//
+// All active vertices are initialized to palette_base; each round every
+// vertex in conflict with a LOWER-id neighbor rescans its (k+1)-slot window
+// and moves to the smallest free color. Vertices whose ids are local minima
+// never move, so stabilization sweeps inward from them; real-world degree-2
+// chains are short, keeping round counts small.
+#include "coloring/coloring.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg {
+
+vid_t small_palette_extend(const CsrGraph& g,
+                           std::vector<std::uint32_t>& color,
+                           std::uint32_t palette_base, std::uint32_t palette,
+                           const std::vector<std::uint8_t>& active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(color.size() == n, "color array size mismatch");
+  SBG_CHECK(active.size() == n, "active mask size mismatch");
+  SBG_CHECK(palette >= 1 && palette <= 32, "palette must fit one word");
+
+  std::vector<vid_t> worklist;
+  for (vid_t v = 0; v < n; ++v) {
+    if (active[v]) {
+      color[v] = palette_base;
+      worklist.push_back(v);
+    }
+  }
+
+  vid_t rounds = 0;
+  bool any_conflict = !worklist.empty();
+  while (any_conflict) {
+    ++rounds;
+    any_conflict = false;
+    int changed = 0;
+#pragma omp parallel for schedule(dynamic, 256) reduction(| : changed)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(worklist.size());
+         ++i) {
+      const vid_t v = worklist[static_cast<std::size_t>(i)];
+      const std::uint32_t c = color[v];
+      bool conflicted = false;
+      std::uint32_t used = 0;
+      for (const vid_t w : g.neighbors(v)) {
+        const std::uint32_t cw = atomic_read(&color[w]);
+        if (cw == c && w < v) conflicted = true;
+        if (cw >= palette_base && cw - palette_base < palette) {
+          used |= 1u << (cw - palette_base);
+        }
+      }
+      if (conflicted) {
+        // Degree within the palette's user set is <= palette-1, so a free
+        // slot always exists.
+        std::uint32_t slot = 0;
+        while (slot < palette && (used >> slot & 1u)) ++slot;
+        SBG_CHECK(slot < palette, "small palette saturated");
+        atomic_write(&color[v], palette_base + slot);
+        changed = 1;
+      }
+    }
+    any_conflict = changed != 0;
+  }
+  return rounds;
+}
+
+}  // namespace sbg

@@ -1,0 +1,79 @@
+// Gebremedhin-Manne / Catalyurek et al. speculative coloring — the
+// pre-Deveci multicore baseline (Section IV-A): every uncolored vertex
+// greedily takes the smallest color not used by any neighbor (unbounded
+// palette, so the FORBIDDEN scratch is degree-sized, rebuilt per vertex),
+// conflicts between same-round speculators uncolor the higher id, repeat.
+// Deveci et al.'s VB replaces the unbounded palette with a fixed window —
+// bench_extended_baselines shows what that buys.
+#include <omp.h>
+
+#include <algorithm>
+
+#include "coloring/coloring.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+ColorResult color_speculative(const CsrGraph& g) {
+  Timer timer;
+  ColorResult r;
+  const vid_t n = g.num_vertices();
+  r.color.assign(n, kNoColor);
+
+  std::vector<vid_t> worklist;
+  worklist.reserve(n);
+  for (vid_t v = 0; v < n; ++v) worklist.push_back(v);
+
+  std::vector<vid_t> next;
+  while (!worklist.empty()) {
+    ++r.rounds;
+#pragma omp parallel
+    {
+      std::vector<std::uint32_t> nbr_colors;
+#pragma omp for schedule(dynamic, 128)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(worklist.size());
+           ++i) {
+        const vid_t v = worklist[static_cast<std::size_t>(i)];
+        nbr_colors.clear();
+        for (const vid_t w : g.neighbors(v)) {
+          const std::uint32_t c = atomic_read(&r.color[w]);
+          if (c != kNoColor) nbr_colors.push_back(c);
+        }
+        std::sort(nbr_colors.begin(), nbr_colors.end());
+        std::uint32_t c = 0;
+        for (const std::uint32_t f : nbr_colors) {
+          if (f == c) {
+            ++c;
+          } else if (f > c) {
+            break;
+          }
+        }
+        atomic_write(&r.color[v], c);
+      }
+    }
+    // Conflict detection: higher id yields (keeps the lowest-id speculator
+    // stable, guaranteeing progress).
+    parallel_for_dynamic(worklist.size(), [&](std::size_t i) {
+      const vid_t v = worklist[i];
+      const std::uint32_t c = r.color[v];
+      for (const vid_t w : g.neighbors(v)) {
+        if (w < v && atomic_read(&r.color[w]) == c) {
+          atomic_write(&r.color[v], kNoColor);
+          return;
+        }
+      }
+    });
+    next.clear();
+    for (const vid_t v : worklist) {
+      if (r.color[v] == kNoColor) next.push_back(v);
+    }
+    worklist.swap(next);
+  }
+  r.num_colors = count_colors(r.color);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

@@ -1,0 +1,41 @@
+// Core scalar types and small utilities shared by every sbg module.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sbg {
+
+/// Vertex identifier. Graphs up to ~4.2B vertices.
+using vid_t = std::uint32_t;
+/// Edge identifier / edge-array offset (CSR stores each undirected edge twice).
+using eid_t = std::uint64_t;
+
+/// Sentinel for "no vertex" (unmatched mate, no parent, ...).
+inline constexpr vid_t kNoVertex = std::numeric_limits<vid_t>::max();
+/// Sentinel for "no edge".
+inline constexpr eid_t kNoEdge = std::numeric_limits<eid_t>::max();
+/// Sentinel for "uncolored" in coloring algorithms (colors are 0-based).
+inline constexpr std::uint32_t kNoColor = std::numeric_limits<std::uint32_t>::max();
+
+/// Thrown on malformed external input (files, user parameters).
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant check that stays on in release builds for cheap
+/// predicates guarding correctness-critical state.
+#define SBG_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) [[unlikely]] {                                   \
+      throw std::logic_error(std::string("SBG_CHECK failed: ") + \
+                             (msg) + " at " __FILE__ ":" +        \
+                             std::to_string(__LINE__));           \
+    }                                                             \
+  } while (0)
+
+}  // namespace sbg

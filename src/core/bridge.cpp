@@ -1,0 +1,234 @@
+#include "core/bridge.hpp"
+
+#include <algorithm>
+#include <omp.h>
+
+#include "bfs/bfs.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/bitset.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+/// BFS forest over all components: parent/level for every vertex.
+void bfs_forest(const CsrGraph& g, std::vector<vid_t>& parent,
+                std::vector<vid_t>& level) {
+  const vid_t n = g.num_vertices();
+  parent.assign(n, kNoVertex);
+  level.assign(n, kNoVertex);
+  std::vector<vid_t> frontier, next;
+  std::vector<std::vector<vid_t>> next_local;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (level[root] != kNoVertex) continue;
+    level[root] = 0;
+    frontier.assign(1, root);
+    vid_t depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+#pragma omp parallel
+      {
+#pragma omp single
+        next_local.assign(static_cast<std::size_t>(omp_get_num_threads()), {});
+        auto& local =
+            next_local[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(frontier.size()); ++i) {
+          const vid_t u = frontier[static_cast<std::size_t>(i)];
+          for (const vid_t v : g.neighbors(u)) {
+            if (atomic_read(&level[v]) == kNoVertex &&
+                claim(&level[v], kNoVertex, depth)) {
+              parent[v] = u;
+              local.push_back(v);
+            }
+          }
+        }
+      }
+      frontier.clear();
+      for (auto& chunk : next_local) {
+        frontier.insert(frontier.end(), chunk.begin(), chunk.end());
+      }
+    }
+  }
+}
+
+/// Follow the covered-edge chain from x to its first uncovered ancestor,
+/// path-halving the skip pointers. Only used by kShortcutWalk.
+vid_t jump_covered(vid_t x, const ConcurrentBitset& covered,
+                   std::vector<vid_t>& skip) {
+  while (covered.test(x)) {
+    const vid_t s = atomic_read(&skip[x]);
+    if (covered.test(s)) {
+      const vid_t ss = atomic_read(&skip[s]);
+      atomic_write(&skip[x], ss);  // halving; any stored value stays valid
+      x = ss;
+    } else {
+      x = s;
+    }
+  }
+  return x;
+}
+
+/// Step 2 of Algorithm 1: mark every tree edge on the w..LCA..v path of
+/// every non-tree edge (w, v). covered[x] == 1 means "edge x->parent[x]
+/// is marked".
+ConcurrentBitset mark_non_tree_paths(const CsrGraph& g,
+                                     const std::vector<vid_t>& parent,
+                                     const std::vector<vid_t>& level,
+                                     BridgeAlgo algo) {
+  const vid_t n = g.num_vertices();
+  ConcurrentBitset covered(n);
+  std::vector<vid_t> skip;
+  const bool shortcut = algo == BridgeAlgo::kShortcutWalk;
+  if (shortcut) {
+    // skip[x] is always an ancestor reachable from x via covered edges;
+    // parent[x] satisfies that trivially whenever covered[x] is set.
+    skip = parent;
+  }
+
+  parallel_for_dynamic(n, [&](std::size_t ui) {
+    const vid_t u = static_cast<vid_t>(ui);
+    for (const vid_t v : g.neighbors(u)) {
+      if (v <= u) continue;                            // one walk per edge
+      if (parent[u] == v || parent[v] == u) continue;  // tree edge
+      vid_t x = u, y = v;
+      while (x != y) {
+        // Advance the deeper endpoint (ties advance x): mark its parent
+        // edge and move up. With shortcutting, fast-forward over chains
+        // that earlier walks already marked.
+        if (level[x] >= level[y]) {
+          if (shortcut && covered.test(x)) {
+            x = jump_covered(x, covered, skip);
+            continue;
+          }
+          covered.set(x);
+          x = parent[x];
+        } else {
+          if (shortcut && covered.test(y)) {
+            y = jump_covered(y, covered, skip);
+            continue;
+          }
+          covered.set(y);
+          y = parent[y];
+        }
+      }
+    }
+  });
+  return covered;
+}
+
+std::vector<std::pair<vid_t, vid_t>> collect_bridges(
+    const CsrGraph& g, const std::vector<vid_t>& parent,
+    const ConcurrentBitset& covered) {
+  std::vector<std::vector<std::pair<vid_t, vid_t>>> local;
+  const vid_t n = g.num_vertices();
+#pragma omp parallel
+  {
+#pragma omp single
+    local.assign(static_cast<std::size_t>(omp_get_num_threads()), {});
+    auto& mine = local[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const vid_t v = static_cast<vid_t>(i);
+      if (parent[v] != kNoVertex && !covered.test(v)) {
+        mine.emplace_back(v, parent[v]);
+      }
+    }
+  }
+  std::vector<std::pair<vid_t, vid_t>> bridges;
+  for (auto& chunk : local) {
+    bridges.insert(bridges.end(), chunk.begin(), chunk.end());
+  }
+  return bridges;
+}
+
+}  // namespace
+
+std::vector<std::pair<vid_t, vid_t>> find_bridges(const CsrGraph& g,
+                                                  BridgeAlgo algo) {
+  std::vector<vid_t> parent, level;
+  bfs_forest(g, parent, level);                                  // STEP 1
+  const auto covered = mark_non_tree_paths(g, parent, level, algo);  // STEP 2
+  return collect_bridges(g, parent, covered);
+}
+
+BridgeDecomposition decompose_bridge(const CsrGraph& g, BridgeAlgo algo) {
+  Timer timer;
+  BridgeDecomposition d;
+  const vid_t n = g.num_vertices();
+
+  std::vector<vid_t> parent, level;
+  bfs_forest(g, parent, level);
+  const auto covered = mark_non_tree_paths(g, parent, level, algo);
+  d.bridges = collect_bridges(g, parent, covered);
+
+  d.is_bridge_vertex.assign(n, 0);
+  parallel_for(d.bridges.size(), [&](std::size_t i) {
+    d.is_bridge_vertex[d.bridges[i].first] = 1;
+    d.is_bridge_vertex[d.bridges[i].second] = 1;
+  });
+
+  // Remove bridges: a tree edge (v, parent[v]) is dropped iff v's parent
+  // edge is an uncovered tree edge.
+  d.g_components = filter_edges(g, [&](vid_t a, vid_t b) {
+    const bool bridge = (parent[a] == b && !covered.test(a)) ||
+                        (parent[b] == a && !covered.test(b));
+    return !bridge;
+  });
+  d.components = connected_components(d.g_components);
+  d.decompose_seconds = timer.seconds();
+  return d;
+}
+
+std::vector<std::pair<vid_t, vid_t>> bridges_reference(const CsrGraph& g) {
+  // Iterative Tarjan: discovery times and low-links over a DFS forest.
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> disc(n, kNoVertex), low(n, kNoVertex);
+  std::vector<eid_t> next_arc(n, 0);
+  std::vector<vid_t> parent(n, kNoVertex);
+  std::vector<std::uint8_t> skipped_parent_arc(n, 0);
+  std::vector<vid_t> stack;
+  std::vector<std::pair<vid_t, vid_t>> bridges;
+  vid_t time = 0;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (disc[root] != kNoVertex) continue;
+    stack.push_back(root);
+    disc[root] = low[root] = time++;
+    next_arc[root] = g.arc_begin(root);
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      if (next_arc[v] < g.arc_end(v)) {
+        const vid_t w = g.arc_head(next_arc[v]++);
+        if (disc[w] == kNoVertex) {
+          parent[w] = v;
+          skipped_parent_arc[w] = 0;
+          disc[w] = low[w] = time++;
+          next_arc[w] = g.arc_begin(w);
+          stack.push_back(w);
+        } else if (w != parent[v] || skipped_parent_arc[v]) {
+          // Back edge (the graph is simple, so exactly one arc back to the
+          // DFS parent is the tree arc; any further would be a multi-edge).
+          low[v] = std::min(low[v], disc[w]);
+        } else {
+          skipped_parent_arc[v] = 1;
+        }
+      } else {
+        stack.pop_back();
+        const vid_t p = parent[v];
+        if (p != kNoVertex) {
+          low[p] = std::min(low[p], low[v]);
+          if (low[v] > disc[p]) bridges.emplace_back(v, p);
+        }
+      }
+    }
+  }
+  return bridges;
+}
+
+}  // namespace sbg

@@ -1,0 +1,57 @@
+// BRIDGE decomposition (paper Algorithm 1).
+//
+// Step 1: build a BFS tree (parent / level arrays).
+// Step 2: for every non-tree edge (w, v), walk w and v up the tree to their
+// least common ancestor, marking every tree edge traversed. Tree edges left
+// unmarked are exactly the bridges of G; removing them splits G into its
+// 2-edge-connected components.
+//
+// Two walk strategies:
+//  * kNaiveWalk    — the paper's algorithm verbatim: every walk re-traverses
+//    already-marked edges. Simple, but walks pile up near the tree root
+//    (this is why the paper finds BRIDGE the slowest decomposition).
+//  * kShortcutWalk — each vertex keeps a path-compressed "skip" pointer to
+//    the highest ancestor whose connecting path is fully marked; walks jump
+//    over marked regions, giving near-linear total work.
+// Both are validated against a sequential Tarjan-style reference in tests;
+// bench_ablation_bridge_impl compares them.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+enum class BridgeAlgo { kNaiveWalk, kShortcutWalk };
+
+struct BridgeDecomposition {
+  /// Bridge edges as (child, parent) pairs in BFS-tree orientation.
+  std::vector<std::pair<vid_t, vid_t>> bridges;
+  /// Per-vertex: 1 iff the vertex is an endpoint of some bridge
+  /// ("bridge vertices" in the paper's MM-Bridge).
+  std::vector<std::uint8_t> is_bridge_vertex;
+  /// G - B: the input graph with bridge edges removed. Its connected
+  /// components are the 2-edge-connected components G_1, G_2, ... of G.
+  CsrGraph g_components;
+  /// Component labels of g_components (isolated vertices included).
+  Components components;
+  /// Wall-clock seconds spent decomposing (Figure 2 measurements).
+  double decompose_seconds = 0.0;
+};
+
+/// Run the BRIDGE decomposition. Handles disconnected inputs by growing a
+/// BFS forest.
+BridgeDecomposition decompose_bridge(const CsrGraph& g,
+                                     BridgeAlgo algo = BridgeAlgo::kNaiveWalk);
+
+/// Just the bridge edges (skips materializing G - B), (child, parent) pairs.
+std::vector<std::pair<vid_t, vid_t>> find_bridges(
+    const CsrGraph& g, BridgeAlgo algo = BridgeAlgo::kNaiveWalk);
+
+/// Sequential iterative Tarjan low-link bridge finder — the test oracle.
+std::vector<std::pair<vid_t, vid_t>> bridges_reference(const CsrGraph& g);
+
+}  // namespace sbg

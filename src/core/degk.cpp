@@ -1,0 +1,43 @@
+#include "core/degk.hpp"
+
+#include "graph/subgraph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+DegkDecomposition decompose_degk(const CsrGraph& g, vid_t k, unsigned pieces) {
+  Timer timer;
+  DegkDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.is_high.assign(n, 0);
+  parallel_for(n, [&](std::size_t v) {
+    d.is_high[v] = g.degree(static_cast<vid_t>(v)) > k ? 1 : 0;
+  });
+  d.num_high = static_cast<vid_t>(
+      parallel_count(n, [&](std::size_t v) { return d.is_high[v] != 0; }));
+
+  const auto& high = d.is_high;
+  if (pieces & kDegkHigh) {
+    d.g_high =
+        filter_edges(g, [&](vid_t u, vid_t v) { return high[u] && high[v]; });
+  }
+  if (pieces & kDegkLow) {
+    d.g_low =
+        filter_edges(g, [&](vid_t u, vid_t v) { return !high[u] && !high[v]; });
+  }
+  if (pieces & kDegkCross) {
+    d.g_cross =
+        filter_edges(g, [&](vid_t u, vid_t v) { return high[u] != high[v]; });
+  }
+  if (pieces & kDegkLowCross) {
+    d.g_low_cross = filter_edges(
+        g, [&](vid_t u, vid_t v) { return !(high[u] && high[v]); });
+  }
+  d.decompose_seconds = timer.seconds();
+  return d;
+}
+
+}  // namespace sbg

@@ -1,0 +1,45 @@
+// DEGk decomposition (paper Algorithm 3).
+//
+// Vertices split by degree threshold k into V_H (degree > k) and
+// V_L (degree <= k); the decomposition is G_H = G[V_H], G_L = G[V_L], and
+// the cross edges G_C. The paper uses k = 2 everywhere: G_L is then a
+// disjoint union of paths and cycles, which is what makes the COLOR-Degk
+// small-palette trick and the MIS-Deg2 oriented algorithm possible.
+//
+// Consumers need different pieces (MM/COLOR want G_H and G_L∪G_C; MIS wants
+// G_L), so materialization is selectable via `pieces`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+/// Bitmask of subgraphs to materialize.
+enum DegkPieces : unsigned {
+  kDegkHigh = 1u << 0,      ///< G_H
+  kDegkLow = 1u << 1,       ///< G_L
+  kDegkCross = 1u << 2,     ///< G_C
+  kDegkLowCross = 1u << 3,  ///< G_L ∪ G_C (what MM-Degk / COLOR-Degk solve)
+  kDegkAll = kDegkHigh | kDegkLow | kDegkCross | kDegkLowCross,
+};
+
+struct DegkDecomposition {
+  vid_t k = 2;
+  /// Per-vertex: 1 iff degree(v) > k (v ∈ V_H).
+  std::vector<std::uint8_t> is_high;
+  vid_t num_high = 0;
+  CsrGraph g_high;       ///< valid iff kDegkHigh requested
+  CsrGraph g_low;        ///< valid iff kDegkLow requested
+  CsrGraph g_cross;      ///< valid iff kDegkCross requested
+  CsrGraph g_low_cross;  ///< valid iff kDegkLowCross requested
+  /// Wall-clock seconds spent decomposing (Figure 2 measurements).
+  double decompose_seconds = 0.0;
+};
+
+DegkDecomposition decompose_degk(const CsrGraph& g, vid_t k = 2,
+                                 unsigned pieces = kDegkHigh | kDegkLowCross);
+
+}  // namespace sbg

@@ -1,0 +1,78 @@
+#include "core/grow.hpp"
+
+#include <omp.h>
+
+#include "graph/subgraph.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+GrowDecomposition decompose_grow(const CsrGraph& g, vid_t k,
+                                 std::uint64_t seed) {
+  SBG_CHECK(k >= 1, "GROW needs k >= 1 partitions");
+  Timer timer;
+  GrowDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.part.assign(n, kNoVertex);
+  if (n == 0) return d;
+
+  // Seeds: k distinct-ish random vertices (collisions just merge regions).
+  const RandomStream rs(seed, /*stream=*/0x6b0b);
+  std::vector<vid_t> frontier;
+  for (vid_t i = 0; i < k; ++i) {
+    const vid_t s = static_cast<vid_t>(rs.below(i, n));
+    if (d.part[s] == kNoVertex) {
+      d.part[s] = i;
+      frontier.push_back(s);
+    }
+  }
+
+  // Multi-source BFS: each round, assigned frontier vertices claim their
+  // unassigned neighbors.
+  std::vector<std::vector<vid_t>> next_local;
+  while (!frontier.empty()) {
+#pragma omp parallel
+    {
+#pragma omp single
+      next_local.assign(static_cast<std::size_t>(omp_get_num_threads()), {});
+      auto& local = next_local[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size());
+           ++i) {
+        const vid_t u = frontier[static_cast<std::size_t>(i)];
+        const vid_t lbl = d.part[u];
+        for (const vid_t v : g.neighbors(u)) {
+          if (atomic_read(&d.part[v]) == kNoVertex &&
+              claim(&d.part[v], kNoVertex, lbl)) {
+            local.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.clear();
+    for (auto& chunk : next_local) {
+      frontier.insert(frontier.end(), chunk.begin(), chunk.end());
+    }
+  }
+
+  // Disconnected leftovers: hash-assign.
+  parallel_for(n, [&](std::size_t v) {
+    if (d.part[v] == kNoVertex) {
+      d.part[v] = static_cast<vid_t>(rs.below(n + v, k));
+    }
+  });
+
+  d.g_intra =
+      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v]; });
+  d.g_cross =
+      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
+  d.cut_edges = d.g_cross.num_edges();
+  d.decompose_seconds = timer.seconds();
+  return d;
+}
+
+}  // namespace sbg

@@ -1,0 +1,32 @@
+// GROW: a cheap locality-preserving k-way partitioner (multi-source BFS
+// label growing). Stand-in for METIS/PMETIS in the Remark 1 ablation: the
+// paper excludes PMETIS because partitioning costs more than the symmetry-
+// breaking computations themselves; GROW is *much* cheaper than METIS and
+// still loses that race, which makes the point a fortiori
+// (bench_ablation_partitioner).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+struct GrowDecomposition {
+  vid_t k = 0;
+  /// Per-vertex partition label in [0, k).
+  std::vector<vid_t> part;
+  CsrGraph g_intra;
+  CsrGraph g_cross;
+  /// Number of cut (cross) undirected edges.
+  eid_t cut_edges = 0;
+  double decompose_seconds = 0.0;
+};
+
+/// Multi-source BFS growth from k random seeds; unreached vertices (in
+/// disconnected inputs) fall back to hash-assigned labels.
+GrowDecomposition decompose_grow(const CsrGraph& g, vid_t k,
+                                 std::uint64_t seed = 42);
+
+}  // namespace sbg

@@ -1,0 +1,41 @@
+#include "core/rand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/subgraph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+RandDecomposition decompose_rand(const CsrGraph& g, vid_t k,
+                                 std::uint64_t seed) {
+  SBG_CHECK(k >= 1, "RAND needs k >= 1 partitions");
+  Timer timer;
+  RandDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.part.resize(n);
+
+  const RandomStream rs(seed, /*stream=*/0x9a2d);
+  parallel_for(n, [&](std::size_t v) {
+    d.part[v] = static_cast<vid_t>(rs.below(v, k));
+  });
+
+  d.g_intra =
+      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v]; });
+  d.g_cross =
+      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
+  d.decompose_seconds = timer.seconds();
+  return d;
+}
+
+vid_t rand_partition_heuristic(const CsrGraph& g) {
+  const double avg = g.average_degree();
+  if (avg > 50.0) return 100;  // kron-class graphs (Section III-C)
+  return std::clamp<vid_t>(static_cast<vid_t>(std::lround(avg)), 2, 32);
+}
+
+}  // namespace sbg

@@ -1,0 +1,41 @@
+// RAND decomposition (paper Algorithm 2).
+//
+// Every vertex independently picks a uniform partition in {0..k-1}. The
+// decomposition is the family of induced subgraphs G_i = G[V_i] plus the
+// cross-edge graph G_{k+1}. Because every piece keeps the global vertex-id
+// space, the union of all G_i is itself a single CSR (g_intra); algorithms
+// that "solve the pieces in parallel" simply run once on g_intra — its
+// components never span partitions, which is exactly the parallelism the
+// paper exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+struct RandDecomposition {
+  /// Number of partitions k (the paper's "size" parameter).
+  vid_t k = 0;
+  /// Per-vertex partition label in [0, k).
+  std::vector<vid_t> part;
+  /// Union of the induced subgraphs G_1..G_k (intra-partition edges).
+  CsrGraph g_intra;
+  /// G_{k+1}: the edge-induced subgraph of cross edges.
+  CsrGraph g_cross;
+  /// Wall-clock seconds spent decomposing (Figure 2 measurements).
+  double decompose_seconds = 0.0;
+};
+
+/// Decompose with k partitions. Deterministic in (g, k, seed).
+RandDecomposition decompose_rand(const CsrGraph& g, vid_t k,
+                                 std::uint64_t seed = 42);
+
+/// The paper's partition-count heuristic (Section III-B2): "use the
+/// partition size k close to the average degree of the graph", with the
+/// kron exception of Section III-C (k = 100 for very dense graphs).
+vid_t rand_partition_heuristic(const CsrGraph& g);
+
+}  // namespace sbg

@@ -1,0 +1,78 @@
+// GPU execution-model simulator.
+//
+// The paper's GPU results (Tesla K40c) are driven by algorithmic structure:
+// how many bulk-synchronous kernel launches an algorithm needs, and how
+// much data-parallel work each launch does. This substrate models exactly
+// that: a Device executes `launch(n, kernel)` steps — every kernel instance
+// sees the same pre-launch memory state conceptually (algorithms written
+// against it use only the atomics-and-barriers style a real CUDA port
+// would), and the device accounts
+//
+//     simulated_seconds = launches * launch_overhead
+//                       + measured_kernel_work * throughput_factor
+//
+// so round-heavy algorithms pay the same launch-latency tax they pay on a
+// real GPU. Within-architecture speedups (composite vs. baseline on the
+// same device) are what the paper reports, and those survive this model;
+// absolute times do not, and we never claim them.
+#pragma once
+
+#include <cstdint>
+#include <omp.h>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::gpu {
+
+struct DeviceConfig {
+  /// Per-launch fixed cost (launch + implicit sync), seconds. ~10us is a
+  /// typical CUDA launch/sync latency on Kepler-class hardware.
+  double launch_overhead_seconds = 10e-6;
+  /// Multiplier from measured host work time to simulated device work time.
+  /// 1.0 by default: shapes, not absolute times, are the deliverable.
+  double throughput_factor = 1.0;
+};
+
+/// One simulated accelerator. Not thread-safe: one Device per experiment.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {}) : cfg_(cfg) {}
+
+  /// BSP step: run kernel(i) for i in [0, n); returns only after every
+  /// instance finished (the implicit barrier of a CUDA sync).
+  template <typename F>
+  void launch(std::size_t n, F&& kernel) {
+    Timer t;
+    parallel_for(n, kernel);
+    work_seconds_ += t.seconds();
+    ++kernels_;
+    threads_ += n;
+  }
+
+  std::uint64_t kernels_launched() const { return kernels_; }
+  std::uint64_t threads_launched() const { return threads_; }
+  double work_seconds() const { return work_seconds_; }
+
+  /// The device-model clock (see file header).
+  double simulated_seconds() const {
+    return static_cast<double>(kernels_) * cfg_.launch_overhead_seconds +
+           work_seconds_ * cfg_.throughput_factor;
+  }
+
+  void reset() {
+    kernels_ = 0;
+    threads_ = 0;
+    work_seconds_ = 0.0;
+  }
+
+  const DeviceConfig& config() const { return cfg_; }
+
+ private:
+  DeviceConfig cfg_;
+  std::uint64_t kernels_ = 0;
+  std::uint64_t threads_ = 0;
+  double work_seconds_ = 0.0;
+};
+
+}  // namespace sbg::gpu

@@ -1,0 +1,77 @@
+// Kernel-style algorithm variants for the GPU execution model.
+//
+// These mirror the CPU-side API (matching / coloring / mis) but express
+// every phase as Device::launch steps — per-vertex kernels communicating
+// through atomics on shared arrays, frontier compaction via atomic queue
+// append — i.e. the way the same algorithms are written in CUDA. Timings
+// reported in the result structs are the device-model's simulated clock
+// plus the (host-measured) decomposition time.
+#pragma once
+
+#include "coloring/coloring.hpp"
+#include "core/bridge.hpp"
+#include "gpusim/device.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+
+namespace sbg::gpu {
+
+// ------------------------------------------------------------- extenders --
+vid_t lmax_extend_gpu(Device& dev, const CsrGraph& g, std::vector<vid_t>& mate,
+                      std::uint64_t seed,
+                      const std::vector<std::uint8_t>* active = nullptr,
+                      LmaxWeights weights = LmaxWeights::kIndex);
+
+vid_t eb_extend_gpu(Device& dev, const CsrGraph& g,
+                    std::vector<std::uint32_t>& color,
+                    std::uint32_t palette_base = 0,
+                    const std::vector<std::uint8_t>* active = nullptr);
+
+vid_t small_palette_extend_gpu(Device& dev, const CsrGraph& g,
+                               std::vector<std::uint32_t>& color,
+                               std::uint32_t palette_base,
+                               std::uint32_t palette,
+                               const std::vector<std::uint8_t>& active);
+
+vid_t luby_extend_gpu(Device& dev, const CsrGraph& g,
+                      std::vector<MisState>& state, std::uint64_t seed,
+                      const std::vector<std::uint8_t>* active = nullptr);
+
+vid_t oriented_extend_gpu(Device& dev, const CsrGraph& g,
+                          std::vector<MisState>& state,
+                          const std::vector<std::uint8_t>* active = nullptr);
+
+// ------------------------------------- maximal matching (paper Fig. 3b) --
+MatchResult mm_lmax_gpu(const CsrGraph& g, std::uint64_t seed = 42,
+                        Device* dev = nullptr);
+MatchResult mm_bridge_gpu(const CsrGraph& g, std::uint64_t seed = 42,
+                          BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk,
+                          Device* dev = nullptr);
+/// k = 0 selects the paper's GPU setting (4 partitions).
+MatchResult mm_rand_gpu(const CsrGraph& g, vid_t k = 0,
+                        std::uint64_t seed = 42, Device* dev = nullptr);
+MatchResult mm_degk_gpu(const CsrGraph& g, vid_t k = 2,
+                        std::uint64_t seed = 42, Device* dev = nullptr);
+
+// ---------------------------------------------- coloring (paper Fig. 4b) --
+ColorResult color_eb_gpu(const CsrGraph& g, Device* dev = nullptr);
+ColorResult color_bridge_gpu(const CsrGraph& g,
+                             BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk,
+                             Device* dev = nullptr);
+ColorResult color_rand_gpu(const CsrGraph& g, vid_t k = 2,
+                           std::uint64_t seed = 42, Device* dev = nullptr);
+ColorResult color_degk_gpu(const CsrGraph& g, vid_t k = 2,
+                           Device* dev = nullptr);
+
+// --------------------------------------------------- MIS (paper Fig. 5b) --
+MisResult mis_luby_gpu(const CsrGraph& g, std::uint64_t seed = 42,
+                       Device* dev = nullptr);
+MisResult mis_bridge_gpu(const CsrGraph& g, std::uint64_t seed = 42,
+                         BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk,
+                         Device* dev = nullptr);
+MisResult mis_rand_gpu(const CsrGraph& g, vid_t k = 0,
+                       std::uint64_t seed = 42, Device* dev = nullptr);
+MisResult mis_degk_gpu(const CsrGraph& g, vid_t k = 2,
+                       std::uint64_t seed = 42, Device* dev = nullptr);
+
+}  // namespace sbg::gpu

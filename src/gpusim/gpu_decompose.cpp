@@ -1,0 +1,66 @@
+#include "gpusim/gpu_decompose.hpp"
+
+#include "parallel/atomics.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg::gpu {
+
+RandDecomposition decompose_rand_gpu(Device& dev, const CsrGraph& g, vid_t k,
+                                     std::uint64_t seed) {
+  SBG_CHECK(k >= 1, "RAND needs k >= 1 partitions");
+  const double start = dev.simulated_seconds();
+  RandDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.part.resize(n);
+
+  const RandomStream rs(seed, /*stream=*/0x9a2d);
+  dev.launch(n, [&](std::size_t v) {
+    d.part[v] = static_cast<vid_t>(rs.below(v, k));
+  });
+  d.g_intra = filter_edges_gpu(
+      dev, g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v]; });
+  d.g_cross = filter_edges_gpu(
+      dev, g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
+  d.decompose_seconds = dev.simulated_seconds() - start;
+  return d;
+}
+
+DegkDecomposition decompose_degk_gpu(Device& dev, const CsrGraph& g, vid_t k,
+                                     unsigned pieces) {
+  const double start = dev.simulated_seconds();
+  DegkDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.is_high.assign(n, 0);
+  vid_t num_high = 0;
+  dev.launch(n, [&](std::size_t v) {
+    if (g.degree(static_cast<vid_t>(v)) > k) {
+      d.is_high[v] = 1;
+      fetch_add(&num_high, vid_t{1});
+    }
+  });
+  d.num_high = num_high;
+
+  const auto& high = d.is_high;
+  if (pieces & kDegkHigh) {
+    d.g_high = filter_edges_gpu(
+        dev, g, [&](vid_t u, vid_t v) { return high[u] && high[v]; });
+  }
+  if (pieces & kDegkLow) {
+    d.g_low = filter_edges_gpu(
+        dev, g, [&](vid_t u, vid_t v) { return !high[u] && !high[v]; });
+  }
+  if (pieces & kDegkCross) {
+    d.g_cross = filter_edges_gpu(
+        dev, g, [&](vid_t u, vid_t v) { return high[u] != high[v]; });
+  }
+  if (pieces & kDegkLowCross) {
+    d.g_low_cross = filter_edges_gpu(
+        dev, g, [&](vid_t u, vid_t v) { return !(high[u] && high[v]); });
+  }
+  d.decompose_seconds = dev.simulated_seconds() - start;
+  return d;
+}
+
+}  // namespace sbg::gpu

@@ -1,0 +1,117 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/sort.hpp"
+
+namespace sbg {
+
+void normalize_edge_list(EdgeList& el) {
+  auto& edges = el.edges;
+  for (auto& e : edges) {
+    SBG_CHECK(e.u < el.num_vertices && e.v < el.num_vertices,
+              "edge endpoint out of range");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  parallel_sort(edges);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+namespace {
+
+/// Sequential union-find with path halving; construction-time only.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), vid_t{0});
+  }
+
+  vid_t find(vid_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(vid_t a, vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<vid_t> parent_;
+};
+
+}  // namespace
+
+std::size_t make_connected(EdgeList& el) {
+  if (el.num_vertices == 0) return 0;
+  UnionFind uf(el.num_vertices);
+  for (const Edge& e : el.edges) uf.unite(e.u, e.v);
+
+  std::vector<vid_t> reps;
+  for (vid_t v = 0; v < el.num_vertices; ++v) {
+    if (uf.find(v) == v) reps.push_back(v);
+  }
+  const std::size_t added = reps.size() - 1;
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    Edge e{reps[i - 1], reps[i]};
+    if (e.u > e.v) std::swap(e.u, e.v);
+    el.edges.push_back(e);
+  }
+  if (added > 0) {
+    std::sort(el.edges.begin(), el.edges.end());
+    el.edges.erase(std::unique(el.edges.begin(), el.edges.end()),
+                   el.edges.end());
+  }
+  return added;
+}
+
+CsrGraph build_csr(const EdgeList& el) {
+  const vid_t n = el.num_vertices;
+  const std::size_t m = el.edges.size();
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  // Count arcs per vertex. Edges touch arbitrary vertices, so count with
+  // atomics over the edge list.
+  parallel_for(m, [&](std::size_t i) {
+    const Edge& e = el.edges[i];
+    fetch_add(&offsets[e.u + 1], eid_t{1});
+    fetch_add(&offsets[e.v + 1], eid_t{1});
+  });
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vid_t> adj(offsets.back());
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+  parallel_for(m, [&](std::size_t i) {
+    const Edge& e = el.edges[i];
+    adj[fetch_add(&cursor[e.u], eid_t{1})] = e.v;
+    adj[fetch_add(&cursor[e.v], eid_t{1})] = e.u;
+  });
+
+  parallel_for_dynamic(n, [&](std::size_t v) {
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adj.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  });
+
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+CsrGraph build_graph(EdgeList el, bool connect) {
+  normalize_edge_list(el);
+  if (connect) make_connected(el);
+  return build_csr(el);
+}
+
+}  // namespace sbg

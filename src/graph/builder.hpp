@@ -1,0 +1,29 @@
+// Edge-list -> CSR construction with the paper's preprocessing:
+// "Directed edges are converted to undirected edges and self-loops in the
+//  graphs are ignored. For graphs that are not connected, we add additional
+//  edges to make the graph connected." (Section II-D1)
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sbg {
+
+/// Canonicalize (u<v), drop self-loops, sort, drop duplicate edges.
+/// Leaves `el` normalized in place.
+void normalize_edge_list(EdgeList& el);
+
+/// Append the fewest edges (component_count - 1) that make the graph
+/// connected: chains together one representative per connected component.
+/// `el` must already be normalized; stays normalized afterwards.
+/// Returns the number of edges added.
+std::size_t make_connected(EdgeList& el);
+
+/// Build a CSR from a normalized edge list (each edge becomes two arcs,
+/// adjacency sorted). Parallel counting-sort construction.
+CsrGraph build_csr(const EdgeList& el);
+
+/// One-shot convenience: normalize, optionally connect, build.
+CsrGraph build_graph(EdgeList el, bool connect = true);
+
+}  // namespace sbg

@@ -1,0 +1,52 @@
+#include "graph/connectivity.hpp"
+
+#include <numeric>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg {
+
+Components connected_components(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  Components out;
+  out.label.resize(n);
+  std::iota(out.label.begin(), out.label.end(), vid_t{0});
+  if (n == 0) return out;
+
+  std::vector<vid_t>& label = out.label;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    int any = 0;
+    // Push the smaller label across every arc, then pointer-jump labels to
+    // their representative's label (shortcutting), Shiloach-Vishkin style.
+#pragma omp parallel for schedule(static) reduction(| : any)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const vid_t u = static_cast<vid_t>(i);
+      const vid_t lu = atomic_read(&label[u]);
+      for (const vid_t v : g.neighbors(u)) {
+        if (fetch_min(&label[v], lu)) any |= 1;
+      }
+    }
+    parallel_for(n, [&](std::size_t i) {
+      vid_t l = label[i];
+      while (label[l] != l) l = label[l];  // shortcut to representative
+      label[i] = l;
+    });
+    changed = any != 0;
+  }
+
+  out.count = static_cast<vid_t>(
+      parallel_count(n, [&](std::size_t i) {
+        return label[i] == static_cast<vid_t>(i);
+      }));
+  return out;
+}
+
+bool is_connected(const CsrGraph& g) {
+  return g.num_vertices() == 0 || connected_components(g).count == 1;
+}
+
+}  // namespace sbg

@@ -1,0 +1,41 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg {
+
+CsrGraph::CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> adj)
+    : offsets_(std::move(offsets)), adj_(std::move(adj)) {
+  SBG_CHECK(!offsets_.empty(), "CSR offsets must have n+1 entries");
+  SBG_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");
+  SBG_CHECK(offsets_.back() == adj_.size(),
+            "CSR offsets must end at the adjacency size");
+}
+
+bool CsrGraph::has_edge(vid_t u, vid_t v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void CsrGraph::validate() const {
+  const vid_t n = num_vertices();
+  const bool ok = !parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (offsets_[v] > offsets_[v + 1]) return true;  // non-monotone
+    const auto nbrs = neighbors(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const vid_t w = nbrs[j];
+      if (w >= n) return true;                      // out of range
+      if (w == v) return true;                      // self loop
+      if (j > 0 && nbrs[j - 1] >= w) return true;   // unsorted or duplicate
+      if (!has_edge(w, v)) return true;             // asymmetric
+    }
+    return false;
+  });
+  SBG_CHECK(ok, "CSR invariant violation (range/sort/self-loop/symmetry)");
+}
+
+}  // namespace sbg

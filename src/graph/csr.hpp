@@ -1,0 +1,72 @@
+// Immutable undirected graph in Compressed Sparse Row form.
+//
+// Every undirected edge {u, v} is stored twice (u->v and v->u); adjacency
+// lists are sorted ascending. All algorithms in this library operate on
+// this one structure — decompositions materialize sub-CSRs over the *same*
+// vertex id space so partial solutions compose by plain array union.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common.hpp"
+
+namespace sbg {
+
+class CsrGraph {
+ public:
+  CsrGraph() : offsets_(1, 0) {}
+
+  /// Takes ownership of prebuilt arrays. offsets.size() == n+1,
+  /// adj.size() == offsets.back(). Validated with SBG_CHECK.
+  CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> adj);
+
+  vid_t num_vertices() const { return static_cast<vid_t>(offsets_.size() - 1); }
+
+  /// Number of undirected edges.
+  eid_t num_edges() const { return adj_.size() / 2; }
+
+  /// Number of directed arcs stored (2x undirected edges).
+  eid_t num_arcs() const { return adj_.size(); }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  /// CSR position of the first arc out of v; arc ids are positions in the
+  /// adjacency array, so arc (v, i-th neighbor) has id arc_begin(v) + i.
+  eid_t arc_begin(vid_t v) const { return offsets_[v]; }
+  eid_t arc_end(vid_t v) const { return offsets_[v + 1]; }
+
+  /// Head vertex of arc id `a`.
+  vid_t arc_head(eid_t a) const { return adj_[a]; }
+
+  /// True iff {u, v} is an edge (binary search; adjacency sorted).
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double average_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_arcs()) /
+                     static_cast<double>(num_vertices());
+  }
+
+  std::span<const eid_t> offsets() const { return offsets_; }
+  std::span<const vid_t> adjacency() const { return adj_; }
+
+  /// Structural invariants: monotone offsets, in-range sorted neighbor ids,
+  /// no self-loops, symmetric arcs. Throws std::logic_error on violation.
+  /// O(m log d) — intended for tests and debug assertions, not hot paths.
+  void validate() const;
+
+ private:
+  std::vector<eid_t> offsets_;
+  std::vector<vid_t> adj_;
+};
+
+}  // namespace sbg

@@ -1,0 +1,123 @@
+#include "graph/dataset.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+
+#include "parallel/rng.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace sbg {
+
+const std::vector<DatasetPaperRow>& dataset_table() {
+  static const std::vector<DatasetPaperRow> rows = {
+      {"c-73", "Numerical simulations", 169'422, 1'109'852, 48.7, 14.9, 6.6},
+      {"lp1", "Numerical simulations", 534'388, 1'109'032, 93.8, 92.7, 2.1},
+      {"Cit-Patents", "Collaboration", 3'774'768, 33'045'146, 28.06, 4.1, 8.8},
+      {"coAuthorsCiteseer", "Collaboration", 227'320, 1'628'268, 28.97, 3.7, 7.2},
+      {"germany-osm", "Road", 11'548'845, 24'738'362, 82.27, 19.9, 2.1},
+      {"road-central", "Road", 14'081'816, 33'866'826, 50.91, 25.0, 2.4},
+      {"kron-g500-logn20", "Synthetic", 1'048'576, 89'238'804, 42.1, 0.3, 85.1},
+      {"kron-g500-logn21", "Synthetic", 2'097'152, 182'081'864, 44.59, 0.3, 86.8},
+      {"rgg-n-2-23-s0", "Random geometric", 8'388'608, 127'002'794, 0.0, 0.0, 15.1},
+      {"rgg-n-2-24-s0", "Random geometric", 16'777'216, 265'114'402, 0.0, 0.0, 15.8},
+      {"web-Google", "Web", 916'428, 10'296'998, 30.67, 4.0, 11.2},
+      {"webbase-1M", "Web", 1'000'005, 4'216'602, 87.35, 38.3, 4.2},
+  };
+  return rows;
+}
+
+const DatasetPaperRow& dataset_row(const std::string& name) {
+  for (const auto& row : dataset_table()) {
+    if (row.name == name) return row;
+  }
+  throw InputError("unknown dataset: " + name);
+}
+
+std::vector<std::string> dataset_names() {
+  std::vector<std::string> names;
+  for (const auto& row : dataset_table()) names.push_back(row.name);
+  return names;
+}
+
+double bench_scale() {
+  if (const char* env = std::getenv("SBG_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0 / 32.0;
+}
+
+CsrGraph make_dataset(const std::string& name, double scale,
+                      std::uint64_t seed) {
+  const DatasetPaperRow& row = dataset_row(name);  // validates the name
+
+  if (const char* dir = std::getenv("SBG_DATASET_DIR")) {
+    const auto path = std::filesystem::path(dir) / (name + ".mtx");
+    if (std::filesystem::exists(path)) return load_graph(path.string());
+  }
+
+  const vid_t n = std::max<vid_t>(
+      64, static_cast<vid_t>(static_cast<double>(row.num_vertices) * scale));
+  const std::uint64_t s = seed ^ mix64(std::hash<std::string>{}(name));
+
+  EdgeList el;
+  if (name == "c-73") {
+    el = gen_numerical(n, /*core_fraction=*/0.52, /*core_band_mean=*/5.6, s);
+  } else if (name == "lp1") {
+    el = gen_broom(n, s);
+  } else if (name == "Cit-Patents") {
+    // Citation graph: power-law core with a chronological backbone,
+    // moderate density, modest pendant tail. (arcs parameter set slightly
+    // below the Table II value: RMAT oversampling overshoots at this
+    // density; bench_table2_datasets verifies the landed fingerprint.)
+    el = gen_web(n, /*core_fraction=*/0.72, /*arcs_per_vertex=*/8.2,
+                 /*chain_mean=*/1.3, s, /*core_backbone=*/2);
+  } else if (name == "coAuthorsCiteseer") {
+    el = gen_collab(n, /*avg_degree=*/7.2, /*max_community=*/40, s);
+  } else if (name == "germany-osm") {
+    el = gen_road(n, /*mean_subdiv=*/2.4, /*spur_fraction=*/0.45, s);
+  } else if (name == "road-central") {
+    el = gen_road(n, /*mean_subdiv=*/0.30, /*spur_fraction=*/0.26, s,
+                  /*spur_trees=*/true);
+  } else if (name == "kron-g500-logn20" || name == "kron-g500-logn21") {
+    // Kronecker: arcs/V ~ 85, but ~42% of the full-scale kron_g500 vertex
+    // set sits at degree <= 2 (the power law's cold tail). At bench scales
+    // the RMAT tail thins out, so the cold mass is made explicit: a dense
+    // RMAT core over 58% of the ids plus a 42% fringe attached with two
+    // edges each (degree 2 but, deliberately, not bridges — Table II says
+    // kron has ~0.3% bridges).
+    const vid_t core = static_cast<vid_t>(0.58 * static_cast<double>(n));
+    const eid_t target = static_cast<eid_t>(row.avg_degree / 2.0 *
+                                            static_cast<double>(n)) -
+                         2ull * (n - core);
+    el = gen_rmat(core, target + (target * 35) / 100, s);
+    el.num_vertices = n;
+    Rng fringe_rng(s ^ 0xfeedu);
+    for (vid_t v = core; v < n; ++v) {
+      const vid_t a = static_cast<vid_t>(fringe_rng.below(core));
+      const vid_t b = static_cast<vid_t>(fringe_rng.below(core));
+      el.add(v, a);
+      if (b != a) el.add(v, b);
+    }
+  } else if (name == "rgg-n-2-23-s0") {
+    el = gen_rgg(n, /*target_avg_degree=*/15.1, s);
+  } else if (name == "rgg-n-2-24-s0") {
+    el = gen_rgg(n, /*target_avg_degree=*/15.8, s);
+  } else if (name == "web-Google") {
+    el = gen_web(n, /*core_fraction=*/0.70, /*arcs_per_vertex=*/9.8,
+                 /*chain_mean=*/1.4, s, /*core_backbone=*/2);
+  } else if (name == "webbase-1M") {
+    el = gen_web(n, /*core_fraction=*/0.16, /*arcs_per_vertex=*/3.8,
+                 /*chain_mean=*/2.6, s);
+  } else {
+    throw InputError("no generator wired for dataset " + name);
+  }
+  return build_graph(std::move(el), /*connect=*/true);
+}
+
+}  // namespace sbg

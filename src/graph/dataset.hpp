@@ -1,0 +1,51 @@
+// The experiment dataset suite.
+//
+// The paper evaluates on 12 University of Florida graphs (Table II). Those
+// files are not redistributable here, so this module provides one synthetic
+// generator per graph, calibrated to the paper's structural fingerprint
+// (|V|, |E| as arc count, %DEG2, %BRIDGES, avg degree) at a configurable
+// scale. `bench_table2_datasets` prints paper-vs-achieved fingerprints.
+//
+// Real UF files can be substituted by pointing SBG_DATASET_DIR at a
+// directory of <name>.mtx files; make_dataset() prefers those when present.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+/// Paper-reported fingerprint of one Table II row.
+struct DatasetPaperRow {
+  std::string name;
+  std::string graph_class;
+  std::uint64_t num_vertices;  ///< paper |V|
+  std::uint64_t num_arcs;      ///< paper |E| column (directed arc count)
+  double pct_deg2;             ///< % vertices with degree <= 2
+  double pct_bridges;          ///< % edges that are bridges
+  double avg_degree;           ///< arcs / vertices
+};
+
+/// All 12 Table II rows, in the paper's order.
+const std::vector<DatasetPaperRow>& dataset_table();
+
+/// Paper row for `name`; throws InputError on unknown names.
+const DatasetPaperRow& dataset_row(const std::string& name);
+
+/// Names in Table II order.
+std::vector<std::string> dataset_names();
+
+/// Build the synthetic stand-in for Table II graph `name`, with vertex
+/// count ~= paper |V| * scale. Deterministic in (name, scale, seed).
+/// If SBG_DATASET_DIR is set and <dir>/<name>.mtx exists, loads that file
+/// instead (scale then ignored).
+CsrGraph make_dataset(const std::string& name, double scale = 1.0 / 32.0,
+                      std::uint64_t seed = 42);
+
+/// Default scale for benches; overridable via SBG_SCALE env var.
+double bench_scale();
+
+}  // namespace sbg

@@ -1,0 +1,30 @@
+// Edge-list representation used at graph-construction time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common.hpp"
+
+namespace sbg {
+
+/// One undirected edge. Builders canonicalize to u < v.
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A mutable undirected graph under construction: a vertex count plus a bag
+/// of edges (possibly with duplicates, self-loops, or both orientations).
+struct EdgeList {
+  vid_t num_vertices = 0;
+  std::vector<Edge> edges;
+
+  void add(vid_t u, vid_t v) { edges.push_back({u, v}); }
+  std::size_t size() const { return edges.size(); }
+};
+
+}  // namespace sbg

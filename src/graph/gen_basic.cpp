@@ -1,0 +1,76 @@
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg {
+
+EdgeList gen_path(vid_t n) {
+  EdgeList el;
+  el.num_vertices = n;
+  for (vid_t i = 0; i + 1 < n; ++i) el.add(i, i + 1);
+  return el;
+}
+
+EdgeList gen_cycle(vid_t n) {
+  EdgeList el = gen_path(n);
+  if (n >= 3) el.add(n - 1, 0);
+  return el;
+}
+
+EdgeList gen_complete(vid_t n) {
+  EdgeList el;
+  el.num_vertices = n;
+  for (vid_t i = 0; i < n; ++i) {
+    for (vid_t j = i + 1; j < n; ++j) el.add(i, j);
+  }
+  return el;
+}
+
+EdgeList gen_star(vid_t n) {
+  EdgeList el;
+  el.num_vertices = n;
+  for (vid_t i = 1; i < n; ++i) el.add(0, i);
+  return el;
+}
+
+EdgeList gen_grid(vid_t rows, vid_t cols) {
+  EdgeList el;
+  el.num_vertices = rows * cols;
+  const auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) el.add(id(r, c), id(r + 1, c));
+    }
+  }
+  return el;
+}
+
+EdgeList gen_random_tree(vid_t n, std::uint64_t seed) {
+  EdgeList el;
+  el.num_vertices = n;
+  Rng rng(seed);
+  for (vid_t i = 1; i < n; ++i) {
+    el.add(static_cast<vid_t>(rng.below(i)), i);
+  }
+  return el;
+}
+
+EdgeList gen_erdos_renyi(vid_t n, eid_t num_edges, std::uint64_t seed) {
+  EdgeList el;
+  el.num_vertices = n;
+  if (n < 2) return el;
+  el.edges.resize(num_edges);
+  const RandomStream rs(seed, /*stream=*/0x47e5);
+  // Counter-based stream: edge i is a pure function of (seed, i), so the
+  // fill parallelizes deterministically.
+  parallel_for(num_edges, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(rs.below(2 * i, n));
+    vid_t v = static_cast<vid_t>(rs.below(2 * i + 1, n - 1));
+    if (v >= u) ++v;  // uniform over pairs u != v
+    el.edges[i] = {u, v};
+  });
+  return el;
+}
+
+}  // namespace sbg

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg {
+
+namespace {
+struct Point {
+  float x, y;
+};
+}  // namespace
+
+EdgeList gen_rgg(vid_t n, double target_avg_degree, std::uint64_t seed) {
+  EdgeList el;
+  el.num_vertices = n;
+  if (n < 2) return el;
+  // Expected degree of a point away from the border is n * pi * r^2.
+  const double r =
+      std::sqrt(target_avg_degree / (std::numbers::pi * static_cast<double>(n)));
+
+  // Bucket the unit square into cells of side >= r so all neighbors of a
+  // point lie in its 3x3 cell neighborhood.
+  const vid_t grid = std::max<vid_t>(
+      1, static_cast<vid_t>(std::floor(1.0 / r)));
+  const double cell = 1.0 / grid;
+
+  // Sample points, then assign vertex ids in cell-major order (the UF rgg
+  // instances are spatially sorted; id-locality matters to the algorithms).
+  std::vector<Point> pts(n);
+  const RandomStream rs(seed, /*stream=*/0x4667);
+  parallel_for(n, [&](std::size_t i) {
+    pts[i] = {static_cast<float>(rs.uniform(2 * i)),
+              static_cast<float>(rs.uniform(2 * i + 1))};
+  });
+  const auto cell_of = [&](const Point& p) -> std::uint64_t {
+    auto cx = std::min<std::uint64_t>(grid - 1,
+                                      static_cast<std::uint64_t>(p.x / cell));
+    auto cy = std::min<std::uint64_t>(grid - 1,
+                                      static_cast<std::uint64_t>(p.y / cell));
+    return cy * grid + cx;
+  };
+  std::sort(pts.begin(), pts.end(), [&](const Point& a, const Point& b) {
+    const auto ca = cell_of(a), cb = cell_of(b);
+    if (ca != cb) return ca < cb;
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+
+  // Cell index: start offset of each cell in the sorted point array.
+  const std::size_t num_cells = static_cast<std::size_t>(grid) * grid;
+  std::vector<vid_t> cell_start(num_cells + 1, 0);
+  for (const Point& p : pts) ++cell_start[cell_of(p) + 1];
+  for (std::size_t i = 1; i <= num_cells; ++i) {
+    cell_start[i] += cell_start[i - 1];
+  }
+
+  const float r2 = static_cast<float>(r * r);
+  std::vector<std::vector<Edge>> per_thread_edges;
+#pragma omp parallel
+  {
+#pragma omp single
+    per_thread_edges.resize(
+        static_cast<std::size_t>(omp_get_num_threads()));
+    auto& local = per_thread_edges[static_cast<std::size_t>(
+        omp_get_thread_num())];
+#pragma omp for schedule(dynamic, 1024)
+    for (std::int64_t ii = 0; ii < static_cast<std::int64_t>(n); ++ii) {
+      const vid_t i = static_cast<vid_t>(ii);
+      const Point p = pts[i];
+      const std::int64_t cx = static_cast<std::int64_t>(p.x / cell);
+      const std::int64_t cy = static_cast<std::int64_t>(p.y / cell);
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          const std::int64_t nx = std::clamp<std::int64_t>(cx + dx, 0, grid - 1);
+          const std::int64_t ny = std::clamp<std::int64_t>(cy + dy, 0, grid - 1);
+          if (nx != cx + dx || ny != cy + dy) continue;  // off-board
+          const std::size_t c = static_cast<std::size_t>(ny) * grid +
+                                static_cast<std::size_t>(nx);
+          for (vid_t j = cell_start[c]; j < cell_start[c + 1]; ++j) {
+            if (j <= i) continue;  // emit each pair once
+            const float ddx = pts[j].x - p.x;
+            const float ddy = pts[j].y - p.y;
+            if (ddx * ddx + ddy * ddy <= r2) local.push_back({i, j});
+          }
+        }
+      }
+    }
+  }
+  for (auto& v : per_thread_edges) {
+    el.edges.insert(el.edges.end(), v.begin(), v.end());
+  }
+  return el;
+}
+
+}  // namespace sbg

@@ -1,0 +1,50 @@
+#include <bit>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg {
+
+EdgeList gen_rmat(vid_t n, eid_t num_edges, std::uint64_t seed, double a,
+                  double b, double c) {
+  SBG_CHECK(a + b + c < 1.0 + 1e-9, "RMAT probabilities must sum below 1");
+  EdgeList el;
+  el.num_vertices = n;
+  if (n < 2) return el;
+  const unsigned levels = static_cast<unsigned>(std::bit_width(
+      static_cast<std::uint64_t>(n) - 1));  // ceil(log2 n)
+  el.edges.resize(num_edges);
+  const RandomStream rs(seed, /*stream=*/0x72a7);
+
+  parallel_for(num_edges, [&](std::size_t i) {
+    // Quadrant descent with per-level noise on (a, b, c) — the standard
+    // "smoothing" that prevents exact-degree lattice artifacts.
+    std::uint64_t u = 0, v = 0;
+    for (unsigned lvl = 0; lvl < levels; ++lvl) {
+      const double r = rs.uniform(i * levels + lvl);
+      const double noise =
+          0.9 + 0.2 * rs.uniform((i * levels + lvl) ^ 0x5bd1e995u);
+      const double aa = a * noise;
+      const double bb = b * noise;
+      const double cc = c * noise;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // top-left: no bits set
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    el.edges[i] = {static_cast<vid_t>(u % n), static_cast<vid_t>(v % n)};
+  });
+  return el;
+}
+
+}  // namespace sbg

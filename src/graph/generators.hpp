@@ -1,0 +1,78 @@
+// Graph generators.
+//
+// Two tiers:
+//  * basic shapes (paths, cycles, grids, cliques, stars, random trees,
+//    Erdős–Rényi) — building blocks and test fixtures;
+//  * graph-class generators calibrated to the structural fingerprints of
+//    the paper's Table II datasets (see dataset.hpp for the mapping).
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace sbg {
+
+// ---------------------------------------------------------------- basics --
+EdgeList gen_path(vid_t n);
+EdgeList gen_cycle(vid_t n);
+EdgeList gen_complete(vid_t n);
+EdgeList gen_star(vid_t n);  ///< vertex 0 is the hub; n-1 leaves.
+EdgeList gen_grid(vid_t rows, vid_t cols);
+/// Uniform random recursive tree: vertex i attaches to a uniform j < i.
+EdgeList gen_random_tree(vid_t n, std::uint64_t seed);
+/// G(n, m)-style Erdős–Rényi: `num_edges` uniform pairs (dups dropped later).
+EdgeList gen_erdos_renyi(vid_t n, eid_t num_edges, std::uint64_t seed);
+
+// ----------------------------------------------------------- graph classes --
+/// RMAT / Kronecker-like power-law generator (kron_g500-style for the
+/// default a=0.57, b=c=0.19). `num_edges` undirected samples before dedup.
+EdgeList gen_rmat(vid_t n, eid_t num_edges, std::uint64_t seed,
+                  double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Random geometric graph on the unit square; radius chosen for
+/// `target_avg_degree`. Ids assigned in spatial (cell-major) order, matching
+/// the UF rgg instances — this ordering is what drives GM's long proposal
+/// chains on these graphs.
+EdgeList gen_rgg(vid_t n, double target_avg_degree, std::uint64_t seed);
+
+/// Road-network-like: 2D grid with random edge deletions, geometric edge
+/// subdivision (degree-2 chain vertices) of mean length `mean_subdiv`, and
+/// pendant spurs on a `spur_fraction` of junctions (dead ends -> bridges).
+/// Spurs are chains by default (OSM-style: all spur vertices degree <= 2);
+/// with `spur_trees` they are small random trees (road-central-style:
+/// bridge-heavy suburbs with branching, so many bridge endpoints keep
+/// degree > 2). Total vertex budget ~= n.
+EdgeList gen_road(vid_t n, double mean_subdiv, double spur_fraction,
+                  std::uint64_t seed, bool spur_trees = false);
+
+/// LP-constraint-like (lp1): almost a forest — hub vertices with many short
+/// pendant paths, hub tree backbone, and a small fraction of extra
+/// cycle-forming edges. ~93% of vertices end up with degree <= 2 and ~93%
+/// of edges are bridges.
+EdgeList gen_broom(vid_t n, std::uint64_t seed);
+
+/// Numerical-simulation-like (c-73): banded core (random per-vertex
+/// bandwidth) over `core_fraction` of vertices plus pendant-path periphery.
+EdgeList gen_numerical(vid_t n, double core_fraction, double core_band_mean,
+                       std::uint64_t seed);
+
+/// Collaboration-network-like: overlapping clique communities
+/// (paper sizes drawn Zipf-ish in [3, max_community]).
+EdgeList gen_collab(vid_t n, double avg_degree, vid_t max_community,
+                    std::uint64_t seed);
+
+/// Web-crawl-like: RMAT core over `core_fraction` of vertices plus pendant
+/// chains of mean length `chain_mean` hanging off it. `total_arcs_per_vertex`
+/// targets the Table II avg-degree column. `core_backbone` adds 0, 1, or 2
+/// consecutive-id rings over the core (citation-graph style: every paper
+/// cites chronological neighbors); each ring raises the core's minimum
+/// degree by 2, steering %DEG2 toward the chain fraction — the
+/// Cit-Patents / web-Google fingerprints.
+EdgeList gen_web(vid_t n, double core_fraction, double total_arcs_per_vertex,
+                 double chain_mean, std::uint64_t seed,
+                 int core_backbone = 0);
+
+}  // namespace sbg

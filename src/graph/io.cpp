@@ -1,0 +1,158 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace sbg {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string extension(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  return dot == std::string::npos ? "" : lower(path.substr(dot + 1));
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw InputError("empty MatrixMarket stream");
+  if (line.rfind("%%MatrixMarket", 0) != 0) {
+    throw InputError("missing %%MatrixMarket banner");
+  }
+  const std::string banner = lower(line);
+  if (banner.find("coordinate") == std::string::npos) {
+    throw InputError("only coordinate MatrixMarket supported");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream head(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(head >> rows >> cols >> nnz)) {
+    throw InputError("malformed MatrixMarket size line");
+  }
+  EdgeList el;
+  el.num_vertices = static_cast<vid_t>(std::max(rows, cols));
+  el.edges.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    std::uint64_t r = 0, c = 0;
+    if (!(in >> r >> c)) throw InputError("truncated MatrixMarket entries");
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    if (r == 0 || c == 0 || r > rows || c > cols) {
+      throw InputError("MatrixMarket index out of range");
+    }
+    el.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1));
+  }
+  return el;
+}
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList el;
+  std::string line;
+  vid_t max_id = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) throw InputError("malformed edge list line: " + line);
+    if (u > kNoVertex - 1 || v > kNoVertex - 1) {
+      throw InputError("vertex id too large for vid_t");
+    }
+    el.add(static_cast<vid_t>(u), static_cast<vid_t>(v));
+    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+    any = true;
+  }
+  el.num_vertices = any ? max_id + 1 : 0;
+  return el;
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& el) {
+  out << "# sbg edge list: " << el.num_vertices << " vertices, "
+      << el.edges.size() << " edges\n";
+  for (const Edge& e : el.edges) out << e.u << ' ' << e.v << '\n';
+}
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'S', 'B', 'G', 'C', 'S', 'R', '0', '1'};
+}
+
+void write_binary(std::ostream& out, const CsrGraph& g) {
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t arcs = g.num_arcs();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+  out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+            static_cast<std::streamsize>(arcs * sizeof(vid_t)));
+}
+
+CsrGraph read_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw InputError("not an sbg binary graph");
+  std::uint64_t n = 0, arcs = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
+  if (!in) throw InputError("truncated sbg binary header");
+  std::vector<eid_t> offsets(n + 1);
+  std::vector<vid_t> adj(arcs);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
+  in.read(reinterpret_cast<char*>(adj.data()),
+          static_cast<std::streamsize>(arcs * sizeof(vid_t)));
+  if (!in) throw InputError("truncated sbg binary body");
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+CsrGraph load_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InputError("cannot open " + path);
+  const std::string ext = extension(path);
+  if (ext == "mtx") return build_graph(read_matrix_market(in));
+  if (ext == "el" || ext == "txt") return build_graph(read_edge_list(in));
+  if (ext == "sbg") return read_binary(in);
+  throw InputError("unknown graph extension ." + ext + " for " + path);
+}
+
+void save_graph(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw InputError("cannot create " + path);
+  const std::string ext = extension(path);
+  if (ext == "sbg") {
+    write_binary(out, g);
+    return;
+  }
+  if (ext == "el") {
+    EdgeList el;
+    el.num_vertices = g.num_vertices();
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      for (const vid_t v : g.neighbors(u)) {
+        if (u < v) el.add(u, v);
+      }
+    }
+    write_edge_list(out, el);
+    return;
+  }
+  throw InputError("unknown save extension ." + ext);
+}
+
+}  // namespace sbg

@@ -1,0 +1,41 @@
+// Graph file IO.
+//
+// The paper's datasets come from the University of Florida sparse matrix
+// collection (MatrixMarket format). We support:
+//   * MatrixMarket  (.mtx)  — coordinate pattern/real, general or symmetric
+//   * edge list     (.el)   — "u v" per line, '#' comments, 0-based ids
+//   * sbg binary    (.sbg)  — our own mmap-friendly CSR dump
+// so users can drop in the real UF graphs when they have them, while the
+// bundled benches default to the calibrated synthetic suite (dataset.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sbg {
+
+/// Parse MatrixMarket coordinate data from a stream (1-based ids; values,
+/// if present, are ignored; symmetric and general headers both accepted).
+EdgeList read_matrix_market(std::istream& in);
+
+/// Parse "u v" text lines (0-based ids, '#'-prefixed comment lines).
+EdgeList read_edge_list(std::istream& in);
+
+/// Serialize a normalized edge list as 0-based "u v" lines.
+void write_edge_list(std::ostream& out, const EdgeList& el);
+
+/// Binary CSR dump / load (little-endian, versioned header).
+void write_binary(std::ostream& out, const CsrGraph& g);
+CsrGraph read_binary(std::istream& in);
+
+/// Load a graph by file extension (.mtx / .el / .sbg); applies the paper's
+/// preprocessing (normalize + connect) to the text formats.
+CsrGraph load_graph(const std::string& path);
+
+/// Save as binary (.sbg) or edge list (.el) by extension.
+void save_graph(const std::string& path, const CsrGraph& g);
+
+}  // namespace sbg

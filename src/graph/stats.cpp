@@ -1,0 +1,50 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg {
+
+GraphStats graph_stats(const CsrGraph& g, vid_t k) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.avg_degree = g.average_degree();
+  if (s.num_vertices == 0) return s;
+
+  s.max_degree = parallel_max<vid_t>(
+      s.num_vertices, [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); },
+      vid_t{0});
+  vid_t mind = kNoVertex;
+#pragma omp parallel for schedule(static) reduction(min : mind)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(s.num_vertices); ++v) {
+    mind = std::min(mind, g.degree(static_cast<vid_t>(v)));
+  }
+  s.min_degree = mind;
+  s.pct_deg2 = pct_degree_at_most(g, 2);
+  s.pct_degk = (k == 2) ? s.pct_deg2 : pct_degree_at_most(g, k);
+  return s;
+}
+
+std::vector<vid_t> degree_histogram(const CsrGraph& g, vid_t cap) {
+  std::vector<vid_t> hist(static_cast<std::size_t>(cap) + 1, 0);
+  parallel_for(g.num_vertices(), [&](std::size_t v) {
+    const vid_t d = std::min(g.degree(static_cast<vid_t>(v)), cap);
+    fetch_add(&hist[d], vid_t{1});
+  });
+  return hist;
+}
+
+double pct_degree_at_most(const CsrGraph& g, vid_t k) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  const std::size_t cnt = parallel_count(n, [&](std::size_t v) {
+    return g.degree(static_cast<vid_t>(v)) <= k;
+  });
+  return 100.0 * static_cast<double>(cnt) / static_cast<double>(n);
+}
+
+}  // namespace sbg

@@ -1,0 +1,33 @@
+// Structural fingerprints of a graph — the columns of the paper's Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+struct GraphStats {
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;
+  double avg_degree = 0.0;
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  /// Percentage of vertices with degree <= 2 ("% DEG2" in Table II).
+  double pct_deg2 = 0.0;
+  /// Percentage of vertices with degree <= k for the requested k.
+  double pct_degk = 0.0;
+};
+
+/// Degree-structure statistics; `k` selects the pct_degk threshold.
+GraphStats graph_stats(const CsrGraph& g, vid_t k = 2);
+
+/// Histogram of degrees: result[d] = #vertices of degree d,
+/// for d in [0, cap]; degrees above cap are accumulated into result[cap].
+std::vector<vid_t> degree_histogram(const CsrGraph& g, vid_t cap = 64);
+
+/// Fraction (in percent) of vertices with degree <= k.
+double pct_degree_at_most(const CsrGraph& g, vid_t k);
+
+}  // namespace sbg

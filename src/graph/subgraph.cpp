@@ -1,0 +1,39 @@
+#include "graph/subgraph.hpp"
+
+namespace sbg {
+
+CsrGraph filter_edges_by_arc_flag(const CsrGraph& g,
+                                  const std::vector<std::uint8_t>& arc_keep) {
+  SBG_CHECK(arc_keep.size() == g.num_arcs(), "arc flag array size mismatch");
+  const vid_t n = g.num_vertices();
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t cnt = 0;
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      if (arc_keep[a]) ++cnt;
+    }
+    offsets[i + 1] = cnt;
+  });
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vid_t> adj(offsets.back());
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t out = offsets[i];
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      if (arc_keep[a]) adj[out++] = g.arc_head(a);
+    }
+  });
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+CsrGraph induced_subgraph(const CsrGraph& g,
+                          const std::vector<std::uint8_t>& in_set) {
+  SBG_CHECK(in_set.size() == g.num_vertices(), "vertex mask size mismatch");
+  return filter_edges(
+      g, [&](vid_t u, vid_t v) { return in_set[u] && in_set[v]; });
+}
+
+}  // namespace sbg

@@ -1,0 +1,57 @@
+// Subgraph materialization.
+//
+// Decompositions (Section II of the paper) produce subgraphs of G. We keep
+// every subgraph in the ORIGINAL vertex-id space: a sub-CSR has the same n
+// but only the surviving arcs. Solutions computed on pieces (mate arrays,
+// color arrays, MIS flags) then compose by direct per-vertex union, with no
+// renumbering maps to maintain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace sbg {
+
+/// Materialize the subgraph of `g` keeping arc (u, v) iff keep(u, v).
+/// `keep` must be symmetric — keep(u, v) == keep(v, u) — or the result
+/// violates CSR symmetry. Runs in O(n + m) parallel work.
+template <typename KeepFn>
+CsrGraph filter_edges(const CsrGraph& g, KeepFn&& keep) {
+  const vid_t n = g.num_vertices();
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t cnt = 0;
+    for (const vid_t v : g.neighbors(u)) {
+      if (keep(u, v)) ++cnt;
+    }
+    offsets[i + 1] = cnt;
+  });
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vid_t> adj(offsets.back());
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t out = offsets[i];
+    for (const vid_t v : g.neighbors(u)) {
+      if (keep(u, v)) adj[out++] = v;
+    }
+  });
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+/// Keep arcs whose per-arc flag is set. `arc_keep` is indexed by CSR arc id
+/// and must be orientation-consistent (flag of u->v equals flag of v->u).
+CsrGraph filter_edges_by_arc_flag(const CsrGraph& g,
+                                  const std::vector<std::uint8_t>& arc_keep);
+
+/// Induced subgraph G[S]: keep arcs with BOTH endpoints in S
+/// (in_set is an n-sized 0/1 mask).
+CsrGraph induced_subgraph(const CsrGraph& g,
+                          const std::vector<std::uint8_t>& in_set);
+
+}  // namespace sbg

@@ -1,0 +1,148 @@
+// Decomposition-based maximal matching (paper Algorithms 4, 5, 6).
+//
+// Each composite is two extend phases over one global mate array:
+//   phase 1: solve the decomposition's "inner" subgraph(s);
+//   phase 2: extend over the leftover structure restricted (implicitly,
+//            via the mate array) to still-unmatched vertices.
+// Maximality of the union follows because every edge of G lives in one of
+// the two phase graphs.
+#include "matching/matching.hpp"
+
+#include "core/degk.hpp"
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+vid_t extend(MatchEngine engine, const CsrGraph& g, std::vector<vid_t>& mate,
+             std::uint64_t seed,
+             const std::vector<std::uint8_t>* active = nullptr) {
+  return engine == MatchEngine::kGM ? gm_extend(g, mate, active)
+                                    : lmax_extend(g, mate, seed, active);
+}
+
+}  // namespace
+
+MatchResult mm_bridge(const CsrGraph& g, MatchEngine engine,
+                      std::uint64_t seed, BridgeAlgo bridge_algo) {
+  Timer timer;
+  MatchResult r;
+  r.mate.assign(g.num_vertices(), kNoVertex);
+
+  const BridgeDecomposition d = decompose_bridge(g, bridge_algo);
+  r.decompose_seconds = d.decompose_seconds;
+
+  // Phase 1: M_c on the 2-edge-connected components (G - B).
+  r.rounds += extend(engine, d.g_components, r.mate, seed);
+
+  // Phase 2: M_b on the bridges among still-unmatched endpoints. (By
+  // maximality of M_c, no other G-edge can join unmatched vertices; see
+  // the header note.)
+  EdgeList bridge_edges;
+  bridge_edges.num_vertices = g.num_vertices();
+  for (const auto& [child, parent] : d.bridges) {
+    bridge_edges.add(child, parent);
+  }
+  const CsrGraph g_b = build_graph(std::move(bridge_edges), /*connect=*/false);
+  r.rounds += extend(engine, g_b, r.mate, seed + 1);
+
+  r.cardinality = matching_cardinality(r.mate);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+MatchResult mm_rand(const CsrGraph& g, vid_t k, MatchEngine engine,
+                    std::uint64_t seed) {
+  Timer timer;
+  MatchResult r;
+  r.mate.assign(g.num_vertices(), kNoVertex);
+  if (k == 0) k = rand_partition_heuristic(g);
+
+  const RandDecomposition d = decompose_rand(g, k, seed);
+  r.decompose_seconds = d.decompose_seconds;
+
+  // Phase 1: M_IS on the union of induced subgraphs G_1..G_k. Components
+  // of g_intra never span partitions, so this IS the "solve all G_i in
+  // parallel" step.
+  r.rounds += extend(engine, d.g_intra, r.mate, seed);
+  // Phase 2: M_{k+1} on the cross edges among unmatched vertices.
+  r.rounds += extend(engine, d.g_cross, r.mate, seed + 1);
+
+  r.cardinality = matching_cardinality(r.mate);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+MatchResult mm_degk(const CsrGraph& g, vid_t k, MatchEngine engine,
+                    std::uint64_t seed) {
+  Timer timer;
+  MatchResult r;
+  r.mate.assign(g.num_vertices(), kNoVertex);
+
+  // DEGk is "a simple computation" (paper Section II-D): just the degree
+  // classification — no subgraph is ever materialized. Phase 1 matches
+  // G_H by masking the solver to V_H (edges to low vertices are skipped by
+  // the mask). Phase 2 can then run on ALL of G: phase 1 was maximal on
+  // G_H, so no two unmatched high vertices remain adjacent, and the edges
+  // phase 2 can still match are exactly those of G_L ∪ G_C.
+  const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
+  r.decompose_seconds = d.decompose_seconds;
+
+  r.rounds += extend(engine, g, r.mate, seed, &d.is_high);
+  r.rounds += extend(engine, g, r.mate, seed + 1);
+
+  r.cardinality = matching_cardinality(r.mate);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+bool verify_maximal_matching(const CsrGraph& g, const std::vector<vid_t>& mate,
+                             std::string* error) {
+  const vid_t n = g.num_vertices();
+  if (mate.size() != n) {
+    if (error) *error = "mate array size mismatch";
+    return false;
+  }
+  // Involution + edge validity.
+  const bool bad_pair = parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const vid_t w = mate[v];
+    if (w == kNoVertex) return false;
+    return w >= n || mate[w] != v || !g.has_edge(v, w);
+  });
+  if (bad_pair) {
+    if (error) *error = "mate involution/adjacency violated";
+    return false;
+  }
+  // Maximality: no live edge left.
+  const bool not_maximal = parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (mate[v] != kNoVertex) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (mate[w] == kNoVertex) return true;
+    }
+    return false;
+  });
+  if (not_maximal) {
+    if (error) *error = "matching is not maximal";
+    return false;
+  }
+  return true;
+}
+
+eid_t matching_cardinality(const std::vector<vid_t>& mate) {
+  return parallel_sum<eid_t>(mate.size(), [&](std::size_t v) {
+           return mate[v] != kNoVertex ? eid_t{1} : eid_t{0};
+         }) /
+         2;
+}
+
+}  // namespace sbg

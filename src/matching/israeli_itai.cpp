@@ -1,0 +1,127 @@
+// Israeli-Itai randomized matching [17] — the classic two-phase proposal
+// algorithm the paper cites among existing approaches: every live vertex
+// invites a uniformly random live neighbor; invited vertices accept one
+// inviter (the one with the winning hash); accepted pairs match. A constant
+// fraction of live edges disappears per round in expectation, so rounds are
+// O(log n) — and unlike GM's lowest-id rule it cannot form proposal chains,
+// which makes it a useful contrast in the extended-baseline benches.
+#include "matching/matching.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+vid_t ii_extend(const CsrGraph& g, std::vector<vid_t>& mate,
+                std::uint64_t seed,
+                const std::vector<std::uint8_t>* active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(mate.size() == n, "mate array size mismatch");
+  const RandomStream rs(seed, /*stream=*/0x11a1);
+
+  const auto is_live = [&](vid_t v) {
+    return mate[v] == kNoVertex && (!active || (*active)[v]);
+  };
+
+  std::vector<vid_t> invite(n, kNoVertex);
+  std::vector<vid_t> accept(n, kNoVertex);
+  std::vector<vid_t> live;
+  live.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (is_live(v) && g.degree(v) > 0) live.push_back(v);
+  }
+
+  vid_t rounds = 0;
+  std::vector<vid_t> next_live;
+  while (!live.empty()) {
+    ++rounds;
+    // Invite: a uniformly random live neighbor (rejection-free: pick a
+    // random arc, fall back to a scan when it is dead).
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      accept[v] = kNoVertex;
+      const vid_t deg = g.degree(v);
+      const eid_t arc =
+          g.arc_begin(v) + rs.below(static_cast<std::uint64_t>(rounds) * n + v,
+                                    deg);
+      vid_t pick = g.arc_head(arc);
+      if (!is_live(pick)) {
+        pick = kNoVertex;
+        for (const vid_t w : g.neighbors(v)) {
+          if (is_live(w)) {
+            pick = w;
+            break;
+          }
+        }
+      }
+      invite[v] = pick;
+    });
+    // Accept: each invited vertex takes the inviter with the smallest
+    // per-round hash (deterministic given the seed).
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const vid_t w = invite[v];
+      if (w == kNoVertex) return;
+      const std::uint64_t key =
+          mix64(rs.bits(static_cast<std::uint64_t>(rounds) * n + v) ^ v);
+      // accept[w] holds the winning inviter id; resolve races by hash-min
+      // with id tie-break encoded in the key's low bits.
+      vid_t cur = atomic_read(&accept[w]);
+      while (true) {
+        const bool wins =
+            cur == kNoVertex ||
+            key < mix64(rs.bits(static_cast<std::uint64_t>(rounds) * n + cur) ^
+                        cur) ||
+            (key == mix64(rs.bits(static_cast<std::uint64_t>(rounds) * n +
+                                  cur) ^
+                          cur) &&
+             v < cur);
+        if (!wins) break;
+        if (claim(&accept[w], cur, v)) break;
+        cur = atomic_read(&accept[w]);
+      }
+    });
+    // Match. Accepted arcs v->w (accept[w] == v) have out-degree <= 1
+    // (v invites once) and in-degree <= 1 (w accepts once), so they form
+    // paths and cycles. Matching the arcs whose HEAD has no accepted
+    // outgoing arc picks a set of vertex-disjoint edges (on a path, the
+    // arc at the tail; longer chains resolve next round; accepted cycles
+    // re-randomize next round). The predicate only reads invite/accept,
+    // and accept[w] == v holds for at most one v, so the pair (v, w) is
+    // written by exactly one iteration.
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const vid_t w = invite[v];
+      if (w == kNoVertex || accept[w] != v) return;
+      const vid_t wx = invite[w];
+      const bool w_accepted_elsewhere =
+          wx != kNoVertex && wx != v && accept[wx] == w;
+      if (w_accepted_elsewhere) return;
+      // Mutual invitation: both arcs qualify; only the lower id writes.
+      if (wx == v && accept[v] == w && v > w) return;
+      mate[v] = w;
+      mate[w] = v;
+    });
+    next_live.clear();
+    for (const vid_t v : live) {
+      if (mate[v] == kNoVertex && invite[v] != kNoVertex) {
+        next_live.push_back(v);
+      }
+    }
+    live.swap(next_live);
+  }
+  return rounds;
+}
+
+MatchResult mm_ii(const CsrGraph& g, std::uint64_t seed) {
+  Timer timer;
+  MatchResult r;
+  r.mate.assign(g.num_vertices(), kNoVertex);
+  r.rounds = ii_extend(g, r.mate, seed);
+  r.cardinality = matching_cardinality(r.mate);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

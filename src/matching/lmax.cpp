@@ -1,0 +1,89 @@
+// Algorithm LMAX [Birn et al.]: local-max matching on random edge weights.
+//
+// Each round every live vertex points at its heaviest incident live edge;
+// an edge whose two endpoints point at each other is a local maximum and
+// joins the matching. Expected O(log n) rounds — this is the paper's GPU
+// baseline (we also run it on the CPU in tests and ablations).
+//
+// Edge weights are a deterministic hash of (canonical endpoints, seed), so
+// both endpoints agree on every weight without storing per-edge state, and
+// ties are impossible (the hash of distinct edges collides with negligible
+// probability; the canonical pair breaks any residual tie).
+#include "matching/matching.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
+                  std::uint64_t seed,
+                  const std::vector<std::uint8_t>* active,
+                  LmaxWeights weights) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(mate.size() == n, "mate array size mismatch");
+  const std::uint64_t base = detail::lmax_weight_base(seed, weights);
+
+  const auto is_live = [&](vid_t v) {
+    return mate[v] == kNoVertex && (!active || (*active)[v]);
+  };
+
+  std::vector<vid_t> candidate(n, kNoVertex);
+  std::vector<vid_t> live;
+  live.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (is_live(v) && g.degree(v) > 0) live.push_back(v);
+  }
+
+  vid_t rounds = 0;
+  std::vector<vid_t> next_live;
+  while (!live.empty()) {
+    ++rounds;
+    // Point at the heaviest live incident edge.
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      vid_t best = kNoVertex;
+      std::uint64_t best_w = 0;
+      for (const vid_t w : g.neighbors(v)) {
+        if (!is_live(w)) continue;
+        const std::uint64_t wt = detail::lmax_edge_weight(v, w, base);
+        if (best == kNoVertex || wt > best_w ||
+            (wt == best_w && w < best)) {
+          best = w;
+          best_w = wt;
+        }
+      }
+      candidate[v] = best;
+    });
+    // Locally-maximal edges match (written by the lower endpoint).
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const vid_t w = candidate[v];
+      if (w != kNoVertex && v < w && candidate[w] == v) {
+        mate[v] = w;
+        mate[w] = v;
+      }
+    });
+    next_live.clear();
+    for (const vid_t v : live) {
+      if (mate[v] == kNoVertex && candidate[v] != kNoVertex) {
+        next_live.push_back(v);
+      }
+    }
+    live.swap(next_live);
+  }
+  return rounds;
+}
+
+MatchResult mm_lmax(const CsrGraph& g, std::uint64_t seed,
+                    LmaxWeights weights) {
+  Timer timer;
+  MatchResult r;
+  r.mate.assign(g.num_vertices(), kNoVertex);
+  r.rounds = lmax_extend(g, r.mate, seed, nullptr, weights);
+  r.cardinality = matching_cardinality(r.mate);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

@@ -1,0 +1,146 @@
+// Maximal matching: baselines and decomposition-based composites
+// (paper Section III).
+//
+// All solvers are *extenders*: they grow a shared, global, n-sized mate
+// array (kNoVertex = unmatched) to a maximal matching of the graph they are
+// handed, skipping vertices that are already matched. Because decomposition
+// subgraphs live in the global id space, the composite algorithms
+// (Algorithms 4-6) are just sequences of extend calls on different
+// sub-CSRs over one mate array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+/// Which base solver the composites use: GM on the CPU path (the paper's
+/// multicore baseline), LMAX on the GPU path.
+enum class MatchEngine { kGM, kLMAX };
+
+struct MatchResult {
+  /// mate[v] == partner, or kNoVertex if v is unmatched.
+  std::vector<vid_t> mate;
+  /// |M|.
+  eid_t cardinality = 0;
+  /// Total solver rounds across all phases — the paper's "iterations"
+  /// (the vain-tendency metric of Section III-C).
+  vid_t rounds = 0;
+  double total_seconds = 0.0;
+  double decompose_seconds = 0.0;  ///< 0 for the baselines
+  double solve_seconds = 0.0;
+};
+
+// ------------------------------------------------------------- extenders --
+/// Algorithm GM [Blelloch et al.]: each round every unmatched vertex
+/// proposes to its lowest-id unmatched neighbor; mutual proposals match.
+/// Deliberately reproduces the paper's "vain tendency" (long proposal
+/// chains yielding one match per round). Returns rounds executed.
+/// `active`: optional n-sized mask; 0-vertices are treated as absent.
+/// `max_rounds`: stop (possibly before maximality) after this many rounds;
+/// 0 means run to maximality. Used by the vain-tendency ablation to sample
+/// the early-match profile.
+vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
+                const std::vector<std::uint8_t>* active = nullptr,
+                vid_t max_rounds = 0);
+
+/// Weight policy for LMAX. The practical GPU matching codes the paper
+/// baselines against fabricate weights for unweighted graphs from vertex /
+/// edge indices (kIndex). That choice is load-bearing: on graphs whose ids
+/// run along geometric structure (rgg, road chains) index weights form
+/// long monotone chains where only the chain head is a local maximum —
+/// the GPU-side analogue of GM's vain tendency, and the reason the paper
+/// sees "a similar trend" for MM-Rand on the CPU and the GPU. kRandom
+/// (seed-hashed weights) converges in O(log n) rounds and is available
+/// for the ablation benches.
+enum class LmaxWeights { kIndex, kRandom };
+
+/// Algorithm LMAX [Birn et al.]: each round every unmatched vertex points
+/// at its heaviest live incident edge; locally-maximal edges (mutual
+/// pointers) join the matching.
+vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
+                  std::uint64_t seed,
+                  const std::vector<std::uint8_t>* active = nullptr,
+                  LmaxWeights weights = LmaxWeights::kIndex);
+
+namespace detail {
+
+/// LMAX weight machinery, shared by the CPU solver and the gpusim kernels.
+/// `base` == 0 selects index weights (lexicographic in (hi, lo)); any other
+/// base hashes with it.
+inline std::uint64_t lmax_edge_weight(vid_t u, vid_t v, std::uint64_t base) {
+  const vid_t lo = u < v ? u : v;
+  const vid_t hi = u < v ? v : u;
+  const std::uint64_t packed = static_cast<std::uint64_t>(hi) << 32 | lo;
+  if (base == 0) return packed;
+  // splitmix64 finalizer, inlined to keep this header light.
+  std::uint64_t x = base ^ packed;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t lmax_weight_base(std::uint64_t seed, LmaxWeights weights) {
+  if (weights == LmaxWeights::kIndex) return 0;
+  std::uint64_t x = seed ^ 0x16a40000u;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;  // 0 is the kIndex sentinel
+}
+
+}  // namespace detail
+
+/// Israeli-Itai randomized matching [17]: random invitations, hash-min
+/// acceptance, accepted-arc resolution. O(log n) expected rounds with no
+/// proposal chains — an extended-baseline contrast to GM's vain tendency.
+vid_t ii_extend(const CsrGraph& g, std::vector<vid_t>& mate,
+                std::uint64_t seed,
+                const std::vector<std::uint8_t>* active = nullptr);
+
+// ------------------------------------------------------------- baselines --
+MatchResult mm_gm(const CsrGraph& g);
+MatchResult mm_lmax(const CsrGraph& g, std::uint64_t seed = 42,
+                    LmaxWeights weights = LmaxWeights::kIndex);
+MatchResult mm_ii(const CsrGraph& g, std::uint64_t seed = 42);
+
+/// Sequential greedy matching (edges scanned in CSR order): the test
+/// oracle and a single-thread reference point for the benches.
+MatchResult mm_greedy_seq(const CsrGraph& g);
+
+// ------------------------------------------------- decomposition variants --
+/// Algorithm 4 (MM-Bridge): match the 2-edge-connected components, then
+/// extend across the still-unmatched bridge endpoints.
+MatchResult mm_bridge(const CsrGraph& g, MatchEngine engine = MatchEngine::kGM,
+                      std::uint64_t seed = 42,
+                      BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk);
+
+/// Algorithm 5 (MM-Rand): match the k intra-partition induced subgraphs,
+/// then extend over the cross edges. k = 0 selects the paper's heuristic
+/// (~average degree; 10 on CPU / 4 on GPU in the experiments).
+MatchResult mm_rand(const CsrGraph& g, vid_t k = 0,
+                    MatchEngine engine = MatchEngine::kGM,
+                    std::uint64_t seed = 42);
+
+/// Algorithm 6 (MM-Degk): match G_H, then extend over G_L ∪ G_C.
+MatchResult mm_degk(const CsrGraph& g, vid_t k = 2,
+                    MatchEngine engine = MatchEngine::kGM,
+                    std::uint64_t seed = 42);
+
+// ----------------------------------------------------------- verification --
+/// Checks mate involution, edge validity against g, and maximality
+/// (no edge with both endpoints unmatched). Returns false and fills
+/// `error` (if non-null) on the first violation found.
+bool verify_maximal_matching(const CsrGraph& g, const std::vector<vid_t>& mate,
+                             std::string* error = nullptr);
+
+/// Matched-pair count of a mate array.
+eid_t matching_cardinality(const std::vector<vid_t>& mate);
+
+}  // namespace sbg

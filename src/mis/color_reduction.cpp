@@ -1,0 +1,65 @@
+// Deterministic coloring-reduction MIS for degree <= 2 subgraphs — the
+// textbook "small coloring -> MIS" route of Kothapalli-Pindiproli-style
+// oriented symmetry breaking: first 3-color the active subgraph (paths and
+// cycles) with the deterministic small-palette iteration, then sweep the
+// color classes. Each class is an independent set, so the sweep needs no
+// tie-breaking at all: class 0 joins wholesale; classes 1 and 2 join unless
+// a neighbor already did. Everything after the coloring is exactly three
+// constant-work parallel passes.
+#include "coloring/coloring.hpp"
+#include "mis/mis.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace sbg {
+
+vid_t color_class_extend(const CsrGraph& g, std::vector<MisState>& state,
+                         const std::vector<std::uint8_t>& active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(state.size() == n, "state array size mismatch");
+  SBG_CHECK(active.size() == n, "active mask size mismatch");
+
+  // Participants: undecided active vertices. (Pre-decided vertices keep
+  // their state; their neighbors were already knocked out by the caller.)
+  std::vector<std::uint8_t> live(n, 0);
+  parallel_for(n, [&](std::size_t v) {
+    live[v] = active[v] && state[v] == MisState::kUndecided;
+  });
+
+  // Deterministic 3-coloring of the live vertices, run directly on G: a
+  // live vertex has total degree <= 2 (caller contract: `active` selects a
+  // degree <= 2 subgraph), so at most two neighbors ever hold palette
+  // colors and a free slot always exists — no subgraph materialization.
+  std::vector<std::uint32_t> color(n, kNoColor);
+  const vid_t rounds =
+      small_palette_extend(g, color, /*palette_base=*/0, /*palette=*/3, live);
+
+  // Class sweeps: for c = 0, 1, 2 — join undecided class-c vertices with
+  // no kIn neighbor, then knock out their neighbors. Within one class no
+  // two joining vertices are adjacent (same color), so no races matter.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    parallel_for(n, [&](std::size_t i) {
+      const vid_t v = static_cast<vid_t>(i);
+      if (!live[v] || state[v] != MisState::kUndecided || color[v] != c) {
+        return;
+      }
+      for (const vid_t w : g.neighbors(v)) {
+        if (state[w] == MisState::kIn) return;
+      }
+      state[v] = MisState::kIn;
+    });
+    parallel_for(n, [&](std::size_t i) {
+      const vid_t v = static_cast<vid_t>(i);
+      if (!live[v] || state[v] != MisState::kUndecided) return;
+      for (const vid_t w : g.neighbors(v)) {
+        if (state[w] == MisState::kIn) {
+          state[v] = MisState::kOut;
+          return;
+        }
+      }
+    });
+  }
+  return rounds + 3;
+}
+
+}  // namespace sbg

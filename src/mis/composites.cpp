@@ -1,0 +1,182 @@
+// Decomposition-based MIS (paper Algorithms 10, 11, 12).
+//
+// Shared scheme: pick a vertex side S of the decomposition, compute an MIS
+// of G[S] (solver on the decomposition subgraph, masked to S), eliminate
+// the closed neighborhood of that set from G, and finish with LubyMIS on
+// whatever is left. MIS-Bridge/MIS-Rand order the two sides by average
+// degree — "computing an MIS on the sparser of the graphs ... is beneficial
+// in practice" (Section V-B).
+#include "mis/mis.hpp"
+
+#include "core/degk.hpp"
+#include "core/rand.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+/// Mark every G-neighbor of a kIn vertex as kOut.
+void eliminate_closed_neighborhood(const CsrGraph& g,
+                                   std::vector<MisState>& state) {
+  parallel_for_dynamic(g.num_vertices(), [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (state[v] != MisState::kUndecided) return;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) {
+        state[v] = MisState::kOut;
+        return;
+      }
+    }
+  });
+}
+
+/// Two-phase composite: MIS of G[side] via luby on `side_graph`, then
+/// LubyMIS on the remainder of G.
+MisResult two_phase(const CsrGraph& g, const CsrGraph& side_graph,
+                    const std::vector<std::uint8_t>& side,
+                    double decompose_seconds, std::uint64_t seed) {
+  Timer timer;
+  MisResult r;
+  r.decompose_seconds = decompose_seconds;
+  r.state.assign(g.num_vertices(), MisState::kUndecided);
+
+  r.rounds += luby_extend(side_graph, r.state, seed, &side);
+  eliminate_closed_neighborhood(g, r.state);
+  r.rounds += luby_extend(g, r.state, seed + 1);
+
+  r.size = mis_size(r.state);
+  r.total_seconds = timer.seconds() + decompose_seconds;
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+}  // namespace
+
+MisResult mis_bridge(const CsrGraph& g, std::uint64_t seed,
+                     BridgeAlgo bridge_algo) {
+  const vid_t n = g.num_vertices();
+  const BridgeDecomposition d = decompose_bridge(g, bridge_algo);
+
+  // Side A: component interiors (H_i = G_i minus bridge endpoints), solved
+  // on g_components. Side B: the bridge endpoints, solved on G itself
+  // (G[V_B] includes non-bridge edges between bridge endpoints).
+  std::vector<std::uint8_t> interior(n), endpoints(n);
+  parallel_for(n, [&](std::size_t v) {
+    endpoints[v] = d.is_bridge_vertex[v];
+    interior[v] = !d.is_bridge_vertex[v];
+  });
+
+  const std::size_t n_end = parallel_count(
+      n, [&](std::size_t v) { return endpoints[v] != 0; });
+  // Sparser side first: compare average degrees of the two sides.
+  const double deg_interior =
+      static_cast<double>(d.g_components.num_arcs()) /
+      std::max<double>(1.0, static_cast<double>(n - n_end));
+  const double deg_endpoints =
+      2.0 * static_cast<double>(d.bridges.size()) /
+      std::max<double>(1.0, static_cast<double>(n_end));
+
+  if (deg_interior <= deg_endpoints) {
+    return two_phase(g, d.g_components, interior, d.decompose_seconds, seed);
+  }
+  return two_phase(g, g, endpoints, d.decompose_seconds, seed);
+}
+
+MisResult mis_rand(const CsrGraph& g, vid_t k, std::uint64_t seed) {
+  if (k == 0) k = rand_partition_heuristic(g);
+  const RandDecomposition d = decompose_rand(g, k, seed);
+  const vid_t n = g.num_vertices();
+
+  // Side A: H = vertices untouched by cross edges, solved on g_intra.
+  // Side B: the cross-edge endpoints, solved on G.
+  std::vector<std::uint8_t> intra_only(n), cross_touched(n);
+  parallel_for(n, [&](std::size_t v) {
+    const bool touched = d.g_cross.degree(static_cast<vid_t>(v)) > 0;
+    cross_touched[v] = touched;
+    intra_only[v] = !touched;
+  });
+
+  if (d.g_intra.num_edges() <= d.g_cross.num_edges()) {
+    return two_phase(g, d.g_intra, intra_only, d.decompose_seconds, seed);
+  }
+  return two_phase(g, g, cross_touched, d.decompose_seconds, seed);
+}
+
+MisResult mis_degk(const CsrGraph& g, vid_t k, std::uint64_t seed) {
+  Timer timer;
+  // Classification only ("a simple computation") — G_L is reached by
+  // masking the oriented solver to the low vertices of G itself.
+  const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
+  const vid_t n = g.num_vertices();
+
+  MisResult r;
+  r.decompose_seconds = d.decompose_seconds;
+  r.state.assign(n, MisState::kUndecided);
+
+  std::vector<std::uint8_t> low(n);
+  parallel_for(n, [&](std::size_t v) { low[v] = !d.is_high[v]; });
+
+  // Phase 1: oriented MIS on the degree <= k induced subgraph (paths and
+  // cycles when k = 2) — no Luby coin flips needed there.
+  r.rounds += oriented_extend(g, r.state, &low);
+  // Eliminate N[I_C] from G, then LubyMIS on what remains.
+  eliminate_closed_neighborhood(g, r.state);
+  r.rounds += luby_extend(g, r.state, seed);
+
+  r.size = mis_size(r.state);
+  r.total_seconds = timer.seconds();
+  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  return r;
+}
+
+bool verify_mis(const CsrGraph& g, const std::vector<MisState>& state,
+                std::string* error) {
+  const vid_t n = g.num_vertices();
+  if (state.size() != n) {
+    if (error) *error = "state array size mismatch";
+    return false;
+  }
+  const bool undecided = parallel_any(n, [&](std::size_t v) {
+    return state[v] == MisState::kUndecided;
+  });
+  if (undecided) {
+    if (error) *error = "undecided vertex";
+    return false;
+  }
+  const bool dependent = parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (state[v] != MisState::kIn) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) return true;
+    }
+    return false;
+  });
+  if (dependent) {
+    if (error) *error = "two adjacent vertices in the set";
+    return false;
+  }
+  const bool not_maximal = parallel_any(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (state[v] != MisState::kOut) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) return false;
+    }
+    return true;  // kOut vertex with no kIn neighbor
+  });
+  if (not_maximal) {
+    if (error) *error = "excluded vertex has no neighbor in the set";
+    return false;
+  }
+  return true;
+}
+
+std::size_t mis_size(const std::vector<MisState>& state) {
+  return parallel_count(state.size(), [&](std::size_t v) {
+    return state[v] == MisState::kIn;
+  });
+}
+
+}  // namespace sbg

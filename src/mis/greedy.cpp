@@ -1,0 +1,107 @@
+// Fixed-priority greedy MIS [Blelloch et al. 2012] and the sequential
+// lexicographically-first oracle. oriented_extend (oriented.cpp) is the
+// id-derived-permutation instance of greedy_extend; this file holds the
+// seeded variant and the result wrappers.
+#include "mis/mis.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace detail_mis {
+
+std::uint64_t greedy_priority(std::uint64_t base, vid_t v) {
+  return (mix64(base ^ v) & ~0xffffffffull) | v;
+}
+
+vid_t greedy_rounds(const CsrGraph& g, std::vector<MisState>& state,
+                    std::uint64_t base,
+                    const std::vector<std::uint8_t>* active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(state.size() == n, "state array size mismatch");
+
+  const auto participates = [&](vid_t v) {
+    return state[v] == MisState::kUndecided && (!active || (*active)[v]);
+  };
+
+  std::vector<vid_t> live;
+  live.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (participates(v)) live.push_back(v);
+  }
+
+  vid_t rounds = 0;
+  std::vector<vid_t> next;
+  while (!live.empty()) {
+    ++rounds;
+    // Join: permutation-local minima. Same round-start snapshot rule as
+    // luby_extend: a kIn neighbor of a live vertex joined this very round
+    // and still competes.
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const std::uint64_t pv = greedy_priority(base, v);
+      for (const vid_t w : g.neighbors(v)) {
+        const bool competed = (!active || (*active)[w]) &&
+                              atomic_read(&state[w]) != MisState::kOut;
+        if (competed && greedy_priority(base, w) < pv) return;
+      }
+      atomic_write(&state[v], MisState::kIn);
+    });
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      if (state[v] != MisState::kUndecided) return;
+      for (const vid_t w : g.neighbors(v)) {
+        if (state[w] == MisState::kIn) {
+          state[v] = MisState::kOut;
+          return;
+        }
+      }
+    });
+    next.clear();
+    for (const vid_t v : live) {
+      if (state[v] == MisState::kUndecided) next.push_back(v);
+    }
+    live.swap(next);
+  }
+  return rounds;
+}
+
+}  // namespace detail_mis
+
+vid_t greedy_extend(const CsrGraph& g, std::vector<MisState>& state,
+                    std::uint64_t seed,
+                    const std::vector<std::uint8_t>* active) {
+  return detail_mis::greedy_rounds(g, state, mix64(seed ^ 0x6eedull), active);
+}
+
+MisResult mis_greedy(const CsrGraph& g, std::uint64_t seed) {
+  Timer timer;
+  MisResult r;
+  r.state.assign(g.num_vertices(), MisState::kUndecided);
+  r.rounds = greedy_extend(g, r.state, seed);
+  r.size = mis_size(r.state);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+MisResult mis_greedy_seq(const CsrGraph& g) {
+  Timer timer;
+  MisResult r;
+  const vid_t n = g.num_vertices();
+  r.state.assign(n, MisState::kUndecided);
+  for (vid_t v = 0; v < n; ++v) {
+    if (r.state[v] != MisState::kUndecided) continue;
+    r.state[v] = MisState::kIn;
+    for (const vid_t w : g.neighbors(v)) {
+      r.state[w] = MisState::kOut;
+    }
+  }
+  r.rounds = 1;
+  r.size = mis_size(r.state);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

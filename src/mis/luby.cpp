@@ -1,0 +1,115 @@
+// Algorithm LubyMIS [Luby 1986] — the paper's baseline, implemented as in
+// the original: each round every live vertex marks itself with probability
+// 1/(2 d(v)) (d = live degree; freshly isolated vertices join outright);
+// between adjacent marked vertices the lower-degree one unmarks (ties by
+// id); surviving marked vertices join the set and knock their neighbors
+// out. Expected O(log n) rounds, but with three neighbor sweeps and a coin
+// flip per live vertex per round — this per-round cost is precisely the
+// headroom the decomposition-based variants of Section V exploit.
+//
+// Coins are counter-based — hash(seed, round, vertex) — so runs are
+// reproducible under any thread schedule.
+#include "mis/mis.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
+                  std::uint64_t seed,
+                  const std::vector<std::uint8_t>* active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(state.size() == n, "state array size mismatch");
+  const RandomStream coins(seed, /*stream=*/0x3a15b7);
+
+  const auto participates = [&](vid_t v) {
+    return state[v] == MisState::kUndecided && (!active || (*active)[v]);
+  };
+
+  std::vector<vid_t> live;
+  live.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (participates(v)) live.push_back(v);
+  }
+  std::vector<vid_t> live_degree(n, 0);
+  std::vector<std::uint8_t> marked(n, 0), survivor(n, 0);
+
+  vid_t rounds = 0;
+  std::vector<vid_t> next;
+  while (!live.empty()) {
+    ++rounds;
+    // Live degrees first (pure read pass, so the count is schedule
+    // independent), then coin flips: mark with probability 1/(2 d_live);
+    // vertices whose neighborhood is fully decided join immediately.
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      vid_t d = 0;
+      for (const vid_t w : g.neighbors(v)) {
+        if (participates(w)) ++d;
+      }
+      live_degree[v] = d;
+    });
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const vid_t d = live_degree[v];
+      if (d == 0) {
+        state[v] = MisState::kIn;
+        marked[v] = 0;
+        return;
+      }
+      const std::uint64_t idx = static_cast<std::uint64_t>(rounds) * n + v;
+      marked[v] = coins.bits(idx) < (~0ull / 2) / d ? 1 : 0;
+    });
+    // Conflict resolution between adjacent marked vertices: the lower
+    // degree endpoint loses (ties broken by id) — Luby's rule. Decisions
+    // read only the round-start `marked` snapshot, so the surviving set is
+    // schedule independent: exactly the (degree, id)-local maxima.
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      survivor[v] = 0;
+      if (!marked[v]) return;
+      const vid_t dv = live_degree[v];
+      for (const vid_t w : g.neighbors(v)) {
+        if (!participates(w) || !marked[w]) continue;
+        const vid_t dw = live_degree[w];
+        if (dw > dv || (dw == dv && w > v)) return;
+      }
+      survivor[v] = 1;
+    });
+    // Surviving marked vertices join; then neighbors drop out.
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      if (survivor[v]) state[v] = MisState::kIn;
+    });
+    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      if (state[v] != MisState::kUndecided) return;
+      for (const vid_t w : g.neighbors(v)) {
+        if (state[w] == MisState::kIn) {
+          state[v] = MisState::kOut;
+          return;
+        }
+      }
+    });
+    next.clear();
+    for (const vid_t v : live) {
+      if (state[v] == MisState::kUndecided) next.push_back(v);
+    }
+    live.swap(next);
+  }
+  return rounds;
+}
+
+MisResult mis_luby(const CsrGraph& g, std::uint64_t seed) {
+  Timer timer;
+  MisResult r;
+  r.state.assign(g.num_vertices(), MisState::kUndecided);
+  r.rounds = luby_extend(g, r.state, seed);
+  r.size = mis_size(r.state);
+  r.solve_seconds = r.total_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sbg

@@ -1,0 +1,101 @@
+// Maximal Independent Set: baselines and decomposition-based composites
+// (paper Section V).
+//
+// Solvers are extenders over a shared, global, n-sized state array:
+// kUndecided vertices participate; kIn/kOut vertices are fixed. An optional
+// active mask restricts participation (inactive vertices behave as absent),
+// which is how the composites solve "the sparser side first" (Section V-B)
+// without renumbering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+enum class MisState : std::uint8_t {
+  kUndecided = 0,
+  kIn = 1,   ///< in the independent set
+  kOut = 2,  ///< has a neighbor in the set
+};
+
+struct MisResult {
+  std::vector<MisState> state;
+  std::size_t size = 0;  ///< |I|
+  vid_t rounds = 0;      ///< total solver rounds across phases
+  double total_seconds = 0.0;
+  double decompose_seconds = 0.0;  ///< 0 for the baseline
+  double solve_seconds = 0.0;
+};
+
+// ------------------------------------------------------------- extenders --
+/// Algorithm LubyMIS: per-round random priorities; local minima join the
+/// set and knock their neighbors out. Expected O(log n) rounds.
+vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
+                  std::uint64_t seed,
+                  const std::vector<std::uint8_t>* active = nullptr);
+
+/// Oriented symmetry breaking for bounded-degree graphs (the role of
+/// Kothapalli-Pindiproli [21] in Algorithm MIS-Deg2): vertex ids induce an
+/// acyclic orientation; the FIXED priorities derived from them replace
+/// Luby's per-round coin flips, so each round is two ≤2-neighbor
+/// comparisons and the round count stays logarithmic on the path/cycle
+/// graphs DEGk (k=2) produces.
+vid_t oriented_extend(const CsrGraph& g, std::vector<MisState>& state,
+                      const std::vector<std::uint8_t>* active = nullptr);
+
+/// Fixed-priority greedy MIS (Blelloch et al. [6]): one random permutation
+/// drawn up front (counter-hashed from `seed`); every round the permutation-
+/// local minima join. "Greedy sequential ... is parallel on average":
+/// O(log n) rounds w.h.p. with no per-round coins. oriented_extend is this
+/// with the id-derived permutation.
+vid_t greedy_extend(const CsrGraph& g, std::vector<MisState>& state,
+                    std::uint64_t seed,
+                    const std::vector<std::uint8_t>* active = nullptr);
+
+/// Deterministic coloring-reduction MIS for bounded-degree subgraphs (the
+/// other [21]-style route): 3-color the degree <= 2 active subgraph with
+/// the small-palette machinery, then sweep the color classes — class 0
+/// joins outright, later classes join unless a neighbor already did.
+/// Exactly 3 constant-work parallel sweeps after the coloring settles.
+vid_t color_class_extend(const CsrGraph& g, std::vector<MisState>& state,
+                         const std::vector<std::uint8_t>& active);
+
+// -------------------------------------------------------------- baseline --
+MisResult mis_luby(const CsrGraph& g, std::uint64_t seed = 42);
+
+/// Blelloch-style greedy MIS as a standalone baseline.
+MisResult mis_greedy(const CsrGraph& g, std::uint64_t seed = 42);
+
+/// Sequential lexicographically-first MIS — the test oracle.
+MisResult mis_greedy_seq(const CsrGraph& g);
+
+// ------------------------------------------------- decomposition variants --
+/// Algorithm 10 (MIS-Bridge): solve the sparser of {components minus
+/// bridge endpoints, bridge-endpoint subgraph} first, eliminate its closed
+/// neighborhood, finish with LubyMIS on the remainder.
+MisResult mis_bridge(const CsrGraph& g, std::uint64_t seed = 42,
+                     BridgeAlgo bridge_algo = BridgeAlgo::kNaiveWalk);
+
+/// Algorithm 11 (MIS-Rand): same two-phase scheme over the RAND
+/// decomposition (intra side = vertices with no cross edges).
+/// k = 0 selects the paper's heuristic partition count.
+MisResult mis_rand(const CsrGraph& g, vid_t k = 0, std::uint64_t seed = 42);
+
+/// Algorithm 12 (MIS-Deg2): oriented MIS on the degree <= k induced
+/// subgraph (paths and cycles for k = 2), eliminate its closed
+/// neighborhood, finish with LubyMIS.
+MisResult mis_degk(const CsrGraph& g, vid_t k = 2, std::uint64_t seed = 42);
+
+// ----------------------------------------------------------- verification --
+/// Independence + maximality + state consistency against g.
+bool verify_mis(const CsrGraph& g, const std::vector<MisState>& state,
+                std::string* error = nullptr);
+
+std::size_t mis_size(const std::vector<MisState>& state);
+
+}  // namespace sbg

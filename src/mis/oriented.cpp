@@ -1,0 +1,79 @@
+// Oriented symmetry breaking for bounded-degree graphs — the subroutine
+// MIS-Deg2 uses on the degree <= 2 induced subgraph (disjoint paths and
+// cycles), standing in for Kothapalli-Pindiproli [21].
+//
+// The orientation induced by vertex numbers is distilled into one FIXED
+// priority per vertex (a hash of the id, tie-broken by the id itself).
+// Each round an undecided vertex compares against at most two neighbors
+// and joins when it is the local minimum; no per-round coin flips are
+// drawn — that is the "power of orientation": the randomness is paid once,
+// at id time, and every round afterwards is two comparisons. On paths and
+// cycles the fixed-priority greedy eliminates a constant fraction of each
+// chain per round, so round counts stay logarithmic in the longest chain.
+#include "mis/mis.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+namespace {
+
+inline std::uint64_t fixed_priority(vid_t v) {
+  return (mix64(0x0123456789abcdefull ^ v) & ~0xffffffffull) | v;
+}
+
+}  // namespace
+
+vid_t oriented_extend(const CsrGraph& g, std::vector<MisState>& state,
+                      const std::vector<std::uint8_t>* active) {
+  const vid_t n = g.num_vertices();
+  SBG_CHECK(state.size() == n, "state array size mismatch");
+
+  const auto participates = [&](vid_t v) {
+    return state[v] == MisState::kUndecided && (!active || (*active)[v]);
+  };
+
+  std::vector<vid_t> live;
+  live.reserve(n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (participates(v)) live.push_back(v);
+  }
+
+  vid_t rounds = 0;
+  std::vector<vid_t> next;
+  while (!live.empty()) {
+    ++rounds;
+    // Join: fixed-priority local minima (same round-start snapshot rule
+    // as luby_extend: kIn neighbors joined this round and still compete).
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      const std::uint64_t pv = fixed_priority(v);
+      for (const vid_t w : g.neighbors(v)) {
+        const bool competed = (!active || (*active)[w]) &&
+                              atomic_read(&state[w]) != MisState::kOut;
+        if (competed && fixed_priority(w) < pv) return;
+      }
+      atomic_write(&state[v], MisState::kIn);
+    });
+    parallel_for(live.size(), [&](std::size_t i) {
+      const vid_t v = live[i];
+      if (state[v] != MisState::kUndecided) return;
+      for (const vid_t w : g.neighbors(v)) {
+        if (state[w] == MisState::kIn) {
+          state[v] = MisState::kOut;
+          return;
+        }
+      }
+    });
+    next.clear();
+    for (const vid_t v : live) {
+      if (state[v] == MisState::kUndecided) next.push_back(v);
+    }
+    live.swap(next);
+  }
+  return rounds;
+}
+
+}  // namespace sbg

@@ -1,0 +1,74 @@
+// Lock-free helpers over plain arrays. Symmetry-breaking algorithms
+// communicate through CAS on shared per-vertex arrays; these wrappers keep
+// the memory-order reasoning in one audited place.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+namespace sbg {
+
+/// Atomically set *addr = min(*addr, value). Returns true if this call
+/// lowered the stored value.
+template <typename T>
+bool fetch_min(T* addr, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(addr);
+  T cur = a->load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (a->compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically set *addr = max(*addr, value). Returns true if it raised it.
+template <typename T>
+bool fetch_max(T* addr, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(addr);
+  T cur = a->load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (a->compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Single-shot claim: CAS *addr from `expected_empty` to `value`.
+/// Returns true iff this call installed `value`.
+template <typename T>
+bool claim(T* addr, T expected_empty, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto* a = reinterpret_cast<std::atomic<T>*>(addr);
+  T expected = expected_empty;
+  return a->compare_exchange_strong(expected, value, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+}
+
+/// Relaxed atomic load of a plain array slot.
+template <typename T>
+T atomic_read(const T* addr) {
+  return reinterpret_cast<const std::atomic<T>*>(addr)->load(
+      std::memory_order_acquire);
+}
+
+/// Release atomic store to a plain array slot.
+template <typename T>
+void atomic_write(T* addr, T value) {
+  reinterpret_cast<std::atomic<T>*>(addr)->store(value,
+                                                 std::memory_order_release);
+}
+
+/// Atomic post-increment; returns the previous value.
+template <typename T>
+T fetch_add(T* addr, T delta) {
+  return reinterpret_cast<std::atomic<T>*>(addr)->fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+}  // namespace sbg

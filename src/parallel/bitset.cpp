@@ -1,0 +1,30 @@
+#include "parallel/bitset.hpp"
+
+#include <bit>
+
+#include "parallel/parallel_for.hpp"
+
+namespace sbg {
+
+ConcurrentBitset::ConcurrentBitset(std::size_t n_bits)
+    : n_bits_(n_bits), words_((n_bits + 63) / 64) {
+  clear();
+}
+
+void ConcurrentBitset::clear() {
+  parallel_for(words_.size(), [&](std::size_t w) {
+    words_[w].store(0, std::memory_order_relaxed);
+  });
+}
+
+std::size_t ConcurrentBitset::count() const {
+  std::size_t total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t w = 0; w < static_cast<std::int64_t>(words_.size()); ++w) {
+    total += static_cast<std::size_t>(std::popcount(
+        words_[static_cast<std::size_t>(w)].load(std::memory_order_relaxed)));
+  }
+  return total;
+}
+
+}  // namespace sbg

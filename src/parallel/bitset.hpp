@@ -1,0 +1,54 @@
+// Fixed-size concurrent bitset. Safe for concurrent set/reset of distinct or
+// identical bits; used for frontier membership, edge marks (bridge finding),
+// and forbidden-color scratch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbg {
+
+class ConcurrentBitset {
+ public:
+  ConcurrentBitset() = default;
+  explicit ConcurrentBitset(std::size_t n_bits);
+
+  /// Number of addressable bits.
+  std::size_t size() const { return n_bits_; }
+
+  /// Set bit i; returns true iff the bit was previously clear
+  /// (i.e. this caller won the race).
+  bool set(std::size_t i) {
+    const std::uint64_t mask = 1ull << (i & 63u);
+    const std::uint64_t prev =
+        words_[i >> 6u].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  /// Clear bit i; returns true iff the bit was previously set.
+  bool reset(std::size_t i) {
+    const std::uint64_t mask = 1ull << (i & 63u);
+    const std::uint64_t prev =
+        words_[i >> 6u].fetch_and(~mask, std::memory_order_acq_rel);
+    return (prev & mask) != 0;
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6u].load(std::memory_order_acquire) >>
+            (i & 63u)) & 1u;
+  }
+
+  /// Clear every bit (not thread-safe against concurrent set/reset).
+  void clear();
+
+  /// Popcount over all bits (parallel).
+  std::size_t count() const;
+
+ private:
+  std::size_t n_bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace sbg

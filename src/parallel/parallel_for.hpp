@@ -1,0 +1,59 @@
+// Thin OpenMP loop wrappers so algorithm code reads declaratively and the
+// chunking policy lives in one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include <omp.h>
+
+namespace sbg {
+
+/// Grain below which a loop runs sequentially; spawning a parallel region
+/// for a handful of iterations costs more than it saves.
+inline constexpr std::size_t kSequentialGrain = 2048;
+
+/// parallel_for(n, f): f(i) for all i in [0, n), statically chunked.
+/// F must be safe to run concurrently for distinct i.
+template <typename F>
+void parallel_for(std::size_t n, F&& f) {
+  if (n < kSequentialGrain) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+}
+
+/// Like parallel_for but with dynamic scheduling for skewed per-iteration
+/// cost (e.g. per-vertex work proportional to degree on power-law graphs).
+template <typename F>
+void parallel_for_dynamic(std::size_t n, F&& f) {
+  if (n < kSequentialGrain) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+}
+
+/// parallel_blocks(n, f): splits [0, n) into one contiguous block per thread
+/// and calls f(begin, end, thread_id). For algorithms that keep per-thread
+/// scratch (local buffers, RNG streams, counters).
+template <typename F>
+void parallel_blocks(std::size_t n, F&& f) {
+#pragma omp parallel
+  {
+    const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t lo = n * t / nt;
+    const std::size_t hi = n * (t + 1) / nt;
+    f(lo, hi, t);
+  }
+}
+
+}  // namespace sbg

@@ -1,0 +1,69 @@
+// Parallel prefix sums. The two-pass block algorithm: per-thread block sums,
+// sequential scan over the (tiny) block-sum array, then per-thread rescan.
+// Used by every subgraph-extraction and frontier-compaction step.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include <omp.h>
+
+namespace sbg {
+
+/// In-place exclusive prefix sum over `data`; returns the total.
+/// data[i] becomes sum of the original data[0..i).
+template <typename T>
+T exclusive_prefix_sum(std::span<T> data) {
+  const std::size_t n = data.size();
+  if (n == 0) return T{0};
+  if (n < 1u << 14) {  // sequential fast path
+    T run{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = data[i];
+      data[i] = run;
+      run += v;
+    }
+    return run;
+  }
+  T total{0};
+  std::vector<T> block_sums(
+      static_cast<std::size_t>(omp_get_max_threads()) + 1, T{0});
+#pragma omp parallel
+  {
+    const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t lo = n * t / nt;
+    const std::size_t hi = n * (t + 1) / nt;
+    T local{0};
+    for (std::size_t i = lo; i < hi; ++i) local += data[i];
+    block_sums[t + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (std::size_t i = 1; i <= nt; ++i) block_sums[i] += block_sums[i - 1];
+      total = block_sums[nt];
+    }
+    T run = block_sums[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T v = data[i];
+      data[i] = run;
+      run += v;
+    }
+  }
+  return total;
+}
+
+/// Exclusive prefix sum of `counts` into a fresh (n+1)-element offsets array:
+/// offsets[0] = 0, offsets[i] = counts[0] + ... + counts[i-1].
+template <typename T, typename C>
+std::vector<T> offsets_from_counts(const std::vector<C>& counts) {
+  std::vector<T> offsets(counts.size() + 1);
+  offsets[0] = T{0};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i + 1] = offsets[i] + static_cast<T>(counts[i]);
+  }
+  return offsets;
+}
+
+}  // namespace sbg

@@ -1,0 +1,51 @@
+// Parallel reductions over index ranges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sbg {
+
+/// Sum of f(i) for i in [0, n).
+template <typename T, typename F>
+T parallel_sum(std::size_t n, F&& f) {
+  T total{0};
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    total += f(static_cast<std::size_t>(i));
+  }
+  return total;
+}
+
+/// Count of i in [0, n) where pred(i) holds.
+template <typename F>
+std::size_t parallel_count(std::size_t n, F&& pred) {
+  return parallel_sum<std::size_t>(
+      n, [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; });
+}
+
+/// Max of f(i) for i in [0, n); returns `identity` when n == 0.
+template <typename T, typename F>
+T parallel_max(std::size_t n, F&& f, T identity) {
+  T best = identity;
+#pragma omp parallel for schedule(static) reduction(max : best)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    const T v = f(static_cast<std::size_t>(i));
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+/// Logical-or: does any i in [0, n) satisfy pred? (no early exit; intended
+/// for cheap predicates where a scan beats branch divergence).
+template <typename F>
+bool parallel_any(std::size_t n, F&& pred) {
+  int found = 0;
+#pragma omp parallel for schedule(static) reduction(| : found)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    found |= pred(static_cast<std::size_t>(i)) ? 1 : 0;
+  }
+  return found != 0;
+}
+
+}  // namespace sbg

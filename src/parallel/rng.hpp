@@ -1,0 +1,71 @@
+// Deterministic counter-based random numbers.
+//
+// Parallel randomized algorithms (RAND decomposition, Luby priorities, LMAX
+// edge weights, GM tie-breaking) must be reproducible regardless of thread
+// count or schedule. We therefore avoid shared-state generators entirely:
+// every random value is a pure function hash(seed, stream, index), so the
+// i-th value of a stream is the same no matter which thread computes it.
+#pragma once
+
+#include <cstdint>
+
+namespace sbg {
+
+/// splitmix64 finalizer — a strong 64-bit mix, the standard seeding hash.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// A stateless random stream: value at `index` is hash(seed, stream, index).
+class RandomStream {
+ public:
+  RandomStream(std::uint64_t seed, std::uint64_t stream)
+      : base_(mix64(seed ^ mix64(stream))) {}
+
+  /// 64 uniform bits for position `index`.
+  std::uint64_t bits(std::uint64_t index) const {
+    return mix64(base_ ^ (index * 0xd1b54a32d192ed03ull));
+  }
+
+  /// Uniform integer in [0, bound) for position `index`. bound must be > 0.
+  std::uint64_t below(std::uint64_t index, std::uint64_t bound) const {
+    // 128-bit multiply-shift (Lemire); bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(bits(index)) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1) for position `index`.
+  double uniform(std::uint64_t index) const {
+    return static_cast<double>(bits(index) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t base_;
+};
+
+/// Sequential convenience generator (graph generators, tests): xoshiro-like
+/// splitmix64 sequence. Not for use inside parallel loops.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(mix64(seed)) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return mix64(state_);
+  }
+
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sbg

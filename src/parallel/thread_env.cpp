@@ -1,0 +1,30 @@
+#include "parallel/thread_env.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace sbg {
+
+int num_threads() { return omp_get_max_threads(); }
+
+int max_threads() { return omp_get_num_procs(); }
+
+void set_num_threads(int n) { omp_set_num_threads(n < 1 ? 1 : n); }
+
+int apply_thread_env() {
+  if (const char* env = std::getenv("SBG_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) set_num_threads(n);
+  }
+  return num_threads();
+}
+
+ScopedThreads::ScopedThreads(int n) : saved_(omp_get_max_threads()) {
+  set_num_threads(n);
+}
+
+ScopedThreads::~ScopedThreads() { omp_set_num_threads(saved_); }
+
+}  // namespace sbg

@@ -1,0 +1,38 @@
+// Thread-count management for the OpenMP execution environment.
+//
+// The paper runs the CPU experiments with "80 threads" on a 2x10-core
+// hyper-threaded Xeon. On smaller hosts the interesting quantities
+// (round counts, work, relative speedups between algorithms) are
+// thread-count independent; this module just makes the count explicit,
+// overridable, and restorable.
+#pragma once
+
+namespace sbg {
+
+/// Number of OpenMP threads parallel regions will use right now.
+int num_threads();
+
+/// Maximum hardware concurrency OpenMP reports.
+int max_threads();
+
+/// Set the global OpenMP thread count. Values < 1 are clamped to 1.
+void set_num_threads(int n);
+
+/// Reads SBG_THREADS from the environment (if set and positive) and applies
+/// it; returns the thread count in effect afterwards. Called once by
+/// benches/examples so users can steer runs without recompiling.
+int apply_thread_env();
+
+/// RAII guard: switch to `n` threads for a scope, restore on destruction.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace sbg

@@ -1,0 +1,72 @@
+// Wall-clock timing. Decomposition-based algorithms report both total time
+// and a per-phase breakdown (decompose / solve pieces / stitch), so the
+// bench harnesses can reproduce the paper's Figure 2 separately from
+// Figures 3-5.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbg {
+
+/// Monotonic stopwatch, millisecond resolution reporting.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Named phase accumulator:
+///   PhaseTimer pt; pt.start("decompose"); ...; pt.stop();
+class PhaseTimer {
+ public:
+  void start(std::string name) {
+    current_ = std::move(name);
+    t_.reset();
+  }
+
+  void stop() {
+    phases_.emplace_back(std::move(current_), t_.seconds());
+    current_.clear();
+  }
+
+  /// (phase name, seconds) in start order.
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+  double total_seconds() const {
+    double s = 0;
+    for (const auto& [_, t] : phases_) s += t;
+    return s;
+  }
+
+  double seconds_of(const std::string& name) const {
+    double s = 0;
+    for (const auto& [n, t] : phases_) {
+      if (n == name) s += t;
+    }
+    return s;
+  }
+
+ private:
+  Timer t_;
+  std::string current_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace sbg

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "bfs/bfs.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(Bfs, PathLevelsAreDistances) {
+  const CsrGraph g = build_graph(gen_path(50), false);
+  const BfsTree t = bfs(g, 0);
+  EXPECT_TRUE(validate_bfs_tree(g, t));
+  EXPECT_EQ(t.reached, 50u);
+  EXPECT_EQ(t.rounds, 50u);  // eccentricity 49 + the empty final expansion
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(t.level[v], v);
+  EXPECT_EQ(t.parent[0], kNoVertex);
+  EXPECT_EQ(t.parent[10], 9u);
+}
+
+TEST(Bfs, GridDistancesAreManhattan) {
+  const CsrGraph g = build_graph(gen_grid(7, 9), false);
+  const BfsTree t = bfs(g, 0);
+  EXPECT_TRUE(validate_bfs_tree(g, t));
+  for (vid_t r = 0; r < 7; ++r) {
+    for (vid_t c = 0; c < 9; ++c) {
+      EXPECT_EQ(t.level[r * 9 + c], r + c);
+    }
+  }
+}
+
+TEST(Bfs, NonZeroRootAndStar) {
+  const CsrGraph g = build_graph(gen_star(30), false);
+  const BfsTree t = bfs(g, 5);
+  EXPECT_TRUE(validate_bfs_tree(g, t));
+  EXPECT_EQ(t.level[5], 0u);
+  EXPECT_EQ(t.level[0], 1u);
+  EXPECT_EQ(t.level[20], 2u);
+}
+
+TEST(Bfs, RandomGraphTreeIsValid) {
+  const CsrGraph g = test::random_graph(2000, 6000, 21);
+  const BfsTree t = bfs(g, 17);
+  EXPECT_TRUE(validate_bfs_tree(g, t));
+  EXPECT_EQ(t.reached, g.num_vertices());  // builder connected it
+}
+
+TEST(Bfs, ValidatorCatchesCorruption) {
+  const CsrGraph g = build_graph(gen_path(20), false);
+  BfsTree t = bfs(g, 0);
+  ASSERT_TRUE(validate_bfs_tree(g, t));
+  t.level[10] = 3;  // wrong distance
+  EXPECT_FALSE(validate_bfs_tree(g, t));
+}
+
+TEST(Bfs, EmptyGraph) {
+  const CsrGraph g;
+  const BfsTree t = bfs(g, 0);
+  EXPECT_EQ(t.reached, 0u);
+  EXPECT_TRUE(validate_bfs_tree(g, t));
+}
+
+}  // namespace
+}  // namespace sbg

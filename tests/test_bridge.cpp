@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/bridge.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+using EdgeSet = std::set<std::pair<vid_t, vid_t>>;
+
+EdgeSet canonical(const std::vector<std::pair<vid_t, vid_t>>& edges) {
+  EdgeSet out;
+  for (auto [a, b] : edges) {
+    out.emplace(std::min(a, b), std::max(a, b));
+  }
+  return out;
+}
+
+class BothWalks : public ::testing::TestWithParam<BridgeAlgo> {};
+
+TEST_P(BothWalks, PathIsAllBridges) {
+  const CsrGraph g = build_graph(gen_path(100), false);
+  EXPECT_EQ(find_bridges(g, GetParam()).size(), 99u);
+}
+
+TEST_P(BothWalks, CycleHasNone) {
+  const CsrGraph g = build_graph(gen_cycle(100), false);
+  EXPECT_TRUE(find_bridges(g, GetParam()).empty());
+}
+
+TEST_P(BothWalks, GridHasNone) {
+  const CsrGraph g = build_graph(gen_grid(8, 8), false);
+  EXPECT_TRUE(find_bridges(g, GetParam()).empty());
+}
+
+TEST_P(BothWalks, Figure1BridgesAreBGandGHandCD) {
+  // Paper Figure 1(b): bridges b-g, g-h, c-d split G into the two
+  // triangles plus singletons {g}, {h}.
+  const CsrGraph g = test::figure1_graph();
+  const EdgeSet found = canonical(find_bridges(g, GetParam()));
+  const EdgeSet expect{{1, 6}, {6, 7}, {2, 3}};
+  EXPECT_EQ(found, expect);
+}
+
+TEST_P(BothWalks, MatchesTarjanOnRandomSweep) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // Sparse graphs have many bridges; denser ones few.
+    const eid_t m = 300 + 200 * seed;
+    const CsrGraph g = test::random_graph(500, m, seed);
+    const EdgeSet expect = canonical(bridges_reference(g));
+    const EdgeSet found = canonical(find_bridges(g, GetParam()));
+    EXPECT_EQ(found, expect) << "seed=" << seed;
+  }
+}
+
+TEST_P(BothWalks, MatchesTarjanOnStructuredGraphs) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    EXPECT_EQ(canonical(find_bridges(g, GetParam())),
+              canonical(bridges_reference(g)))
+        << c.name;
+  }
+}
+
+TEST_P(BothWalks, HandlesDisconnectedInput) {
+  EdgeList el;
+  el.num_vertices = 9;
+  el.add(0, 1);  // bridge in component 1
+  el.add(2, 3);  // triangle: no bridges
+  el.add(3, 4);
+  el.add(4, 2);
+  el.add(5, 6);  // path component: 2 bridges
+  el.add(6, 7);
+  const CsrGraph g = build_graph(std::move(el), /*connect=*/false);
+  EXPECT_EQ(find_bridges(g, GetParam()).size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Walks, BothWalks,
+                         ::testing::Values(BridgeAlgo::kNaiveWalk,
+                                           BridgeAlgo::kShortcutWalk),
+                         [](const auto& info) {
+                           return info.param == BridgeAlgo::kNaiveWalk
+                                      ? "naive"
+                                      : "shortcut";
+                         });
+
+TEST(BridgeDecomposition, Figure1ComponentsMatchPaper) {
+  const CsrGraph g = test::figure1_graph();
+  const BridgeDecomposition d = decompose_bridge(g);
+  EXPECT_EQ(d.bridges.size(), 3u);
+  // G - B: triangles {a,b,c} and {d,e,f}; g and h isolated.
+  EXPECT_EQ(d.g_components.num_edges(), 6u);
+  EXPECT_EQ(d.components.count, 4u);
+  EXPECT_EQ(d.components.label[0], d.components.label[1]);
+  EXPECT_EQ(d.components.label[3], d.components.label[5]);
+  EXPECT_NE(d.components.label[0], d.components.label[3]);
+  // Bridge vertices: b, c, d, g, h.
+  EXPECT_EQ(d.is_bridge_vertex,
+            (std::vector<std::uint8_t>{0, 1, 1, 1, 0, 0, 1, 1}));
+}
+
+TEST(BridgeDecomposition, RemovingBridgesPreservesEdgeCount) {
+  const CsrGraph g = test::random_graph(800, 1200, 33);
+  const BridgeDecomposition d = decompose_bridge(g);
+  EXPECT_EQ(d.g_components.num_edges() + d.bridges.size(), g.num_edges());
+  d.g_components.validate();
+  // No bridge survives in g_components.
+  for (const auto& [a, b] : d.bridges) {
+    EXPECT_FALSE(d.g_components.has_edge(a, b));
+  }
+}
+
+TEST(BridgeDecomposition, TreeDecomposesToSingletons) {
+  const CsrGraph g = build_graph(gen_random_tree(200, 3), false);
+  const BridgeDecomposition d = decompose_bridge(g);
+  EXPECT_EQ(d.bridges.size(), 199u);
+  EXPECT_EQ(d.g_components.num_edges(), 0u);
+  EXPECT_EQ(d.components.count, 200u);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "coloring/coloring.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+// ------------------------------------------------------------ baselines --
+
+TEST(VB, ColorsShapesProperly) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    const ColorResult r = color_vb(g);
+    std::string err;
+    EXPECT_TRUE(verify_coloring(g, r.color, &err)) << c.name << ": " << err;
+    EXPECT_GE(r.num_colors, g.num_edges() > 0 ? 2u : 0u) << c.name;
+  }
+}
+
+TEST(EB, ColorsShapesProperly) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    const ColorResult r = color_eb(g);
+    std::string err;
+    EXPECT_TRUE(verify_coloring(g, r.color, &err)) << c.name << ": " << err;
+  }
+}
+
+TEST(VB, CompleteGraphNeedsExactlyNColors) {
+  const CsrGraph g = build_graph(gen_complete(16), false);
+  EXPECT_EQ(color_vb(g).num_colors, 16u);
+  EXPECT_EQ(color_eb(g).num_colors, 16u);
+}
+
+TEST(VB, PathStaysNearTwoColors) {
+  const CsrGraph g = build_graph(gen_path(500), false);
+  const ColorResult r = color_vb(g);
+  EXPECT_TRUE(verify_coloring(g, r.color));
+  EXPECT_LE(r.num_colors, 3u);  // speculative coloring may spend one extra
+}
+
+TEST(VB, TinyForbiddenWindowStillTerminates) {
+  const CsrGraph g = build_graph(gen_complete(10), false);
+  std::vector<std::uint32_t> color(10, kNoColor);
+  vb_extend(g, color, /*forbidden_size=*/1);  // worst case: 1-slot window
+  std::string err;
+  EXPECT_TRUE(verify_coloring(g, color, &err)) << err;
+}
+
+TEST(Extenders, RespectPreColoredVertices) {
+  const CsrGraph g = build_graph(gen_path(6), false);
+  std::vector<std::uint32_t> color(6, kNoColor);
+  color[2] = 7;  // pinned exotic color
+  vb_extend(g, color, 4);
+  EXPECT_EQ(color[2], 7u);
+  EXPECT_TRUE(verify_coloring(g, color));
+}
+
+TEST(Extenders, ActiveMaskLeavesOthersUncolored) {
+  const CsrGraph g = build_graph(gen_complete(8), false);
+  std::vector<std::uint32_t> color(8, kNoColor);
+  std::vector<std::uint8_t> active(8, 0);
+  active[1] = active[5] = 1;
+  eb_extend(g, color, 0, &active);
+  EXPECT_NE(color[1], kNoColor);
+  EXPECT_NE(color[5], kNoColor);
+  EXPECT_NE(color[1], color[5]);
+  EXPECT_EQ(color[0], kNoColor);
+}
+
+TEST(SmallPalette, ThreeColorsSufficeOnPathsAndCycles) {
+  for (const auto make : {test::make_path_200, test::make_cycle_201}) {
+    const CsrGraph g = make();
+    std::vector<std::uint32_t> color(g.num_vertices(), kNoColor);
+    std::vector<std::uint8_t> active(g.num_vertices(), 1);
+    small_palette_extend(g, color, /*base=*/10, /*palette=*/3, active);
+    std::string err;
+    EXPECT_TRUE(verify_coloring(g, color, &err)) << err;
+    for (const auto c : color) {
+      EXPECT_GE(c, 10u);
+      EXPECT_LT(c, 13u);
+    }
+  }
+}
+
+TEST(Verify, CatchesBrokenColorings) {
+  const CsrGraph g = build_graph(gen_path(4), false);
+  std::string err;
+  std::vector<std::uint32_t> color(4, kNoColor);
+  EXPECT_FALSE(verify_coloring(g, color, &err));
+  EXPECT_EQ(err, "uncolored vertex");
+  color = {0, 0, 1, 0};  // edge 0-1 monochromatic
+  EXPECT_FALSE(verify_coloring(g, color, &err));
+  EXPECT_EQ(err, "monochromatic edge");
+  color = {0, 1, 0, 1};
+  EXPECT_TRUE(verify_coloring(g, color, &err));
+}
+
+// ------------------------------------------------ composites, all shapes --
+
+struct ColorCase {
+  test::GraphCase graph;
+  ColorEngine engine;
+};
+
+class ColoringComposites : public ::testing::TestWithParam<ColorCase> {};
+
+TEST_P(ColoringComposites, AllThreeProduceProperColorings) {
+  const CsrGraph g = GetParam().graph.make();
+  const ColorEngine e = GetParam().engine;
+  std::string err;
+
+  const ColorResult b = color_bridge(g, e);
+  EXPECT_TRUE(verify_coloring(g, b.color, &err)) << "bridge: " << err;
+
+  const ColorResult r = color_rand(g, 2, e);
+  EXPECT_TRUE(verify_coloring(g, r.color, &err)) << "rand: " << err;
+
+  const ColorResult d = color_degk(g, 2, e);
+  EXPECT_TRUE(verify_coloring(g, d.color, &err)) << "degk: " << err;
+}
+
+std::vector<ColorCase> coloring_cases() {
+  std::vector<ColorCase> cases;
+  for (const auto& gc : test::shape_sweep()) {
+    cases.push_back({gc, ColorEngine::kVB});
+    cases.push_back({gc, ColorEngine::kEB});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColoringComposites, ::testing::ValuesIn(coloring_cases()),
+    [](const auto& info) {
+      return info.param.graph.name +
+             (info.param.engine == ColorEngine::kVB ? "_vb" : "_eb");
+    });
+
+TEST(ColoringComposites, DegkUsesDisjointLowPalette) {
+  const CsrGraph g = test::make_broom_small();
+  const ColorResult r = color_degk(g, 2);
+  EXPECT_TRUE(verify_coloring(g, r.color));
+  // Low vertices use at most k+1 = 3 colors above the high palette, so
+  // the total is bounded by colors(G_H) + 3.
+  const ColorResult high_only = color_vb(g);  // upper bound sanity
+  EXPECT_LE(r.num_colors, high_only.num_colors + 3);
+}
+
+TEST(ColoringComposites, RandConflictFractionGrowsWithPartitions) {
+  const CsrGraph g = test::random_graph(3000, 12'000, 17);
+  const ColorResult k2 = color_rand(g, 2);
+  const ColorResult k8 = color_rand(g, 8);
+  EXPECT_TRUE(verify_coloring(g, k2.color));
+  EXPECT_TRUE(verify_coloring(g, k8.color));
+  // More partitions -> more cross edges -> more stitch conflicts
+  // (Section IV-C/IV-D).
+  EXPECT_GT(k8.conflicted_vertices, k2.conflicted_vertices);
+}
+
+TEST(ColoringComposites, ColorCountOverheadStaysSmall) {
+  // Section IV-D: decomposition variants cost only a few percent extra
+  // colors. Allow a loose envelope at test scale.
+  const CsrGraph g = test::random_graph(2000, 10'000, 19);
+  const auto base = color_vb(g).num_colors;
+  EXPECT_LE(color_rand(g, 2).num_colors, base + base / 2 + 3);
+  EXPECT_LE(color_degk(g, 2).num_colors, base + base / 2 + 3);
+  EXPECT_LE(color_bridge(g).num_colors, base + base / 2 + 3);
+}
+
+}  // namespace
+}  // namespace sbg

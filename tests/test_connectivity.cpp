@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(Connectivity, SingleComponentShapes) {
+  EXPECT_TRUE(is_connected(build_graph(gen_path(100), false)));
+  EXPECT_TRUE(is_connected(build_graph(gen_cycle(100), false)));
+  EXPECT_TRUE(is_connected(build_graph(gen_grid(10, 10), false)));
+  EXPECT_TRUE(is_connected(test::figure1_graph()));
+}
+
+TEST(Connectivity, CountsDisjointPieces) {
+  EdgeList el;
+  el.num_vertices = 10;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(4, 5);
+  // 3, 6, 7, 8, 9 isolated
+  const CsrGraph g = build_graph(std::move(el), /*connect=*/false);
+  const Components cc = connected_components(g);
+  EXPECT_EQ(cc.count, 7u);
+  EXPECT_EQ(cc.label[0], cc.label[2]);
+  EXPECT_EQ(cc.label[4], cc.label[5]);
+  EXPECT_NE(cc.label[0], cc.label[4]);
+  // Canonical labels: the minimum vertex id of the component.
+  EXPECT_EQ(cc.label[2], 0u);
+  EXPECT_EQ(cc.label[5], 4u);
+  EXPECT_EQ(cc.label[9], 9u);
+}
+
+TEST(Connectivity, AgreesWithFilterSplit) {
+  // Cutting a path in the middle doubles the component count.
+  const CsrGraph g = build_graph(gen_path(1000), false);
+  const CsrGraph cut = filter_edges(
+      g, [](vid_t u, vid_t v) { return !(u == 499 && v == 500) &&
+                                        !(u == 500 && v == 499); });
+  EXPECT_EQ(connected_components(cut).count, 2u);
+}
+
+TEST(Connectivity, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connected_components(g).count, 0u);
+}
+
+TEST(Connectivity, LargeRandomMatchesUnionFindReference) {
+  const CsrGraph g =
+      build_graph(gen_erdos_renyi(5000, 4000, 31), /*connect=*/false);
+  const Components cc = connected_components(g);
+  // Sequential reference via repeated BFS-like flood from builder's
+  // union-find is implicit in make_connected; here check the label
+  // consistency invariant instead: every edge joins equal labels.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      ASSERT_EQ(cc.label[u], cc.label[v]);
+    }
+  }
+  // And distinct labels really are disconnected: count equals the number
+  // of self-labeled representatives.
+  vid_t reps = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (cc.label[v] == v) ++reps;
+  }
+  EXPECT_EQ(reps, cc.count);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/dataset.hpp"
+#include "graph/stats.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(Dataset, TableHasTwelveRowsInPaperOrder) {
+  const auto& rows = dataset_table();
+  ASSERT_EQ(rows.size(), 12u);
+  EXPECT_EQ(rows.front().name, "c-73");
+  EXPECT_EQ(rows.back().name, "webbase-1M");
+  EXPECT_EQ(dataset_row("germany-osm").pct_deg2, 82.27);
+  EXPECT_THROW(dataset_row("no-such-graph"), InputError);
+}
+
+TEST(Dataset, MakeIsDeterministic) {
+  const CsrGraph a = make_dataset("c-73", 1.0 / 64, 42);
+  const CsrGraph b = make_dataset("c-73", 1.0 / 64, 42);
+  EXPECT_TRUE(std::equal(a.adjacency().begin(), a.adjacency().end(),
+                         b.adjacency().begin(), b.adjacency().end()));
+  const CsrGraph c = make_dataset("c-73", 1.0 / 64, 43);
+  EXPECT_FALSE(a.num_edges() == c.num_edges() &&
+               std::equal(a.adjacency().begin(), a.adjacency().end(),
+                          c.adjacency().begin(), c.adjacency().end()));
+}
+
+/// Every synthetic stand-in must be connected (the paper's preprocessing),
+/// scale to roughly the requested |V|, and land near the Table II
+/// avg-degree / %DEG2 fingerprints it was calibrated against.
+class DatasetFingerprint : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetFingerprint, MatchesPaperShape) {
+  const std::string name = GetParam();
+  const DatasetPaperRow& row = dataset_row(name);
+  const double scale = 1.0 / 64;
+  const CsrGraph g = make_dataset(name, scale, 42);
+  g.validate();
+  EXPECT_TRUE(is_connected(g)) << name;
+
+  const double expect_n = static_cast<double>(row.num_vertices) * scale;
+  EXPECT_GT(g.num_vertices(), 0.5 * expect_n) << name;
+  EXPECT_LT(g.num_vertices(), 1.6 * expect_n) << name;
+
+  const GraphStats s = graph_stats(g);
+  // Loose envelopes: the generators target the paper fingerprint but small
+  // scales add noise. bench_table2_datasets reports the exact deltas.
+  EXPECT_GT(s.avg_degree, 0.4 * row.avg_degree) << name;
+  EXPECT_LT(s.avg_degree, 2.1 * row.avg_degree) << name;
+  if (row.pct_deg2 >= 20.0) {
+    EXPECT_GT(s.pct_deg2, row.pct_deg2 - 25.0) << name;
+    EXPECT_LT(s.pct_deg2, std::min(100.0, row.pct_deg2 + 25.0)) << name;
+  } else {
+    EXPECT_LT(s.pct_deg2, 30.0) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, DatasetFingerprint,
+                         ::testing::ValuesIn(dataset_names()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/degk.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(DegkDecomp, SplitsByDegreeThreshold) {
+  const CsrGraph g = test::figure1_graph();
+  const DegkDecomposition d = decompose_degk(g, 2, kDegkAll);
+  // Figure 1(d): vertices of degree > 2 are b, c, d (ids 1, 2, 3).
+  EXPECT_EQ(d.is_high, (std::vector<std::uint8_t>{0, 1, 1, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(d.num_high, 3u);
+  // G_H: edges among {b, c, d}: b-c, c-d.
+  EXPECT_EQ(d.g_high.num_edges(), 2u);
+  // G_L: edges among low vertices: e-f, g-h.
+  EXPECT_EQ(d.g_low.num_edges(), 2u);
+  // Cross: a-b, a-c, d-e, d-f, b-g.
+  EXPECT_EQ(d.g_cross.num_edges(), 5u);
+  EXPECT_EQ(d.g_low_cross.num_edges(), 7u);
+  EXPECT_EQ(d.g_high.num_edges() + d.g_low_cross.num_edges(), g.num_edges());
+}
+
+TEST(DegkDecomp, PiecesFlagControlsMaterialization) {
+  const CsrGraph g = test::random_graph(300, 900, 5);
+  const DegkDecomposition d = decompose_degk(g, 2, kDegkLow);
+  EXPECT_EQ(d.g_high.num_vertices(), 0u);   // not materialized
+  EXPECT_EQ(d.g_cross.num_vertices(), 0u);  // not materialized
+  EXPECT_EQ(d.g_low.num_vertices(), g.num_vertices());
+}
+
+TEST(DegkDecomp, LowSubgraphIsPathsAndCycles) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    const DegkDecomposition d = decompose_degk(g, 2, kDegkLow);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      // Induced degree can only shrink, so G_L has max degree <= 2.
+      ASSERT_LE(d.g_low.degree(v), 2u) << c.name;
+      if (d.is_high[v]) ASSERT_EQ(d.g_low.degree(v), 0u) << c.name;
+    }
+  }
+}
+
+TEST(DegkDecomp, ThresholdSweepIsMonotone) {
+  const CsrGraph g = test::random_graph(1000, 5000, 7);
+  vid_t prev_high = g.num_vertices();
+  for (vid_t k = 1; k <= 16; k *= 2) {
+    const DegkDecomposition d = decompose_degk(g, k, kDegkHigh);
+    EXPECT_LE(d.num_high, prev_high) << "k=" << k;
+    prev_high = d.num_high;
+    // High vertices really have degree > k in G.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(d.is_high[v] != 0, g.degree(v) > k);
+    }
+  }
+}
+
+TEST(DegkDecomp, AllLowWhenThresholdHuge) {
+  const CsrGraph g = test::random_graph(200, 600, 9);
+  const DegkDecomposition d = decompose_degk(g, 10'000, kDegkAll);
+  EXPECT_EQ(d.num_high, 0u);
+  EXPECT_EQ(d.g_low.num_edges(), g.num_edges());
+  EXPECT_EQ(d.g_high.num_edges(), 0u);
+  EXPECT_EQ(d.g_cross.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace sbg

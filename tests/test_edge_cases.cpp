@@ -1,0 +1,175 @@
+// Degenerate inputs and failure-injection: empty graphs, singletons,
+// isolated vertices, self-loop-only inputs, and device-side decomposition
+// equivalence — every public algorithm must cope.
+#include <gtest/gtest.h>
+
+#include "coloring/coloring.hpp"
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/grow.hpp"
+#include "core/rand.hpp"
+#include "gpusim/gpu_algorithms.hpp"
+#include "gpusim/gpu_decompose.hpp"
+#include "graph/builder.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "parallel/thread_env.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+CsrGraph empty_graph() { return CsrGraph{}; }
+
+CsrGraph isolated_vertices(vid_t n) {
+  EdgeList el;
+  el.num_vertices = n;
+  return build_graph(std::move(el), /*connect=*/false);
+}
+
+TEST(EdgeCases, EmptyGraphThroughEverything) {
+  const CsrGraph g = empty_graph();
+  EXPECT_EQ(mm_gm(g).cardinality, 0u);
+  EXPECT_EQ(mm_lmax(g).cardinality, 0u);
+  EXPECT_EQ(mm_ii(g).cardinality, 0u);
+  EXPECT_EQ(mm_rand(g, 4).cardinality, 0u);
+  EXPECT_EQ(mm_degk(g).cardinality, 0u);
+  EXPECT_EQ(mm_bridge(g).cardinality, 0u);
+  EXPECT_EQ(color_vb(g).num_colors, 0u);
+  EXPECT_EQ(color_eb(g).num_colors, 0u);
+  EXPECT_EQ(color_degk(g).num_colors, 0u);
+  EXPECT_EQ(mis_luby(g).size, 0u);
+  EXPECT_EQ(mis_degk(g).size, 0u);
+  EXPECT_EQ(decompose_bridge(g).bridges.size(), 0u);
+  EXPECT_EQ(decompose_rand(g, 3).g_intra.num_edges(), 0u);
+}
+
+TEST(EdgeCases, IsolatedVerticesAreHandledEverywhere) {
+  const CsrGraph g = isolated_vertices(100);
+  EXPECT_EQ(mm_gm(g).cardinality, 0u);
+  EXPECT_TRUE(verify_maximal_matching(g, mm_rand(g, 4).mate));
+
+  const ColorResult c = color_vb(g);
+  EXPECT_TRUE(verify_coloring(g, c.color));
+  EXPECT_EQ(c.num_colors, 1u);  // everything color 0
+
+  const MisResult m = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, m.state));
+  EXPECT_EQ(m.size, 100u);  // all isolated vertices join
+
+  const MisResult md = mis_degk(g, 2);
+  EXPECT_TRUE(verify_mis(g, md.state));
+  EXPECT_EQ(md.size, 100u);
+}
+
+TEST(EdgeCases, SingleEdgeGraph) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.add(0, 1);
+  const CsrGraph g = build_graph(std::move(el), false);
+  EXPECT_EQ(mm_gm(g).cardinality, 1u);
+  EXPECT_EQ(color_vb(g).num_colors, 2u);
+  EXPECT_EQ(mis_luby(g).size, 1u);
+  EXPECT_EQ(decompose_bridge(g).bridges.size(), 1u);
+}
+
+TEST(EdgeCases, SelfLoopOnlyInputCollapses) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.add(0, 0);
+  el.add(1, 1);
+  const CsrGraph g = build_graph(std::move(el), /*connect=*/false);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(EdgeCases, RandWithMorePartitionsThanVertices) {
+  const CsrGraph g = test::random_graph(20, 40, 3);
+  const RandDecomposition d = decompose_rand(g, 1000, 1);
+  EXPECT_EQ(d.g_intra.num_edges() + d.g_cross.num_edges(), g.num_edges());
+  EXPECT_TRUE(verify_maximal_matching(g, mm_rand(g, 1000).mate));
+}
+
+TEST(EdgeCases, GrowWithMoreSeedsThanVertices) {
+  const CsrGraph g = test::random_graph(10, 20, 5);
+  const GrowDecomposition d = decompose_grow(g, 50, 1);
+  for (const vid_t p : d.part) ASSERT_LT(p, 50u);
+}
+
+// ------------------------------------ device-side decomposition equality --
+
+TEST(GpuDecompose, RandMatchesHostExactly) {
+  const CsrGraph g = test::random_graph(500, 1500, 7);
+  const RandDecomposition host = decompose_rand(g, 6, 99);
+  gpu::Device dev;
+  const RandDecomposition device = gpu::decompose_rand_gpu(dev, g, 6, 99);
+  EXPECT_EQ(host.part, device.part);
+  EXPECT_TRUE(std::equal(host.g_intra.adjacency().begin(),
+                         host.g_intra.adjacency().end(),
+                         device.g_intra.adjacency().begin(),
+                         device.g_intra.adjacency().end()));
+  EXPECT_TRUE(std::equal(host.g_cross.adjacency().begin(),
+                         host.g_cross.adjacency().end(),
+                         device.g_cross.adjacency().begin(),
+                         device.g_cross.adjacency().end()));
+  EXPECT_GT(dev.kernels_launched(), 0u);
+  EXPECT_GT(device.decompose_seconds, 0.0);
+}
+
+TEST(GpuDecompose, DegkMatchesHostExactly) {
+  const CsrGraph g = test::make_road_small();
+  const DegkDecomposition host = decompose_degk(g, 2, kDegkAll);
+  gpu::Device dev;
+  const DegkDecomposition device =
+      gpu::decompose_degk_gpu(dev, g, 2, kDegkAll);
+  EXPECT_EQ(host.is_high, device.is_high);
+  EXPECT_EQ(host.num_high, device.num_high);
+  EXPECT_EQ(host.g_high.num_edges(), device.g_high.num_edges());
+  EXPECT_EQ(host.g_low.num_edges(), device.g_low.num_edges());
+  EXPECT_EQ(host.g_cross.num_edges(), device.g_cross.num_edges());
+  EXPECT_EQ(host.g_low_cross.num_edges(), device.g_low_cross.num_edges());
+}
+
+// -------------------------------------------------- schedule independence --
+
+TEST(Determinism, DeterministicSolversAgreeAcrossThreadCounts) {
+  const CsrGraph g = test::random_graph(2000, 8000, 31);
+  std::vector<vid_t> gm1, gm2, lm1, lm2;
+  std::vector<MisState> lu1, lu2, or1, or2;
+  {
+    ScopedThreads guard(1);
+    gm1 = mm_gm(g).mate;
+    lm1 = mm_lmax(g, 5).mate;
+    lu1 = mis_luby(g, 5).state;
+    or1.assign(g.num_vertices(), MisState::kUndecided);
+    oriented_extend(g, or1);
+  }
+  {
+    ScopedThreads guard(4);
+    gm2 = mm_gm(g).mate;
+    lm2 = mm_lmax(g, 5).mate;
+    lu2 = mis_luby(g, 5).state;
+    or2.assign(g.num_vertices(), MisState::kUndecided);
+    oriented_extend(g, or2);
+  }
+  EXPECT_EQ(gm1, gm2);
+  EXPECT_EQ(lm1, lm2);
+  EXPECT_EQ(lu1, lu2);
+  EXPECT_EQ(or1, or2);
+}
+
+TEST(Determinism, RandPartitionIsThreadScheduleIndependent) {
+  const CsrGraph g = test::random_graph(3000, 9000, 17);
+  std::vector<vid_t> p1, p2;
+  {
+    ScopedThreads guard(1);
+    p1 = decompose_rand(g, 8, 3).part;
+  }
+  {
+    ScopedThreads guard(4);
+    p2 = decompose_rand(g, 8, 3).part;
+  }
+  EXPECT_EQ(p1, p2);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(BasicShapes, PathCycleStarGridCompleteSizes) {
+  EXPECT_EQ(build_graph(gen_path(10), false).num_edges(), 9u);
+  EXPECT_EQ(build_graph(gen_cycle(10), false).num_edges(), 10u);
+  EXPECT_EQ(build_graph(gen_star(10), false).num_edges(), 9u);
+  EXPECT_EQ(build_graph(gen_grid(3, 4), false).num_edges(),
+            3u * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(build_graph(gen_complete(7), false).num_edges(), 21u);
+}
+
+TEST(BasicShapes, DegenerateSizes) {
+  EXPECT_EQ(build_graph(gen_path(0), false).num_vertices(), 0u);
+  EXPECT_EQ(build_graph(gen_path(1), false).num_edges(), 0u);
+  EXPECT_EQ(build_graph(gen_cycle(2), false).num_edges(), 1u);  // no 2-cycle
+  EXPECT_EQ(build_graph(gen_complete(1), false).num_edges(), 0u);
+}
+
+TEST(RandomTree, IsATree) {
+  const CsrGraph g = build_graph(gen_random_tree(500, 9), false);
+  EXPECT_EQ(g.num_edges(), 499u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ErdosRenyi, DeterministicAndNearTargetSize) {
+  EdgeList a = gen_erdos_renyi(1000, 3000, 7);
+  EdgeList b = gen_erdos_renyi(1000, 3000, 7);
+  EXPECT_EQ(a.edges, b.edges);
+  const CsrGraph g = build_graph(std::move(a), false);
+  // Dedup loses a few percent at this density.
+  EXPECT_GT(g.num_edges(), 2800u);
+  EXPECT_LE(g.num_edges(), 3000u);
+}
+
+TEST(Rmat, SkewedDegreesAndDeterminism) {
+  EdgeList a = gen_rmat(1 << 12, 40'000, 3);
+  EdgeList b = gen_rmat(1 << 12, 40'000, 3);
+  EXPECT_EQ(a.edges, b.edges);
+  const CsrGraph g = build_graph(std::move(a), true);
+  const GraphStats s = graph_stats(g);
+  // Power-law signature: max degree far above average.
+  EXPECT_GT(s.max_degree, static_cast<vid_t>(10 * s.avg_degree));
+}
+
+TEST(Rgg, HitsTargetDegreeAndIsLocal) {
+  const CsrGraph g = build_graph(gen_rgg(20'000, 12.0, 5), false);
+  const GraphStats s = graph_stats(g);
+  // Border effects pull the average slightly below target.
+  EXPECT_GT(s.avg_degree, 8.0);
+  EXPECT_LT(s.avg_degree, 14.0);
+  // Spatially sorted ids: the rgg fingerprint in Table II has ~0% deg<=2.
+  EXPECT_LT(s.pct_deg2, 5.0);
+}
+
+TEST(Road, SubdivisionDrivesDeg2Fraction) {
+  const CsrGraph heavy = build_graph(gen_road(30'000, 2.4, 0.35, 11), true);
+  const CsrGraph light = build_graph(gen_road(30'000, 0.4, 0.35, 11), true);
+  EXPECT_GT(pct_degree_at_most(heavy, 2), pct_degree_at_most(light, 2));
+  EXPECT_GT(pct_degree_at_most(heavy, 2), 60.0);
+  EXPECT_LT(graph_stats(heavy).avg_degree, 3.0);
+}
+
+TEST(Broom, IsAlmostAllDegreeTwo) {
+  const CsrGraph g = build_graph(gen_broom(40'000, 13), true);
+  const GraphStats s = graph_stats(g);
+  EXPECT_GT(s.pct_deg2, 85.0);
+  EXPECT_LT(s.avg_degree, 3.0);
+}
+
+TEST(Numerical, CorePlusPendantsFingerprint) {
+  const CsrGraph g = build_graph(gen_numerical(30'000, 0.52, 5.6, 17), true);
+  const GraphStats s = graph_stats(g);
+  EXPECT_GT(s.pct_deg2, 30.0);
+  EXPECT_LT(s.pct_deg2, 65.0);
+  EXPECT_GT(s.avg_degree, 4.0);
+}
+
+TEST(Collab, NearTargetDegree) {
+  const CsrGraph g = build_graph(gen_collab(20'000, 7.2, 40, 19), true);
+  const GraphStats s = graph_stats(g);
+  EXPECT_GT(s.avg_degree, 4.5);
+  EXPECT_LT(s.avg_degree, 9.5);
+}
+
+TEST(Web, ChainFractionDrivesDeg2) {
+  const CsrGraph leafy = build_graph(gen_web(30'000, 0.16, 4.2, 2.6, 23), true);
+  const CsrGraph dense = build_graph(gen_web(30'000, 0.72, 11.2, 1.4, 23), true);
+  EXPECT_GT(pct_degree_at_most(leafy, 2), pct_degree_at_most(dense, 2));
+  EXPECT_GT(pct_degree_at_most(leafy, 2), 60.0);
+}
+
+class AllGenerators : public ::testing::TestWithParam<test::GraphCase> {};
+
+TEST_P(AllGenerators, ProducesValidCsr) {
+  const CsrGraph g = GetParam().make();
+  g.validate();
+  EXPECT_GT(g.num_vertices(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllGenerators,
+                         ::testing::ValuesIn(test::shape_sweep()),
+                         test::case_name);
+
+}  // namespace
+}  // namespace sbg

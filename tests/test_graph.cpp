@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/stats.hpp"
+#include "graph/subgraph.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(Builder, NormalizeDropsLoopsDuplicatesAndOrients) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(1, 0);
+  el.add(0, 1);  // duplicate in reverse orientation
+  el.add(2, 2);  // self loop
+  el.add(0, 1);  // exact duplicate
+  el.add(3, 1);
+  normalize_edge_list(el);
+  EXPECT_EQ(el.edges, (std::vector<Edge>{{0, 1}, {1, 3}}));
+}
+
+TEST(Builder, NormalizeRejectsOutOfRange) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.add(0, 5);
+  EXPECT_THROW(normalize_edge_list(el), std::logic_error);
+}
+
+TEST(Builder, MakeConnectedChainsComponents) {
+  EdgeList el;
+  el.num_vertices = 6;
+  el.add(0, 1);
+  el.add(2, 3);  // second component
+  // 4, 5 isolated
+  normalize_edge_list(el);
+  const std::size_t added = make_connected(el);
+  EXPECT_EQ(added, 3u);  // 4 components -> 3 extra edges
+  const CsrGraph g = build_csr(el);
+  g.validate();
+}
+
+TEST(Builder, BuildCsrShapesAndInvariants) {
+  const CsrGraph g = test::figure1_graph();
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.num_arcs(), 18u);
+  EXPECT_EQ(g.degree(1), 3u);  // b: a, c, g
+  EXPECT_EQ(g.degree(7), 1u);  // h: g
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 7));
+  // Adjacency sorted ascending.
+  const auto nb = g.neighbors(1);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Builder, EmptyAndSingletonGraphs) {
+  EdgeList empty;
+  const CsrGraph g0 = build_graph(empty, true);
+  EXPECT_EQ(g0.num_vertices(), 0u);
+  EXPECT_EQ(g0.num_edges(), 0u);
+
+  EdgeList one;
+  one.num_vertices = 1;
+  const CsrGraph g1 = build_graph(one, true);
+  EXPECT_EQ(g1.num_vertices(), 1u);
+  EXPECT_EQ(g1.degree(0), 0u);
+  EXPECT_EQ(g1.average_degree(), 0.0);
+}
+
+TEST(Csr, ValidateCatchesAsymmetry) {
+  // Hand-build a broken CSR: arc 0->1 without 1->0.
+  std::vector<eid_t> offsets{0, 1, 1};
+  std::vector<vid_t> adj{1};
+  const CsrGraph g(std::move(offsets), std::move(adj));
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(Csr, ConstructorRejectsInconsistentArrays) {
+  EXPECT_THROW(CsrGraph({}, {}), std::logic_error);           // no offsets
+  EXPECT_THROW(CsrGraph({0, 2}, {1}), std::logic_error);      // bad back()
+}
+
+// ------------------------------------------------------------ subgraphs --
+
+TEST(Subgraph, FilterEdgesKeepsPredicatedArcs) {
+  const CsrGraph g = test::figure1_graph();
+  // Keep only edges inside the a-b-c triangle.
+  const CsrGraph tri = filter_edges(g, [](vid_t u, vid_t v) {
+    return u <= 2 && v <= 2;
+  });
+  tri.validate();
+  EXPECT_EQ(tri.num_vertices(), g.num_vertices());
+  EXPECT_EQ(tri.num_edges(), 3u);
+  EXPECT_EQ(tri.degree(3), 0u);
+}
+
+TEST(Subgraph, InducedSubgraphByMask) {
+  const CsrGraph g = test::figure1_graph();
+  std::vector<std::uint8_t> mask(8, 0);
+  mask[3] = mask[4] = mask[5] = 1;  // the d-e-f triangle
+  const CsrGraph sub = induced_subgraph(g, mask);
+  sub.validate();
+  EXPECT_EQ(sub.num_edges(), 3u);
+  EXPECT_EQ(sub.degree(0), 0u);
+  EXPECT_EQ(sub.degree(4), 2u);
+}
+
+TEST(Subgraph, ArcFlagFilterMatchesPredicateFilter) {
+  const CsrGraph g = test::random_graph(200, 600, 5);
+  // Drop every edge with u+v odd, via both APIs; results must agree.
+  const auto keep = [](vid_t u, vid_t v) { return ((u + v) & 1u) == 0; };
+  const CsrGraph by_pred = filter_edges(g, keep);
+  std::vector<std::uint8_t> flags(g.num_arcs());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      flags[a] = keep(u, g.arc_head(a));
+    }
+  }
+  const CsrGraph by_flag = filter_edges_by_arc_flag(g, flags);
+  EXPECT_EQ(by_pred.offsets().size(), by_flag.offsets().size());
+  EXPECT_TRUE(std::equal(by_pred.adjacency().begin(),
+                         by_pred.adjacency().end(),
+                         by_flag.adjacency().begin(),
+                         by_flag.adjacency().end()));
+}
+
+TEST(Subgraph, ComplementaryFiltersPartitionEdges) {
+  const CsrGraph g = test::random_graph(300, 900, 6);
+  const auto pred = [](vid_t u, vid_t v) { return (u % 3) == (v % 3); };
+  const CsrGraph in = filter_edges(g, pred);
+  const CsrGraph out =
+      filter_edges(g, [&](vid_t u, vid_t v) { return !pred(u, v); });
+  EXPECT_EQ(in.num_edges() + out.num_edges(), g.num_edges());
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, PathFingerprint) {
+  const CsrGraph g = build_graph(gen_path(100), false);
+  const GraphStats s = graph_stats(g);
+  EXPECT_EQ(s.num_vertices, 100u);
+  EXPECT_EQ(s.num_edges, 99u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.pct_deg2, 100.0);
+}
+
+TEST(Stats, StarFingerprint) {
+  const CsrGraph g = build_graph(gen_star(50), false);
+  const GraphStats s = graph_stats(g);
+  EXPECT_EQ(s.max_degree, 49u);
+  EXPECT_NEAR(s.pct_deg2, 98.0, 0.01);  // all but the hub
+  EXPECT_NEAR(s.avg_degree, 2.0 * 49 / 50, 1e-9);
+}
+
+TEST(Stats, DegreeHistogramCapsAndCounts) {
+  const CsrGraph g = build_graph(gen_star(50), false);
+  const auto hist = degree_histogram(g, 4);
+  EXPECT_EQ(hist[1], 49u);
+  EXPECT_EQ(hist[4], 1u);  // hub accumulated into the cap bucket
+  EXPECT_EQ(hist[0] + hist[1] + hist[2] + hist[3] + hist[4], 50u);
+}
+
+TEST(Stats, PctDegreeAtMostVariesWithK) {
+  const CsrGraph g = test::figure1_graph();
+  EXPECT_GT(pct_degree_at_most(g, 3), pct_degree_at_most(g, 1));
+  EXPECT_DOUBLE_EQ(pct_degree_at_most(g, 100), 100.0);
+}
+
+}  // namespace
+}  // namespace sbg

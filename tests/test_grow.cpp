@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "core/grow.hpp"
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(GrowDecomp, LabelsCoverEveryVertex) {
+  const CsrGraph g = test::random_graph(1000, 3000, 3);
+  const GrowDecomposition d = decompose_grow(g, 8, 42);
+  for (const vid_t p : d.part) ASSERT_LT(p, 8u);
+  EXPECT_EQ(d.g_intra.num_edges() + d.g_cross.num_edges(), g.num_edges());
+  EXPECT_EQ(d.cut_edges, d.g_cross.num_edges());
+}
+
+TEST(GrowDecomp, LocalityBeatsRandomCut) {
+  // On a locality-friendly graph, BFS growth must cut far fewer edges
+  // than a uniform random partition with the same k.
+  const CsrGraph g = build_graph(gen_grid(40, 40), false);
+  const GrowDecomposition grow = decompose_grow(g, 8, 7);
+  const RandDecomposition rnd = decompose_rand(g, 8, 7);
+  EXPECT_LT(grow.cut_edges, rnd.g_cross.num_edges() / 2);
+}
+
+TEST(GrowDecomp, DeterministicInSeed) {
+  const CsrGraph g = test::random_graph(500, 1500, 5);
+  EXPECT_EQ(decompose_grow(g, 4, 9).part, decompose_grow(g, 4, 9).part);
+}
+
+TEST(GrowDecomp, HandlesDisconnectedLeftovers) {
+  EdgeList el;
+  el.num_vertices = 20;
+  el.add(0, 1);  // tiny component; 18 isolated vertices
+  const CsrGraph g = build_graph(std::move(el), /*connect=*/false);
+  const GrowDecomposition d = decompose_grow(g, 3, 1);
+  for (const vid_t p : d.part) ASSERT_LT(p, 3u);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,92 @@
+// Shared fixtures and graph factories for the sbg test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace sbg::test {
+
+/// The paper's Figure 1 example graph: 8 vertices a..h (0..7).
+/// Edges: a-b, b-c, c-a (triangle), c-d (bridge), d-e, e-f, f-d (triangle),
+/// b-g (bridge), g-h (bridge).
+inline CsrGraph figure1_graph() {
+  EdgeList el;
+  el.num_vertices = 8;
+  const vid_t a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7;
+  el.add(a, b);
+  el.add(b, c);
+  el.add(c, a);
+  el.add(c, d);
+  el.add(d, e);
+  el.add(e, f);
+  el.add(f, d);
+  el.add(b, g);
+  el.add(g, h);
+  return build_graph(std::move(el), /*connect=*/false);
+}
+
+/// Small connected random graph for property sweeps.
+inline CsrGraph random_graph(vid_t n, eid_t m, std::uint64_t seed,
+                             bool connect = true) {
+  return build_graph(gen_erdos_renyi(n, m, seed), connect);
+}
+
+/// Descriptor for parameterized sweeps over mixed graph shapes.
+struct GraphCase {
+  std::string name;
+  CsrGraph (*make)();
+};
+
+inline CsrGraph make_path_200() { return build_graph(gen_path(200), false); }
+inline CsrGraph make_cycle_201() { return build_graph(gen_cycle(201), false); }
+inline CsrGraph make_grid_16x12() {
+  return build_graph(gen_grid(16, 12), false);
+}
+inline CsrGraph make_star_64() { return build_graph(gen_star(64), false); }
+inline CsrGraph make_complete_24() {
+  return build_graph(gen_complete(24), false);
+}
+inline CsrGraph make_tree_300() {
+  return build_graph(gen_random_tree(300, 7), false);
+}
+inline CsrGraph make_er_sparse() { return random_graph(400, 700, 11); }
+inline CsrGraph make_er_dense() { return random_graph(150, 3000, 13); }
+inline CsrGraph make_rmat_small() {
+  return build_graph(gen_rmat(512, 4000, 17), true);
+}
+inline CsrGraph make_rgg_small() {
+  return build_graph(gen_rgg(600, 8.0, 19), true);
+}
+inline CsrGraph make_road_small() {
+  return build_graph(gen_road(800, 1.5, 0.3, 23), true);
+}
+inline CsrGraph make_broom_small() {
+  return build_graph(gen_broom(700, 29), true);
+}
+inline CsrGraph make_figure1() { return figure1_graph(); }
+
+/// The standard shape sweep used by matching/coloring/MIS property tests.
+inline std::vector<GraphCase> shape_sweep() {
+  return {
+      {"path200", &make_path_200},    {"cycle201", &make_cycle_201},
+      {"grid16x12", &make_grid_16x12}, {"star64", &make_star_64},
+      {"complete24", &make_complete_24}, {"tree300", &make_tree_300},
+      {"er_sparse", &make_er_sparse}, {"er_dense", &make_er_dense},
+      {"rmat", &make_rmat_small},     {"rgg", &make_rgg_small},
+      {"road", &make_road_small},     {"broom", &make_broom_small},
+      {"figure1", &make_figure1},
+  };
+}
+
+inline std::string case_name(
+    const ::testing::TestParamInfo<GraphCase>& info) {
+  return info.param.name;
+}
+
+}  // namespace sbg::test

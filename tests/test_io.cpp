@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(MatrixMarket, ParsesSymmetricPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "2 1\n"
+      "3 2\n"
+      "4 4\n");  // self loop, dropped by normalize
+  EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.num_vertices, 4u);
+  EXPECT_EQ(el.size(), 3u);
+  const CsrGraph g = build_graph(std::move(el), false);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(MatrixMarket, ParsesRealValuesIgnoringWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 2 0.5\n"
+      "3 1 -2.25\n");
+  EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.size(), 2u);
+  EXPECT_EQ(el.edges[0], (Edge{0, 1}));
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::istringstream no_banner("3 3 1\n1 2\n");
+  EXPECT_THROW(read_matrix_market(no_banner), InputError);
+
+  std::istringstream bad_index(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n");
+  EXPECT_THROW(read_matrix_market(bad_index), InputError);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n");
+  EXPECT_THROW(read_matrix_market(truncated), InputError);
+}
+
+TEST(EdgeListIo, RoundTrips) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(1, 4);
+  el.add(2, 3);
+  normalize_edge_list(el);
+
+  std::stringstream buf;
+  write_edge_list(buf, el);
+  EdgeList back = read_edge_list(buf);
+  EXPECT_EQ(back.num_vertices, 5u);
+  EXPECT_EQ(back.edges, el.edges);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndRejectsJunk) {
+  std::istringstream good("# header\n0 1\n\n2 3\n");
+  EXPECT_EQ(read_edge_list(good).size(), 2u);
+
+  std::istringstream bad("0 x\n");
+  EXPECT_THROW(read_edge_list(bad), InputError);
+}
+
+TEST(BinaryIo, RoundTripsExactly) {
+  const CsrGraph g = test::random_graph(300, 800, 3);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  const CsrGraph back = read_binary(buf);
+  EXPECT_TRUE(std::equal(g.offsets().begin(), g.offsets().end(),
+                         back.offsets().begin(), back.offsets().end()));
+  EXPECT_TRUE(std::equal(g.adjacency().begin(), g.adjacency().end(),
+                         back.adjacency().begin(), back.adjacency().end()));
+}
+
+TEST(BinaryIo, RejectsWrongMagicAndTruncation) {
+  std::stringstream junk;
+  junk << "NOTSBG00 trailing";
+  EXPECT_THROW(read_binary(junk), InputError);
+
+  const CsrGraph g = test::random_graph(50, 100, 4);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream cut(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(cut), InputError);
+}
+
+TEST(FileIo, SaveAndLoadByExtension) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "sbg_io_test";
+  fs::create_directories(dir);
+  const CsrGraph g = test::figure1_graph();
+
+  const auto sbg_path = (dir / "g.sbg").string();
+  save_graph(sbg_path, g);
+  const CsrGraph g1 = load_graph(sbg_path);
+  EXPECT_EQ(g1.num_edges(), g.num_edges());
+
+  const auto el_path = (dir / "g.el").string();
+  save_graph(el_path, g);
+  const CsrGraph g2 = load_graph(el_path);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+
+  EXPECT_THROW(load_graph((dir / "missing.el").string()), InputError);
+  EXPECT_THROW(load_graph((dir / "g.xyz").string()), InputError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "matching/matching.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+// ------------------------------------------------------------ baselines --
+
+TEST(GM, PathShowsVainTendency) {
+  // Ascending-id path: lowest-id proposals form one long chain; GM matches
+  // roughly one edge at the head per round — the paper's vain tendency.
+  const CsrGraph g = build_graph(gen_path(200), false);
+  const MatchResult r = mm_gm(g);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_GE(r.rounds, 50u);  // pathological round count, by design
+}
+
+TEST(LMAX, IndexWeightsShowChainBehaviourOnPaths) {
+  // Default (paper-faithful) index weights: on an ascending-id path the
+  // edge weights are monotone, so only the chain head is a local maximum
+  // each round — the GPU-side analogue of GM's vain tendency.
+  const CsrGraph g = build_graph(gen_path(200), false);
+  const MatchResult r = mm_lmax(g);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_GE(r.rounds, 50u);
+}
+
+TEST(LMAX, RandomWeightsFinishInFewRounds) {
+  const CsrGraph g = build_graph(gen_path(200), false);
+  const MatchResult r = mm_lmax(g, 42, LmaxWeights::kRandom);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_LE(r.rounds, 32u);  // ~log n with random local maxima
+}
+
+TEST(GM, CompleteGraphMatchesPerfectly) {
+  const CsrGraph g = build_graph(gen_complete(24), false);
+  const MatchResult r = mm_gm(g);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_EQ(r.cardinality, 12u);
+}
+
+TEST(GM, StarMatchesExactlyOneEdge) {
+  const CsrGraph g = build_graph(gen_star(40), false);
+  const MatchResult r = mm_gm(g);
+  EXPECT_EQ(r.cardinality, 1u);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+}
+
+TEST(LMAX, DeterministicInSeed) {
+  const CsrGraph g = test::random_graph(500, 2000, 3);
+  // Index weights ignore the seed entirely.
+  EXPECT_EQ(mm_lmax(g, 7).mate, mm_lmax(g, 8).mate);
+  // Random weights depend on it (and are reproducible for a fixed one).
+  EXPECT_EQ(mm_lmax(g, 7, LmaxWeights::kRandom).mate,
+            mm_lmax(g, 7, LmaxWeights::kRandom).mate);
+  EXPECT_NE(mm_lmax(g, 7, LmaxWeights::kRandom).mate,
+            mm_lmax(g, 8, LmaxWeights::kRandom).mate);
+}
+
+TEST(Extenders, RespectPreMatchedVertices) {
+  const CsrGraph g = build_graph(gen_complete(6), false);
+  std::vector<vid_t> mate(6, kNoVertex);
+  mate[0] = 1;
+  mate[1] = 0;
+  gm_extend(g, mate);
+  EXPECT_EQ(mate[0], 1u);  // untouched
+  EXPECT_TRUE(verify_maximal_matching(g, mate));
+}
+
+TEST(Extenders, ActiveMaskRestrictsParticipation) {
+  const CsrGraph g = build_graph(gen_complete(8), false);
+  std::vector<vid_t> mate(8, kNoVertex);
+  std::vector<std::uint8_t> active(8, 0);
+  active[2] = active[3] = 1;
+  gm_extend(g, mate, &active);
+  EXPECT_EQ(mate[2], 3u);
+  EXPECT_EQ(mate[3], 2u);
+  for (vid_t v : {0u, 1u, 4u, 5u, 6u, 7u}) EXPECT_EQ(mate[v], kNoVertex);
+}
+
+TEST(Verify, CatchesBrokenMatchings) {
+  const CsrGraph g = build_graph(gen_path(6), false);
+  std::vector<vid_t> mate(6, kNoVertex);
+  std::string err;
+  // Not maximal: edge 0-1 live.
+  EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
+  EXPECT_EQ(err, "matching is not maximal");
+  // Non-involution.
+  mate.assign(6, kNoVertex);
+  mate[0] = 1;
+  EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
+  // Non-edge "match".
+  mate.assign(6, kNoVertex);
+  mate[0] = 3;
+  mate[3] = 0;
+  EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
+}
+
+// ------------------------------------------------ composites, all shapes --
+
+struct MmCase {
+  test::GraphCase graph;
+  MatchEngine engine;
+};
+
+class MatchingComposites : public ::testing::TestWithParam<MmCase> {};
+
+TEST_P(MatchingComposites, AllThreeProduceMaximalMatchings) {
+  const CsrGraph g = GetParam().graph.make();
+  const MatchEngine e = GetParam().engine;
+  std::string err;
+
+  const MatchResult b = mm_bridge(g, e);
+  EXPECT_TRUE(verify_maximal_matching(g, b.mate, &err)) << "bridge: " << err;
+
+  const MatchResult r = mm_rand(g, 4, e);
+  EXPECT_TRUE(verify_maximal_matching(g, r.mate, &err)) << "rand: " << err;
+
+  const MatchResult d = mm_degk(g, 2, e);
+  EXPECT_TRUE(verify_maximal_matching(g, d.mate, &err)) << "degk: " << err;
+}
+
+std::vector<MmCase> matching_cases() {
+  std::vector<MmCase> cases;
+  for (const auto& gc : test::shape_sweep()) {
+    cases.push_back({gc, MatchEngine::kGM});
+    cases.push_back({gc, MatchEngine::kLMAX});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatchingComposites, ::testing::ValuesIn(matching_cases()),
+    [](const auto& info) {
+      return info.param.graph.name +
+             (info.param.engine == MatchEngine::kGM ? "_gm" : "_lmax");
+    });
+
+TEST(MatchingComposites, RandPartitionSweepStaysValid) {
+  const CsrGraph g = test::random_graph(600, 2400, 11);
+  for (vid_t k : {1u, 2u, 4u, 10u, 50u, 200u}) {
+    const MatchResult r = mm_rand(g, k);
+    EXPECT_TRUE(verify_maximal_matching(g, r.mate)) << "k=" << k;
+  }
+}
+
+TEST(MatchingComposites, DegkThresholdSweepStaysValid) {
+  const CsrGraph g = test::random_graph(600, 2400, 13);
+  for (vid_t k : {1u, 2u, 3u, 8u, 64u}) {
+    const MatchResult r = mm_degk(g, k);
+    EXPECT_TRUE(verify_maximal_matching(g, r.mate)) << "k=" << k;
+  }
+}
+
+TEST(MatchingComposites, BridgeWalkVariantsAgreeOnValidity) {
+  const CsrGraph g = test::make_road_small();
+  const MatchResult naive =
+      mm_bridge(g, MatchEngine::kGM, 42, BridgeAlgo::kNaiveWalk);
+  const MatchResult fast =
+      mm_bridge(g, MatchEngine::kGM, 42, BridgeAlgo::kShortcutWalk);
+  EXPECT_TRUE(verify_maximal_matching(g, naive.mate));
+  EXPECT_TRUE(verify_maximal_matching(g, fast.mate));
+  // Same bridges -> same phase structure -> identical matching.
+  EXPECT_EQ(naive.mate, fast.mate);
+}
+
+TEST(MatchingComposites, CardinalityIsAtLeastHalfOptimalOnPath) {
+  // Any maximal matching is a 1/2-approximation; on a path of 2k vertices
+  // the optimum is k, so cardinality must be >= k/2.
+  const CsrGraph g = build_graph(gen_path(400), false);
+  for (const MatchResult& r :
+       {mm_gm(g), mm_rand(g, 4), mm_degk(g, 2), mm_bridge(g)}) {
+    EXPECT_GE(r.cardinality, 100u);
+  }
+}
+
+TEST(MatchingComposites, VainTendencyAblation) {
+  // The Section III-C story at miniature scale: on a spatially-ordered
+  // rgg-like graph, MM-Rand needs far fewer GM rounds than plain GM.
+  const CsrGraph g = build_graph(gen_rgg(4000, 14.0, 3), true);
+  const MatchResult base = mm_gm(g);
+  const MatchResult rand10 = mm_rand(g, 10);
+  EXPECT_TRUE(verify_maximal_matching(g, base.mate));
+  EXPECT_TRUE(verify_maximal_matching(g, rand10.mate));
+  EXPECT_LT(rand10.rounds, base.rounds);
+}
+
+}  // namespace
+}  // namespace sbg

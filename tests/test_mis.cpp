@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "mis/mis.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(Luby, ShapesSweepProducesValidMis) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    const MisResult r = mis_luby(g);
+    std::string err;
+    EXPECT_TRUE(verify_mis(g, r.state, &err)) << c.name << ": " << err;
+  }
+}
+
+TEST(Luby, StarPicksLeavesOrHub) {
+  const CsrGraph g = build_graph(gen_star(50), false);
+  const MisResult r = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, r.state));
+  // Either the hub alone, or all 49 leaves.
+  EXPECT_TRUE(r.size == 1 || r.size == 49) << r.size;
+}
+
+TEST(Luby, CompleteGraphPicksExactlyOne) {
+  const CsrGraph g = build_graph(gen_complete(30), false);
+  const MisResult r = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_EQ(r.size, 1u);
+}
+
+TEST(Luby, PathMisIsBetweenThirdAndHalf) {
+  const CsrGraph g = build_graph(gen_path(300), false);
+  const MisResult r = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_GE(r.size, 100u);  // any MIS of a path covers >= n/3
+  EXPECT_LE(r.size, 150u);  // and at most ceil(n/2)
+}
+
+TEST(Luby, DeterministicInSeed) {
+  const CsrGraph g = test::random_graph(800, 3000, 3);
+  EXPECT_EQ(mis_luby(g, 5).state, mis_luby(g, 5).state);
+}
+
+TEST(Luby, FewRoundsOnRandomGraphs) {
+  const CsrGraph g = test::random_graph(5000, 20'000, 7);
+  const MisResult r = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_LE(r.rounds, 40u);  // expected O(log n)
+}
+
+TEST(Oriented, PathAndCycleAreFastAndValid) {
+  for (const auto make : {test::make_path_200, test::make_cycle_201}) {
+    const CsrGraph g = make();
+    std::vector<MisState> state(g.num_vertices(), MisState::kUndecided);
+    const vid_t rounds = oriented_extend(g, state);
+    std::string err;
+    EXPECT_TRUE(verify_mis(g, state, &err)) << err;
+    EXPECT_LE(rounds, 24u);  // fixed priorities: ~log of longest chain
+  }
+}
+
+TEST(Oriented, RespectsActiveMaskAndPriorState) {
+  const CsrGraph g = build_graph(gen_path(10), false);
+  std::vector<MisState> state(10, MisState::kUndecided);
+  state[0] = MisState::kIn;
+  state[1] = MisState::kOut;
+  std::vector<std::uint8_t> active(10, 1);
+  active[9] = 0;
+  oriented_extend(g, state, &active);
+  EXPECT_EQ(state[0], MisState::kIn);
+  EXPECT_EQ(state[1], MisState::kOut);
+  EXPECT_EQ(state[9], MisState::kUndecided);  // inactive, untouched
+  // Everything else decided consistently on the subpath 2..8.
+  for (vid_t v = 2; v <= 8; ++v) {
+    EXPECT_NE(state[v], MisState::kUndecided) << v;
+  }
+}
+
+TEST(Verify, CatchesBrokenMis) {
+  const CsrGraph g = build_graph(gen_path(4), false);
+  std::string err;
+  std::vector<MisState> state(4, MisState::kUndecided);
+  EXPECT_FALSE(verify_mis(g, state, &err));
+  // Adjacent kIn pair.
+  state = {MisState::kIn, MisState::kIn, MisState::kOut, MisState::kIn};
+  EXPECT_FALSE(verify_mis(g, state, &err));
+  // kOut with no kIn neighbor (vertex 3's only neighbor is kOut).
+  state = {MisState::kIn, MisState::kOut, MisState::kOut, MisState::kOut};
+  EXPECT_FALSE(verify_mis(g, state, &err));
+  // A correct one.
+  state = {MisState::kIn, MisState::kOut, MisState::kIn, MisState::kOut};
+  EXPECT_TRUE(verify_mis(g, state, &err)) << err;
+}
+
+// ------------------------------------------------ composites, all shapes --
+
+class MisComposites : public ::testing::TestWithParam<test::GraphCase> {};
+
+TEST_P(MisComposites, AllThreeProduceValidMis) {
+  const CsrGraph g = GetParam().make();
+  std::string err;
+
+  const MisResult b = mis_bridge(g);
+  EXPECT_TRUE(verify_mis(g, b.state, &err)) << "bridge: " << err;
+
+  const MisResult r = mis_rand(g, 4);
+  EXPECT_TRUE(verify_mis(g, r.state, &err)) << "rand: " << err;
+
+  const MisResult d = mis_degk(g, 2);
+  EXPECT_TRUE(verify_mis(g, d.state, &err)) << "degk: " << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MisComposites,
+                         ::testing::ValuesIn(test::shape_sweep()),
+                         test::case_name);
+
+TEST(MisComposites, RandPartitionSweepStaysValid) {
+  const CsrGraph g = test::random_graph(700, 2800, 23);
+  for (vid_t k : {1u, 2u, 4u, 16u, 100u}) {
+    const MisResult r = mis_rand(g, k);
+    EXPECT_TRUE(verify_mis(g, r.state)) << "k=" << k;
+  }
+}
+
+TEST(MisComposites, DegkHandlesAllLowAndAllHighExtremes) {
+  // All-low: a path (the whole graph is the oriented phase).
+  const CsrGraph path = build_graph(gen_path(300), false);
+  EXPECT_TRUE(verify_mis(path, mis_degk(path, 2).state));
+  // All-high: a complete graph (the oriented phase is empty).
+  const CsrGraph comp = build_graph(gen_complete(20), false);
+  const MisResult r = mis_degk(comp, 2);
+  EXPECT_TRUE(verify_mis(comp, r.state));
+  EXPECT_EQ(r.size, 1u);
+}
+
+TEST(MisComposites, Deg2WinsRoundsOnBroomGraphs)  {
+  // The Section V story: on lp1-like graphs almost everything is degree
+  // <= 2, so MIS-Deg2 decides nearly the whole graph in the cheap oriented
+  // phase and the Luby tail is tiny.
+  const CsrGraph g = build_graph(gen_broom(20'000, 5), true);
+  const MisResult deg2 = mis_degk(g, 2);
+  const MisResult luby = mis_luby(g);
+  EXPECT_TRUE(verify_mis(g, deg2.state));
+  EXPECT_TRUE(verify_mis(g, luby.state));
+  EXPECT_GT(deg2.size, 0u);
+}
+
+}  // namespace
+}  // namespace sbg

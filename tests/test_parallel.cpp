@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "parallel/atomics.hpp"
+#include "parallel/bitset.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace sbg {
+namespace {
+
+// ---------------------------------------------------------- prefix sums --
+
+class PrefixSumSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefixSumSizes, MatchesSequentialReference) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint64_t> data(n), expect(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = (i * 2654435761u) % 97;
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = run;
+    run += data[i];
+  }
+  const std::uint64_t total = exclusive_prefix_sum(std::span(data));
+  EXPECT_EQ(total, run);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrefixSumSizes,
+                         ::testing::Values(0, 1, 2, 100, 1 << 14, (1 << 16) + 3,
+                                           (1 << 18) + 17));
+
+TEST(PrefixSum, OffsetsFromCounts) {
+  const std::vector<std::uint32_t> counts{3, 0, 5, 1};
+  const auto offsets = offsets_from_counts<std::uint64_t>(counts);
+  EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 3, 3, 8, 9}));
+}
+
+// ----------------------------------------------------------- reductions --
+
+TEST(Reduce, SumCountMaxAny) {
+  const std::size_t n = 100'000;
+  EXPECT_EQ(parallel_sum<std::uint64_t>(n, [](std::size_t i) { return i; }),
+            n * (n - 1) / 2);
+  EXPECT_EQ(parallel_count(n, [](std::size_t i) { return i % 3 == 0; }),
+            (n + 2) / 3);
+  EXPECT_EQ(parallel_max<std::uint64_t>(
+                n, [](std::size_t i) { return i * 7 % 1003; }, 0),
+            1002u);  // gcd(7, 1003) == 1, so the full residue range appears
+  EXPECT_TRUE(parallel_any(n, [](std::size_t i) { return i == n - 1; }));
+  EXPECT_FALSE(parallel_any(n, [](std::size_t) { return false; }));
+  EXPECT_FALSE(parallel_any(0, [](std::size_t) { return true; }));
+}
+
+// -------------------------------------------------------------- atomics --
+
+TEST(Atomics, FetchMinMaxClaim) {
+  std::uint32_t x = 10;
+  EXPECT_TRUE(fetch_min(&x, 5u));
+  EXPECT_EQ(x, 5u);
+  EXPECT_FALSE(fetch_min(&x, 7u));
+  EXPECT_TRUE(fetch_max(&x, 9u));
+  EXPECT_FALSE(fetch_max(&x, 3u));
+  EXPECT_EQ(x, 9u);
+
+  std::uint32_t slot = 0;
+  EXPECT_TRUE(claim(&slot, 0u, 42u));
+  EXPECT_FALSE(claim(&slot, 0u, 43u));
+  EXPECT_EQ(slot, 42u);
+}
+
+TEST(Atomics, ConcurrentFetchAddCountsExactly) {
+  std::uint64_t counter = 0;
+  const std::size_t n = 200'000;
+  parallel_for(n, [&](std::size_t) { fetch_add(&counter, std::uint64_t{1}); });
+  EXPECT_EQ(counter, n);
+}
+
+TEST(Atomics, ConcurrentFetchMinFindsGlobalMin) {
+  std::uint64_t best = ~0ull;
+  const std::size_t n = 100'000;
+  parallel_for(n, [&](std::size_t i) {
+    fetch_min(&best, mix64(i) | 1);  // never zero
+  });
+  std::uint64_t expect = ~0ull;
+  for (std::size_t i = 0; i < n; ++i) expect = std::min(expect, mix64(i) | 1);
+  EXPECT_EQ(best, expect);
+}
+
+// --------------------------------------------------------------- bitset --
+
+TEST(Bitset, SetResetTestCount) {
+  ConcurrentBitset bs(1000);
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_TRUE(bs.set(3));
+  EXPECT_FALSE(bs.set(3));  // second setter loses
+  EXPECT_TRUE(bs.test(3));
+  EXPECT_TRUE(bs.set(999));
+  EXPECT_EQ(bs.count(), 2u);
+  EXPECT_TRUE(bs.reset(3));
+  EXPECT_FALSE(bs.reset(3));
+  EXPECT_FALSE(bs.test(3));
+  bs.clear();
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_FALSE(bs.test(999));
+}
+
+TEST(Bitset, ConcurrentSetsAreExactlyOnce) {
+  const std::size_t n = 1 << 18;
+  ConcurrentBitset bs(n);
+  std::uint64_t winners = 0;
+  // Every bit set by two logical writers; exactly one must win each.
+  parallel_for(2 * n, [&](std::size_t i) {
+    if (bs.set(i / 2)) fetch_add(&winners, std::uint64_t{1});
+  });
+  EXPECT_EQ(winners, n);
+  EXPECT_EQ(bs.count(), n);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, StreamsAreDeterministicAndIndexAddressable) {
+  const RandomStream a(42, 7), b(42, 7), c(42, 8);
+  EXPECT_EQ(a.bits(123), b.bits(123));
+  EXPECT_NE(a.bits(123), c.bits(123));
+  EXPECT_NE(a.bits(123), a.bits(124));
+}
+
+TEST(Rng, BelowStaysInRangeAndCoversIt) {
+  const RandomStream rs(1, 2);
+  std::vector<int> seen(10, 0);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const auto v = rs.below(i, 10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (int s : seen) EXPECT_GT(s, 500);  // roughly uniform
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  const RandomStream rs(3, 4);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const double u = rs.uniform(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+// ------------------------------------------------------------- threads --
+
+TEST(ThreadEnv, ScopedThreadsRestores) {
+  const int before = num_threads();
+  {
+    ScopedThreads guard(1);
+    EXPECT_EQ(num_threads(), 1);
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(ParallelFor, BlocksCoverRangeDisjointly) {
+  const std::size_t n = 100'003;
+  std::vector<std::uint8_t> hit(n, 0);
+  parallel_blocks(n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) ++hit[i];
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hit[i], 1) << i;
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,150 @@
+// Property-based sweeps: randomized instances (seed x density x partition
+// count) checked against the invariants every algorithm must preserve —
+// approximation bounds, palette bounds, conservation laws — rather than
+// fixed expected values.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "coloring/coloring.hpp"
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+using Params = std::tuple<std::uint64_t /*seed*/, eid_t /*edges*/>;
+
+class RandomInstance : public ::testing::TestWithParam<Params> {
+ protected:
+  CsrGraph graph() const {
+    const auto [seed, m] = GetParam();
+    return test::random_graph(600, m, seed);
+  }
+};
+
+TEST_P(RandomInstance, MatchingsSatisfyHalfApproximation) {
+  const CsrGraph g = graph();
+  // Every maximal matching is within factor 2 of every other (and of the
+  // maximum); pairwise-check the whole family.
+  const eid_t cards[] = {
+      mm_gm(g).cardinality,         mm_lmax(g).cardinality,
+      mm_ii(g).cardinality,         mm_greedy_seq(g).cardinality,
+      mm_rand(g, 4).cardinality,    mm_degk(g, 2).cardinality,
+      mm_bridge(g).cardinality,
+  };
+  for (const eid_t a : cards) {
+    for (const eid_t b : cards) {
+      EXPECT_LE(a, 2 * b);
+    }
+  }
+}
+
+TEST_P(RandomInstance, MatchedEdgesAreConservedUnderDecomposition) {
+  const CsrGraph g = graph();
+  // Conservation: a composite's matching only uses edges of G, and the
+  // sum of matched vertices is exactly 2|M|.
+  const MatchResult r = mm_rand(g, 6);
+  std::size_t matched = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.mate[v] != kNoVertex) {
+      ++matched;
+      EXPECT_TRUE(g.has_edge(v, r.mate[v]));
+    }
+  }
+  EXPECT_EQ(matched, 2 * r.cardinality);
+}
+
+TEST_P(RandomInstance, ColoringsRespectDegreeBounds) {
+  const CsrGraph g = graph();
+  const GraphStats s = graph_stats(g);
+  // Greedy-flavored algorithms never exceed Δ+1; windowed ones (VB/EB)
+  // may skip colors when a window saturates, but stay within 2(Δ+1).
+  EXPECT_LE(color_jp(g).num_colors, s.max_degree + 1);
+  EXPECT_LE(color_speculative(g).num_colors, s.max_degree + 1);
+  EXPECT_LE(color_vb(g).num_colors, 2 * (s.max_degree + 1));
+  EXPECT_LE(color_eb(g).num_colors, 2 * (s.max_degree + 1));
+  // Lower bound: any edge forces 2 colors.
+  if (g.num_edges() > 0) {
+    EXPECT_GE(color_vb(g).num_colors, 2u);
+  }
+}
+
+TEST_P(RandomInstance, MisSizesRespectDegreeBounds) {
+  const CsrGraph g = graph();
+  const GraphStats s = graph_stats(g);
+  const std::size_t lower =
+      g.num_vertices() / (static_cast<std::size_t>(s.max_degree) + 1);
+  for (const auto& r : {mis_luby(g), mis_greedy(g), mis_degk(g, 2),
+                        mis_rand(g, 4), mis_bridge(g)}) {
+    EXPECT_GE(r.size, lower);      // any MIS covers n/(Δ+1) vertices
+    EXPECT_LE(r.size, g.num_vertices());
+  }
+}
+
+TEST_P(RandomInstance, DecompositionsPartitionEdgesExactly) {
+  const CsrGraph g = graph();
+  const auto [seed, m] = GetParam();
+  for (vid_t k : {2u, 5u, 13u}) {
+    const RandDecomposition d = decompose_rand(g, k, seed);
+    ASSERT_EQ(d.g_intra.num_edges() + d.g_cross.num_edges(), g.num_edges());
+  }
+  const DegkDecomposition dd = decompose_degk(g, 3, kDegkAll);
+  ASSERT_EQ(dd.g_high.num_edges() + dd.g_low.num_edges() +
+                dd.g_cross.num_edges(),
+            g.num_edges());
+  ASSERT_EQ(dd.g_low.num_edges() + dd.g_cross.num_edges(),
+            dd.g_low_cross.num_edges());
+  const BridgeDecomposition bd = decompose_bridge(g);
+  ASSERT_EQ(bd.g_components.num_edges() + bd.bridges.size(), g.num_edges());
+}
+
+TEST_P(RandomInstance, BridgeRemovalNeverDisconnectsTwoEdgeConnectedPairs) {
+  const CsrGraph g = graph();
+  const BridgeDecomposition d = decompose_bridge(g);
+  // Endpoints of any NON-bridge edge stay in the same component of G - B.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : d.g_components.neighbors(u)) {
+      ASSERT_EQ(d.components.label[u], d.components.label[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByDensity, RandomInstance,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(700, 1800, 5000)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------- composite phase counts --
+
+TEST(Properties, CompositeRoundsAreSumOfPhases) {
+  // Decomposition variants report the sum of their phase rounds — strictly
+  // positive whenever the graph has edges.
+  const CsrGraph g = test::random_graph(500, 2000, 9);
+  EXPECT_GT(mm_rand(g, 4).rounds, 0u);
+  EXPECT_GT(color_degk(g, 2).rounds, 0u);
+  EXPECT_GT(mis_degk(g, 2).rounds, 0u);
+}
+
+TEST(Properties, TimingFieldsAreConsistent) {
+  const CsrGraph g = test::random_graph(2000, 12'000, 11);
+  for (const MatchResult& r : {mm_rand(g, 8), mm_bridge(g), mm_degk(g, 2)}) {
+    EXPECT_GE(r.total_seconds, 0.0);
+    EXPECT_GE(r.decompose_seconds, 0.0);
+    EXPECT_NEAR(r.total_seconds, r.decompose_seconds + r.solve_seconds,
+                1e-6 + 0.25 * r.total_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace sbg

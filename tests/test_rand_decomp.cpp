@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+TEST(RandDecomp, LabelsInRangeAndDeterministic) {
+  const CsrGraph g = test::random_graph(1000, 3000, 5);
+  const RandDecomposition a = decompose_rand(g, 10, 42);
+  const RandDecomposition b = decompose_rand(g, 10, 42);
+  EXPECT_EQ(a.part, b.part);
+  for (const vid_t p : a.part) ASSERT_LT(p, 10u);
+  const RandDecomposition c = decompose_rand(g, 10, 43);
+  EXPECT_NE(a.part, c.part);
+}
+
+TEST(RandDecomp, IntraAndCrossPartitionEveryEdge) {
+  const CsrGraph g = test::random_graph(500, 2000, 7);
+  const RandDecomposition d = decompose_rand(g, 4, 1);
+  EXPECT_EQ(d.g_intra.num_edges() + d.g_cross.num_edges(), g.num_edges());
+  d.g_intra.validate();
+  d.g_cross.validate();
+  // Intra edges join same-partition endpoints; cross edges don't.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : d.g_intra.neighbors(u)) {
+      ASSERT_EQ(d.part[u], d.part[v]);
+    }
+    for (const vid_t v : d.g_cross.neighbors(u)) {
+      ASSERT_NE(d.part[u], d.part[v]);
+    }
+  }
+}
+
+TEST(RandDecomp, MorePartitionsMeansSparserIntra) {
+  const CsrGraph g = test::random_graph(2000, 10'000, 9);
+  const auto intra2 = decompose_rand(g, 2, 4).g_intra.num_edges();
+  const auto intra10 = decompose_rand(g, 10, 4).g_intra.num_edges();
+  const auto intra50 = decompose_rand(g, 50, 4).g_intra.num_edges();
+  EXPECT_GT(intra2, intra10);
+  EXPECT_GT(intra10, intra50);
+  // Expectation: ~1/k of edges stay intra.
+  EXPECT_NEAR(static_cast<double>(intra10) /
+                  static_cast<double>(g.num_edges()),
+              0.1, 0.05);
+}
+
+TEST(RandDecomp, SinglePartitionKeepsEverything) {
+  const CsrGraph g = test::random_graph(300, 900, 3);
+  const RandDecomposition d = decompose_rand(g, 1, 5);
+  EXPECT_EQ(d.g_intra.num_edges(), g.num_edges());
+  EXPECT_EQ(d.g_cross.num_edges(), 0u);
+}
+
+TEST(RandDecomp, HeuristicTracksAverageDegree) {
+  const CsrGraph sparse = build_graph(gen_path(1000), false);   // avg ~2
+  const CsrGraph dense = build_graph(gen_complete(80), false);  // avg 79
+  EXPECT_EQ(rand_partition_heuristic(sparse), 2u);
+  EXPECT_EQ(rand_partition_heuristic(dense), 100u);  // kron-class rule
+  const CsrGraph mid = test::random_graph(1000, 5000, 2);       // avg ~10
+  const vid_t k = rand_partition_heuristic(mid);
+  EXPECT_GE(k, 8u);
+  EXPECT_LE(k, 12u);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/rng.hpp"
+#include "parallel/sort.hpp"
+
+namespace sbg {
+namespace {
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<std::uint64_t> data(n), expect;
+  for (auto& x : data) x = rng.below(1000);  // plenty of duplicates
+  expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SortSizes,
+                         ::testing::Values(0, 1, 2, 100, (1 << 14) - 1,
+                                           1 << 14, (1 << 16) + 7,
+                                           (1 << 18) + 1));
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  Rng rng(7);
+  std::vector<std::uint32_t> data(100'000);
+  for (auto& x : data) x = static_cast<std::uint32_t>(rng.next());
+  parallel_sort(data, std::greater<>{});
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end(), std::greater<>{}));
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  std::vector<std::uint64_t> asc(1 << 16), desc(1 << 16);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = i;
+    desc[i] = asc.size() - i;
+  }
+  parallel_sort(asc);
+  parallel_sort(desc);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+TEST(ParallelSort, SortsStructsByCompositeKey) {
+  struct Pair {
+    std::uint32_t a, b;
+    bool operator<(const Pair& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+    bool operator==(const Pair& o) const = default;
+  };
+  Rng rng(13);
+  std::vector<Pair> data(200'000);
+  for (auto& p : data) {
+    p = {static_cast<std::uint32_t>(rng.below(500)),
+         static_cast<std::uint32_t>(rng.below(500))};
+  }
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+}  // namespace
+}  // namespace sbg
