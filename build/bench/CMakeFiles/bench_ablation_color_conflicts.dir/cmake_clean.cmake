@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_color_conflicts.dir/bench_ablation_color_conflicts.cpp.o"
+  "CMakeFiles/bench_ablation_color_conflicts.dir/bench_ablation_color_conflicts.cpp.o.d"
+  "bench_ablation_color_conflicts"
+  "bench_ablation_color_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_color_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

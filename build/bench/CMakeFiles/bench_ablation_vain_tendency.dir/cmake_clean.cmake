@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vain_tendency.dir/bench_ablation_vain_tendency.cpp.o"
+  "CMakeFiles/bench_ablation_vain_tendency.dir/bench_ablation_vain_tendency.cpp.o.d"
+  "bench_ablation_vain_tendency"
+  "bench_ablation_vain_tendency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vain_tendency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mm_cpu.dir/bench_fig3_mm_cpu.cpp.o"
+  "CMakeFiles/bench_fig3_mm_cpu.dir/bench_fig3_mm_cpu.cpp.o.d"
+  "bench_fig3_mm_cpu"
+  "bench_fig3_mm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_color_gpu.dir/bench_fig4_color_gpu.cpp.o"
+  "CMakeFiles/bench_fig4_color_gpu.dir/bench_fig4_color_gpu.cpp.o.d"
+  "bench_fig4_color_gpu"
+  "bench_fig4_color_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_color_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_threads.dir/bench_scaling_threads.cpp.o"
+  "CMakeFiles/bench_scaling_threads.dir/bench_scaling_threads.cpp.o.d"
+  "bench_scaling_threads"
+  "bench_scaling_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

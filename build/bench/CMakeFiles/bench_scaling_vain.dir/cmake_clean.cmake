@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_vain.dir/bench_scaling_vain.cpp.o"
+  "CMakeFiles/bench_scaling_vain.dir/bench_scaling_vain.cpp.o.d"
+  "bench_scaling_vain"
+  "bench_scaling_vain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_vain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

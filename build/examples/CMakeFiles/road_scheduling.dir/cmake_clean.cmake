@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_scheduling.dir/road_scheduling.cpp.o"
+  "CMakeFiles/road_scheduling.dir/road_scheduling.cpp.o.d"
+  "road_scheduling"
+  "road_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

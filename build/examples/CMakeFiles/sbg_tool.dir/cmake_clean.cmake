@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbg_tool.dir/sbg_tool.cpp.o"
+  "CMakeFiles/sbg_tool.dir/sbg_tool.cpp.o.d"
+  "sbg_tool"
+  "sbg_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbg_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

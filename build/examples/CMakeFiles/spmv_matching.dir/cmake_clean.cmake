@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_matching.dir/spmv_matching.cpp.o"
+  "CMakeFiles/spmv_matching.dir/spmv_matching.cpp.o.d"
+  "spmv_matching"
+  "spmv_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfs/bfs.cpp" "src/CMakeFiles/sbg.dir/bfs/bfs.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/bfs/bfs.cpp.o.d"
+  "/root/repo/src/coloring/composites.cpp" "src/CMakeFiles/sbg.dir/coloring/composites.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/composites.cpp.o.d"
+  "/root/repo/src/coloring/eb.cpp" "src/CMakeFiles/sbg.dir/coloring/eb.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/eb.cpp.o.d"
+  "/root/repo/src/coloring/jones_plassmann.cpp" "src/CMakeFiles/sbg.dir/coloring/jones_plassmann.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/jones_plassmann.cpp.o.d"
+  "/root/repo/src/coloring/small_palette.cpp" "src/CMakeFiles/sbg.dir/coloring/small_palette.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/small_palette.cpp.o.d"
+  "/root/repo/src/coloring/speculative.cpp" "src/CMakeFiles/sbg.dir/coloring/speculative.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/speculative.cpp.o.d"
+  "/root/repo/src/coloring/vb.cpp" "src/CMakeFiles/sbg.dir/coloring/vb.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/coloring/vb.cpp.o.d"
+  "/root/repo/src/core/bridge.cpp" "src/CMakeFiles/sbg.dir/core/bridge.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/core/bridge.cpp.o.d"
+  "/root/repo/src/core/degk.cpp" "src/CMakeFiles/sbg.dir/core/degk.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/core/degk.cpp.o.d"
+  "/root/repo/src/core/grow.cpp" "src/CMakeFiles/sbg.dir/core/grow.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/core/grow.cpp.o.d"
+  "/root/repo/src/core/rand.cpp" "src/CMakeFiles/sbg.dir/core/rand.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/core/rand.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_composites.cpp" "src/CMakeFiles/sbg.dir/gpusim/gpu_composites.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/gpusim/gpu_composites.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_decompose.cpp" "src/CMakeFiles/sbg.dir/gpusim/gpu_decompose.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/gpusim/gpu_decompose.cpp.o.d"
+  "/root/repo/src/gpusim/gpu_extenders.cpp" "src/CMakeFiles/sbg.dir/gpusim/gpu_extenders.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/gpusim/gpu_extenders.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/sbg.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/sbg.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/sbg.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/dataset.cpp" "src/CMakeFiles/sbg.dir/graph/dataset.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/dataset.cpp.o.d"
+  "/root/repo/src/graph/gen_basic.cpp" "src/CMakeFiles/sbg.dir/graph/gen_basic.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/gen_basic.cpp.o.d"
+  "/root/repo/src/graph/gen_rgg.cpp" "src/CMakeFiles/sbg.dir/graph/gen_rgg.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/gen_rgg.cpp.o.d"
+  "/root/repo/src/graph/gen_rmat.cpp" "src/CMakeFiles/sbg.dir/graph/gen_rmat.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/gen_rmat.cpp.o.d"
+  "/root/repo/src/graph/gen_synth.cpp" "src/CMakeFiles/sbg.dir/graph/gen_synth.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/gen_synth.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/sbg.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/sbg.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/sbg.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/matching/composites.cpp" "src/CMakeFiles/sbg.dir/matching/composites.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/matching/composites.cpp.o.d"
+  "/root/repo/src/matching/gm.cpp" "src/CMakeFiles/sbg.dir/matching/gm.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/matching/gm.cpp.o.d"
+  "/root/repo/src/matching/greedy_seq.cpp" "src/CMakeFiles/sbg.dir/matching/greedy_seq.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/matching/greedy_seq.cpp.o.d"
+  "/root/repo/src/matching/israeli_itai.cpp" "src/CMakeFiles/sbg.dir/matching/israeli_itai.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/matching/israeli_itai.cpp.o.d"
+  "/root/repo/src/matching/lmax.cpp" "src/CMakeFiles/sbg.dir/matching/lmax.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/matching/lmax.cpp.o.d"
+  "/root/repo/src/mis/color_reduction.cpp" "src/CMakeFiles/sbg.dir/mis/color_reduction.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/mis/color_reduction.cpp.o.d"
+  "/root/repo/src/mis/composites.cpp" "src/CMakeFiles/sbg.dir/mis/composites.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/mis/composites.cpp.o.d"
+  "/root/repo/src/mis/greedy.cpp" "src/CMakeFiles/sbg.dir/mis/greedy.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/mis/greedy.cpp.o.d"
+  "/root/repo/src/mis/luby.cpp" "src/CMakeFiles/sbg.dir/mis/luby.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/mis/luby.cpp.o.d"
+  "/root/repo/src/mis/oriented.cpp" "src/CMakeFiles/sbg.dir/mis/oriented.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/mis/oriented.cpp.o.d"
+  "/root/repo/src/parallel/bitset.cpp" "src/CMakeFiles/sbg.dir/parallel/bitset.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/parallel/bitset.cpp.o.d"
+  "/root/repo/src/parallel/thread_env.cpp" "src/CMakeFiles/sbg.dir/parallel/thread_env.cpp.o" "gcc" "src/CMakeFiles/sbg.dir/parallel/thread_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/sbg_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bfs.cpp" "tests/CMakeFiles/sbg_tests.dir/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/test_bridge.cpp" "tests/CMakeFiles/sbg_tests.dir/test_bridge.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_bridge.cpp.o.d"
+  "/root/repo/tests/test_coloring.cpp" "tests/CMakeFiles/sbg_tests.dir/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_coloring.cpp.o.d"
+  "/root/repo/tests/test_connectivity.cpp" "tests/CMakeFiles/sbg_tests.dir/test_connectivity.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_connectivity.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/sbg_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_degk_decomp.cpp" "tests/CMakeFiles/sbg_tests.dir/test_degk_decomp.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_degk_decomp.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/sbg_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/sbg_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/sbg_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/sbg_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_grow.cpp" "tests/CMakeFiles/sbg_tests.dir/test_grow.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_grow.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sbg_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/sbg_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/sbg_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_mis.cpp" "tests/CMakeFiles/sbg_tests.dir/test_mis.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_mis.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/sbg_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sbg_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rand_decomp.cpp" "tests/CMakeFiles/sbg_tests.dir/test_rand_decomp.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_rand_decomp.cpp.o.d"
+  "/root/repo/tests/test_sort.cpp" "tests/CMakeFiles/sbg_tests.dir/test_sort.cpp.o" "gcc" "tests/CMakeFiles/sbg_tests.dir/test_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sbg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
