@@ -3,9 +3,12 @@
 // Every harness prints the paper's row layout (one row per Table II graph)
 // with our measured values, so EXPERIMENTS.md can record paper-vs-measured
 // directly from bench output. Environment knobs:
-//   SBG_SCALE   — dataset scale factor (default 1/32 of paper sizes)
-//   SBG_THREADS — OpenMP thread count
-//   SBG_GRAPHS  — comma-separated subset of Table II names to run
+//   SBG_SCALE    — dataset scale factor (default 1/32 of paper sizes)
+//   SBG_THREADS  — OpenMP thread count
+//   SBG_GRAPHS   — comma-separated subset of Table II names to run
+//   SBG_JSON_OUT — directory to drop a machine-readable BENCH_<name>.json
+//                  run report into at exit (counters, per-round series,
+//                  trace spans; see src/obs/report.hpp for the schema)
 #pragma once
 
 #include <cmath>
@@ -16,11 +19,14 @@
 
 #include "graph/csr.hpp"
 #include "graph/dataset.hpp"
+#include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
 
 namespace sbg::bench {
 
-/// Graphs selected for this run (SBG_GRAPHS filter applied).
+/// Graphs selected for this run (SBG_GRAPHS filter applied). Unrecognized
+/// names are warned about loudly: a typo used to silently select *all*
+/// graphs and burn a full bench run.
 inline std::vector<std::string> selected_graphs() {
   const auto all = dataset_names();
   const char* env = std::getenv("SBG_GRAPHS");
@@ -29,8 +35,21 @@ inline std::vector<std::string> selected_graphs() {
   std::string token;
   for (const char* p = env;; ++p) {
     if (*p == ',' || *p == '\0') {
-      for (const auto& name : all) {
-        if (name == token) picked.push_back(name);
+      if (!token.empty()) {
+        bool known = false;
+        for (const auto& name : all) {
+          if (name == token) {
+            picked.push_back(name);
+            known = true;
+          }
+        }
+        if (!known) {
+          std::fprintf(stderr,
+                       "warning: SBG_GRAPHS entry \"%s\" matches no Table II "
+                       "graph (known:", token.c_str());
+          for (const auto& name : all) std::fprintf(stderr, " %s", name.c_str());
+          std::fprintf(stderr, ")\n");
+        }
       }
       token.clear();
       if (*p == '\0') break;
@@ -38,13 +57,78 @@ inline std::vector<std::string> selected_graphs() {
       token += *p;
     }
   }
-  return picked.empty() ? all : picked;
+  if (picked.empty()) {
+    std::fprintf(stderr,
+                 "warning: SBG_GRAPHS selected nothing; running all %zu "
+                 "graphs\n", all.size());
+    return all;
+  }
+  return picked;
 }
 
-/// Standard harness prologue: apply thread env, print the run config.
+namespace detail {
+
+/// "Figure 3(a): maximal matching, CPU" -> "figure_3_a_maximal_matching_cpu".
+inline std::string slugify(const char* title) {
+  std::string out;
+  bool pending_sep = false;
+  for (const char* p = title; *p; ++p) {
+    const char c = *p;
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    if (alnum) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+inline std::string& json_report_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& json_report_title() {
+  static std::string title;
+  return title;
+}
+
+inline void write_json_report_at_exit() {
+  std::string error;
+  if (!obs::write_json_report(json_report_path(),
+                              {{"tool", "bench"},
+                               {"title", json_report_title()}},
+                              &error)) {
+    std::fprintf(stderr, "warning: SBG_JSON_OUT report failed: %s\n",
+                 error.c_str());
+  } else {
+    std::fprintf(stderr, "wrote %s\n", json_report_path().c_str());
+  }
+}
+
+/// When SBG_JSON_OUT names a directory, arrange for a BENCH_<slug>.json run
+/// report to be written there when the harness exits.
+inline void register_json_report(const char* title) {
+  const char* dir = std::getenv("SBG_JSON_OUT");
+  if (!dir || !*dir) return;
+  json_report_path() =
+      std::string(dir) + "/BENCH_" + slugify(title) + ".json";
+  json_report_title() = title;
+  std::atexit(&write_json_report_at_exit);
+}
+
+}  // namespace detail
+
+/// Standard harness prologue: apply thread env, print the run config, and
+/// hook up the SBG_JSON_OUT run report.
 inline double announce(const char* title) {
   const int threads = apply_thread_env();
   const double scale = bench_scale();
+  detail::register_json_report(title);
   std::printf("== %s ==\n", title);
   std::printf("scale=%.5f of paper |V| (SBG_SCALE), threads=%d (SBG_THREADS)\n\n",
               scale, threads);

@@ -8,6 +8,11 @@
 //   sbg_tool color <graph> [vb|eb|jp|spec|bridge|rand|degk]
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
 //
+// Observability flags (any command):
+//   --json <path>  write a machine-readable run report (counters, per-round
+//                  telemetry series, trace spans; src/obs/report.hpp schema)
+//   --trace        print the trace-span tree after the run
+//
 // <graph> is a .mtx / .el / .sbg file, or a Table II dataset name (e.g.
 // "germany-osm"), generated on the fly at --scale.
 #include <cmath>
@@ -26,6 +31,8 @@
 #include "graph/stats.hpp"
 #include "matching/matching.hpp"
 #include "mis/mis.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
 
 namespace {
@@ -37,6 +44,8 @@ struct Options {
   vid_t n = 100'000;
   vid_t k = 0;
   std::uint64_t seed = 42;
+  std::string json_out;  ///< --json <path>: write the obs run report here
+  bool trace = false;    ///< --trace: dump the span tree after the run
 };
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -55,6 +64,10 @@ Options parse_flags(int argc, char** argv, int first) {
       o.k = static_cast<vid_t>(std::atoll(next()));
     } else if (a == "--seed") {
       o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--json") {
+      o.json_out = next();
+    } else if (a == "--trace") {
+      o.trace = true;
     }
   }
   return o;
@@ -153,6 +166,11 @@ int cmd_mm(const std::string& spec, const std::string& algo,
   else throw InputError("unknown matching algorithm: " + algo);
   std::string err;
   SBG_CHECK(verify_maximal_matching(g, r.mate, &err), err.c_str());
+  SBG_GAUGE_SET("result.rounds", r.rounds);
+  SBG_GAUGE_SET("result.cardinality", r.cardinality);
+  SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
+  SBG_GAUGE_SET("result.decompose_seconds", r.decompose_seconds);
+  SBG_GAUGE_SET("result.solve_seconds", r.solve_seconds);
   std::printf("%s: |M|=%llu, %u rounds, %.4fs (decompose %.4fs)\n",
               algo.c_str(), static_cast<unsigned long long>(r.cardinality),
               r.rounds, r.total_seconds, r.decompose_seconds);
@@ -173,6 +191,12 @@ int cmd_color(const std::string& spec, const std::string& algo,
   else throw InputError("unknown coloring algorithm: " + algo);
   std::string err;
   SBG_CHECK(verify_coloring(g, r.color, &err), err.c_str());
+  SBG_GAUGE_SET("result.rounds", r.rounds);
+  SBG_GAUGE_SET("result.colors", r.num_colors);
+  SBG_GAUGE_SET("result.conflicted_vertices", r.conflicted_vertices);
+  SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
+  SBG_GAUGE_SET("result.decompose_seconds", r.decompose_seconds);
+  SBG_GAUGE_SET("result.solve_seconds", r.solve_seconds);
   std::printf("%s: %u colors, %u rounds, %.4fs (decompose %.4fs)\n",
               algo.c_str(), r.num_colors, r.rounds, r.total_seconds,
               r.decompose_seconds);
@@ -191,6 +215,11 @@ int cmd_mis(const std::string& spec, const std::string& algo,
   else throw InputError("unknown MIS algorithm: " + algo);
   std::string err;
   SBG_CHECK(verify_mis(g, r.state, &err), err.c_str());
+  SBG_GAUGE_SET("result.rounds", r.rounds);
+  SBG_GAUGE_SET("result.mis_size", r.size);
+  SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
+  SBG_GAUGE_SET("result.decompose_seconds", r.decompose_seconds);
+  SBG_GAUGE_SET("result.solve_seconds", r.solve_seconds);
   std::printf("%s: |I|=%zu, %u rounds, %.4fs (decompose %.4fs)\n",
               algo.c_str(), r.size, r.rounds, r.total_seconds,
               r.decompose_seconds);
@@ -211,31 +240,44 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   try {
-    const Options o = parse_flags(argc, argv, 3);
-    if (cmd == "gen" && argc >= 4) return cmd_gen(argv[2], argv[3], o);
-    if (cmd == "stats") return cmd_stats(argv[2], o);
-    if (cmd == "convert" && argc >= 4) {
+    const Options o = parse_flags(argc, argv, cmd == "decompose" ? 4 : 3);
+    const std::string algo = argc > 3 && argv[3][0] != '-' ? argv[3] : "";
+    int rc = -1;
+    if (cmd == "gen" && argc >= 4) {
+      rc = cmd_gen(argv[2], argv[3], o);
+    } else if (cmd == "stats") {
+      rc = cmd_stats(argv[2], o);
+    } else if (cmd == "convert" && argc >= 4) {
       sbg::save_graph(argv[3], sbg::load_graph(argv[2]));
-      return 0;
+      rc = 0;
+    } else if (cmd == "decompose" && argc >= 4) {
+      rc = cmd_decompose(argv[2], argv[3], o);
+    } else if (cmd == "mm") {
+      rc = cmd_mm(argv[2], algo.empty() ? "gm" : algo, o);
+    } else if (cmd == "color") {
+      rc = cmd_color(argv[2], algo.empty() ? "vb" : algo, o);
+    } else if (cmd == "mis") {
+      rc = cmd_mis(argv[2], algo.empty() ? "luby" : algo, o);
     }
-    if (cmd == "decompose" && argc >= 4) {
-      return cmd_decompose(argv[2], argv[3], parse_flags(argc, argv, 4));
+    if (rc < 0) return usage();
+
+    if (o.trace) obs::print_span_tree(stdout);
+    if (!o.json_out.empty()) {
+      std::string error;
+      if (!obs::write_json_report(o.json_out,
+                                  {{"tool", "sbg_tool"},
+                                   {"command", cmd},
+                                   {"input", argv[2]},
+                                   {"algo", algo}},
+                                  &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", o.json_out.c_str());
     }
-    if (cmd == "mm") {
-      return cmd_mm(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "gm",
-                    parse_flags(argc, argv, 3));
-    }
-    if (cmd == "color") {
-      return cmd_color(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "vb",
-                       parse_flags(argc, argv, 3));
-    }
-    if (cmd == "mis") {
-      return cmd_mis(argv[2], argc > 3 && argv[3][0] != '-' ? argv[3] : "luby",
-                     parse_flags(argc, argv, 3));
-    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }

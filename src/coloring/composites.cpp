@@ -13,6 +13,7 @@
 #include "core/degk.hpp"
 #include "graph/subgraph.hpp"
 #include "core/rand.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
@@ -68,7 +69,9 @@ vid_t uncolor_stitch_conflicts(const CsrGraph& stitch,
 
 ColorResult color_bridge(const CsrGraph& g, ColorEngine engine,
                          BridgeAlgo bridge_algo) {
+  SBG_SPAN("color_bridge");
   Timer timer;
+  PhaseTimer phases;
   ColorResult r;
   r.color.assign(g.num_vertices(), kNoColor);
 
@@ -76,28 +79,38 @@ ColorResult color_bridge(const CsrGraph& g, ColorEngine engine,
   r.decompose_seconds = d.decompose_seconds;
   const std::uint32_t s = forbidden_size_for(g);
 
-  // Color the 2-edge-connected components with one shared palette; the
-  // pieces are vertex-disjoint so this is the "independently in parallel"
-  // step. Bridge edges are invisible here, so only they can conflict.
-  r.rounds += extend(engine, d.g_components, r.color, s);
-
-  // Stitch: uncolor the conflicted bridge endpoints, recolor against G.
-  CsrGraph g_bridges = filter_edges(g, [&](vid_t a, vid_t b) {
-    return d.is_bridge_vertex[a] && d.is_bridge_vertex[b] &&
-           !d.g_components.has_edge(a, b);
-  });
-  r.conflicted_vertices = uncolor_stitch_conflicts(g_bridges, r.color);
-  r.rounds += extend(engine, g, r.color, s);
+  {
+    // Color the 2-edge-connected components with one shared palette; the
+    // pieces are vertex-disjoint so this is the "independently in parallel"
+    // step. Bridge edges are invisible here, so only they can conflict.
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += extend(engine, d.g_components, r.color, s);
+  }
+  {
+    // Stitch: uncolor the conflicted bridge endpoints, recolor against G.
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    CsrGraph g_bridges = filter_edges(g, [&](vid_t a, vid_t b) {
+      return d.is_bridge_vertex[a] && d.is_bridge_vertex[b] &&
+             !d.g_components.has_edge(a, b);
+    });
+    r.conflicted_vertices = uncolor_stitch_conflicts(g_bridges, r.color);
+    r.rounds += extend(engine, g, r.color, s);
+  }
+  SBG_COUNTER_ADD("color.stitch_conflicts", r.conflicted_vertices);
 
   r.num_colors = count_colors(r.color);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 
 ColorResult color_rand(const CsrGraph& g, vid_t k, ColorEngine engine,
                        std::uint64_t seed) {
+  SBG_SPAN("color_rand");
   Timer timer;
+  PhaseTimer phases;
   ColorResult r;
   r.color.assign(g.num_vertices(), kNoColor);
   if (k == 0) k = 2;
@@ -106,23 +119,33 @@ ColorResult color_rand(const CsrGraph& g, vid_t k, ColorEngine engine,
   r.decompose_seconds = d.decompose_seconds;
   const std::uint32_t s = forbidden_size_for(g);
 
-  // Identical palette across all induced subgraphs (they are colored
-  // together on g_intra; components never span partitions).
-  r.rounds += extend(engine, d.g_intra, r.color, s);
-
-  // Cross edges are the only possible conflicts; uncolor and recolor
-  // against the full graph.
-  r.conflicted_vertices = uncolor_stitch_conflicts(d.g_cross, r.color);
-  r.rounds += extend(engine, g, r.color, s);
+  {
+    // Identical palette across all induced subgraphs (they are colored
+    // together on g_intra; components never span partitions).
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += extend(engine, d.g_intra, r.color, s);
+  }
+  {
+    // Cross edges are the only possible conflicts; uncolor and recolor
+    // against the full graph.
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    r.conflicted_vertices = uncolor_stitch_conflicts(d.g_cross, r.color);
+    r.rounds += extend(engine, g, r.color, s);
+  }
+  SBG_COUNTER_ADD("color.stitch_conflicts", r.conflicted_vertices);
 
   r.num_colors = count_colors(r.color);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 
 ColorResult color_degk(const CsrGraph& g, vid_t k, ColorEngine engine) {
+  SBG_SPAN("color_degk");
   Timer timer;
+  PhaseTimer phases;
   ColorResult r;
   const vid_t n = g.num_vertices();
   r.color.assign(n, kNoColor);
@@ -135,22 +158,29 @@ ColorResult color_degk(const CsrGraph& g, vid_t k, ColorEngine engine) {
   const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
   r.decompose_seconds = d.decompose_seconds;
 
-  // Phase 1: color G_H. Only one endpoint of any cross edge is colored
-  // here, so no stitch conflicts can ever appear (paper Section IV-B3).
-  const auto s_high = static_cast<std::uint32_t>(
-      std::max(1.0, std::ceil(g.average_degree())));
-  r.rounds += extend(engine, g, r.color, s_high, 0, &d.is_high);
-
-  // Phase 2: G_L gets the disjoint palette max(C_H)+1 .. max(C_H)+k+1 with
-  // a (k+1)-sized FORBIDDEN array.
-  const std::uint32_t base = count_colors(r.color);
-  std::vector<std::uint8_t> low(n);
-  parallel_for(n, [&](std::size_t v) { low[v] = !d.is_high[v]; });
-  r.rounds += small_palette_extend(g, r.color, base, k + 1, low);
+  {
+    // Phase 1: color G_H. Only one endpoint of any cross edge is colored
+    // here, so no stitch conflicts can ever appear (paper Section IV-B3).
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    const auto s_high = static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(g.average_degree())));
+    r.rounds += extend(engine, g, r.color, s_high, 0, &d.is_high);
+  }
+  {
+    // Phase 2: G_L gets the disjoint palette max(C_H)+1 .. max(C_H)+k+1
+    // with a (k+1)-sized FORBIDDEN array.
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    const std::uint32_t base = count_colors(r.color);
+    std::vector<std::uint8_t> low(n);
+    parallel_for(n, [&](std::size_t v) { low[v] = !d.is_high[v]; });
+    r.rounds += small_palette_extend(g, r.color, base, k + 1, low);
+  }
 
   r.num_colors = count_colors(r.color);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 

@@ -6,6 +6,7 @@
 #include <bit>
 
 #include "coloring/coloring.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
@@ -15,6 +16,7 @@ namespace sbg {
 vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
                 std::uint32_t palette_base,
                 const std::vector<std::uint8_t>* active) {
+  SBG_SPAN("eb_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(color.size() == n, "color array size mismatch");
 
@@ -30,6 +32,10 @@ vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
   std::vector<vid_t> next;
   while (!worklist.empty()) {
     ++rounds;
+    SBG_COUNTER_ADD("eb.rounds", 1);
+    SBG_SERIES_APPEND("eb.frontier", worklist.size());
+    SBG_OBS_ONLY(std::atomic<vid_t> obs_escalated{0};
+                 std::atomic<vid_t> obs_conflicts{0};)
     // Tentative assignment: smallest color whose bit is clear in the
     // 32-color availability window.
     parallel_for_dynamic(worklist.size(), [&](std::size_t i) {
@@ -47,6 +53,7 @@ vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
                      off + static_cast<std::uint32_t>(std::countr_one(used)));
       } else {
         offset[v] = off + 32;
+        SBG_OBS_ONLY(obs_escalated.fetch_add(1, std::memory_order_relaxed);)
       }
     });
     // Edge-based conflict detection: equal endpoint colors reset the
@@ -59,6 +66,7 @@ vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
       for (const vid_t w : g.neighbors(v)) {
         if (w > v && atomic_read(&color[w]) == c) {
           atomic_write(&color[v], kNoColor);
+          SBG_OBS_ONLY(obs_conflicts.fetch_add(1, std::memory_order_relaxed);)
           return;
         }
       }
@@ -67,6 +75,13 @@ vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
     for (const vid_t v : worklist) {
       if (color[v] == kNoColor) next.push_back(v);
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("eb.conflicts", obs_conflicts.load());
+      SBG_SERIES_APPEND("eb.window_escalations", obs_escalated.load());
+      SBG_SERIES_APPEND("eb.colored", worklist.size() - next.size());
+      SBG_COUNTER_ADD("eb.conflicts", obs_conflicts.load());
+      SBG_COUNTER_ADD("eb.window_escalations", obs_escalated.load());
+    })
     worklist.swap(next);
   }
   return rounds;
@@ -78,6 +93,7 @@ ColorResult color_eb(const CsrGraph& g) {
   r.color.assign(g.num_vertices(), kNoColor);
   r.rounds = eb_extend(g, r.color);
   r.num_colors = count_colors(r.color);
+  SBG_GAUGE_SET("eb.palette", r.num_colors);
   r.solve_seconds = r.total_seconds = timer.seconds();
   return r;
 }

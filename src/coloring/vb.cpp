@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "coloring/coloring.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
@@ -15,6 +16,7 @@ namespace sbg {
 vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
                 std::uint32_t forbidden_size, std::uint32_t palette_base,
                 const std::vector<std::uint8_t>* active) {
+  SBG_SPAN("vb_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(color.size() == n, "color array size mismatch");
   const std::uint32_t s = std::max<std::uint32_t>(1, forbidden_size);
@@ -31,6 +33,13 @@ vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
   std::vector<vid_t> next;
   while (!worklist.empty()) {
     ++rounds;
+    SBG_COUNTER_ADD("vb.rounds", 1);
+    SBG_SERIES_APPEND("vb.frontier", worklist.size());
+    // Per-round tallies: escalations track palette-window growth pressure,
+    // conflicts the speculation failure rate (Section IV-C's "% vertices in
+    // color conflict"). Both live on rare branches of the hot loops.
+    SBG_OBS_ONLY(std::atomic<vid_t> obs_escalated{0};
+                 std::atomic<vid_t> obs_conflicts{0};)
     // Speculative coloring: smallest free color in the FORBIDDEN window
     // [offset, offset + s); saturated windows escalate the offset and
     // retry next round.
@@ -55,6 +64,7 @@ vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
           atomic_write(&color[v], off + slot);
         } else {
           offset[v] = off + s;
+          SBG_OBS_ONLY(obs_escalated.fetch_add(1, std::memory_order_relaxed);)
         }
       }
     }
@@ -68,6 +78,7 @@ vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
       for (const vid_t w : g.neighbors(v)) {
         if (w < v && atomic_read(&color[w]) == c) {
           atomic_write(&color[v], kNoColor);
+          SBG_OBS_ONLY(obs_conflicts.fetch_add(1, std::memory_order_relaxed);)
           return;
         }
       }
@@ -76,6 +87,13 @@ vid_t vb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
     for (const vid_t v : worklist) {
       if (color[v] == kNoColor) next.push_back(v);
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("vb.conflicts", obs_conflicts.load());
+      SBG_SERIES_APPEND("vb.window_escalations", obs_escalated.load());
+      SBG_SERIES_APPEND("vb.colored", worklist.size() - next.size());
+      SBG_COUNTER_ADD("vb.conflicts", obs_conflicts.load());
+      SBG_COUNTER_ADD("vb.window_escalations", obs_escalated.load());
+    })
     worklist.swap(next);
   }
   return rounds;
@@ -91,6 +109,7 @@ ColorResult color_vb(const CsrGraph& g) {
       std::max(1.0, std::ceil(g.average_degree())));
   r.rounds = vb_extend(g, r.color, s);
   r.num_colors = count_colors(r.color);
+  SBG_GAUGE_SET("vb.palette", r.num_colors);
   r.solve_seconds = r.total_seconds = timer.seconds();
   return r;
 }

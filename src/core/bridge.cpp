@@ -5,6 +5,7 @@
 
 #include "bfs/bfs.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/bitset.hpp"
 #include "parallel/parallel_for.hpp"
@@ -158,6 +159,7 @@ std::vector<std::pair<vid_t, vid_t>> find_bridges(const CsrGraph& g,
 }
 
 BridgeDecomposition decompose_bridge(const CsrGraph& g, BridgeAlgo algo) {
+  SBG_SPAN("decompose.bridge");
   Timer timer;
   BridgeDecomposition d;
   const vid_t n = g.num_vertices();
@@ -182,6 +184,7 @@ BridgeDecomposition decompose_bridge(const CsrGraph& g, BridgeAlgo algo) {
   });
   d.components = connected_components(d.g_components);
   d.decompose_seconds = timer.seconds();
+  SBG_HIST_RECORD("bridge.bridges", d.bridges.size());
   return d;
 }
 

@@ -1,6 +1,7 @@
 #include "core/degk.hpp"
 
 #include "graph/subgraph.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/timer.hpp"
@@ -8,6 +9,7 @@
 namespace sbg {
 
 DegkDecomposition decompose_degk(const CsrGraph& g, vid_t k, unsigned pieces) {
+  SBG_SPAN("decompose.degk");
   Timer timer;
   DegkDecomposition d;
   d.k = k;

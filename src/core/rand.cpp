@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/subgraph.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
@@ -13,6 +14,7 @@ namespace sbg {
 RandDecomposition decompose_rand(const CsrGraph& g, vid_t k,
                                  std::uint64_t seed) {
   SBG_CHECK(k >= 1, "RAND needs k >= 1 partitions");
+  SBG_SPAN("decompose.rand");
   Timer timer;
   RandDecomposition d;
   d.k = k;
@@ -29,6 +31,8 @@ RandDecomposition decompose_rand(const CsrGraph& g, vid_t k,
   d.g_cross =
       filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
   d.decompose_seconds = timer.seconds();
+  SBG_HIST_RECORD("rand.cross_edges", d.g_cross.num_edges());
+  SBG_GAUGE_SET("rand.k", d.k);
   return d;
 }
 

@@ -11,6 +11,7 @@
 #include "core/degk.hpp"
 #include "core/rand.hpp"
 #include "graph/builder.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/timer.hpp"
@@ -30,36 +31,48 @@ vid_t extend(MatchEngine engine, const CsrGraph& g, std::vector<vid_t>& mate,
 
 MatchResult mm_bridge(const CsrGraph& g, MatchEngine engine,
                       std::uint64_t seed, BridgeAlgo bridge_algo) {
+  SBG_SPAN("mm_bridge");
   Timer timer;
+  PhaseTimer phases;
   MatchResult r;
   r.mate.assign(g.num_vertices(), kNoVertex);
 
   const BridgeDecomposition d = decompose_bridge(g, bridge_algo);
   r.decompose_seconds = d.decompose_seconds;
 
-  // Phase 1: M_c on the 2-edge-connected components (G - B).
-  r.rounds += extend(engine, d.g_components, r.mate, seed);
-
-  // Phase 2: M_b on the bridges among still-unmatched endpoints. (By
-  // maximality of M_c, no other G-edge can join unmatched vertices; see
-  // the header note.)
-  EdgeList bridge_edges;
-  bridge_edges.num_vertices = g.num_vertices();
-  for (const auto& [child, parent] : d.bridges) {
-    bridge_edges.add(child, parent);
+  {
+    // Phase 1: M_c on the 2-edge-connected components (G - B).
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += extend(engine, d.g_components, r.mate, seed);
   }
-  const CsrGraph g_b = build_graph(std::move(bridge_edges), /*connect=*/false);
-  r.rounds += extend(engine, g_b, r.mate, seed + 1);
+  {
+    // Phase 2: M_b on the bridges among still-unmatched endpoints. (By
+    // maximality of M_c, no other G-edge can join unmatched vertices; see
+    // the header note.)
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    EdgeList bridge_edges;
+    bridge_edges.num_vertices = g.num_vertices();
+    for (const auto& [child, parent] : d.bridges) {
+      bridge_edges.add(child, parent);
+    }
+    const CsrGraph g_b =
+        build_graph(std::move(bridge_edges), /*connect=*/false);
+    r.rounds += extend(engine, g_b, r.mate, seed + 1);
+  }
 
   r.cardinality = matching_cardinality(r.mate);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 
 MatchResult mm_rand(const CsrGraph& g, vid_t k, MatchEngine engine,
                     std::uint64_t seed) {
+  SBG_SPAN("mm_rand");
   Timer timer;
+  PhaseTimer phases;
   MatchResult r;
   r.mate.assign(g.num_vertices(), kNoVertex);
   if (k == 0) k = rand_partition_heuristic(g);
@@ -67,22 +80,32 @@ MatchResult mm_rand(const CsrGraph& g, vid_t k, MatchEngine engine,
   const RandDecomposition d = decompose_rand(g, k, seed);
   r.decompose_seconds = d.decompose_seconds;
 
-  // Phase 1: M_IS on the union of induced subgraphs G_1..G_k. Components
-  // of g_intra never span partitions, so this IS the "solve all G_i in
-  // parallel" step.
-  r.rounds += extend(engine, d.g_intra, r.mate, seed);
-  // Phase 2: M_{k+1} on the cross edges among unmatched vertices.
-  r.rounds += extend(engine, d.g_cross, r.mate, seed + 1);
+  {
+    // Phase 1: M_IS on the union of induced subgraphs G_1..G_k. Components
+    // of g_intra never span partitions, so this IS the "solve all G_i in
+    // parallel" step.
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += extend(engine, d.g_intra, r.mate, seed);
+  }
+  {
+    // Phase 2: M_{k+1} on the cross edges among unmatched vertices.
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    r.rounds += extend(engine, d.g_cross, r.mate, seed + 1);
+  }
 
   r.cardinality = matching_cardinality(r.mate);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 
 MatchResult mm_degk(const CsrGraph& g, vid_t k, MatchEngine engine,
                     std::uint64_t seed) {
+  SBG_SPAN("mm_degk");
   Timer timer;
+  PhaseTimer phases;
   MatchResult r;
   r.mate.assign(g.num_vertices(), kNoVertex);
 
@@ -95,12 +118,20 @@ MatchResult mm_degk(const CsrGraph& g, vid_t k, MatchEngine engine,
   const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
   r.decompose_seconds = d.decompose_seconds;
 
-  r.rounds += extend(engine, g, r.mate, seed, &d.is_high);
-  r.rounds += extend(engine, g, r.mate, seed + 1);
+  {
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += extend(engine, g, r.mate, seed, &d.is_high);
+  }
+  {
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    r.rounds += extend(engine, g, r.mate, seed + 1);
+  }
 
   r.cardinality = matching_cardinality(r.mate);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 

@@ -13,6 +13,7 @@
 #include <omp.h>
 
 #include "matching/matching.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
 
@@ -20,6 +21,7 @@ namespace sbg {
 
 vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
                 const std::vector<std::uint8_t>* active, vid_t max_rounds) {
+  SBG_SPAN("gm_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(mate.size() == n, "mate array size mismatch");
 
@@ -40,6 +42,9 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
   std::vector<vid_t> next_live;
   while (!live.empty() && (max_rounds == 0 || rounds < max_rounds)) {
     ++rounds;
+    SBG_COUNTER_ADD("gm.rounds", 1);
+    SBG_COUNTER_ADD("gm.proposals", live.size());
+    SBG_SERIES_APPEND("gm.frontier", live.size());
     // Propose: lowest-id live neighbor (advance the monotone cursor past
     // dead prefixes; cursors only ever move forward).
     parallel_for_dynamic(live.size(), [&](std::size_t i) {
@@ -62,13 +67,33 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
     });
     // Survivors: still unmatched and still have a live neighbor candidate.
     // (A vertex whose proposal was kNoVertex can never match again: live
-    // sets only shrink.)
+    // sets only shrink.) The obs tallies ride the existing scan: matched =
+    // vertices paired this round, in-vain = proposals that went unmatched —
+    // the per-round shape of the paper's "vain tendency".
     next_live.clear();
+    SBG_OBS_ONLY(vid_t obs_matched = 0; vid_t obs_exhausted = 0;)
     for (const vid_t v : live) {
-      if (mate[v] == kNoVertex && proposal[v] != kNoVertex) {
+      if (mate[v] != kNoVertex) {
+        SBG_OBS_ONLY(++obs_matched;)
+        continue;
+      }
+      if (proposal[v] != kNoVertex) {
         next_live.push_back(v);
+      } else {
+        SBG_OBS_ONLY(++obs_exhausted;)
       }
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("gm.matched", obs_matched);
+      SBG_SERIES_APPEND("gm.in_vain",
+                        live.size() - obs_matched - obs_exhausted);
+      SBG_COUNTER_ADD("gm.matched_vertices", obs_matched);
+      if (obs_matched <= 2 && live.size() > 8) {
+        // A round that matched at most one pair on a non-trivial frontier:
+        // the signature of one long proposal chain draining.
+        SBG_COUNTER_ADD("gm.vain_rounds", 1);
+      }
+    })
     live.swap(next_live);
   }
   return rounds;

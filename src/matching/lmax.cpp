@@ -10,6 +10,7 @@
 // ties are impossible (the hash of distinct edges collides with negligible
 // probability; the canonical pair breaks any residual tie).
 #include "matching/matching.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
@@ -20,6 +21,7 @@ vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
                   std::uint64_t seed,
                   const std::vector<std::uint8_t>* active,
                   LmaxWeights weights) {
+  SBG_SPAN("lmax_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(mate.size() == n, "mate array size mismatch");
   const std::uint64_t base = detail::lmax_weight_base(seed, weights);
@@ -39,6 +41,8 @@ vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
   std::vector<vid_t> next_live;
   while (!live.empty()) {
     ++rounds;
+    SBG_COUNTER_ADD("lmax.rounds", 1);
+    SBG_SERIES_APPEND("lmax.frontier", live.size());
     // Point at the heaviest live incident edge.
     parallel_for_dynamic(live.size(), [&](std::size_t i) {
       const vid_t v = live[i];
@@ -65,11 +69,18 @@ vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
       }
     });
     next_live.clear();
+    SBG_OBS_ONLY(vid_t obs_matched = 0;)
     for (const vid_t v : live) {
-      if (mate[v] == kNoVertex && candidate[v] != kNoVertex) {
-        next_live.push_back(v);
+      if (mate[v] != kNoVertex) {
+        SBG_OBS_ONLY(++obs_matched;)
+        continue;
       }
+      if (candidate[v] != kNoVertex) next_live.push_back(v);
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("lmax.matched", obs_matched);
+      SBG_COUNTER_ADD("lmax.matched_vertices", obs_matched);
+    })
     live.swap(next_live);
   }
   return rounds;

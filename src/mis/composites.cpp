@@ -10,6 +10,7 @@
 
 #include "core/degk.hpp"
 #include "core/rand.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
 #include "parallel/timer.hpp"
@@ -39,17 +40,26 @@ MisResult two_phase(const CsrGraph& g, const CsrGraph& side_graph,
                     const std::vector<std::uint8_t>& side,
                     double decompose_seconds, std::uint64_t seed) {
   Timer timer;
+  PhaseTimer phases;
   MisResult r;
   r.decompose_seconds = decompose_seconds;
   r.state.assign(g.num_vertices(), MisState::kUndecided);
 
-  r.rounds += luby_extend(side_graph, r.state, seed, &side);
-  eliminate_closed_neighborhood(g, r.state);
-  r.rounds += luby_extend(g, r.state, seed + 1);
+  {
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += luby_extend(side_graph, r.state, seed, &side);
+  }
+  {
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    eliminate_closed_neighborhood(g, r.state);
+    r.rounds += luby_extend(g, r.state, seed + 1);
+  }
 
   r.size = mis_size(r.state);
   r.total_seconds = timer.seconds() + decompose_seconds;
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 
@@ -57,6 +67,7 @@ MisResult two_phase(const CsrGraph& g, const CsrGraph& side_graph,
 
 MisResult mis_bridge(const CsrGraph& g, std::uint64_t seed,
                      BridgeAlgo bridge_algo) {
+  SBG_SPAN("mis_bridge");
   const vid_t n = g.num_vertices();
   const BridgeDecomposition d = decompose_bridge(g, bridge_algo);
 
@@ -86,6 +97,7 @@ MisResult mis_bridge(const CsrGraph& g, std::uint64_t seed,
 }
 
 MisResult mis_rand(const CsrGraph& g, vid_t k, std::uint64_t seed) {
+  SBG_SPAN("mis_rand");
   if (k == 0) k = rand_partition_heuristic(g);
   const RandDecomposition d = decompose_rand(g, k, seed);
   const vid_t n = g.num_vertices();
@@ -106,7 +118,9 @@ MisResult mis_rand(const CsrGraph& g, vid_t k, std::uint64_t seed) {
 }
 
 MisResult mis_degk(const CsrGraph& g, vid_t k, std::uint64_t seed) {
+  SBG_SPAN("mis_degk");
   Timer timer;
+  PhaseTimer phases;
   // Classification only ("a simple computation") — G_L is reached by
   // masking the oriented solver to the low vertices of G itself.
   const DegkDecomposition d = decompose_degk(g, k, /*pieces=*/0);
@@ -119,16 +133,24 @@ MisResult mis_degk(const CsrGraph& g, vid_t k, std::uint64_t seed) {
   std::vector<std::uint8_t> low(n);
   parallel_for(n, [&](std::size_t v) { low[v] = !d.is_high[v]; });
 
-  // Phase 1: oriented MIS on the degree <= k induced subgraph (paths and
-  // cycles when k = 2) — no Luby coin flips needed there.
-  r.rounds += oriented_extend(g, r.state, &low);
-  // Eliminate N[I_C] from G, then LubyMIS on what remains.
-  eliminate_closed_neighborhood(g, r.state);
-  r.rounds += luby_extend(g, r.state, seed);
+  {
+    // Phase 1: oriented MIS on the degree <= k induced subgraph (paths and
+    // cycles when k = 2) — no Luby coin flips needed there.
+    SBG_SPAN("solve");
+    ScopedPhase phase(phases, "solve");
+    r.rounds += oriented_extend(g, r.state, &low);
+  }
+  {
+    // Eliminate N[I_C] from G, then LubyMIS on what remains.
+    SBG_SPAN("stitch");
+    ScopedPhase phase(phases, "stitch");
+    eliminate_closed_neighborhood(g, r.state);
+    r.rounds += luby_extend(g, r.state, seed);
+  }
 
   r.size = mis_size(r.state);
   r.total_seconds = timer.seconds();
-  r.solve_seconds = r.total_seconds - r.decompose_seconds;
+  r.solve_seconds = phases.total_seconds();
   return r;
 }
 

@@ -10,6 +10,7 @@
 // Coins are counter-based — hash(seed, round, vertex) — so runs are
 // reproducible under any thread schedule.
 #include "mis/mis.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
@@ -20,6 +21,7 @@ namespace sbg {
 vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
                   std::uint64_t seed,
                   const std::vector<std::uint8_t>* active) {
+  SBG_SPAN("luby_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(state.size() == n, "state array size mismatch");
   const RandomStream coins(seed, /*stream=*/0x3a15b7);
@@ -40,6 +42,8 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
   std::vector<vid_t> next;
   while (!live.empty()) {
     ++rounds;
+    SBG_COUNTER_ADD("luby.rounds", 1);
+    SBG_SERIES_APPEND("luby.frontier", live.size());
     // Live degrees first (pure read pass, so the count is schedule
     // independent), then coin flips: mark with probability 1/(2 d_live);
     // vertices whose neighborhood is fully decided join immediately.
@@ -94,9 +98,19 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
       }
     });
     next.clear();
+    SBG_OBS_ONLY(vid_t obs_in = 0; vid_t obs_out = 0;)
     for (const vid_t v : live) {
-      if (state[v] == MisState::kUndecided) next.push_back(v);
+      if (state[v] == MisState::kUndecided) {
+        next.push_back(v);
+        continue;
+      }
+      SBG_OBS_ONLY(if (state[v] == MisState::kIn) ++obs_in; else ++obs_out;)
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("luby.joined", obs_in);
+      SBG_SERIES_APPEND("luby.eliminated", obs_out);
+      SBG_COUNTER_ADD("luby.joined_vertices", obs_in);
+    })
     live.swap(next);
   }
   return rounds;

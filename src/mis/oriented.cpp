@@ -11,6 +11,7 @@
 // cycles the fixed-priority greedy eliminates a constant fraction of each
 // chain per round, so round counts stay logarithmic in the longest chain.
 #include "mis/mis.hpp"
+#include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
@@ -28,6 +29,7 @@ inline std::uint64_t fixed_priority(vid_t v) {
 
 vid_t oriented_extend(const CsrGraph& g, std::vector<MisState>& state,
                       const std::vector<std::uint8_t>* active) {
+  SBG_SPAN("oriented_extend");
   const vid_t n = g.num_vertices();
   SBG_CHECK(state.size() == n, "state array size mismatch");
 
@@ -45,6 +47,8 @@ vid_t oriented_extend(const CsrGraph& g, std::vector<MisState>& state,
   std::vector<vid_t> next;
   while (!live.empty()) {
     ++rounds;
+    SBG_COUNTER_ADD("oriented.rounds", 1);
+    SBG_SERIES_APPEND("oriented.frontier", live.size());
     // Join: fixed-priority local minima (same round-start snapshot rule
     // as luby_extend: kIn neighbors joined this round and still compete).
     parallel_for(live.size(), [&](std::size_t i) {
@@ -68,9 +72,18 @@ vid_t oriented_extend(const CsrGraph& g, std::vector<MisState>& state,
       }
     });
     next.clear();
+    SBG_OBS_ONLY(vid_t obs_in = 0;)
     for (const vid_t v : live) {
-      if (state[v] == MisState::kUndecided) next.push_back(v);
+      if (state[v] == MisState::kUndecided) {
+        next.push_back(v);
+        continue;
+      }
+      SBG_OBS_ONLY(if (state[v] == MisState::kIn) ++obs_in;)
     }
+    SBG_OBS_ONLY({
+      SBG_SERIES_APPEND("oriented.joined", obs_in);
+      SBG_COUNTER_ADD("oriented.joined_vertices", obs_in);
+    })
     live.swap(next);
   }
   return rounds;

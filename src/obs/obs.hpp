@@ -1,0 +1,83 @@
+// sbg::obs — observability macros: counters, gauges, histograms, per-round
+// telemetry series, and RAII trace spans.
+//
+// All instrumentation goes through these macros so a translation unit (or
+// the whole build, via -DSBG_OBS_ENABLED=0 / cmake -DSBG_OBS=OFF) can
+// compile it out to literally nothing — no registry lookup, no argument
+// evaluation, no code-gen in hot loops. With obs enabled, each call site
+// resolves its metric handle once (function-local static) and then pays one
+// relaxed atomic update on a thread-sharded slot.
+//
+//   SBG_COUNTER_ADD("gm.proposals", live.size());   // monotonic counter
+//   SBG_GAUGE_SET("result.rounds", r.rounds);       // last-write-wins value
+//   SBG_HIST_RECORD("rand.part_size", sz);          // pow2-bucket histogram
+//   SBG_SERIES_APPEND("gm.matched", matched);       // per-round ring buffer
+//   SBG_SPAN("decompose.bridge");                   // RAII span for scope
+//   SBG_OBS_ONLY(vid_t obs_matched = 0;)            // obs-only statements
+//
+// Statements that exist purely to feed a metric (per-round tallies in the
+// serial inter-phase sections) belong inside SBG_OBS_ONLY(...) so they
+// vanish with the rest.
+#pragma once
+
+#ifndef SBG_OBS_ENABLED
+#define SBG_OBS_ENABLED 1
+#endif
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+#define SBG_OBS_CONCAT_(a, b) a##b
+#define SBG_OBS_CONCAT(a, b) SBG_OBS_CONCAT_(a, b)
+
+#if SBG_OBS_ENABLED
+
+#define SBG_OBS_ONLY(...) __VA_ARGS__
+
+#define SBG_COUNTER_ADD(name, delta)                                       \
+  do {                                                                     \
+    static ::sbg::obs::Counter& SBG_OBS_CONCAT(sbg_obs_h_, __LINE__) =     \
+        ::sbg::obs::registry().counter(name);                              \
+    SBG_OBS_CONCAT(sbg_obs_h_, __LINE__)                                   \
+        .add(static_cast<std::uint64_t>(delta));                           \
+  } while (0)
+
+#define SBG_GAUGE_SET(name, value)                                         \
+  do {                                                                     \
+    static ::sbg::obs::Gauge& SBG_OBS_CONCAT(sbg_obs_h_, __LINE__) =       \
+        ::sbg::obs::registry().gauge(name);                                \
+    SBG_OBS_CONCAT(sbg_obs_h_, __LINE__)                                   \
+        .set(static_cast<double>(value));                                  \
+  } while (0)
+
+#define SBG_HIST_RECORD(name, value)                                       \
+  do {                                                                     \
+    static ::sbg::obs::Histogram& SBG_OBS_CONCAT(sbg_obs_h_, __LINE__) =   \
+        ::sbg::obs::registry().histogram(name);                            \
+    SBG_OBS_CONCAT(sbg_obs_h_, __LINE__)                                   \
+        .record(static_cast<std::uint64_t>(value));                        \
+  } while (0)
+
+#define SBG_SERIES_APPEND(name, value)                                     \
+  do {                                                                     \
+    static ::sbg::obs::Series& SBG_OBS_CONCAT(sbg_obs_h_, __LINE__) =      \
+        ::sbg::obs::registry().series(name);                               \
+    SBG_OBS_CONCAT(sbg_obs_h_, __LINE__)                                   \
+        .append(static_cast<double>(value));                               \
+  } while (0)
+
+#define SBG_SPAN(name) \
+  ::sbg::obs::Span SBG_OBS_CONCAT(sbg_obs_span_, __LINE__)(name)
+
+#else  // SBG_OBS_ENABLED == 0: every macro is a no-op that never evaluates
+       // its arguments, so instrumented hot loops generate identical code
+       // to uninstrumented ones.
+
+#define SBG_OBS_ONLY(...)
+#define SBG_COUNTER_ADD(name, delta) do {} while (0)
+#define SBG_GAUGE_SET(name, value) do {} while (0)
+#define SBG_HIST_RECORD(name, value) do {} while (0)
+#define SBG_SERIES_APPEND(name, value) do {} while (0)
+#define SBG_SPAN(name) do {} while (0)
+
+#endif  // SBG_OBS_ENABLED

@@ -1,0 +1,231 @@
+#include "obs/registry.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace sbg::obs {
+
+bool enabled_in_library() { return SBG_OBS_ENABLED != 0; }
+
+namespace detail {
+
+unsigned thread_shard() {
+  return static_cast<unsigned>(omp_get_thread_num());
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Counter --
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram --
+
+namespace {
+
+inline unsigned bucket_of(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v));  // 0 for v == 0
+}
+
+inline void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t sample) {
+  HistShard& s = shards_[detail::thread_shard() % detail::kHistogramShards];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(sample, std::memory_order_relaxed);
+  atomic_min(s.min, sample);
+  atomic_max(s.max, sample);
+  s.buckets[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  std::uint64_t min = ~0ull;
+  for (const auto& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.min = out.count ? min : 0;
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~0ull, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------------- Series --
+
+Series::Series(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(capacity_, 0.0);
+}
+
+void Series::append(double v) {
+  // fetch_add reserves a unique slot, so concurrent appenders never write
+  // the same index; the acquire/release pairing with readers keeps the
+  // window contents coherent for fully-published slots.
+  const std::uint64_t i = total_.fetch_add(1, std::memory_order_acq_rel);
+  ring_[static_cast<std::size_t>(i % capacity_)] = v;
+}
+
+std::uint64_t Series::window_start() const {
+  const std::uint64_t t = total();
+  return t > capacity_ ? t - capacity_ : 0;
+}
+
+std::vector<double> Series::window() const {
+  const std::uint64_t t = total();
+  const std::uint64_t begin = window_start();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(t - begin));
+  for (std::uint64_t i = begin; i < t; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % capacity_)]);
+  }
+  return out;
+}
+
+void Series::reset() {
+  total_.store(0, std::memory_order_release);
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+}
+
+// --------------------------------------------------------------- Registry --
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // deques give address stability; the maps only index into them.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::deque<Series> series;
+  std::unordered_map<std::string, Counter*> counter_by_name;
+  std::unordered_map<std::string, Gauge*> gauge_by_name;
+  std::unordered_map<std::string, Histogram*> histogram_by_name;
+  std::unordered_map<std::string, Series*> series_by_name;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+namespace {
+
+template <class T, class Deque, class Map>
+T& find_or_create(std::mutex& mu, Deque& storage, Map& index,
+                  std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = index.find(std::string(name));
+  if (it != index.end()) return *it->second;
+  T& slot = storage.emplace_back();
+  index.emplace(std::string(name), &slot);
+  return slot;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create<Counter>(impl_->mu, impl_->counters,
+                                 impl_->counter_by_name, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create<Gauge>(impl_->mu, impl_->gauges, impl_->gauge_by_name,
+                               name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create<Histogram>(impl_->mu, impl_->histograms,
+                                   impl_->histogram_by_name, name);
+}
+
+Series& Registry::series(std::string_view name) {
+  return find_or_create<Series>(impl_->mu, impl_->series,
+                                impl_->series_by_name, name);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& c : impl_->counters) c.reset();
+  for (auto& g : impl_->gauges) g.reset();
+  for (auto& h : impl_->histograms) h.reset();
+  for (auto& s : impl_->series) s.reset();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  RegistrySnapshot out;
+  for (const auto& [name, c] : impl_->counter_by_name) {
+    out.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : impl_->gauge_by_name) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : impl_->histogram_by_name) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  for (const auto& [name, s] : impl_->series_by_name) {
+    RegistrySnapshot::SeriesSnapshot ss;
+    ss.name = name;
+    ss.total = s->total();
+    ss.window_start = s->window_start();
+    ss.values = s->window();
+    out.series.push_back(std::move(ss));
+  }
+  const auto by_first = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_first);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_first);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_first);
+  std::sort(out.series.begin(), out.series.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+Registry& registry() {
+  // Deliberately leaked: atexit report writers (bench_common.hpp) may run
+  // after static destructors, so the registry must outlive them.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace sbg::obs

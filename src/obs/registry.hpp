@@ -1,0 +1,175 @@
+// Low-overhead metrics registry: counters, gauges, and histograms.
+//
+// Counters and histograms are sharded across cache-line-padded slots indexed
+// by the OpenMP thread id, so concurrent updates from a parallel region never
+// contend on one line; values are aggregated only when read (report time).
+// Handles returned by the registry are address-stable for the life of the
+// process — reset() zeroes values but never invalidates a handle — so the
+// SBG_* macros in obs.hpp can cache the lookup in a function-local static
+// and pay the name hash exactly once per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbg::obs {
+
+/// True when the sbg library itself was compiled with SBG_OBS_ENABLED=1
+/// (i.e. the solvers carry instrumentation). TUs can disable their own
+/// macros independently; this reports the library's state.
+bool enabled_in_library();
+
+namespace detail {
+
+/// One padded slot; alignment keeps neighboring shards off the same line.
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Shard index for the calling thread (OpenMP thread id modulo kShards;
+/// collisions are harmless because updates are relaxed atomics).
+unsigned thread_shard();
+
+inline constexpr unsigned kCounterShards = 64;
+inline constexpr unsigned kHistogramShards = 16;
+
+}  // namespace detail
+
+/// Monotonic counter, per-thread sharded.
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    shards_[detail::thread_shard() % detail::kCounterShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (racy against writers by design; exact when quiescent).
+  std::uint64_t value() const;
+
+  void reset();
+
+ private:
+  detail::Shard shards_[detail::kCounterShards];
+};
+
+/// Last-write-wins numeric gauge.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed histogram of unsigned samples, per-thread sharded.
+/// Bucket b holds samples with bit_width(value) == b (bucket 0 = zeros), so
+/// bucket upper bounds are 0, 1, 3, 7, ..., 2^63 - 1.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;  ///< bit widths 0..64
+
+  void record(std::uint64_t sample);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< 0 when count == 0
+    std::uint64_t max = 0;
+    std::uint64_t buckets[kBuckets] = {};
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) HistShard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~0ull};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+  };
+  HistShard shards_[detail::kHistogramShards];
+};
+
+/// Fixed-capacity ring buffer of per-round samples. Appends past the
+/// capacity overwrite the oldest entries but `total()` keeps counting, so a
+/// 14,000-round GM run stays bounded in memory while the report still shows
+/// the true round count and the tail of the series.
+class Series {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Series(std::size_t capacity = kDefaultCapacity);
+
+  /// Record the next sample. Safe to call concurrently, but samples are
+  /// expected once per solver round from the serial inter-phase section.
+  void append(double v);
+
+  /// Samples ever appended (>= window size).
+  std::uint64_t total() const {
+    return total_.load(std::memory_order_acquire);
+  }
+
+  /// Index of the first retained sample (total - window size).
+  std::uint64_t window_start() const;
+
+  /// Retained samples, oldest first.
+  std::vector<double> window() const;
+
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> ring_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+/// Named snapshot of every metric, for the report writer and tests.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  struct SeriesSnapshot {
+    std::string name;
+    std::uint64_t total = 0;
+    std::uint64_t window_start = 0;
+    std::vector<double> values;
+  };
+  std::vector<SeriesSnapshot> series;
+};
+
+/// Process-global metric registry. Lookup is mutex-protected (macros cache
+/// the handle); updates through handles are lock-free.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Series& series(std::string_view name);
+
+  /// Zero every metric; existing handles stay valid.
+  void reset();
+
+  /// Aggregated copy of everything, names sorted.
+  RegistrySnapshot snapshot() const;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-global registry the SBG_* macros talk to.
+Registry& registry();
+
+}  // namespace sbg::obs

@@ -1,0 +1,173 @@
+#include "obs/report.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace sbg::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_span(std::string& out, const SpanNode& n) {
+  out += "{\"name\":";
+  append_escaped(out, n.name);
+  out += ",\"seconds\":";
+  append_number(out, n.seconds);
+  out += ",\"count\":";
+  append_uint(out, n.count);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    if (i) out += ',';
+    append_span(out, *n.children[i]);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string report_json(const MetaList& meta) {
+  const RegistrySnapshot snap = registry().snapshot();
+  const auto spans = span_tree().snapshot();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\"sbg_report_version\":1,\"meta\":{";
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    if (i) out += ',';
+    append_escaped(out, meta[i].first);
+    out += ':';
+    append_escaped(out, meta[i].second);
+  }
+  out += "},\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    append_escaped(out, snap.counters[i].first);
+    out += ':';
+    append_uint(out, snap.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    append_escaped(out, snap.gauges[i].first);
+    out += ':';
+    append_number(out, snap.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i) out += ',';
+    const auto& [name, h] = snap.histograms[i];
+    append_escaped(out, name);
+    out += ":{\"count\":";
+    append_uint(out, h.count);
+    out += ",\"sum\":";
+    append_uint(out, h.sum);
+    out += ",\"min\":";
+    append_uint(out, h.min);
+    out += ",\"max\":";
+    append_uint(out, h.max);
+    out += ",\"buckets\":{";
+    bool first = true;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (!h.buckets[b]) continue;
+      if (!first) out += ',';
+      first = false;
+      // Key = inclusive upper bound of the power-of-two bucket.
+      const std::uint64_t bound = b == 0 ? 0
+                                  : b >= 64 ? ~0ull
+                                            : (1ull << b) - 1;
+      out += '"';
+      append_uint(out, bound);
+      out += "\":";
+      append_uint(out, h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += "},\"series\":{";
+  for (std::size_t i = 0; i < snap.series.size(); ++i) {
+    if (i) out += ',';
+    const auto& s = snap.series[i];
+    append_escaped(out, s.name);
+    out += ":{\"total\":";
+    append_uint(out, s.total);
+    out += ",\"window_start\":";
+    append_uint(out, s.window_start);
+    out += ",\"values\":[";
+    for (std::size_t j = 0; j < s.values.size(); ++j) {
+      if (j) out += ',';
+      append_number(out, s.values[j]);
+    }
+    out += "]}";
+  }
+  out += "},\"spans\":[";
+  for (std::size_t i = 0; i < spans->children.size(); ++i) {
+    if (i) out += ',';
+    append_span(out, *spans->children[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_json_report(const std::string& path, const MetaList& meta,
+                       std::string* error) {
+  const std::string body = report_json(meta);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok && error) *error = "short write to " + path;
+  return ok;
+}
+
+void reset_all() {
+  registry().reset();
+  span_tree().reset();
+}
+
+}  // namespace sbg::obs

@@ -1,0 +1,39 @@
+// Machine-readable run reports: everything the registry and span tree hold,
+// serialized as one JSON document so runs become diffable artifacts.
+//
+// Schema (version 1):
+//   {
+//     "sbg_report_version": 1,
+//     "meta":       { "<key>": "<string>", ... },
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "count", "sum", "min", "max",
+//                                 "buckets": { "<upper bound>": <uint> } } },
+//     "series":     { "<name>": { "total", "window_start",
+//                                 "values": [<number>, ...] } },
+//     "spans":      [ { "name", "seconds", "count", "children": [...] } ]
+//   }
+// Series are ring-buffered: `values` holds the last N samples and
+// `window_start` their index origin; `total` is the true sample count.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sbg::obs {
+
+using MetaList = std::vector<std::pair<std::string, std::string>>;
+
+/// The full report as a JSON string (snapshot of registry + span tree).
+std::string report_json(const MetaList& meta = {});
+
+/// Write report_json(meta) to `path`. Returns false (and fills *error if
+/// non-null) when the file cannot be written.
+bool write_json_report(const std::string& path, const MetaList& meta = {},
+                       std::string* error = nullptr);
+
+/// Zero all metrics and drop the span tree — fresh slate for the next run.
+void reset_all();
+
+}  // namespace sbg::obs

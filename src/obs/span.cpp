@@ -1,0 +1,99 @@
+#include "obs/span.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace sbg::obs {
+
+struct SpanTree::Impl {
+  std::mutex mu;
+  SpanNode root;  // unnamed container; children are the top-level spans
+  std::unordered_map<const SpanNode*, SpanNode*> parent_of;
+};
+
+namespace {
+
+// Current innermost open span of this thread; null means "attach to root".
+thread_local SpanNode* t_current = nullptr;
+
+SpanNode* find_or_add_child(SpanNode* parent, std::string_view name) {
+  for (const auto& c : parent->children) {
+    if (c->name == name) return c.get();
+  }
+  parent->children.push_back(std::make_unique<SpanNode>());
+  SpanNode* node = parent->children.back().get();
+  node->name = std::string(name);
+  return node;
+}
+
+std::unique_ptr<SpanNode> clone(const SpanNode& n) {
+  auto out = std::make_unique<SpanNode>();
+  out->name = n.name;
+  out->seconds = n.seconds;
+  out->count = n.count;
+  out->children.reserve(n.children.size());
+  for (const auto& c : n.children) out->children.push_back(clone(*c));
+  return out;
+}
+
+void print_node(std::FILE* f, const SpanNode& n, int depth) {
+  const int pad = 40 - 2 * depth > 0 ? 40 - 2 * depth : 1;
+  std::fprintf(f, "%*s%-*s %10.4fs", 2 * depth, "", pad, n.name.c_str(),
+               n.seconds);
+  if (n.count > 1) std::fprintf(f, "  x%llu", (unsigned long long)n.count);
+  std::fputc('\n', f);
+  for (const auto& c : n.children) print_node(f, *c, depth + 1);
+}
+
+}  // namespace
+
+SpanTree::SpanTree() : impl_(new Impl) {}
+SpanTree::~SpanTree() { delete impl_; }
+
+SpanNode* SpanTree::begin_span(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  SpanNode* parent = t_current ? t_current : &impl_->root;
+  SpanNode* node = find_or_add_child(parent, name);
+  impl_->parent_of[node] = parent;
+  t_current = node;
+  return node;
+}
+
+void SpanTree::end_span(SpanNode* node, double seconds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  node->seconds += seconds;
+  node->count += 1;
+  // Spans are scoped objects, so per thread they close in LIFO order; the
+  // node's recorded parent becomes the thread's current span again.
+  SpanNode* parent = impl_->parent_of[node];
+  t_current = parent == &impl_->root ? nullptr : parent;
+}
+
+std::unique_ptr<SpanNode> SpanTree::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return clone(impl_->root);
+}
+
+void SpanTree::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->root.children.clear();
+  impl_->root.seconds = 0.0;
+  impl_->root.count = 0;
+  impl_->parent_of.clear();
+  t_current = nullptr;
+}
+
+SpanTree& span_tree() {
+  // Deliberately leaked: atexit report writers (bench_common.hpp) may run
+  // after static destructors, so the tree must outlive them.
+  static SpanTree* t = new SpanTree;
+  return *t;
+}
+
+void print_span_tree(std::FILE* out) {
+  const auto root = span_tree().snapshot();
+  std::fprintf(out, "-- trace spans ------------------------------\n");
+  for (const auto& c : root->children) print_node(out, *c, 0);
+}
+
+}  // namespace sbg::obs

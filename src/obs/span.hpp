@@ -1,0 +1,79 @@
+// RAII trace spans building a process-global nested span tree.
+//
+// SBG_SPAN("mm_rand") opens a span for the enclosing scope; spans opened
+// while it is alive become its children. Re-entering a (parent, name) pair
+// merges into the existing node — seconds accumulate and `count` increments —
+// so a bench harness looping 12 graphs produces a bounded, profiler-style
+// call tree instead of 12 copies of it. The current parent is tracked
+// per-thread; spans opened from OpenMP worker threads attach under the root.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbg::obs {
+
+struct SpanNode {
+  std::string name;
+  double seconds = 0.0;       ///< accumulated wall time of completed visits
+  std::uint64_t count = 0;    ///< completed visits
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+class SpanTree {
+ public:
+  /// Child of the current thread-parent named `name` (created or merged);
+  /// becomes the current parent until the matching end_span.
+  SpanNode* begin_span(std::string_view name);
+
+  /// Close `node`, accumulating `seconds`; restores the parent.
+  void end_span(SpanNode* node, double seconds);
+
+  /// Deep copy of the tree (root is an unnamed container node).
+  std::unique_ptr<SpanNode> snapshot() const;
+
+  /// Drop all nodes. Must not run while spans are open.
+  void reset();
+
+  SpanTree();
+  ~SpanTree();
+  SpanTree(const SpanTree&) = delete;
+  SpanTree& operator=(const SpanTree&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-global span tree the SBG_SPAN macro feeds.
+SpanTree& span_tree();
+
+/// RAII handle: opens on construction, closes (recording wall time) on
+/// destruction. Use via SBG_SPAN so it compiles out with the macros.
+class Span {
+ public:
+  explicit Span(std::string_view name)
+      : node_(span_tree().begin_span(name)), start_(clock::now()) {}
+
+  ~Span() {
+    span_tree().end_span(
+        node_, std::chrono::duration<double>(clock::now() - start_).count());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  SpanNode* node_;
+  clock::time_point start_;
+};
+
+/// Human-readable indented dump (the sbg_tool --trace output).
+void print_span_tree(std::FILE* out);
+
+}  // namespace sbg::obs

@@ -32,17 +32,27 @@ class Timer {
 
 /// Named phase accumulator:
 ///   PhaseTimer pt; pt.start("decompose"); ...; pt.stop();
+/// Misuse is self-healing rather than silently corrupting the record:
+/// start() while a phase is running closes that phase first, and stop()
+/// with no phase in flight is a no-op (previously it recorded a bogus
+/// empty-named phase). Prefer ScopedPhase below for exception safety.
 class PhaseTimer {
  public:
   void start(std::string name) {
+    if (running_) stop();  // auto-close the in-flight phase
     current_ = std::move(name);
+    running_ = true;
     t_.reset();
   }
 
   void stop() {
+    if (!running_) return;  // nothing in flight
     phases_.emplace_back(std::move(current_), t_.seconds());
     current_.clear();
+    running_ = false;
   }
+
+  bool running() const { return running_; }
 
   /// (phase name, seconds) in start order.
   const std::vector<std::pair<std::string, double>>& phases() const {
@@ -66,7 +76,24 @@ class PhaseTimer {
  private:
   Timer t_;
   std::string current_;
+  bool running_ = false;
   std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII phase: starts on construction, records on destruction even when the
+/// scope unwinds via an exception. The composites time their solve/stitch
+/// phases with this.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& pt, std::string name) : pt_(pt) {
+    pt_.start(std::move(name));
+  }
+  ~ScopedPhase() { pt_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& pt_;
 };
 
 }  // namespace sbg

@@ -1,0 +1,420 @@
+// sbg::obs — counters/histograms across OpenMP threads, span-tree nesting,
+// series ring buffers, registry reset semantics, PhaseTimer misuse fixes,
+// and a JSON schema round-trip through a minimal parser.
+//
+// This TU pins SBG_OBS_ENABLED=1 so the macro-level expectations hold even
+// if the build was configured with -DSBG_OBS=OFF; the solver-integration
+// tests additionally gate on obs::enabled_in_library().
+#undef SBG_OBS_ENABLED
+#define SBG_OBS_ENABLED 1
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/timer.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+// ------------------------------------------------------ mini JSON parser --
+// Just enough JSON to round-trip the report schema in tests.
+
+struct Json {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  const Json& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (i_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at " + std::to_string(i_) +
+                             ": " + why);
+  }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool eat(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(i_, len, lit) == 0) {
+      i_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = s_[i_++];
+      if (c == '\\') {
+        const char esc = s_[i_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': i_ += 4; out += '?'; break;  // tests never need these
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++i_;
+    return out;
+  }
+
+  Json value() {
+    ws();
+    Json v;
+    const char c = peek();
+    if (c == '{') {
+      v.type = Json::kObject;
+      ++i_;
+      ws();
+      if (peek() == '}') { ++i_; return v; }
+      while (true) {
+        ws();
+        std::string key = string_lit();
+        ws();
+        expect(':');
+        v.object.emplace(std::move(key), value());
+        ws();
+        if (peek() == ',') { ++i_; continue; }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.type = Json::kArray;
+      ++i_;
+      ws();
+      if (peek() == ']') { ++i_; return v; }
+      while (true) {
+        v.array.push_back(value());
+        ws();
+        if (peek() == ',') { ++i_; continue; }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = Json::kString;
+      v.string = string_lit();
+      return v;
+    }
+    if (eat("true")) { v.type = Json::kBool; v.boolean = true; return v; }
+    if (eat("false")) { v.type = Json::kBool; v.boolean = false; return v; }
+    if (eat("null")) { v.type = Json::kNull; return v; }
+    // number
+    std::size_t end = i_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == i_) fail("unexpected character");
+    v.type = Json::kNumber;
+    v.number = std::stod(s_.substr(i_, end - i_));
+    i_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+const obs::SpanNode* find_child(const obs::SpanNode& parent,
+                                const std::string& name) {
+  for (const auto& c : parent.children) {
+    if (c->name == name) return c.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Obs, CounterAggregatesAcrossOmpThreads) {
+  obs::Counter& c = obs::registry().counter("test.counter.parallel");
+  c.reset();
+  constexpr std::size_t kIters = 100'000;
+  parallel_for(kIters, [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), kIters);
+  c.add(5);
+  EXPECT_EQ(c.value(), kIters + 5);
+}
+
+TEST(Obs, RegistryResetZeroesButKeepsHandles) {
+  obs::Counter& c = obs::registry().counter("test.counter.reset");
+  c.add(41);
+  obs::registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // handle still valid after reset
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(&c, &obs::registry().counter("test.counter.reset"));
+}
+
+TEST(Obs, GaugeLastWriteWins) {
+  obs::Gauge& g = obs::registry().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(Obs, HistogramAggregatesAcrossOmpThreads) {
+  obs::Histogram& h = obs::registry().histogram("test.hist.parallel");
+  h.reset();
+  constexpr std::size_t kIters = 10'000;
+  parallel_for(kIters, [&](std::size_t i) { h.record(i); });
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kIters);
+  EXPECT_EQ(snap.sum, kIters * (kIters - 1) / 2);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, kIters - 1);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kIters);
+  // Power-of-two buckets: bucket 1 holds exactly {1}, bucket 2 holds {2,3}.
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+}
+
+TEST(Obs, SeriesRingBufferKeepsTailAndTrueTotal) {
+  obs::Series s(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) s.append(i);
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_EQ(s.window_start(), 6u);
+  const auto w = s.window();
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 6.0);
+  EXPECT_DOUBLE_EQ(w[3], 9.0);
+  s.reset();
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_TRUE(s.window().empty());
+}
+
+TEST(Obs, SeriesBelowCapacityKeepsEverything) {
+  obs::Series& s = obs::registry().series("test.series.small");
+  s.reset();
+  s.append(2.0);
+  s.append(4.0);
+  EXPECT_EQ(s.total(), 2u);
+  EXPECT_EQ(s.window_start(), 0u);
+  const auto w = s.window();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+}
+
+// ------------------------------------------------------------------ spans --
+
+TEST(Obs, SpanTreeNestsAndMergesRepeats) {
+  obs::span_tree().reset();
+  {
+    SBG_SPAN("outer");
+    { SBG_SPAN("inner"); }
+    { SBG_SPAN("inner"); }
+    { SBG_SPAN("other"); }
+  }
+  { SBG_SPAN("outer"); }  // re-entering merges into the same node
+
+  const auto root = obs::span_tree().snapshot();
+  ASSERT_EQ(root->children.size(), 1u);
+  const obs::SpanNode* outer = find_child(*root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_GE(outer->seconds, 0.0);
+  ASSERT_EQ(outer->children.size(), 2u);
+  const obs::SpanNode* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_NE(find_child(*outer, "other"), nullptr);
+  // Nesting restored after the inner spans closed: a fresh span attaches
+  // at top level, not under "outer".
+  { SBG_SPAN("after"); }
+  const auto root2 = obs::span_tree().snapshot();
+  EXPECT_NE(find_child(*root2, "after"), nullptr);
+  EXPECT_EQ(find_child(*find_child(*root2, "outer"), "after"), nullptr);
+}
+
+// ------------------------------------------------------------ PhaseTimer --
+
+TEST(Obs, PhaseTimerStopWithoutStartIsNoOp) {
+  PhaseTimer pt;
+  pt.stop();  // previously recorded a bogus empty-named phase
+  EXPECT_TRUE(pt.phases().empty());
+}
+
+TEST(Obs, PhaseTimerDoubleStartAutoClosesInFlightPhase) {
+  PhaseTimer pt;
+  pt.start("a");
+  pt.start("b");  // previously dropped phase "a" silently
+  pt.stop();
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0].first, "a");
+  EXPECT_EQ(pt.phases()[1].first, "b");
+  EXPECT_FALSE(pt.running());
+}
+
+TEST(Obs, ScopedPhaseRecordsOnScopeExit) {
+  PhaseTimer pt;
+  {
+    ScopedPhase phase(pt, "scoped");
+    EXPECT_TRUE(pt.running());
+  }
+  ASSERT_EQ(pt.phases().size(), 1u);
+  EXPECT_EQ(pt.phases()[0].first, "scoped");
+  EXPECT_GE(pt.phases()[0].second, 0.0);
+}
+
+// ----------------------------------------------------------- JSON report --
+
+TEST(Obs, JsonReportRoundTrip) {
+  obs::reset_all();
+  SBG_COUNTER_ADD("rt.counter", 7);
+  SBG_GAUGE_SET("rt.gauge", 2.5);
+  SBG_HIST_RECORD("rt.hist", 3);
+  SBG_HIST_RECORD("rt.hist", 5);
+  SBG_SERIES_APPEND("rt.series", 1.0);
+  SBG_SERIES_APPEND("rt.series", 2.0);
+  {
+    SBG_SPAN("rt.outer");
+    SBG_SPAN("rt.inner");
+  }
+
+  const std::string text =
+      obs::report_json({{"tool", "test"}, {"quote", "a\"b"}});
+  const Json doc = JsonParser(text).parse();
+
+  EXPECT_DOUBLE_EQ(doc.at("sbg_report_version").number, 1.0);
+  EXPECT_EQ(doc.at("meta").at("tool").string, "test");
+  EXPECT_EQ(doc.at("meta").at("quote").string, "a\"b");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("rt.counter").number, 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("rt.gauge").number, 2.5);
+
+  const Json& hist = doc.at("histograms").at("rt.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 8.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 5.0);
+  // 3 lands in the (1,3] bucket, 5 in the (3,7] bucket.
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at("3").number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at("7").number, 1.0);
+
+  const Json& series = doc.at("series").at("rt.series");
+  EXPECT_DOUBLE_EQ(series.at("total").number, 2.0);
+  EXPECT_DOUBLE_EQ(series.at("window_start").number, 0.0);
+  ASSERT_EQ(series.at("values").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.at("values").array[1].number, 2.0);
+
+  ASSERT_EQ(doc.at("spans").array.size(), 1u);
+  const Json& outer = doc.at("spans").array[0];
+  EXPECT_EQ(outer.at("name").string, "rt.outer");
+  ASSERT_EQ(outer.at("children").array.size(), 1u);
+  EXPECT_EQ(outer.at("children").array[0].at("name").string, "rt.inner");
+}
+
+TEST(Obs, WriteJsonReportCreatesParseableFile) {
+  obs::reset_all();
+  SBG_COUNTER_ADD("rt.file_counter", 1);
+  const std::string path =
+      testing::TempDir() + "/sbg_obs_report_test.json";
+  std::string error;
+  ASSERT_TRUE(obs::write_json_report(path, {{"k", "v"}}, &error)) << error;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  const Json doc = JsonParser(text).parse();
+  EXPECT_EQ(doc.at("meta").at("k").string, "v");
+  EXPECT_TRUE(doc.at("counters").has("rt.file_counter"));
+}
+
+// ------------------------------------------------- solver instrumentation --
+
+TEST(Obs, GmExtendRecordsRoundTelemetry) {
+  if (!obs::enabled_in_library()) GTEST_SKIP() << "library built without obs";
+  obs::reset_all();
+  const CsrGraph g = test::random_graph(600, 2400, 3);
+  const MatchResult r = mm_gm(g);
+  ASSERT_GT(r.rounds, 0u);
+  // One frontier/matched sample per round, and the round counter agrees
+  // with the solver's own return value.
+  EXPECT_EQ(obs::registry().counter("gm.rounds").value(), r.rounds);
+  EXPECT_EQ(obs::registry().series("gm.frontier").total(), r.rounds);
+  EXPECT_EQ(obs::registry().series("gm.matched").total(), r.rounds);
+  // Matched-vertex totals equal twice the cardinality.
+  EXPECT_EQ(obs::registry().counter("gm.matched_vertices").value(),
+            2 * r.cardinality);
+}
+
+TEST(Obs, CompositeEmitsDecomposeSolveStitchSpans) {
+  if (!obs::enabled_in_library()) GTEST_SKIP() << "library built without obs";
+  obs::reset_all();
+  const CsrGraph g = test::random_graph(500, 2000, 5);
+  (void)mm_rand(g, 4);
+  const auto root = obs::span_tree().snapshot();
+  const obs::SpanNode* mm = find_child(*root, "mm_rand");
+  ASSERT_NE(mm, nullptr);
+  EXPECT_NE(find_child(*mm, "decompose.rand"), nullptr);
+  const obs::SpanNode* solve = find_child(*mm, "solve");
+  const obs::SpanNode* stitch = find_child(*mm, "stitch");
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(stitch, nullptr);
+  // The engine's extender nests under both phases.
+  EXPECT_NE(find_child(*solve, "gm_extend"), nullptr);
+  EXPECT_NE(find_child(*stitch, "gm_extend"), nullptr);
+}
+
+}  // namespace
+}  // namespace sbg

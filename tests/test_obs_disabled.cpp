@@ -1,0 +1,58 @@
+// Guard that SBG_OBS_ENABLED=0 compiles the obs macros to true no-ops.
+//
+// This TU force-disables the macros regardless of how the library was
+// configured, then proves (a) macro arguments are never evaluated, and
+// (b) nothing is materialized in the process-wide registry or span tree.
+#undef SBG_OBS_ENABLED
+#define SBG_OBS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace sbg {
+namespace {
+
+// SBG_OBS_ONLY must discard its tokens entirely when disabled: this call
+// would be a compile error if the macro expanded its arguments.
+#if SBG_OBS_ENABLED == 0
+SBG_OBS_ONLY(static_assert(false, "SBG_OBS_ONLY leaked tokens into a "
+                                  "disabled build");)
+#endif
+
+int evaluations = 0;
+
+[[maybe_unused]] int touch() {
+  ++evaluations;
+  return 1;
+}
+
+TEST(ObsDisabled, MacroArgumentsAreNeverEvaluated) {
+  SBG_COUNTER_ADD("disabled.counter", touch());
+  SBG_GAUGE_SET("disabled.gauge", touch());
+  SBG_HIST_RECORD("disabled.hist", touch());
+  SBG_SERIES_APPEND("disabled.series", touch());
+  SBG_SPAN("disabled.span");
+  SBG_OBS_ONLY(touch();)
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabled, NothingMaterializesInRegistryOrSpanTree) {
+  SBG_COUNTER_ADD("disabled.ghost", 1);
+  {
+    SBG_SPAN("disabled.ghost_span");
+  }
+  const auto snap = obs::registry().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name.rfind("disabled.", 0), 0u) << name << "=" << value;
+  }
+  const auto root = obs::span_tree().snapshot();
+  for (const auto& child : root->children) {
+    EXPECT_NE(child->name, "disabled.ghost_span");
+  }
+}
+
+}  // namespace
+}  // namespace sbg
