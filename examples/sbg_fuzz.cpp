@@ -1,0 +1,133 @@
+// sbg_fuzz — seeded differential fuzz harness for the whole solver zoo.
+//
+//   sbg_fuzz [--seed N] [--graphs N] [--max-n N] [--families a,b] [--quiet]
+//   sbg_fuzz --list
+//
+// Draws `--graphs` random graphs from each generator family (basic / rgg /
+// rmat / synth), runs every registered solver and decomposition composite
+// on each, and holds the results against the sbg::check oracles plus
+// cross-variant agreement (see src/check/fuzz.hpp for the invariant list).
+//
+// Runs are pure functions of the flags: a failing campaign prints an exact
+// replay command line, and any individual failure can be reproduced with
+// `--graphs 1`-style narrowing since each graph's seed is printed with the
+// failure. Exit code 0 = clean, 1 = failures (or bad usage).
+//
+// Meant to run under the sanitizer matrix: configure with
+// `cmake -DSBG_SAN=address,undefined` (or `thread`) and re-run the same
+// seed — see the "Verifying results" section of README.md.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "check/solvers.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace {
+
+using namespace sbg;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int list_registry() {
+  std::printf("families:");
+  for (const auto& f : check::fuzz_families()) std::printf(" %s", f.c_str());
+  std::printf("\nmatching variants (%zu):", check::matching_variants().size());
+  for (const auto& v : check::matching_variants()) {
+    std::printf(" %s", v.name.c_str());
+  }
+  std::printf("\ncoloring variants (%zu):", check::coloring_variants().size());
+  for (const auto& v : check::coloring_variants()) {
+    std::printf(" %s", v.name.c_str());
+  }
+  std::printf("\nmis variants (%zu):", check::mis_variants().size());
+  for (const auto& v : check::mis_variants()) {
+    std::printf(" %s", v.name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sbg_fuzz [--seed N] [--graphs N] [--max-n N] "
+               "[--families a,b] [--quiet] | --list\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sbg::apply_thread_env();
+  check::FuzzOptions opt;
+  opt.graphs_per_family = 200;
+  opt.max_n = 512;
+  opt.log = stderr;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) throw InputError("missing value for " + a);
+        return argv[++i];
+      };
+      if (a == "--seed") {
+        opt.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+      } else if (a == "--graphs") {
+        opt.graphs_per_family = std::atoi(next());
+      } else if (a == "--max-n") {
+        opt.max_n = static_cast<vid_t>(std::atoll(next()));
+      } else if (a == "--families") {
+        opt.families = split_csv(next());
+      } else if (a == "--quiet") {
+        opt.log = nullptr;
+      } else if (a == "--list") {
+        return list_registry();
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+        return usage();
+      }
+    }
+    if (opt.graphs_per_family <= 0 || opt.max_n < 4) {
+      std::fprintf(stderr, "need --graphs >= 1 and --max-n >= 4\n");
+      return usage();
+    }
+
+    const check::FuzzSummary summary = check::run_fuzz(opt);
+    std::printf("sbg_fuzz: seed=%" PRIu64 ", %d graphs, %d solver runs, "
+                "%zu failure%s\n",
+                opt.seed, summary.graphs, summary.solver_runs,
+                summary.failures.size(),
+                summary.failures.size() == 1 ? "" : "s");
+    if (!summary.failures.empty()) {
+      std::string families;
+      for (const auto& f :
+           (opt.families.empty() ? check::fuzz_families() : opt.families)) {
+        families += (families.empty() ? "" : ",") + f;
+      }
+      std::printf("replay: sbg_fuzz --seed %" PRIu64 " --graphs %d --max-n %u "
+                  "--families %s\n",
+                  opt.seed, opt.graphs_per_family, opt.max_n,
+                  families.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

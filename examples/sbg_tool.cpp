@@ -4,6 +4,7 @@
 //   sbg_tool stats <graph>
 //   sbg_tool convert <in> <out>
 //   sbg_tool decompose <graph> <bridge|rand|degk> [--k K]
+//   sbg_tool check <graph> [--k K]
 //   sbg_tool mm <graph> [gm|lmax|ii|greedy|bridge|rand|degk]
 //   sbg_tool color <graph> [vb|eb|jp|spec|bridge|rand|degk]
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
@@ -15,11 +16,16 @@
 //
 // <graph> is a .mtx / .el / .sbg file, or a Table II dataset name (e.g.
 // "germany-osm"), generated on the fly at --scale.
+//
+// Every solver run is gated by the src/check oracles; `check` runs the
+// decomposition + solver oracles explicitly and prints each verdict
+// (exit 1 if any fails). For randomized campaigns use sbg_fuzz.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "check/check.hpp"
 #include "coloring/coloring.hpp"
 #include "core/bridge.hpp"
 #include "core/degk.hpp"
@@ -152,6 +158,28 @@ int cmd_decompose(const std::string& spec, const std::string& which,
   return 0;
 }
 
+int cmd_check(const std::string& spec, const Options& o) {
+  const CsrGraph g = load_or_generate(spec, o);
+  int bad = 0;
+  const auto verdict = [&](const char* name, const check::CheckResult& r) {
+    std::printf("%-12s %s\n", name, r.message().c_str());
+    if (!r.ok) ++bad;
+  };
+  verdict("bridge", check::check_decomposition(g, decompose_bridge(g)));
+  verdict("rand",
+          check::check_decomposition(
+              g, decompose_rand(g, o.k ? o.k : 4, o.seed)));
+  verdict("degk", check::check_decomposition(
+                      g, decompose_degk(g, o.k ? o.k : 2, kDegkAll),
+                      kDegkAll));
+  verdict("mm/gm", check::check_matching(g, mm_gm(g).mate).result);
+  verdict("color/vb", check::check_coloring(g, color_vb(g).color).result);
+  verdict("mis/luby",
+          check::check_mis(g, mis_luby(g, o.seed).state).result);
+  if (bad) std::printf("%d check(s) FAILED\n", bad);
+  return bad ? 1 : 0;
+}
+
 int cmd_mm(const std::string& spec, const std::string& algo,
            const Options& o) {
   const CsrGraph g = load_or_generate(spec, o);
@@ -164,8 +192,8 @@ int cmd_mm(const std::string& spec, const std::string& algo,
   else if (algo == "rand") r = mm_rand(g, o.k);
   else if (algo == "degk") r = mm_degk(g, o.k ? o.k : 2);
   else throw InputError("unknown matching algorithm: " + algo);
-  std::string err;
-  SBG_CHECK(verify_maximal_matching(g, r.mate, &err), err.c_str());
+  const check::MatchingReport rep = check::check_matching(g, r.mate);
+  SBG_CHECK(rep.result.ok, rep.result.message().c_str());
   SBG_GAUGE_SET("result.rounds", r.rounds);
   SBG_GAUGE_SET("result.cardinality", r.cardinality);
   SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
@@ -189,17 +217,18 @@ int cmd_color(const std::string& spec, const std::string& algo,
   else if (algo == "rand") r = color_rand(g, o.k ? o.k : 2);
   else if (algo == "degk") r = color_degk(g, o.k ? o.k : 2);
   else throw InputError("unknown coloring algorithm: " + algo);
-  std::string err;
-  SBG_CHECK(verify_coloring(g, r.color, &err), err.c_str());
+  const check::ColoringReport rep = check::check_coloring(g, r.color);
+  SBG_CHECK(rep.result.ok, rep.result.message().c_str());
   SBG_GAUGE_SET("result.rounds", r.rounds);
   SBG_GAUGE_SET("result.colors", r.num_colors);
   SBG_GAUGE_SET("result.conflicted_vertices", r.conflicted_vertices);
   SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
   SBG_GAUGE_SET("result.decompose_seconds", r.decompose_seconds);
   SBG_GAUGE_SET("result.solve_seconds", r.solve_seconds);
-  std::printf("%s: %u colors, %u rounds, %.4fs (decompose %.4fs)\n",
-              algo.c_str(), r.num_colors, r.rounds, r.total_seconds,
-              r.decompose_seconds);
+  std::printf("%s: %u colors (%u distinct), %u rounds, %.4fs "
+              "(decompose %.4fs)\n",
+              algo.c_str(), r.num_colors, rep.distinct_colors, r.rounds,
+              r.total_seconds, r.decompose_seconds);
   return 0;
 }
 
@@ -213,8 +242,8 @@ int cmd_mis(const std::string& spec, const std::string& algo,
   else if (algo == "rand") r = mis_rand(g, o.k, o.seed);
   else if (algo == "degk") r = mis_degk(g, o.k ? o.k : 2, o.seed);
   else throw InputError("unknown MIS algorithm: " + algo);
-  std::string err;
-  SBG_CHECK(verify_mis(g, r.state, &err), err.c_str());
+  const check::MisReport rep = check::check_mis(g, r.state);
+  SBG_CHECK(rep.result.ok, rep.result.message().c_str());
   SBG_GAUGE_SET("result.rounds", r.rounds);
   SBG_GAUGE_SET("result.mis_size", r.size);
   SBG_GAUGE_SET("result.total_seconds", r.total_seconds);
@@ -228,8 +257,8 @@ int cmd_mis(const std::string& spec, const std::string& algo,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sbg_tool <gen|stats|convert|decompose|mm|color|mis> "
-               "...\nsee the header comment of examples/sbg_tool.cpp\n");
+               "usage: sbg_tool <gen|stats|convert|decompose|check|mm|color"
+               "|mis> ...\nsee the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
 
@@ -252,6 +281,8 @@ int main(int argc, char** argv) {
       rc = 0;
     } else if (cmd == "decompose" && argc >= 4) {
       rc = cmd_decompose(argv[2], argv[3], o);
+    } else if (cmd == "check") {
+      rc = cmd_check(argv[2], o);
     } else if (cmd == "mm") {
       rc = cmd_mm(argv[2], algo.empty() ? "gm" : algo, o);
     } else if (cmd == "color") {

@@ -1,0 +1,133 @@
+// sbg::check — the verification oracle library.
+//
+// One shared definition of "valid" for every problem the library solves,
+// usable from tests, benches, sbg_tool, and the differential fuzz harness:
+//
+//   * check_matching       — mate array is a symmetric involution over real
+//                            edges and the matching is maximal;
+//   * check_coloring       — every vertex colored, no monochromatic edge,
+//                            plus a palette-size report;
+//   * check_mis            — independent, maximal, consistent kIn/kOut states;
+//   * check_decomposition  — BRIDGE / RAND / GROW / DEGk outputs partition
+//                            the edges of G exactly once and every
+//                            materialized sub-CSR matches its filter.
+//
+// Every oracle returns a structured CheckResult carrying the *first*
+// (lowest-id) violating vertex or edge, so a failed fuzz run or test names
+// the exact place to look instead of a bare boolean. Violation phrases are
+// stable strings; runs and failures are counted through sbg::obs
+// ("check.<problem>.runs" / "check.violations").
+//
+// All oracles are parallel (OpenMP) but deterministic: the reported first
+// violation is the minimum over all violations regardless of schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/grow.hpp"
+#include "core/rand.hpp"
+#include "graph/csr.hpp"
+#include "mis/mis.hpp"
+
+namespace sbg::check {
+
+/// Outcome of one oracle run. `ok` means every invariant held. On failure,
+/// `violation` is a stable human-readable phrase; `vertex` pins the first
+/// offending vertex (lowest id) and `other` the second endpoint for
+/// edge-level violations (kNoVertex when the violation is vertex-level or
+/// structural).
+struct CheckResult {
+  bool ok = true;
+  std::string violation;
+  vid_t vertex = kNoVertex;
+  vid_t other = kNoVertex;
+
+  explicit operator bool() const { return ok; }
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string violation, vid_t vertex = kNoVertex,
+                          vid_t other = kNoVertex);
+
+  /// "ok", or "<violation>", "<violation> (vertex 5)",
+  /// "<violation> (edge 5-7)" depending on what is pinned.
+  std::string message() const;
+};
+
+// ---------------------------------------------------------------- matching --
+
+struct MatchingReport {
+  CheckResult result;
+  eid_t cardinality = 0;       ///< |M|
+  vid_t matched_vertices = 0;  ///< 2|M|
+};
+
+/// Valid + maximal matching oracle. Checks, in order: array size, mate ids
+/// in range, no self-matches, involution (mate[mate[v]] == v), every matched
+/// pair is an edge of g, and maximality (no edge with both endpoints
+/// unmatched). Stats are filled only when the result is ok.
+MatchingReport check_matching(const CsrGraph& g,
+                              const std::vector<vid_t>& mate);
+
+// ---------------------------------------------------------------- coloring --
+
+struct ColoringReport {
+  CheckResult result;
+  /// Palette span: max color + 1. Composites that stack palettes (COLOR-Degk)
+  /// report their full span here.
+  std::uint32_t num_colors = 0;
+  /// Colors actually used (<= num_colors; the span can have holes).
+  std::uint32_t distinct_colors = 0;
+  /// Size of the biggest color class (every class is an independent set).
+  vid_t largest_class = 0;
+};
+
+/// Proper-coloring oracle: every vertex colored (!= kNoColor), no
+/// monochromatic edge. Stats are filled only when the result is ok.
+ColoringReport check_coloring(const CsrGraph& g,
+                              const std::vector<std::uint32_t>& color);
+
+// --------------------------------------------------------------------- MIS --
+
+struct MisReport {
+  CheckResult result;
+  std::size_t size = 0;  ///< |I|
+};
+
+/// MIS oracle: every state decided and a legal enum value, no two adjacent
+/// kIn vertices (independence), every kOut vertex has a kIn neighbor
+/// (maximality). Stats are filled only when the result is ok.
+MisReport check_mis(const CsrGraph& g, const std::vector<MisState>& state);
+
+// ------------------------------------------------------------ decomposition --
+
+/// BRIDGE oracle: every listed bridge is a real edge, listed once; bridge
+/// vertices flagged iff they touch a listed bridge; g_components is exactly
+/// G minus the bridge edges (so components + bridges cover every edge of G
+/// exactly once); component labels are constant across surviving edges and
+/// differ across each bridge (a bridge separates its endpoints in G - B).
+/// Note: a *missing* bridge is indistinguishable from a denser component
+/// here — cross-check against bridges_reference() for full differential
+/// coverage (the fuzz harness does).
+CheckResult check_decomposition(const CsrGraph& g,
+                                const BridgeDecomposition& d);
+
+/// RAND oracle: k >= 1, every vertex labeled in [0, k), g_intra holds
+/// exactly the same-label edges and g_cross exactly the cross-label edges —
+/// together every edge of G exactly once.
+CheckResult check_decomposition(const CsrGraph& g, const RandDecomposition& d);
+
+/// GROW oracle: same partition laws as RAND, plus cut_edges == |E(g_cross)|.
+CheckResult check_decomposition(const CsrGraph& g, const GrowDecomposition& d);
+
+/// DEGk oracle: is_high[v] == (deg(v) > k), num_high consistent, and each
+/// *materialized* piece (select with `pieces`, as passed to decompose_degk)
+/// holds exactly its filter: G_H both-high, G_L both-low, G_C mixed,
+/// G_L∪G_C not-both-high. G_H + G_L + G_C cover every edge exactly once.
+CheckResult check_decomposition(const CsrGraph& g, const DegkDecomposition& d,
+                                unsigned pieces);
+
+}  // namespace sbg::check

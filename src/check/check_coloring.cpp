@@ -1,0 +1,75 @@
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "obs/obs.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg::check {
+
+ColoringReport check_coloring(const CsrGraph& g,
+                              const std::vector<std::uint32_t>& color) {
+  SBG_COUNTER_ADD("check.coloring.runs", 1);
+  const vid_t n = g.num_vertices();
+  ColoringReport rep;
+  if (color.size() != n) {
+    rep.result = CheckResult::fail("color array size != num_vertices");
+    return rep;
+  }
+
+  const std::size_t uncolored = parallel_first(
+      n, [&](std::size_t v) { return color[v] == kNoColor; });
+  if (uncolored < n) {
+    rep.result =
+        CheckResult::fail("uncolored vertex", static_cast<vid_t>(uncolored));
+    return rep;
+  }
+
+  const std::size_t mono = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    for (const vid_t w : g.neighbors(v)) {
+      if (color[w] == color[v]) return true;
+    }
+    return false;
+  });
+  if (mono < n) {
+    const vid_t v = static_cast<vid_t>(mono);
+    vid_t partner = kNoVertex;
+    for (const vid_t w : g.neighbors(v)) {
+      if (color[w] == color[v]) {
+        partner = w;
+        break;
+      }
+    }
+    rep.result = CheckResult::fail("monochromatic edge", v, partner);
+    return rep;
+  }
+
+  // Palette report. num_colors is the span (max + 1); class sizes come from
+  // a counting pass when the span is dense enough, a sort-unique pass when a
+  // solver returned exotic sparse color ids (keeps memory O(n) either way).
+  rep.num_colors =
+      n == 0 ? 0
+             : parallel_max<std::uint32_t>(
+                   n, [&](std::size_t v) { return color[v] + 1; }, 0u);
+  if (rep.num_colors == 0) return rep;
+  if (rep.num_colors <= 4 * static_cast<std::uint64_t>(n) + 64) {
+    std::vector<vid_t> class_size(rep.num_colors, 0);
+    for (vid_t v = 0; v < n; ++v) ++class_size[color[v]];
+    for (const vid_t s : class_size) {
+      if (s > 0) ++rep.distinct_colors;
+      rep.largest_class = std::max(rep.largest_class, s);
+    }
+  } else {
+    std::vector<std::uint32_t> sorted(color);
+    std::sort(sorted.begin(), sorted.end());
+    vid_t run = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      run = (i > 0 && sorted[i] == sorted[i - 1]) ? run + 1 : 1;
+      if (run == 1) ++rep.distinct_colors;
+      rep.largest_class = std::max(rep.largest_class, run);
+    }
+  }
+  return rep;
+}
+
+}  // namespace sbg::check

@@ -1,0 +1,223 @@
+#include <algorithm>
+#include <utility>
+
+#include "check/check.hpp"
+#include "obs/obs.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg::check {
+namespace {
+
+/// Verifies sub.neighbors(v) == { w in g.neighbors(v) : keep(v, w) } for
+/// every v — i.e. the piece holds exactly the edges its filter selects, no
+/// extras, no omissions, no duplicates (both adjacencies are sorted).
+template <typename Keep>
+CheckResult check_filtered_piece(const CsrGraph& g, const CsrGraph& sub,
+                                 const std::string& piece, Keep&& keep) {
+  const vid_t n = g.num_vertices();
+  if (sub.num_vertices() != n) {
+    return CheckResult::fail(piece + " vertex count != num_vertices");
+  }
+  const std::size_t bad = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const auto got = sub.neighbors(v);
+    std::size_t j = 0;
+    for (const vid_t w : g.neighbors(v)) {
+      if (!keep(v, w)) continue;
+      if (j >= got.size() || got[j] != w) return true;
+      ++j;
+    }
+    return j != got.size();
+  });
+  if (bad < n) {
+    return CheckResult::fail(
+        piece + " adjacency does not match its partition filter",
+        static_cast<vid_t>(bad));
+  }
+  return CheckResult::pass();
+}
+
+/// Shared partition law for vertex-labeled decompositions (RAND and GROW):
+/// labels in range, g_intra exactly same-label edges, g_cross exactly
+/// cross-label edges.
+CheckResult check_labeled_partition(const CsrGraph& g, vid_t k,
+                                    const std::vector<vid_t>& part,
+                                    const CsrGraph& g_intra,
+                                    const CsrGraph& g_cross) {
+  const vid_t n = g.num_vertices();
+  if (k == 0) return CheckResult::fail("partition count k == 0");
+  if (part.size() != n) {
+    return CheckResult::fail("part array size != num_vertices");
+  }
+  const std::size_t bad_label =
+      parallel_first(n, [&](std::size_t v) { return part[v] >= k; });
+  if (bad_label < n) {
+    return CheckResult::fail("partition label out of range [0, k)",
+                             static_cast<vid_t>(bad_label));
+  }
+  if (const CheckResult r = check_filtered_piece(
+          g, g_intra, "g_intra",
+          [&](vid_t v, vid_t w) { return part[v] == part[w]; });
+      !r) {
+    return r;
+  }
+  return check_filtered_piece(
+      g, g_cross, "g_cross",
+      [&](vid_t v, vid_t w) { return part[v] != part[w]; });
+}
+
+}  // namespace
+
+CheckResult check_decomposition(const CsrGraph& g,
+                                const BridgeDecomposition& d) {
+  SBG_COUNTER_ADD("check.decomposition.runs", 1);
+  const vid_t n = g.num_vertices();
+  if (d.is_bridge_vertex.size() != n) {
+    return CheckResult::fail("is_bridge_vertex size != num_vertices");
+  }
+  if (d.components.label.size() != n) {
+    return CheckResult::fail("component label size != num_vertices");
+  }
+
+  // Canonical directed arc list of the claimed bridges, for O(log b) edge
+  // membership tests below.
+  std::vector<std::pair<vid_t, vid_t>> arcs;
+  arcs.reserve(2 * d.bridges.size());
+  for (const auto& [c, p] : d.bridges) {
+    if (c >= n || p >= n) {
+      return CheckResult::fail("bridge endpoint out of range", c < n ? c : p);
+    }
+    if (!g.has_edge(c, p)) {
+      return CheckResult::fail("listed bridge is not an edge of G", c, p);
+    }
+    arcs.emplace_back(c, p);
+    arcs.emplace_back(p, c);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  if (std::adjacent_find(arcs.begin(), arcs.end()) != arcs.end()) {
+    return CheckResult::fail("bridge listed more than once");
+  }
+  const auto is_bridge_arc = [&](vid_t u, vid_t w) {
+    return std::binary_search(arcs.begin(), arcs.end(), std::make_pair(u, w));
+  };
+
+  const std::size_t bad_flag = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const auto lo = std::lower_bound(arcs.begin(), arcs.end(),
+                                     std::make_pair(v, vid_t{0}));
+    const bool touches = lo != arcs.end() && lo->first == v;
+    return (d.is_bridge_vertex[v] != 0) != touches;
+  });
+  if (bad_flag < n) {
+    return CheckResult::fail("is_bridge_vertex inconsistent with bridge list",
+                             static_cast<vid_t>(bad_flag));
+  }
+
+  // G - B holds exactly the non-bridge edges; together with the bridge list
+  // that covers every edge of G exactly once.
+  if (const CheckResult r = check_filtered_piece(
+          g, d.g_components, "g_components",
+          [&](vid_t v, vid_t w) { return !is_bridge_arc(v, w); });
+      !r) {
+    return r;
+  }
+
+  // 2-edge-connected component labels: constant across surviving edges,
+  // different across each bridge (removing all bridges separates its
+  // endpoints — the defining property).
+  const std::size_t split = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    for (const vid_t w : d.g_components.neighbors(v)) {
+      if (d.components.label[v] != d.components.label[w]) return true;
+    }
+    return false;
+  });
+  if (split < n) {
+    return CheckResult::fail("component label changes across a non-bridge edge",
+                             static_cast<vid_t>(split));
+  }
+  for (const auto& [c, p] : d.bridges) {
+    if (d.components.label[c] == d.components.label[p]) {
+      return CheckResult::fail(
+          "bridge endpoints share a 2-edge-connected component", c, p);
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_decomposition(const CsrGraph& g, const RandDecomposition& d) {
+  SBG_COUNTER_ADD("check.decomposition.runs", 1);
+  return check_labeled_partition(g, d.k, d.part, d.g_intra, d.g_cross);
+}
+
+CheckResult check_decomposition(const CsrGraph& g, const GrowDecomposition& d) {
+  SBG_COUNTER_ADD("check.decomposition.runs", 1);
+  if (const CheckResult r =
+          check_labeled_partition(g, d.k, d.part, d.g_intra, d.g_cross);
+      !r) {
+    return r;
+  }
+  if (d.cut_edges != d.g_cross.num_edges()) {
+    return CheckResult::fail("cut_edges != edge count of g_cross");
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_decomposition(const CsrGraph& g, const DegkDecomposition& d,
+                                unsigned pieces) {
+  SBG_COUNTER_ADD("check.decomposition.runs", 1);
+  const vid_t n = g.num_vertices();
+  if (d.is_high.size() != n) {
+    return CheckResult::fail("is_high size != num_vertices");
+  }
+  const std::size_t bad_side = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    return (d.is_high[v] != 0) != (g.degree(v) > d.k);
+  });
+  if (bad_side < n) {
+    return CheckResult::fail("is_high disagrees with the degree threshold",
+                             static_cast<vid_t>(bad_side));
+  }
+  const vid_t num_high = static_cast<vid_t>(
+      parallel_count(n, [&](std::size_t v) { return d.is_high[v] != 0; }));
+  if (num_high != d.num_high) {
+    return CheckResult::fail("num_high != population count of is_high");
+  }
+
+  const auto high = [&](vid_t v) { return d.is_high[v] != 0; };
+  if (pieces & kDegkHigh) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_high, "g_high",
+            [&](vid_t v, vid_t w) { return high(v) && high(w); });
+        !r) {
+      return r;
+    }
+  }
+  if (pieces & kDegkLow) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_low, "g_low",
+            [&](vid_t v, vid_t w) { return !high(v) && !high(w); });
+        !r) {
+      return r;
+    }
+  }
+  if (pieces & kDegkCross) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_cross, "g_cross",
+            [&](vid_t v, vid_t w) { return high(v) != high(w); });
+        !r) {
+      return r;
+    }
+  }
+  if (pieces & kDegkLowCross) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_low_cross, "g_low_cross",
+            [&](vid_t v, vid_t w) { return !(high(v) && high(w)); });
+        !r) {
+      return r;
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace sbg::check

@@ -1,0 +1,70 @@
+#include "check/check.hpp"
+#include "obs/obs.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg::check {
+
+MatchingReport check_matching(const CsrGraph& g,
+                              const std::vector<vid_t>& mate) {
+  SBG_COUNTER_ADD("check.matching.runs", 1);
+  const vid_t n = g.num_vertices();
+  MatchingReport rep;
+  if (mate.size() != n) {
+    rep.result = CheckResult::fail("mate array size != num_vertices");
+    return rep;
+  }
+
+  // Pair validity: in-range, no self-match, involution, real edge. The
+  // predicate only dereferences mate[w] once w is known to be in range.
+  const std::size_t bad_pair = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const vid_t w = mate[v];
+    if (w == kNoVertex) return false;
+    if (w >= n || w == v) return true;
+    return mate[w] != v || !g.has_edge(v, w);
+  });
+  if (bad_pair < n) {
+    const vid_t v = static_cast<vid_t>(bad_pair);
+    const vid_t w = mate[v];
+    if (w >= n && w != kNoVertex) {
+      rep.result = CheckResult::fail("mate id out of range", v);
+    } else if (w == v) {
+      rep.result = CheckResult::fail("vertex matched to itself", v);
+    } else if (mate[w] != v) {
+      rep.result = CheckResult::fail("mate array is not an involution", v, w);
+    } else {
+      rep.result = CheckResult::fail("matched pair is not an edge of G", v, w);
+    }
+    return rep;
+  }
+
+  // Maximality: no edge may have both endpoints unmatched.
+  const std::size_t live = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (mate[v] != kNoVertex) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (mate[w] == kNoVertex) return true;
+    }
+    return false;
+  });
+  if (live < n) {
+    const vid_t v = static_cast<vid_t>(live);
+    vid_t partner = kNoVertex;
+    for (const vid_t w : g.neighbors(v)) {
+      if (mate[w] == kNoVertex) {
+        partner = w;
+        break;
+      }
+    }
+    rep.result = CheckResult::fail(
+        "matching not maximal: both endpoints unmatched", v, partner);
+    return rep;
+  }
+
+  rep.matched_vertices = static_cast<vid_t>(parallel_count(
+      n, [&](std::size_t v) { return mate[v] != kNoVertex; }));
+  rep.cardinality = rep.matched_vertices / 2;
+  return rep;
+}
+
+}  // namespace sbg::check

@@ -1,0 +1,75 @@
+#include "check/check.hpp"
+#include "obs/obs.hpp"
+#include "parallel/reduce.hpp"
+
+namespace sbg::check {
+
+MisReport check_mis(const CsrGraph& g, const std::vector<MisState>& state) {
+  SBG_COUNTER_ADD("check.mis.runs", 1);
+  const vid_t n = g.num_vertices();
+  MisReport rep;
+  if (state.size() != n) {
+    rep.result = CheckResult::fail("state array size != num_vertices");
+    return rep;
+  }
+
+  // Legal, decided states only. Guards against memory corruption writing
+  // arbitrary bytes into the enum array (the fuzz harness runs under ASan,
+  // but a stray in-bounds write is invisible to it).
+  const std::size_t bad_state = parallel_first(n, [&](std::size_t v) {
+    const auto raw = static_cast<std::uint8_t>(state[v]);
+    return raw != static_cast<std::uint8_t>(MisState::kIn) &&
+           raw != static_cast<std::uint8_t>(MisState::kOut);
+  });
+  if (bad_state < n) {
+    const vid_t v = static_cast<vid_t>(bad_state);
+    rep.result = state[v] == MisState::kUndecided
+                     ? CheckResult::fail("undecided vertex", v)
+                     : CheckResult::fail("invalid state value", v);
+    return rep;
+  }
+
+  // Independence: no two adjacent kIn vertices.
+  const std::size_t dependent = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (state[v] != MisState::kIn) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) return true;
+    }
+    return false;
+  });
+  if (dependent < n) {
+    const vid_t v = static_cast<vid_t>(dependent);
+    vid_t partner = kNoVertex;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) {
+        partner = w;
+        break;
+      }
+    }
+    rep.result =
+        CheckResult::fail("two adjacent vertices in the set", v, partner);
+    return rep;
+  }
+
+  // Maximality / state consistency: every kOut vertex has a kIn neighbor.
+  const std::size_t orphan = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    if (state[v] != MisState::kOut) return false;
+    for (const vid_t w : g.neighbors(v)) {
+      if (state[w] == MisState::kIn) return false;
+    }
+    return true;
+  });
+  if (orphan < n) {
+    rep.result = CheckResult::fail("excluded vertex has no neighbor in the set",
+                                   static_cast<vid_t>(orphan));
+    return rep;
+  }
+
+  rep.size = parallel_count(
+      n, [&](std::size_t v) { return state[v] == MisState::kIn; });
+  return rep;
+}
+
+}  // namespace sbg::check

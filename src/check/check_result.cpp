@@ -1,0 +1,29 @@
+#include "check/check.hpp"
+
+#include "obs/obs.hpp"
+
+namespace sbg::check {
+
+CheckResult CheckResult::fail(std::string violation, vid_t vertex,
+                              vid_t other) {
+  SBG_COUNTER_ADD("check.violations", 1);
+  CheckResult r;
+  r.ok = false;
+  r.violation = std::move(violation);
+  r.vertex = vertex;
+  r.other = other;
+  return r;
+}
+
+std::string CheckResult::message() const {
+  if (ok) return "ok";
+  std::string m = violation;
+  if (vertex != kNoVertex && other != kNoVertex) {
+    m += " (edge " + std::to_string(vertex) + "-" + std::to_string(other) + ")";
+  } else if (vertex != kNoVertex) {
+    m += " (vertex " + std::to_string(vertex) + ")";
+  }
+  return m;
+}
+
+}  // namespace sbg::check

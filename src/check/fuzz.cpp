@@ -1,0 +1,410 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "check/check.hpp"
+#include "check/solvers.hpp"
+#include "core/grow.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg::check {
+namespace {
+
+/// Palette-explosion envelope: the speculative solvers are first-fit-like
+/// (final color <= degree + window), the EB family skips in 32-color words,
+/// and COLOR-Degk stacks k+1 low colors on top of the high palette. Twice
+/// the greedy bound plus those offsets is comfortably loose while still
+/// catching a runaway palette.
+constexpr std::uint32_t kPaletteSlack = 40;
+
+std::string fmt(const char* prefix, const std::string& name,
+                const std::string& detail) {
+  return std::string(prefix) + name + ": " + detail;
+}
+
+vid_t max_degree(const CsrGraph& g) {
+  return parallel_max<vid_t>(
+      g.num_vertices(), [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); },
+      vid_t{0});
+}
+
+std::vector<std::pair<vid_t, vid_t>> canonical_bridges(
+    std::vector<std::pair<vid_t, vid_t>> bridges) {
+  for (auto& [a, b] : bridges) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+void check_matchings(const CsrGraph& g, std::uint64_t seed, int* runs,
+                     std::vector<std::string>& fails) {
+  eid_t min_card = 0, max_card = 0;
+  std::string min_name, max_name;
+  bool have_card = false;
+  for (const auto& variant : matching_variants()) {
+    if (runs) ++*runs;
+    try {
+      const MatchResult r = variant.run(g, seed);
+      const MatchingReport rep = check_matching(g, r.mate);
+      if (!rep.result) {
+        fails.push_back(fmt("mm/", variant.name, rep.result.message()));
+        continue;
+      }
+      if (rep.cardinality != r.cardinality) {
+        fails.push_back(fmt("mm/", variant.name,
+                            "reported cardinality " +
+                                std::to_string(r.cardinality) +
+                                " != mate array cardinality " +
+                                std::to_string(rep.cardinality)));
+      }
+      if (!have_card || rep.cardinality < min_card) {
+        min_card = rep.cardinality;
+        min_name = variant.name;
+      }
+      if (!have_card || rep.cardinality > max_card) {
+        max_card = rep.cardinality;
+        max_name = variant.name;
+      }
+      have_card = true;
+    } catch (const std::exception& e) {
+      fails.push_back(fmt("mm/", variant.name,
+                          std::string("exception: ") + e.what()));
+    }
+  }
+  // Any two maximal matchings of one graph are within a factor 2 of each
+  // other (each is at least half a maximum matching).
+  if (have_card && max_card > 2 * min_card) {
+    fails.push_back("mm agreement: |M(" + max_name + ")| = " +
+                    std::to_string(max_card) + " > 2 * |M(" + min_name +
+                    ")| = 2 * " + std::to_string(min_card));
+  }
+}
+
+void check_colorings(const CsrGraph& g, std::uint64_t seed, vid_t maxdeg,
+                     int* runs, std::vector<std::string>& fails) {
+  const std::uint32_t envelope = 2 * (maxdeg + 1) + kPaletteSlack;
+  for (const auto& variant : coloring_variants()) {
+    if (runs) ++*runs;
+    try {
+      const ColorResult r = variant.run(g, seed);
+      const ColoringReport rep = check_coloring(g, r.color);
+      if (!rep.result) {
+        fails.push_back(fmt("color/", variant.name, rep.result.message()));
+        continue;
+      }
+      if (rep.num_colors != r.num_colors) {
+        fails.push_back(fmt("color/", variant.name,
+                            "reported num_colors " +
+                                std::to_string(r.num_colors) +
+                                " != palette span " +
+                                std::to_string(rep.num_colors)));
+      }
+      if (g.num_edges() > 0 && rep.distinct_colors < 2) {
+        fails.push_back(fmt("color/", variant.name,
+                            "one distinct color on a graph with edges"));
+      }
+      if (rep.num_colors > envelope) {
+        fails.push_back(fmt("color/", variant.name,
+                            "palette span " + std::to_string(rep.num_colors) +
+                                " blows the 2*(maxdeg+1)+" +
+                                std::to_string(kPaletteSlack) + " = " +
+                                std::to_string(envelope) + " envelope"));
+      }
+    } catch (const std::exception& e) {
+      fails.push_back(fmt("color/", variant.name,
+                          std::string("exception: ") + e.what()));
+    }
+  }
+}
+
+void check_mis_variants(const CsrGraph& g, std::uint64_t seed, vid_t maxdeg,
+                        int* runs, std::vector<std::string>& fails) {
+  const vid_t n = g.num_vertices();
+  // Any maximal independent set dominates the graph, so it has at least
+  // n / (maxdeg + 1) vertices.
+  const std::size_t floor_size =
+      n == 0 ? 0 : (static_cast<std::size_t>(n) + maxdeg) / (maxdeg + 1);
+  for (const auto& variant : mis_variants()) {
+    if (runs) ++*runs;
+    try {
+      const MisResult r = variant.run(g, seed);
+      const MisReport rep = check_mis(g, r.state);
+      if (!rep.result) {
+        fails.push_back(fmt("mis/", variant.name, rep.result.message()));
+        continue;
+      }
+      if (rep.size != r.size) {
+        fails.push_back(fmt("mis/", variant.name,
+                            "reported size " + std::to_string(r.size) +
+                                " != state array size " +
+                                std::to_string(rep.size)));
+      }
+      if (rep.size < floor_size) {
+        fails.push_back(fmt("mis/", variant.name,
+                            "|I| = " + std::to_string(rep.size) +
+                                " below the n/(maxdeg+1) floor of " +
+                                std::to_string(floor_size)));
+      }
+    } catch (const std::exception& e) {
+      fails.push_back(fmt("mis/", variant.name,
+                          std::string("exception: ") + e.what()));
+    }
+  }
+}
+
+void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
+                          std::vector<std::string>& fails) {
+  const auto push = [&](const char* name, const CheckResult& r) {
+    if (!r) fails.push_back(fmt("decompose/", name, r.message()));
+  };
+  if (runs) *runs += 6;
+  try {
+    const BridgeDecomposition naive =
+        decompose_bridge(g, BridgeAlgo::kNaiveWalk);
+    push("bridge-naive", check_decomposition(g, naive));
+    const BridgeDecomposition fast =
+        decompose_bridge(g, BridgeAlgo::kShortcutWalk);
+    push("bridge-shortcut", check_decomposition(g, fast));
+    // Differential: both walks against the sequential Tarjan reference.
+    const auto ref = canonical_bridges(bridges_reference(g));
+    for (const auto& [name, got] :
+         {std::pair{"bridge-naive", canonical_bridges(naive.bridges)},
+          std::pair{"bridge-shortcut", canonical_bridges(fast.bridges)}}) {
+      if (got != ref) {
+        fails.push_back(fmt("decompose/", name,
+                            "bridge set (" + std::to_string(got.size()) +
+                                ") differs from Tarjan reference (" +
+                                std::to_string(ref.size()) + ")"));
+      }
+    }
+  } catch (const std::exception& e) {
+    fails.push_back(fmt("decompose/", "bridge",
+                        std::string("exception: ") + e.what()));
+  }
+  try {
+    push("rand-heuristic",
+         check_decomposition(
+             g, decompose_rand(g, rand_partition_heuristic(g), seed)));
+    push("rand-k3", check_decomposition(g, decompose_rand(g, 3, seed)));
+  } catch (const std::exception& e) {
+    fails.push_back(fmt("decompose/", "rand",
+                        std::string("exception: ") + e.what()));
+  }
+  try {
+    push("grow-k4", check_decomposition(g, decompose_grow(g, 4, seed)));
+  } catch (const std::exception& e) {
+    fails.push_back(fmt("decompose/", "grow",
+                        std::string("exception: ") + e.what()));
+  }
+  try {
+    push("degk-2",
+         check_decomposition(g, decompose_degk(g, 2, kDegkAll), kDegkAll));
+  } catch (const std::exception& e) {
+    fails.push_back(fmt("decompose/", "degk",
+                        std::string("exception: ") + e.what()));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& fuzz_families() {
+  static const std::vector<std::string> kFamilies = {"basic", "rgg", "rmat",
+                                                     "synth"};
+  return kFamilies;
+}
+
+CsrGraph fuzz_graph(const std::string& family, std::uint64_t seed, vid_t max_n,
+                    std::string* shape) {
+  Rng rng(seed);
+  const auto describe = [&](const std::string& s, const CsrGraph& g) {
+    if (shape) {
+      *shape = family + "/" + s + " n=" + std::to_string(g.num_vertices()) +
+               " m=" + std::to_string(g.num_edges());
+    }
+  };
+  // One graph in 16 is degenerate-tiny (n in [0, 4]) so the zoo keeps
+  // hitting the empty/singleton/disconnected corners.
+  const vid_t span = max_n < 8 ? 8 : max_n;
+  vid_t n = rng.below(16) == 0
+                ? static_cast<vid_t>(rng.below(5))
+                : static_cast<vid_t>(2 + rng.below(span - 2));
+  const bool connect = rng.below(2) == 0;
+  const std::uint64_t gseed = rng.next();
+
+  if (family == "basic") {
+    switch (rng.below(7)) {
+      case 0: {
+        CsrGraph g = build_graph(gen_path(n), false);
+        describe("path", g);
+        return g;
+      }
+      case 1: {
+        CsrGraph g = build_graph(gen_cycle(n), false);
+        describe("cycle", g);
+        return g;
+      }
+      case 2: {
+        CsrGraph g = build_graph(gen_star(n), false);
+        describe("star", g);
+        return g;
+      }
+      case 3: {
+        n = std::min<vid_t>(n, 48);  // cliques are O(n^2) edges
+        CsrGraph g = build_graph(gen_complete(n), false);
+        describe("complete", g);
+        return g;
+      }
+      case 4: {
+        const vid_t rows = 1 + static_cast<vid_t>(std::sqrt(double(n)));
+        CsrGraph g = build_graph(gen_grid(rows, (n / rows) + 1), false);
+        describe("grid", g);
+        return g;
+      }
+      case 5: {
+        CsrGraph g = build_graph(gen_random_tree(n, gseed), false);
+        describe("tree", g);
+        return g;
+      }
+      default: {
+        const eid_t m = static_cast<eid_t>(n) * (1 + rng.below(4));
+        CsrGraph g = build_graph(gen_erdos_renyi(n, m, gseed), connect);
+        describe("er", g);
+        return g;
+      }
+    }
+  }
+  if (family == "rgg") {
+    const double deg = 2.0 + static_cast<double>(rng.below(11));
+    CsrGraph g = build_graph(gen_rgg(n, deg, gseed), connect);
+    describe("rgg", g);
+    return g;
+  }
+  if (family == "rmat") {
+    const eid_t m = static_cast<eid_t>(n) * (2 + rng.below(7));
+    CsrGraph g = build_graph(gen_rmat(n, m, gseed), connect);
+    describe("rmat", g);
+    return g;
+  }
+  if (family == "synth") {
+    switch (rng.below(5)) {
+      case 0: {
+        CsrGraph g = build_graph(
+            gen_road(n, 1.0 + rng.uniform() * 2.0, rng.uniform() * 0.5, gseed,
+                     rng.below(2) == 1),
+            connect);
+        describe("road", g);
+        return g;
+      }
+      case 1: {
+        CsrGraph g = build_graph(gen_broom(n, gseed), connect);
+        describe("broom", g);
+        return g;
+      }
+      case 2: {
+        CsrGraph g = build_graph(
+            gen_numerical(n, 0.3 + rng.uniform() * 0.5,
+                          2.0 + rng.uniform() * 6.0, gseed),
+            connect);
+        describe("numerical", g);
+        return g;
+      }
+      case 3: {
+        CsrGraph g = build_graph(
+            gen_collab(n, 3.0 + rng.uniform() * 6.0,
+                       static_cast<vid_t>(4 + rng.below(12)), gseed),
+            connect);
+        describe("collab", g);
+        return g;
+      }
+      default: {
+        CsrGraph g = build_graph(
+            gen_web(n, 0.2 + rng.uniform() * 0.4, 4.0 + rng.uniform() * 6.0,
+                    1.0 + rng.uniform() * 3.0, gseed,
+                    static_cast<int>(rng.below(3))),
+            connect);
+        describe("web", g);
+        return g;
+      }
+    }
+  }
+  throw InputError("unknown fuzz family: " + family);
+}
+
+std::vector<std::string> fuzz_check_graph(const CsrGraph& g,
+                                          std::uint64_t seed,
+                                          int* solver_runs) {
+  SBG_COUNTER_ADD("fuzz.graphs", 1);
+  std::vector<std::string> fails;
+  const vid_t maxdeg = max_degree(g);
+  check_matchings(g, seed, solver_runs, fails);
+  check_colorings(g, seed, maxdeg, solver_runs, fails);
+  check_mis_variants(g, seed, maxdeg, solver_runs, fails);
+  check_decompositions(g, seed, solver_runs, fails);
+  SBG_COUNTER_ADD("fuzz.failures", fails.size());
+  return fails;
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& opt) {
+  SBG_SPAN("fuzz.run");
+  FuzzSummary summary;
+  const auto& all = fuzz_families();
+  std::vector<std::string> families =
+      opt.families.empty() ? all : opt.families;
+  for (const auto& family : families) {
+    if (std::find(all.begin(), all.end(), family) == all.end()) {
+      throw InputError("unknown fuzz family: " + family);
+    }
+  }
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const std::string& family = families[f];
+    int family_failures = 0;
+    for (int i = 0; i < opt.graphs_per_family; ++i) {
+      // Pure function of (seed, family name, iteration) so a subset of
+      // families replays the same graphs the full run saw.
+      std::uint64_t graph_seed = mix64(opt.seed);
+      for (const char c : family) {
+        graph_seed = mix64(graph_seed ^ static_cast<std::uint64_t>(c));
+      }
+      graph_seed = mix64(graph_seed ^ static_cast<std::uint64_t>(i));
+
+      std::string shape;
+      std::vector<std::string> fails;
+      try {
+        const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
+        fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);
+      } catch (const std::exception& e) {
+        fails.push_back(std::string("graph generation: exception: ") +
+                        e.what());
+      }
+      ++summary.graphs;
+      for (auto& what : fails) {
+        ++family_failures;
+        if (opt.log) {
+          std::fprintf(opt.log,
+                       "FAIL %s graph_seed=%" PRIu64 " (%s): %s\n",
+                       family.c_str(), graph_seed, shape.c_str(),
+                       what.c_str());
+        }
+        summary.failures.push_back(
+            {family, graph_seed, shape, std::move(what)});
+      }
+    }
+    if (opt.log) {
+      std::fprintf(opt.log, "family %-5s: %d graphs, %d failure%s\n",
+                   family.c_str(), opt.graphs_per_family, family_failures,
+                   family_failures == 1 ? "" : "s");
+    }
+  }
+  return summary;
+}
+
+}  // namespace sbg::check

@@ -1,0 +1,77 @@
+// Seeded differential fuzzing over the whole solver zoo.
+//
+// One fuzz iteration draws a random graph from a generator family, runs
+// every registered solver/composite variant (solvers.hpp) on it, and holds
+// the results against the sbg::check oracles plus cross-variant agreement:
+//
+//   * every matching maximal, and any two maximal matchings of the same
+//     graph within a factor 2 in cardinality (the classic bound);
+//   * every MIS independent + maximal, with |I| >= n / (maxdeg + 1);
+//   * every coloring proper, >= 2 distinct colors when an edge exists, and
+//     palette span inside a loose 2*(maxdeg+1) + slack explosion envelope;
+//   * BRIDGE / RAND / GROW / DEGk decompositions pass their structural
+//     oracles, and both bridge walks agree edge-for-edge with the
+//     sequential Tarjan reference.
+//
+// Everything is a pure function of (family, seed), so a failing run is
+// replayed exactly from the seed the harness prints. Exposed as a library
+// so tests (tests/test_fuzz_differential.cpp) and the sbg_fuzz executable
+// share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg::check {
+
+/// Generator families the fuzzer draws from: "basic" (paths/cycles/stars/
+/// cliques/grids/trees/Erdős–Rényi), "rgg", "rmat", "synth" (road, broom,
+/// numerical, collab, web).
+const std::vector<std::string>& fuzz_families();
+
+/// Deterministic random graph for (family, seed): shape and size are drawn
+/// from `seed`, vertex count <= roughly max_n. `shape` (optional) receives a
+/// human-readable description ("basic/er n=137 m=412").
+CsrGraph fuzz_graph(const std::string& family, std::uint64_t seed, vid_t max_n,
+                    std::string* shape = nullptr);
+
+/// Run every registered variant on g and apply all oracles and agreement
+/// checks. Returns one string per failure (empty == clean); a thrown solver
+/// exception is a failure, not a harness abort. `solver_runs` (optional)
+/// accumulates the number of variant executions.
+std::vector<std::string> fuzz_check_graph(const CsrGraph& g,
+                                          std::uint64_t seed,
+                                          int* solver_runs = nullptr);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int graphs_per_family = 200;
+  vid_t max_n = 512;
+  /// Subset of fuzz_families() to run; empty selects all.
+  std::vector<std::string> families;
+  /// Progress/failure log (e.g. stderr); nullptr silences the run.
+  std::FILE* log = nullptr;
+};
+
+struct FuzzFailure {
+  std::string family;
+  std::uint64_t graph_seed = 0;  ///< replay: fuzz_graph(family, graph_seed, …)
+  std::string shape;
+  std::string what;
+};
+
+struct FuzzSummary {
+  int graphs = 0;
+  int solver_runs = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+/// The full campaign: graphs_per_family graphs from each selected family.
+/// Deterministic in FuzzOptions (modulo log output timing).
+FuzzSummary run_fuzz(const FuzzOptions& opt);
+
+}  // namespace sbg::check

@@ -1,0 +1,160 @@
+#include "check/solvers.hpp"
+
+#include "gpusim/gpu_algorithms.hpp"
+
+namespace sbg::check {
+
+const std::vector<MatchingVariant>& matching_variants() {
+  static const std::vector<MatchingVariant> kVariants = {
+      {"gm", [](const CsrGraph& g, std::uint64_t) { return mm_gm(g); }},
+      {"lmax-index",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_lmax(g, s, LmaxWeights::kIndex);
+       }},
+      {"lmax-random",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_lmax(g, s, LmaxWeights::kRandom);
+       }},
+      {"ii", [](const CsrGraph& g, std::uint64_t s) { return mm_ii(g, s); }},
+      {"greedy-seq",
+       [](const CsrGraph& g, std::uint64_t) { return mm_greedy_seq(g); }},
+      {"bridge-gm",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_bridge(g, MatchEngine::kGM, s, BridgeAlgo::kNaiveWalk);
+       }},
+      {"bridge-gm-shortcut",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_bridge(g, MatchEngine::kGM, s, BridgeAlgo::kShortcutWalk);
+       }},
+      {"bridge-lmax",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_bridge(g, MatchEngine::kLMAX, s);
+       }},
+      {"rand-gm",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_rand(g, 0, MatchEngine::kGM, s);
+       }},
+      {"rand-lmax",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_rand(g, 4, MatchEngine::kLMAX, s);
+       }},
+      {"degk-gm",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_degk(g, 2, MatchEngine::kGM, s);
+       }},
+      {"degk-lmax",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_degk(g, 2, MatchEngine::kLMAX, s);
+       }},
+      {"gpu/lmax",
+       [](const CsrGraph& g, std::uint64_t s) { return gpu::mm_lmax_gpu(g, s); }},
+      {"gpu/bridge",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mm_bridge_gpu(g, s);
+       }},
+      {"gpu/rand",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mm_rand_gpu(g, 0, s);
+       }},
+      {"gpu/degk",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mm_degk_gpu(g, 2, s);
+       }},
+  };
+  return kVariants;
+}
+
+const std::vector<ColoringVariant>& coloring_variants() {
+  static const std::vector<ColoringVariant> kVariants = {
+      {"vb", [](const CsrGraph& g, std::uint64_t) { return color_vb(g); }},
+      {"eb", [](const CsrGraph& g, std::uint64_t) { return color_eb(g); }},
+      {"jp-random",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return color_jp(g, JpOrder::kRandom, s);
+       }},
+      {"jp-ldf",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return color_jp(g, JpOrder::kLargestDegreeFirst, s);
+       }},
+      {"jp-sdf",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return color_jp(g, JpOrder::kSmallestDegreeFirst, s);
+       }},
+      {"spec",
+       [](const CsrGraph& g, std::uint64_t) { return color_speculative(g); }},
+      {"bridge-vb",
+       [](const CsrGraph& g, std::uint64_t) {
+         return color_bridge(g, ColorEngine::kVB);
+       }},
+      {"bridge-eb",
+       [](const CsrGraph& g, std::uint64_t) {
+         return color_bridge(g, ColorEngine::kEB);
+       }},
+      {"rand-vb",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return color_rand(g, 2, ColorEngine::kVB, s);
+       }},
+      {"rand-eb",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return color_rand(g, 4, ColorEngine::kEB, s);
+       }},
+      {"degk-vb",
+       [](const CsrGraph& g, std::uint64_t) {
+         return color_degk(g, 2, ColorEngine::kVB);
+       }},
+      {"degk-eb",
+       [](const CsrGraph& g, std::uint64_t) {
+         return color_degk(g, 2, ColorEngine::kEB);
+       }},
+      {"gpu/eb",
+       [](const CsrGraph& g, std::uint64_t) { return gpu::color_eb_gpu(g); }},
+      {"gpu/bridge",
+       [](const CsrGraph& g, std::uint64_t) {
+         return gpu::color_bridge_gpu(g);
+       }},
+      {"gpu/rand",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::color_rand_gpu(g, 2, s);
+       }},
+      {"gpu/degk",
+       [](const CsrGraph& g, std::uint64_t) {
+         return gpu::color_degk_gpu(g, 2);
+       }},
+  };
+  return kVariants;
+}
+
+const std::vector<MisVariant>& mis_variants() {
+  static const std::vector<MisVariant> kVariants = {
+      {"luby", [](const CsrGraph& g, std::uint64_t s) { return mis_luby(g, s); }},
+      {"greedy",
+       [](const CsrGraph& g, std::uint64_t s) { return mis_greedy(g, s); }},
+      {"greedy-seq",
+       [](const CsrGraph& g, std::uint64_t) { return mis_greedy_seq(g); }},
+      {"bridge",
+       [](const CsrGraph& g, std::uint64_t s) { return mis_bridge(g, s); }},
+      {"rand",
+       [](const CsrGraph& g, std::uint64_t s) { return mis_rand(g, 0, s); }},
+      {"degk2",
+       [](const CsrGraph& g, std::uint64_t s) { return mis_degk(g, 2, s); }},
+      {"degk3",
+       [](const CsrGraph& g, std::uint64_t s) { return mis_degk(g, 3, s); }},
+      {"gpu/luby",
+       [](const CsrGraph& g, std::uint64_t s) { return gpu::mis_luby_gpu(g, s); }},
+      {"gpu/bridge",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mis_bridge_gpu(g, s);
+       }},
+      {"gpu/rand",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mis_rand_gpu(g, 0, s);
+       }},
+      {"gpu/degk",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return gpu::mis_degk_gpu(g, 2, s);
+       }},
+  };
+  return kVariants;
+}
+
+}  // namespace sbg::check

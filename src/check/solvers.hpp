@@ -1,0 +1,43 @@
+// Registry of every solver and decomposition composite the library ships,
+// under stable names, with one uniform (graph, seed) signature per problem.
+//
+// This is the work list for the differential fuzz harness (every variant
+// runs on every fuzzed graph and must satisfy the sbg::check oracles plus
+// cross-variant agreement) and for "through every composite" test sweeps.
+// When you add a solver or composite, register it here — the fuzz harness,
+// tests, and sbg_fuzz pick it up automatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+
+namespace sbg::check {
+
+struct MatchingVariant {
+  std::string name;
+  MatchResult (*run)(const CsrGraph& g, std::uint64_t seed);
+};
+
+struct ColoringVariant {
+  std::string name;
+  ColorResult (*run)(const CsrGraph& g, std::uint64_t seed);
+};
+
+struct MisVariant {
+  std::string name;
+  MisResult (*run)(const CsrGraph& g, std::uint64_t seed);
+};
+
+/// CPU baselines + BRIDGE/RAND/DEGk composites under both engines, plus the
+/// gpusim execution-model variants (prefixed "gpu/"). Deterministic solvers
+/// ignore the seed.
+const std::vector<MatchingVariant>& matching_variants();
+const std::vector<ColoringVariant>& coloring_variants();
+const std::vector<MisVariant>& mis_variants();
+
+}  // namespace sbg::check

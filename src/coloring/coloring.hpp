@@ -104,7 +104,9 @@ ColorResult color_degk(const CsrGraph& g, vid_t k = 2,
                        ColorEngine engine = ColorEngine::kVB);
 
 // ----------------------------------------------------------- verification --
-/// Proper coloring check: every vertex colored, no monochromatic edge.
+/// Boolean convenience wrapper over check::check_coloring (src/check/ is
+/// the single source of truth for validity). `error` (if non-null) receives
+/// the structured first-violation message.
 bool verify_coloring(const CsrGraph& g, const std::vector<std::uint32_t>& color,
                      std::string* error = nullptr);
 

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "coloring/coloring.hpp"
+#include "check/check.hpp"
 #include "core/degk.hpp"
 #include "graph/subgraph.hpp"
 #include "core/rand.hpp"
@@ -186,29 +187,9 @@ ColorResult color_degk(const CsrGraph& g, vid_t k, ColorEngine engine) {
 
 bool verify_coloring(const CsrGraph& g, const std::vector<std::uint32_t>& color,
                      std::string* error) {
-  const vid_t n = g.num_vertices();
-  if (color.size() != n) {
-    if (error) *error = "color array size mismatch";
-    return false;
-  }
-  const bool uncolored = parallel_any(
-      n, [&](std::size_t v) { return color[v] == kNoColor; });
-  if (uncolored) {
-    if (error) *error = "uncolored vertex";
-    return false;
-  }
-  const bool mono = parallel_any(n, [&](std::size_t i) {
-    const vid_t v = static_cast<vid_t>(i);
-    for (const vid_t w : g.neighbors(v)) {
-      if (w > v && color[w] == color[v]) return true;
-    }
-    return false;
-  });
-  if (mono) {
-    if (error) *error = "monochromatic edge";
-    return false;
-  }
-  return true;
+  const check::ColoringReport rep = check::check_coloring(g, color);
+  if (!rep.result && error) *error = rep.result.message();
+  return rep.result.ok;
 }
 
 std::uint32_t count_colors(const std::vector<std::uint32_t>& color) {

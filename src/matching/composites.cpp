@@ -8,6 +8,7 @@
 // the two phase graphs.
 #include "matching/matching.hpp"
 
+#include "check/check.hpp"
 #include "core/degk.hpp"
 #include "core/rand.hpp"
 #include "graph/builder.hpp"
@@ -137,36 +138,9 @@ MatchResult mm_degk(const CsrGraph& g, vid_t k, MatchEngine engine,
 
 bool verify_maximal_matching(const CsrGraph& g, const std::vector<vid_t>& mate,
                              std::string* error) {
-  const vid_t n = g.num_vertices();
-  if (mate.size() != n) {
-    if (error) *error = "mate array size mismatch";
-    return false;
-  }
-  // Involution + edge validity.
-  const bool bad_pair = parallel_any(n, [&](std::size_t i) {
-    const vid_t v = static_cast<vid_t>(i);
-    const vid_t w = mate[v];
-    if (w == kNoVertex) return false;
-    return w >= n || mate[w] != v || !g.has_edge(v, w);
-  });
-  if (bad_pair) {
-    if (error) *error = "mate involution/adjacency violated";
-    return false;
-  }
-  // Maximality: no live edge left.
-  const bool not_maximal = parallel_any(n, [&](std::size_t i) {
-    const vid_t v = static_cast<vid_t>(i);
-    if (mate[v] != kNoVertex) return false;
-    for (const vid_t w : g.neighbors(v)) {
-      if (mate[w] == kNoVertex) return true;
-    }
-    return false;
-  });
-  if (not_maximal) {
-    if (error) *error = "matching is not maximal";
-    return false;
-  }
-  return true;
+  const check::MatchingReport rep = check::check_matching(g, mate);
+  if (!rep.result && error) *error = rep.result.message();
+  return rep.result.ok;
 }
 
 eid_t matching_cardinality(const std::vector<vid_t>& mate) {

@@ -134,9 +134,9 @@ MatchResult mm_degk(const CsrGraph& g, vid_t k = 2,
                     std::uint64_t seed = 42);
 
 // ----------------------------------------------------------- verification --
-/// Checks mate involution, edge validity against g, and maximality
-/// (no edge with both endpoints unmatched). Returns false and fills
-/// `error` (if non-null) on the first violation found.
+/// Boolean convenience wrapper over check::check_matching (src/check/ is
+/// the single source of truth for validity). `error` (if non-null) receives
+/// the structured first-violation message.
 bool verify_maximal_matching(const CsrGraph& g, const std::vector<vid_t>& mate,
                              std::string* error = nullptr);
 

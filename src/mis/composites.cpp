@@ -8,6 +8,7 @@
 // in practice" (Section V-B).
 #include "mis/mis.hpp"
 
+#include "check/check.hpp"
 #include "core/degk.hpp"
 #include "core/rand.hpp"
 #include "obs/obs.hpp"
@@ -156,43 +157,9 @@ MisResult mis_degk(const CsrGraph& g, vid_t k, std::uint64_t seed) {
 
 bool verify_mis(const CsrGraph& g, const std::vector<MisState>& state,
                 std::string* error) {
-  const vid_t n = g.num_vertices();
-  if (state.size() != n) {
-    if (error) *error = "state array size mismatch";
-    return false;
-  }
-  const bool undecided = parallel_any(n, [&](std::size_t v) {
-    return state[v] == MisState::kUndecided;
-  });
-  if (undecided) {
-    if (error) *error = "undecided vertex";
-    return false;
-  }
-  const bool dependent = parallel_any(n, [&](std::size_t i) {
-    const vid_t v = static_cast<vid_t>(i);
-    if (state[v] != MisState::kIn) return false;
-    for (const vid_t w : g.neighbors(v)) {
-      if (state[w] == MisState::kIn) return true;
-    }
-    return false;
-  });
-  if (dependent) {
-    if (error) *error = "two adjacent vertices in the set";
-    return false;
-  }
-  const bool not_maximal = parallel_any(n, [&](std::size_t i) {
-    const vid_t v = static_cast<vid_t>(i);
-    if (state[v] != MisState::kOut) return false;
-    for (const vid_t w : g.neighbors(v)) {
-      if (state[w] == MisState::kIn) return false;
-    }
-    return true;  // kOut vertex with no kIn neighbor
-  });
-  if (not_maximal) {
-    if (error) *error = "excluded vertex has no neighbor in the set";
-    return false;
-  }
-  return true;
+  const check::MisReport rep = check::check_mis(g, state);
+  if (!rep.result && error) *error = rep.result.message();
+  return rep.result.ok;
 }
 
 std::size_t mis_size(const std::vector<MisState>& state) {

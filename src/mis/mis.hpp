@@ -92,7 +92,9 @@ MisResult mis_rand(const CsrGraph& g, vid_t k = 0, std::uint64_t seed = 42);
 MisResult mis_degk(const CsrGraph& g, vid_t k = 2, std::uint64_t seed = 42);
 
 // ----------------------------------------------------------- verification --
-/// Independence + maximality + state consistency against g.
+/// Boolean convenience wrapper over check::check_mis (src/check/ is the
+/// single source of truth for validity). `error` (if non-null) receives the
+/// structured first-violation message.
 bool verify_mis(const CsrGraph& g, const std::vector<MisState>& state,
                 std::string* error = nullptr);
 

@@ -36,6 +36,23 @@ T parallel_max(std::size_t n, F&& f, T identity) {
   return best;
 }
 
+/// Smallest i in [0, n) satisfying pred, or n when none does. Deterministic
+/// regardless of thread count (min reduction), so "first violation" reports
+/// from the check oracles are stable across schedules. `pred` may be skipped
+/// for indices above a thread's current minimum.
+template <typename F>
+std::size_t parallel_first(std::size_t n, F&& pred) {
+  unsigned long long first = n;
+#pragma omp parallel for schedule(static) reduction(min : first)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    if (static_cast<unsigned long long>(i) < first &&
+        pred(static_cast<std::size_t>(i))) {
+      first = static_cast<unsigned long long>(i);
+    }
+  }
+  return static_cast<std::size_t>(first);
+}
+
 /// Logical-or: does any i in [0, n) satisfy pred? (no early exit; intended
 /// for cheap predicates where a scan beats branch divergence).
 template <typename F>

@@ -1,0 +1,327 @@
+// Unit tests for the sbg::check verification oracles: each oracle accepts
+// genuine solver output, rejects every planted violation with the right
+// stable phrase, and pins the *first* (lowest-id) offending vertex/edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/solvers.hpp"
+#include "coloring/coloring.hpp"
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "core/grow.hpp"
+#include "core/rand.hpp"
+#include "graph/builder.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "obs/obs.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+// ------------------------------------------------------------ CheckResult --
+
+TEST(CheckResult, MessageFormatsByWhatIsPinned) {
+  EXPECT_EQ(check::CheckResult::pass().message(), "ok");
+  EXPECT_EQ(check::CheckResult::fail("broken").message(), "broken");
+  EXPECT_EQ(check::CheckResult::fail("broken", 5).message(),
+            "broken (vertex 5)");
+  EXPECT_EQ(check::CheckResult::fail("broken", 5, 7).message(),
+            "broken (edge 5-7)");
+  EXPECT_TRUE(static_cast<bool>(check::CheckResult::pass()));
+  EXPECT_FALSE(static_cast<bool>(check::CheckResult::fail("broken")));
+}
+
+TEST(CheckResult, FailuresCountThroughObs) {
+  if (!obs::enabled_in_library()) GTEST_SKIP() << "library built without obs";
+  auto& counter = obs::registry().counter("check.violations");
+  const std::uint64_t before = counter.value();
+  (void)check::CheckResult::fail("planted");
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+// --------------------------------------------------------- check_matching --
+
+TEST(CheckMatching, AcceptsRealSolverOutput) {
+  const CsrGraph g = test::figure1_graph();
+  const MatchResult r = mm_greedy_seq(g);
+  const check::MatchingReport rep = check::check_matching(g, r.mate);
+  EXPECT_TRUE(rep.result.ok) << rep.result.message();
+  EXPECT_EQ(rep.cardinality, r.cardinality);
+  EXPECT_EQ(rep.matched_vertices, 2 * r.cardinality);
+}
+
+TEST(CheckMatching, RejectsEveryPlantedViolation) {
+  const CsrGraph g = build_graph(gen_path(6), false);
+  const auto fail = [&](std::vector<vid_t> mate) {
+    return check::check_matching(g, mate).result;
+  };
+
+  EXPECT_EQ(fail(std::vector<vid_t>(5, kNoVertex)).violation,
+            "mate array size != num_vertices");
+
+  std::vector<vid_t> mate(6, kNoVertex);
+  mate[2] = 77;
+  check::CheckResult r = fail(mate);
+  EXPECT_EQ(r.violation, "mate id out of range");
+  EXPECT_EQ(r.vertex, 2u);
+
+  mate.assign(6, kNoVertex);
+  mate[3] = 3;
+  r = fail(mate);
+  EXPECT_EQ(r.violation, "vertex matched to itself");
+  EXPECT_EQ(r.vertex, 3u);
+
+  mate.assign(6, kNoVertex);
+  mate[1] = 2;  // but mate[2] stays kNoVertex
+  r = fail(mate);
+  EXPECT_EQ(r.violation, "mate array is not an involution");
+  EXPECT_EQ(r.vertex, 1u);
+  EXPECT_EQ(r.other, 2u);
+
+  mate.assign(6, kNoVertex);
+  mate[0] = 4;  // 0-4 is not a path edge
+  mate[4] = 0;
+  r = fail(mate);
+  EXPECT_EQ(r.violation, "matched pair is not an edge of G");
+  EXPECT_EQ(r.vertex, 0u);
+  EXPECT_EQ(r.other, 4u);
+
+  mate.assign(6, kNoVertex);
+  mate[0] = 1;
+  mate[1] = 0;  // edges 2-3, 3-4, 4-5 all still live
+  r = fail(mate);
+  EXPECT_EQ(r.violation, "matching not maximal: both endpoints unmatched");
+  EXPECT_EQ(r.vertex, 2u);
+  EXPECT_EQ(r.other, 3u);
+}
+
+TEST(CheckMatching, ReportsLowestIdViolationFirst) {
+  // Two independent violations; the oracle must name the lower vertex id
+  // regardless of OpenMP schedule.
+  const CsrGraph g = build_graph(gen_complete(10), false);
+  std::vector<vid_t> mate(10, kNoVertex);
+  mate[3] = 3;  // self-match at 3
+  mate[8] = 8;  // self-match at 8
+  const check::CheckResult r = check::check_matching(g, mate).result;
+  EXPECT_EQ(r.violation, "vertex matched to itself");
+  EXPECT_EQ(r.vertex, 3u);
+}
+
+TEST(CheckMatching, EmptyGraphPassesTrivially) {
+  const CsrGraph g = build_graph(EdgeList{}, false);
+  const check::MatchingReport rep = check::check_matching(g, {});
+  EXPECT_TRUE(rep.result.ok);
+  EXPECT_EQ(rep.cardinality, 0u);
+}
+
+// --------------------------------------------------------- check_coloring --
+
+TEST(CheckColoring, AcceptsRealSolverOutputAndReportsPalette) {
+  const CsrGraph g = build_graph(gen_path(8), false);
+  const std::vector<std::uint32_t> color = {0, 1, 0, 1, 0, 1, 0, 1};
+  const check::ColoringReport rep = check::check_coloring(g, color);
+  EXPECT_TRUE(rep.result.ok) << rep.result.message();
+  EXPECT_EQ(rep.num_colors, 2u);
+  EXPECT_EQ(rep.distinct_colors, 2u);
+  EXPECT_EQ(rep.largest_class, 4u);
+}
+
+TEST(CheckColoring, DistinctColorsSeesPaletteHoles) {
+  // COLOR-Degk-style stacked palettes leave holes: span 11, 3 used.
+  const CsrGraph g = build_graph(gen_path(3), false);
+  const check::ColoringReport rep = check::check_coloring(g, {0, 10, 5});
+  EXPECT_TRUE(rep.result.ok);
+  EXPECT_EQ(rep.num_colors, 11u);
+  EXPECT_EQ(rep.distinct_colors, 3u);
+  EXPECT_EQ(rep.largest_class, 1u);
+}
+
+TEST(CheckColoring, RejectsEveryPlantedViolation) {
+  const CsrGraph g = build_graph(gen_path(4), false);
+
+  check::CheckResult r =
+      check::check_coloring(g, std::vector<std::uint32_t>(3, 0)).result;
+  EXPECT_EQ(r.violation, "color array size != num_vertices");
+
+  r = check::check_coloring(g, {0, 1, kNoColor, 0}).result;
+  EXPECT_EQ(r.violation, "uncolored vertex");
+  EXPECT_EQ(r.vertex, 2u);
+
+  r = check::check_coloring(g, {0, 1, 1, 0}).result;
+  EXPECT_EQ(r.violation, "monochromatic edge");
+  EXPECT_EQ(r.vertex, 1u);
+  EXPECT_EQ(r.other, 2u);
+}
+
+// -------------------------------------------------------------- check_mis --
+
+TEST(CheckMis, AcceptsRealSolverOutput) {
+  const CsrGraph g = test::make_grid_16x12();
+  const MisResult r = mis_greedy_seq(g);
+  const check::MisReport rep = check::check_mis(g, r.state);
+  EXPECT_TRUE(rep.result.ok) << rep.result.message();
+  EXPECT_EQ(rep.size, r.size);
+}
+
+TEST(CheckMis, RejectsEveryPlantedViolation) {
+  const CsrGraph g = build_graph(gen_path(4), false);
+  using S = MisState;
+
+  check::CheckResult r =
+      check::check_mis(g, std::vector<S>(3, S::kIn)).result;
+  EXPECT_EQ(r.violation, "state array size != num_vertices");
+
+  r = check::check_mis(g, {S::kIn, S::kOut, S::kUndecided, S::kIn}).result;
+  EXPECT_EQ(r.violation, "undecided vertex");
+  EXPECT_EQ(r.vertex, 2u);
+
+  std::vector<S> corrupt = {S::kIn, S::kOut, S::kIn, S::kOut};
+  corrupt[3] = static_cast<S>(7);  // stray in-bounds write
+  r = check::check_mis(g, corrupt).result;
+  EXPECT_EQ(r.violation, "invalid state value");
+  EXPECT_EQ(r.vertex, 3u);
+
+  r = check::check_mis(g, {S::kIn, S::kIn, S::kOut, S::kIn}).result;
+  EXPECT_EQ(r.violation, "two adjacent vertices in the set");
+  EXPECT_EQ(r.vertex, 0u);
+  EXPECT_EQ(r.other, 1u);
+
+  r = check::check_mis(g, {S::kIn, S::kOut, S::kOut, S::kOut}).result;
+  EXPECT_EQ(r.violation, "excluded vertex has no neighbor in the set");
+  EXPECT_EQ(r.vertex, 2u);
+}
+
+// ---------------------------------------------------- check_decomposition --
+
+TEST(CheckDecomposition, AcceptsBothBridgeWalks) {
+  for (const auto& c : {test::make_figure1, test::make_road_small}) {
+    const CsrGraph g = c();
+    for (const BridgeAlgo algo :
+         {BridgeAlgo::kNaiveWalk, BridgeAlgo::kShortcutWalk}) {
+      const BridgeDecomposition d = decompose_bridge(g, algo);
+      const check::CheckResult r = check::check_decomposition(g, d);
+      EXPECT_TRUE(r.ok) << r.message();
+    }
+  }
+}
+
+TEST(CheckDecomposition, RejectsTamperedBridgeOutput) {
+  const CsrGraph g = test::figure1_graph();
+
+  // Claiming a non-edge as a bridge.
+  BridgeDecomposition d = decompose_bridge(g);
+  d.bridges.emplace_back(0, 4);  // a-e is not an edge
+  check::CheckResult r = check::check_decomposition(g, d);
+  EXPECT_EQ(r.violation, "listed bridge is not an edge of G");
+
+  // Listing the same bridge twice.
+  d = decompose_bridge(g);
+  ASSERT_FALSE(d.bridges.empty());
+  d.bridges.push_back(d.bridges.front());
+  EXPECT_EQ(check::check_decomposition(g, d).violation,
+            "bridge listed more than once");
+
+  // Flag on a vertex that touches no bridge (vertex 0 = a, triangle-only).
+  d = decompose_bridge(g);
+  ASSERT_EQ(d.is_bridge_vertex[0], 0);
+  d.is_bridge_vertex[0] = 1;
+  r = check::check_decomposition(g, d);
+  EXPECT_EQ(r.violation, "is_bridge_vertex inconsistent with bridge list");
+  EXPECT_EQ(r.vertex, 0u);
+
+  // Splitting a 2-edge-connected component (vertex 0 sits in the a-b-c
+  // triangle, so its label must match across surviving edges).
+  d = decompose_bridge(g);
+  d.components.label[0] = d.components.label[0] + 1;
+  r = check::check_decomposition(g, d);
+  EXPECT_EQ(r.violation, "component label changes across a non-bridge edge");
+}
+
+TEST(CheckDecomposition, AcceptsAndRejectsRand) {
+  const CsrGraph g = test::random_graph(300, 900, 5);
+  RandDecomposition d = decompose_rand(g, 3);
+  EXPECT_TRUE(check::check_decomposition(g, d).ok);
+
+  RandDecomposition bad = decompose_rand(g, 3);
+  bad.part[7] = 3;  // == k, out of range
+  check::CheckResult r = check::check_decomposition(g, bad);
+  EXPECT_EQ(r.violation, "partition label out of range [0, k)");
+  EXPECT_EQ(r.vertex, 7u);
+
+  // Relabeling a vertex without rebuilding the pieces breaks the filter law
+  // at that vertex (it is connected, so it has at least one edge).
+  bad = decompose_rand(g, 3);
+  bad.part[7] = (bad.part[7] + 1) % 3;
+  r = check::check_decomposition(g, bad);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckDecomposition, AcceptsAndRejectsGrow) {
+  const CsrGraph g = test::random_graph(300, 900, 9);
+  const GrowDecomposition d = decompose_grow(g, 4);
+  EXPECT_TRUE(check::check_decomposition(g, d).ok);
+
+  GrowDecomposition bad = decompose_grow(g, 4);
+  bad.cut_edges += 1;
+  EXPECT_EQ(check::check_decomposition(g, bad).violation,
+            "cut_edges != edge count of g_cross");
+}
+
+TEST(CheckDecomposition, AcceptsAndRejectsDegk) {
+  const CsrGraph g = test::make_broom_small();
+  const DegkDecomposition d = decompose_degk(g, 2, kDegkAll);
+  const check::CheckResult ok = check::check_decomposition(g, d, kDegkAll);
+  EXPECT_TRUE(ok.ok) << ok.message();
+
+  DegkDecomposition bad = decompose_degk(g, 2, kDegkAll);
+  bad.is_high[0] = bad.is_high[0] ? 0 : 1;
+  EXPECT_EQ(check::check_decomposition(g, bad, kDegkAll).violation,
+            "is_high disagrees with the degree threshold");
+
+  bad = decompose_degk(g, 2, kDegkAll);
+  bad.num_high += 1;
+  EXPECT_EQ(check::check_decomposition(g, bad, kDegkAll).violation,
+            "num_high != population count of is_high");
+}
+
+// -------------------------------------------------------- solver registry --
+
+TEST(SolverRegistry, EveryVariantPassesItsOracleOnFigure1) {
+  const CsrGraph g = test::figure1_graph();
+  for (const auto& v : check::matching_variants()) {
+    const MatchResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsMaximalMatching(g, r.mate)) << v.name;
+  }
+  for (const auto& v : check::coloring_variants()) {
+    const ColorResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsProperColoring(g, r.color)) << v.name;
+  }
+  for (const auto& v : check::mis_variants()) {
+    const MisResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state)) << v.name;
+  }
+}
+
+TEST(SolverRegistry, NamesAreUniquePerRegistryAndNonEmpty) {
+  // Names are reported with an mm/ color/ mis/ prefix, so uniqueness is a
+  // per-registry contract ("gpu/rand" exists in all three, legitimately).
+  const auto check_names = [](std::vector<std::string> names) {
+    std::sort(names.begin(), names.end());
+    EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+    for (const auto& n : names) EXPECT_FALSE(n.empty());
+  };
+  std::vector<std::string> mm, color, mis;
+  for (const auto& v : check::matching_variants()) mm.push_back(v.name);
+  for (const auto& v : check::coloring_variants()) color.push_back(v.name);
+  for (const auto& v : check::mis_variants()) mis.push_back(v.name);
+  check_names(std::move(mm));
+  check_names(std::move(color));
+  check_names(std::move(mis));
+}
+
+}  // namespace
+}  // namespace sbg

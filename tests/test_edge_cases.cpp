@@ -95,6 +95,87 @@ TEST(EdgeCases, GrowWithMoreSeedsThanVertices) {
   for (const vid_t p : d.part) ASSERT_LT(p, 50u);
 }
 
+// ------------------------------------------ whole-zoo degenerate regress --
+// Every registered solver/composite variant (src/check/solvers.hpp), through
+// the shapes that historically break decomposition code: nothing to
+// decompose, nothing but isolated vertices, pieces that are entirely
+// cross-edges, and hub-and-spoke graphs where one side of every split is
+// empty. Oracles from src/check/ gate each result.
+
+CsrGraph self_loop_mix() {
+  // Self-loops are dropped at build time; the survivors form a path 0-1-2.
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(0, 0);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(3, 3);
+  return build_graph(std::move(el), /*connect=*/false);
+}
+
+std::vector<test::GraphCase> degenerate_sweep() {
+  return {
+      {"empty", []() { return CsrGraph{}; }},
+      {"single_vertex", []() { return isolated_vertices(1); }},
+      {"isolated5", []() { return isolated_vertices(5); }},
+      {"self_loop_mix", &self_loop_mix},
+      {"two_islands",
+       []() {
+         EdgeList el;
+         el.num_vertices = 7;  // two components + an isolated vertex
+         el.add(0, 1);
+         el.add(1, 2);
+         el.add(4, 5);
+         el.add(5, 6);
+         return build_graph(std::move(el), false);
+       }},
+      {"star33", []() { return build_graph(gen_star(33), false); }},
+  };
+}
+
+class DegenerateZoo : public ::testing::TestWithParam<test::GraphCase> {};
+
+TEST_P(DegenerateZoo, EveryRegisteredVariantSurvivesAndVerifies) {
+  const CsrGraph g = GetParam().make();
+  for (const auto& v : check::matching_variants()) {
+    const MatchResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsMaximalMatching(g, r.mate)) << "mm/" << v.name;
+  }
+  for (const auto& v : check::coloring_variants()) {
+    const ColorResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsProperColoring(g, r.color)) << "color/" << v.name;
+  }
+  for (const auto& v : check::mis_variants()) {
+    const MisResult r = v.run(g, 42);
+    EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state))
+        << "mis/" << v.name;
+  }
+}
+
+TEST_P(DegenerateZoo, EveryDecompositionPartitionsTheEdgesExactlyOnce) {
+  const CsrGraph g = GetParam().make();
+  check::CheckResult r = check::check_decomposition(g, decompose_bridge(g));
+  EXPECT_TRUE(r.ok) << "bridge: " << r.message();
+  r = check::check_decomposition(g, decompose_rand(g, 3, 7));
+  EXPECT_TRUE(r.ok) << "rand: " << r.message();
+  r = check::check_decomposition(g, decompose_grow(g, 3, 7));
+  EXPECT_TRUE(r.ok) << "grow: " << r.message();
+  r = check::check_decomposition(g, decompose_degk(g, 2, kDegkAll), kDegkAll);
+  EXPECT_TRUE(r.ok) << "degk: " << r.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegenerateZoo,
+                         ::testing::ValuesIn(degenerate_sweep()),
+                         test::case_name);
+
+TEST(EdgeCases, SelfLoopsNeverSurviveIntoTheCsr) {
+  const CsrGraph g = self_loop_mix();
+  EXPECT_EQ(g.num_edges(), 2u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.has_edge(v, v)) << v;
+  }
+}
+
 // ------------------------------------ device-side decomposition equality --
 
 TEST(GpuDecompose, RandMatchesHostExactly) {

@@ -6,11 +6,47 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
+#include "check/solvers.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 
 namespace sbg::test {
+
+// ---------------------------------------------------------------- oracles --
+// src/check/ is the single source of truth for result validity. The
+// contract: every oracle inspects ONLY (graph, result array), never the
+// solver that produced it; a failure names the first (lowest-id) violating
+// vertex or edge, so the same input always produces the same message
+// regardless of thread count or schedule. Tests should assert through
+// these wrappers instead of re-deriving validity by hand — a solver result
+// is "correct" exactly when its oracle passes.
+
+/// check_matching as a gtest assertion: valid + maximal + symmetric.
+inline ::testing::AssertionResult IsMaximalMatching(
+    const CsrGraph& g, const std::vector<vid_t>& mate) {
+  const check::MatchingReport rep = check::check_matching(g, mate);
+  if (rep.result.ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << rep.result.message();
+}
+
+/// check_coloring as a gtest assertion: every vertex colored, no
+/// monochromatic edge.
+inline ::testing::AssertionResult IsProperColoring(
+    const CsrGraph& g, const std::vector<std::uint32_t>& color) {
+  const check::ColoringReport rep = check::check_coloring(g, color);
+  if (rep.result.ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << rep.result.message();
+}
+
+/// check_mis as a gtest assertion: independent + maximal, no undecided.
+inline ::testing::AssertionResult IsMaximalIndependentSet(
+    const CsrGraph& g, const std::vector<MisState>& state) {
+  const check::MisReport rep = check::check_mis(g, state);
+  if (rep.result.ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << rep.result.message();
+}
 
 /// The paper's Figure 1 example graph: 8 vertices a..h (0..7).
 /// Edges: a-b, b-c, c-a (triangle), c-d (bridge), d-e, e-f, f-d (triangle),

@@ -14,7 +14,7 @@ TEST(GM, PathShowsVainTendency) {
   // roughly one edge at the head per round — the paper's vain tendency.
   const CsrGraph g = build_graph(gen_path(200), false);
   const MatchResult r = mm_gm(g);
-  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, r.mate));
   EXPECT_GE(r.rounds, 50u);  // pathological round count, by design
 }
 
@@ -24,21 +24,21 @@ TEST(LMAX, IndexWeightsShowChainBehaviourOnPaths) {
   // each round — the GPU-side analogue of GM's vain tendency.
   const CsrGraph g = build_graph(gen_path(200), false);
   const MatchResult r = mm_lmax(g);
-  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, r.mate));
   EXPECT_GE(r.rounds, 50u);
 }
 
 TEST(LMAX, RandomWeightsFinishInFewRounds) {
   const CsrGraph g = build_graph(gen_path(200), false);
   const MatchResult r = mm_lmax(g, 42, LmaxWeights::kRandom);
-  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, r.mate));
   EXPECT_LE(r.rounds, 32u);  // ~log n with random local maxima
 }
 
 TEST(GM, CompleteGraphMatchesPerfectly) {
   const CsrGraph g = build_graph(gen_complete(24), false);
   const MatchResult r = mm_gm(g);
-  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, r.mate));
   EXPECT_EQ(r.cardinality, 12u);
 }
 
@@ -46,7 +46,7 @@ TEST(GM, StarMatchesExactlyOneEdge) {
   const CsrGraph g = build_graph(gen_star(40), false);
   const MatchResult r = mm_gm(g);
   EXPECT_EQ(r.cardinality, 1u);
-  EXPECT_TRUE(verify_maximal_matching(g, r.mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, r.mate));
 }
 
 TEST(LMAX, DeterministicInSeed) {
@@ -67,7 +67,7 @@ TEST(Extenders, RespectPreMatchedVertices) {
   mate[1] = 0;
   gm_extend(g, mate);
   EXPECT_EQ(mate[0], 1u);  // untouched
-  EXPECT_TRUE(verify_maximal_matching(g, mate));
+  EXPECT_TRUE(test::IsMaximalMatching(g, mate));
 }
 
 TEST(Extenders, ActiveMaskRestrictsParticipation) {
@@ -82,21 +82,25 @@ TEST(Extenders, ActiveMaskRestrictsParticipation) {
 }
 
 TEST(Verify, CatchesBrokenMatchings) {
+  // The oracle reports the first (lowest-id) violation; see test_check.cpp
+  // for the full per-violation coverage of check::check_matching.
   const CsrGraph g = build_graph(gen_path(6), false);
   std::vector<vid_t> mate(6, kNoVertex);
   std::string err;
   // Not maximal: edge 0-1 live.
   EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
-  EXPECT_EQ(err, "matching is not maximal");
+  EXPECT_EQ(err, "matching not maximal: both endpoints unmatched (edge 0-1)");
   // Non-involution.
   mate.assign(6, kNoVertex);
   mate[0] = 1;
   EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
+  EXPECT_EQ(err, "mate array is not an involution (edge 0-1)");
   // Non-edge "match".
   mate.assign(6, kNoVertex);
   mate[0] = 3;
   mate[3] = 0;
   EXPECT_FALSE(verify_maximal_matching(g, mate, &err));
+  EXPECT_EQ(err, "matched pair is not an edge of G (edge 0-3)");
 }
 
 // ------------------------------------------------ composites, all shapes --

@@ -11,15 +11,14 @@ TEST(Luby, ShapesSweepProducesValidMis) {
   for (const auto& c : test::shape_sweep()) {
     const CsrGraph g = c.make();
     const MisResult r = mis_luby(g);
-    std::string err;
-    EXPECT_TRUE(verify_mis(g, r.state, &err)) << c.name << ": " << err;
+    EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state)) << c.name;
   }
 }
 
 TEST(Luby, StarPicksLeavesOrHub) {
   const CsrGraph g = build_graph(gen_star(50), false);
   const MisResult r = mis_luby(g);
-  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state));
   // Either the hub alone, or all 49 leaves.
   EXPECT_TRUE(r.size == 1 || r.size == 49) << r.size;
 }
@@ -27,14 +26,14 @@ TEST(Luby, StarPicksLeavesOrHub) {
 TEST(Luby, CompleteGraphPicksExactlyOne) {
   const CsrGraph g = build_graph(gen_complete(30), false);
   const MisResult r = mis_luby(g);
-  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state));
   EXPECT_EQ(r.size, 1u);
 }
 
 TEST(Luby, PathMisIsBetweenThirdAndHalf) {
   const CsrGraph g = build_graph(gen_path(300), false);
   const MisResult r = mis_luby(g);
-  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state));
   EXPECT_GE(r.size, 100u);  // any MIS of a path covers >= n/3
   EXPECT_LE(r.size, 150u);  // and at most ceil(n/2)
 }
@@ -47,7 +46,7 @@ TEST(Luby, DeterministicInSeed) {
 TEST(Luby, FewRoundsOnRandomGraphs) {
   const CsrGraph g = test::random_graph(5000, 20'000, 7);
   const MisResult r = mis_luby(g);
-  EXPECT_TRUE(verify_mis(g, r.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state));
   EXPECT_LE(r.rounds, 40u);  // expected O(log n)
 }
 
@@ -56,8 +55,7 @@ TEST(Oriented, PathAndCycleAreFastAndValid) {
     const CsrGraph g = make();
     std::vector<MisState> state(g.num_vertices(), MisState::kUndecided);
     const vid_t rounds = oriented_extend(g, state);
-    std::string err;
-    EXPECT_TRUE(verify_mis(g, state, &err)) << err;
+    EXPECT_TRUE(test::IsMaximalIndependentSet(g, state));
     EXPECT_LE(rounds, 24u);  // fixed priorities: ~log of longest chain
   }
 }
@@ -80,10 +78,13 @@ TEST(Oriented, RespectsActiveMaskAndPriorState) {
 }
 
 TEST(Verify, CatchesBrokenMis) {
+  // The oracle names the first violating vertex; see test_check.cpp for the
+  // full per-violation coverage of check::check_mis.
   const CsrGraph g = build_graph(gen_path(4), false);
   std::string err;
   std::vector<MisState> state(4, MisState::kUndecided);
   EXPECT_FALSE(verify_mis(g, state, &err));
+  EXPECT_EQ(err, "undecided vertex (vertex 0)");
   // Adjacent kIn pair.
   state = {MisState::kIn, MisState::kIn, MisState::kOut, MisState::kIn};
   EXPECT_FALSE(verify_mis(g, state, &err));
@@ -101,16 +102,15 @@ class MisComposites : public ::testing::TestWithParam<test::GraphCase> {};
 
 TEST_P(MisComposites, AllThreeProduceValidMis) {
   const CsrGraph g = GetParam().make();
-  std::string err;
 
   const MisResult b = mis_bridge(g);
-  EXPECT_TRUE(verify_mis(g, b.state, &err)) << "bridge: " << err;
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, b.state)) << "bridge";
 
   const MisResult r = mis_rand(g, 4);
-  EXPECT_TRUE(verify_mis(g, r.state, &err)) << "rand: " << err;
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state)) << "rand";
 
   const MisResult d = mis_degk(g, 2);
-  EXPECT_TRUE(verify_mis(g, d.state, &err)) << "degk: " << err;
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, d.state)) << "degk";
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, MisComposites,
@@ -121,18 +121,18 @@ TEST(MisComposites, RandPartitionSweepStaysValid) {
   const CsrGraph g = test::random_graph(700, 2800, 23);
   for (vid_t k : {1u, 2u, 4u, 16u, 100u}) {
     const MisResult r = mis_rand(g, k);
-    EXPECT_TRUE(verify_mis(g, r.state)) << "k=" << k;
+    EXPECT_TRUE(test::IsMaximalIndependentSet(g, r.state)) << "k=" << k;
   }
 }
 
 TEST(MisComposites, DegkHandlesAllLowAndAllHighExtremes) {
   // All-low: a path (the whole graph is the oriented phase).
   const CsrGraph path = build_graph(gen_path(300), false);
-  EXPECT_TRUE(verify_mis(path, mis_degk(path, 2).state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(path, mis_degk(path, 2).state));
   // All-high: a complete graph (the oriented phase is empty).
   const CsrGraph comp = build_graph(gen_complete(20), false);
   const MisResult r = mis_degk(comp, 2);
-  EXPECT_TRUE(verify_mis(comp, r.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(comp, r.state));
   EXPECT_EQ(r.size, 1u);
 }
 
@@ -143,8 +143,8 @@ TEST(MisComposites, Deg2WinsRoundsOnBroomGraphs)  {
   const CsrGraph g = build_graph(gen_broom(20'000, 5), true);
   const MisResult deg2 = mis_degk(g, 2);
   const MisResult luby = mis_luby(g);
-  EXPECT_TRUE(verify_mis(g, deg2.state));
-  EXPECT_TRUE(verify_mis(g, luby.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, deg2.state));
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, luby.state));
   EXPECT_GT(deg2.size, 0u);
 }
 

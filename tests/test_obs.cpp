@@ -13,8 +13,10 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "matching/matching.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
@@ -189,6 +191,88 @@ TEST(Obs, CounterAggregatesAcrossOmpThreads) {
   EXPECT_EQ(c.value(), kIters);
   c.add(5);
   EXPECT_EQ(c.value(), kIters + 5);
+}
+
+TEST(Obs, CounterIsExactUnderConcurrentStdThreadWriters) {
+  // The shards are indexed by OpenMP thread id, so plain std::threads (id 0
+  // outside any parallel region) all collide on one shard — the fetch_add
+  // must still make the total exact, not just approximately sharded.
+  obs::Counter& c = obs::registry().counter("test.counter.threads");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, t]() {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        c.add(1 + static_cast<std::uint64_t>(t % 2));  // mixed deltas
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::uint64_t expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected += kAddsPerThread * (1 + static_cast<std::uint64_t>(t % 2));
+  }
+  EXPECT_EQ(c.value(), expected);
+}
+
+TEST(Obs, DistinctCountersDoNotBleedUnderConcurrency) {
+  obs::Counter& a = obs::registry().counter("test.counter.bleed_a");
+  obs::Counter& b = obs::registry().counter("test.counter.bleed_b");
+  a.reset();
+  b.reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&a, &b, t]() {
+      obs::Counter& mine = (t % 2 == 0) ? a : b;
+      for (int i = 0; i < 10'000; ++i) mine.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(a.value(), 30'000u);
+  EXPECT_EQ(b.value(), 30'000u);
+}
+
+TEST(Obs, HistogramIsExactUnderConcurrentStdThreadWriters) {
+  obs::Histogram& h = obs::registry().histogram("test.hist.threads");
+  h.reset();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h]() {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * (kPerThread * (kPerThread - 1) / 2));
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, kPerThread - 1);
+}
+
+TEST(Obs, CheckOracleRunCountersAreExactUnderConcurrency) {
+  if (!obs::enabled_in_library()) GTEST_SKIP() << "library built without obs";
+  // The check oracles are themselves OpenMP-parallel; hammering one from
+  // several host threads must still count every run exactly once.
+  obs::registry().counter("check.matching.runs").reset();
+  const CsrGraph g = test::random_graph(200, 600, 3);
+  const std::vector<vid_t> mate = mm_greedy_seq(g).mate;
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&]() {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        ASSERT_TRUE(check::check_matching(g, mate).result.ok);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(obs::registry().counter("check.matching.runs").value(),
+            static_cast<std::uint64_t>(kThreads * kRunsPerThread));
 }
 
 TEST(Obs, RegistryResetZeroesButKeepsHandles) {
