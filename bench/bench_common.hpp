@@ -9,6 +9,11 @@
 //   SBG_JSON_OUT — directory to drop a machine-readable BENCH_<name>.json
 //                  run report into at exit (counters, per-round series,
 //                  trace spans; see src/obs/report.hpp for the schema)
+//   SBG_DATASET_DIR — directory of real <name>.{sbgc,mtx,el,txt} Table II
+//                  files; text files load through the sbg::ingest parallel
+//                  parser and its transparent binary cache
+//   SBG_CACHE    — set to 0/off/false to disable the .sbgc cache
+//   SBG_CACHE_DIR — redirect .sbgc cache entries away from the dataset dir
 #pragma once
 
 #include <cmath>

@@ -5,7 +5,9 @@
 //
 // Draws `--graphs` random graphs from each generator family (basic / rgg /
 // rmat / synth), runs every registered solver and decomposition composite
-// on each, and holds the results against the sbg::check oracles plus
+// on each (the extra "ingest" family instead differentially tests the
+// text-ingestion pipeline and .sbgc cache against the sequential readers),
+// and holds the results against the sbg::check oracles plus
 // cross-variant agreement (see src/check/fuzz.hpp for the invariant list).
 //
 // Runs are pure functions of the flags: a failing campaign prints an exact

@@ -1,6 +1,8 @@
 // sbg_tool — command-line front end for the library.
 //
-//   sbg_tool gen <dataset|shape> <out.{sbg,el}> [--scale S] [--n N] [--seed K]
+//   sbg_tool gen <dataset|shape> <out.{sbg,sbgc,el,mtx}> [--scale S] [--n N]
+//   sbg_tool load <graph> [--no-cache] [--threads T]
+//   sbg_tool cache <graph.{mtx,el,txt}>
 //   sbg_tool stats <graph>
 //   sbg_tool convert <in> <out>
 //   sbg_tool decompose <graph> <bridge|rand|degk> [--k K]
@@ -9,13 +11,19 @@
 //   sbg_tool color <graph> [vb|eb|jp|spec|bridge|rand|degk]
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
 //
+// `load` exercises the ingestion pipeline (mmap chunk-parallel parse +
+// binary CSR cache) and prints where the graph came from and what each
+// phase cost; `cache` pre-warms the cache entry for a text file (see
+// README.md "Loading graphs"). `--no-cache` (any command) bypasses the
+// cache probe AND the cache write for this run.
+//
 // Observability flags (any command):
 //   --json <path>  write a machine-readable run report (counters, per-round
 //                  telemetry series, trace spans; src/obs/report.hpp schema)
 //   --trace        print the trace-span tree after the run
 //
-// <graph> is a .mtx / .el / .sbg file, or a Table II dataset name (e.g.
-// "germany-osm"), generated on the fly at --scale.
+// <graph> is a .mtx / .el / .txt / .sbg / .sbgc file, or a Table II dataset
+// name (e.g. "germany-osm"), generated on the fly at --scale.
 //
 // Every solver run is gated by the src/check oracles; `check` runs the
 // decomposition + solver oracles explicitly and prints each verdict
@@ -35,6 +43,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "ingest/ingest.hpp"
 #include "matching/matching.hpp"
 #include "mis/mis.hpp"
 #include "obs/obs.hpp"
@@ -52,6 +61,16 @@ struct Options {
   std::uint64_t seed = 42;
   std::string json_out;  ///< --json <path>: write the obs run report here
   bool trace = false;    ///< --trace: dump the span tree after the run
+  bool no_cache = false; ///< --no-cache: bypass the .sbgc cache entirely
+  int threads = 0;       ///< --threads: parser worker count (0 = OpenMP)
+
+  /// Ingestion options for file loads under the current flags.
+  ingest::Options ingest_options() const {
+    ingest::Options io;
+    io.use_cache = !no_cache && ingest::cache_enabled_default();
+    io.threads = threads;
+    return io;
+  }
 };
 
 Options parse_flags(int argc, char** argv, int first) {
@@ -74,6 +93,10 @@ Options parse_flags(int argc, char** argv, int first) {
       o.json_out = next();
     } else if (a == "--trace") {
       o.trace = true;
+    } else if (a == "--no-cache") {
+      o.no_cache = true;
+    } else if (a == "--threads") {
+      o.threads = std::atoi(next());
     }
   }
   return o;
@@ -99,7 +122,44 @@ CsrGraph load_or_generate(const std::string& spec, const Options& o) {
   }
   if (spec == "rgg") return build_graph(gen_rgg(o.n, 15.0, o.seed), true);
   if (spec == "road") return build_graph(gen_road(o.n, 2.0, 0.35, o.seed), true);
-  return load_graph(spec);
+  return ingest::load(spec, o.ingest_options());
+}
+
+int cmd_load(const std::string& spec, const Options& o) {
+  ingest::LoadReport rep;
+  const CsrGraph g = ingest::load(spec, o.ingest_options(), &rep);
+  std::printf("loaded %s: %u vertices, %llu edges (.%s)\n", spec.c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              rep.format.c_str());
+  if (rep.cache_hit) {
+    std::printf("cache HIT  %s (%.4fs binary read)\n", rep.cache_path.c_str(),
+                rep.cache_read_seconds);
+  } else {
+    std::printf("text parse %.4fs (%llu bytes), CSR build %.4fs\n",
+                rep.parse_seconds,
+                static_cast<unsigned long long>(rep.bytes_parsed),
+                rep.build_seconds);
+    if (!rep.cache_path.empty()) {
+      std::printf("cache MISS -> wrote %s (%.4fs)\n", rep.cache_path.c_str(),
+                  rep.cache_write_seconds);
+    }
+  }
+  return 0;
+}
+
+int cmd_cache(const std::string& spec, const Options& o) {
+  ingest::Options io = o.ingest_options();
+  io.use_cache = true;  // warming with --no-cache would be a contradiction
+  ingest::LoadReport rep;
+  const std::string path = ingest::warm_cache(spec, io, &rep);
+  if (rep.cache_hit) {
+    std::printf("already warm: %s\n", path.c_str());
+  } else {
+    std::printf("parsed %s in %.4fs (+ %.4fs CSR build), wrote %s (%.4fs)\n",
+                spec.c_str(), rep.parse_seconds, rep.build_seconds,
+                path.c_str(), rep.cache_write_seconds);
+  }
+  return 0;
 }
 
 int cmd_gen(const std::string& spec, const std::string& out,
@@ -257,8 +317,9 @@ int cmd_mis(const std::string& spec, const std::string& algo,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sbg_tool <gen|stats|convert|decompose|check|mm|color"
-               "|mis> ...\nsee the header comment of examples/sbg_tool.cpp\n");
+               "usage: sbg_tool <gen|load|cache|stats|convert|decompose|check"
+               "|mm|color|mis> ...\n"
+               "see the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
 
@@ -274,6 +335,10 @@ int main(int argc, char** argv) {
     int rc = -1;
     if (cmd == "gen" && argc >= 4) {
       rc = cmd_gen(argv[2], argv[3], o);
+    } else if (cmd == "load") {
+      rc = cmd_load(argv[2], o);
+    } else if (cmd == "cache") {
+      rc = cmd_cache(argv[2], o);
     } else if (cmd == "stats") {
       rc = cmd_stats(argv[2], o);
     } else if (cmd == "convert" && argc >= 4) {

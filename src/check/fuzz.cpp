@@ -218,7 +218,7 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
 
 const std::vector<std::string>& fuzz_families() {
   static const std::vector<std::string> kFamilies = {"basic", "rgg", "rmat",
-                                                     "synth"};
+                                                     "synth", "ingest"};
   return kFamilies;
 }
 
@@ -379,8 +379,14 @@ FuzzSummary run_fuzz(const FuzzOptions& opt) {
       std::string shape;
       std::vector<std::string> fails;
       try {
-        const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
-        fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);
+        if (family == "ingest") {
+          // Not a generator family: one differential ingestion iteration
+          // (text render -> parse -> cache) instead of the solver zoo.
+          fails = fuzz_check_ingest(graph_seed, &shape, &summary.solver_runs);
+        } else {
+          const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
+          fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);
+        }
       } catch (const std::exception& e) {
         fails.push_back(std::string("graph generation: exception: ") +
                         e.what());

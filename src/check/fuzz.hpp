@@ -28,9 +28,11 @@
 
 namespace sbg::check {
 
-/// Generator families the fuzzer draws from: "basic" (paths/cycles/stars/
-/// cliques/grids/trees/Erdős–Rényi), "rgg", "rmat", "synth" (road, broom,
-/// numerical, collab, web).
+/// Fuzz families: the generator families the solver zoo draws from —
+/// "basic" (paths/cycles/stars/cliques/grids/trees/Erdős–Rényi), "rgg",
+/// "rmat", "synth" (road, broom, numerical, collab, web) — plus "ingest",
+/// which skips the solver zoo and differentially tests the text-ingestion
+/// pipeline instead (see fuzz_check_ingest).
 const std::vector<std::string>& fuzz_families();
 
 /// Deterministic random graph for (family, seed): shape and size are drawn
@@ -46,6 +48,18 @@ CsrGraph fuzz_graph(const std::string& family, std::uint64_t seed, vid_t max_n,
 std::vector<std::string> fuzz_check_graph(const CsrGraph& g,
                                           std::uint64_t seed,
                                           int* solver_runs = nullptr);
+
+/// One "ingest" family iteration: render a random graph to a scratch file
+/// in a seed-chosen text dialect (edge list / MatrixMarket, LF / CRLF,
+/// trailing-newline or not, comments, weights, ragged spacing), then hold
+/// the chunk-parallel parsers against the sequential istream readers, the
+/// .sbgc cache round-trip against build_graph, and cache corruption against
+/// the degrade-to-reparse guarantee. Error-injection iterations assert both
+/// readers reject the file with a line number. Returns one string per
+/// failure; `parser_runs` counts parser/loader executions like solver_runs.
+std::vector<std::string> fuzz_check_ingest(std::uint64_t seed,
+                                           std::string* shape = nullptr,
+                                           int* parser_runs = nullptr);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;

@@ -1,0 +1,409 @@
+// The "ingest" fuzz family: differential testing of the chunk-parallel
+// text parsers, the sequential istream readers, and the .sbgc cache.
+//
+// One iteration draws a random graph, renders it to disk in a randomly
+// chosen text dialect (edge list or MatrixMarket; LF or CRLF; with or
+// without a trailing newline; comments, weights, ragged spacing, shuffled
+// and duplicated edges), then checks:
+//
+//   * the mmap parser returns the same EdgeList as the istream reader,
+//     byte-for-byte, at several thread counts;
+//   * a cold ingest::load writes a cache entry and a second load hits it
+//     with an identical CSR;
+//   * corrupting the entry (truncation, byte flip, version/key tampering)
+//     degrades the next load to a correct reparse, never a wrong graph;
+//   * on error-injection iterations, BOTH parsers reject the file with a
+//     1-based line number in the message.
+//
+// Everything is a pure function of the iteration seed, so failures replay
+// exactly. The scratch dir lives under the system temp dir and is removed
+// when the iteration ends.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+#include "ingest/ingest.hpp"
+#include "ingest/cache.hpp"
+#include "ingest/mmap_file.hpp"
+#include "ingest/text_parse.hpp"
+#include "parallel/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sbg::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+unsigned long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<unsigned long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Scratch directory for one iteration; removed on destruction.
+struct TempDir {
+  fs::path path;
+
+  explicit TempDir(std::uint64_t seed) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "sbg_fuzz_ingest.%lu.%016llx",
+                  process_id(), static_cast<unsigned long long>(seed));
+    path = fs::temp_directory_path() / name;
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// How one iteration renders its graph to text.
+struct Dialect {
+  bool mtx = false;        ///< MatrixMarket vs edge list
+  bool crlf = false;       ///< "\r\n" line ends
+  bool trailing_nl = true; ///< newline after the last line
+  bool weights = false;    ///< third column (el) / value column (mtx)
+  bool comments = false;   ///< sprinkle comment lines through the body
+  bool ragged = false;     ///< vary inter-token spacing
+};
+
+Dialect draw_dialect(Rng& rng) {
+  Dialect d;
+  d.mtx = rng.below(3) == 0;
+  d.crlf = rng.below(4) == 0;
+  d.trailing_nl = rng.below(8) != 0;
+  d.weights = rng.below(3) == 0;
+  d.comments = rng.below(3) == 0;
+  d.ragged = rng.below(3) == 0;
+  return d;
+}
+
+const char* sep(const Dialect& d, Rng& rng) {
+  if (!d.ragged) return " ";
+  switch (rng.below(4)) {
+    case 0: return "\t";
+    case 1: return "  ";
+    case 2: return " \t ";
+    default: return " ";
+  }
+}
+
+/// Directed arc bag to render: every CSR edge once, random orientation,
+/// some duplicates, shuffled. Parsers must preserve file order verbatim,
+/// so the reference for comparison is the istream reader, not this bag.
+std::vector<Edge> render_order(const CsrGraph& g, Rng& rng) {
+  std::vector<Edge> arcs;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const vid_t v : g.neighbors(u)) {
+      if (v < u) continue;
+      arcs.push_back(rng.below(2) == 0 ? Edge{u, v} : Edge{v, u});
+      if (rng.below(16) == 0) arcs.push_back({v, u});  // duplicate
+    }
+  }
+  for (std::size_t i = arcs.size(); i > 1; --i) {
+    std::swap(arcs[i - 1], arcs[rng.below(i)]);
+  }
+  return arcs;
+}
+
+std::string render_file(const CsrGraph& g, const Dialect& d, Rng& rng,
+                        std::vector<std::string>* lines_out) {
+  const std::vector<Edge> arcs = render_order(g, rng);
+  std::vector<std::string> lines;
+  const auto comment = [&](const char* lead) {
+    if (d.comments && rng.below(4) == 0) {
+      lines.push_back(std::string(lead) + " fuzz comment " +
+                      std::to_string(rng.below(1000)));
+    }
+  };
+  if (d.mtx) {
+    lines.push_back(d.weights
+                        ? "%%MatrixMarket matrix coordinate real symmetric"
+                        : "%%MatrixMarket matrix coordinate pattern symmetric");
+    comment("%");
+    const vid_t n = g.num_vertices();
+    lines.push_back(std::to_string(n) + " " + std::to_string(n) + " " +
+                    std::to_string(arcs.size()));
+    for (const Edge& e : arcs) {
+      comment("%");
+      std::string line = std::to_string(e.u + 1);
+      line += sep(d, rng);
+      line += std::to_string(e.v + 1);
+      if (d.weights) {
+        line += sep(d, rng);
+        line += std::to_string(1 + rng.below(99));
+        line += ".5";
+      }
+      lines.push_back(std::move(line));
+    }
+    comment("%");
+  } else {
+    comment(rng.below(2) == 0 ? "#" : "%");
+    for (const Edge& e : arcs) {
+      comment(rng.below(2) == 0 ? "#" : "%");
+      std::string line = std::to_string(e.u);
+      line += sep(d, rng);
+      line += std::to_string(e.v);
+      if (d.weights && rng.below(2) == 0) {
+        line += sep(d, rng);
+        line += std::to_string(rng.below(100));
+      }
+      lines.push_back(std::move(line));
+    }
+    comment("#");
+    if (d.comments && rng.below(4) == 0) lines.push_back("");  // blank line
+  }
+  if (lines_out) *lines_out = lines;
+
+  const char* eol = d.crlf ? "\r\n" : "\n";
+  std::string text;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    text += lines[i];
+    if (i + 1 < lines.size() || d.trailing_nl) text += eol;
+  }
+  return text;
+}
+
+void write_text(const fs::path& p, const std::string& text) {
+  std::ofstream out(p, std::ios::binary);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+EdgeList parse_sequential(const fs::path& p, bool mtx) {
+  std::ifstream in(p);
+  return mtx ? read_matrix_market(in) : read_edge_list(in);
+}
+
+EdgeList parse_parallel(const fs::path& p, bool mtx, int threads) {
+  ingest::MappedFile file(p.string());
+  return mtx ? ingest::parse_matrix_market(file.data(), file.size(), threads)
+             : ingest::parse_edge_list(file.data(), file.size(), threads);
+}
+
+bool same_edge_list(const EdgeList& a, const EdgeList& b) {
+  return a.num_vertices == b.num_vertices && a.edges == b.edges;
+}
+
+bool same_graph(const CsrGraph& a, const CsrGraph& b) {
+  return std::ranges::equal(a.offsets(), b.offsets()) &&
+         std::ranges::equal(a.adjacency(), b.adjacency());
+}
+
+/// Valid-input iteration: parser equivalence + cache round-trip/corruption.
+void check_valid(const fs::path& file, const Dialect& d, Rng& rng,
+                 int* runs, std::vector<std::string>& fails) {
+  EdgeList seq;
+  try {
+    if (runs) ++*runs;
+    seq = parse_sequential(file, d.mtx);
+  } catch (const std::exception& e) {
+    fails.push_back(std::string("sequential reader rejected valid input: ") +
+                    e.what());
+    return;
+  }
+  for (const int threads : {1, 2, static_cast<int>(3 + rng.below(6))}) {
+    try {
+      if (runs) ++*runs;
+      const EdgeList par = parse_parallel(file, d.mtx, threads);
+      if (!same_edge_list(par, seq)) {
+        fails.push_back("parallel parse (t=" + std::to_string(threads) +
+                        ") differs from sequential reader: " +
+                        std::to_string(par.edges.size()) + " vs " +
+                        std::to_string(seq.edges.size()) + " edges, n=" +
+                        std::to_string(par.num_vertices) + " vs " +
+                        std::to_string(seq.num_vertices));
+      }
+    } catch (const std::exception& e) {
+      fails.push_back("parallel parse (t=" + std::to_string(threads) +
+                      ") rejected valid input: " + e.what());
+    }
+  }
+
+  // Cache round-trip through the public entry point: cold load writes the
+  // sibling entry, warm load must hit it and agree exactly.
+  ingest::Options opt;
+  opt.use_cache = true;
+  opt.connect = rng.below(2) == 0;
+  const CsrGraph reference = build_graph(EdgeList(seq), opt.connect);
+  try {
+    if (runs) ++*runs;
+    ingest::LoadReport cold;
+    const CsrGraph g1 = ingest::load(file.string(), opt, &cold);
+    if (!same_graph(g1, reference)) {
+      fails.push_back("cold ingest::load CSR differs from build_graph "
+                      "reference");
+    }
+    ingest::LoadReport warm;
+    const CsrGraph g2 = ingest::load(file.string(), opt, &warm);
+    if (!warm.cache_hit) {
+      fails.push_back("second ingest::load missed the cache entry at " +
+                      warm.cache_path);
+    }
+    if (!same_graph(g2, reference)) {
+      fails.push_back("warm ingest::load CSR differs from build_graph "
+                      "reference");
+    }
+
+    // Corrupt the entry; the next load must fall back to a correct reparse.
+    const fs::path entry = warm.cache_path;
+    std::error_code ec;
+    const std::uint64_t len = fs::file_size(entry, ec);
+    if (ec || len == 0) {
+      fails.push_back("cache entry missing after warm load: " +
+                      entry.string());
+      return;
+    }
+    const char* mode = "?";
+    switch (rng.below(3)) {
+      case 0: {
+        mode = "truncate";
+        fs::resize_file(entry, len - std::min<std::uint64_t>(len, 1 + rng.below(64)), ec);
+        break;
+      }
+      case 1: {
+        mode = "byte flip";
+        std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+        const std::uint64_t at = rng.below(len);
+        f.seekg(static_cast<std::streamoff>(at));
+        char b = 0;
+        f.get(b);
+        b = static_cast<char>(b ^ static_cast<char>(1 + rng.below(255)));
+        f.seekp(static_cast<std::streamoff>(at));
+        f.put(b);
+        break;
+      }
+      default: {
+        mode = "version bump";
+        std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(8);  // format-version field
+        const char v = static_cast<char>(2 + rng.below(250));
+        f.put(v);
+        break;
+      }
+    }
+    ingest::LoadReport after;
+    const CsrGraph g3 = ingest::load(file.string(), opt, &after);
+    if (after.cache_hit) {
+      fails.push_back(std::string("load hit a cache entry corrupted by ") +
+                      mode);
+    }
+    if (!same_graph(g3, reference)) {
+      fails.push_back(std::string("reparse after cache ") + mode +
+                      " produced a different graph");
+    }
+  } catch (const std::exception& e) {
+    fails.push_back(std::string("ingest::load threw on valid input: ") +
+                    e.what());
+  }
+}
+
+/// Error-injection iteration: both readers must reject the file with a
+/// line number in the message.
+void check_invalid(const fs::path& dir, const std::string& text,
+                   const Dialect& d, Rng& rng, int* runs,
+                   std::vector<std::string>& fails) {
+  static const char* kElGarbage[] = {"1 2 3 4", "a b", "1 x", "-1 2",
+                                     "99999999999999999999 2"};
+  static const char* kMtxGarbage[] = {"a b", "7", "0 1"};
+  const char* bad = d.mtx ? kMtxGarbage[rng.below(3)] : kElGarbage[rng.below(5)];
+
+  // Splice the garbage line in at a random line boundary past the MM
+  // header/size lines (offset otherwise lands mid-structure).
+  std::vector<std::size_t> breaks;
+  std::size_t scan = 0;
+  std::size_t skip = d.mtx ? 2 : 0;  // banner + size line
+  while (scan < text.size()) {
+    const std::size_t nl = text.find('\n', scan);
+    if (nl == std::string::npos) break;
+    if (skip > 0) {
+      --skip;
+    } else {
+      breaks.push_back(nl + 1);
+    }
+    scan = nl + 1;
+  }
+  const std::size_t at =
+      breaks.empty() ? text.size() : breaks[rng.below(breaks.size())];
+  std::string broken = text.substr(0, at) + bad +
+                       (d.crlf ? "\r\n" : "\n") + text.substr(at);
+  const fs::path file = dir / (d.mtx ? "broken.mtx" : "broken.el");
+  write_text(file, broken);
+
+  const auto expect_throw = [&](const char* which, auto&& parse) {
+    if (runs) ++*runs;
+    try {
+      parse();
+      fails.push_back(std::string(which) + " accepted garbage line \"" +
+                      bad + "\"");
+    } catch (const InputError& e) {
+      if (std::string(e.what()).find("line ") == std::string::npos) {
+        fails.push_back(std::string(which) +
+                        " error lacks a line number: " + e.what());
+      }
+    } catch (const std::exception& e) {
+      fails.push_back(std::string(which) + " threw a non-InputError: " +
+                      e.what());
+    }
+  };
+  expect_throw("sequential reader",
+               [&] { parse_sequential(file, d.mtx); });
+  const int threads = 1 + static_cast<int>(rng.below(8));
+  expect_throw("parallel parser",
+               [&] { parse_parallel(file, d.mtx, threads); });
+}
+
+}  // namespace
+
+std::vector<std::string> fuzz_check_ingest(std::uint64_t seed,
+                                           std::string* shape,
+                                           int* parser_runs) {
+  Rng rng(seed);
+  std::vector<std::string> fails;
+
+  // Base graph from a rotating generator family (small: every iteration
+  // pays file IO).
+  static const char* kBase[] = {"basic", "rgg", "rmat", "synth"};
+  const std::string base = kBase[rng.below(4)];
+  std::string base_shape;
+  CsrGraph g = fuzz_graph(base, rng.next(), /*max_n=*/192, &base_shape);
+
+  Rng dialect_rng(rng.next());
+  const Dialect d = draw_dialect(dialect_rng);
+  const bool inject_error = rng.below(5) == 0;
+  if (shape) {
+    *shape = std::string("ingest/") + (d.mtx ? "mtx" : "el") +
+             (d.crlf ? "+crlf" : "") + (d.trailing_nl ? "" : "+noeofnl") +
+             (d.weights ? "+w" : "") + (d.comments ? "+c" : "") +
+             (inject_error ? "+inject" : "") + " over " + base_shape;
+  }
+
+  try {
+    TempDir tmp(seed);
+    const std::string text = render_file(g, d, dialect_rng, nullptr);
+    if (inject_error) {
+      check_invalid(tmp.path, text, d, dialect_rng, parser_runs, fails);
+    } else {
+      const fs::path file = tmp.path / (d.mtx ? "graph.mtx" : "graph.el");
+      write_text(file, text);
+      check_valid(file, d, dialect_rng, parser_runs, fails);
+    }
+  } catch (const std::exception& e) {
+    fails.push_back(std::string("ingest harness: exception: ") + e.what());
+  }
+  return fails;
+}
+
+}  // namespace sbg::check

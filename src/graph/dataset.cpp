@@ -57,8 +57,13 @@ CsrGraph make_dataset(const std::string& name, double scale,
   const DatasetPaperRow& row = dataset_row(name);  // validates the name
 
   if (const char* dir = std::getenv("SBG_DATASET_DIR")) {
-    const auto path = std::filesystem::path(dir) / (name + ".mtx");
-    if (std::filesystem::exists(path)) return load_graph(path.string());
+    // Real files are loaded through sbg::ingest (load_graph): mmap +
+    // chunk-parallel parse on first touch, transparent .sbgc cache after —
+    // so bench sweeps over Table II pay the text parse once, not per run.
+    for (const char* ext : {".sbgc", ".mtx", ".el", ".txt"}) {
+      const auto path = std::filesystem::path(dir) / (name + ext);
+      if (std::filesystem::exists(path)) return load_graph(path.string());
+    }
   }
 
   const vid_t n = std::max<vid_t>(

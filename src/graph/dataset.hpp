@@ -7,7 +7,10 @@
 // scale. `bench_table2_datasets` prints paper-vs-achieved fingerprints.
 //
 // Real UF files can be substituted by pointing SBG_DATASET_DIR at a
-// directory of <name>.mtx files; make_dataset() prefers those when present.
+// directory of <name>.{sbgc,mtx,el,txt} files; make_dataset() prefers those
+// when present (first matching extension wins, cache entries first). Text
+// files load through the sbg::ingest parallel parser and its transparent
+// binary cache — see EXPERIMENTS.md "Preparing the Table II datasets".
 #pragma once
 
 #include <optional>
@@ -40,8 +43,8 @@ std::vector<std::string> dataset_names();
 
 /// Build the synthetic stand-in for Table II graph `name`, with vertex
 /// count ~= paper |V| * scale. Deterministic in (name, scale, seed).
-/// If SBG_DATASET_DIR is set and <dir>/<name>.mtx exists, loads that file
-/// instead (scale then ignored).
+/// If SBG_DATASET_DIR is set and <dir>/<name>.{sbgc,mtx,el,txt} exists,
+/// loads that file instead (scale then ignored).
 CsrGraph make_dataset(const std::string& name, double scale = 1.0 / 32.0,
                       std::uint64_t seed = 42);
 

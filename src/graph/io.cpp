@@ -4,7 +4,6 @@
 #include <array>
 #include <cctype>
 #include <cstring>
-#include <limits>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -12,6 +11,9 @@
 #include <string>
 
 #include "graph/builder.hpp"
+#include "ingest/cache.hpp"
+#include "ingest/ingest.hpp"
+#include "ingest/text_parse.hpp"
 
 namespace sbg {
 
@@ -27,37 +29,95 @@ std::string extension(const std::string& path) {
   return dot == std::string::npos ? "" : lower(path.substr(dot + 1));
 }
 
+/// Strict nonnegative integer parse of one extracted token (shared with the
+/// parallel parser, so both readers accept exactly the same numbers).
+std::optional<std::uint64_t> token_uint(const std::string& t) {
+  return ingest::parse_uint_token(t.data(), t.data() + t.size());
+}
+
+[[noreturn]] void fail_line(const char* what, std::size_t lineno,
+                            const std::string& detail) {
+  throw InputError(std::string(what) + " (line " + std::to_string(lineno) +
+                   "): " + detail);
+}
+
 }  // namespace
 
 EdgeList read_matrix_market(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) throw InputError("empty MatrixMarket stream");
+  std::size_t lineno = 1;
+  if (!std::getline(in, line)) {
+    throw InputError("empty MatrixMarket input (line 1)");
+  }
   if (line.rfind("%%MatrixMarket", 0) != 0) {
-    throw InputError("missing %%MatrixMarket banner");
+    throw InputError("missing %%MatrixMarket banner (line 1)");
   }
-  const std::string banner = lower(line);
-  if (banner.find("coordinate") == std::string::npos) {
-    throw InputError("only coordinate MatrixMarket supported");
+  if (lower(line).find("coordinate") == std::string::npos) {
+    throw InputError("only coordinate MatrixMarket supported (line 1)");
   }
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
-  std::istringstream head(line);
+
   std::uint64_t rows = 0, cols = 0, nnz = 0;
-  if (!(head >> rows >> cols >> nnz)) {
-    throw InputError("malformed MatrixMarket size line");
+  bool have_size = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string t1, t2, t3;
+    ls >> t1;
+    if (t1.empty() || t1[0] == '%') continue;  // blank / comment
+    ls >> t2 >> t3;
+    const auto r = token_uint(t1), c = token_uint(t2), n = token_uint(t3);
+    if (!r || !c || !n) {
+      throw InputError("malformed MatrixMarket size line (line " +
+                       std::to_string(lineno) + ")");
+    }
+    if (std::max(*r, *c) > kNoVertex) {
+      throw InputError("MatrixMarket dimensions too large for vid_t (line " +
+                       std::to_string(lineno) + ")");
+    }
+    rows = *r;
+    cols = *c;
+    nnz = *n;
+    have_size = true;
+    break;
   }
+  if (!have_size) {
+    throw InputError("missing MatrixMarket size line (line " +
+                     std::to_string(lineno + 1) + ")");
+  }
+
   EdgeList el;
   el.num_vertices = static_cast<vid_t>(std::max(rows, cols));
   el.edges.reserve(nnz);
-  for (std::uint64_t i = 0; i < nnz; ++i) {
-    std::uint64_t r = 0, c = 0;
-    if (!(in >> r >> c)) throw InputError("truncated MatrixMarket entries");
-    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
-    if (r == 0 || c == 0 || r > rows || c > cols) {
-      throw InputError("MatrixMarket index out of range");
+  std::uint64_t entries = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string t1, t2;
+    ls >> t1;
+    if (t1.empty() || t1[0] == '%') continue;
+    ls >> t2;  // values after the two indices are ignored
+    if (t2.empty()) {
+      fail_line("malformed MatrixMarket entry", lineno,
+                "expected 'row col [values…]', got 1 field");
     }
-    el.add(static_cast<vid_t>(r - 1), static_cast<vid_t>(c - 1));
+    const auto r = token_uint(t1), c = token_uint(t2);
+    if (!r) fail_line("malformed MatrixMarket entry", lineno, "bad index '" + t1 + "'");
+    if (!c) fail_line("malformed MatrixMarket entry", lineno, "bad index '" + t2 + "'");
+    if (*r == 0 || *c == 0 || *r > rows || *c > cols) {
+      fail_line("malformed MatrixMarket entry", lineno, "index out of range");
+    }
+    if (entries == nnz) {
+      throw InputError("more MatrixMarket entries than the header nnz (line " +
+                       std::to_string(lineno) + "): got > " +
+                       std::to_string(nnz));
+    }
+    el.add(static_cast<vid_t>(*r - 1), static_cast<vid_t>(*c - 1));
+    ++entries;
+  }
+  if (entries < nnz) {
+    throw InputError("truncated MatrixMarket entries (line " +
+                     std::to_string(lineno + 1) + "): got " +
+                     std::to_string(entries) + " of " + std::to_string(nnz));
   }
   return el;
 }
@@ -65,21 +125,36 @@ EdgeList read_matrix_market(std::istream& in) {
 EdgeList read_edge_list(std::istream& in) {
   EdgeList el;
   std::string line;
-  vid_t max_id = 0;
+  std::uint64_t max_id = 0;
   bool any = false;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++lineno;
     std::istringstream ls(line);
-    std::uint64_t u = 0, v = 0;
-    if (!(ls >> u >> v)) throw InputError("malformed edge list line: " + line);
-    if (u > kNoVertex - 1 || v > kNoVertex - 1) {
-      throw InputError("vertex id too large for vid_t");
+    std::string t1, t2, t3, t4;
+    ls >> t1;
+    if (t1.empty()) continue;                    // blank
+    if (t1[0] == '#' || t1[0] == '%') continue;  // comment
+    ls >> t2 >> t3 >> t4;
+    if (t2.empty()) {
+      fail_line("malformed edge list", lineno,
+                "expected 'u v' or 'u v w', got 1 field");
     }
-    el.add(static_cast<vid_t>(u), static_cast<vid_t>(v));
-    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+    if (!t4.empty()) {
+      fail_line("malformed edge list", lineno,
+                "expected 'u v' or 'u v w', got 4 or more fields");
+    }
+    const auto u = token_uint(t1), v = token_uint(t2);
+    if (!u) fail_line("malformed edge list", lineno, "bad vertex id '" + t1 + "'");
+    if (!v) fail_line("malformed edge list", lineno, "bad vertex id '" + t2 + "'");
+    if (*u >= kNoVertex || *v >= kNoVertex) {
+      fail_line("malformed edge list", lineno, "vertex id too large for vid_t");
+    }
+    el.add(static_cast<vid_t>(*u), static_cast<vid_t>(*v));
+    max_id = std::max({max_id, *u, *v});
     any = true;
   }
-  el.num_vertices = any ? max_id + 1 : 0;
+  el.num_vertices = any ? static_cast<vid_t>(max_id) + 1 : 0;
   return el;
 }
 
@@ -87,6 +162,18 @@ void write_edge_list(std::ostream& out, const EdgeList& el) {
   out << "# sbg edge list: " << el.num_vertices << " vertices, "
       << el.edges.size() << " edges\n";
   for (const Edge& e : el.edges) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& el) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << "% written by sbg\n";
+  out << el.num_vertices << ' ' << el.num_vertices << ' ' << el.edges.size()
+      << '\n';
+  // Symmetric convention stores the lower triangle: row >= col, 1-based.
+  for (const Edge& e : el.edges) {
+    const vid_t r = std::max(e.u, e.v), c = std::min(e.u, e.v);
+    out << (r + 1) << ' ' << (c + 1) << '\n';
+  }
 }
 
 namespace {
@@ -124,24 +211,25 @@ CsrGraph read_binary(std::istream& in) {
 }
 
 CsrGraph load_graph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw InputError("cannot open " + path);
-  const std::string ext = extension(path);
-  if (ext == "mtx") return build_graph(read_matrix_market(in));
-  if (ext == "el" || ext == "txt") return build_graph(read_edge_list(in));
-  if (ext == "sbg") return read_binary(in);
-  throw InputError("unknown graph extension ." + ext + " for " + path);
+  ingest::Options opt;
+  opt.use_cache = ingest::cache_enabled_default();
+  return ingest::load(path, opt);
 }
 
 void save_graph(const std::string& path, const CsrGraph& g) {
+  const std::string ext = extension(path);
+  if (ext == "sbgc") {
+    // A standalone cache entry: zeroed source key, exempt from staleness.
+    ingest::write_cache_file(path, ingest::CacheKey{}, g);
+    return;
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) throw InputError("cannot create " + path);
-  const std::string ext = extension(path);
   if (ext == "sbg") {
     write_binary(out, g);
     return;
   }
-  if (ext == "el") {
+  if (ext == "el" || ext == "mtx") {
     EdgeList el;
     el.num_vertices = g.num_vertices();
     for (vid_t u = 0; u < g.num_vertices(); ++u) {
@@ -149,7 +237,11 @@ void save_graph(const std::string& path, const CsrGraph& g) {
         if (u < v) el.add(u, v);
       }
     }
-    write_edge_list(out, el);
+    if (ext == "el") {
+      write_edge_list(out, el);
+    } else {
+      write_matrix_market(out, el);
+    }
     return;
   }
   throw InputError("unknown save extension ." + ext);

@@ -3,10 +3,20 @@
 // The paper's datasets come from the University of Florida sparse matrix
 // collection (MatrixMarket format). We support:
 //   * MatrixMarket  (.mtx)  — coordinate pattern/real, general or symmetric
-//   * edge list     (.el)   — "u v" per line, '#' comments, 0-based ids
-//   * sbg binary    (.sbg)  — our own mmap-friendly CSR dump
+//   * edge list     (.el/.txt) — "u v" or "u v w" per line ('w' ignored),
+//                    '#'/'%' comments, 0-based ids (SNAP / DIMACS style)
+//   * sbg binary    (.sbg)  — legacy eager CSR dump
+//   * CSR cache     (.sbgc) — versioned, checksummed binary cache entries
+//                    (src/ingest/cache.hpp; DESIGN.md "On-disk formats")
 // so users can drop in the real UF graphs when they have them, while the
 // bundled benches default to the calibrated synthetic suite (dataset.hpp).
+//
+// The std::istream readers here are the line-at-a-time SEQUENTIAL
+// reference implementations; load_graph() routes through sbg::ingest,
+// which parses the same dialects chunk-parallel from an mmap and caches
+// the built CSR. The two are held byte-identical by tests/test_ingest.cpp
+// and the sbg_fuzz "ingest" family. Every InputError thrown by the readers
+// carries the 1-based line number of the offending line.
 #pragma once
 
 #include <iosfwd>
@@ -21,21 +31,30 @@ namespace sbg {
 /// if present, are ignored; symmetric and general headers both accepted).
 EdgeList read_matrix_market(std::istream& in);
 
-/// Parse "u v" text lines (0-based ids, '#'-prefixed comment lines).
+/// Parse "u v" / "u v w" text lines (0-based ids, '#'- or '%'-prefixed
+/// comment lines, weights ignored).
 EdgeList read_edge_list(std::istream& in);
 
 /// Serialize a normalized edge list as 0-based "u v" lines.
 void write_edge_list(std::ostream& out, const EdgeList& el);
 
-/// Binary CSR dump / load (little-endian, versioned header).
+/// Serialize a normalized edge list as a MatrixMarket coordinate pattern
+/// symmetric matrix (1-based, lower-triangle entries).
+void write_matrix_market(std::ostream& out, const EdgeList& el);
+
+/// Legacy eager binary CSR dump / load (little-endian, magic-tagged).
 void write_binary(std::ostream& out, const CsrGraph& g);
 CsrGraph read_binary(std::istream& in);
 
-/// Load a graph by file extension (.mtx / .el / .sbg); applies the paper's
-/// preprocessing (normalize + connect) to the text formats.
+/// Load a graph by file extension (.mtx / .el / .txt / .sbg / .sbgc);
+/// applies the paper's preprocessing (normalize + connect) to the text
+/// formats. Text loads go through the sbg::ingest parallel parser and its
+/// transparent binary cache (disable process-wide with SBG_CACHE=0,
+/// redirect with SBG_CACHE_DIR).
 CsrGraph load_graph(const std::string& path);
 
-/// Save as binary (.sbg) or edge list (.el) by extension.
+/// Save as binary (.sbg), cache entry (.sbgc), edge list (.el), or
+/// MatrixMarket (.mtx) by extension.
 void save_graph(const std::string& path, const CsrGraph& g);
 
 }  // namespace sbg

@@ -1,0 +1,263 @@
+#include "ingest/cache.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "common.hpp"
+#include "ingest/mmap_file.hpp"
+#include "parallel/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sbg::ingest {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+unsigned long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<unsigned long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+constexpr std::array<char, 8> kMagic = {'S', 'B', 'G', 'C', 'A', 'C', 'H', 'E'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderBytes = 64;
+
+struct Header {
+  std::array<char, 8> magic = kMagic;
+  std::uint32_t version = kCacheFormatVersion;
+  std::uint32_t endian = kEndianTag;
+  std::uint64_t source_size = 0;
+  std::uint64_t source_mtime = 0;
+  std::uint64_t options_hash = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(Header) == kHeaderBytes, "sbgc header layout drifted");
+
+/// Checksum seed folds in every header field, so header tampering (e.g.
+/// shifting bytes between the offsets and adjacency blobs by editing n and
+/// arcs in concert) fails verification even when the payload bytes are
+/// untouched.
+std::uint64_t checksum_seed(const Header& h) {
+  std::uint64_t s = mix64(h.version);
+  s = mix64(s ^ h.source_size);
+  s = mix64(s ^ h.source_mtime);
+  s = mix64(s ^ h.options_hash);
+  s = mix64(s ^ h.n);
+  return mix64(s ^ h.arcs);
+}
+
+std::uint64_t payload_checksum(const Header& h, const CsrGraph& g) {
+  std::uint64_t c = hash_bytes(g.offsets().data(),
+                               g.offsets().size() * sizeof(eid_t),
+                               checksum_seed(h));
+  return hash_bytes(g.adjacency().data(),
+                    g.adjacency().size() * sizeof(vid_t), c);
+}
+
+}  // namespace
+
+const char* to_string(CacheStatus s) {
+  switch (s) {
+    case CacheStatus::kHit: return "hit";
+    case CacheStatus::kMissing: return "missing";
+    case CacheStatus::kStale: return "stale";
+    case CacheStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t seed) {
+  constexpr std::uint64_t kMul1 = 0x9e3779b97f4a7c15ull;
+  constexpr std::uint64_t kMul2 = 0xff51afd7ed558ccdull;
+  const auto rotl = [](std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  };
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t n = size;
+  // Four independent accumulators, 32 bytes per step: the per-lane
+  // multiplies pipeline, so verifying a warm cache entry runs near memory
+  // bandwidth instead of serialising on mix64 latency.
+  std::uint64_t h0 = mix64(seed ^ (kMul1 + size));
+  std::uint64_t h1 = mix64(h0 ^ kMul2);
+  std::uint64_t h2 = mix64(h1 ^ kMul1);
+  std::uint64_t h3 = mix64(h2 ^ kMul2);
+  while (n >= 32) {
+    std::uint64_t lane[4];
+    std::memcpy(lane, p, 32);
+    h0 = rotl(h0 ^ (lane[0] * kMul2), 27) * kMul1;
+    h1 = rotl(h1 ^ (lane[1] * kMul2), 27) * kMul1;
+    h2 = rotl(h2 ^ (lane[2] * kMul2), 27) * kMul1;
+    h3 = rotl(h3 ^ (lane[3] * kMul2), 27) * kMul1;
+    p += 32;
+    n -= 32;
+  }
+  std::uint64_t h = mix64(mix64(mix64(mix64(h0) ^ h1) ^ h2) ^ h3);
+  while (n >= 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p, 8);
+    h = mix64(h ^ (lane * kMul2));
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = mix64(h ^ mix64(tail) ^ n);
+  }
+  return mix64(h);
+}
+
+std::string cache_path_for(const std::string& source,
+                           std::uint64_t options_hash) {
+  const char* dir = std::getenv("SBG_CACHE_DIR");
+  if (dir == nullptr || *dir == '\0') return source + ".sbgc";
+  std::error_code ec;
+  fs::path abs = fs::absolute(source, ec);
+  if (ec) abs = source;
+  const std::string key = abs.string();
+  const std::uint64_t id = hash_bytes(key.data(), key.size(), options_hash);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(id));
+  return (fs::path(dir) / (fs::path(source).filename().string() + "." + hex +
+                           ".sbgc"))
+      .string();
+}
+
+CacheKey make_cache_key(const std::string& source,
+                        std::uint64_t options_hash) {
+  std::error_code ec;
+  const std::uint64_t size = fs::file_size(source, ec);
+  if (ec) throw InputError("cannot open " + source);
+  const auto mtime = fs::last_write_time(source, ec);
+  if (ec) throw InputError("cannot stat " + source);
+  CacheKey key;
+  key.source_size = size;
+  key.source_mtime =
+      static_cast<std::uint64_t>(mtime.time_since_epoch().count());
+  key.options_hash = options_hash;
+  return key;
+}
+
+CacheStatus read_cache_file(const std::string& cache_path,
+                            const CacheKey* expect, CsrGraph* out) {
+  // Map rather than stream: validation then runs straight over the page
+  // cache, and nothing is copied until the checksum has passed.
+  std::optional<MappedFile> file;
+  try {
+    file.emplace(cache_path);
+  } catch (const InputError&) {
+    return CacheStatus::kMissing;
+  }
+  const char* bytes = file->data();
+  const std::uint64_t actual = file->size();
+  if (actual < kHeaderBytes) return CacheStatus::kCorrupt;
+
+  Header h;
+  std::memcpy(&h, bytes, sizeof(h));
+  if (h.magic != kMagic) return CacheStatus::kCorrupt;
+  if (h.version != kCacheFormatVersion || h.endian != kEndianTag) {
+    return CacheStatus::kStale;
+  }
+  if (expect != nullptr &&
+      (h.source_size != expect->source_size ||
+       h.source_mtime != expect->source_mtime ||
+       h.options_hash != expect->options_hash)) {
+    return CacheStatus::kStale;
+  }
+  if (h.n > kNoVertex) return CacheStatus::kCorrupt;
+
+  // The layout fully determines the file length; verify it BEFORE sizing
+  // any allocation, so a corrupted n/arcs cannot trigger a huge alloc.
+  const std::uint64_t want = kHeaderBytes + (h.n + 1) * sizeof(eid_t) +
+                             h.arcs * sizeof(vid_t);
+  if (actual != want) return CacheStatus::kCorrupt;
+
+  const char* off_bytes = bytes + kHeaderBytes;
+  const std::size_t off_len =
+      (static_cast<std::size_t>(h.n) + 1) * sizeof(eid_t);
+  const char* adj_bytes = off_bytes + off_len;
+  const std::size_t adj_len = static_cast<std::size_t>(h.arcs) * sizeof(vid_t);
+
+  std::uint64_t c = hash_bytes(off_bytes, off_len, checksum_seed(h));
+  c = hash_bytes(adj_bytes, adj_len, c);
+  if (c != h.checksum) return CacheStatus::kCorrupt;
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(h.n) + 1);
+  std::vector<vid_t> adj(static_cast<std::size_t>(h.arcs));
+  std::memcpy(offsets.data(), off_bytes, off_len);
+  std::memcpy(adj.data(), adj_bytes, adj_len);
+
+  try {
+    *out = CsrGraph(std::move(offsets), std::move(adj));
+  } catch (const std::logic_error&) {
+    // Bit flips that survive the checksum odds-wise shouldn't reach here,
+    // but a malformed offsets array must degrade, not abort the load.
+    return CacheStatus::kCorrupt;
+  }
+  return CacheStatus::kHit;
+}
+
+void write_cache_file(const std::string& cache_path, const CacheKey& key,
+                      const CsrGraph& g) {
+  Header h;
+  h.source_size = key.source_size;
+  h.source_mtime = key.source_mtime;
+  h.options_hash = key.options_hash;
+  h.n = g.num_vertices();
+  h.arcs = g.num_arcs();
+  h.checksum = payload_checksum(h, g);
+
+  // SBG_CACHE_DIR need not exist yet; a failure here surfaces below as
+  // "cannot create" on the temp file.
+  {
+    std::error_code ec;
+    const fs::path parent = fs::path(cache_path).parent_path();
+    if (!parent.empty()) fs::create_directories(parent, ec);
+  }
+
+  // Temp-file + rename: a concurrent reader sees either the old entry, no
+  // entry, or the complete new entry — never a torn write. The pid suffix
+  // keeps concurrent writers off each other's temp files.
+  const std::string tmp = cache_path + ".tmp." + std::to_string(process_id());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw InputError("cannot create " + tmp);
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out.write(reinterpret_cast<const char*>(g.offsets().data()),
+              static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+    out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+              static_cast<std::streamsize>(g.adjacency().size() *
+                                           sizeof(vid_t)));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw InputError("cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, cache_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw InputError("cannot move cache entry into place at " + cache_path);
+  }
+}
+
+}  // namespace sbg::ingest

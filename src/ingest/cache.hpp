@@ -1,0 +1,85 @@
+// Versioned binary CSR cache (.sbgc): repeat loads of a text graph skip
+// parsing entirely.
+//
+// File layout (all fields little-endian; full spec in DESIGN.md
+// "On-disk formats"):
+//
+//   offset  size  field
+//   0       8     magic "SBGCACHE"
+//   8       4     format version (kCacheFormatVersion)
+//   12      4     endianness tag 0x01020304, written natively
+//   16      8     source file size in bytes
+//   24      8     source mtime (filesystem clock ticks)
+//   32      8     ingest-options hash
+//   40      8     n   (vertex count)
+//   48      8     arcs (directed arc count = 2x undirected edges)
+//   56      8     checksum (xxhash-style, seeded with every header field,
+//                 over the offsets+adjacency payload)
+//   64      (n+1)*8   CSR offsets
+//   …       arcs*4    CSR adjacency
+//
+// A cache entry is valid only when magic/version/endianness match, the
+// recorded source size+mtime+options equal the live source's, the file
+// length equals the layout's implied length, and the checksum verifies.
+// Anything else degrades to a text parse (never an error), with an obs
+// counter recording why.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace sbg::ingest {
+
+/// Bumped on any layout change; old entries then read as kStale and get
+/// rewritten.
+inline constexpr std::uint32_t kCacheFormatVersion = 1;
+
+/// Identity of the text source a cache entry was built from. A zeroed key
+/// (source_size == mtime == options_hash == 0) marks a standalone .sbgc
+/// written by save_graph, exempt from staleness checks.
+struct CacheKey {
+  std::uint64_t source_size = 0;
+  std::uint64_t source_mtime = 0;  ///< fs::last_write_time ticks
+  std::uint64_t options_hash = 0;
+};
+
+enum class CacheStatus {
+  kHit,      ///< loaded; *out holds the graph
+  kMissing,  ///< no cache file
+  kStale,    ///< wrong version/endianness, or source/options changed
+  kCorrupt,  ///< truncated, misshapen, or checksum mismatch
+};
+
+const char* to_string(CacheStatus s);
+
+/// xxhash-style 64-bit content hash (four independent 8-byte lanes per
+/// step, mix64 finalizer): fast, non-cryptographic, stable across runs and
+/// platforms of one endianness.
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t seed = 0);
+
+/// Where the cache entry for `source` lives: under $SBG_CACHE_DIR as
+/// <basename>.<key-hash>.sbgc when the env var is set, else the sibling
+/// file <source>.sbgc.
+std::string cache_path_for(const std::string& source,
+                           std::uint64_t options_hash);
+
+/// Stat `source` into a CacheKey (size + mtime). Throws InputError when the
+/// source does not exist.
+CacheKey make_cache_key(const std::string& source, std::uint64_t options_hash);
+
+/// Validate + load `cache_path`. With `expect` non-null the stored source
+/// size/mtime/options must match it; null skips staleness (direct .sbgc
+/// loads). On kHit moves the graph into *out; any other status leaves *out
+/// untouched and never throws.
+CacheStatus read_cache_file(const std::string& cache_path,
+                            const CacheKey* expect, CsrGraph* out);
+
+/// Write a cache entry atomically (temp file + rename), so concurrent
+/// readers never observe a partial entry. Throws InputError on IO failure.
+void write_cache_file(const std::string& cache_path, const CacheKey& key,
+                      const CsrGraph& g);
+
+}  // namespace sbg::ingest

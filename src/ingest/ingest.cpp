@@ -1,0 +1,220 @@
+#include "ingest/ingest.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "ingest/cache.hpp"
+#include "ingest/mmap_file.hpp"
+#include "ingest/text_parse.hpp"
+#include "obs/obs.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::ingest {
+
+namespace {
+
+std::string lower_ext(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos) return "";
+  std::string ext = path.substr(dot + 1);
+  for (char& c : ext) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return ext;
+}
+
+bool is_text_ext(const std::string& ext) {
+  return ext == "mtx" || ext == "el" || ext == "txt";
+}
+
+void count_cache_probe(CacheStatus status) {
+  switch (status) {
+    case CacheStatus::kHit:
+      SBG_COUNTER_ADD("ingest.cache.hit", 1);
+      break;
+    case CacheStatus::kMissing:
+      SBG_COUNTER_ADD("ingest.cache.miss", 1);
+      break;
+    case CacheStatus::kStale:
+      SBG_COUNTER_ADD("ingest.cache.stale", 1);
+      SBG_COUNTER_ADD("ingest.cache.invalid", 1);
+      break;
+    case CacheStatus::kCorrupt:
+      SBG_COUNTER_ADD("ingest.cache.corrupt", 1);
+      SBG_COUNTER_ADD("ingest.cache.invalid", 1);
+      break;
+  }
+}
+
+/// Parse the mapped text file into an EdgeList (format by extension).
+EdgeList parse_mapped(const MappedFile& file, const std::string& ext,
+                      const Options& opt) {
+  if (ext == "mtx") return parse_matrix_market(file.data(), file.size(), opt.threads);
+  return parse_edge_list(file.data(), file.size(), opt.threads);
+}
+
+CsrGraph parse_and_build(const std::string& path, const std::string& ext,
+                         const Options& opt, LoadReport* report) {
+  Timer t;
+  MappedFile file(path);
+  EdgeList el = parse_mapped(file, ext, opt);
+  const double parse_s = t.seconds();
+  const std::uint64_t bytes = file.size();
+  t.reset();
+  CsrGraph g = [&] {
+    SBG_SPAN("ingest.build");
+    return build_graph(std::move(el), opt.connect);
+  }();
+  SBG_GAUGE_SET("ingest.parse_seconds", parse_s);
+  SBG_GAUGE_SET("ingest.build_seconds", t.seconds());
+  if (report != nullptr) {
+    report->bytes_parsed = bytes;
+    report->parse_seconds = parse_s;
+    report->build_seconds = t.seconds();
+  }
+  return g;
+}
+
+void write_cache_entry(const std::string& cache_path, const CacheKey& key,
+                       const CsrGraph& g, LoadReport* report) {
+  Timer t;
+  {
+    SBG_SPAN("ingest.cache_write");
+    write_cache_file(cache_path, key, g);
+  }
+  SBG_COUNTER_ADD("ingest.cache.write", 1);
+  SBG_GAUGE_SET("ingest.cache_write_seconds", t.seconds());
+  if (report != nullptr) report->cache_write_seconds = t.seconds();
+}
+
+}  // namespace
+
+bool cache_enabled_default() {
+  const char* env = std::getenv("SBG_CACHE");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
+}
+
+std::uint64_t options_hash(const Options& opt) {
+  return mix64(0x5b67c5d1u ^ (opt.connect ? 1u : 0u));
+}
+
+CsrGraph parse_text_file(const std::string& path, const Options& opt,
+                         LoadReport* report) {
+  const std::string ext = lower_ext(path);
+  if (!is_text_ext(ext)) {
+    throw InputError("not a text graph format: " + path);
+  }
+  if (report != nullptr) report->format = ext;
+  return parse_and_build(path, ext, opt, report);
+}
+
+CsrGraph load(const std::string& path, const Options& opt,
+              LoadReport* report) {
+  SBG_SPAN("ingest.load");
+  const std::string ext = lower_ext(path);
+  if (report != nullptr) report->format = ext;
+
+  if (ext == "sbg") {
+    // Legacy eager binary: no cache semantics.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw InputError("cannot open " + path);
+    return read_binary(in);
+  }
+  if (ext == "sbgc") {
+    Timer t;
+    CsrGraph g;
+    CacheStatus status;
+    {
+      SBG_SPAN("ingest.cache_read");
+      status = read_cache_file(path, /*expect=*/nullptr, &g);
+    }
+    if (status != CacheStatus::kHit) {
+      throw InputError("cannot load cache file " + path + ": " +
+                       to_string(status));
+    }
+    SBG_GAUGE_SET("ingest.cache_read_seconds", t.seconds());
+    if (report != nullptr) {
+      report->cache_hit = true;
+      report->cache_path = path;
+      report->cache_read_seconds = t.seconds();
+    }
+    return g;
+  }
+  if (!is_text_ext(ext)) {
+    throw InputError("unknown graph extension ." + ext + " for " + path);
+  }
+
+  if (!opt.use_cache) return parse_and_build(path, ext, opt, report);
+
+  const std::uint64_t ohash = options_hash(opt);
+  const CacheKey key = make_cache_key(path, ohash);  // also: source exists?
+  const std::string cache_path = cache_path_for(path, ohash);
+  if (report != nullptr) report->cache_path = cache_path;
+
+  Timer t;
+  CsrGraph cached;
+  CacheStatus status;
+  {
+    SBG_SPAN("ingest.cache_read");
+    status = read_cache_file(cache_path, &key, &cached);
+  }
+  count_cache_probe(status);
+  if (status == CacheStatus::kHit) {
+    SBG_GAUGE_SET("ingest.cache_read_seconds", t.seconds());
+    if (report != nullptr) {
+      report->cache_hit = true;
+      report->cache_read_seconds = t.seconds();
+    }
+    return cached;
+  }
+
+  CsrGraph g = parse_and_build(path, ext, opt, report);
+  try {
+    write_cache_entry(cache_path, key, g, report);
+  } catch (const InputError&) {
+    // A read-only cache dir must not fail the load; next run reparses.
+    SBG_COUNTER_ADD("ingest.cache.write_failed", 1);
+  }
+  return g;
+}
+
+std::string warm_cache(const std::string& path, const Options& opt,
+                       LoadReport* report) {
+  const std::string ext = lower_ext(path);
+  if (!is_text_ext(ext)) {
+    throw InputError("cache warming needs a text graph (.mtx/.el/.txt), got " +
+                     path);
+  }
+  const std::uint64_t ohash = options_hash(opt);
+  const CacheKey key = make_cache_key(path, ohash);
+  const std::string cache_path = cache_path_for(path, ohash);
+  if (report != nullptr) {
+    report->format = ext;
+    report->cache_path = cache_path;
+  }
+
+  CsrGraph cached;
+  CacheStatus status;
+  {
+    SBG_SPAN("ingest.cache_read");
+    status = read_cache_file(cache_path, &key, &cached);
+  }
+  count_cache_probe(status);
+  if (status == CacheStatus::kHit) {
+    if (report != nullptr) report->cache_hit = true;
+    return cache_path;
+  }
+  const CsrGraph g = parse_and_build(path, ext, opt, report);
+  write_cache_entry(cache_path, key, g, report);
+  return cache_path;
+}
+
+}  // namespace sbg::ingest

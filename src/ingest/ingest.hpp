@@ -1,0 +1,83 @@
+// sbg::ingest — scalable graph ingestion: mmap-backed chunk-parallel text
+// parsing fronted by a versioned binary CSR cache.
+//
+// The paper keeps decomposition "light-weight" relative to the solve; at
+// Table II scale a getline-per-edge loader inverts that by dwarfing both.
+// This pipeline makes input cost near-linear per thread in its slice of
+// the file (text_parse.hpp) and amortizes it to a single binary read on
+// repeat loads (cache.hpp):
+//
+//   load(path)
+//     ├─ cache probe ($SBG_CACHE_DIR/<name>.<key>.sbgc or <path>.sbgc)
+//     │    hit   → binary CSR read, checksum-verified        [fast path]
+//     │    stale/corrupt/missing → fall through, counter bumped
+//     ├─ mmap + chunk-parallel parse → EdgeList shards → merge
+//     ├─ normalize (+ connect) + parallel CSR build (graph/builder.hpp)
+//     └─ cache write (atomic temp+rename; best-effort)
+//
+// Observability: counters ingest.bytes_parsed, ingest.cache.{hit,miss,
+// stale,corrupt,invalid,write}; spans ingest.load > ingest.{cache_read,
+// parse,merge,build,cache_write}; gauges ingest.{parse,build,cache_read,
+// cache_write}_seconds — all in the standard JSON run report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sbg::ingest {
+
+struct Options {
+  /// Probe/refresh the binary cache around text parses. Callers usually
+  /// leave this to cache_enabled_default().
+  bool use_cache = true;
+  /// Apply the paper's make-connected preprocessing to text formats (part
+  /// of the cache key: a cache built with one setting never serves the
+  /// other).
+  bool connect = true;
+  /// Parser worker count; 0 = current OpenMP thread count.
+  int threads = 0;
+};
+
+/// What one load did, for tools/benches that report ingestion cost.
+struct LoadReport {
+  bool cache_hit = false;
+  std::string cache_path;         ///< empty when the cache was not in play
+  std::string format;             ///< "mtx", "el", "sbg", or "sbgc"
+  std::uint64_t bytes_parsed = 0; ///< text bytes fed to the parser (0 on hit)
+  double parse_seconds = 0;       ///< mmap + chunk parse + shard merge
+  double build_seconds = 0;       ///< normalize/connect + CSR build
+  double cache_read_seconds = 0;
+  double cache_write_seconds = 0;
+};
+
+/// True unless SBG_CACHE is set to 0/off/false — the process-wide default
+/// for transparent caching in load().
+bool cache_enabled_default();
+
+/// Hash of the Options fields that change parse OUTPUT (connect; thread
+/// count deliberately excluded — results are thread-count invariant).
+std::uint64_t options_hash(const Options& opt);
+
+/// Load a graph by extension:
+///   .mtx / .el / .txt — chunk-parallel text parse through the cache;
+///   .sbgc             — a cache entry loaded directly (no staleness check);
+///   .sbg              — the legacy eager binary dump (graph/io.hpp).
+/// Throws InputError on unreadable/malformed input; cache problems are
+/// never errors, they degrade to the text path.
+CsrGraph load(const std::string& path, const Options& opt = {},
+              LoadReport* report = nullptr);
+
+/// The text pipeline alone: mmap + parallel parse + build, no cache probe
+/// or write. (Benches use this to time parsing against the cache path.)
+CsrGraph parse_text_file(const std::string& path, const Options& opt = {},
+                         LoadReport* report = nullptr);
+
+/// Ensure a fresh cache entry exists for text file `path` (parse + write if
+/// missing/stale/corrupt); returns the cache path.
+std::string warm_cache(const std::string& path, const Options& opt = {},
+                       LoadReport* report = nullptr);
+
+}  // namespace sbg::ingest

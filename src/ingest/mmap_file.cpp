@@ -1,0 +1,72 @@
+#include "ingest/mmap_file.hpp"
+
+#include <fstream>
+
+#include "common.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SBG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SBG_HAVE_MMAP 0
+#endif
+
+namespace sbg::ingest {
+
+namespace {
+
+void read_fallback(const std::string& path, std::vector<char>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InputError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (end > 0) {
+    out.resize(static_cast<std::size_t>(end));
+    in.read(out.data(), end);
+    if (!in) throw InputError("cannot read " + path);
+  }
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+#if SBG_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw InputError("cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+      data_ = static_cast<const char*>(p);
+      size_ = static_cast<std::size_t>(st.st_size);
+      mapped_ = true;
+      // Sequential scan ahead: the parser touches every page exactly once.
+      ::madvise(p, size_, MADV_SEQUENTIAL);
+    }
+  } else if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+    // Regular empty file: a valid zero-length view needs no mapping.
+    ::close(fd);
+    return;
+  }
+  ::close(fd);
+  if (mapped_) return;
+#endif
+  read_fallback(path_, fallback_);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+MappedFile::~MappedFile() {
+#if SBG_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace sbg::ingest

@@ -1,0 +1,43 @@
+// Read-only memory-mapped file access for the ingestion pipeline.
+//
+// Text parsing wants the whole file as one contiguous byte range so worker
+// threads can be handed disjoint [lo, hi) slices with zero copying. On
+// POSIX hosts we mmap(2) the file; where mmap is unavailable (or fails,
+// e.g. on pseudo-files that report no size) we fall back to slurping the
+// bytes into an owned buffer — callers see the same data()/size() view
+// either way.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sbg::ingest {
+
+/// An immutable byte view of one file, valid for the object's lifetime.
+class MappedFile {
+ public:
+  /// Maps (or reads) `path`. Throws InputError when the file cannot be
+  /// opened or read. Empty files map to a valid zero-length view.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// True when the view is backed by mmap (false: owned fallback buffer).
+  bool mapped() const { return mapped_; }
+
+ private:
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<char> fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace sbg::ingest

@@ -1,0 +1,376 @@
+#include "ingest/text_parse.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/obs.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace sbg::ingest {
+
+namespace {
+
+const char* skip_blanks(const char* p, const char* e) {
+  while (p < e && is_blank(*p)) ++p;
+  return p;
+}
+
+const char* token_end(const char* p, const char* e) {
+  while (p < e && !is_blank(*p)) ++p;
+  return p;
+}
+
+std::string quote(const char* b, const char* e) {
+  constexpr std::size_t kMax = 32;
+  const std::size_t n = static_cast<std::size_t>(e - b);
+  std::string out;
+  out.reserve(std::min(n, kMax) + 4);
+  out += '\'';
+  out.append(b, std::min(n, kMax));
+  if (n > kMax) out += "...";
+  out += '\'';
+  return out;
+}
+
+/// 1-based line number of the byte at `offset` (error paths only: O(offset)).
+std::size_t line_number_at(const char* data, std::size_t offset) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (data[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// First malformed line seen by one chunk, by byte offset; offsets order
+/// identically across thread counts, so the reported error is
+/// deterministic.
+struct ChunkError {
+  std::size_t offset = std::numeric_limits<std::size_t>::max();
+  std::string message;
+};
+
+/// Calls fn(line_begin, line_end) for every line OWNED by the byte range
+/// [lo, hi): the lines whose first byte lies inside it. A range starting
+/// mid-line skips forward past the next '\n' (that line's owner is the
+/// range holding its first byte); the final owned line is parsed to
+/// completion even when it extends past hi. fn returns false to stop (on
+/// error).
+template <typename Fn>
+void for_each_owned_line(const char* data, std::size_t size, std::size_t lo,
+                         std::size_t hi, Fn&& fn) {
+  std::size_t start = lo;
+  if (lo > 0 && data[lo - 1] != '\n') {
+    const void* nl = std::memchr(data + lo, '\n', size - lo);
+    if (nl == nullptr) return;  // the straddling line runs to EOF
+    start = static_cast<std::size_t>(static_cast<const char*>(nl) - data) + 1;
+  }
+  while (start < hi) {
+    const void* nl = std::memchr(data + start, '\n', size - start);
+    const std::size_t end =
+        nl == nullptr
+            ? size
+            : static_cast<std::size_t>(static_cast<const char*>(nl) - data);
+    if (!fn(start, end)) return;
+    start = end + 1;
+  }
+}
+
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : std::max(1, num_threads());
+}
+
+struct Shard {
+  std::vector<Edge> edges;
+  std::uint64_t max_id = 0;
+  bool any = false;
+  ChunkError err;
+};
+
+[[noreturn]] void throw_at(const char* data, std::size_t offset,
+                           const char* what, const std::string& detail) {
+  throw InputError(std::string(what) + " (line " +
+                   std::to_string(line_number_at(data, offset)) + "): " +
+                   detail);
+}
+
+/// Concatenate shards in range order. Order does not matter for the final
+/// CSR (the builder sorts), but keeping file order keeps the merge
+/// deterministic and trivially correct.
+EdgeList merge_shards(std::vector<Shard>& shards) {
+  SBG_SPAN("ingest.merge");
+  std::size_t total = 0;
+  for (const Shard& s : shards) total += s.edges.size();
+  EdgeList el;
+  el.edges.reserve(total);
+  std::uint64_t max_id = 0;
+  bool any = false;
+  for (Shard& s : shards) {
+    el.edges.insert(el.edges.end(), s.edges.begin(), s.edges.end());
+    max_id = std::max(max_id, s.max_id);
+    any = any || s.any;
+    s.edges.clear();
+    s.edges.shrink_to_fit();
+  }
+  el.num_vertices = any ? static_cast<vid_t>(max_id) + 1 : 0;
+  return el;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_uint_token(const char* b, const char* e) {
+  if (b == e) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(b, e, value);
+  if (ec != std::errc() || ptr != e) return std::nullopt;
+  return value;
+}
+
+LineKind parse_edge_line(const char* b, const char* e, std::uint64_t* u,
+                         std::uint64_t* v, std::string* error) {
+  const char* p1 = skip_blanks(b, e);
+  if (p1 == e) return LineKind::kBlank;
+  if (*p1 == '#' || *p1 == '%') return LineKind::kComment;
+  const char* t1 = token_end(p1, e);
+  const char* p2 = skip_blanks(t1, e);
+  const char* t2 = token_end(p2, e);
+  const char* p3 = skip_blanks(t2, e);
+  const char* t3 = token_end(p3, e);  // optional weight, ignored
+  const char* p4 = skip_blanks(t3, e);
+  if (p2 == e) {
+    *error = "expected 'u v' or 'u v w', got 1 field";
+    return LineKind::kError;
+  }
+  if (p4 != e) {
+    *error = "expected 'u v' or 'u v w', got 4 or more fields";
+    return LineKind::kError;
+  }
+  const auto ui = parse_uint_token(p1, t1);
+  if (!ui) {
+    *error = "bad vertex id " + quote(p1, t1);
+    return LineKind::kError;
+  }
+  const auto vi = parse_uint_token(p2, t2);
+  if (!vi) {
+    *error = "bad vertex id " + quote(p2, t2);
+    return LineKind::kError;
+  }
+  if (*ui >= kNoVertex || *vi >= kNoVertex) {
+    *error = "vertex id too large for vid_t";
+    return LineKind::kError;
+  }
+  *u = *ui;
+  *v = *vi;
+  return LineKind::kData;
+}
+
+LineKind parse_mm_entry_line(const char* b, const char* e, std::uint64_t* r,
+                             std::uint64_t* c, std::string* error) {
+  const char* p1 = skip_blanks(b, e);
+  if (p1 == e) return LineKind::kBlank;
+  if (*p1 == '%') return LineKind::kComment;
+  const char* t1 = token_end(p1, e);
+  const char* p2 = skip_blanks(t1, e);
+  const char* t2 = token_end(p2, e);
+  if (p2 == e) {
+    *error = "expected 'row col [values…]', got 1 field";
+    return LineKind::kError;
+  }
+  // Anything after the two indices is value data (pattern/real/complex) and
+  // is ignored, matching the sequential reader.
+  const auto ri = parse_uint_token(p1, t1);
+  if (!ri) {
+    *error = "bad index " + quote(p1, t1);
+    return LineKind::kError;
+  }
+  const auto ci = parse_uint_token(p2, t2);
+  if (!ci) {
+    *error = "bad index " + quote(p2, t2);
+    return LineKind::kError;
+  }
+  *r = *ri;
+  *c = *ci;
+  return LineKind::kData;
+}
+
+MmHeader parse_mm_header(const char* data, std::size_t size) {
+  if (size == 0) throw InputError("empty MatrixMarket input (line 1)");
+  const void* nl0 = std::memchr(data, '\n', size);
+  const std::size_t banner_end =
+      nl0 == nullptr
+          ? size
+          : static_cast<std::size_t>(static_cast<const char*>(nl0) - data);
+  std::string banner(data, banner_end);
+  if (banner.rfind("%%MatrixMarket", 0) != 0) {
+    throw InputError("missing %%MatrixMarket banner (line 1)");
+  }
+  for (char& ch : banner) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (banner.find("coordinate") == std::string::npos) {
+    throw InputError("only coordinate MatrixMarket supported (line 1)");
+  }
+
+  MmHeader h;
+  std::size_t start = banner_end == size ? size : banner_end + 1;
+  std::size_t lineno = 1;
+  while (start < size) {
+    ++lineno;
+    const void* nl = std::memchr(data + start, '\n', size - start);
+    const std::size_t end =
+        nl == nullptr
+            ? size
+            : static_cast<std::size_t>(static_cast<const char*>(nl) - data);
+    const char* p1 = skip_blanks(data + start, data + end);
+    if (p1 != data + end && *p1 != '%') {
+      // Size line: rows cols nnz (anything after the third field ignored).
+      const char* t1 = token_end(p1, data + end);
+      const char* p2 = skip_blanks(t1, data + end);
+      const char* t2 = token_end(p2, data + end);
+      const char* p3 = skip_blanks(t2, data + end);
+      const char* t3 = token_end(p3, data + end);
+      const auto rows = parse_uint_token(p1, t1);
+      const auto cols = parse_uint_token(p2, t2);
+      const auto nnz = parse_uint_token(p3, t3);
+      if (!rows || !cols || !nnz) {
+        throw InputError("malformed MatrixMarket size line (line " +
+                         std::to_string(lineno) + ")");
+      }
+      if (std::max(*rows, *cols) > kNoVertex) {
+        throw InputError("MatrixMarket dimensions too large for vid_t (line " +
+                         std::to_string(lineno) + ")");
+      }
+      h.rows = *rows;
+      h.cols = *cols;
+      h.nnz = *nnz;
+      h.body_offset = end == size ? size : end + 1;
+      h.body_line = lineno + 1;
+      return h;
+    }
+    start = end == size ? size : end + 1;
+  }
+  throw InputError("missing MatrixMarket size line (line " +
+                   std::to_string(lineno + 1) + ")");
+}
+
+EdgeList parse_edge_list(const char* data, std::size_t size, int threads) {
+  const int T = resolve_threads(threads);
+  std::vector<Shard> shards(static_cast<std::size_t>(T));
+  {
+    SBG_SPAN("ingest.parse");
+#pragma omp parallel for num_threads(T) schedule(static, 1)
+    for (int t = 0; t < T; ++t) {
+      Shard& sh = shards[static_cast<std::size_t>(t)];
+      const std::size_t lo = size * static_cast<std::size_t>(t) /
+                             static_cast<std::size_t>(T);
+      const std::size_t hi = size * (static_cast<std::size_t>(t) + 1) /
+                             static_cast<std::size_t>(T);
+      sh.edges.reserve((hi - lo) / 12 + 4);
+      for_each_owned_line(
+          data, size, lo, hi, [&](std::size_t b, std::size_t e) {
+            std::uint64_t u = 0, v = 0;
+            std::string err;
+            switch (parse_edge_line(data + b, data + e, &u, &v, &err)) {
+              case LineKind::kData:
+                sh.edges.push_back(
+                    {static_cast<vid_t>(u), static_cast<vid_t>(v)});
+                sh.max_id = std::max({sh.max_id, u, v});
+                sh.any = true;
+                return true;
+              case LineKind::kError:
+                sh.err.offset = b;
+                sh.err.message = std::move(err);
+                return false;
+              default:
+                return true;
+            }
+          });
+    }
+  }
+  const Shard* bad = nullptr;
+  for (const Shard& sh : shards) {
+    if (sh.err.offset != std::numeric_limits<std::size_t>::max() &&
+        (bad == nullptr || sh.err.offset < bad->err.offset)) {
+      bad = &sh;
+    }
+  }
+  if (bad != nullptr) {
+    throw_at(data, bad->err.offset, "malformed edge list", bad->err.message);
+  }
+  SBG_COUNTER_ADD("ingest.bytes_parsed", size);
+  return merge_shards(shards);
+}
+
+EdgeList parse_matrix_market(const char* data, std::size_t size, int threads) {
+  const MmHeader h = parse_mm_header(data, size);
+  const int T = resolve_threads(threads);
+  std::vector<Shard> shards(static_cast<std::size_t>(T));
+  const std::size_t body = size - h.body_offset;
+  {
+    SBG_SPAN("ingest.parse");
+#pragma omp parallel for num_threads(T) schedule(static, 1)
+    for (int t = 0; t < T; ++t) {
+      Shard& sh = shards[static_cast<std::size_t>(t)];
+      const std::size_t lo = h.body_offset + body * static_cast<std::size_t>(t) /
+                                                 static_cast<std::size_t>(T);
+      const std::size_t hi =
+          h.body_offset +
+          body * (static_cast<std::size_t>(t) + 1) / static_cast<std::size_t>(T);
+      sh.edges.reserve((hi - lo) / 12 + 4);
+      for_each_owned_line(
+          data, size, lo, hi, [&](std::size_t b, std::size_t e) {
+            std::uint64_t r = 0, c = 0;
+            std::string err;
+            switch (parse_mm_entry_line(data + b, data + e, &r, &c, &err)) {
+              case LineKind::kData:
+                if (r == 0 || c == 0 || r > h.rows || c > h.cols) {
+                  sh.err.offset = b;
+                  sh.err.message = "index out of range";
+                  return false;
+                }
+                sh.edges.push_back({static_cast<vid_t>(r - 1),
+                                    static_cast<vid_t>(c - 1)});
+                sh.any = true;
+                return true;
+              case LineKind::kError:
+                sh.err.offset = b;
+                sh.err.message = std::move(err);
+                return false;
+              default:
+                return true;
+            }
+          });
+    }
+  }
+  const Shard* bad = nullptr;
+  std::size_t entries = 0;
+  for (const Shard& sh : shards) {
+    entries += sh.edges.size();
+    if (sh.err.offset != std::numeric_limits<std::size_t>::max() &&
+        (bad == nullptr || sh.err.offset < bad->err.offset)) {
+      bad = &sh;
+    }
+  }
+  if (bad != nullptr) {
+    throw_at(data, bad->err.offset, "malformed MatrixMarket entry",
+             bad->err.message);
+  }
+  if (entries != h.nnz) {
+    throw InputError(
+        (entries < h.nnz ? std::string("truncated MatrixMarket entries")
+                         : std::string("more MatrixMarket entries than the "
+                                       "header nnz")) +
+        " (line " + std::to_string(line_number_at(data, size)) + "): got " +
+        std::to_string(entries) + " of " + std::to_string(h.nnz));
+  }
+  SBG_COUNTER_ADD("ingest.bytes_parsed", size);
+  EdgeList el = merge_shards(shards);
+  el.num_vertices = static_cast<vid_t>(std::max(h.rows, h.cols));
+  return el;
+}
+
+}  // namespace sbg::ingest

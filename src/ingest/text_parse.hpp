@@ -1,0 +1,96 @@
+// Chunk-parallel text parsing for graph input files.
+//
+// The legacy readers in graph/io.hpp walk a std::istream one
+// getline/istringstream at a time on a single thread; at Table II scale
+// (hundreds of millions of edges) that load dwarfs the decomposition+solve
+// the paper measures. This module parses the same dialects from a mapped
+// byte range with per-thread chunks instead:
+//
+//   * the file is split into T byte ranges [lo, hi) of near-equal size;
+//   * a line is owned by the thread whose range contains its FIRST byte —
+//     a thread whose range starts mid-line skips forward past the next
+//     '\n', and a thread parses its last line to completion even when it
+//     extends past hi (see DESIGN.md "On-disk formats");
+//   * each thread parses its lines into a local edge shard; shards are
+//     concatenated in range order and handed to the existing parallel
+//     sort/unique CSR build (graph/builder.hpp).
+//
+// The result is equivalent to the sequential readers for every thread
+// count (enforced by tests/test_ingest.cpp and the sbg_fuzz "ingest"
+// family): the same edge multiset in a possibly different order, which the
+// normalizing builder maps to a byte-identical CSR.
+//
+// Line dialect (shared with graph/io.cpp via the helpers below):
+//   * a line is the byte range up to the next '\n'; '\r' is field
+//     whitespace, so CRLF files and files without a trailing newline parse
+//     identically;
+//   * blank lines are skipped; edge lists treat '#'- and '%'-initial lines
+//     as comments, MatrixMarket bodies '%'-initial lines only;
+//   * an edge-list data line is `u v` or `u v w` (w — a weight or
+//     timestamp — is ignored); four or more fields are an error;
+//   * a MatrixMarket entry is `r c` optionally followed by value fields
+//     (real/complex), which are ignored.
+// All errors carry the 1-based line number of the offending line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace sbg::ingest {
+
+/// Field whitespace inside one line: everything std::istream's classic
+/// locale skips except '\n' (which delimits lines). Including '\r' here is
+/// what makes CRLF input transparent.
+inline bool is_blank(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Strict nonnegative integer parse of one token ([b, e) with no blanks):
+/// digits only, no sign, no trailing junk. nullopt on any violation or
+/// overflow.
+std::optional<std::uint64_t> parse_uint_token(const char* b, const char* e);
+
+/// How one text line was classified by the line parsers below.
+enum class LineKind { kBlank, kComment, kData, kError };
+
+/// Parse one edge-list line (bytes [b, e), no '\n' inside). On kData fills
+/// *u and *v (validated against vid_t range); on kError fills *error with a
+/// message WITHOUT a line number (callers know the line and append it).
+LineKind parse_edge_line(const char* b, const char* e, std::uint64_t* u,
+                         std::uint64_t* v, std::string* error);
+
+/// Parse one MatrixMarket body line. On kData fills the 1-based *r, *c
+/// (range checks against the header happen in the caller).
+LineKind parse_mm_entry_line(const char* b, const char* e, std::uint64_t* r,
+                             std::uint64_t* c, std::string* error);
+
+/// MatrixMarket banner + size line, parsed sequentially before the entry
+/// region is chunked.
+struct MmHeader {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  std::size_t body_offset = 0;  ///< byte offset of the first entry line
+  std::size_t body_line = 0;    ///< 1-based line number at body_offset
+};
+
+/// Parse the header of a MatrixMarket buffer. Throws InputError (with line
+/// numbers) on a missing banner, non-coordinate layout, or malformed size
+/// line.
+MmHeader parse_mm_header(const char* data, std::size_t size);
+
+/// Chunk-parallel edge-list parse of a whole buffer with `threads` workers
+/// (0 = current OpenMP thread count). Throws InputError carrying the
+/// 1-based line number of the earliest malformed line.
+EdgeList parse_edge_list(const char* data, std::size_t size, int threads = 0);
+
+/// Chunk-parallel MatrixMarket coordinate parse. Entry count must match
+/// the header's nnz exactly.
+EdgeList parse_matrix_market(const char* data, std::size_t size,
+                             int threads = 0);
+
+}  // namespace sbg::ingest

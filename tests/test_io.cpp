@@ -76,6 +76,49 @@ TEST(EdgeListIo, SkipsCommentsAndRejectsJunk) {
   EXPECT_THROW(read_edge_list(bad), InputError);
 }
 
+TEST(EdgeListIo, AcceptsWeightedLinesAndPercentComments) {
+  // SNAP/DIMACS-style inputs: `u v w` rows (weight ignored) and both
+  // `#` and `%` comment leaders.
+  std::istringstream in(
+      "% percent header\n"
+      "# hash header\n"
+      "0 1 3\n"
+      "1 2\n"
+      "2 3 0.75\n");
+  EdgeList el = read_edge_list(in);
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(el.edges[2], (Edge{2, 3}));
+
+  // Four or more fields is malformed, not a wider weight.
+  std::istringstream wide("0 1 2 3\n");
+  EXPECT_THROW(read_edge_list(wide), InputError);
+}
+
+TEST(EdgeListIo, ErrorsCarryOneBasedLineNumbers) {
+  std::istringstream bad("0 1\n# c\n\n2 zzz\n");
+  try {
+    read_edge_list(bad);
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+
+  std::istringstream mm(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "oops\n");
+  try {
+    read_matrix_market(mm);
+    FAIL() << "expected InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(BinaryIo, RoundTripsExactly) {
   const CsrGraph g = test::random_graph(300, 800, 3);
   std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
