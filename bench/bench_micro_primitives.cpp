@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "graph/subgraph.hpp"
 #include "parallel/bitset.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rng.hpp"
 
@@ -77,6 +78,50 @@ void BM_FilterEdges(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_FilterEdges);
+
+void BM_SplitEdges(benchmark::State& state) {
+  // The fused k-way kernel vs k filter_edges sweeps (BM_FilterEdges above
+  // gives the per-sweep baseline): cost should stay ~flat in k.
+  const auto k = static_cast<unsigned>(state.range(0));
+  const CsrGraph g = build_graph(gen_erdos_renyi(1 << 14, 1 << 17, 11), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(split_edges(
+        g, [&](vid_t u, vid_t v) { return (u ^ v) % k; }, k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.num_arcs()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SplitEdges)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SplitVsRepeatedFilter(benchmark::State& state) {
+  // The code path split_edges replaced: one full filter sweep per class.
+  const auto k = static_cast<unsigned>(state.range(0));
+  const CsrGraph g = build_graph(gen_erdos_renyi(1 << 14, 1 << 17, 11), false);
+  for (auto _ : state) {
+    std::vector<CsrGraph> parts;
+    for (unsigned c = 0; c < k; ++c) {
+      parts.push_back(filter_edges(
+          g, [&](vid_t u, vid_t v) { return (u ^ v) % k == c; }));
+    }
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.num_arcs()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SplitVsRepeatedFilter)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PackIndex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> keep(n);
+  for (std::size_t i = 0; i < n; ++i) keep[i] = (mix64(i) & 3) != 0;
+  std::vector<vid_t> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_index(
+        n, [&](std::size_t i) { return keep[i] != 0; }, std::span(out)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PackIndex)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_RandomStream(benchmark::State& state) {
   const RandomStream rs(42, 1);

@@ -92,11 +92,10 @@ ColorResult color_bridge(const CsrGraph& g, ColorEngine engine,
     // Stitch: uncolor the conflicted bridge endpoints, recolor against G.
     SBG_SPAN("stitch");
     ScopedPhase phase(phases, "stitch");
-    CsrGraph g_bridges = filter_edges(g, [&](vid_t a, vid_t b) {
-      return d.is_bridge_vertex[a] && d.is_bridge_vertex[b] &&
-             !d.g_components.has_edge(a, b);
-    });
-    r.conflicted_vertices = uncolor_stitch_conflicts(g_bridges, r.color);
+    // d.g_bridges is exactly the complement of g_components — the set this
+    // used to re-filter from G (both-endpoints-bridge-vertex and not in a
+    // component) — already materialized by the decomposition's split.
+    r.conflicted_vertices = uncolor_stitch_conflicts(d.g_bridges, r.color);
     r.rounds += extend(engine, g, r.color, s);
   }
   SBG_COUNTER_ADD("color.stitch_conflicts", r.conflicted_vertices);

@@ -9,8 +9,10 @@
 
 #include "coloring/coloring.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/timer.hpp"
 
 namespace sbg {
@@ -41,24 +43,24 @@ ColorResult color_jp(const CsrGraph& g, JpOrder order, std::uint64_t seed) {
   r.color.assign(n, kNoColor);
   const std::uint64_t base = mix64(seed ^ 0x39a55a93ull);
 
-  std::vector<vid_t> worklist;
-  worklist.reserve(n);
-  for (vid_t v = 0; v < n; ++v) {
-    if (g.degree(v) == 0) {
-      r.color[v] = 0;
-    } else {
-      worklist.push_back(v);
-    }
-  }
+  Scratch& scratch = Scratch::local();
+  Scratch::Region region(scratch);
+  std::span<vid_t> worklist = scratch.take<vid_t>(n);
+  std::span<vid_t> next = scratch.take<vid_t>(n);
+  parallel_for(n, [&](std::size_t i) {
+    if (g.degree(static_cast<vid_t>(i)) == 0) r.color[i] = 0;
+  });
+  std::size_t work_count = pack_index(
+      n, [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)) > 0; },
+      worklist);
 
-  std::vector<vid_t> next;
-  while (!worklist.empty()) {
+  while (work_count > 0) {
     ++r.rounds;
 #pragma omp parallel
     {
       std::vector<std::uint32_t> forbidden;
 #pragma omp for schedule(dynamic, 128)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(worklist.size());
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(work_count);
            ++i) {
         const vid_t v = worklist[static_cast<std::size_t>(i)];
         const std::uint64_t pv = jp_priority(g, order, base, v);
@@ -87,12 +89,12 @@ ColorResult color_jp(const CsrGraph& g, JpOrder order, std::uint64_t seed) {
         atomic_write(&r.color[v], c);
       }
     }
-    next.clear();
-    for (const vid_t v : worklist) {
-      if (r.color[v] == kNoColor) next.push_back(v);
-    }
-    SBG_CHECK(next.size() < worklist.size(), "JP made no progress");
-    worklist.swap(next);
+    const std::size_t next_count =
+        pack(worklist.first(work_count),
+             [&](vid_t v) { return r.color[v] == kNoColor; }, next);
+    SBG_CHECK(next_count < work_count, "JP made no progress");
+    std::swap(worklist, next);
+    work_count = next_count;
   }
   r.num_colors = count_colors(r.color);
   r.solve_seconds = r.total_seconds = timer.seconds();

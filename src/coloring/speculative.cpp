@@ -11,7 +11,9 @@
 
 #include "coloring/coloring.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/timer.hpp"
 
 namespace sbg {
@@ -22,18 +24,20 @@ ColorResult color_speculative(const CsrGraph& g) {
   const vid_t n = g.num_vertices();
   r.color.assign(n, kNoColor);
 
-  std::vector<vid_t> worklist;
-  worklist.reserve(n);
-  for (vid_t v = 0; v < n; ++v) worklist.push_back(v);
+  Scratch& scratch = Scratch::local();
+  Scratch::Region region(scratch);
+  std::span<vid_t> worklist = scratch.take<vid_t>(n);
+  std::span<vid_t> next = scratch.take<vid_t>(n);
+  parallel_for(n, [&](std::size_t i) { worklist[i] = static_cast<vid_t>(i); });
+  std::size_t work_count = n;
 
-  std::vector<vid_t> next;
-  while (!worklist.empty()) {
+  while (work_count > 0) {
     ++r.rounds;
 #pragma omp parallel
     {
       std::vector<std::uint32_t> nbr_colors;
 #pragma omp for schedule(dynamic, 128)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(worklist.size());
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(work_count);
            ++i) {
         const vid_t v = worklist[static_cast<std::size_t>(i)];
         nbr_colors.clear();
@@ -55,7 +59,7 @@ ColorResult color_speculative(const CsrGraph& g) {
     }
     // Conflict detection: higher id yields (keeps the lowest-id speculator
     // stable, guaranteeing progress).
-    parallel_for_dynamic(worklist.size(), [&](std::size_t i) {
+    parallel_for_dynamic(work_count, [&](std::size_t i) {
       const vid_t v = worklist[i];
       const std::uint32_t c = r.color[v];
       for (const vid_t w : g.neighbors(v)) {
@@ -65,11 +69,11 @@ ColorResult color_speculative(const CsrGraph& g) {
         }
       }
     });
-    next.clear();
-    for (const vid_t v : worklist) {
-      if (r.color[v] == kNoColor) next.push_back(v);
-    }
-    worklist.swap(next);
+    const std::size_t next_count =
+        pack(worklist.first(work_count),
+             [&](vid_t v) { return r.color[v] == kNoColor; }, next);
+    std::swap(worklist, next);
+    work_count = next_count;
   }
   r.num_colors = count_colors(r.color);
   r.solve_seconds = r.total_seconds = timer.seconds();

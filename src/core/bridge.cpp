@@ -8,6 +8,7 @@
 #include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/bitset.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
 
@@ -126,25 +127,18 @@ ConcurrentBitset mark_non_tree_paths(const CsrGraph& g,
 std::vector<std::pair<vid_t, vid_t>> collect_bridges(
     const CsrGraph& g, const std::vector<vid_t>& parent,
     const ConcurrentBitset& covered) {
-  std::vector<std::vector<std::pair<vid_t, vid_t>>> local;
-  const vid_t n = g.num_vertices();
-#pragma omp parallel
-  {
-#pragma omp single
-    local.assign(static_cast<std::size_t>(omp_get_num_threads()), {});
-    auto& mine = local[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(static)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-      const vid_t v = static_cast<vid_t>(i);
-      if (parent[v] != kNoVertex && !covered.test(v)) {
-        mine.emplace_back(v, parent[v]);
-      }
-    }
-  }
-  std::vector<std::pair<vid_t, vid_t>> bridges;
-  for (auto& chunk : local) {
-    bridges.insert(bridges.end(), chunk.begin(), chunk.end());
-  }
+  // A vertex v identifies bridge (v, parent[v]) iff its parent edge exists
+  // and was never covered by a non-tree walk. Stable compaction keeps the
+  // list in ascending-child order deterministically at every thread count.
+  const std::vector<vid_t> children = pack_index(
+      g.num_vertices(),
+      [&](std::size_t v) {
+        return parent[v] != kNoVertex && !covered.test(static_cast<vid_t>(v));
+      });
+  std::vector<std::pair<vid_t, vid_t>> bridges(children.size());
+  parallel_for(children.size(), [&](std::size_t i) {
+    bridges[i] = {children[i], parent[children[i]]};
+  });
   return bridges;
 }
 
@@ -175,13 +169,19 @@ BridgeDecomposition decompose_bridge(const CsrGraph& g, BridgeAlgo algo) {
     d.is_bridge_vertex[d.bridges[i].second] = 1;
   });
 
-  // Remove bridges: a tree edge (v, parent[v]) is dropped iff v's parent
-  // edge is an uncovered tree edge.
-  d.g_components = filter_edges(g, [&](vid_t a, vid_t b) {
-    const bool bridge = (parent[a] == b && !covered.test(a)) ||
-                        (parent[b] == a && !covered.test(b));
-    return !bridge;
-  });
+  // One fused pass classifies every arc as component (kept in G - B) or
+  // bridge: a tree edge (v, parent[v]) is a bridge iff v's parent edge was
+  // never covered. Both pieces materialize from the single classification.
+  std::vector<CsrGraph> parts = split_edges(
+      g,
+      [&](vid_t a, vid_t b) {
+        const bool bridge = (parent[a] == b && !covered.test(a)) ||
+                            (parent[b] == a && !covered.test(b));
+        return bridge ? 1u : 0u;
+      },
+      /*k=*/2);
+  d.g_components = std::move(parts[0]);
+  d.g_bridges = std::move(parts[1]);
   d.components = connected_components(d.g_components);
   d.decompose_seconds = timer.seconds();
   SBG_HIST_RECORD("bridge.bridges", d.bridges.size());

@@ -36,6 +36,11 @@ struct BridgeDecomposition {
   /// G - B: the input graph with bridge edges removed. Its connected
   /// components are the 2-edge-connected components G_1, G_2, ... of G.
   CsrGraph g_components;
+  /// B as a sub-CSR in the original vertex space (the complement piece of
+  /// the same one-pass split that builds g_components). MM-Bridge's phase-2
+  /// matching runs directly on this instead of rebuilding it from the edge
+  /// list.
+  CsrGraph g_bridges;
   /// Component labels of g_components (isolated vertices included).
   Components components;
   /// Wall-clock seconds spent decomposing (Figure 2 measurements).

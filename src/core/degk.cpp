@@ -22,21 +22,48 @@ DegkDecomposition decompose_degk(const CsrGraph& g, vid_t k, unsigned pieces) {
       parallel_count(n, [&](std::size_t v) { return d.is_high[v] != 0; }));
 
   const auto& high = d.is_high;
-  if (pieces & kDegkHigh) {
-    d.g_high =
-        filter_edges(g, [&](vid_t u, vid_t v) { return high[u] && high[v]; });
-  }
-  if (pieces & kDegkLow) {
-    d.g_low =
-        filter_edges(g, [&](vid_t u, vid_t v) { return !high[u] && !high[v]; });
-  }
-  if (pieces & kDegkCross) {
-    d.g_cross =
-        filter_edges(g, [&](vid_t u, vid_t v) { return high[u] != high[v]; });
-  }
-  if (pieces & kDegkLowCross) {
-    d.g_low_cross = filter_edges(
-        g, [&](vid_t u, vid_t v) { return !(high[u] && high[v]); });
+  if (pieces != 0) {
+    // Every requested piece is a union of the three fundamental arc classes
+    // {high-high, low-low, cross}. Map each fundamental class to a dense
+    // split slot (or drop it), run ONE fused k-way split, then assemble the
+    // requested pieces from the slots. The common default — G_H plus
+    // G_L ∪ G_C — fuses low-low and cross into a single slot, so the whole
+    // decomposition is one 2-way split instead of two full filter sweeps.
+    const bool fuse =
+        (pieces & kDegkLowCross) && !(pieces & (kDegkLow | kDegkCross));
+    constexpr std::uint8_t kDropSlot = 0xff;  // >= k, split drops the arc
+    std::uint8_t slot_hh = kDropSlot, slot_ll = kDropSlot,
+                 slot_cross = kDropSlot;
+    unsigned k = 0;
+    if (pieces & kDegkHigh) slot_hh = static_cast<std::uint8_t>(k++);
+    if (fuse) {
+      slot_ll = slot_cross = static_cast<std::uint8_t>(k++);
+    } else {
+      if (pieces & (kDegkLow | kDegkLowCross)) {
+        slot_ll = static_cast<std::uint8_t>(k++);
+      }
+      if (pieces & (kDegkCross | kDegkLowCross)) {
+        slot_cross = static_cast<std::uint8_t>(k++);
+      }
+    }
+    std::vector<CsrGraph> parts = split_edges(
+        g,
+        [&](vid_t u, vid_t v) -> unsigned {
+          if (high[u] && high[v]) return slot_hh;
+          if (!high[u] && !high[v]) return slot_ll;
+          return slot_cross;
+        },
+        k);
+    if (pieces & kDegkHigh) d.g_high = std::move(parts[slot_hh]);
+    if (pieces & kDegkLowCross) {
+      // Fused: the slot already holds the union. Otherwise merge the two
+      // edge-disjoint slots (byte-identical to filtering the union).
+      d.g_low_cross = fuse ? std::move(parts[slot_ll])
+                           : merge_edge_disjoint(parts[slot_ll],
+                                                 parts[slot_cross]);
+    }
+    if (pieces & kDegkLow) d.g_low = std::move(parts[slot_ll]);
+    if (pieces & kDegkCross) d.g_cross = std::move(parts[slot_cross]);
   }
   d.decompose_seconds = timer.seconds();
   return d;

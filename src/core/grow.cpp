@@ -66,10 +66,11 @@ GrowDecomposition decompose_grow(const CsrGraph& g, vid_t k,
     }
   });
 
-  d.g_intra =
-      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v]; });
-  d.g_cross =
-      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
+  std::vector<CsrGraph> parts = split_edges(
+      g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v] ? 0u : 1u; },
+      /*k=*/2);
+  d.g_intra = std::move(parts[0]);
+  d.g_cross = std::move(parts[1]);
   d.cut_edges = d.g_cross.num_edges();
   d.decompose_seconds = timer.seconds();
   return d;

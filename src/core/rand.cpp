@@ -26,10 +26,12 @@ RandDecomposition decompose_rand(const CsrGraph& g, vid_t k,
     d.part[v] = static_cast<vid_t>(rs.below(v, k));
   });
 
-  d.g_intra =
-      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v]; });
-  d.g_cross =
-      filter_edges(g, [&](vid_t u, vid_t v) { return d.part[u] != d.part[v]; });
+  // One fused pass classifies each arc once and materializes both pieces.
+  std::vector<CsrGraph> parts = split_edges(
+      g, [&](vid_t u, vid_t v) { return d.part[u] == d.part[v] ? 0u : 1u; },
+      /*k=*/2);
+  d.g_intra = std::move(parts[0]);
+  d.g_cross = std::move(parts[1]);
   d.decompose_seconds = timer.seconds();
   SBG_HIST_RECORD("rand.cross_edges", d.g_cross.num_edges());
   SBG_GAUGE_SET("rand.k", d.k);

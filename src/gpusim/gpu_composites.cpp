@@ -93,13 +93,7 @@ MatchResult mm_bridge_gpu(const CsrGraph& g, std::uint64_t seed,
   const double solve_start = device.simulated_seconds();
 
   r.rounds += lmax_extend_gpu(device, d.g_components, r.mate, seed);
-  EdgeList bridge_edges;
-  bridge_edges.num_vertices = g.num_vertices();
-  for (const auto& [child, parent] : d.bridges) {
-    bridge_edges.add(child, parent);
-  }
-  const CsrGraph g_b = build_graph(std::move(bridge_edges), /*connect=*/false);
-  r.rounds += lmax_extend_gpu(device, g_b, r.mate, seed + 1);
+  r.rounds += lmax_extend_gpu(device, d.g_bridges, r.mate, seed + 1);
 
   r.cardinality = matching_cardinality(r.mate);
   r.solve_seconds = device.simulated_seconds() - solve_start;
@@ -175,12 +169,8 @@ ColorResult color_bridge_gpu(const CsrGraph& g, BridgeAlgo bridge_algo,
   const double solve_start = device.simulated_seconds();
 
   r.rounds += eb_extend_gpu(device, d.g_components, r.color);
-  CsrGraph g_bridges = filter_edges(g, [&](vid_t a, vid_t b) {
-    return d.is_bridge_vertex[a] && d.is_bridge_vertex[b] &&
-           !d.g_components.has_edge(a, b);
-  });
   r.conflicted_vertices =
-      uncolor_stitch_conflicts_gpu(device, g_bridges, r.color);
+      uncolor_stitch_conflicts_gpu(device, d.g_bridges, r.color);
   r.rounds += eb_extend_gpu(device, g, r.color);
 
   r.num_colors = count_colors(r.color);

@@ -21,7 +21,7 @@ namespace sbg::gpu {
 template <typename KeepFn>
 CsrGraph filter_edges_gpu(Device& dev, const CsrGraph& g, KeepFn&& keep) {
   const vid_t n = g.num_vertices();
-  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  EidBuffer offsets(static_cast<std::size_t>(n) + 1, 0);
   dev.launch(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
     eid_t cnt = 0;
@@ -34,7 +34,7 @@ CsrGraph filter_edges_gpu(Device& dev, const CsrGraph& g, KeepFn&& keep) {
   dev.launch(1, [&](std::size_t) {
     for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
   });
-  std::vector<vid_t> adj(offsets.back());
+  VidBuffer adj(offsets.back());
   dev.launch(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
     eid_t out = offsets[i];

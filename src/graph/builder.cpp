@@ -82,17 +82,21 @@ CsrGraph build_csr(const EdgeList& el) {
   const vid_t n = el.num_vertices;
   const std::size_t m = el.edges.size();
 
-  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
-  // Count arcs per vertex. Edges touch arbitrary vertices, so count with
-  // atomics over the edge list.
+  EidBuffer offsets(static_cast<std::size_t>(n) + 1);
+  // Atomic counting needs explicit zero seeds (EidBuffer sizing leaves the
+  // slots uninitialized); fill in parallel for NUMA-friendly first touch.
+  parallel_for(offsets.size(), [&](std::size_t i) { offsets[i] = 0; });
+  // Count arcs per vertex (at slot [v], the exclusive-scan input layout).
+  // Edges touch arbitrary vertices, so count with atomics over the edge
+  // list.
   parallel_for(m, [&](std::size_t i) {
     const Edge& e = el.edges[i];
-    fetch_add(&offsets[e.u + 1], eid_t{1});
-    fetch_add(&offsets[e.v + 1], eid_t{1});
+    fetch_add(&offsets[e.u], eid_t{1});
+    fetch_add(&offsets[e.v], eid_t{1});
   });
-  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  exclusive_prefix_sum(std::span(offsets));
 
-  std::vector<vid_t> adj(offsets.back());
+  VidBuffer adj(offsets.back());
   std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
   parallel_for(m, [&](std::size_t i) {
     const Edge& e = el.edges[i];

@@ -7,7 +7,7 @@
 
 namespace sbg {
 
-CsrGraph::CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> adj)
+CsrGraph::CsrGraph(EidBuffer offsets, VidBuffer adj)
     : offsets_(std::move(offsets)), adj_(std::move(adj)) {
   SBG_CHECK(!offsets_.empty(), "CSR offsets must have n+1 entries");
   SBG_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");

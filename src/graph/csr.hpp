@@ -10,8 +10,15 @@
 #include <vector>
 
 #include "common.hpp"
+#include "parallel/uninit.hpp"
 
 namespace sbg {
+
+/// Backing buffers for CSR arrays. Sizing one leaves its elements
+/// uninitialized (no value-init memset) — producers fill every slot in a
+/// counting or scatter sweep anyway; seed explicit zeros where needed.
+using EidBuffer = std::vector<eid_t, DefaultInitAllocator<eid_t>>;
+using VidBuffer = std::vector<vid_t, DefaultInitAllocator<vid_t>>;
 
 class CsrGraph {
  public:
@@ -19,7 +26,7 @@ class CsrGraph {
 
   /// Takes ownership of prebuilt arrays. offsets.size() == n+1,
   /// adj.size() == offsets.back(). Validated with SBG_CHECK.
-  CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> adj);
+  CsrGraph(EidBuffer offsets, VidBuffer adj);
 
   vid_t num_vertices() const { return static_cast<vid_t>(offsets_.size() - 1); }
 
@@ -65,8 +72,8 @@ class CsrGraph {
   void validate() const;
 
  private:
-  std::vector<eid_t> offsets_;
-  std::vector<vid_t> adj_;
+  EidBuffer offsets_;
+  VidBuffer adj_;
 };
 
 }  // namespace sbg

@@ -3,7 +3,9 @@
 #include <numbers>
 
 #include "graph/generators.hpp"
+#include "parallel/atomics.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
 #include "parallel/rng.hpp"
 
 namespace sbg {
@@ -49,13 +51,14 @@ EdgeList gen_rgg(vid_t n, double target_avg_degree, std::uint64_t seed) {
     return a.x < b.x || (a.x == b.x && a.y < b.y);
   });
 
-  // Cell index: start offset of each cell in the sorted point array.
+  // Cell index: start offset of each cell in the sorted point array
+  // (atomic counts at slot [c], then a parallel exclusive scan).
   const std::size_t num_cells = static_cast<std::size_t>(grid) * grid;
   std::vector<vid_t> cell_start(num_cells + 1, 0);
-  for (const Point& p : pts) ++cell_start[cell_of(p) + 1];
-  for (std::size_t i = 1; i <= num_cells; ++i) {
-    cell_start[i] += cell_start[i - 1];
-  }
+  parallel_for(n, [&](std::size_t i) {
+    fetch_add(&cell_start[cell_of(pts[i])], vid_t{1});
+  });
+  exclusive_prefix_sum(std::span(cell_start));
 
   const float r2 = static_cast<float>(r * r);
   std::vector<std::vector<Edge>> per_thread_edges;

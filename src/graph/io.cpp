@@ -200,8 +200,8 @@ CsrGraph read_binary(std::istream& in) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
   if (!in) throw InputError("truncated sbg binary header");
-  std::vector<eid_t> offsets(n + 1);
-  std::vector<vid_t> adj(arcs);
+  EidBuffer offsets(n + 1);
+  VidBuffer adj(arcs);
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
   in.read(reinterpret_cast<char*>(adj.data()),

@@ -1,12 +1,44 @@
 #include "graph/subgraph.hpp"
 
+#include <algorithm>
+
 namespace sbg {
+
+std::vector<CsrGraph> split_edges_by_arc_class(
+    const CsrGraph& g, std::span<const std::uint8_t> arc_class, unsigned k) {
+  SBG_CHECK(arc_class.size() == g.num_arcs(), "arc class array size mismatch");
+  return detail::split_core(
+      g, [&](vid_t, eid_t a) { return arc_class[a]; }, arc_class, k);
+}
+
+CsrGraph merge_edge_disjoint(const CsrGraph& a, const CsrGraph& b) {
+  SBG_CHECK(a.num_vertices() == b.num_vertices(),
+            "merge over mismatched vertex spaces");
+  const vid_t n = a.num_vertices();
+  SBG_COUNTER_ADD("decomp.arcs_scanned", a.num_arcs() + b.num_arcs());
+  SBG_COUNTER_ADD("decomp.subgraphs_built", 1);
+  EidBuffer offsets(static_cast<std::size_t>(n) + 1);
+  parallel_for(static_cast<std::size_t>(n) + 1, [&](std::size_t i) {
+    offsets[i] = a.offsets()[i] + b.offsets()[i];
+  });
+  VidBuffer adj(offsets.back());
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    std::merge(na.begin(), na.end(), nb.begin(), nb.end(),
+               adj.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+  });
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
 
 CsrGraph filter_edges_by_arc_flag(const CsrGraph& g,
                                   const std::vector<std::uint8_t>& arc_keep) {
   SBG_CHECK(arc_keep.size() == g.num_arcs(), "arc flag array size mismatch");
   const vid_t n = g.num_vertices();
-  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  SBG_COUNTER_ADD("decomp.arcs_scanned", 2 * g.num_arcs());
+  SBG_COUNTER_ADD("decomp.subgraphs_built", 1);
+  EidBuffer offsets(static_cast<std::size_t>(n) + 1);
 
   parallel_for(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
@@ -14,11 +46,12 @@ CsrGraph filter_edges_by_arc_flag(const CsrGraph& g,
     for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
       if (arc_keep[a]) ++cnt;
     }
-    offsets[i + 1] = cnt;
+    offsets[i] = cnt;
   });
-  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  offsets[n] = 0;
+  exclusive_prefix_sum(std::span(offsets));
 
-  std::vector<vid_t> adj(offsets.back());
+  VidBuffer adj(offsets.back());
   parallel_for(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
     eid_t out = offsets[i];

@@ -5,15 +5,36 @@
 // but only the surviving arcs. Solutions computed on pieces (mate arrays,
 // color arrays, MIS flags) then compose by direct per-vertex union, with no
 // renumbering maps to maintain.
+//
+// Two extraction paths:
+//  * filter_edges / filter_edges_by_arc_flag — one predicate, one sub-CSR.
+//  * split_edges — the fused k-way kernel: classify every arc ONCE
+//    (memoized in a scratch arena), then materialize all k output sub-CSRs
+//    from that single classification. A decomposition that used to sweep
+//    the arc array once per piece (RAND: intra + cross; DEGk: up to four
+//    pieces) now runs classify + count + scatter regardless of k — and
+//    only classify and scatter touch the adjacency; the counting sweep
+//    reads the one-byte-per-arc memo. Each output is byte-identical to
+//    what filter_edges would have produced for the matching per-class
+//    predicate.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/scratch.hpp"
 
 namespace sbg {
+
+/// Upper bound on split_edges output classes (class ids are memoized in one
+/// byte; 0xff is the drop sentinel).
+inline constexpr unsigned kMaxSplitClasses = 32;
 
 /// Materialize the subgraph of `g` keeping arc (u, v) iff keep(u, v).
 /// `keep` must be symmetric — keep(u, v) == keep(v, u) — or the result
@@ -21,7 +42,9 @@ namespace sbg {
 template <typename KeepFn>
 CsrGraph filter_edges(const CsrGraph& g, KeepFn&& keep) {
   const vid_t n = g.num_vertices();
-  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  SBG_COUNTER_ADD("decomp.arcs_scanned", 2 * g.num_arcs());
+  SBG_COUNTER_ADD("decomp.subgraphs_built", 1);
+  EidBuffer offsets(static_cast<std::size_t>(n) + 1);
 
   parallel_for(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
@@ -29,11 +52,12 @@ CsrGraph filter_edges(const CsrGraph& g, KeepFn&& keep) {
     for (const vid_t v : g.neighbors(u)) {
       if (keep(u, v)) ++cnt;
     }
-    offsets[i + 1] = cnt;
+    offsets[i] = cnt;
   });
-  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  offsets[n] = 0;
+  exclusive_prefix_sum(std::span(offsets));
 
-  std::vector<vid_t> adj(offsets.back());
+  VidBuffer adj(offsets.back());
   parallel_for(n, [&](std::size_t i) {
     const vid_t u = static_cast<vid_t>(i);
     eid_t out = offsets[i];
@@ -43,6 +67,172 @@ CsrGraph filter_edges(const CsrGraph& g, KeepFn&& keep) {
   });
   return CsrGraph(std::move(offsets), std::move(adj));
 }
+
+namespace detail {
+
+/// Two-way fast path. Every decomposition on the Figure 2 hot path (RAND
+/// intra/cross, BRIDGE components/bridges, DEGk's fused default) is a
+/// binary split, and the generic engine's `cnt[c]++` / `out[c]++` with a
+/// data-dependent index forces those cursors into memory — a
+/// store-to-load-forwarding chain per arc that makes the fused kernel no
+/// faster than two filters on degree-skewed graphs. Scalar per-class
+/// cursors stay in registers.
+template <typename ClassAt>
+std::vector<CsrGraph> split_core2(const CsrGraph& g, ClassAt&& class_at,
+                                  std::span<const std::uint8_t> memo) {
+  const vid_t n = g.num_vertices();
+  EidBuffer off0(static_cast<std::size_t>(n) + 1);
+  EidBuffer off1(static_cast<std::size_t>(n) + 1);
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t c0 = 0, c1 = 0;
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint8_t c = class_at(u, a);
+      c0 += c == 0;
+      c1 += c == 1;
+    }
+    off0[i] = c0;
+    off1[i] = c1;
+  });
+  off0[n] = 0;
+  off1[n] = 0;
+  exclusive_prefix_sum(std::span(off0));
+  exclusive_prefix_sum(std::span(off1));
+
+  VidBuffer adj0(off0[n]), adj1(off1[n]);
+  const vid_t* gadj = g.adjacency().data();
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    const eid_t begin = g.arc_begin(u), end = g.arc_end(u);
+    const eid_t n0 = off0[i + 1] - off0[i];
+    const eid_t n1 = off1[i + 1] - off1[i];
+    // Single-class vertices (all of DEGk's interior-of-a-side vertices,
+    // RAND's all-intra / all-cross vertices) bulk-copy their neighbor
+    // range instead of branching per arc.
+    if (n0 == end - begin) {
+      std::copy(gadj + begin, gadj + end, adj0.data() + off0[i]);
+      return;
+    }
+    if (n1 == end - begin) {
+      std::copy(gadj + begin, gadj + end, adj1.data() + off1[i]);
+      return;
+    }
+    eid_t o0 = off0[i], o1 = off1[i];
+    for (eid_t a = begin; a < end; ++a) {
+      const std::uint8_t c = memo[a];
+      if (c == 0) {
+        adj0[o0++] = gadj[a];
+      } else if (c == 1) {
+        adj1[o1++] = gadj[a];
+      }
+    }
+  });
+  std::vector<CsrGraph> parts;
+  parts.reserve(2);
+  parts.emplace_back(std::move(off0), std::move(adj0));
+  parts.emplace_back(std::move(off1), std::move(adj1));
+  return parts;
+}
+
+/// Shared two-sweep engine behind split_edges / split_edges_by_arc_class.
+/// Sweep 1 calls `class_at(u, a)` per arc (the fused path classifies AND
+/// memoizes there; the precomputed path just reads) and counts per vertex
+/// per class; the k per-class count arrays then become CSR offsets via
+/// parallel prefix sums; sweep 2 scatters every arc into its class's
+/// adjacency, preserving per-vertex arc order — which is exactly what makes
+/// each output byte-identical to a filter_edges call for that class.
+template <typename ClassAt>
+std::vector<CsrGraph> split_core(const CsrGraph& g, ClassAt&& class_at,
+                                 std::span<const std::uint8_t> memo,
+                                 unsigned k) {
+  SBG_CHECK(k >= 1 && k <= kMaxSplitClasses,
+            "split_edges class count out of range");
+  const vid_t n = g.num_vertices();
+  SBG_COUNTER_ADD("decomp.arcs_scanned", 2 * g.num_arcs());
+  SBG_COUNTER_ADD("decomp.subgraphs_built", k);
+  if (k == 2) return split_core2(g, class_at, memo);
+
+  std::vector<EidBuffer> offsets(k);
+  for (auto& o : offsets) o.resize(static_cast<std::size_t>(n) + 1);
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t cnt[kMaxSplitClasses];  // only the first k slots are live
+    for (unsigned c = 0; c < k; ++c) cnt[c] = 0;
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint8_t c = class_at(u, a);
+      if (c < k) ++cnt[c];
+    }
+    for (unsigned c = 0; c < k; ++c) offsets[c][i] = cnt[c];
+  });
+  for (unsigned c = 0; c < k; ++c) {
+    offsets[c][n] = 0;
+    exclusive_prefix_sum(std::span(offsets[c]));
+  }
+
+  std::vector<VidBuffer> adj(k);
+  for (unsigned c = 0; c < k; ++c) adj[c].resize(offsets[c][n]);
+  parallel_for(n, [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    eid_t out[kMaxSplitClasses];
+    for (unsigned c = 0; c < k; ++c) out[c] = offsets[c][i];
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const std::uint8_t c = memo[a];
+      if (c < k) adj[c][out[c]++] = g.arc_head(a);
+    }
+  });
+
+  std::vector<CsrGraph> parts;
+  parts.reserve(k);
+  for (unsigned c = 0; c < k; ++c) {
+    parts.emplace_back(std::move(offsets[c]), std::move(adj[c]));
+  }
+  return parts;
+}
+
+}  // namespace detail
+
+/// Split `g` into k sub-CSRs from a per-arc class array: output c holds
+/// exactly the arcs with arc_class[a] == c; arcs classed 0xff (or any value
+/// >= k) appear in no output. The class array must be orientation-consistent
+/// (class of u->v equals class of v->u). One counting sweep and one scatter
+/// sweep total, independent of k; each output is byte-identical to
+/// filter_edges with the matching per-class predicate.
+std::vector<CsrGraph> split_edges_by_arc_class(
+    const CsrGraph& g, std::span<const std::uint8_t> arc_class, unsigned k);
+
+/// Fused k-way split: evaluate `arc_class(u, v)` exactly once per arc —
+/// classification is folded into the counting sweep and memoized through
+/// the thread's scratch arena for the scatter sweep, so the whole
+/// decomposition costs two arc sweeps regardless of k. `arc_class` must be
+/// symmetric and return the output class in [0, k); returning any value
+/// >= k drops the arc from every output.
+template <typename ClassFn>
+std::vector<CsrGraph> split_edges(const CsrGraph& g, ClassFn&& arc_class,
+                                  unsigned k) {
+  Scratch& scratch = Scratch::local();
+  Scratch::Region region(scratch);
+  std::span<std::uint8_t> memo = scratch.take<std::uint8_t>(g.num_arcs());
+  // Classify in a dedicated pass rather than fused into the counting sweep:
+  // this loop is a dependency-free streaming store, and it keeps the byte
+  // stores out of the counting loop — a char store may alias anything, so
+  // fusing it forces the compiler to re-load the classifier's arrays every
+  // arc and blocks vectorizing the counts.
+  std::uint8_t* __restrict mp = memo.data();
+  parallel_for(g.num_vertices(), [&](std::size_t i) {
+    const vid_t u = static_cast<vid_t>(i);
+    for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+      const unsigned c = arc_class(u, g.arc_head(a));
+      mp[a] = c < k ? static_cast<std::uint8_t>(c) : std::uint8_t{0xff};
+    }
+  });
+  return detail::split_core(
+      g, [&](vid_t, eid_t a) { return memo[a]; }, memo, k);
+}
+
+/// Union of two edge-disjoint sub-CSRs over the same vertex-id space (e.g.
+/// DEGk's G_L and G_C into G_L ∪ G_C). Per-vertex sorted merge, so the
+/// result is byte-identical to filtering the union predicate directly.
+CsrGraph merge_edge_disjoint(const CsrGraph& a, const CsrGraph& b);
 
 /// Keep arcs whose per-arc flag is set. `arc_keep` is indexed by CSR arc id
 /// and must be orientation-consistent (flag of u->v equals flag of v->u).

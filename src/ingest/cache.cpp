@@ -198,8 +198,8 @@ CacheStatus read_cache_file(const std::string& cache_path,
   c = hash_bytes(adj_bytes, adj_len, c);
   if (c != h.checksum) return CacheStatus::kCorrupt;
 
-  std::vector<eid_t> offsets(static_cast<std::size_t>(h.n) + 1);
-  std::vector<vid_t> adj(static_cast<std::size_t>(h.arcs));
+  EidBuffer offsets(static_cast<std::size_t>(h.n) + 1);
+  VidBuffer adj(static_cast<std::size_t>(h.arcs));
   std::memcpy(offsets.data(), off_bytes, off_len);
   std::memcpy(adj.data(), adj_bytes, adj_len);
 

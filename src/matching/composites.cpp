@@ -11,7 +11,6 @@
 #include "check/check.hpp"
 #include "core/degk.hpp"
 #include "core/rand.hpp"
-#include "graph/builder.hpp"
 #include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
@@ -50,17 +49,11 @@ MatchResult mm_bridge(const CsrGraph& g, MatchEngine engine,
   {
     // Phase 2: M_b on the bridges among still-unmatched endpoints. (By
     // maximality of M_c, no other G-edge can join unmatched vertices; see
-    // the header note.)
+    // the header note.) The bridge sub-CSR comes straight out of the
+    // decomposition's one-pass split — no edge-list rebuild.
     SBG_SPAN("stitch");
     ScopedPhase phase(phases, "stitch");
-    EdgeList bridge_edges;
-    bridge_edges.num_vertices = g.num_vertices();
-    for (const auto& [child, parent] : d.bridges) {
-      bridge_edges.add(child, parent);
-    }
-    const CsrGraph g_b =
-        build_graph(std::move(bridge_edges), /*connect=*/false);
-    r.rounds += extend(engine, g_b, r.mate, seed + 1);
+    r.rounds += extend(engine, d.g_bridges, r.mate, seed + 1);
   }
 
   r.cardinality = matching_cardinality(r.mate);

@@ -14,7 +14,10 @@
 
 #include "matching/matching.hpp"
 #include "obs/obs.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/timer.hpp"
 
 namespace sbg {
@@ -29,25 +32,32 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
     return mate[v] == kNoVertex && (!active || (*active)[v]);
   };
 
-  std::vector<eid_t> cursor(n);
-  std::vector<vid_t> proposal(n, kNoVertex);
-  std::vector<vid_t> live;
-  live.reserve(n);
-  for (vid_t v = 0; v < n; ++v) {
-    cursor[v] = g.arc_begin(v);
-    if (is_live(v) && g.degree(v) > 0) live.push_back(v);
-  }
+  Scratch& scratch = Scratch::local();
+  Scratch::Region region(scratch);
+  std::span<eid_t> cursor = scratch.take<eid_t>(n);
+  std::span<vid_t> proposal = scratch.take_fill<vid_t>(n, kNoVertex);
+  std::span<vid_t> live = scratch.take<vid_t>(n);
+  std::span<vid_t> next_live = scratch.take<vid_t>(n);
+  parallel_for(n, [&](std::size_t v) {
+    cursor[v] = g.arc_begin(static_cast<vid_t>(v));
+  });
+  std::size_t live_count = pack_index(
+      n,
+      [&](std::size_t i) {
+        const vid_t v = static_cast<vid_t>(i);
+        return is_live(v) && g.degree(v) > 0;
+      },
+      live);
 
   vid_t rounds = 0;
-  std::vector<vid_t> next_live;
-  while (!live.empty() && (max_rounds == 0 || rounds < max_rounds)) {
+  while (live_count > 0 && (max_rounds == 0 || rounds < max_rounds)) {
     ++rounds;
     SBG_COUNTER_ADD("gm.rounds", 1);
-    SBG_COUNTER_ADD("gm.proposals", live.size());
-    SBG_SERIES_APPEND("gm.frontier", live.size());
+    SBG_COUNTER_ADD("gm.proposals", live_count);
+    SBG_SERIES_APPEND("gm.frontier", live_count);
     // Propose: lowest-id live neighbor (advance the monotone cursor past
     // dead prefixes; cursors only ever move forward).
-    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+    parallel_for_dynamic(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       eid_t c = cursor[v];
       const eid_t end = g.arc_end(v);
@@ -57,7 +67,7 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
     });
     // Match mutual proposals. The pair (v, w) is written by v's iteration
     // only (v < w), so writes never race.
-    parallel_for(live.size(), [&](std::size_t i) {
+    parallel_for(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       const vid_t w = proposal[v];
       if (w != kNoVertex && v < w && proposal[w] == v) {
@@ -67,34 +77,29 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
     });
     // Survivors: still unmatched and still have a live neighbor candidate.
     // (A vertex whose proposal was kNoVertex can never match again: live
-    // sets only shrink.) The obs tallies ride the existing scan: matched =
-    // vertices paired this round, in-vain = proposals that went unmatched —
-    // the per-round shape of the paper's "vain tendency".
-    next_live.clear();
-    SBG_OBS_ONLY(vid_t obs_matched = 0; vid_t obs_exhausted = 0;)
-    for (const vid_t v : live) {
-      if (mate[v] != kNoVertex) {
-        SBG_OBS_ONLY(++obs_matched;)
-        continue;
-      }
-      if (proposal[v] != kNoVertex) {
-        next_live.push_back(v);
-      } else {
-        SBG_OBS_ONLY(++obs_exhausted;)
-      }
-    }
+    // sets only shrink.) Survivors are exactly the in-vain proposers, so
+    // the obs tallies need just one extra count: matched = vertices paired
+    // this round — the per-round shape of the paper's "vain tendency".
+    const std::size_t next_count = pack(
+        live.first(live_count),
+        [&](vid_t v) { return mate[v] == kNoVertex && proposal[v] != kNoVertex; },
+        next_live);
     SBG_OBS_ONLY({
+      const std::size_t obs_matched =
+          parallel_count(live_count, [&](std::size_t i) {
+            return mate[live[i]] != kNoVertex;
+          });
       SBG_SERIES_APPEND("gm.matched", obs_matched);
-      SBG_SERIES_APPEND("gm.in_vain",
-                        live.size() - obs_matched - obs_exhausted);
+      SBG_SERIES_APPEND("gm.in_vain", next_count);
       SBG_COUNTER_ADD("gm.matched_vertices", obs_matched);
-      if (obs_matched <= 2 && live.size() > 8) {
+      if (obs_matched <= 2 && live_count > 8) {
         // A round that matched at most one pair on a non-trivial frontier:
         // the signature of one long proposal chain draining.
         SBG_COUNTER_ADD("gm.vain_rounds", 1);
       }
     })
-    live.swap(next_live);
+    std::swap(live, next_live);
+    live_count = next_count;
   }
   return rounds;
 }

@@ -12,8 +12,11 @@
 #include "mis/mis.hpp"
 #include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
 #include "parallel/rng.hpp"
+#include "parallel/scratch.hpp"
 #include "parallel/timer.hpp"
 
 namespace sbg {
@@ -30,24 +33,30 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
     return state[v] == MisState::kUndecided && (!active || (*active)[v]);
   };
 
-  std::vector<vid_t> live;
-  live.reserve(n);
-  for (vid_t v = 0; v < n; ++v) {
-    if (participates(v)) live.push_back(v);
-  }
-  std::vector<vid_t> live_degree(n, 0);
-  std::vector<std::uint8_t> marked(n, 0), survivor(n, 0);
+  // All round-loop temporaries live in the thread's scratch arena: the
+  // composites call luby_extend twice per solve, and with the arena both
+  // calls (and every subsequent solve on this thread) reuse one set of
+  // blocks instead of re-mallocing five n-sized vectors.
+  Scratch& scratch = Scratch::local();
+  Scratch::Region region(scratch);
+  std::span<vid_t> live = scratch.take<vid_t>(n);
+  std::span<vid_t> next = scratch.take<vid_t>(n);
+  std::size_t live_count = pack_index(
+      n, [&](std::size_t v) { return participates(static_cast<vid_t>(v)); },
+      live);
+  std::span<vid_t> live_degree = scratch.take_zero<vid_t>(n);
+  std::span<std::uint8_t> marked = scratch.take_zero<std::uint8_t>(n);
+  std::span<std::uint8_t> survivor = scratch.take_zero<std::uint8_t>(n);
 
   vid_t rounds = 0;
-  std::vector<vid_t> next;
-  while (!live.empty()) {
+  while (live_count > 0) {
     ++rounds;
     SBG_COUNTER_ADD("luby.rounds", 1);
-    SBG_SERIES_APPEND("luby.frontier", live.size());
+    SBG_SERIES_APPEND("luby.frontier", live_count);
     // Live degrees first (pure read pass, so the count is schedule
     // independent), then coin flips: mark with probability 1/(2 d_live);
     // vertices whose neighborhood is fully decided join immediately.
-    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+    parallel_for_dynamic(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       vid_t d = 0;
       for (const vid_t w : g.neighbors(v)) {
@@ -55,7 +64,7 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
       }
       live_degree[v] = d;
     });
-    parallel_for(live.size(), [&](std::size_t i) {
+    parallel_for(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       const vid_t d = live_degree[v];
       if (d == 0) {
@@ -70,7 +79,7 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
     // degree endpoint loses (ties broken by id) — Luby's rule. Decisions
     // read only the round-start `marked` snapshot, so the surviving set is
     // schedule independent: exactly the (degree, id)-local maxima.
-    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+    parallel_for_dynamic(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       survivor[v] = 0;
       if (!marked[v]) return;
@@ -83,11 +92,11 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
       survivor[v] = 1;
     });
     // Surviving marked vertices join; then neighbors drop out.
-    parallel_for(live.size(), [&](std::size_t i) {
+    parallel_for(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       if (survivor[v]) state[v] = MisState::kIn;
     });
-    parallel_for_dynamic(live.size(), [&](std::size_t i) {
+    parallel_for_dynamic(live_count, [&](std::size_t i) {
       const vid_t v = live[i];
       if (state[v] != MisState::kUndecided) return;
       for (const vid_t w : g.neighbors(v)) {
@@ -97,21 +106,21 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
         }
       }
     });
-    next.clear();
-    SBG_OBS_ONLY(vid_t obs_in = 0; vid_t obs_out = 0;)
-    for (const vid_t v : live) {
-      if (state[v] == MisState::kUndecided) {
-        next.push_back(v);
-        continue;
-      }
-      SBG_OBS_ONLY(if (state[v] == MisState::kIn) ++obs_in; else ++obs_out;)
-    }
+    SBG_OBS_ONLY(const std::size_t obs_in =
+                     parallel_count(live_count, [&](std::size_t i) {
+                       return state[live[i]] == MisState::kIn;
+                     });)
+    const std::size_t next_count =
+        pack(live.first(live_count),
+             [&](vid_t v) { return state[v] == MisState::kUndecided; }, next);
     SBG_OBS_ONLY({
+      const std::size_t obs_out = live_count - next_count - obs_in;
       SBG_SERIES_APPEND("luby.joined", obs_in);
       SBG_SERIES_APPEND("luby.eliminated", obs_out);
       SBG_COUNTER_ADD("luby.joined_vertices", obs_in);
     })
-    live.swap(next);
+    std::swap(live, next);
+    live_count = next_count;
   }
   return rounds;
 }

@@ -1,0 +1,116 @@
+// Parallel compaction (Ligra-style "pack"): build the dense list of
+// surviving indices or values from a predicate, in the same order a serial
+// scan would produce. Every iterative solver rebuilds its frontier /
+// worklist / live list once per round; these primitives make that rebuild
+// parallel while keeping it byte-identical to the serial loop at any
+// thread count (stable order, no atomics in the write path).
+//
+// Shape: per-thread block counting, a (tiny) serial scan over the block
+// sums, then per-thread writes into disjoint output ranges — the same
+// two-pass discipline as exclusive_prefix_sum. The predicate is evaluated
+// twice per index (count + write) and must be safe to call concurrently.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include <omp.h>
+
+#include "common.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace sbg {
+
+/// Write every i in [0, n) with pred(i) into `out`, ascending; returns the
+/// number written. `out.size()` must be >= n (it is a reusable n-capacity
+/// buffer, not a tight allocation).
+template <typename Pred>
+std::size_t pack_index(std::size_t n, Pred&& pred, std::span<vid_t> out) {
+  SBG_CHECK(out.size() >= n, "pack_index output buffer smaller than domain");
+  if (n < kSequentialGrain) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out[cnt++] = static_cast<vid_t>(i);
+    }
+    return cnt;
+  }
+  std::size_t total = 0;
+  std::vector<std::size_t> block_sums(
+      static_cast<std::size_t>(omp_get_max_threads()) + 1, 0);
+#pragma omp parallel
+  {
+    const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t lo = n * t / nt;
+    const std::size_t hi = n * (t + 1) / nt;
+    std::size_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) ++local;
+    }
+    block_sums[t + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (std::size_t i = 1; i <= nt; ++i) block_sums[i] += block_sums[i - 1];
+      total = block_sums[nt];
+    }
+    std::size_t w = block_sums[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) out[w++] = static_cast<vid_t>(i);
+    }
+  }
+  return total;
+}
+
+/// Allocating convenience: the surviving indices as a tight vector.
+template <typename Pred>
+std::vector<vid_t> pack_index(std::size_t n, Pred&& pred) {
+  std::vector<vid_t> out(n);
+  out.resize(pack_index(n, pred, std::span(out)));
+  return out;
+}
+
+/// Compact the values of `in` that satisfy pred(value) into `out`,
+/// preserving order; returns the number written. `out.size()` must be
+/// >= in.size(), and `out` must not alias `in`.
+template <typename InSpan, typename Pred, typename T>
+std::size_t pack(const InSpan& in, Pred&& pred, std::span<T> out) {
+  const std::size_t n = in.size();
+  SBG_CHECK(out.size() >= n, "pack output buffer smaller than input");
+  if (n < kSequentialGrain) {
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(in[i])) out[cnt++] = in[i];
+    }
+    return cnt;
+  }
+  std::size_t total = 0;
+  std::vector<std::size_t> block_sums(
+      static_cast<std::size_t>(omp_get_max_threads()) + 1, 0);
+#pragma omp parallel
+  {
+    const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
+    const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t lo = n * t / nt;
+    const std::size_t hi = n * (t + 1) / nt;
+    std::size_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(in[i])) ++local;
+    }
+    block_sums[t + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (std::size_t i = 1; i <= nt; ++i) block_sums[i] += block_sums[i - 1];
+      total = block_sums[nt];
+    }
+    std::size_t w = block_sums[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(in[i])) out[w++] = in[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace sbg

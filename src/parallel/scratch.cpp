@@ -1,0 +1,75 @@
+#include "parallel/scratch.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/obs.hpp"
+
+namespace sbg {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlock = std::size_t{1} << 16;  // 64 KiB floor
+
+constexpr std::size_t round_up(std::size_t bytes) {
+  return (bytes + kAlign - 1) & ~(kAlign - 1);
+}
+
+}  // namespace
+
+Scratch& Scratch::local() {
+  thread_local Scratch s;
+  return s;
+}
+
+std::size_t Scratch::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+void* Scratch::take_bytes(std::size_t bytes) {
+  const std::size_t need = round_up(bytes == 0 ? 1 : bytes);
+  // Serve from the first block at/after the cursor with room. Blocks are
+  // retained across Regions, so hits here are reuse — the metric the run
+  // reports surface as scratch.bytes_reused.
+  while (cur_ < blocks_.size()) {
+    Block& b = blocks_[cur_];
+    if (b.capacity - b.used >= need) {
+      void* p = b.base + b.used;
+      b.used += need;
+      SBG_COUNTER_ADD("scratch.bytes_reused", need);
+      return p;
+    }
+    ++cur_;  // too small for this take; rewind reclaims the leftover
+  }
+  const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().capacity;
+  const std::size_t cap = std::max({need, 2 * last_cap, kMinBlock});
+  Block b;
+  b.raw = std::make_unique<std::byte[]>(cap + kAlign);
+  const auto addr = reinterpret_cast<std::uintptr_t>(b.raw.get());
+  b.base = b.raw.get() + (round_up(addr) - addr);
+  b.capacity = cap;
+  b.used = need;
+  blocks_.push_back(std::move(b));
+  cur_ = blocks_.size() - 1;
+  return blocks_.back().base;
+}
+
+std::pair<std::size_t, std::size_t> Scratch::mark() const {
+  // take_bytes always leaves cur_ on a valid block, so this is in range
+  // whenever any block exists.
+  if (blocks_.empty()) return {0, 0};
+  return {cur_, blocks_[cur_].used};
+}
+
+void Scratch::rewind(std::pair<std::size_t, std::size_t> m) {
+  if (blocks_.empty()) return;
+  const std::size_t block = std::min(m.first, blocks_.size() - 1);
+  blocks_[block].used = m.second;
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  cur_ = block;
+}
+
+}  // namespace sbg

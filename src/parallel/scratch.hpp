@@ -1,0 +1,109 @@
+// Reusable scratch arena for round loops and repeated extractions.
+//
+// The iterative solvers (Luby, GM, speculative/JP coloring) and the fused
+// decomposition kernel all need a handful of n- or m-sized temporaries per
+// call. Allocating those with fresh std::vectors costs a malloc plus a
+// page-fault sweep on every call — on the composite solvers, which run two
+// extend phases back to back, that is pure overhead. A Scratch arena keeps
+// the blocks alive between calls and hands out spans by bumping an offset;
+// rewinding a Region makes the same bytes available to the next caller.
+//
+// Usage:
+//   Scratch& scratch = Scratch::local();
+//   Scratch::Region region(scratch);            // rewinds on scope exit
+//   std::span<vid_t> live = scratch.take<vid_t>(n);
+//
+// Regions nest (stack discipline): an inner Region's rewind returns the
+// arena to the exact state its constructor observed. Spans are only valid
+// while their Region is alive. Only trivial element types are served; the
+// memory is uninitialized unless taken via take_zero / take_fill.
+//
+// Thread model: Scratch::local() is a thread-local arena. Solvers take
+// their buffers on the calling (orchestrating) thread, outside parallel
+// regions; OpenMP workers then read/write the spans, which is safe — the
+// arena itself is only ever bumped from one thread.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace sbg {
+
+class Scratch {
+ public:
+  Scratch() = default;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  /// Uninitialized span of `count` elements, 64-byte aligned (so spans
+  /// handed to different OpenMP loops never share a cache line).
+  template <typename T>
+  std::span<T> take(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Scratch serves raw memory; element type must be trivial");
+    return {static_cast<T*>(take_bytes(count * sizeof(T))), count};
+  }
+
+  /// Zero-filled span.
+  template <typename T>
+  std::span<T> take_zero(std::size_t count) {
+    std::span<T> s = take<T>(count);
+    std::memset(s.data(), 0, s.size_bytes());
+    return s;
+  }
+
+  /// Span with every element set to `fill`.
+  template <typename T>
+  std::span<T> take_fill(std::size_t count, T fill) {
+    std::span<T> s = take<T>(count);
+    parallel_for(count, [&](std::size_t i) { s[i] = fill; });
+    return s;
+  }
+
+  /// RAII rewind point. Everything taken after construction is released
+  /// (and its bytes become reusable) when the Region is destroyed.
+  class Region {
+   public:
+    explicit Region(Scratch& s) : s_(s), mark_(s.mark()) {}
+    ~Region() { s_.rewind(mark_); }
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    Scratch& s_;
+    std::pair<std::size_t, std::size_t> mark_;
+  };
+
+  /// The calling thread's arena. Solvers and kernels share it; nested
+  /// Regions keep concurrent users (a composite calling two extends)
+  /// disjoint.
+  static Scratch& local();
+
+  /// Total bytes of backing blocks currently allocated.
+  std::size_t capacity_bytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> raw;
+    std::byte* base = nullptr;  // 64-byte aligned into raw
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  void* take_bytes(std::size_t bytes);
+  std::pair<std::size_t, std::size_t> mark() const;
+  void rewind(std::pair<std::size_t, std::size_t> m);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;  // block currently being bumped
+};
+
+}  // namespace sbg

@@ -1,0 +1,43 @@
+// Default-initializing allocator.
+//
+// CSR producers size their output arrays exactly (counts -> prefix sums)
+// and then overwrite every slot in a scatter sweep, so the value-init
+// memset std::vector inserts on resize is a full extra pass over the
+// output — a measurable fraction of wall time once the working set leaves
+// cache. std::vector<T, DefaultInitAllocator<T>> leaves trivial elements
+// uninitialized on sizing; callers that DO rely on zeros (atomic counting,
+// scan seeds) must fill explicitly.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace sbg {
+
+template <typename T, typename Base = std::allocator<T>>
+class DefaultInitAllocator : public Base {
+ public:
+  using value_type = T;
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<Base>::template rebind_alloc<U>>;
+  };
+
+  using Base::Base;
+
+  /// Value-less construct becomes default-init: a no-op for trivial T.
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    std::allocator_traits<Base>::construct(static_cast<Base&>(*this), p,
+                                           std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace sbg

@@ -73,8 +73,8 @@ TEST(Builder, EmptyAndSingletonGraphs) {
 
 TEST(Csr, ValidateCatchesAsymmetry) {
   // Hand-build a broken CSR: arc 0->1 without 1->0.
-  std::vector<eid_t> offsets{0, 1, 1};
-  std::vector<vid_t> adj{1};
+  EidBuffer offsets{0, 1, 1};
+  VidBuffer adj{1};
   const CsrGraph g(std::move(offsets), std::move(adj));
   EXPECT_THROW(g.validate(), std::logic_error);
 }

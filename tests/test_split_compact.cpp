@@ -1,0 +1,337 @@
+// Equivalence tests for the one-pass split kernel, parallel compaction,
+// and the scratch arena.
+//
+// The contract under test is BYTE IDENTITY: split_edges must produce, for
+// every class and at every thread count, exactly the offsets/adjacency
+// arrays that a per-class filter_edges call produces; pack_index/pack must
+// produce exactly the output of the serial compaction loop. The sweeps run
+// the DegenerateZoo shapes (which sit below the sequential grain) plus
+// larger generated graphs that force the parallel code paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "core/degk.hpp"
+#include "graph/subgraph.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/scratch.hpp"
+#include "parallel/thread_env.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg::test {
+namespace {
+
+constexpr int kThreadSweep[] = {1, 2, 8};
+
+::testing::AssertionResult SameCsr(const CsrGraph& a, const CsrGraph& b) {
+  if (a.num_vertices() != b.num_vertices()) {
+    return ::testing::AssertionFailure()
+           << "vertex counts differ: " << a.num_vertices() << " vs "
+           << b.num_vertices();
+  }
+  const auto ao = a.offsets(), bo = b.offsets();
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    if (ao[i] != bo[i]) {
+      return ::testing::AssertionFailure()
+             << "offsets differ at " << i << ": " << ao[i] << " vs " << bo[i];
+    }
+  }
+  const auto aa = a.adjacency(), ba = b.adjacency();
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    if (aa[i] != ba[i]) {
+      return ::testing::AssertionFailure()
+             << "adjacency differs at " << i << ": " << aa[i] << " vs "
+             << ba[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Zoo shapes plus graphs large enough to exercise the parallel paths
+/// (the zoo sits entirely below kSequentialGrain).
+std::vector<std::pair<std::string, CsrGraph>> split_sweep_graphs() {
+  std::vector<std::pair<std::string, CsrGraph>> out;
+  for (const GraphCase& c : shape_sweep()) out.emplace_back(c.name, c.make());
+  out.emplace_back("rmat8k", build_graph(gen_rmat(1 << 13, 60000, 31), true));
+  out.emplace_back("er30k", random_graph(30000, 90000, 37));
+  return out;
+}
+
+/// A deterministic symmetric k-way arc classifier (hash of the unordered
+/// endpoint pair).
+std::uint8_t edge_class(vid_t u, vid_t v, unsigned k) {
+  const vid_t lo = u < v ? u : v;
+  const vid_t hi = u < v ? v : u;
+  return static_cast<std::uint8_t>(
+      mix64((static_cast<std::uint64_t>(lo) << 32) | hi) % k);
+}
+
+TEST(SplitEdges, MatchesPerClassFilterAtEveryThreadCount) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    for (unsigned k : {1u, 2u, 3u, 5u}) {
+      // Reference: k serial-equivalent filter_edges calls (filter_edges is
+      // itself thread-invariant; run it at default threads).
+      std::vector<CsrGraph> expect;
+      for (unsigned c = 0; c < k; ++c) {
+        expect.push_back(filter_edges(g, [&, c](vid_t u, vid_t v) {
+          return edge_class(u, v, k) == c;
+        }));
+      }
+      for (const int t : kThreadSweep) {
+        ScopedThreads threads(t);
+        const std::vector<CsrGraph> parts = split_edges(
+            g, [&](vid_t u, vid_t v) { return edge_class(u, v, k); }, k);
+        ASSERT_EQ(parts.size(), k);
+        for (unsigned c = 0; c < k; ++c) {
+          EXPECT_TRUE(SameCsr(parts[c], expect[c]))
+              << name << " k=" << k << " class=" << c << " threads=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(SplitEdges, DroppedClassAppearsInNoOutput) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    // Classify 3 ways but only keep classes 0 and 1; class 2 must vanish.
+    const CsrGraph keep0 = filter_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, 3) == 0; });
+    const CsrGraph keep1 = filter_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, 3) == 1; });
+    const std::vector<CsrGraph> parts = split_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, 3); }, 2);
+    EXPECT_TRUE(SameCsr(parts[0], keep0)) << name;
+    EXPECT_TRUE(SameCsr(parts[1], keep1)) << name;
+  }
+}
+
+TEST(SplitEdges, PrecomputedArcClassMatchesFusedPath) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    constexpr unsigned k = 4;
+    std::vector<std::uint8_t> arc_class(g.num_arcs());
+    for (vid_t u = 0; u < g.num_vertices(); ++u) {
+      for (eid_t a = g.arc_begin(u); a < g.arc_end(u); ++a) {
+        arc_class[a] = edge_class(u, g.arc_head(a), k);
+      }
+    }
+    const std::vector<CsrGraph> fused = split_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, k); }, k);
+    for (const int t : kThreadSweep) {
+      ScopedThreads threads(t);
+      const std::vector<CsrGraph> precomputed =
+          split_edges_by_arc_class(g, arc_class, k);
+      for (unsigned c = 0; c < k; ++c) {
+        EXPECT_TRUE(SameCsr(precomputed[c], fused[c]))
+            << name << " class=" << c << " threads=" << t;
+      }
+    }
+  }
+}
+
+TEST(SplitEdges, MergeEdgeDisjointMatchesUnionFilter) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    const std::vector<CsrGraph> parts = split_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, 3); }, 3);
+    const CsrGraph direct = filter_edges(
+        g, [&](vid_t u, vid_t v) { return edge_class(u, v, 3) != 0; });
+    for (const int t : kThreadSweep) {
+      ScopedThreads threads(t);
+      EXPECT_TRUE(SameCsr(merge_edge_disjoint(parts[1], parts[2]), direct))
+          << name << " threads=" << t;
+    }
+  }
+}
+
+TEST(SplitEdges, DegkPiecesMatchDirectFilters) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    const vid_t k = static_cast<vid_t>(g.average_degree()) + 1;
+    const DegkDecomposition ref = [&] {
+      // Reference pieces straight from filter_edges on the classification.
+      DegkDecomposition d;
+      d.is_high.assign(g.num_vertices(), 0);
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        d.is_high[v] = g.degree(v) > k ? 1 : 0;
+      }
+      const auto& hi = d.is_high;
+      d.g_high =
+          filter_edges(g, [&](vid_t u, vid_t v) { return hi[u] && hi[v]; });
+      d.g_low =
+          filter_edges(g, [&](vid_t u, vid_t v) { return !hi[u] && !hi[v]; });
+      d.g_cross =
+          filter_edges(g, [&](vid_t u, vid_t v) { return hi[u] != hi[v]; });
+      d.g_low_cross =
+          filter_edges(g, [&](vid_t u, vid_t v) { return !(hi[u] && hi[v]); });
+      return d;
+    }();
+    for (const int t : kThreadSweep) {
+      ScopedThreads threads(t);
+      // kDegkAll takes the 3-way-split + merge path; the default piece set
+      // takes the fused 2-way path. Both must equal the direct filters.
+      const DegkDecomposition all = decompose_degk(g, k, kDegkAll);
+      EXPECT_TRUE(SameCsr(all.g_high, ref.g_high)) << name << " t=" << t;
+      EXPECT_TRUE(SameCsr(all.g_low, ref.g_low)) << name << " t=" << t;
+      EXPECT_TRUE(SameCsr(all.g_cross, ref.g_cross)) << name << " t=" << t;
+      EXPECT_TRUE(SameCsr(all.g_low_cross, ref.g_low_cross))
+          << name << " t=" << t;
+      const DegkDecomposition def =
+          decompose_degk(g, k, kDegkHigh | kDegkLowCross);
+      EXPECT_TRUE(SameCsr(def.g_high, ref.g_high)) << name << " t=" << t;
+      EXPECT_TRUE(SameCsr(def.g_low_cross, ref.g_low_cross))
+          << name << " t=" << t;
+    }
+  }
+}
+
+TEST(SplitEdges, BridgePiecesPartitionTheGraph) {
+  for (auto& [name, g] : split_sweep_graphs()) {
+    for (const int t : kThreadSweep) {
+      ScopedThreads threads(t);
+      const BridgeDecomposition d = decompose_bridge(g);
+      // The two pieces are complementary: every arc of G lands in exactly
+      // one, and g_bridges holds exactly the reported bridge edges.
+      ASSERT_EQ(d.g_components.num_arcs() + d.g_bridges.num_arcs(),
+                g.num_arcs())
+          << name << " t=" << t;
+      EXPECT_EQ(d.g_bridges.num_edges(), d.bridges.size())
+          << name << " t=" << t;
+      for (const auto& [child, parent] : d.bridges) {
+        EXPECT_TRUE(d.g_bridges.has_edge(child, parent))
+            << name << " t=" << t;
+        EXPECT_FALSE(d.g_components.has_edge(child, parent))
+            << name << " t=" << t;
+      }
+      EXPECT_TRUE(SameCsr(d.g_components,
+                          merge_edge_disjoint(d.g_components, CsrGraph(
+                              EidBuffer(g.num_vertices() + 1, 0), {}))))
+          << name << " t=" << t;
+    }
+  }
+}
+
+TEST(PackIndex, MatchesSerialCompactionAtEveryThreadCount) {
+  // Sizes straddle kSequentialGrain; predicates include empty, full, and
+  // hash-sparse survivor sets.
+  const std::size_t sizes[] = {0, 1, 10, 2047, 2048, 5000, 100000};
+  const auto preds = std::vector<std::pair<std::string,
+                                           bool (*)(std::size_t)>>{
+      {"none", [](std::size_t) { return false; }},
+      {"all", [](std::size_t) { return true; }},
+      {"third", [](std::size_t i) { return i % 3 == 0; }},
+      {"hash", [](std::size_t i) { return (mix64(i) & 7) == 0; }},
+  };
+  for (const std::size_t n : sizes) {
+    for (const auto& [pname, pred] : preds) {
+      std::vector<vid_t> expect;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pred(i)) expect.push_back(static_cast<vid_t>(i));
+      }
+      for (const int t : kThreadSweep) {
+        ScopedThreads threads(t);
+        const std::vector<vid_t> got = pack_index(n, pred);
+        EXPECT_EQ(got, expect) << pname << " n=" << n << " threads=" << t;
+
+        std::vector<vid_t> buf(n);
+        const std::size_t cnt = pack_index(n, pred, std::span(buf));
+        ASSERT_EQ(cnt, expect.size())
+            << pname << " n=" << n << " threads=" << t;
+        for (std::size_t i = 0; i < cnt; ++i) {
+          ASSERT_EQ(buf[i], expect[i])
+              << pname << " n=" << n << " threads=" << t << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Pack, ValueCompactionPreservesOrder) {
+  const std::size_t n = 50000;
+  std::vector<vid_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<vid_t>(mix64(i) & 0xffff);
+  }
+  const auto pred = [](vid_t v) { return (v & 1) == 0; };
+  std::vector<vid_t> expect;
+  for (const vid_t v : in) {
+    if (pred(v)) expect.push_back(v);
+  }
+  for (const int t : kThreadSweep) {
+    ScopedThreads threads(t);
+    std::vector<vid_t> out(n);
+    const std::size_t cnt = pack(std::span<const vid_t>(in), pred,
+                                 std::span(out));
+    ASSERT_EQ(cnt, expect.size()) << "threads=" << t;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      ASSERT_EQ(out[i], expect[i]) << "threads=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(Scratch, SpansAreAlignedAndDisjoint) {
+  Scratch& s = Scratch::local();
+  Scratch::Region region(s);
+  const std::span<std::uint8_t> a = s.take<std::uint8_t>(100);
+  const std::span<std::uint8_t> b = s.take<std::uint8_t>(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+  // Disjoint even though both takes fit one cache-line-rounded block.
+  EXPECT_GE(b.data(), a.data() + 128);
+}
+
+TEST(Scratch, RegionRewindReusesBytesWithoutGrowth) {
+  Scratch& s = Scratch::local();
+  Scratch::Region outer(s);
+  {
+    // Force a block into existence, then unwind so the loop takes below
+    // can land on the same bytes.
+    Scratch::Region prime(s);
+    s.take<vid_t>(1 << 14);
+  }
+  const std::size_t cap = s.capacity_bytes();
+  void* first = nullptr;
+  for (int iter = 0; iter < 50; ++iter) {
+    Scratch::Region region(s);
+    const std::span<vid_t> v = s.take<vid_t>(1 << 14);
+    if (first == nullptr) first = v.data();
+    // Same bytes every iteration, and no new blocks allocated.
+    EXPECT_EQ(v.data(), first);
+    EXPECT_EQ(s.capacity_bytes(), cap);
+  }
+}
+
+TEST(Scratch, NestedRegionsRestoreStackDiscipline) {
+  Scratch& s = Scratch::local();
+  Scratch::Region outer(s);
+  const std::span<vid_t> a = s.take<vid_t>(1000);
+  void* inner_ptr = nullptr;
+  {
+    Scratch::Region inner(s);
+    inner_ptr = s.take<vid_t>(1000).data();
+    EXPECT_NE(inner_ptr, static_cast<void*>(a.data()));
+  }
+  // After the inner region unwinds, the next take reuses its bytes.
+  EXPECT_EQ(s.take<vid_t>(1000).data(), inner_ptr);
+}
+
+TEST(Scratch, TakeZeroAndFillInitialize) {
+  Scratch& s = Scratch::local();
+  Scratch::Region region(s);
+  // Dirty the arena first so zero/fill actually have something to clear.
+  const std::span<vid_t> dirty = s.take_fill<vid_t>(4096, vid_t{0xabcd});
+  EXPECT_EQ(dirty[0], 0xabcdu);
+  EXPECT_EQ(dirty[4095], 0xabcdu);
+  {
+    Scratch::Region inner(s);
+    (void)inner;
+  }
+  Scratch::Region again(s);
+  const std::span<vid_t> zeroed = s.take_zero<vid_t>(4096);
+  for (const vid_t v : zeroed.first(16)) EXPECT_EQ(v, 0u);
+  const std::span<vid_t> filled = s.take_fill<vid_t>(4096, kNoVertex);
+  for (const vid_t v : filled.first(16)) EXPECT_EQ(v, kNoVertex);
+}
+
+}  // namespace
+}  // namespace sbg::test
