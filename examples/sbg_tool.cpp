@@ -10,6 +10,16 @@
 //   sbg_tool mm <graph> [gm|lmax|ii|greedy|bridge|rand|degk]
 //   sbg_tool color <graph> [vb|eb|jp|spec|bridge|rand|degk]
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
+//   sbg_tool batch <graphs,csv> [--jobs N] [--per-job-threads T]
+//                  [--deadline-ms D] [--verify-sequential] [--inject-failure]
+//
+// `batch` runs the full Table-I matrix (MM/COLOR/MIS × baseline/BRIDGE/
+// RAND/DEGk) over every listed graph concurrently on N workers with T
+// OpenMP threads each (src/sched/). --verify-sequential replays each job
+// in one thread and checks the result hashes agree; --inject-failure adds
+// one deliberately failing job to demonstrate failure isolation. With
+// --json the report is the aggregated batch document (sbg_batch_version
+// schema), not the plain obs report.
 //
 // `load` exercises the ingestion pipeline (mmap chunk-parallel parse +
 // binary CSR cache) and prints where the graph came from and what each
@@ -31,7 +41,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "check/check.hpp"
 #include "coloring/coloring.hpp"
@@ -49,6 +62,7 @@
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
+#include "sched/sched.hpp"
 
 namespace {
 
@@ -63,6 +77,13 @@ struct Options {
   bool trace = false;    ///< --trace: dump the span tree after the run
   bool no_cache = false; ///< --no-cache: bypass the .sbgc cache entirely
   int threads = 0;       ///< --threads: parser worker count (0 = OpenMP)
+
+  // batch-only flags
+  int jobs = 4;                  ///< --jobs: concurrent batch workers
+  int per_job_threads = 1;       ///< --per-job-threads: OpenMP team per job
+  double deadline_ms = 0;        ///< --deadline-ms: per-job deadline
+  bool verify_sequential = false;///< --verify-sequential: replay + compare
+  bool inject_failure = false;   ///< --inject-failure: add one failing job
 
   /// Ingestion options for file loads under the current flags.
   ingest::Options ingest_options() const {
@@ -97,6 +118,16 @@ Options parse_flags(int argc, char** argv, int first) {
       o.no_cache = true;
     } else if (a == "--threads") {
       o.threads = std::atoi(next());
+    } else if (a == "--jobs") {
+      o.jobs = std::atoi(next());
+    } else if (a == "--per-job-threads") {
+      o.per_job_threads = std::atoi(next());
+    } else if (a == "--deadline-ms") {
+      o.deadline_ms = std::atof(next());
+    } else if (a == "--verify-sequential") {
+      o.verify_sequential = true;
+    } else if (a == "--inject-failure") {
+      o.inject_failure = true;
     }
   }
   return o;
@@ -315,10 +346,107 @@ int cmd_mis(const std::string& spec, const std::string& algo,
   return 0;
 }
 
+int cmd_batch(const std::string& graphs_csv, const Options& o) {
+  // Load every graph once; jobs share them read-only via shared_ptr.
+  std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>> graphs;
+  std::string item;
+  for (std::size_t i = 0; i <= graphs_csv.size(); ++i) {
+    if (i < graphs_csv.size() && graphs_csv[i] != ',') {
+      item += graphs_csv[i];
+      continue;
+    }
+    if (!item.empty()) {
+      graphs.emplace_back(
+          item, std::make_shared<const CsrGraph>(load_or_generate(item, o)));
+      item.clear();
+    }
+  }
+  if (graphs.empty()) throw InputError("batch: no graphs given");
+
+  std::vector<sched::JobSpec> specs = sched::table1_matrix(graphs, o.seed);
+  if (o.inject_failure) {
+    sched::JobSpec bad = specs.front();
+    bad.name = "injected-failure";
+    bad.inject_failure = true;
+    specs.push_back(std::move(bad));
+  }
+
+  sched::BatchOptions bo;
+  bo.jobs = o.jobs;
+  bo.per_job_threads = o.per_job_threads;
+  bo.deadline_ms = o.deadline_ms;
+  const sched::BatchReport report = sched::run_batch(specs, bo);
+
+  int unexpected = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& res = report.results[i];
+    std::printf("%-32s %-9s w%-2d %8.4fs  rounds %-6u value %-10llu %s\n",
+                spec.name.c_str(), to_string(res.status), res.worker,
+                res.seconds, res.rounds,
+                static_cast<unsigned long long>(res.value),
+                res.error.c_str());
+    const bool expected_failure =
+        spec.inject_failure && res.status == sched::JobStatus::kFailed;
+    const bool deadline_cancel = o.deadline_ms > 0 &&
+                                 res.status == sched::JobStatus::kCancelled;
+    if (res.status != sched::JobStatus::kOk && !expected_failure &&
+        !deadline_cancel) {
+      ++unexpected;
+    }
+  }
+  std::printf("batch: %zu jobs on %d workers x %d threads, %.4fs wall "
+              "(ok %d, failed %d, cancelled %d)\n",
+              specs.size(), bo.jobs, bo.per_job_threads, report.wall_seconds,
+              report.count(sched::JobStatus::kOk),
+              report.count(sched::JobStatus::kFailed),
+              report.count(sched::JobStatus::kCancelled));
+
+  if (o.verify_sequential) {
+    // Replay each completed job alone in this thread. Counter-based RNG
+    // makes the seeded solvers byte-identical, so their hashes must match;
+    // the speculative colorers are schedule-dependent by design, so for
+    // them the replay only has to come back oracle-clean.
+    int mismatches = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].inject_failure) continue;
+      if (report.results[i].status != sched::JobStatus::kOk) continue;
+      const bool hash_must_match =
+          sched::schedule_deterministic(specs[i].problem, specs[i].variant);
+      const sched::JobResult ref = sched::run_job(specs[i]);
+      if (ref.status != sched::JobStatus::kOk ||
+          (hash_must_match &&
+           ref.result_hash != report.results[i].result_hash)) {
+        std::printf("MISMATCH %s: batch %016llx != sequential %016llx %s\n",
+                    specs[i].name.c_str(),
+                    static_cast<unsigned long long>(
+                        report.results[i].result_hash),
+                    static_cast<unsigned long long>(ref.result_hash),
+                    ref.error.c_str());
+        ++mismatches;
+      }
+    }
+    std::printf("verify-sequential: %d mismatch%s\n", mismatches,
+                mismatches == 1 ? "" : "es");
+    unexpected += mismatches;
+  }
+
+  if (!o.json_out.empty()) {
+    std::FILE* f = std::fopen(o.json_out.c_str(), "wb");
+    if (f == nullptr) throw InputError("cannot open " + o.json_out);
+    const std::string body = report.to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", o.json_out.c_str());
+  }
+  return unexpected == 0 ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: sbg_tool <gen|load|cache|stats|convert|decompose|check"
-               "|mm|color|mis> ...\n"
+               "|mm|color|mis|batch> ...\n"
                "see the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
@@ -354,11 +482,14 @@ int main(int argc, char** argv) {
       rc = cmd_color(argv[2], algo.empty() ? "vb" : algo, o);
     } else if (cmd == "mis") {
       rc = cmd_mis(argv[2], algo.empty() ? "luby" : algo, o);
+    } else if (cmd == "batch") {
+      rc = cmd_batch(argv[2], o);
     }
     if (rc < 0) return usage();
 
     if (o.trace) obs::print_span_tree(stdout);
-    if (!o.json_out.empty()) {
+    // batch writes its own aggregated JSON (which embeds the obs report).
+    if (!o.json_out.empty() && cmd != "batch") {
       std::string error;
       if (!obs::write_json_report(o.json_out,
                                   {{"tool", "sbg_tool"},

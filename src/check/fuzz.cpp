@@ -217,8 +217,8 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
 }  // namespace
 
 const std::vector<std::string>& fuzz_families() {
-  static const std::vector<std::string> kFamilies = {"basic", "rgg", "rmat",
-                                                     "synth", "ingest"};
+  static const std::vector<std::string> kFamilies = {
+      "basic", "rgg", "rmat", "synth", "ingest", "batch"};
   return kFamilies;
 }
 
@@ -383,6 +383,11 @@ FuzzSummary run_fuzz(const FuzzOptions& opt) {
           // Not a generator family: one differential ingestion iteration
           // (text render -> parse -> cache) instead of the solver zoo.
           fails = fuzz_check_ingest(graph_seed, &shape, &summary.solver_runs);
+        } else if (family == "batch") {
+          // Concurrency fuzz: a sched::run_batch over 2-4 workers, replayed
+          // sequentially for hash agreement (see fuzz_batch.cpp).
+          fails = fuzz_check_batch(graph_seed, opt.max_n, &shape,
+                                   &summary.solver_runs);
         } else {
           const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
           fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);

@@ -32,7 +32,9 @@ namespace sbg::check {
 /// "basic" (paths/cycles/stars/cliques/grids/trees/Erdős–Rényi), "rgg",
 /// "rmat", "synth" (road, broom, numerical, collab, web) — plus "ingest",
 /// which skips the solver zoo and differentially tests the text-ingestion
-/// pipeline instead (see fuzz_check_ingest).
+/// pipeline instead (see fuzz_check_ingest), and "batch", which runs 2-4
+/// concurrent sched jobs and replays them sequentially for hash agreement
+/// (see fuzz_check_batch).
 const std::vector<std::string>& fuzz_families();
 
 /// Deterministic random graph for (family, seed): shape and size are drawn
@@ -60,6 +62,16 @@ std::vector<std::string> fuzz_check_graph(const CsrGraph& g,
 std::vector<std::string> fuzz_check_ingest(std::uint64_t seed,
                                            std::string* shape = nullptr,
                                            int* parser_runs = nullptr);
+
+/// One "batch" family iteration: a small graph, a 2-4-worker sched batch
+/// over a seed-chosen slice of the solver zoo, then a sequential replay of
+/// every job — concurrent and sequential result hashes must agree, an
+/// injected failing job must be isolated, and a pre-expired deadline must
+/// cancel cooperatively. Run under TSan this is the data-race gate for the
+/// whole batch path. Returns one string per failure.
+std::vector<std::string> fuzz_check_batch(std::uint64_t seed, vid_t max_n,
+                                          std::string* shape = nullptr,
+                                          int* solver_runs = nullptr);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;

@@ -1,0 +1,164 @@
+// The "batch" fuzz family: concurrency fuzzing for the sched engine.
+//
+// One iteration draws a small graph, builds a 2-4-worker batch over a
+// seed-chosen slice of the solver zoo, runs it through sched::run_batch
+// (every job already oracle-gated there), and then replays every job
+// sequentially in this thread — for the schedule-deterministic solvers
+// the counter-based RNG discipline promises the concurrent and sequential
+// solution arrays are byte-identical, and the per-job result hashes prove
+// it (the speculative colorers are only required to replay oracle-clean).
+// Some iterations add an injected
+// failure or an already-expired deadline so failure isolation and
+// cooperative cancellation run under the sanitizers too. Under TSan this
+// family is the data-race gate for the whole batch path (CI: batch-tsan).
+#include "check/fuzz.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "parallel/rng.hpp"
+#include "sched/sched.hpp"
+
+namespace sbg::check {
+
+namespace {
+
+std::string fmt_hash(std::uint64_t h) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
+}  // namespace
+
+std::vector<std::string> fuzz_check_batch(std::uint64_t seed, vid_t max_n,
+                                          std::string* shape,
+                                          int* solver_runs) {
+  SBG_COUNTER_ADD("fuzz.batch_iterations", 1);
+  std::vector<std::string> fails;
+  Rng rng(mix64(seed ^ 0xba7c4));
+
+  // Graph family rotates through the generator families so the batch path
+  // sees trees, grids, cliques, and power-law shapes, not just ER.
+  static const char* kGraphFamilies[] = {"basic", "rgg", "rmat", "synth"};
+  const std::string family = kGraphFamilies[rng.below(4)];
+  std::string graph_shape;
+  auto graph = std::make_shared<const CsrGraph>(
+      fuzz_graph(family, rng.next(), max_n, &graph_shape));
+
+  // A seed-chosen slice of the Table-I style matrix: 4-8 jobs over the
+  // three problems, run by 2-4 workers with 1-2 threads each.
+  static const char* kMm[] = {"gm", "lmax-random", "rand-gm", "degk-gm"};
+  static const char* kColor[] = {"vb", "jp-random", "rand-vb", "spec"};
+  static const char* kMis[] = {"luby", "rand", "degk2", "bridge"};
+  const std::uint64_t job_seed = rng.next();
+  std::vector<sched::JobSpec> specs;
+  const int njobs = 4 + static_cast<int>(rng.below(5));
+  for (int j = 0; j < njobs; ++j) {
+    sched::JobSpec s;
+    s.graph = graph;
+    s.graph_name = graph_shape;
+    s.seed = job_seed;
+    switch (rng.below(3)) {
+      case 0:
+        s.problem = sched::Problem::kMM;
+        s.variant = kMm[rng.below(4)];
+        break;
+      case 1:
+        s.problem = sched::Problem::kColor;
+        s.variant = kColor[rng.below(4)];
+        break;
+      default:
+        s.problem = sched::Problem::kMis;
+        s.variant = kMis[rng.below(4)];
+        break;
+    }
+    s.name = std::string(to_string(s.problem)) + "/" + s.variant + "#" +
+             std::to_string(j);
+    specs.push_back(std::move(s));
+  }
+  // One iteration in four injects a failing job; isolation means its
+  // siblings must still succeed and the batch must still return.
+  const bool injected = rng.below(4) == 0;
+  if (injected) {
+    sched::JobSpec s;
+    s.graph = graph;
+    s.graph_name = graph_shape;
+    s.problem = sched::Problem::kMM;
+    s.variant = "gm";
+    s.name = "injected-failure";
+    s.inject_failure = true;
+    specs.push_back(std::move(s));
+  }
+
+  sched::BatchOptions opt;
+  opt.jobs = 2 + static_cast<int>(rng.below(3));
+  opt.per_job_threads = 1 + static_cast<int>(rng.below(2));
+  if (shape) {
+    *shape = graph_shape + " jobs=" + std::to_string(specs.size()) +
+             " workers=" + std::to_string(opt.jobs) + "x" +
+             std::to_string(opt.per_job_threads);
+  }
+
+  const sched::BatchReport report = sched::run_batch(specs, opt);
+  if (solver_runs) *solver_runs += static_cast<int>(specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const sched::JobSpec& spec = specs[i];
+    const sched::JobResult& res = report.results[i];
+    if (spec.inject_failure) {
+      if (res.status != sched::JobStatus::kFailed) {
+        fails.push_back("batch/" + spec.name +
+                        ": injected failure reported as " +
+                        std::string(to_string(res.status)));
+      }
+      continue;
+    }
+    if (res.status != sched::JobStatus::kOk) {
+      fails.push_back("batch/" + spec.name + ": " +
+                      std::string(to_string(res.status)) + ": " + res.error);
+      continue;
+    }
+    // Sequential replay in this thread: same spec, same seed — for the
+    // schedule-deterministic solvers the solution array (via its hash)
+    // must match the concurrent run's; the speculative colorers race by
+    // design, so their replay only has to be oracle-clean.
+    const sched::JobResult ref = sched::run_job(spec);
+    if (solver_runs) ++*solver_runs;
+    if (ref.status != sched::JobStatus::kOk) {
+      fails.push_back("batch/" + spec.name +
+                      ": sequential replay failed: " + ref.error);
+    } else if (sched::schedule_deterministic(spec.problem, spec.variant) &&
+               (ref.result_hash != res.result_hash ||
+                ref.value != res.value || ref.rounds != res.rounds)) {
+      fails.push_back("batch/" + spec.name + ": concurrent result " +
+                      fmt_hash(res.result_hash) + " (value " +
+                      std::to_string(res.value) +
+                      ") != sequential replay " + fmt_hash(ref.result_hash) +
+                      " (value " + std::to_string(ref.value) + ")");
+    }
+  }
+
+  // A pre-expired deadline must cancel cooperatively, not fail or crash.
+  // Round loops poll before round 1, so even instant jobs observe it.
+  if (!specs.empty() && rng.below(2) == 0) {
+    sched::JobSpec s = specs[0];
+    s.inject_failure = false;
+    const sched::JobResult res =
+        sched::run_job(s, /*deadline_ms=*/1e-6, /*verify=*/false);
+    if (solver_runs) ++*solver_runs;
+    if (res.status == sched::JobStatus::kFailed) {
+      fails.push_back("batch/deadline: expired deadline reported failure: " +
+                      res.error);
+    }
+  }
+
+  SBG_COUNTER_ADD("fuzz.failures", fails.size());
+  return fails;
+}
+
+}  // namespace sbg::check

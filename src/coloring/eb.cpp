@@ -8,6 +8,7 @@
 #include "coloring/coloring.hpp"
 #include "obs/obs.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
 
@@ -31,6 +32,7 @@ vid_t eb_extend(const CsrGraph& g, std::vector<std::uint32_t>& color,
   vid_t rounds = 0;
   std::vector<vid_t> next;
   while (!worklist.empty()) {
+    poll_cancellation();
     ++rounds;
     SBG_COUNTER_ADD("eb.rounds", 1);
     SBG_SERIES_APPEND("eb.frontier", worklist.size());

@@ -9,6 +9,7 @@
 
 #include "coloring/coloring.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
@@ -55,6 +56,7 @@ ColorResult color_jp(const CsrGraph& g, JpOrder order, std::uint64_t seed) {
       worklist);
 
   while (work_count > 0) {
+    poll_cancellation();
     ++r.rounds;
 #pragma omp parallel
     {

@@ -11,6 +11,7 @@
 
 #include "coloring/coloring.hpp"
 #include "parallel/atomics.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scratch.hpp"
@@ -32,6 +33,7 @@ ColorResult color_speculative(const CsrGraph& g) {
   std::size_t work_count = n;
 
   while (work_count > 0) {
+    poll_cancellation();
     ++r.rounds;
 #pragma omp parallel
     {

@@ -1,6 +1,8 @@
 #include "ingest/cache.hpp"
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,50 @@ unsigned long process_id() {
 #else
   return 0;
 #endif
+}
+
+/// Unique temp name for an atomic temp+rename write of `cache_path`. The
+/// pid separates processes; the mixed counter/clock suffix separates
+/// concurrent writers INSIDE one process (two batch jobs caching the same
+/// graph), which a pid-only suffix cannot — they would open the same temp
+/// file and interleave their payloads before one renames the torn result
+/// into place.
+std::string unique_tmp_path(const std::string& cache_path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const std::uint64_t tag =
+      mix64(mix64(counter.fetch_add(1, std::memory_order_relaxed) ^
+                  static_cast<std::uint64_t>(now)) ^
+            process_id());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(tag));
+  return cache_path + ".tmp." + std::to_string(process_id()) + "." + hex;
+}
+
+/// Best-effort sweep of `<cache name>.tmp.*` orphans left next to
+/// `cache_path` by writers that died mid-write. Only entries older than an
+/// hour are touched, so live writers (including ourselves an instant ago)
+/// are never raced; every error is swallowed — cleanup must not fail a
+/// successful cache write.
+void remove_orphaned_temps(const std::string& cache_path) {
+  std::error_code ec;
+  const fs::path target(cache_path);
+  fs::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = target.filename().string() + ".tmp.";
+  const auto cutoff =
+      std::chrono::file_clock::now() - std::chrono::hours(1);
+  fs::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const auto mtime = fs::last_write_time(entry.path(), ec);
+    if (ec || mtime > cutoff) continue;
+    fs::remove(entry.path(), ec);
+  }
 }
 
 constexpr std::array<char, 8> kMagic = {'S', 'B', 'G', 'C', 'A', 'C', 'H', 'E'};
@@ -232,9 +278,11 @@ void write_cache_file(const std::string& cache_path, const CacheKey& key,
   }
 
   // Temp-file + rename: a concurrent reader sees either the old entry, no
-  // entry, or the complete new entry — never a torn write. The pid suffix
-  // keeps concurrent writers off each other's temp files.
-  const std::string tmp = cache_path + ".tmp." + std::to_string(process_id());
+  // entry, or the complete new entry — never a torn write. The unique
+  // per-write temp name keeps concurrent writers (threads as well as
+  // processes) off each other's temp files; last rename wins, and every
+  // rename installs a complete entry.
+  const std::string tmp = unique_tmp_path(cache_path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw InputError("cannot create " + tmp);
@@ -258,6 +306,7 @@ void write_cache_file(const std::string& cache_path, const CacheKey& key,
     fs::remove(tmp, ec);
     throw InputError("cannot move cache entry into place at " + cache_path);
   }
+  remove_orphaned_temps(cache_path);
 }
 
 }  // namespace sbg::ingest

@@ -14,6 +14,7 @@
 
 #include "matching/matching.hpp"
 #include "obs/obs.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/reduce.hpp"
@@ -51,6 +52,7 @@ vid_t gm_extend(const CsrGraph& g, std::vector<vid_t>& mate,
 
   vid_t rounds = 0;
   while (live_count > 0 && (max_rounds == 0 || rounds < max_rounds)) {
+    poll_cancellation();
     ++rounds;
     SBG_COUNTER_ADD("gm.rounds", 1);
     SBG_COUNTER_ADD("gm.proposals", live_count);

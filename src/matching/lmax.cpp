@@ -11,6 +11,7 @@
 // probability; the canonical pair breaks any residual tie).
 #include "matching/matching.hpp"
 #include "obs/obs.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/timer.hpp"
@@ -40,6 +41,7 @@ vid_t lmax_extend(const CsrGraph& g, std::vector<vid_t>& mate,
   vid_t rounds = 0;
   std::vector<vid_t> next_live;
   while (!live.empty()) {
+    poll_cancellation();
     ++rounds;
     SBG_COUNTER_ADD("lmax.rounds", 1);
     SBG_SERIES_APPEND("lmax.frontier", live.size());

@@ -11,6 +11,7 @@
 // reproducible under any thread schedule.
 #include "mis/mis.hpp"
 #include "obs/obs.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/atomics.hpp"
 #include "parallel/compact.hpp"
 #include "parallel/parallel_for.hpp"
@@ -50,6 +51,7 @@ vid_t luby_extend(const CsrGraph& g, std::vector<MisState>& state,
 
   vid_t rounds = 0;
   while (live_count > 0) {
+    poll_cancellation();
     ++rounds;
     SBG_COUNTER_ADD("luby.rounds", 1);
     SBG_SERIES_APPEND("luby.frontier", live_count);

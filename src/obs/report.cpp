@@ -11,9 +11,7 @@
 
 namespace sbg::obs {
 
-namespace {
-
-void append_escaped(std::string& out, const std::string& s) {
+void append_json_string(std::string& out, const std::string& s) {
   out += '"';
   for (const char ch : s) {
     switch (ch) {
@@ -35,7 +33,7 @@ void append_escaped(std::string& out, const std::string& s) {
   out += '"';
 }
 
-void append_number(std::string& out, double v) {
+void append_json_number(std::string& out, double v) {
   if (!std::isfinite(v)) {  // JSON has no inf/nan
     out += "null";
     return;
@@ -43,6 +41,16 @@ void append_number(std::string& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out += buf;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  append_json_string(out, s);
+}
+
+void append_number(std::string& out, double v) {
+  append_json_number(out, v);
 }
 
 void append_uint(std::string& out, std::uint64_t v) {

@@ -25,6 +25,13 @@ namespace sbg::obs {
 
 using MetaList = std::vector<std::pair<std::string, std::string>>;
 
+/// Append `s` to `out` as a quoted, escaped JSON string literal. Shared by
+/// the run report and any layer that embeds one (e.g. the batch report).
+void append_json_string(std::string& out, const std::string& s);
+
+/// Append `v` as a JSON number (non-finite values become null).
+void append_json_number(std::string& out, double v);
+
 /// The full report as a JSON string (snapshot of registry + span tree).
 std::string report_json(const MetaList& meta = {});
 

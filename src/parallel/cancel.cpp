@@ -1,0 +1,30 @@
+#include "parallel/cancel.hpp"
+
+#include "obs/obs.hpp"
+
+namespace sbg {
+
+namespace {
+thread_local CancelToken* t_token = nullptr;
+}  // namespace
+
+ScopedCancel::ScopedCancel(CancelToken* token) : saved_(t_token) {
+  t_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { t_token = saved_; }
+
+void poll_cancellation() {
+  CancelToken* tok = t_token;
+  if (tok == nullptr) return;
+  if (tok->cancel_requested()) {
+    SBG_COUNTER_ADD("cancel.observed", 1);
+    throw JobCancelled("job cancelled");
+  }
+  if (tok->deadline_passed()) {
+    SBG_COUNTER_ADD("cancel.deadline", 1);
+    throw JobCancelled("job deadline exceeded");
+  }
+}
+
+}  // namespace sbg

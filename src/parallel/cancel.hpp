@@ -1,0 +1,93 @@
+// Cooperative per-job cancellation and deadlines for the round loops.
+//
+// The batch engine (src/sched/) runs many solver jobs concurrently and
+// needs to stop a job that blows its deadline without tearing down the
+// process or interrupting its siblings. Solvers cooperate: each iterative
+// round loop calls poll_cancellation() once per round, from the serial
+// inter-phase section (never inside an OpenMP parallel region — throwing
+// across a region boundary would terminate). When no token is installed
+// the poll is a thread-local load and a branch, so standalone solver calls
+// pay nothing measurable.
+//
+// Tokens are installed per worker thread with ScopedCancel; a token may be
+// observed from other threads (request_cancel is an atomic store), so one
+// controller can cancel many workers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sbg {
+
+/// Thrown by poll_cancellation() when the installed token has been
+/// cancelled or its deadline has passed. Derives from std::runtime_error so
+/// generic catch sites treat it as a job failure, but the batch engine can
+/// distinguish it and record kCancelled instead of kFailed.
+class JobCancelled : public std::runtime_error {
+ public:
+  explicit JobCancelled(const char* reason) : std::runtime_error(reason) {}
+};
+
+/// One job's cancellation state: an explicit flag plus an optional
+/// monotonic-clock deadline. Shared between the worker running the job
+/// (polling) and any controller (cancelling) — all accesses are atomic.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm a deadline `ms` milliseconds from now (<= 0 disarms).
+  void set_deadline_ms(double ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+        static_cast<std::int64_t>(ms * 1e6);
+    deadline_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Request cancellation; the job observes it at its next poll.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool deadline_passed() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           d;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // 0 = no deadline
+};
+
+/// Install `token` as the calling thread's active cancellation token for
+/// the lifetime of the guard (nullptr is allowed and means "none"). The
+/// previous token is restored on destruction, so scopes nest.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(CancelToken* token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  CancelToken* saved_;
+};
+
+/// Throw JobCancelled if the calling thread's token (if any) is cancelled
+/// or past its deadline. Must be called from serial solver code only.
+void poll_cancellation();
+
+}  // namespace sbg

@@ -9,6 +9,13 @@
 // sums, then per-thread writes into disjoint output ranges — the same
 // two-pass discipline as exclusive_prefix_sum. The predicate is evaluated
 // twice per index (count + write) and must be safe to call concurrently.
+//
+// Safe under concurrent and nested callers: `block_sums` is sized inside
+// the parallel region from the team OpenMP actually delivered (which under
+// nesting, thread limits, or dynamic teams need not equal
+// omp_get_max_threads()), so results are byte-identical to the serial scan
+// from any calling context — a batch worker thread, an already-active
+// parallel region, or the orchestrating main thread.
 #pragma once
 
 #include <cstddef>
@@ -36,12 +43,16 @@ std::size_t pack_index(std::size_t n, Pred&& pred, std::span<vid_t> out) {
     return cnt;
   }
   std::size_t total = 0;
-  std::vector<std::size_t> block_sums(
-      static_cast<std::size_t>(omp_get_max_threads()) + 1, 0);
+  std::vector<std::size_t> block_sums;
 #pragma omp parallel
   {
     const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
     const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    // Size from the actual team, not omp_get_max_threads(): under nested
+    // parallelism or thread limits the delivered team can differ. The
+    // single's implicit barrier publishes the sized vector to every lane.
+#pragma omp single
+    block_sums.assign(nt + 1, 0);
     const std::size_t lo = n * t / nt;
     const std::size_t hi = n * (t + 1) / nt;
     std::size_t local = 0;
@@ -86,12 +97,14 @@ std::size_t pack(const InSpan& in, Pred&& pred, std::span<T> out) {
     return cnt;
   }
   std::size_t total = 0;
-  std::vector<std::size_t> block_sums(
-      static_cast<std::size_t>(omp_get_max_threads()) + 1, 0);
+  std::vector<std::size_t> block_sums;
 #pragma omp parallel
   {
     const std::size_t t = static_cast<std::size_t>(omp_get_thread_num());
     const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+    // Same nesting-safe sizing discipline as pack_index above.
+#pragma omp single
+    block_sums.assign(nt + 1, 0);
     const std::size_t lo = n * t / nt;
     const std::size_t hi = n * (t + 1) / nt;
     std::size_t local = 0;

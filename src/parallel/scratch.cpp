@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 
 #include "obs/obs.hpp"
 
@@ -23,10 +24,44 @@ Scratch& Scratch::local() {
   return s;
 }
 
+std::size_t Scratch::default_cap() {
+  constexpr std::size_t kDefault = std::size_t{256} << 20;  // 256 MiB
+  const char* env = std::getenv("SBG_SCRATCH_CAP");
+  if (env == nullptr || *env == '\0') return kDefault;
+  const long long v = std::atoll(env);
+  return v <= 0 ? kDefault : static_cast<std::size_t>(v);
+}
+
 std::size_t Scratch::capacity_bytes() const {
   std::size_t total = 0;
   for (const Block& b : blocks_) total += b.capacity;
   return total;
+}
+
+void Scratch::set_capacity_cap(std::size_t bytes) { cap_ = bytes; }
+
+void Scratch::reset() {
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+  cur_ = 0;
+  SBG_GAUGE_SET("scratch.capacity_bytes", 0.0);
+}
+
+void Scratch::trim_to_cap() {
+  // Blocks grow geometrically, so the back block dominates capacity;
+  // releasing largest-first frees the high-water footprint in few steps.
+  std::size_t total = capacity_bytes();
+  bool trimmed = false;
+  while (total > cap_ && !blocks_.empty()) {
+    total -= blocks_.back().capacity;
+    SBG_COUNTER_ADD("scratch.blocks_released", 1);
+    blocks_.pop_back();
+    trimmed = true;
+  }
+  if (trimmed) {
+    cur_ = 0;
+    SBG_GAUGE_SET("scratch.capacity_bytes", static_cast<double>(total));
+  }
 }
 
 void* Scratch::take_bytes(std::size_t bytes) {
@@ -54,6 +89,8 @@ void* Scratch::take_bytes(std::size_t bytes) {
   b.used = need;
   blocks_.push_back(std::move(b));
   cur_ = blocks_.size() - 1;
+  SBG_GAUGE_SET("scratch.capacity_bytes",
+                static_cast<double>(capacity_bytes()));
   return blocks_.back().base;
 }
 
@@ -70,6 +107,9 @@ void Scratch::rewind(std::pair<std::size_t, std::size_t> m) {
   blocks_[block].used = m.second;
   for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
   cur_ = block;
+  // Rewound to empty (no outer Region holds bytes): the only safe moment
+  // to release backing blocks, since no live span can point into them.
+  if (block == 0 && m.second == 0) trim_to_cap();
 }
 
 }  // namespace sbg

@@ -18,10 +18,19 @@
 // while their Region is alive. Only trivial element types are served; the
 // memory is uninitialized unless taken via take_zero / take_fill.
 //
-// Thread model: Scratch::local() is a thread-local arena. Solvers take
-// their buffers on the calling (orchestrating) thread, outside parallel
-// regions; OpenMP workers then read/write the spans, which is safe — the
-// arena itself is only ever bumped from one thread.
+// Thread model: Scratch::local() is a thread-local arena, so any number of
+// concurrent callers (batch workers, independent std::threads, the main
+// thread) each get their own arena and never contend. Solvers take their
+// buffers on the calling thread, outside parallel regions; OpenMP workers
+// then read/write the spans, which is safe — each arena is only ever
+// bumped from its owning thread.
+//
+// Memory bound: each arena enforces a soft capacity cap (default 256 MiB,
+// override with SBG_SCRATCH_CAP bytes or set_capacity_cap). A take may
+// exceed the cap — solvers must not fail mid-round — but when the arena
+// rewinds to empty, backing blocks are released largest-first until the
+// retained capacity fits under the cap, so a worker that once ran a huge
+// job does not pin that high-water footprint forever.
 #pragma once
 
 #include <cstddef>
@@ -90,6 +99,16 @@ class Scratch {
   /// Total bytes of backing blocks currently allocated.
   std::size_t capacity_bytes() const;
 
+  /// Soft retention cap: capacity above this is released when the arena
+  /// rewinds to empty. 0 means "release everything on rewind-to-empty".
+  void set_capacity_cap(std::size_t bytes);
+  std::size_t capacity_cap() const { return cap_; }
+
+  /// Drop every backing block immediately. The caller must guarantee no
+  /// live Region / span points into the arena (e.g. a batch worker between
+  /// jobs, or a test restoring a clean slate).
+  void reset();
+
  private:
   struct Block {
     std::unique_ptr<std::byte[]> raw;
@@ -101,9 +120,13 @@ class Scratch {
   void* take_bytes(std::size_t bytes);
   std::pair<std::size_t, std::size_t> mark() const;
   void rewind(std::pair<std::size_t, std::size_t> m);
+  void trim_to_cap();
+
+  static std::size_t default_cap();
 
   std::vector<Block> blocks_;
   std::size_t cur_ = 0;  // block currently being bumped
+  std::size_t cap_ = default_cap();
 };
 
 }  // namespace sbg

@@ -1,0 +1,277 @@
+#include "sched/sched.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "check/check.hpp"
+#include "check/solvers.hpp"
+#include "ingest/cache.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/thread_env.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::sched {
+
+namespace {
+
+template <typename Variants>
+auto find_variant(const Variants& variants, const std::string& name)
+    -> decltype(&variants.front()) {
+  for (const auto& v : variants) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t hash_array(const void* data, std::size_t bytes,
+                         std::uint64_t seed) {
+  return ingest::hash_bytes(data, bytes, seed);
+}
+
+/// Dispatch spec to its registered variant, oracle-gate the result, and
+/// fill the solution-dependent JobResult fields. Throws on oracle failure
+/// or unknown variant; run_job translates every throw into a status.
+void solve_into(const JobSpec& spec, bool verify, JobResult& out) {
+  const CsrGraph& g = *spec.graph;
+  switch (spec.problem) {
+    case Problem::kMM: {
+      const auto* v = find_variant(check::matching_variants(), spec.variant);
+      if (v == nullptr) throw InputError("unknown mm variant: " + spec.variant);
+      const MatchResult r = v->run(g, spec.seed);
+      if (verify) {
+        const check::MatchingReport rep = check::check_matching(g, r.mate);
+        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
+      }
+      out.rounds = r.rounds;
+      out.value = r.cardinality;
+      out.result_hash = hash_array(r.mate.data(),
+                                   r.mate.size() * sizeof(vid_t), spec.seed);
+      return;
+    }
+    case Problem::kColor: {
+      const auto* v = find_variant(check::coloring_variants(), spec.variant);
+      if (v == nullptr) {
+        throw InputError("unknown color variant: " + spec.variant);
+      }
+      const ColorResult r = v->run(g, spec.seed);
+      if (verify) {
+        const check::ColoringReport rep = check::check_coloring(g, r.color);
+        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
+      }
+      out.rounds = r.rounds;
+      out.value = r.num_colors;
+      out.result_hash = hash_array(
+          r.color.data(), r.color.size() * sizeof(std::uint32_t), spec.seed);
+      return;
+    }
+    case Problem::kMis: {
+      const auto* v = find_variant(check::mis_variants(), spec.variant);
+      if (v == nullptr) {
+        throw InputError("unknown mis variant: " + spec.variant);
+      }
+      const MisResult r = v->run(g, spec.seed);
+      if (verify) {
+        const check::MisReport rep = check::check_mis(g, r.state);
+        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
+      }
+      out.rounds = r.rounds;
+      out.value = r.size;
+      out.result_hash = hash_array(
+          r.state.data(), r.state.size() * sizeof(MisState), spec.seed);
+      return;
+    }
+  }
+  throw InputError("unknown problem");
+}
+
+void append_job_json(std::string& out, const JobSpec& spec,
+                     const JobResult& res) {
+  using obs::append_json_number;
+  using obs::append_json_string;
+  out += "{\"name\":";
+  append_json_string(out, spec.name);
+  out += ",\"graph\":";
+  append_json_string(out, spec.graph_name);
+  out += ",\"problem\":";
+  append_json_string(out, to_string(spec.problem));
+  out += ",\"variant\":";
+  append_json_string(out, spec.variant);
+  out += ",\"seed\":" + std::to_string(spec.seed);
+  out += ",\"status\":";
+  append_json_string(out, to_string(res.status));
+  out += ",\"worker\":" + std::to_string(res.worker);
+  out += ",\"seconds\":";
+  append_json_number(out, res.seconds);
+  out += ",\"rounds\":" + std::to_string(res.rounds);
+  out += ",\"value\":" + std::to_string(res.value);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(res.result_hash));
+  out += ",\"result_hash\":";
+  append_json_string(out, hex);
+  out += ",\"error\":";
+  append_json_string(out, res.error);
+  out += '}';
+}
+
+}  // namespace
+
+const char* to_string(Problem p) {
+  switch (p) {
+    case Problem::kMM: return "mm";
+    case Problem::kColor: return "color";
+    case Problem::kMis: return "mis";
+  }
+  return "?";
+}
+
+bool schedule_deterministic(Problem problem, const std::string& variant) {
+  // MM (proposal rounds with barriers, seeded weights) and MIS
+  // (counter-based coins) solvers are schedule-independent. Coloring is
+  // deterministic only for the Jones-Plassmann family: VB/EB/spec
+  // speculate with racy color reads by design, so any variant whose solve
+  // phase is not JP inherits their schedule dependence.
+  if (problem != Problem::kColor) return true;
+  return variant.rfind("jp", 0) == 0;
+}
+
+const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+int BatchReport::count(JobStatus s) const {
+  int n = 0;
+  for (const JobResult& r : results) n += r.status == s ? 1 : 0;
+  return n;
+}
+
+std::string BatchReport::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"sbg_batch_version\":1,\"options\":{\"jobs\":" +
+         std::to_string(options.jobs) +
+         ",\"per_job_threads\":" + std::to_string(options.per_job_threads) +
+         ",\"deadline_ms\":";
+  obs::append_json_number(out, options.deadline_ms);
+  out += ",\"verify\":";
+  out += options.verify ? "true" : "false";
+  out += "},\"wall_seconds\":";
+  obs::append_json_number(out, wall_seconds);
+  out += ",\"totals\":{\"jobs\":" + std::to_string(results.size()) +
+         ",\"ok\":" + std::to_string(count(JobStatus::kOk)) +
+         ",\"failed\":" + std::to_string(count(JobStatus::kFailed)) +
+         ",\"cancelled\":" + std::to_string(count(JobStatus::kCancelled)) +
+         "},\"jobs\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i) out += ',';
+    append_job_json(out, specs[i], results[i]);
+  }
+  // The process-global obs snapshot: counters/series from all jobs
+  // aggregate here (the registry is process-wide by design).
+  out += "],\"obs\":";
+  out += obs::report_json({{"tool", "sbg_batch"}});
+  out += '}';
+  return out;
+}
+
+JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
+  JobResult res;
+  Timer timer;
+  CancelToken token;
+  token.set_deadline_ms(deadline_ms);
+  ScopedCancel install(&token);
+  try {
+    if (spec.inject_failure) throw InputError("injected failure");
+    // First poll before any solving: an already-expired deadline cancels
+    // even jobs that would finish in one round.
+    poll_cancellation();
+    solve_into(spec, verify, res);
+    res.status = JobStatus::kOk;
+    SBG_COUNTER_ADD("sched.jobs_ok", 1);
+  } catch (const JobCancelled& e) {
+    res.status = JobStatus::kCancelled;
+    res.error = e.what();
+    SBG_COUNTER_ADD("sched.jobs_cancelled", 1);
+  } catch (const std::exception& e) {
+    res.status = JobStatus::kFailed;
+    res.error = e.what();
+    SBG_COUNTER_ADD("sched.jobs_failed", 1);
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+BatchReport run_batch(const std::vector<JobSpec>& specs,
+                      const BatchOptions& opt) {
+  SBG_SPAN("sched.batch");
+  BatchReport report;
+  report.specs = specs;
+  report.options = opt;
+  report.results.resize(specs.size());
+
+  const int workers =
+      std::max(1, std::min<int>(opt.jobs, static_cast<int>(specs.size())));
+  std::atomic<std::size_t> next{0};
+  Timer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      // Each std::thread is its own OpenMP contention group: this caps the
+      // team of every parallel region THIS worker's jobs open, without
+      // touching the other workers or the caller.
+      set_num_threads(std::max(1, opt.per_job_threads));
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) break;
+        report.results[i] = run_job(specs[i], opt.deadline_ms, opt.verify);
+        report.results[i].worker = w;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  report.wall_seconds = timer.seconds();
+  SBG_COUNTER_ADD("sched.batches", 1);
+  SBG_GAUGE_SET("sched.last_batch_wall_seconds", report.wall_seconds);
+  return report;
+}
+
+std::vector<JobSpec> table1_matrix(
+    const std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>>&
+        graphs,
+    std::uint64_t seed) {
+  // The paper's Table I: per problem, the baseline engine plus the three
+  // decomposition composites under that engine.
+  static constexpr const char* kMm[] = {"gm", "bridge-gm", "rand-gm",
+                                        "degk-gm"};
+  static constexpr const char* kColor[] = {"vb", "bridge-vb", "rand-vb",
+                                           "degk-vb"};
+  static constexpr const char* kMis[] = {"luby", "bridge", "rand", "degk2"};
+  std::vector<JobSpec> specs;
+  for (const auto& [gname, graph] : graphs) {
+    const auto add = [&](Problem p, const char* variant) {
+      JobSpec s;
+      s.graph_name = gname;
+      s.graph = graph;
+      s.problem = p;
+      s.variant = variant;
+      s.seed = seed;
+      s.name = gname + "/" + to_string(p) + "/" + variant;
+      specs.push_back(std::move(s));
+    };
+    for (const char* v : kMm) add(Problem::kMM, v);
+    for (const char* v : kColor) add(Problem::kColor, v);
+    for (const char* v : kMis) add(Problem::kMis, v);
+  }
+  return specs;
+}
+
+}  // namespace sbg::sched

@@ -1,0 +1,111 @@
+// sbg::sched — concurrent batch execution of independent solver jobs.
+//
+// The paper's Table I is a (problem × decomposition-variant × dataset)
+// matrix; the ROADMAP north star is a service that answers many such
+// requests at once. This engine runs J independent jobs from one work
+// queue over a partitioned thread budget: each worker is a plain
+// std::thread (its own OpenMP contention group), capped at
+// per_job_threads via omp_set_num_threads in worker scope, so total
+// OpenMP threads = jobs × per_job_threads with no nested-parallelism
+// games. Per-job deadlines ride on the cooperative cancellation polls in
+// the solver round loops (parallel/cancel.hpp); a throwing, cancelled, or
+// oracle-failing job is recorded in the batch report and the batch
+// continues. Determinism carries over for the seeded solvers: they are
+// pure functions of (graph, seed) with counter-based randomness, so a
+// batch run's per-job result bytes are identical to a sequential sweep's —
+// the engine hashes each solution array so reports can prove it. The
+// speculative colorers (VB/EB/spec) intentionally race on the color array,
+// so their results are oracle-valid but schedule-dependent; use
+// schedule_deterministic() to know which jobs admit hash comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg::sched {
+
+enum class Problem { kMM, kColor, kMis };
+const char* to_string(Problem p);
+
+/// One unit of batch work: run `variant` of `problem` on `graph` with
+/// `seed`. Variants are the names registered in check/solvers.hpp, so
+/// every solver and composite the library ships is addressable.
+struct JobSpec {
+  std::string name;        ///< report key, e.g. "c-73/mm/rand-gm"
+  std::string graph_name;
+  std::shared_ptr<const CsrGraph> graph;
+  Problem problem = Problem::kMM;
+  std::string variant;
+  std::uint64_t seed = 42;
+  /// Testing hook: throw instead of solving, to exercise failure isolation.
+  bool inject_failure = false;
+};
+
+enum class JobStatus {
+  kOk,
+  kFailed,     ///< solver threw, oracle rejected, or variant unknown
+  kCancelled,  ///< deadline exceeded / cancellation observed
+};
+const char* to_string(JobStatus s);
+
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  std::string error;              ///< empty on kOk
+  int worker = -1;                ///< worker thread that ran the job
+  double seconds = 0.0;
+  vid_t rounds = 0;
+  std::uint64_t value = 0;        ///< |M| / palette span / |I|
+  std::uint64_t result_hash = 0;  ///< hash of the solution array bytes
+};
+
+struct BatchOptions {
+  int jobs = 2;             ///< concurrent workers
+  int per_job_threads = 1;  ///< OpenMP threads inside each job
+  double deadline_ms = 0;   ///< per-job deadline; <= 0 disables
+  bool verify = true;       ///< gate each result on the check oracles
+};
+
+struct BatchReport {
+  std::vector<JobSpec> specs;  ///< echoed; results[i] belongs to specs[i]
+  std::vector<JobResult> results;
+  BatchOptions options;
+  double wall_seconds = 0.0;
+
+  int count(JobStatus s) const;
+
+  /// One aggregated JSON document: batch options, totals, one object per
+  /// job, and the process-global obs report as the "obs" member.
+  std::string to_json() const;
+};
+
+/// Whether `variant` of `problem` produces byte-identical results under
+/// every thread count and interleaving. True for the seeded solvers (all
+/// MM and MIS variants, JP coloring); false for the speculative colorers
+/// (VB/EB/spec and their composites), whose in-round races make the
+/// result valid but schedule-dependent. Hash-compare batch results
+/// against sequential replays only when this holds.
+bool schedule_deterministic(Problem problem, const std::string& variant);
+
+/// Run one job in the calling thread under the caller's current OpenMP
+/// thread count. Never throws: every failure mode lands in the result.
+JobResult run_job(const JobSpec& spec, double deadline_ms = 0,
+                  bool verify = true);
+
+/// Run `specs` concurrently. Must be called from serial code (the workers
+/// it spawns are their own OpenMP contention groups).
+BatchReport run_batch(const std::vector<JobSpec>& specs,
+                      const BatchOptions& opt = {});
+
+/// The Table-I job matrix over `graphs`: for each graph, {MM, COLOR, MIS}
+/// × {baseline, BRIDGE, RAND, DEGk} under the CPU engines.
+std::vector<JobSpec> table1_matrix(
+    const std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>>&
+        graphs,
+    std::uint64_t seed = 42);
+
+}  // namespace sbg::sched

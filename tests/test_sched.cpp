@@ -1,0 +1,295 @@
+// sbg::sched batch engine: failure isolation, cooperative deadlines, and
+// the determinism contract under concurrency — a batch run's per-job
+// results must be byte-identical to a sequential sweep with the same
+// seeds, at any thread count, and independent jobs calling the seeded
+// solvers concurrently must not perturb each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "core/rand.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/thread_env.hpp"
+#include "sched/sched.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg::test {
+namespace {
+
+constexpr int kThreadSweep[] = {1, 2, 8};
+
+std::shared_ptr<const CsrGraph> shared_random_graph(vid_t n, eid_t m,
+                                                    std::uint64_t seed) {
+  return std::make_shared<const CsrGraph>(random_graph(n, m, seed));
+}
+
+TEST(Sched, TableOneMatrixBatchMatchesSequentialSweep) {
+  const std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>>
+      graphs = {{"er300", shared_random_graph(300, 900, 7)},
+                {"er500", shared_random_graph(500, 2000, 11)}};
+  const std::vector<sched::JobSpec> specs = sched::table1_matrix(graphs, 42);
+  ASSERT_EQ(specs.size(), 24u);  // 2 graphs x 12 Table-I cells
+
+  sched::BatchOptions opt;
+  opt.jobs = 4;
+  opt.per_job_threads = 1;
+  const sched::BatchReport report = sched::run_batch(specs, opt);
+  ASSERT_EQ(report.results.size(), specs.size());
+  EXPECT_EQ(report.count(sched::JobStatus::kOk),
+            static_cast<int>(specs.size()));
+
+  // Same spec, same seed, run alone: status, solution hash, value, and
+  // round count must all agree with the concurrent run — for the
+  // schedule-deterministic jobs. The vb-based coloring cells race by
+  // design, so for them the replay only has to be oracle-clean (run_job
+  // verifies by default).
+  int hash_checked = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const sched::JobResult ref = sched::run_job(specs[i]);
+    ASSERT_EQ(ref.status, sched::JobStatus::kOk) << specs[i].name;
+    if (!sched::schedule_deterministic(specs[i].problem, specs[i].variant)) {
+      continue;
+    }
+    ++hash_checked;
+    EXPECT_EQ(report.results[i].result_hash, ref.result_hash)
+        << specs[i].name;
+    EXPECT_EQ(report.results[i].value, ref.value) << specs[i].name;
+    EXPECT_EQ(report.results[i].rounds, ref.rounds) << specs[i].name;
+  }
+  EXPECT_EQ(hash_checked, 16);  // 2 graphs x (4 MM + 4 MIS) cells
+}
+
+TEST(Sched, ScheduleDeterminismClassifiesVariants) {
+  using sched::Problem;
+  using sched::schedule_deterministic;
+  EXPECT_TRUE(schedule_deterministic(Problem::kMM, "gm"));
+  EXPECT_TRUE(schedule_deterministic(Problem::kMM, "rand-gm"));
+  EXPECT_TRUE(schedule_deterministic(Problem::kMis, "luby"));
+  EXPECT_TRUE(schedule_deterministic(Problem::kMis, "degk2"));
+  EXPECT_TRUE(schedule_deterministic(Problem::kColor, "jp-random"));
+  EXPECT_TRUE(schedule_deterministic(Problem::kColor, "jp-ldf"));
+  EXPECT_FALSE(schedule_deterministic(Problem::kColor, "vb"));
+  EXPECT_FALSE(schedule_deterministic(Problem::kColor, "eb"));
+  EXPECT_FALSE(schedule_deterministic(Problem::kColor, "spec"));
+  EXPECT_FALSE(schedule_deterministic(Problem::kColor, "rand-vb"));
+  EXPECT_FALSE(schedule_deterministic(Problem::kColor, "degk-eb"));
+}
+
+TEST(Sched, InjectedFailureIsIsolated) {
+  const auto graph = shared_random_graph(200, 600, 3);
+  std::vector<sched::JobSpec> specs;
+  for (int j = 0; j < 6; ++j) {
+    sched::JobSpec s;
+    s.name = "mis/luby#" + std::to_string(j);
+    s.graph_name = "er200";
+    s.graph = graph;
+    s.problem = sched::Problem::kMis;
+    s.variant = "luby";
+    s.seed = 42 + static_cast<std::uint64_t>(j);
+    specs.push_back(std::move(s));
+  }
+  specs[2].inject_failure = true;
+  specs[2].name = "injected";
+
+  sched::BatchOptions opt;
+  opt.jobs = 3;
+  const sched::BatchReport report = sched::run_batch(specs, opt);
+  EXPECT_EQ(report.results[2].status, sched::JobStatus::kFailed);
+  EXPECT_NE(report.results[2].error.find("injected"), std::string::npos);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(report.results[i].status, sched::JobStatus::kOk)
+        << specs[i].name << ": " << report.results[i].error;
+  }
+}
+
+TEST(Sched, UnknownVariantIsIsolatedFailure) {
+  sched::JobSpec s;
+  s.name = "bogus";
+  s.graph = shared_random_graph(50, 120, 5);
+  s.problem = sched::Problem::kColor;
+  s.variant = "no-such-variant";
+  const sched::JobResult res = sched::run_job(s);
+  EXPECT_EQ(res.status, sched::JobStatus::kFailed);
+  EXPECT_NE(res.error.find("unknown"), std::string::npos) << res.error;
+}
+
+TEST(Sched, ExpiredDeadlineCancelsCooperatively) {
+  // run_job polls before the first round, so an already-expired deadline
+  // cancels even jobs that would complete instantly — and a cancelled job
+  // is kCancelled, never kFailed.
+  const auto graph = shared_random_graph(5000, 20000, 17);
+  for (const char* variant : {"luby", "gm", "vb", "spec"}) {
+    sched::JobSpec s;
+    s.name = variant;
+    s.graph = graph;
+    if (std::string(variant) == "gm") {
+      s.problem = sched::Problem::kMM;
+    } else if (std::string(variant) == "luby") {
+      s.problem = sched::Problem::kMis;
+    } else {
+      s.problem = sched::Problem::kColor;
+    }
+    s.variant = variant;
+    const sched::JobResult res =
+        sched::run_job(s, /*deadline_ms=*/1e-6, /*verify=*/false);
+    EXPECT_EQ(res.status, sched::JobStatus::kCancelled) << variant;
+    EXPECT_FALSE(res.error.empty());
+  }
+}
+
+TEST(Sched, BatchDeadlineLeavesNoFailures) {
+  const std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>>
+      graphs = {{"er400", shared_random_graph(400, 1600, 23)}};
+  const std::vector<sched::JobSpec> specs = sched::table1_matrix(graphs);
+  sched::BatchOptions opt;
+  opt.jobs = 4;
+  opt.deadline_ms = 1e-6;
+  opt.verify = false;
+  const sched::BatchReport report = sched::run_batch(specs, opt);
+  // Every job either finished before its first poll or was cancelled —
+  // a deadline must never surface as kFailed.
+  EXPECT_EQ(report.count(sched::JobStatus::kFailed), 0);
+  EXPECT_GT(report.count(sched::JobStatus::kCancelled), 0);
+}
+
+TEST(Sched, CancelTokenRequestStopsAJob) {
+  const auto graph = shared_random_graph(2000, 8000, 29);
+  CancelToken token;
+  token.request_cancel();
+  ScopedCancel install(&token);
+  EXPECT_THROW(mis_luby(*graph, 1), JobCancelled);
+}
+
+TEST(Sched, BatchReportJsonIsWellFormed) {
+  const std::vector<std::pair<std::string, std::shared_ptr<const CsrGraph>>>
+      graphs = {{"fig1", std::make_shared<const CsrGraph>(figure1_graph())}};
+  const std::vector<sched::JobSpec> specs = sched::table1_matrix(graphs);
+  sched::BatchOptions opt;
+  opt.jobs = 2;
+  const sched::BatchReport report = sched::run_batch(specs, opt);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"sbg_batch_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":["), std::string::npos);
+  EXPECT_NE(json.find("\"result_hash\""), std::string::npos);
+  // The per-job reports and the embedded global obs snapshot both close.
+  EXPECT_NE(json.find("\"obs\":{\"sbg_report_version\":1"), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// ------------------------------------------------- determinism matrices --
+// The seeded solvers and the RAND decomposition are pure functions of
+// (graph, seed): byte-identical across thread counts AND when invoked from
+// two concurrent caller threads (each its own OpenMP contention group).
+
+struct SeededResults {
+  std::vector<eid_t> rand_intra_offsets;
+  std::vector<vid_t> rand_intra_adj;
+  std::vector<MisState> luby_state;
+  std::vector<std::uint32_t> jp_color;
+  std::vector<vid_t> lmax_mate;
+
+  static SeededResults compute(const CsrGraph& g, std::uint64_t seed) {
+    SeededResults r;
+    const RandDecomposition d = decompose_rand(g, 4, seed);
+    r.rand_intra_offsets.assign(d.g_intra.offsets().begin(),
+                                d.g_intra.offsets().end());
+    r.rand_intra_adj.assign(d.g_intra.adjacency().begin(),
+                            d.g_intra.adjacency().end());
+    r.luby_state = mis_luby(g, seed).state;
+    r.jp_color = color_jp(g, JpOrder::kRandom, seed).color;
+    r.lmax_mate = mm_lmax(g, seed, LmaxWeights::kRandom).mate;
+    return r;
+  }
+
+  bool operator==(const SeededResults& o) const = default;
+};
+
+TEST(Sched, SeededSolversByteIdenticalAcrossThreadsAndConcurrentCallers) {
+  const CsrGraph g = random_graph(3000, 12000, 41);
+  const std::uint64_t seed = 1234;
+  const SeededResults reference = SeededResults::compute(g, seed);
+
+  for (const int t : kThreadSweep) {
+    {
+      ScopedThreads threads(t);
+      EXPECT_TRUE(SeededResults::compute(g, seed) == reference)
+          << "single caller, threads=" << t;
+    }
+    // Two concurrent callers at this thread count. Each std::thread is its
+    // own OpenMP contention group, so ScopedThreads inside only affects
+    // that caller.
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 2; ++c) {
+      callers.emplace_back([&] {
+        ScopedThreads threads(t);
+        for (int rep = 0; rep < 3; ++rep) {
+          if (!(SeededResults::compute(g, seed) == reference)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& th : callers) th.join();
+    EXPECT_EQ(mismatches.load(), 0) << "concurrent callers, threads=" << t;
+  }
+}
+
+TEST(Sched, RandDecompositionDeterministicUnderConcurrentJobs) {
+  // Two different graphs decomposed concurrently, repeatedly: each job's
+  // partition must match its own single-threaded reference — no cross-job
+  // interference through shared state.
+  const CsrGraph g1 = random_graph(2000, 8000, 51);
+  const CsrGraph g2 = random_graph(1500, 9000, 52);
+  const RandDecomposition ref1 = decompose_rand(g1, 4, 9);
+  const RandDecomposition ref2 = decompose_rand(g2, 5, 9);
+
+  std::atomic<int> mismatches{0};
+  const auto check = [&](const CsrGraph& g, vid_t k,
+                         const RandDecomposition& ref) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const RandDecomposition d = decompose_rand(g, k, 9);
+      const bool same =
+          std::equal(d.g_intra.offsets().begin(), d.g_intra.offsets().end(),
+                     ref.g_intra.offsets().begin(),
+                     ref.g_intra.offsets().end()) &&
+          std::equal(d.g_cross.adjacency().begin(),
+                     d.g_cross.adjacency().end(),
+                     ref.g_cross.adjacency().begin(),
+                     ref.g_cross.adjacency().end());
+      if (!same) mismatches.fetch_add(1);
+    }
+  };
+  std::thread a([&] { check(g1, 4, ref1); });
+  std::thread b([&] { check(g2, 5, ref2); });
+  a.join();
+  b.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sbg::test

@@ -8,8 +8,12 @@
 // the DegenerateZoo shapes (which sit below the sequential grain) plus
 // larger generated graphs that force the parallel code paths.
 #include <gtest/gtest.h>
+#include <omp.h>
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/bridge.hpp"
@@ -269,6 +273,86 @@ TEST(Pack, ValueCompactionPreservesOrder) {
   }
 }
 
+TEST(PackIndex, NestedParallelRegionMatchesSerialAndDistributesWork) {
+  // Regression: pack used to size block_sums from omp_get_max_threads()
+  // outside the region, which need not match the team delivered to an
+  // inner region under nested parallelism. Called from inside an active
+  // parallel region (as a batch worker or nested kernel would), it must
+  // still be byte-identical to the serial scan AND actually distribute
+  // the scan across the inner team.
+  ScopedThreads restore(num_threads());
+  const int prev_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(2);
+
+  const std::size_t n = 100000;
+  const auto pred = [](std::size_t i) { return (mix64(i) & 3) == 0; };
+  std::vector<vid_t> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pred(i)) expect.push_back(static_cast<vid_t>(i));
+  }
+
+  constexpr int kOuter = 2;
+  std::vector<int> ok(kOuter, 0);
+  std::vector<unsigned> inner_threads_seen(kOuter, 0);
+#pragma omp parallel num_threads(kOuter)
+  {
+    const int outer = omp_get_thread_num();
+    // Request a 2-thread inner team regardless of core count (this host
+    // may report one processor; oversubscription is fine for a test).
+    omp_set_num_threads(2);
+    std::atomic<unsigned> mask{0};
+    const auto counting_pred = [&](std::size_t i) {
+      mask.fetch_or(1u << (omp_get_thread_num() & 31),
+                    std::memory_order_relaxed);
+      return pred(i);
+    };
+    const std::vector<vid_t> got = pack_index(n, counting_pred);
+    ok[outer] = got == expect ? 1 : 0;
+    inner_threads_seen[outer] = mask.load();
+  }
+  omp_set_max_active_levels(prev_levels);
+
+  for (int o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(ok[o], 1) << "outer thread " << o << " result differs";
+    // Work distributed: more than one inner thread evaluated the
+    // predicate (bitmask has >= 2 bits set).
+    EXPECT_GE(std::popcount(inner_threads_seen[o]), 2)
+        << "outer thread " << o << " ran its inner scan serially";
+  }
+}
+
+TEST(Pack, NestedParallelRegionPreservesByteIdentity) {
+  ScopedThreads restore(num_threads());
+  const int prev_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(2);
+
+  const std::size_t n = 60000;
+  std::vector<vid_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<vid_t>(mix64(i) & 0xffff);
+  }
+  const auto pred = [](vid_t v) { return (v & 3) != 0; };
+  std::vector<vid_t> expect;
+  for (const vid_t v : in) {
+    if (pred(v)) expect.push_back(v);
+  }
+
+  std::vector<int> ok(2, 0);
+#pragma omp parallel num_threads(2)
+  {
+    const int outer = omp_get_thread_num();
+    omp_set_num_threads(2);
+    std::vector<vid_t> out(n);
+    const std::size_t cnt =
+        pack(std::span<const vid_t>(in), pred, std::span(out));
+    out.resize(cnt);
+    ok[outer] = out == expect ? 1 : 0;
+  }
+  omp_set_max_active_levels(prev_levels);
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 1);
+}
+
 TEST(Scratch, SpansAreAlignedAndDisjoint) {
   Scratch& s = Scratch::local();
   Scratch::Region region(s);
@@ -331,6 +415,75 @@ TEST(Scratch, TakeZeroAndFillInitialize) {
   for (const vid_t v : zeroed.first(16)) EXPECT_EQ(v, 0u);
   const std::span<vid_t> filled = s.take_fill<vid_t>(4096, kNoVertex);
   for (const vid_t v : filled.first(16)) EXPECT_EQ(v, kNoVertex);
+}
+
+// The cap tests build their own Scratch instance rather than touching the
+// thread-local arena: trimming Scratch::local() here would perturb the
+// capacity expectations of the region tests above when gtest shuffles.
+
+TEST(Scratch, CapacityCapReleasesBlocksOnRewindToEmpty) {
+  Scratch s;
+  s.set_capacity_cap(1 << 16);  // 64 KiB retention cap
+  {
+    Scratch::Region region(s);
+    s.take<std::uint8_t>(1 << 20);  // 1 MiB take exceeds the cap but succeeds
+    EXPECT_GE(s.capacity_bytes(), std::size_t{1} << 20);
+  }
+  // Rewind-to-empty trims largest-first until under the cap.
+  EXPECT_LE(s.capacity_bytes(), std::size_t{1} << 16);
+}
+
+TEST(Scratch, CapIsNotEnforcedWhileRegionsAreLive) {
+  Scratch s;
+  s.set_capacity_cap(1 << 12);
+  Scratch::Region outer(s);
+  const std::span<std::uint8_t> a = s.take<std::uint8_t>(1 << 16);
+  {
+    Scratch::Region inner(s);
+    s.take<std::uint8_t>(1 << 16);
+  }
+  // The inner rewind is not a rewind-to-empty: a's block must survive and
+  // a's bytes stay valid.
+  a[0] = 0x5a;
+  EXPECT_EQ(a[0], 0x5a);
+  EXPECT_GE(s.capacity_bytes(), std::size_t{1} << 16);
+}
+
+TEST(Scratch, ZeroCapReleasesEverythingOnRewindToEmpty) {
+  Scratch s;
+  s.set_capacity_cap(0);
+  {
+    Scratch::Region region(s);
+    s.take<vid_t>(1 << 12);
+  }
+  EXPECT_EQ(s.capacity_bytes(), 0u);
+}
+
+TEST(Scratch, ResetDropsAllBlocks) {
+  Scratch s;
+  {
+    Scratch::Region region(s);
+    s.take<vid_t>(1 << 14);
+  }
+  EXPECT_GT(s.capacity_bytes(), 0u);
+  s.reset();
+  EXPECT_EQ(s.capacity_bytes(), 0u);
+  // The arena is usable again after reset.
+  Scratch::Region region(s);
+  const std::span<vid_t> v = s.take_fill<vid_t>(64, vid_t{7});
+  EXPECT_EQ(v[63], 7u);
+}
+
+TEST(Scratch, RetainedBlocksAreReusedAfterTrim) {
+  Scratch s;
+  s.set_capacity_cap(1 << 20);
+  for (int iter = 0; iter < 8; ++iter) {
+    Scratch::Region region(s);
+    s.take<std::uint8_t>(1 << 22);  // 4 MiB, over the 1 MiB cap
+  }
+  // Repeated over-cap jobs never accumulate capacity past one job's need
+  // plus the retained remainder: after the final rewind we are under cap.
+  EXPECT_LE(s.capacity_bytes(), std::size_t{1} << 20);
 }
 
 }  // namespace
