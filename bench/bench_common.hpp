@@ -14,16 +14,21 @@
 //                  parser and its transparent binary cache
 //   SBG_CACHE    — set to 0/off/false to disable the .sbgc cache
 //   SBG_CACHE_DIR — redirect .sbgc cache entries away from the dataset dir
+//   SBG_OBS_EXPORT / SBG_OBS_PERIOD_MS — live telemetry sinks
+//                  (prom:/path.prom,jsonl:/path.jsonl); a background
+//                  sampler exports snapshots while the bench runs
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/dataset.hpp"
+#include "obs/export/sampler.hpp"
 #include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
 
@@ -134,6 +139,11 @@ inline double announce(const char* title) {
   const int threads = apply_thread_env();
   const double scale = bench_scale();
   detail::register_json_report(title);
+  // SBG_OBS_EXPORT live sampler; the static's destructor at process exit
+  // flushes the final sample (the registry outlives it by design).
+  static const std::unique_ptr<obs::Sampler> sampler =
+      obs::start_sampler_from_env();
+  (void)sampler;
   std::printf("== %s ==\n", title);
   std::printf("scale=%.5f of paper |V| (SBG_SCALE), threads=%d (SBG_THREADS)\n\n",
               scale, threads);

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json against bench/baselines/.
+
+Compares every JSON artifact present in both directories, extracts the
+timing metrics each schema carries, and fails (exit 1) when any metric
+regressed by more than the threshold:
+
+  google-benchmark JSON ("context" + "benchmarks"): real_time of every
+      per-iteration benchmark entry (aggregates are skipped)
+  obs run reports ("sbg_report_version"): every gauge whose name contains
+      "seconds", plus every top-level span's accumulated seconds
+  batch reports ("sbg_batch_version"): wall_seconds and per-job seconds
+
+Metrics faster than --min-seconds in the baseline are reported but never
+gated: micro-timings under a millisecond are noise on shared runners.
+
+Usage:
+  bench_compare.py --baseline bench/baselines --candidate bench-json \\
+                   [--threshold 1.5] [--min-seconds 1e-3]
+  bench_compare.py --self-test
+
+The threshold defaults to $SBG_PERF_THRESHOLD, then 1.5. --self-test
+verifies the gate logic itself: an identical run passes and an injected
+2x slowdown fails, deterministically, with no benchmarks run.
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/data error.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+import tempfile
+
+DEFAULT_THRESHOLD = 1.5
+DEFAULT_MIN_SECONDS = 1e-3
+
+TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def extract_metrics(doc):
+    """Return {metric_name: seconds} for any supported schema."""
+    metrics = {}
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            unit = TIME_UNIT_SECONDS.get(b.get("time_unit", "ns"), 1e-9)
+            if "real_time" in b:
+                metrics[b["name"]] = float(b["real_time"]) * unit
+        return metrics
+    if isinstance(doc, dict) and "sbg_batch_version" in doc:
+        metrics["wall_seconds"] = float(doc.get("wall_seconds", 0.0))
+        for job in doc.get("jobs", []):
+            if job.get("status") == "ok":
+                metrics["job:" + job["name"]] = float(job.get("seconds", 0.0))
+        return metrics
+    if isinstance(doc, dict) and "sbg_report_version" in doc:
+        for name, value in doc.get("gauges", {}).items():
+            if "seconds" in name and isinstance(value, (int, float)):
+                metrics["gauge:" + name] = float(value)
+        for span in doc.get("spans", []):
+            metrics["span:" + span["name"]] = float(span.get("seconds", 0.0))
+        return metrics
+    return metrics
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            return extract_metrics(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def compare_dirs(baseline_dir, candidate_dir, threshold, min_seconds,
+                 out=sys.stdout):
+    """Print the per-metric table; return the number of regressions."""
+    base_files = {f for f in os.listdir(baseline_dir) if f.endswith(".json")}
+    cand_files = {f for f in os.listdir(candidate_dir) if f.endswith(".json")}
+    common = sorted(base_files & cand_files)
+    if not common:
+        print(
+            f"error: no common *.json between {baseline_dir} "
+            f"({sorted(base_files)}) and {candidate_dir} "
+            f"({sorted(cand_files)})",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    for only in sorted(base_files - cand_files):
+        print(f"note: {only} only in baseline (not produced this run)",
+              file=out)
+    for only in sorted(cand_files - base_files):
+        print(f"note: {only} only in candidate (no baseline committed)",
+              file=out)
+
+    regressions = 0
+    compared = 0
+    header = (f"{'file':32} {'metric':44} {'baseline':>12} {'candidate':>12} "
+              f"{'ratio':>7}  verdict")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for fname in common:
+        base = load_metrics(os.path.join(baseline_dir, fname))
+        cand = load_metrics(os.path.join(candidate_dir, fname))
+        for metric in sorted(base):
+            if metric not in cand:
+                print(f"{fname:32} {metric:44} {'-':>12} {'-':>12} "
+                      f"{'-':>7}  missing-in-candidate", file=out)
+                continue
+            b, c = base[metric], cand[metric]
+            if b <= 0:
+                continue
+            ratio = c / b
+            compared += 1
+            if b < min_seconds:
+                verdict = "below-floor (informational)"
+            elif ratio > threshold:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif ratio < 1.0 / threshold:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            print(f"{fname:32} {metric:44} {b:12.6f} {c:12.6f} "
+                  f"{ratio:7.2f}  {verdict}", file=out)
+    if compared == 0:
+        print("error: common files held no comparable metrics",
+              file=sys.stderr)
+        sys.exit(2)
+    print(f"\ncompared {compared} metric(s) at threshold {threshold:.2f}x, "
+          f"floor {min_seconds:g}s: {regressions} regression(s)", file=out)
+    return regressions
+
+
+SELF_TEST_BASELINE = {
+    "BENCH_micro.json": {
+        "context": {"executable": "bench_micro_primitives"},
+        "benchmarks": [
+            {"name": "BM_SplitEdges/k:2", "run_type": "iteration",
+             "real_time": 4.0e6, "time_unit": "ns"},
+            {"name": "BM_PackIndex", "run_type": "iteration",
+             "real_time": 2.5e6, "time_unit": "ns"},
+            {"name": "BM_SplitEdges/k:2_mean", "run_type": "aggregate",
+             "real_time": 4.0e6, "time_unit": "ns"},
+        ],
+    },
+    "BENCH_batch.json": {
+        "sbg_report_version": 1,
+        "gauges": {"batch.batch_seconds": 0.8, "batch.seq_seconds": 4.6,
+                   "batch.throughput_speedup": 5.75},
+        "spans": [{"name": "sched.batch", "seconds": 0.8, "count": 1,
+                   "children": []}],
+    },
+}
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "baseline")
+        same_dir = os.path.join(tmp, "same")
+        slow_dir = os.path.join(tmp, "slow")
+        for d in (base_dir, same_dir, slow_dir):
+            os.mkdir(d)
+
+        slow = copy.deepcopy(SELF_TEST_BASELINE)
+        # The injected regression: one baselined benchmark 2x slower, with
+        # ordinary jitter everywhere else.
+        slow["BENCH_micro.json"]["benchmarks"][0]["real_time"] *= 2.0
+        slow["BENCH_micro.json"]["benchmarks"][1]["real_time"] *= 1.07
+        slow["BENCH_batch.json"]["gauges"]["batch.batch_seconds"] *= 0.96
+
+        for d, content in ((base_dir, SELF_TEST_BASELINE),
+                           (same_dir, SELF_TEST_BASELINE), (slow_dir, slow)):
+            for fname, doc in content.items():
+                with open(os.path.join(d, fname), "w") as f:
+                    json.dump(doc, f)
+
+        clean = compare_dirs(base_dir, same_dir, DEFAULT_THRESHOLD,
+                             DEFAULT_MIN_SECONDS)
+        if clean != 0:
+            print("self-test FAILED: identical runs reported a regression",
+                  file=sys.stderr)
+            return 1
+        print()
+        slow_regressions = compare_dirs(base_dir, slow_dir, DEFAULT_THRESHOLD,
+                                        DEFAULT_MIN_SECONDS)
+        if slow_regressions != 1:
+            print(f"self-test FAILED: injected 2x slowdown produced "
+                  f"{slow_regressions} regressions (expected 1)",
+                  file=sys.stderr)
+            return 1
+        print("\nself-test OK: clean run passes, injected 2x slowdown fails")
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench JSON artifacts against committed baselines.")
+    parser.add_argument("--baseline", help="directory of baseline *.json")
+    parser.add_argument("--candidate", help="directory of fresh *.json")
+    parser.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("SBG_PERF_THRESHOLD", DEFAULT_THRESHOLD)),
+        help="fail when candidate/baseline exceeds this ratio "
+             "(default $SBG_PERF_THRESHOLD or %(default)s)")
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="baseline metrics below this are informational only "
+             "(default %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches an injected 2x slowdown")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required "
+                     "(or use --self-test)")
+    if args.threshold <= 1.0:
+        parser.error(f"--threshold must be > 1.0, got {args.threshold}")
+    regressions = compare_dirs(args.baseline, args.candidate, args.threshold,
+                               args.min_seconds)
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,7 @@
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
 //   sbg_tool batch <graphs,csv> [--jobs N] [--per-job-threads T]
 //                  [--deadline-ms D] [--verify-sequential] [--inject-failure]
+//   sbg_tool metrics <graph> [mm|color|mis] [--variant V]
 //
 // `batch` runs the full Table-I matrix (MM/COLOR/MIS × baseline/BRIDGE/
 // RAND/DEGk) over every listed graph concurrently on N workers with T
@@ -27,10 +28,26 @@
 // README.md "Loading graphs"). `--no-cache` (any command) bypasses the
 // cache probe AND the cache write for this run.
 //
+// `metrics` runs one oracle-gated job through the batch engine (default
+// mm/gm; pick another registered variant with --variant) and prints the
+// Prometheus text exposition of the whole registry to stdout — counters,
+// gauges, histogram buckets, and the hardware perf counters (or
+// sbg_perf_available 0 when perf_event_open is unavailable). It is the
+// smoke-testable version of what a scrape loop or the SBG_OBS_EXPORT
+// sampler would see.
+//
 // Observability flags (any command):
 //   --json <path>  write a machine-readable run report (counters, per-round
 //                  telemetry series, trace spans; src/obs/report.hpp schema)
 //   --trace        print the trace-span tree after the run
+//   --trace-out=FILE (or --trace-out FILE) capture a Chrome-trace /
+//                  Perfetto timeline (per-thread tracks, per-round counter
+//                  tracks, cancellation instants) and write it to FILE
+//
+// Environment (any command): SBG_OBS_EXPORT=prom:/path.prom,jsonl:/path.jsonl
+// starts a background sampler that re-renders the exposition and appends
+// delta snapshots every SBG_OBS_PERIOD_MS (default 1000) while the run is
+// in flight; the sampler flushes a final sample at exit.
 //
 // <graph> is a .mtx / .el / .txt / .sbg / .sbgc file, or a Table II dataset
 // name (e.g. "germany-osm"), generated on the fly at --scale.
@@ -59,6 +76,9 @@
 #include "ingest/ingest.hpp"
 #include "matching/matching.hpp"
 #include "mis/mis.hpp"
+#include "obs/export/chrome_trace.hpp"
+#include "obs/export/prom.hpp"
+#include "obs/export/sampler.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
@@ -75,6 +95,8 @@ struct Options {
   std::uint64_t seed = 42;
   std::string json_out;  ///< --json <path>: write the obs run report here
   bool trace = false;    ///< --trace: dump the span tree after the run
+  std::string trace_out; ///< --trace-out=FILE: write a Chrome-trace timeline
+  std::string variant;   ///< --variant: solver variant for `metrics`
   bool no_cache = false; ///< --no-cache: bypass the .sbgc cache entirely
   int threads = 0;       ///< --threads: parser worker count (0 = OpenMP)
 
@@ -114,6 +136,13 @@ Options parse_flags(int argc, char** argv, int first) {
       o.json_out = next();
     } else if (a == "--trace") {
       o.trace = true;
+    } else if (a == "--trace-out") {
+      o.trace_out = next();
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      o.trace_out = a.substr(std::string("--trace-out=").size());
+      if (o.trace_out.empty()) throw InputError("missing value for " + a);
+    } else if (a == "--variant") {
+      o.variant = next();
     } else if (a == "--no-cache") {
       o.no_cache = true;
     } else if (a == "--threads") {
@@ -443,10 +472,44 @@ int cmd_batch(const std::string& graphs_csv, const Options& o) {
   return unexpected == 0 ? 0 : 1;
 }
 
+int cmd_metrics(const std::string& spec, const std::string& problem,
+                const Options& o) {
+  sched::JobSpec job;
+  job.graph_name = spec;
+  job.graph =
+      std::make_shared<const CsrGraph>(load_or_generate(spec, o));
+  if (problem == "mm" || problem.empty()) {
+    job.problem = sched::Problem::kMM;
+    job.variant = o.variant.empty() ? "gm" : o.variant;
+  } else if (problem == "color") {
+    job.problem = sched::Problem::kColor;
+    job.variant = o.variant.empty() ? "vb" : o.variant;
+  } else if (problem == "mis") {
+    job.problem = sched::Problem::kMis;
+    job.variant = o.variant.empty() ? "luby" : o.variant;
+  } else {
+    throw InputError("metrics: unknown problem " + problem +
+                     " (expected mm, color, or mis)");
+  }
+  job.seed = o.seed;
+  job.name = spec + "/" + to_string(job.problem) + "/" + job.variant;
+
+  // Through the batch engine so the run is oracle-gated and carries the
+  // same spans/counters a scraped service job would.
+  const sched::JobResult res = sched::run_job(job);
+  if (res.status != sched::JobStatus::kOk) {
+    std::fprintf(stderr, "error: %s: %s\n", job.name.c_str(),
+                 res.error.c_str());
+    return 1;
+  }
+  std::fputs(obs::prometheus_exposition().c_str(), stdout);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: sbg_tool <gen|load|cache|stats|convert|decompose|check"
-               "|mm|color|mis|batch> ...\n"
+               "|mm|color|mis|batch|metrics> ...\n"
                "see the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
@@ -460,6 +523,10 @@ int main(int argc, char** argv) {
   try {
     const Options o = parse_flags(argc, argv, cmd == "decompose" ? 4 : 3);
     const std::string algo = argc > 3 && argv[3][0] != '-' ? argv[3] : "";
+    // SBG_OBS_EXPORT sampler: runs for the whole command; the destructor
+    // at the end of main performs the final flush.
+    const std::unique_ptr<obs::Sampler> sampler = obs::start_sampler_from_env();
+    if (!o.trace_out.empty()) obs::set_trace_capture(true);
     int rc = -1;
     if (cmd == "gen" && argc >= 4) {
       rc = cmd_gen(argv[2], argv[3], o);
@@ -484,10 +551,21 @@ int main(int argc, char** argv) {
       rc = cmd_mis(argv[2], algo.empty() ? "luby" : algo, o);
     } else if (cmd == "batch") {
       rc = cmd_batch(argv[2], o);
+    } else if (cmd == "metrics") {
+      rc = cmd_metrics(argv[2], algo, o);
     }
     if (rc < 0) return usage();
 
     if (o.trace) obs::print_span_tree(stdout);
+    if (!o.trace_out.empty()) {
+      std::string error;
+      if (!obs::write_chrome_trace(o.trace_out, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (load in chrome://tracing or "
+                   "ui.perfetto.dev)\n", o.trace_out.c_str());
+    }
     // batch writes its own aggregated JSON (which embeds the obs report).
     if (!o.json_out.empty() && cmd != "batch") {
       std::string error;

@@ -1,0 +1,219 @@
+#include "obs/export/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "obs/report.hpp"
+
+namespace sbg::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_capture{false};
+}  // namespace detail
+
+namespace {
+
+struct Capture {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  trace_clock::time_point epoch = trace_clock::now();
+  std::uint32_t next_tid = 0;
+};
+
+Capture& capture() {
+  // Leaked like the registry/span tree: atexit exporters may run after
+  // static destructors.
+  static Capture* c = new Capture;
+  return *c;
+}
+
+/// Dense track id for the calling thread, assigned on first use. Stable for
+/// the thread's lifetime even across capture restarts, so restarting a
+/// capture never splices two threads onto one track.
+std::uint32_t this_thread_tid() {
+  thread_local std::uint32_t tid = [] {
+    Capture& c = capture();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.next_tid++;
+  }();
+  return tid;
+}
+
+std::int64_t us_since(trace_clock::time_point epoch,
+                      trace_clock::time_point t) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch).count();
+  return us < 0 ? 0 : us;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+void set_trace_capture(bool enabled) {
+  Capture& c = capture();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (enabled) {
+      c.events.clear();
+      c.thread_names.clear();
+      c.epoch = trace_clock::now();
+    }
+  }
+  detail::g_trace_capture.store(enabled, std::memory_order_relaxed);
+}
+
+void trace_record_complete(std::string_view name, trace_clock::time_point begin,
+                           trace_clock::time_point end) {
+  const std::uint32_t tid = this_thread_tid();
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'X';
+  e.tid = tid;
+  // Spans that opened before capture was enabled clamp to the epoch; their
+  // duration keeps the true end timestamp.
+  e.ts_us = us_since(c.epoch, begin);
+  e.dur_us = us_since(c.epoch, end) - e.ts_us;
+  c.events.push_back(std::move(e));
+}
+
+void trace_instant(std::string_view name) {
+  if (!trace_capture_enabled()) return;
+  const std::uint32_t tid = this_thread_tid();
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'i';
+  e.tid = tid;
+  e.ts_us = us_since(c.epoch, trace_clock::now());
+  c.events.push_back(std::move(e));
+}
+
+void trace_counter(std::string_view name, double value) {
+  if (!trace_capture_enabled()) return;
+  const std::uint32_t tid = this_thread_tid();
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = 'C';
+  e.tid = tid;
+  e.ts_us = us_since(c.epoch, trace_clock::now());
+  e.value = value;
+  c.events.push_back(std::move(e));
+}
+
+void set_trace_thread_name(std::string_view name) {
+  if (!trace_capture_enabled()) return;
+  const std::uint32_t tid = this_thread_tid();
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (auto& [t, n] : c.thread_names) {
+    if (t == tid) {
+      n = std::string(name);
+      return;
+    }
+  }
+  c.thread_names.emplace_back(tid, std::string(name));
+}
+
+std::vector<TraceEvent> trace_events() {
+  Capture& c = capture();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    out = c.events;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;  // enclosing span first
+                   });
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names() {
+  Capture& c = capture();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto out = c.thread_names;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  const auto names = trace_thread_names();
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_int(out, tid);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, name);
+    out += "}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    append_int(out, e.tid);
+    out += ",\"ts\":";
+    append_int(out, e.ts_us);
+    switch (e.phase) {
+      case 'X':
+        out += ",\"dur\":";
+        append_int(out, e.dur_us);
+        break;
+      case 'i':
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+        break;
+      case 'C':
+        out += ",\"args\":{\"value\":";
+        append_json_number(out, e.value);
+        out += '}';
+        break;
+      default: break;
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, std::string* error) {
+  const std::string body = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok && error) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace sbg::obs

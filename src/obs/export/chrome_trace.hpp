@@ -1,0 +1,50 @@
+// Chrome trace-event / Perfetto-compatible timeline export.
+//
+// The span tree (obs/span.hpp) aggregates by (parent, name) for the
+// profiler-style report; this module keeps the *timeline* view: when
+// capture is on (set_trace_capture(true), or sbg_tool --trace-out=FILE),
+// each closing SBG_SPAN records a complete "X" event with microsecond
+// timestamps on its thread's track, SBG_SERIES_APPEND values become "C"
+// counter tracks, and cancellation/deadline observations become instant
+// "i" events. chrome_trace_json() renders everything as the Trace Event
+// Format JSON that chrome://tracing and https://ui.perfetto.dev load
+// directly: one track per thread (sched batch workers name theirs
+// "sched-worker-N"), events sorted by timestamp within each track.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace sbg::obs {
+
+/// One captured timeline event, in capture order.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';         ///< 'X' complete, 'i' instant, 'C' counter
+  std::uint32_t tid = 0;    ///< dense per-thread track id (first event = 0)
+  std::int64_t ts_us = 0;   ///< microseconds since capture was enabled
+  std::int64_t dur_us = 0;  ///< 'X' only
+  double value = 0.0;       ///< 'C' only
+};
+
+/// Copy of the captured events, sorted by (tid, ts_us, -dur_us) so each
+/// track is chronological and a parent span sorts before the children it
+/// encloses that share its start timestamp.
+std::vector<TraceEvent> trace_events();
+
+/// Names assigned via set_trace_thread_name(), keyed by track id.
+std::vector<std::pair<std::uint32_t, std::string>> trace_thread_names();
+
+/// The capture rendered as Trace Event Format JSON:
+///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+/// with one thread_name metadata event per named track.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`. Returns false (and fills *error if
+/// non-null) when the file cannot be written.
+bool write_chrome_trace(const std::string& path, std::string* error = nullptr);
+
+}  // namespace sbg::obs

@@ -1,0 +1,142 @@
+#include "obs/export/prom.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+#include "obs/perf.hpp"
+
+namespace sbg::obs {
+
+namespace {
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  // Prometheus accepts full float syntax; non-finite values are legal as
+  // +Inf/-Inf/NaN but our metrics never produce them via this path.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Tracks emitted family names so colliding sanitized names are skipped
+/// rather than emitted twice (which would be invalid exposition).
+struct FamilyGuard {
+  std::unordered_set<std::string> seen;
+
+  bool claim(const std::string& name) { return seen.insert(name).second; }
+};
+
+void append_header(std::string& out, const std::string& family,
+                   const std::string& raw, const char* type) {
+  out += "# HELP " + family + " sbg metric " + raw + "\n";
+  out += "# TYPE " + family + " ";
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view name) {
+  std::string out = "sbg_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_exposition(const RegistrySnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  FamilyGuard guard;
+
+  for (const auto& [raw, value] : snap.counters) {
+    const std::string family = prom_metric_name(raw) + "_total";
+    if (!guard.claim(family)) continue;
+    append_header(out, family, raw, "counter");
+    out += family + " ";
+    append_uint(out, value);
+    out += '\n';
+  }
+
+  for (const auto& [raw, value] : snap.gauges) {
+    const std::string family = prom_metric_name(raw);
+    if (!guard.claim(family)) continue;
+    append_header(out, family, raw, "gauge");
+    out += family + " ";
+    append_double(out, value);
+    out += '\n';
+  }
+
+  for (const auto& [raw, h] : snap.histograms) {
+    const std::string family = prom_metric_name(raw);
+    if (!guard.claim(family)) continue;
+    append_header(out, family, raw, "histogram");
+    // Cumulative counts over the pow2 upper bounds. Empty buckets beyond
+    // the last occupied one collapse into "+Inf" to keep scrapes small.
+    unsigned last = 0;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b]) last = b;
+    }
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b <= last && b < 64; ++b) {
+      cum += h.buckets[b];
+      out += family + "_bucket{le=\"";
+      append_uint(out, Histogram::bucket_bound(b));
+      out += "\"} ";
+      append_uint(out, cum);
+      out += '\n';
+    }
+    out += family + "_bucket{le=\"+Inf\"} ";
+    append_uint(out, h.count);
+    out += '\n';
+    out += family + "_sum ";
+    append_uint(out, h.sum);
+    out += '\n';
+    out += family + "_count ";
+    append_uint(out, h.count);
+    out += '\n';
+  }
+
+  for (const auto& s : snap.series) {
+    const std::string base = prom_metric_name(s.name);
+    const std::string last_family = base + "_last";
+    const std::string total_family = base + "_rounds_total";
+    const std::string dropped_family = base + "_dropped_rounds";
+    if (!guard.claim(last_family) || !guard.claim(total_family) ||
+        !guard.claim(dropped_family)) {
+      continue;
+    }
+    append_header(out, last_family, s.name, "gauge");
+    out += last_family + " ";
+    append_double(out, s.values.empty() ? 0.0 : s.values.back());
+    out += '\n';
+    append_header(out, total_family, s.name, "counter");
+    out += total_family + " ";
+    append_uint(out, s.total);
+    out += '\n';
+    append_header(out, dropped_family, s.name, "gauge");
+    out += dropped_family + " ";
+    append_uint(out, s.window_start);
+    out += '\n';
+  }
+
+  return out;
+}
+
+std::string prometheus_exposition() {
+  // Refresh the availability gauge before snapshotting so the exposition
+  // always carries an explicit sbg_perf_available 0/1.
+  perf::available();
+  return prometheus_exposition(registry().snapshot());
+}
+
+}  // namespace sbg::obs

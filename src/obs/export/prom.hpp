@@ -1,0 +1,43 @@
+// Prometheus text-exposition rendering of a registry snapshot.
+//
+// Every metric name is sanitized into the Prometheus charset with the
+// stable mapping prom_metric_name() ("gm.rounds" -> "sbg_gm_rounds") and
+// rendered with # HELP / # TYPE lines:
+//
+//   counters   -> "<name>_total" counter
+//   gauges     -> "<name>" gauge
+//   histograms -> "<name>" histogram: cumulative "_bucket{le=...}" samples
+//                 over the pow2 bucket bounds (0, 1, 3, 7, ... , "+Inf"),
+//                 plus "_sum" and "_count"
+//   series     -> "<name>_last" gauge (latest sample), "<name>_rounds_total"
+//                 counter (true appended count), and
+//                 "<name>_dropped_rounds" gauge (rounds the ring buffer
+//                 overwrote — non-zero marks a truncated series)
+//
+// The exposition always carries "sbg_perf_available" (0/1) so scrapers can
+// tell missing hardware counters apart from a broken perf setup.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace sbg::obs {
+
+/// "gm.rounds" -> "sbg_gm_rounds": prefix "sbg_", every character outside
+/// [a-zA-Z0-9_:] becomes '_'. Deterministic, so scrape series stay stable
+/// across runs.
+std::string prom_metric_name(std::string_view name);
+
+/// Render `snap` as Prometheus text exposition format (version 0.0.4).
+/// When two raw names sanitize to the same metric name, the first (in
+/// snapshot order, i.e. lexicographic) wins and later ones are skipped —
+/// duplicate metric families would make the exposition unparseable.
+std::string prometheus_exposition(const RegistrySnapshot& snap);
+
+/// Exposition of the live registry (takes a consistent snapshot first and
+/// refreshes the perf.available gauge).
+std::string prometheus_exposition();
+
+}  // namespace sbg::obs

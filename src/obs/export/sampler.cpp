@@ -1,0 +1,260 @@
+#include "obs/export/sampler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/export/prom.hpp"
+#include "obs/perf.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+
+namespace sbg::obs {
+
+namespace {
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+bool write_file_atomically(const std::string& path, const std::string& body,
+                           std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot open " + tmp;
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error) *error = "cannot write " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_export_spec(const std::string& spec, SamplerOptions* out,
+                       std::string* error) {
+  std::string item;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i < spec.size() && spec[i] != ',') {
+      item += spec[i];
+      continue;
+    }
+    if (!item.empty()) {
+      const std::size_t colon = item.find(':');
+      const std::string kind = colon == std::string::npos
+                                   ? item
+                                   : item.substr(0, colon);
+      const std::string path =
+          colon == std::string::npos ? "" : item.substr(colon + 1);
+      if (path.empty()) {
+        if (error) *error = "export sink \"" + item + "\" has no path";
+        return false;
+      }
+      if (kind == "prom") {
+        out->prom_path = path;
+      } else if (kind == "jsonl") {
+        out->jsonl_path = path;
+      } else {
+        if (error) {
+          *error = "unknown export sink \"" + kind +
+                   "\" (expected prom:<path> or jsonl:<path>)";
+        }
+        return false;
+      }
+      item.clear();
+    }
+  }
+  if (out->prom_path.empty() && out->jsonl_path.empty()) {
+    if (error) *error = "export spec selects no sink";
+    return false;
+  }
+  return true;
+}
+
+struct Sampler::Impl {
+  SamplerOptions opt;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopping = false;
+  bool joined = false;
+  std::atomic<std::uint64_t> samples{0};
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  /// Counter values at the previous sample, for JSONL deltas.
+  std::map<std::string, std::uint64_t> prev_counters;
+  std::thread worker;
+
+  void sample_once() {
+    // One snapshot per tick: both sinks render the same consistent view.
+    perf::available();  // keep the perf.available gauge fresh
+    const RegistrySnapshot snap = registry().snapshot();
+    const std::uint64_t n = samples.fetch_add(1) + 1;
+
+    if (!opt.prom_path.empty()) {
+      std::string error;
+      if (!write_file_atomically(opt.prom_path, prometheus_exposition(snap),
+                                 &error)) {
+        std::fprintf(stderr, "warning: obs sampler: %s\n", error.c_str());
+      }
+    }
+
+    if (!opt.jsonl_path.empty()) {
+      append_jsonl_line(snap, n);
+    }
+  }
+
+  void append_jsonl_line(const RegistrySnapshot& snap, std::uint64_t n) {
+    const auto uptime_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::string out;
+    out.reserve(2048);
+    out += "{\"sample\":";
+    append_uint(out, n);
+    out += ",\"uptime_ms\":";
+    append_uint(out, static_cast<std::uint64_t>(uptime_ms < 0 ? 0 : uptime_ms));
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      if (i) out += ',';
+      append_json_string(out, snap.counters[i].first);
+      out += ':';
+      append_uint(out, snap.counters[i].second);
+    }
+    out += "},\"counter_deltas\":{";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      const auto it = prev_counters.find(name);
+      const std::uint64_t prev = it == prev_counters.end() ? 0 : it->second;
+      const std::uint64_t delta = value >= prev ? value - prev : 0;
+      if (delta == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name);
+      out += ':';
+      append_uint(out, delta);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+      if (i) out += ',';
+      append_json_string(out, snap.gauges[i].first);
+      out += ':';
+      append_json_number(out, snap.gauges[i].second);
+    }
+    out += "},\"histograms\":{";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      if (i) out += ',';
+      const auto& [name, h] = snap.histograms[i];
+      append_json_string(out, name);
+      out += ":{\"count\":";
+      append_uint(out, h.count);
+      out += ",\"sum\":";
+      append_uint(out, h.sum);
+      out += ",\"p50\":";
+      append_json_number(out, histogram_quantile(h, 0.50));
+      out += ",\"p95\":";
+      append_json_number(out, histogram_quantile(h, 0.95));
+      out += ",\"p99\":";
+      append_json_number(out, histogram_quantile(h, 0.99));
+      out += '}';
+    }
+    out += "},\"series\":{";
+    for (std::size_t i = 0; i < snap.series.size(); ++i) {
+      if (i) out += ',';
+      const auto& s = snap.series[i];
+      append_json_string(out, s.name);
+      out += ":{\"total\":";
+      append_uint(out, s.total);
+      out += ",\"dropped\":";
+      append_uint(out, s.window_start);
+      out += ",\"last\":";
+      append_json_number(out, s.values.empty() ? 0.0 : s.values.back());
+      out += '}';
+    }
+    out += "}}\n";
+
+    std::FILE* f = std::fopen(opt.jsonl_path.c_str(), "ab");
+    if (!f) {
+      std::fprintf(stderr, "warning: obs sampler: cannot append %s\n",
+                   opt.jsonl_path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+
+    prev_counters.clear();
+    for (const auto& [name, value] : snap.counters) {
+      prev_counters.emplace(name, value);
+    }
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait_for(lock, std::chrono::milliseconds(opt.period_ms),
+                  [&] { return stopping; });
+      if (stopping) return;  // stop() writes the final sample itself
+      lock.unlock();
+      sample_once();
+      lock.lock();
+    }
+  }
+};
+
+Sampler::Sampler(SamplerOptions opt) : impl_(new Impl) {
+  impl_->opt = std::move(opt);
+  if (impl_->opt.period_ms < 10) impl_->opt.period_ms = 10;
+  impl_->worker = std::thread([this] { impl_->run(); });
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->joined) return;
+    impl_->joined = true;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->worker.join();
+  impl_->sample_once();  // final flush: short runs still export end state
+}
+
+std::uint64_t Sampler::samples_taken() const {
+  return impl_->samples.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<Sampler> start_sampler_from_env() {
+  const char* spec = std::getenv("SBG_OBS_EXPORT");
+  if (!spec || !*spec) return nullptr;
+  SamplerOptions opt;
+  std::string error;
+  if (!parse_export_spec(spec, &opt, &error)) {
+    std::fprintf(stderr, "warning: SBG_OBS_EXPORT ignored: %s\n",
+                 error.c_str());
+    return nullptr;
+  }
+  if (const char* period = std::getenv("SBG_OBS_PERIOD_MS");
+      period && *period) {
+    opt.period_ms = std::atoi(period);
+    if (opt.period_ms <= 0) opt.period_ms = 1000;
+  }
+  return std::make_unique<Sampler>(opt);
+}
+
+}  // namespace sbg::obs

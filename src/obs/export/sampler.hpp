@@ -1,0 +1,69 @@
+// Background telemetry sampler: periodic consistent registry snapshots
+// exported while the process runs, instead of only at exit.
+//
+// A Sampler owns one thread that wakes every `period_ms`, takes a single
+// registry snapshot, and renders it to the configured sinks:
+//
+//   prom:<path>   rewrite <path> with the Prometheus text exposition of the
+//                 snapshot, atomically (tmp + rename) so a scraper or
+//                 node_exporter textfile collector never reads a torn file
+//   jsonl:<path>  append one JSON line per sample: cumulative counters plus
+//                 per-sample counter deltas, gauges, histogram summaries
+//                 (count/sum/p50/p95/p99), and series totals/dropped counts
+//
+// Environment wiring (sbg_tool and every bench harness):
+//   SBG_OBS_EXPORT=prom:/run/sbg.prom,jsonl:/tmp/sbg.jsonl
+//   SBG_OBS_PERIOD_MS=250        (default 1000, clamped to >= 10)
+//
+// stop() (and the destructor) takes one final sample before joining, so
+// short runs still export a complete end-state even when they finish
+// inside the first period.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sbg::obs {
+
+struct SamplerOptions {
+  std::string prom_path;   ///< empty = no exposition sink
+  std::string jsonl_path;  ///< empty = no JSONL sink
+  int period_ms = 1000;
+};
+
+/// Parse an SBG_OBS_EXPORT spec ("prom:/a.prom,jsonl:/b.jsonl") into
+/// `out` (sink fields only). Returns false and fills *error on an unknown
+/// sink kind or an empty path.
+bool parse_export_spec(const std::string& spec, SamplerOptions* out,
+                       std::string* error);
+
+class Sampler {
+ public:
+  /// Starts the sampling thread immediately.
+  explicit Sampler(SamplerOptions opt);
+
+  /// Stops and joins (final flush included).
+  ~Sampler();
+
+  /// Take a final sample, then stop the thread. Idempotent.
+  void stop();
+
+  /// Samples written so far (periodic + final).
+  std::uint64_t samples_taken() const;
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Start a sampler according to SBG_OBS_EXPORT / SBG_OBS_PERIOD_MS.
+/// Returns nullptr when SBG_OBS_EXPORT is unset; warns to stderr and
+/// returns nullptr when it is set but malformed. Callers keep the returned
+/// sampler alive for the run (its destructor performs the final flush).
+std::unique_ptr<Sampler> start_sampler_from_env();
+
+}  // namespace sbg::obs

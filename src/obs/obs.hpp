@@ -13,6 +13,9 @@
 //   SBG_HIST_RECORD("rand.part_size", sz);          // pow2-bucket histogram
 //   SBG_SERIES_APPEND("gm.matched", matched);       // per-round ring buffer
 //   SBG_SPAN("decompose.bridge");                   // RAII span for scope
+//   SBG_SPAN_PERF("solve");                         // span + hw perf counters
+//   SBG_TRACE_INSTANT("cancel.deadline");           // timeline instant mark
+//   SBG_TRACE_THREAD_NAME("sched-worker-0");        // name this trace track
 //   SBG_OBS_ONLY(vid_t obs_matched = 0;)            // obs-only statements
 //
 // Statements that exist purely to feed a metric (per-round tallies in the
@@ -24,6 +27,7 @@
 #define SBG_OBS_ENABLED 1
 #endif
 
+#include "obs/perf.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -62,12 +66,31 @@
   do {                                                                     \
     static ::sbg::obs::Series& SBG_OBS_CONCAT(sbg_obs_h_, __LINE__) =      \
         ::sbg::obs::registry().series(name);                               \
+    const double SBG_OBS_CONCAT(sbg_obs_v_, __LINE__) =                    \
+        static_cast<double>(value);                                        \
     SBG_OBS_CONCAT(sbg_obs_h_, __LINE__)                                   \
-        .append(static_cast<double>(value));                               \
+        .append(SBG_OBS_CONCAT(sbg_obs_v_, __LINE__));                     \
+    if (::sbg::obs::trace_capture_enabled()) {                             \
+      ::sbg::obs::trace_counter(name, SBG_OBS_CONCAT(sbg_obs_v_, __LINE__));\
+    }                                                                      \
   } while (0)
 
 #define SBG_SPAN(name) \
   ::sbg::obs::Span SBG_OBS_CONCAT(sbg_obs_span_, __LINE__)(name)
+
+/// SBG_SPAN plus a hardware-perf-counter scope: cycle/instruction/LLC/stall
+/// deltas over this scope accumulate into the "perf.<name>." counters
+/// (no-op when perf_event_open is unavailable; see obs/perf.hpp).
+#define SBG_SPAN_PERF(name)                                                \
+  SBG_SPAN(name);                                                          \
+  ::sbg::obs::perf::PerfScope SBG_OBS_CONCAT(sbg_obs_perf_, __LINE__)(name)
+
+/// Mark an instant (cancellation, deadline, failure) on this thread's
+/// timeline track. Cheap no-op unless trace capture is on.
+#define SBG_TRACE_INSTANT(name) ::sbg::obs::trace_instant(name)
+
+/// Name this thread's track in exported timelines.
+#define SBG_TRACE_THREAD_NAME(name) ::sbg::obs::set_trace_thread_name(name)
 
 #else  // SBG_OBS_ENABLED == 0: every macro is a no-op that never evaluates
        // its arguments, so instrumented hot loops generate identical code
@@ -79,5 +102,8 @@
 #define SBG_HIST_RECORD(name, value) do {} while (0)
 #define SBG_SERIES_APPEND(name, value) do {} while (0)
 #define SBG_SPAN(name) do {} while (0)
+#define SBG_SPAN_PERF(name) do {} while (0)
+#define SBG_TRACE_INSTANT(name) do {} while (0)
+#define SBG_TRACE_THREAD_NAME(name) do {} while (0)
 
 #endif  // SBG_OBS_ENABLED

@@ -1,0 +1,187 @@
+#include "obs/perf.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+
+#if SBG_OBS_ENABLED && defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SBG_PERF_IMPL 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define SBG_PERF_IMPL 0
+#endif
+
+namespace sbg::obs::perf {
+
+namespace {
+
+// 0 = unprobed, 1 = available, 2 = unavailable.
+std::atomic<int> g_state{0};
+const char* g_reason = "";
+
+void publish_gauge(bool ok) {
+  registry().gauge("perf.available").set(ok ? 1.0 : 0.0);
+}
+
+#if SBG_PERF_IMPL
+
+constexpr int kEvents = 4;
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Order matches the Values fields.
+constexpr EventSpec kSpecs[kEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+const char* errno_name(int err) {
+  switch (err) {
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    default: return "errno";
+  }
+}
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // works under perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+/// Per-thread counter fds, opened lazily, closed at thread exit. Events
+/// that fail individually (e.g. LLC misses on VMs) stay at -1; only a
+/// failure of the cycles counter marks perf unavailable process-wide.
+struct ThreadCounters {
+  int fd[kEvents] = {-1, -1, -1, -1};
+  bool opened = false;
+
+  ~ThreadCounters() {
+    for (int& f : fd) {
+      if (f >= 0) close(f);
+      f = -1;
+    }
+  }
+
+  bool open_all() {
+    if (opened) return fd[0] >= 0;
+    opened = true;
+    fd[0] = open_event(kSpecs[0]);
+    if (fd[0] < 0) {
+      const int err = errno;
+      int expected = 0;
+      if (g_state.compare_exchange_strong(expected, 2)) {
+        g_reason = errno_name(err);
+        publish_gauge(false);
+      }
+      return false;
+    }
+    for (int i = 1; i < kEvents; ++i) fd[i] = open_event(kSpecs[i]);
+    int expected = 0;
+    if (g_state.compare_exchange_strong(expected, 1)) publish_gauge(true);
+    return true;
+  }
+
+  bool read_all(Values* out) {
+    if (!open_all() || g_state.load(std::memory_order_relaxed) != 1) {
+      return false;
+    }
+    std::uint64_t v[kEvents] = {};
+    for (int i = 0; i < kEvents; ++i) {
+      if (fd[i] < 0) continue;
+      if (::read(fd[i], &v[i], sizeof v[i]) != sizeof v[i]) v[i] = 0;
+    }
+    out->cycles = v[0];
+    out->instructions = v[1];
+    out->llc_misses = v[2];
+    out->stalled_cycles = v[3];
+    return true;
+  }
+};
+
+ThreadCounters& thread_counters() {
+  thread_local ThreadCounters tc;
+  return tc;
+}
+
+#endif  // SBG_PERF_IMPL
+
+}  // namespace
+
+bool available() {
+#if SBG_PERF_IMPL
+  if (g_state.load(std::memory_order_relaxed) == 0) {
+    thread_counters().open_all();  // probe (sets g_state + gauge)
+  }
+  const bool ok = g_state.load(std::memory_order_relaxed) == 1;
+  publish_gauge(ok);
+  return ok;
+#else
+  g_state.store(2, std::memory_order_relaxed);
+  g_reason = SBG_OBS_ENABLED ? "unsupported-platform" : "compiled-out";
+  publish_gauge(false);
+  return false;
+#endif
+}
+
+const char* unavailable_reason() {
+  available();
+  return g_state.load(std::memory_order_relaxed) == 1 ? "" : g_reason;
+}
+
+bool read_counters(Values* out) {
+  *out = Values{};
+#if SBG_PERF_IMPL
+  return thread_counters().read_all(out);
+#else
+  return false;
+#endif
+}
+
+PerfScope::PerfScope(const char* label) : label_(label) {
+  active_ = read_counters(&begin_);
+}
+
+PerfScope::~PerfScope() {
+#if SBG_PERF_IMPL
+  if (!active_) return;
+  Values end;
+  if (!read_counters(&end)) return;
+  const std::string prefix = std::string("perf.") + label_;
+  auto& reg = registry();
+  const auto add = [&](const char* metric, std::uint64_t b, std::uint64_t e) {
+    if (e > b) reg.counter(prefix + metric).add(e - b);
+  };
+  add(".cycles", begin_.cycles, end.cycles);
+  add(".instructions", begin_.instructions, end.instructions);
+  add(".llc_misses", begin_.llc_misses, end.llc_misses);
+  add(".stalled_cycles", begin_.stalled_cycles, end.stalled_cycles);
+#endif
+}
+
+}  // namespace sbg::obs::perf

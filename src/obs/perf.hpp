@@ -1,0 +1,60 @@
+// Hardware performance counters attached to trace spans.
+//
+// SBG_SPAN_PERF("solve") opens the usual RAII span *plus* a PerfScope that
+// snapshots this thread's perf_event_open counter group (cycles,
+// instructions, LLC misses, stalled cycles) on entry and exit, and adds the
+// deltas to obs counters:
+//
+//   perf.<label>.cycles / .instructions / .llc_misses / .stalled_cycles
+//
+// Degradation is graceful and silent-by-default: the first failed
+// perf_event_open (EACCES under perf_event_paranoid, ENOSYS in containers
+// and non-Linux builds) marks the subsystem unavailable process-wide,
+// every later PerfScope is a no-op, and the "perf.available" gauge (the
+// sbg_perf_available exposition metric) reports 0 with the reason kept for
+// diagnostics. Under SBG_OBS=OFF the implementation compiles out entirely;
+// only the no-op stubs remain.
+#pragma once
+
+#include <cstdint>
+
+namespace sbg::obs::perf {
+
+/// Counter values/deltas; a field is meaningful only when its event opened.
+struct Values {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+};
+
+/// True when perf_event_open works for this process (probed on first use).
+/// Also refreshes the "perf.available" gauge so exposition always carries
+/// an explicit 0/1.
+bool available();
+
+/// Short reason when unavailable ("EACCES", "ENOSYS", "compiled-out", ...);
+/// empty string while available.
+const char* unavailable_reason();
+
+/// Read the calling thread's current counter totals. Returns false (and
+/// leaves *out zeroed) when unavailable.
+bool read_counters(Values* out);
+
+/// RAII: counter deltas over the scope's lifetime land in the
+/// "perf.<label>." obs counters. `label` must outlive the scope (string
+/// literals; the SBG_SPAN_PERF macro guarantees this).
+class PerfScope {
+ public:
+  explicit PerfScope(const char* label);
+  ~PerfScope();
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  const char* label_;
+  bool active_ = false;
+  Values begin_;
+};
+
+}  // namespace sbg::obs::perf

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <deque>
 #include <mutex>
 #include <unordered_map>
@@ -91,6 +92,32 @@ void Histogram::reset() {
     s.max.store(0, std::memory_order_relaxed);
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
   }
+}
+
+double histogram_quantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : q > 1.0 ? 1.0 : q;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * double(snap.count))));
+  std::uint64_t cum = 0;
+  for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+    if (snap.buckets[b] == 0) continue;
+    if (cum + snap.buckets[b] < rank) {
+      cum += snap.buckets[b];
+      continue;
+    }
+    // Rank lands in bucket b, which covers [lo, hi]; interpolate by the
+    // rank's position among this bucket's samples.
+    const double lo = b == 0 ? 0.0 : double(Histogram::bucket_bound(b - 1)) + 1;
+    const double hi = double(Histogram::bucket_bound(b));
+    const double frac =
+        double(rank - cum) / double(snap.buckets[b]);
+    double v = lo + frac * (hi - lo);
+    v = std::max(v, double(snap.min));
+    v = std::min(v, double(snap.max));
+    return v;
+  }
+  return double(snap.max);
 }
 
 // ----------------------------------------------------------------- Series --

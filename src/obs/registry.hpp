@@ -84,6 +84,11 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Inclusive upper bound of bucket `b`: 0, 1, 3, 7, ..., 2^63-1, ~0.
+  static std::uint64_t bucket_bound(unsigned b) {
+    return b == 0 ? 0 : b >= 64 ? ~0ull : (1ull << b) - 1;
+  }
+
   void reset();
 
  private:
@@ -96,6 +101,14 @@ class Histogram {
   };
   HistShard shards_[detail::kHistogramShards];
 };
+
+/// Approximate quantile (`q` in [0, 1]) of a histogram snapshot, derived
+/// from the pow2 buckets: walk the cumulative distribution to the bucket
+/// holding rank ceil(q * count), linearly interpolate inside it, and clamp
+/// to the exact [min, max] the shards tracked. Within a factor of 2 of the
+/// true quantile by construction of the buckets; exact when all samples
+/// share one value. Returns 0 for an empty histogram.
+double histogram_quantile(const Histogram::Snapshot& snap, double q);
 
 /// Fixed-capacity ring buffer of per-round samples. Appends past the
 /// capacity overwrite the oldest entries but `total()` keeps counting, so a

@@ -116,6 +116,14 @@ std::string report_json(const MetaList& meta) {
     append_uint(out, h.min);
     out += ",\"max\":";
     append_uint(out, h.max);
+    // Approximate quantiles from the pow2 buckets, so consumers (exposition
+    // scrapers, bench_compare, batch reports) stop re-deriving them.
+    out += ",\"p50\":";
+    append_number(out, histogram_quantile(h, 0.50));
+    out += ",\"p95\":";
+    append_number(out, histogram_quantile(h, 0.95));
+    out += ",\"p99\":";
+    append_number(out, histogram_quantile(h, 0.99));
     out += ",\"buckets\":{";
     bool first = true;
     for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
@@ -123,11 +131,8 @@ std::string report_json(const MetaList& meta) {
       if (!first) out += ',';
       first = false;
       // Key = inclusive upper bound of the power-of-two bucket.
-      const std::uint64_t bound = b == 0 ? 0
-                                  : b >= 64 ? ~0ull
-                                            : (1ull << b) - 1;
       out += '"';
-      append_uint(out, bound);
+      append_uint(out, Histogram::bucket_bound(b));
       out += "\":";
       append_uint(out, h.buckets[b]);
     }
@@ -141,6 +146,10 @@ std::string report_json(const MetaList& meta) {
     out += ":{\"total\":";
     append_uint(out, s.total);
     out += ",\"window_start\":";
+    append_uint(out, s.window_start);
+    // Rounds overwritten by the ring buffer — non-zero marks a truncated
+    // series, so consumers never mistake the window for the full history.
+    out += ",\"dropped\":";
     append_uint(out, s.window_start);
     out += ",\"values\":[";
     for (std::size_t j = 0; j < s.values.size(); ++j) {

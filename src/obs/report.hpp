@@ -8,13 +8,17 @@
 //     "counters":   { "<name>": <uint>, ... },
 //     "gauges":     { "<name>": <number>, ... },
 //     "histograms": { "<name>": { "count", "sum", "min", "max",
+//                                 "p50", "p95", "p99",
 //                                 "buckets": { "<upper bound>": <uint> } } },
-//     "series":     { "<name>": { "total", "window_start",
+//     "series":     { "<name>": { "total", "window_start", "dropped",
 //                                 "values": [<number>, ...] } },
 //     "spans":      [ { "name", "seconds", "count", "children": [...] } ]
 //   }
 // Series are ring-buffered: `values` holds the last N samples and
-// `window_start` their index origin; `total` is the true sample count.
+// `window_start` their index origin; `total` is the true sample count and
+// `dropped` (== window_start) how many old rounds the ring overwrote.
+// Histogram p50/p95/p99 are approximate, derived from the pow2 buckets
+// (registry.hpp histogram_quantile).
 #pragma once
 
 #include <string>

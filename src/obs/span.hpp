@@ -8,6 +8,7 @@
 // per-thread; spans opened from OpenMP worker threads attach under the root.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -16,6 +17,41 @@
 #include <vector>
 
 namespace sbg::obs {
+
+// ---------------------------------------------------------- trace capture --
+// Timeline capture for the Chrome trace exporter (src/obs/export/
+// chrome_trace.cpp). Off by default: the only cost a Span pays then is one
+// relaxed atomic load in its destructor. When enabled, every closing span
+// additionally records a complete ("X") trace event with wall-clock
+// timestamps on the calling thread's track, and SBG_SERIES_APPEND values
+// become counter tracks.
+
+using trace_clock = std::chrono::steady_clock;
+
+namespace detail {
+extern std::atomic<bool> g_trace_capture;
+}  // namespace detail
+
+inline bool trace_capture_enabled() {
+  return detail::g_trace_capture.load(std::memory_order_relaxed);
+}
+
+/// Enable/disable timeline capture. Enabling clears previously captured
+/// events and restarts the timestamp epoch.
+void set_trace_capture(bool enabled);
+
+/// Record a complete event covering [begin, end] on this thread's track.
+void trace_record_complete(std::string_view name, trace_clock::time_point begin,
+                           trace_clock::time_point end);
+
+/// Record an instant event (cancellation, deadline, injected failure).
+void trace_instant(std::string_view name);
+
+/// Record a counter-track sample (per-round series values).
+void trace_counter(std::string_view name, double value);
+
+/// Name this thread's track in the exported timeline (e.g. "sched-worker-0").
+void set_trace_thread_name(std::string_view name);
 
 struct SpanNode {
   std::string name;
@@ -60,8 +96,12 @@ class Span {
       : node_(span_tree().begin_span(name)), start_(clock::now()) {}
 
   ~Span() {
-    span_tree().end_span(
-        node_, std::chrono::duration<double>(clock::now() - start_).count());
+    const clock::time_point end = clock::now();
+    span_tree().end_span(node_,
+                         std::chrono::duration<double>(end - start_).count());
+    if (trace_capture_enabled()) {
+      trace_record_complete(node_->name, start_, end);
+    }
   }
 
   Span(const Span&) = delete;

@@ -19,10 +19,12 @@ void poll_cancellation() {
   if (tok == nullptr) return;
   if (tok->cancel_requested()) {
     SBG_COUNTER_ADD("cancel.observed", 1);
+    SBG_TRACE_INSTANT("cancel.observed");
     throw JobCancelled("job cancelled");
   }
   if (tok->deadline_passed()) {
     SBG_COUNTER_ADD("cancel.deadline", 1);
+    SBG_TRACE_INSTANT("cancel.deadline");
     throw JobCancelled("job deadline exceeded");
   }
 }

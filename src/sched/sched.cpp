@@ -189,7 +189,15 @@ JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
   token.set_deadline_ms(deadline_ms);
   ScopedCancel install(&token);
   try {
-    if (spec.inject_failure) throw InputError("injected failure");
+    if (spec.inject_failure) {
+      SBG_TRACE_INSTANT("sched.injected_failure");
+      throw InputError("injected failure");
+    }
+    // One span per job: on the exported timeline each worker's track shows
+    // its jobs back to back; the perf scope banks the job's cycle/
+    // instruction/LLC deltas under "perf.sched.job.".
+    SBG_SPAN(spec.name);
+    SBG_SPAN_PERF("sched.job");
     // First poll before any solving: an already-expired deadline cancels
     // even jobs that would finish in one round.
     poll_cancellation();
@@ -229,6 +237,7 @@ BatchReport run_batch(const std::vector<JobSpec>& specs,
       // team of every parallel region THIS worker's jobs open, without
       // touching the other workers or the caller.
       set_num_threads(std::max(1, opt.per_job_threads));
+      SBG_TRACE_THREAD_NAME("sched-worker-" + std::to_string(w));
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= specs.size()) break;

@@ -23,155 +23,13 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/timer.hpp"
 #include "test_helpers.hpp"
+#include "test_json.hpp"
 
 namespace sbg {
 namespace {
 
-// ------------------------------------------------------ mini JSON parser --
-// Just enough JSON to round-trip the report schema in tests.
-
-struct Json {
-  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::map<std::string, Json> object;
-
-  const Json& at(const std::string& key) const {
-    const auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) != 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Json parse() {
-    Json v = value();
-    ws();
-    if (i_ != s_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at " + std::to_string(i_) +
-                             ": " + why);
-  }
-
-  void ws() {
-    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
-                              s_[i_] == '\n' || s_[i_] == '\r')) {
-      ++i_;
-    }
-  }
-
-  char peek() {
-    if (i_ >= s_.size()) fail("unexpected end");
-    return s_[i_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++i_;
-  }
-
-  bool eat(const char* lit) {
-    const std::size_t len = std::string(lit).size();
-    if (s_.compare(i_, len, lit) == 0) {
-      i_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  std::string string_lit() {
-    expect('"');
-    std::string out;
-    while (peek() != '"') {
-      char c = s_[i_++];
-      if (c == '\\') {
-        const char esc = s_[i_++];
-        switch (esc) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': i_ += 4; out += '?'; break;  // tests never need these
-          default: out += esc;
-        }
-      } else {
-        out += c;
-      }
-    }
-    ++i_;
-    return out;
-  }
-
-  Json value() {
-    ws();
-    Json v;
-    const char c = peek();
-    if (c == '{') {
-      v.type = Json::kObject;
-      ++i_;
-      ws();
-      if (peek() == '}') { ++i_; return v; }
-      while (true) {
-        ws();
-        std::string key = string_lit();
-        ws();
-        expect(':');
-        v.object.emplace(std::move(key), value());
-        ws();
-        if (peek() == ',') { ++i_; continue; }
-        expect('}');
-        return v;
-      }
-    }
-    if (c == '[') {
-      v.type = Json::kArray;
-      ++i_;
-      ws();
-      if (peek() == ']') { ++i_; return v; }
-      while (true) {
-        v.array.push_back(value());
-        ws();
-        if (peek() == ',') { ++i_; continue; }
-        expect(']');
-        return v;
-      }
-    }
-    if (c == '"') {
-      v.type = Json::kString;
-      v.string = string_lit();
-      return v;
-    }
-    if (eat("true")) { v.type = Json::kBool; v.boolean = true; return v; }
-    if (eat("false")) { v.type = Json::kBool; v.boolean = false; return v; }
-    if (eat("null")) { v.type = Json::kNull; return v; }
-    // number
-    std::size_t end = i_;
-    while (end < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
-            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
-            s_[end] == 'e' || s_[end] == 'E')) {
-      ++end;
-    }
-    if (end == i_) fail("unexpected character");
-    v.type = Json::kNumber;
-    v.number = std::stod(s_.substr(i_, end - i_));
-    i_ = end;
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+using test::Json;
+using test::JsonParser;
 
 const obs::SpanNode* find_child(const obs::SpanNode& parent,
                                 const std::string& name) {

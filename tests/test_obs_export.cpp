@@ -1,0 +1,607 @@
+// sbg::obs::export — Prometheus text exposition (name charset, HELP/TYPE
+// ordering, monotone cumulative buckets), histogram quantiles in the JSON
+// report, series ring-buffer overflow accounting, Chrome trace structure
+// vs the span tree, background sampler consistency under concurrent
+// writers, SBG_OBS_EXPORT spec parsing, and perf-counter degradation.
+//
+// Like test_obs.cpp this TU pins SBG_OBS_ENABLED=1 so the macros are live
+// even under -DSBG_OBS=OFF; the exported artifacts come straight from the
+// library, which tolerates either build flavor.
+#undef SBG_OBS_ENABLED
+#define SBG_OBS_ENABLED 1
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export/chrome_trace.hpp"
+#include "obs/export/prom.hpp"
+#include "obs/export/sampler.hpp"
+#include "obs/obs.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
+#include "test_json.hpp"
+
+namespace sbg {
+namespace {
+
+using test::Json;
+using test::JsonParser;
+
+// --------------------------------------------- exposition-format helpers --
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool ok = alpha || c == '_' || c == ':' ||
+                    (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+struct PromSample {
+  std::string name;    ///< metric name without the label set
+  std::string labels;  ///< raw text between { }, empty when unlabeled
+  double value = 0.0;
+};
+
+/// Line-level parse of an exposition. Fails the calling test on structural
+/// violations: bad name charset, a sample before its family's # TYPE line,
+/// or a TYPE outside the known set.
+std::vector<PromSample> parse_exposition(const std::string& text) {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> family_type;  // name -> counter/gauge/...
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, family;
+      ls >> hash >> kind >> family;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      EXPECT_TRUE(valid_metric_name(family)) << line;
+      if (kind == "TYPE") {
+        std::string type;
+        ls >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram" || type == "summary" ||
+                    type == "untyped")
+            << line;
+        // A family must be declared at most once per exposition.
+        EXPECT_EQ(family_type.count(family), 0u) << "duplicate TYPE: " << line;
+        family_type[family] = type;
+      }
+      continue;
+    }
+    PromSample s;
+    const std::size_t brace = line.find('{');
+    const std::size_t name_end =
+        brace == std::string::npos ? line.find(' ') : brace;
+    if (name_end == std::string::npos) {
+      ADD_FAILURE() << "sample line without value: " << line;
+      continue;
+    }
+    s.name = line.substr(0, name_end);
+    EXPECT_TRUE(valid_metric_name(s.name)) << line;
+    std::size_t value_pos;
+    if (brace != std::string::npos) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        ADD_FAILURE() << "unterminated label set: " << line;
+        continue;
+      }
+      s.labels = line.substr(brace + 1, close - brace - 1);
+      value_pos = close + 1;
+    } else {
+      value_pos = name_end;
+    }
+    s.value = std::stod(line.substr(value_pos));
+    // Histogram sample names carry the _bucket/_sum/_count suffix; the TYPE
+    // line declares the bare family. Accept either form but require that
+    // *some* declared family covers this sample — every sample must follow
+    // its HELP/TYPE header.
+    bool declared = family_type.count(s.name) != 0;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string sfx(suffix);
+      if (!declared && s.name.size() > sfx.size() &&
+          s.name.compare(s.name.size() - sfx.size(), sfx.size(), sfx) == 0) {
+        declared =
+            family_type.count(s.name.substr(0, s.name.size() - sfx.size())) !=
+            0;
+      }
+    }
+    EXPECT_TRUE(declared) << "sample before TYPE line: " << line;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+const PromSample* find_sample(const std::vector<PromSample>& samples,
+                              const std::string& name,
+                              const std::string& labels = "") {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ------------------------------------------------------- name sanitizing --
+
+TEST(ObsExport, PromMetricNameIsStableAndCharsetClean) {
+  EXPECT_EQ(obs::prom_metric_name("gm.rounds"), "sbg_gm_rounds");
+  EXPECT_EQ(obs::prom_metric_name("sched.job-retry count"),
+            "sbg_sched_job_retry_count");
+  EXPECT_EQ(obs::prom_metric_name("keep:colon_and_Case9"),
+            "sbg_keep:colon_and_Case9");
+  // Deterministic: the same raw name always maps to the same series.
+  EXPECT_EQ(obs::prom_metric_name("a.b/c"), obs::prom_metric_name("a.b/c"));
+  EXPECT_TRUE(valid_metric_name(obs::prom_metric_name("0starts.with.digit")));
+}
+
+// ----------------------------------------------------------- exposition --
+
+TEST(ObsExport, ExpositionIsWellFormedAndTyped) {
+  obs::reset_all();
+  SBG_COUNTER_ADD("exp.counter", 12);
+  SBG_GAUGE_SET("exp.gauge", -1.25);
+  SBG_HIST_RECORD("exp.hist", 3);
+  SBG_HIST_RECORD("exp.hist", 5);
+  SBG_SERIES_APPEND("exp.series", 7.5);
+
+  const std::string text = obs::prometheus_exposition();
+  const auto samples = parse_exposition(text);
+
+  const PromSample* counter = find_sample(samples, "sbg_exp_counter_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 12.0);
+
+  const PromSample* gauge = find_sample(samples, "sbg_exp_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, -1.25);
+
+  const PromSample* last = find_sample(samples, "sbg_exp_series_last");
+  ASSERT_NE(last, nullptr);
+  EXPECT_DOUBLE_EQ(last->value, 7.5);
+  const PromSample* rounds =
+      find_sample(samples, "sbg_exp_series_rounds_total");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_DOUBLE_EQ(rounds->value, 1.0);
+
+  // The availability marker is always present, whatever its value.
+  EXPECT_NE(find_sample(samples, "sbg_perf_available"), nullptr);
+}
+
+TEST(ObsExport, HistogramBucketsAreCumulativeMonotoneEndingAtInf) {
+  obs::reset_all();
+  SBG_HIST_RECORD("exp.bhist", 0);   // bucket le="0"
+  SBG_HIST_RECORD("exp.bhist", 3);   // bucket le="3"
+  SBG_HIST_RECORD("exp.bhist", 5);   // bucket le="7"
+  SBG_HIST_RECORD("exp.bhist", 5);
+
+  const auto samples = parse_exposition(obs::prometheus_exposition());
+  std::vector<const PromSample*> buckets;
+  for (const auto& s : samples) {
+    if (s.name == "sbg_exp_bhist_bucket") buckets.push_back(&s);
+  }
+  ASSERT_GE(buckets.size(), 2u);
+  // Monotone non-decreasing cumulative counts, le bounds strictly rising,
+  // the final bucket is +Inf and equals _count.
+  double prev_count = -1.0;
+  double prev_le = -1.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::string& labels = buckets[i]->labels;
+    ASSERT_EQ(labels.rfind("le=\"", 0), 0u) << labels;
+    const std::string le = labels.substr(4, labels.size() - 5);
+    if (i + 1 == buckets.size()) {
+      EXPECT_EQ(le, "+Inf");
+    } else {
+      const double bound = std::stod(le);
+      EXPECT_GT(bound, prev_le);
+      prev_le = bound;
+    }
+    EXPECT_GE(buckets[i]->value, prev_count);
+    prev_count = buckets[i]->value;
+  }
+  EXPECT_DOUBLE_EQ(buckets.back()->value, 4.0);
+  const PromSample* count = find_sample(samples, "sbg_exp_bhist_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 4.0);
+  const PromSample* sum = find_sample(samples, "sbg_exp_bhist_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ(sum->value, 13.0);
+  // Spot-check the cumulative steps: le="0" saw 1 sample, le="3" saw 2.
+  const PromSample* b0 = find_sample(samples, "sbg_exp_bhist_bucket",
+                                     "le=\"0\"");
+  ASSERT_NE(b0, nullptr);
+  EXPECT_DOUBLE_EQ(b0->value, 1.0);
+  const PromSample* b3 = find_sample(samples, "sbg_exp_bhist_bucket",
+                                     "le=\"3\"");
+  ASSERT_NE(b3, nullptr);
+  EXPECT_DOUBLE_EQ(b3->value, 2.0);
+}
+
+TEST(ObsExport, CollidingSanitizedNamesEmitOneFamily) {
+  obs::reset_all();
+  // Both sanitize to sbg_col_a_b_total; emitting the family twice would be
+  // invalid exposition, so exactly one must survive.
+  obs::registry().counter("col.a.b").add(1);
+  obs::registry().counter("col.a_b").add(2);
+  const std::string text = obs::prometheus_exposition();
+  std::size_t type_lines = 0;
+  std::size_t pos = 0;
+  const std::string needle = "# TYPE sbg_col_a_b_total counter";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++type_lines;
+    pos += needle.size();
+  }
+  EXPECT_EQ(type_lines, 1u);
+  // parse_exposition enforces the at-most-one-TYPE-per-family rule too.
+  parse_exposition(text);
+}
+
+// ------------------------------------------------- histogram quantiles  --
+
+TEST(ObsExport, HistogramQuantileExactWhenSingleValued) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(42);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap, 0.50), 42.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(snap, 0.99), 42.0);
+}
+
+TEST(ObsExport, HistogramQuantileMonotoneAndClampedToMinMax) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto snap = h.snapshot();
+  const double p50 = obs::histogram_quantile(snap, 0.50);
+  const double p95 = obs::histogram_quantile(snap, 0.95);
+  const double p99 = obs::histogram_quantile(snap, 0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Pow2 buckets bound the error to the enclosing bucket: p50 of 1..1000
+  // lies in (255, 1000], p99 in (512, 1000].
+  EXPECT_GT(p50, 255.0);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(obs::Histogram::Snapshot{}, 0.5),
+                   0.0);
+}
+
+TEST(ObsExport, ReportJsonCarriesQuantilesAndDropped) {
+  obs::reset_all();
+  for (int i = 0; i < 64; ++i) SBG_HIST_RECORD("exp.qhist", 16);
+  obs::Series& s = obs::registry().series("exp.dropseries");
+  const std::uint64_t overflow = obs::Series::kDefaultCapacity + 37;
+  for (std::uint64_t i = 0; i < overflow; ++i) {
+    s.append(static_cast<double>(i));
+  }
+  const Json doc = JsonParser(obs::report_json({})).parse();
+  const Json& hist = doc.at("histograms").at("exp.qhist");
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, 16.0);
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, 16.0);
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, 16.0);
+  const Json& series = doc.at("series").at("exp.dropseries");
+  EXPECT_DOUBLE_EQ(series.at("total").number, static_cast<double>(overflow));
+  EXPECT_DOUBLE_EQ(series.at("dropped").number, 37.0);
+  EXPECT_DOUBLE_EQ(series.at("dropped").number,
+                   series.at("window_start").number);
+}
+
+TEST(ObsExport, SeriesOverflowSurfacesAsDroppedRoundsGauge) {
+  obs::reset_all();
+  obs::Series& s = obs::registry().series("exp.overflow");
+  for (std::uint64_t i = 0; i < obs::Series::kDefaultCapacity + 5; ++i) {
+    s.append(1.0);
+  }
+  const auto samples = parse_exposition(obs::prometheus_exposition());
+  const PromSample* dropped =
+      find_sample(samples, "sbg_exp_overflow_dropped_rounds");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value, 5.0);
+  const PromSample* rounds =
+      find_sample(samples, "sbg_exp_overflow_rounds_total");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_DOUBLE_EQ(rounds->value,
+                   static_cast<double>(obs::Series::kDefaultCapacity + 5));
+}
+
+// ------------------------------------------------------------ chrome trace --
+
+TEST(ObsExport, ChromeTraceNestingMatchesSpanTreeAndTracksAreSorted) {
+  obs::set_trace_capture(true);  // clears any previous capture
+  SBG_TRACE_THREAD_NAME("test-main");
+  {
+    SBG_SPAN("trace.outer");
+    { SBG_SPAN("trace.inner"); }
+    { SBG_SPAN("trace.inner"); }
+    SBG_TRACE_INSTANT("trace.mark");
+  }
+  SBG_SERIES_APPEND("trace.series", 3.5);
+  std::thread worker([] {
+    SBG_TRACE_THREAD_NAME("test-worker");
+    SBG_SPAN("trace.worker_span");
+  });
+  worker.join();
+  const auto events = obs::trace_events();
+  const auto names = obs::trace_thread_names();
+  const std::string json = obs::chrome_trace_json();
+  obs::set_trace_capture(false);
+
+  // Two tracks, both named via metadata.
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 2u);
+  std::set<std::string> track_names;
+  for (const auto& [tid, name] : names) track_names.insert(name);
+  EXPECT_EQ(track_names.count("test-main"), 1u);
+  EXPECT_EQ(track_names.count("test-worker"), 1u);
+
+  // Chronological within each track; X events have non-negative durations.
+  std::map<std::uint32_t, std::int64_t> last_ts;
+  std::map<std::string, int> by_name;
+  for (const auto& e : events) {
+    const auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_us, it->second) << e.name;
+    }
+    last_ts[e.tid] = e.ts_us;
+    EXPECT_GE(e.ts_us, 0);
+    if (e.phase == 'X') {
+      EXPECT_GE(e.dur_us, 0) << e.name;
+    }
+    by_name[e.name] += 1;
+  }
+  EXPECT_EQ(by_name["trace.outer"], 1);
+  EXPECT_EQ(by_name["trace.inner"], 2);
+  EXPECT_EQ(by_name["trace.mark"], 1);
+  EXPECT_EQ(by_name["trace.series"], 1);
+  EXPECT_EQ(by_name["trace.worker_span"], 1);
+
+  // Interval containment mirrors the span tree: both inner spans and the
+  // instant land inside [outer.ts, outer.ts + outer.dur] on the same track.
+  const obs::TraceEvent* outer = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "trace.outer") outer = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  for (const auto& e : events) {
+    if (e.name != "trace.inner" && e.name != "trace.mark") continue;
+    EXPECT_EQ(e.tid, outer->tid);
+    EXPECT_GE(e.ts_us, outer->ts_us) << e.name;
+    EXPECT_LE(e.ts_us + (e.phase == 'X' ? e.dur_us : 0),
+              outer->ts_us + outer->dur_us)
+        << e.name;
+  }
+
+  // The JSON is parseable Trace Event Format with balanced metadata.
+  const Json doc = JsonParser(json).parse();
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& trace_events = doc.at("traceEvents").array;
+  std::size_t x = 0, i_events = 0, c = 0, m = 0;
+  for (const auto& e : trace_events) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X") {
+      ++x;
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "i") {
+      ++i_events;
+      EXPECT_EQ(e.at("s").string, "t");
+    } else if (ph == "C") {
+      ++c;
+      EXPECT_TRUE(e.at("args").has("value"));
+    } else if (ph == "M") {
+      ++m;
+      EXPECT_EQ(e.at("name").string, "thread_name");
+      EXPECT_TRUE(e.at("args").has("name"));
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(x, 4u);         // outer + 2 inner + worker_span
+  EXPECT_EQ(i_events, 1u);  // trace.mark
+  EXPECT_EQ(c, 1u);         // trace.series counter sample
+  EXPECT_EQ(m, 2u);         // two named tracks
+}
+
+TEST(ObsExport, TraceCaptureOffRecordsNothing) {
+  obs::set_trace_capture(true);
+  obs::set_trace_capture(false);
+  { SBG_SPAN("trace.unwanted"); }
+  SBG_TRACE_INSTANT("trace.unwanted_mark");
+  EXPECT_TRUE(obs::trace_events().empty());
+}
+
+TEST(ObsExport, WriteChromeTraceCreatesLoadableFile) {
+  obs::set_trace_capture(true);
+  { SBG_SPAN("trace.file_span"); }
+  const std::string path = testing::TempDir() + "/sbg_trace_test.json";
+  std::string error;
+  ASSERT_TRUE(obs::write_chrome_trace(path, &error)) << error;
+  obs::set_trace_capture(false);
+  const Json doc = JsonParser(read_file(path)).parse();
+  ASSERT_FALSE(doc.at("traceEvents").array.empty());
+  std::string bad_error;
+  EXPECT_FALSE(obs::write_chrome_trace("/nonexistent-dir/x/y.json",
+                                       &bad_error));
+  EXPECT_FALSE(bad_error.empty());
+}
+
+// ---------------------------------------------------------------- sampler --
+
+TEST(ObsExport, ParseExportSpecAcceptsSinksAndRejectsGarbage) {
+  obs::SamplerOptions opt;
+  std::string error;
+  ASSERT_TRUE(obs::parse_export_spec("prom:/tmp/a.prom,jsonl:/tmp/b.jsonl",
+                                     &opt, &error))
+      << error;
+  EXPECT_EQ(opt.prom_path, "/tmp/a.prom");
+  EXPECT_EQ(opt.jsonl_path, "/tmp/b.jsonl");
+
+  obs::SamplerOptions single;
+  ASSERT_TRUE(obs::parse_export_spec("jsonl:rel/path.jsonl", &single, &error));
+  EXPECT_TRUE(single.prom_path.empty());
+  EXPECT_EQ(single.jsonl_path, "rel/path.jsonl");
+
+  obs::SamplerOptions bad;
+  EXPECT_FALSE(obs::parse_export_spec("csv:/tmp/a.csv", &bad, &error));
+  EXPECT_NE(error.find("csv"), std::string::npos);
+  EXPECT_FALSE(obs::parse_export_spec("prom:", &bad, &error));
+  EXPECT_FALSE(obs::parse_export_spec("prom", &bad, &error));
+  EXPECT_FALSE(obs::parse_export_spec("", &bad, &error));
+  EXPECT_FALSE(obs::parse_export_spec(",,,", &bad, &error));
+}
+
+TEST(ObsExport, SamplerSnapshotsStayConsistentUnderConcurrentWriters) {
+  obs::reset_all();
+  const std::string prom_path = testing::TempDir() + "/sbg_sampler_test.prom";
+  const std::string jsonl_path =
+      testing::TempDir() + "/sbg_sampler_test.jsonl";
+  std::remove(prom_path.c_str());
+  std::remove(jsonl_path.c_str());
+
+  obs::SamplerOptions opt;
+  opt.prom_path = prom_path;
+  opt.jsonl_path = jsonl_path;
+  opt.period_ms = 10;
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAddsPerThread = 40'000;
+  {
+    obs::Sampler sampler(opt);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([] {
+        for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+          SBG_COUNTER_ADD("sampler.writes", 1);
+          if (i % 64 == 0) SBG_HIST_RECORD("sampler.sizes", i);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    for (auto& w : writers) w.join();
+    sampler.stop();  // final flush after writers are quiescent
+    EXPECT_GE(sampler.samples_taken(), 1u);
+    sampler.stop();  // idempotent
+  }
+
+  // The final exposition reflects the exact post-join totals.
+  const auto samples = parse_exposition(read_file(prom_path));
+  const PromSample* writes =
+      find_sample(samples, "sbg_sampler_writes_total");
+  ASSERT_NE(writes, nullptr);
+  EXPECT_DOUBLE_EQ(writes->value,
+                   static_cast<double>(kThreads * kAddsPerThread));
+
+  // Every JSONL line parses; deltas telescope to the final total.
+  std::ifstream in(jsonl_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t lines = 0;
+  double delta_sum = 0.0;
+  double last_total = 0.0;
+  double prev_sample = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const Json doc = JsonParser(line).parse();
+    EXPECT_GT(doc.at("sample").number, prev_sample);
+    prev_sample = doc.at("sample").number;
+    const Json& counters = doc.at("counters");
+    if (counters.has("sampler.writes")) {
+      const double total = counters.at("sampler.writes").number;
+      EXPECT_GE(total, last_total) << "counter went backwards";
+      last_total = total;
+    }
+    const Json& deltas = doc.at("counter_deltas");
+    if (deltas.has("sampler.writes")) {
+      delta_sum += deltas.at("sampler.writes").number;
+    }
+    if (doc.at("histograms").has("sampler.sizes")) {
+      const Json& h = doc.at("histograms").at("sampler.sizes");
+      EXPECT_LE(h.at("p50").number, h.at("p95").number);
+      EXPECT_LE(h.at("p95").number, h.at("p99").number);
+    }
+  }
+  EXPECT_GE(lines, 1u);
+  EXPECT_DOUBLE_EQ(last_total, static_cast<double>(kThreads * kAddsPerThread));
+  EXPECT_DOUBLE_EQ(delta_sum, last_total);
+}
+
+TEST(ObsExport, StartSamplerFromEnvIgnoresMalformedSpec) {
+  // Unset -> no sampler; malformed -> warn + no sampler (never a crash).
+  ASSERT_EQ(unsetenv("SBG_OBS_EXPORT"), 0);
+  EXPECT_EQ(obs::start_sampler_from_env(), nullptr);
+  ASSERT_EQ(setenv("SBG_OBS_EXPORT", "bogus:/tmp/x", 1), 0);
+  EXPECT_EQ(obs::start_sampler_from_env(), nullptr);
+  ASSERT_EQ(unsetenv("SBG_OBS_EXPORT"), 0);
+}
+
+// ------------------------------------------------------------------- perf --
+
+TEST(ObsExport, PerfDegradesGracefullyWhenUnavailable) {
+  const bool avail = obs::perf::available();
+  if (avail) {
+    GTEST_SKIP() << "perf_event_open works here; degradation not exercised";
+  }
+  // Unavailable: a stable reason, zeroed reads, and no-op scopes.
+  EXPECT_NE(std::string(obs::perf::unavailable_reason()), "");
+  obs::perf::Values v;
+  v.cycles = 123;
+  EXPECT_FALSE(obs::perf::read_counters(&v));
+  EXPECT_EQ(v.cycles, 0u);
+  EXPECT_EQ(v.instructions, 0u);
+
+  obs::reset_all();
+  {
+    SBG_SPAN_PERF("perf.test_scope");
+  }
+  EXPECT_EQ(obs::registry().counter("perf.perf.test_scope.cycles").value(),
+            0u);
+  const auto samples = parse_exposition(obs::prometheus_exposition());
+  const PromSample* marker = find_sample(samples, "sbg_perf_available");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_DOUBLE_EQ(marker->value, 0.0);
+}
+
+TEST(ObsExport, PerfCountsWorkWhenAvailable) {
+  if (!obs::perf::available()) {
+    GTEST_SKIP() << "perf unavailable: " << obs::perf::unavailable_reason();
+  }
+  EXPECT_EQ(std::string(obs::perf::unavailable_reason()), "");
+  obs::reset_all();
+  {
+    SBG_SPAN_PERF("perf.busy");
+    // Enough work that the cycle counter must advance.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
+  }
+  EXPECT_GT(obs::registry().counter("perf.perf.busy.cycles").value(), 0u);
+  const auto samples = parse_exposition(obs::prometheus_exposition());
+  const PromSample* marker = find_sample(samples, "sbg_perf_available");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_DOUBLE_EQ(marker->value, 1.0);
+}
+
+}  // namespace
+}  // namespace sbg
