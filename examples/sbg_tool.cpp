@@ -12,12 +12,26 @@
 //   sbg_tool mis <graph> [luby|greedy|bridge|rand|degk]
 //   sbg_tool batch <graphs,csv> [--jobs N] [--per-job-threads T]
 //                  [--deadline-ms D] [--verify-sequential] [--inject-failure]
+//                  [--auto]
+//   sbg_tool auto <graph> [mm|color|mis]
 //   sbg_tool metrics <graph> [mm|color|mis] [--variant V]
+//
+// `auto` fingerprints the graph (avg degree, %deg<=2, %bridges — the
+// Table II columns) and lets the sbg::tune selector pick the
+// decomposition variant, partition count, and thread count per problem
+// (all three when none is named). Each run goes through the sched engine,
+// so it is oracle-gated and recorded into the telemetry store
+// ($SBG_TUNE_PATH, or sbg_tune.json in $SBG_CACHE_DIR): re-running the
+// same graph refines the pick toward the measured winner (DESIGN.md §10).
+// --threads overrides the selector's thread suggestion.
 //
 // `batch` runs the full Table-I matrix (MM/COLOR/MIS × baseline/BRIDGE/
 // RAND/DEGk) over every listed graph concurrently on N workers with T
-// OpenMP threads each (src/sched/). --verify-sequential replays each job
-// in one thread and checks the result hashes agree; --inject-failure adds
+// OpenMP threads each (src/sched/). --auto swaps the explicit matrix for
+// one selector-resolved "auto" job per (graph, problem) — the JSON entry
+// carries "resolved_variant". --verify-sequential replays each job
+// in one thread and checks the result hashes agree (auto jobs replay
+// pinned to the variant they resolved to); --inject-failure adds
 // one deliberately failing job to demonstrate failure isolation. With
 // --json the report is the aggregated batch document (sbg_batch_version
 // schema), not the plain obs report.
@@ -83,6 +97,7 @@
 #include "obs/report.hpp"
 #include "parallel/thread_env.hpp"
 #include "sched/sched.hpp"
+#include "tune/tune.hpp"
 
 namespace {
 
@@ -106,6 +121,7 @@ struct Options {
   double deadline_ms = 0;        ///< --deadline-ms: per-job deadline
   bool verify_sequential = false;///< --verify-sequential: replay + compare
   bool inject_failure = false;   ///< --inject-failure: add one failing job
+  bool auto_variants = false;    ///< --auto: one "auto" job per problem
 
   /// Ingestion options for file loads under the current flags.
   ingest::Options ingest_options() const {
@@ -157,6 +173,8 @@ Options parse_flags(int argc, char** argv, int first) {
       o.verify_sequential = true;
     } else if (a == "--inject-failure") {
       o.inject_failure = true;
+    } else if (a == "--auto") {
+      o.auto_variants = true;
     }
   }
   return o;
@@ -392,7 +410,28 @@ int cmd_batch(const std::string& graphs_csv, const Options& o) {
   }
   if (graphs.empty()) throw InputError("batch: no graphs given");
 
-  std::vector<sched::JobSpec> specs = sched::table1_matrix(graphs, o.seed);
+  // --auto collapses the 12-job Table-I matrix per graph down to one
+  // selector-resolved job per problem; the report's "resolved_variant"
+  // records what each one ran as.
+  std::vector<sched::JobSpec> specs;
+  if (o.auto_variants) {
+    for (const auto& [name, g] : graphs) {
+      for (const sched::Problem p : {sched::Problem::kMM,
+                                     sched::Problem::kColor,
+                                     sched::Problem::kMis}) {
+        sched::JobSpec spec;
+        spec.graph_name = name;
+        spec.graph = g;
+        spec.problem = p;
+        spec.variant = sched::kAutoVariant;
+        spec.seed = o.seed;
+        spec.name = name + "/" + to_string(p) + "/auto";
+        specs.push_back(std::move(spec));
+      }
+    }
+  } else {
+    specs = sched::table1_matrix(graphs, o.seed);
+  }
   if (o.inject_failure) {
     sched::JobSpec bad = specs.front();
     bad.name = "injected-failure";
@@ -440,9 +479,14 @@ int cmd_batch(const std::string& graphs_csv, const Options& o) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       if (specs[i].inject_failure) continue;
       if (report.results[i].status != sched::JobStatus::kOk) continue;
+      // Replay "auto" jobs as the variant they actually resolved to: a
+      // fresh resolution could legitimately explore a different candidate,
+      // which is selector progress, not a concurrency mismatch.
+      sched::JobSpec replay = specs[i];
+      replay.variant = report.results[i].resolved_variant;
       const bool hash_must_match =
-          sched::schedule_deterministic(specs[i].problem, specs[i].variant);
-      const sched::JobResult ref = sched::run_job(specs[i]);
+          sched::schedule_deterministic(replay.problem, replay.variant);
+      const sched::JobResult ref = sched::run_job(replay);
       if (ref.status != sched::JobStatus::kOk ||
           (hash_must_match &&
            ref.result_hash != report.results[i].result_hash)) {
@@ -470,6 +514,83 @@ int cmd_batch(const std::string& graphs_csv, const Options& o) {
     std::printf("wrote %s\n", o.json_out.c_str());
   }
   return unexpected == 0 ? 0 : 1;
+}
+
+int cmd_auto(const std::string& spec, const std::string& problem,
+             const Options& o) {
+  const auto graph =
+      std::make_shared<const CsrGraph>(load_or_generate(spec, o));
+  const std::string key = tune::graph_key(spec, *graph);
+  const tune::Fingerprint fp = tune::fingerprint_of(*graph);
+  std::printf("fingerprint %s: %llu vertices, %llu arcs, avg degree %.2f, "
+              "%%deg<=2 %.2f, %%bridges %.2f\n",
+              spec.c_str(), static_cast<unsigned long long>(fp.num_vertices),
+              static_cast<unsigned long long>(fp.num_arcs), fp.avg_degree,
+              fp.pct_deg2, fp.pct_bridges);
+
+  std::vector<sched::Problem> problems;
+  if (problem.empty()) {
+    problems = {sched::Problem::kMM, sched::Problem::kColor,
+                sched::Problem::kMis};
+  } else if (problem == "mm") {
+    problems = {sched::Problem::kMM};
+  } else if (problem == "color") {
+    problems = {sched::Problem::kColor};
+  } else if (problem == "mis") {
+    problems = {sched::Problem::kMis};
+  } else {
+    throw InputError("auto: unknown problem " + problem +
+                     " (expected mm, color, or mis)");
+  }
+
+  int bad = 0;
+  for (const sched::Problem p : problems) {
+    sched::JobSpec job;
+    job.graph_name = spec;
+    job.graph = graph;
+    job.problem = p;
+    job.variant = sched::kAutoVariant;
+    job.seed = o.seed;
+    job.name = spec + "/" + to_string(p) + "/auto";
+
+    // prepare_job is read-only (recording happens after execution), so
+    // this resolution and the one inside run_job below see the same store
+    // state and agree; here it surfaces the selector's rationale.
+    const sched::PreparedJob prep = sched::prepare_job(job);
+    const tune::Choice choice = tune::choose_for_graph(*graph, p, key);
+    const int threads = o.threads > 0 ? o.threads : choice.threads;
+    std::printf("%-5s -> %-12s (%s; k=%u, partitions=%d, threads=%d)\n",
+                to_string(p), prep.spec.variant.c_str(),
+                prep.auto_reason.c_str(), choice.k, choice.partitions,
+                threads);
+
+    const ScopedThreads st(threads);
+    const sched::JobResult res = sched::run_job(job);
+    if (res.status != sched::JobStatus::kOk) {
+      std::printf("%-5s FAILED: %s\n", to_string(p), res.error.c_str());
+      ++bad;
+      continue;
+    }
+#if SBG_OBS_ENABLED
+    // Not the SBG_GAUGE_SET macro: it binds its handle statically per call
+    // site, and this site runs once per problem with a different name.
+    const std::string prefix = std::string("auto.") + to_string(p);
+    obs::registry().gauge(prefix + ".seconds").set(res.seconds);
+    obs::registry().gauge(prefix + ".rounds").set(res.rounds);
+#endif
+    std::printf("%-5s ran %-12s %.4fs, %u rounds, value %llu (oracle ok)\n",
+                to_string(p), res.resolved_variant.c_str(), res.seconds,
+                res.rounds, static_cast<unsigned long long>(res.value));
+  }
+
+  std::string err;
+  if (!tune::save_global_store(&err)) {
+    std::fprintf(stderr, "warning: telemetry not saved: %s\n", err.c_str());
+  } else if (const std::string path = tune::default_store_path();
+             !path.empty()) {
+    std::printf("telemetry -> %s\n", path.c_str());
+  }
+  return bad ? 1 : 0;
 }
 
 int cmd_metrics(const std::string& spec, const std::string& problem,
@@ -509,7 +630,7 @@ int cmd_metrics(const std::string& spec, const std::string& problem,
 int usage() {
   std::fprintf(stderr,
                "usage: sbg_tool <gen|load|cache|stats|convert|decompose|check"
-               "|mm|color|mis|batch|metrics> ...\n"
+               "|mm|color|mis|batch|auto|metrics> ...\n"
                "see the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
@@ -551,6 +672,8 @@ int main(int argc, char** argv) {
       rc = cmd_mis(argv[2], algo.empty() ? "luby" : algo, o);
     } else if (cmd == "batch") {
       rc = cmd_batch(argv[2], o);
+    } else if (cmd == "auto") {
+      rc = cmd_auto(argv[2], algo, o);
     } else if (cmd == "metrics") {
       rc = cmd_metrics(argv[2], algo, o);
     }

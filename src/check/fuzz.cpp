@@ -218,7 +218,7 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
 
 const std::vector<std::string>& fuzz_families() {
   static const std::vector<std::string> kFamilies = {
-      "basic", "rgg", "rmat", "synth", "ingest", "batch"};
+      "basic", "rgg", "rmat", "synth", "ingest", "batch", "auto"};
   return kFamilies;
 }
 
@@ -388,6 +388,12 @@ FuzzSummary run_fuzz(const FuzzOptions& opt) {
           // sequentially for hash agreement (see fuzz_batch.cpp).
           fails = fuzz_check_batch(graph_seed, opt.max_n, &shape,
                                    &summary.solver_runs);
+        } else if (family == "auto") {
+          // Adaptive-selection fuzz: the sched "auto" path differenced
+          // against explicit runs + selector property checks
+          // (see fuzz_auto.cpp).
+          fails = fuzz_check_auto(graph_seed, opt.max_n, &shape,
+                                  &summary.solver_runs);
         } else {
           const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
           fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);

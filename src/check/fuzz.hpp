@@ -32,9 +32,11 @@ namespace sbg::check {
 /// "basic" (paths/cycles/stars/cliques/grids/trees/Erdős–Rényi), "rgg",
 /// "rmat", "synth" (road, broom, numerical, collab, web) — plus "ingest",
 /// which skips the solver zoo and differentially tests the text-ingestion
-/// pipeline instead (see fuzz_check_ingest), and "batch", which runs 2-4
+/// pipeline instead (see fuzz_check_ingest), "batch", which runs 2-4
 /// concurrent sched jobs and replays them sequentially for hash agreement
-/// (see fuzz_check_batch).
+/// (see fuzz_check_batch), and "auto", which solves through the sbg::tune
+/// adaptive-selection path and replays the resolved variant explicitly
+/// (see fuzz_check_auto).
 const std::vector<std::string>& fuzz_families();
 
 /// Deterministic random graph for (family, seed): shape and size are drawn
@@ -72,6 +74,19 @@ std::vector<std::string> fuzz_check_ingest(std::uint64_t seed,
 std::vector<std::string> fuzz_check_batch(std::uint64_t seed, vid_t max_n,
                                           std::string* shape = nullptr,
                                           int* solver_runs = nullptr);
+
+/// One "auto" family iteration: a random graph solved per problem through
+/// sched's "auto" variant (sbg::tune selector, oracle-gated), differenced
+/// against an explicit run of the variant the selector resolved to
+/// (hash/value/rounds identical for the schedule-deterministic solvers),
+/// plus selector-in-isolation property checks: random fingerprints always
+/// yield a valid (variant, k>=2, partitions>=1, threads>=1) choice, a
+/// local history where a non-table candidate is 3x faster flips the
+/// selector to it, and injected failures never enter the telemetry store.
+/// Returns one string per failure.
+std::vector<std::string> fuzz_check_auto(std::uint64_t seed, vid_t max_n,
+                                         std::string* shape = nullptr,
+                                         int* solver_runs = nullptr);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;

@@ -1,0 +1,233 @@
+// The "auto" fuzz family: differential fuzzing for adaptive selection.
+//
+// One iteration draws a random graph, solves each problem through the
+// sched "auto" path (variant resolved by the sbg::tune selector, oracle
+// gated like every sched job), and then re-runs the variant the selector
+// resolved to explicitly — for the schedule-deterministic solvers the two
+// solution arrays must be byte-identical (hashes prove it), and the
+// resolved variant must always be one of the Table-I candidates for the
+// problem. On top of the end-to-end path the iteration fuzzes the
+// selector in isolation with random fingerprints (every choice must be
+// valid: registered variant, k >= 2, partitions >= 1, threads >= 1) and a
+// seeded local telemetry store where a non-table candidate is 3x faster
+// (lock-in must pick it), and asserts injected failures never poison the
+// telemetry history.
+//
+// Auto resolution consults the process-global telemetry store, which
+// accumulates across iterations; every check here is invariant to WHICH
+// candidate the selector picks, so replaying a single seed standalone
+// reproduces any failure even though the store state differs. Each
+// iteration uses a unique graph name, so its history rows are its own.
+#include "check/fuzz.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_env.hpp"
+#include "sched/sched.hpp"
+#include "tune/tune.hpp"
+
+namespace sbg::check {
+
+namespace {
+
+std::string fmt_hash_auto(std::uint64_t h) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
+bool is_candidate(sched::Problem p, const std::string& variant) {
+  for (const std::string& v : tune::Selector::candidates(p)) {
+    if (v == variant) return true;
+  }
+  return false;
+}
+
+/// Validity oracle for a selector decision (the satellite property test,
+/// run here against random fingerprints as well as real graphs).
+void check_choice_valid(const tune::Choice& c, sched::Problem p,
+                        const std::string& ctx,
+                        std::vector<std::string>& fails) {
+  if (!is_candidate(p, c.variant)) {
+    fails.push_back(ctx + ": variant '" + c.variant +
+                    "' not a Table-I candidate");
+  }
+  if (c.k < 2) fails.push_back(ctx + ": k < 2");
+  if (c.partitions < 1) fails.push_back(ctx + ": partitions < 1");
+  if (c.threads < 1 || c.threads > max_threads()) {
+    fails.push_back(ctx + ": threads outside [1, max_threads]");
+  }
+  if (c.reason.empty()) fails.push_back(ctx + ": empty reason");
+}
+
+tune::Fingerprint random_fingerprint(Rng& rng) {
+  tune::Fingerprint fp;
+  fp.num_vertices = rng.below(2'000'000);
+  fp.avg_degree = rng.uniform() * 80.0;
+  fp.num_arcs = static_cast<std::uint64_t>(
+      fp.avg_degree * static_cast<double>(fp.num_vertices));
+  fp.pct_deg2 = rng.uniform() * 100.0;
+  fp.pct_bridges = rng.uniform() * 100.0;
+  return fp;
+}
+
+}  // namespace
+
+std::vector<std::string> fuzz_check_auto(std::uint64_t seed, vid_t max_n,
+                                         std::string* shape,
+                                         int* solver_runs) {
+  SBG_COUNTER_ADD("fuzz.auto_iterations", 1);
+  std::vector<std::string> fails;
+  Rng rng(mix64(seed ^ 0xa0707));
+
+  static const char* kGraphFamilies[] = {"basic", "rgg", "rmat", "synth"};
+  const std::string family = kGraphFamilies[rng.below(4)];
+  std::string graph_shape;
+  auto graph = std::make_shared<const CsrGraph>(
+      fuzz_graph(family, rng.next(), max_n, &graph_shape));
+  // Unique per iteration: this iteration's telemetry rows belong to it
+  // alone, whatever ran before in the process.
+  const std::string graph_name = "fuzz-auto-" + std::to_string(seed);
+  if (shape) *shape = graph_shape;
+
+  const std::uint64_t job_seed = rng.next();
+  static const sched::Problem kProblems[] = {
+      sched::Problem::kMM, sched::Problem::kColor, sched::Problem::kMis};
+  for (const sched::Problem problem : kProblems) {
+    const std::string ctx =
+        std::string("auto/") + to_string(problem) + "/" + graph_shape;
+
+    // Some iterations pre-seed the global store for this (graph, problem)
+    // with random plausible timings so resolution exercises the lock-in
+    // and telemetry-confirms paths, not just the cold-start table.
+    if (rng.below(3) == 0) {
+      const std::string key = tune::graph_key(graph_name, *graph);
+      for (const std::string& v : tune::Selector::candidates(problem)) {
+        for (int r = 0; r < 2; ++r) {
+          tune::record_run(key, problem, v, 1e-4 + rng.uniform() * 1e-2,
+                           static_cast<double>(1 + rng.below(50)));
+        }
+      }
+    }
+
+    sched::JobSpec spec;
+    spec.graph = graph;
+    spec.graph_name = graph_name;
+    spec.problem = problem;
+    spec.variant = sched::kAutoVariant;
+    spec.seed = job_seed;
+    spec.name = ctx;
+
+    const sched::JobResult res = sched::run_job(spec);
+    if (solver_runs) ++*solver_runs;
+    if (res.status != sched::JobStatus::kOk) {
+      fails.push_back(ctx + ": " + std::string(to_string(res.status)) + ": " +
+                      res.error);
+      continue;
+    }
+    if (!is_candidate(problem, res.resolved_variant)) {
+      fails.push_back(ctx + ": resolved to '" + res.resolved_variant +
+                      "', not a Table-I candidate");
+      continue;
+    }
+
+    // Differential half: the same job with the resolved variant named
+    // explicitly. Auto must be a pure dispatch — for the deterministic
+    // solvers the solution arrays (via their hashes), values, and round
+    // counts must be identical; the speculative colorers only have to
+    // come back oracle-clean.
+    sched::JobSpec explicit_spec = spec;
+    explicit_spec.variant = res.resolved_variant;
+    const sched::JobResult ref = sched::run_job(explicit_spec);
+    if (solver_runs) ++*solver_runs;
+    if (ref.status != sched::JobStatus::kOk) {
+      fails.push_back(ctx + ": explicit " + res.resolved_variant +
+                      " replay failed: " + ref.error);
+    } else if (sched::schedule_deterministic(problem, res.resolved_variant) &&
+               (ref.result_hash != res.result_hash ||
+                ref.value != res.value || ref.rounds != res.rounds)) {
+      fails.push_back(ctx + ": auto(" + res.resolved_variant + ") result " +
+                      fmt_hash_auto(res.result_hash) + " (value " +
+                      std::to_string(res.value) + ") != explicit " +
+                      fmt_hash_auto(ref.result_hash) + " (value " +
+                      std::to_string(ref.value) + ")");
+    }
+  }
+
+  // An injected failure through the auto path: prepare still resolves (the
+  // result names a real candidate), the failure is isolated, and nothing
+  // is recorded into the history for the failed run's key.
+  if (rng.below(4) == 0) {
+    sched::JobSpec spec;
+    spec.graph = graph;
+    spec.graph_name = graph_name + "-injected";
+    spec.problem = sched::Problem::kMM;
+    spec.variant = sched::kAutoVariant;
+    spec.seed = job_seed;
+    spec.name = "auto/injected";
+    spec.inject_failure = true;
+    const sched::JobResult res = sched::run_job(spec);
+    if (res.status != sched::JobStatus::kFailed) {
+      fails.push_back("auto/injected: reported as " +
+                      std::string(to_string(res.status)));
+    }
+    if (!is_candidate(sched::Problem::kMM, res.resolved_variant)) {
+      fails.push_back("auto/injected: resolved_variant '" +
+                      res.resolved_variant + "' not a candidate");
+    }
+    const auto st = tune::global_store().stats(
+        tune::graph_key(spec.graph_name, *graph), spec.problem,
+        res.resolved_variant);
+    if (st.has_value()) {
+      fails.push_back("auto/injected: failed run was recorded into the "
+                      "telemetry history");
+    }
+  }
+
+  // Selector-in-isolation half (deterministic, local store only).
+  for (const sched::Problem problem : kProblems) {
+    // Property: any fingerprint, however implausible, yields a valid
+    // choice — from the static table and from a choose() with history.
+    const tune::Fingerprint fp = random_fingerprint(rng);
+    check_choice_valid(tune::Selector::table_choice(fp, problem), problem,
+                       std::string("table_choice/") + to_string(problem),
+                       fails);
+
+    tune::TelemetryStore local;
+    const std::string key = "fuzz-fp";
+    const tune::Choice table = tune::Selector::table_choice(fp, problem);
+    // Seed every candidate past min_runs, with one non-table candidate 3x
+    // faster than the table pick: lock-in must choose the fast one.
+    const double slow = 1e-3 + rng.uniform() * 1e-2;
+    std::string fast_variant;
+    for (const std::string& v : tune::Selector::candidates(problem)) {
+      double secs = slow;
+      if (v != table.variant && fast_variant.empty()) {
+        fast_variant = v;
+        secs = slow / 3.0;
+      }
+      for (int r = 0; r < 3; ++r) {
+        local.record(key, problem, v, secs, 5.0);
+      }
+    }
+    const tune::Choice refined =
+        tune::Selector(&local).choose(fp, problem, key);
+    check_choice_valid(refined, problem,
+                       std::string("refined/") + to_string(problem), fails);
+    if (refined.variant != fast_variant || !refined.from_telemetry) {
+      fails.push_back(std::string("refined/") + to_string(problem) +
+                      ": selector kept '" + refined.variant +
+                      "' over 3x-faster '" + fast_variant + "'");
+    }
+  }
+
+  SBG_COUNTER_ADD("fuzz.failures", fails.size());
+  return fails;
+}
+
+}  // namespace sbg::check

@@ -15,17 +15,29 @@ GraphStats graph_stats(const CsrGraph& g, vid_t k) {
   s.avg_degree = g.average_degree();
   if (s.num_vertices == 0) return s;
 
-  s.max_degree = parallel_max<vid_t>(
-      s.num_vertices, [&](std::size_t v) { return g.degree(static_cast<vid_t>(v)); },
-      vid_t{0});
+  // One fused pass over the degree array: every quantity is a reduction of
+  // the same loaded degree, so splitting them into separate parallel loops
+  // (as this used to) just re-streams the offsets array four times.
   vid_t mind = kNoVertex;
-#pragma omp parallel for schedule(static) reduction(min : mind)
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(s.num_vertices); ++v) {
-    mind = std::min(mind, g.degree(static_cast<vid_t>(v)));
+  vid_t maxd = 0;
+  std::int64_t le2 = 0, lek = 0, iso = 0;
+#pragma omp parallel for schedule(static) \
+    reduction(min : mind) reduction(max : maxd) reduction(+ : le2, lek, iso)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(s.num_vertices);
+       ++v) {
+    const vid_t d = g.degree(static_cast<vid_t>(v));
+    mind = std::min(mind, d);
+    maxd = std::max(maxd, d);
+    le2 += d <= 2 ? 1 : 0;
+    lek += d <= k ? 1 : 0;
+    iso += d == 0 ? 1 : 0;
   }
   s.min_degree = mind;
-  s.pct_deg2 = pct_degree_at_most(g, 2);
-  s.pct_degk = (k == 2) ? s.pct_deg2 : pct_degree_at_most(g, k);
+  s.max_degree = maxd;
+  s.num_isolated = static_cast<vid_t>(iso);
+  const double n = static_cast<double>(s.num_vertices);
+  s.pct_deg2 = 100.0 * static_cast<double>(le2) / n;
+  s.pct_degk = 100.0 * static_cast<double>(lek) / n;
   return s;
 }
 

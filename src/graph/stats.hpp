@@ -18,6 +18,9 @@ struct GraphStats {
   double pct_deg2 = 0.0;
   /// Percentage of vertices with degree <= k for the requested k.
   double pct_degk = 0.0;
+  /// Vertices with degree 0 (free wins for every solver; the tune
+  /// fingerprint uses their share to sanity-check generator output).
+  vid_t num_isolated = 0;
 };
 
 /// Degree-structure statistics; `k` selects the pct_degk threshold.

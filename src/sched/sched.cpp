@@ -12,6 +12,7 @@
 #include "parallel/cancel.hpp"
 #include "parallel/thread_env.hpp"
 #include "parallel/timer.hpp"
+#include "tune/tune.hpp"
 
 namespace sbg::sched {
 
@@ -31,24 +32,21 @@ std::uint64_t hash_array(const void* data, std::size_t bytes,
   return ingest::hash_bytes(data, bytes, seed);
 }
 
-/// Dispatch spec to its registered variant, oracle-gate the result, and
-/// fill the solution-dependent JobResult fields. Throws on oracle failure
-/// or unknown variant; run_job translates every throw into a status.
-void solve_into(const JobSpec& spec, bool verify, JobResult& out) {
+/// Dispatch spec to its registered variant and fill the solution plus the
+/// solution-dependent JobResult fields. No oracle here — that is
+/// verify_job's stage. Throws on unknown variant; execute_job translates
+/// every throw into a status.
+void solve_into(const JobSpec& spec, JobSolution& sol, JobResult& out) {
   const CsrGraph& g = *spec.graph;
   switch (spec.problem) {
     case Problem::kMM: {
       const auto* v = find_variant(check::matching_variants(), spec.variant);
       if (v == nullptr) throw InputError("unknown mm variant: " + spec.variant);
-      const MatchResult r = v->run(g, spec.seed);
-      if (verify) {
-        const check::MatchingReport rep = check::check_matching(g, r.mate);
-        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
-      }
-      out.rounds = r.rounds;
-      out.value = r.cardinality;
-      out.result_hash = hash_array(r.mate.data(),
-                                   r.mate.size() * sizeof(vid_t), spec.seed);
+      sol.mm = v->run(g, spec.seed);
+      out.rounds = sol.mm.rounds;
+      out.value = sol.mm.cardinality;
+      out.result_hash = hash_array(
+          sol.mm.mate.data(), sol.mm.mate.size() * sizeof(vid_t), spec.seed);
       return;
     }
     case Problem::kColor: {
@@ -56,15 +54,12 @@ void solve_into(const JobSpec& spec, bool verify, JobResult& out) {
       if (v == nullptr) {
         throw InputError("unknown color variant: " + spec.variant);
       }
-      const ColorResult r = v->run(g, spec.seed);
-      if (verify) {
-        const check::ColoringReport rep = check::check_coloring(g, r.color);
-        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
-      }
-      out.rounds = r.rounds;
-      out.value = r.num_colors;
-      out.result_hash = hash_array(
-          r.color.data(), r.color.size() * sizeof(std::uint32_t), spec.seed);
+      sol.color = v->run(g, spec.seed);
+      out.rounds = sol.color.rounds;
+      out.value = sol.color.num_colors;
+      out.result_hash =
+          hash_array(sol.color.color.data(),
+                     sol.color.color.size() * sizeof(std::uint32_t), spec.seed);
       return;
     }
     case Problem::kMis: {
@@ -72,15 +67,12 @@ void solve_into(const JobSpec& spec, bool verify, JobResult& out) {
       if (v == nullptr) {
         throw InputError("unknown mis variant: " + spec.variant);
       }
-      const MisResult r = v->run(g, spec.seed);
-      if (verify) {
-        const check::MisReport rep = check::check_mis(g, r.state);
-        if (!rep.result.ok) throw InputError("oracle: " + rep.result.message());
-      }
-      out.rounds = r.rounds;
-      out.value = r.size;
-      out.result_hash = hash_array(
-          r.state.data(), r.state.size() * sizeof(MisState), spec.seed);
+      sol.mis = v->run(g, spec.seed);
+      out.rounds = sol.mis.rounds;
+      out.value = sol.mis.size;
+      out.result_hash = hash_array(sol.mis.state.data(),
+                                   sol.mis.state.size() * sizeof(MisState),
+                                   spec.seed);
       return;
     }
   }
@@ -99,6 +91,8 @@ void append_job_json(std::string& out, const JobSpec& spec,
   append_json_string(out, to_string(spec.problem));
   out += ",\"variant\":";
   append_json_string(out, spec.variant);
+  out += ",\"resolved_variant\":";
+  append_json_string(out, res.resolved_variant);
   out += ",\"seed\":" + std::to_string(spec.seed);
   out += ",\"status\":";
   append_json_string(out, to_string(res.status));
@@ -182,8 +176,30 @@ std::string BatchReport::to_json() const {
   return out;
 }
 
-JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
+PreparedJob prepare_job(const JobSpec& spec) {
+  PreparedJob prep;
+  prep.spec = spec;
+  if (spec.variant == kAutoVariant) {
+    if (!spec.graph) throw InputError("auto variant needs a graph");
+    // Re-resolved on every call: a batch mixing graphs and problems gets a
+    // fresh per-(graph, problem) decision, and each finished run sharpens
+    // the next one's telemetry.
+    const tune::Choice choice = tune::choose_for_graph(
+        *spec.graph, spec.problem,
+        tune::graph_key(spec.graph_name, *spec.graph));
+    prep.spec.variant = choice.variant;
+    prep.auto_resolved = true;
+    prep.auto_reason = choice.reason;
+    SBG_COUNTER_ADD("sched.auto_resolved", 1);
+  }
+  return prep;
+}
+
+JobResult execute_job(const PreparedJob& job, JobSolution& sol,
+                      double deadline_ms) {
+  const JobSpec& spec = job.spec;
   JobResult res;
+  res.resolved_variant = spec.variant;
   Timer timer;
   CancelToken token;
   token.set_deadline_ms(deadline_ms);
@@ -201,19 +217,83 @@ JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
     // First poll before any solving: an already-expired deadline cancels
     // even jobs that would finish in one round.
     poll_cancellation();
-    solve_into(spec, verify, res);
+    solve_into(spec, sol, res);
     res.status = JobStatus::kOk;
-    SBG_COUNTER_ADD("sched.jobs_ok", 1);
   } catch (const JobCancelled& e) {
     res.status = JobStatus::kCancelled;
     res.error = e.what();
-    SBG_COUNTER_ADD("sched.jobs_cancelled", 1);
   } catch (const std::exception& e) {
     res.status = JobStatus::kFailed;
     res.error = e.what();
-    SBG_COUNTER_ADD("sched.jobs_failed", 1);
   }
   res.seconds = timer.seconds();
+  return res;
+}
+
+std::string verify_job(const PreparedJob& job, const JobSolution& sol) {
+  const CsrGraph& g = *job.spec.graph;
+  switch (job.spec.problem) {
+    case Problem::kMM: {
+      const check::MatchingReport rep = check::check_matching(g, sol.mm.mate);
+      return rep.result.ok ? "" : "oracle: " + rep.result.message();
+    }
+    case Problem::kColor: {
+      const check::ColoringReport rep =
+          check::check_coloring(g, sol.color.color);
+      return rep.result.ok ? "" : "oracle: " + rep.result.message();
+    }
+    case Problem::kMis: {
+      const check::MisReport rep = check::check_mis(g, sol.mis.state);
+      return rep.result.ok ? "" : "oracle: " + rep.result.message();
+    }
+  }
+  return "oracle: unknown problem";
+}
+
+JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
+  JobResult res;
+  Timer timer;
+  PreparedJob prep;
+  bool prepared = false;
+  try {
+    prep = prepare_job(spec);
+    prepared = true;
+  } catch (const std::exception& e) {
+    res.status = JobStatus::kFailed;
+    res.error = e.what();
+  }
+  if (prepared) {
+    JobSolution sol;
+    res = execute_job(prep, sol, deadline_ms);
+    if (res.status == JobStatus::kOk && verify) {
+      const std::string err = verify_job(prep, sol);
+      if (!err.empty()) {
+        res.status = JobStatus::kFailed;
+        res.error = err;
+      }
+    }
+  }
+  // seconds spans prepare + solve + verify, matching what a caller of the
+  // old monolithic run_job measured — and what the tune store learns from.
+  res.seconds = timer.seconds();
+  switch (res.status) {
+    case JobStatus::kOk:
+      SBG_COUNTER_ADD("sched.jobs_ok", 1);
+      // Every successful run (explicit or auto) refines later auto picks;
+      // injected failures never reach here.
+      if (spec.graph) {
+        tune::record_run(tune::graph_key(spec.graph_name, *spec.graph),
+                         spec.problem, res.resolved_variant, res.seconds,
+                         static_cast<double>(res.rounds));
+      }
+      break;
+    case JobStatus::kFailed:
+      SBG_COUNTER_ADD("sched.jobs_failed", 1);
+      break;
+    case JobStatus::kCancelled:
+      SBG_COUNTER_ADD("sched.jobs_cancelled", 1);
+      break;
+  }
   return res;
 }
 
@@ -248,6 +328,10 @@ BatchReport run_batch(const std::vector<JobSpec>& specs,
   }
   for (std::thread& t : pool) t.join();
   report.wall_seconds = timer.seconds();
+  // Persist the telemetry the batch just produced so the next process
+  // starts warm. No-op unless a store path is configured and runs landed;
+  // IO failure must not fail a batch that already has its results.
+  tune::save_global_store();
   SBG_COUNTER_ADD("sched.batches", 1);
   SBG_GAUGE_SET("sched.last_batch_wall_seconds", report.wall_seconds);
   return report;

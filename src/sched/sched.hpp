@@ -25,16 +25,24 @@
 #include <utility>
 #include <vector>
 
+#include "coloring/coloring.hpp"
 #include "graph/csr.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
 
 namespace sbg::sched {
 
 enum class Problem { kMM, kColor, kMis };
 const char* to_string(Problem p);
 
+/// JobSpec::variant value that defers the decomposition choice to the
+/// sbg::tune selector at prepare time, per (graph, problem).
+inline constexpr const char* kAutoVariant = "auto";
+
 /// One unit of batch work: run `variant` of `problem` on `graph` with
 /// `seed`. Variants are the names registered in check/solvers.hpp, so
-/// every solver and composite the library ships is addressable.
+/// every solver and composite the library ships is addressable — plus
+/// kAutoVariant ("auto"), resolved by prepare_job via sbg::tune.
 struct JobSpec {
   std::string name;        ///< report key, e.g. "c-73/mm/rand-gm"
   std::string graph_name;
@@ -61,6 +69,10 @@ struct JobResult {
   vid_t rounds = 0;
   std::uint64_t value = 0;        ///< |M| / palette span / |I|
   std::uint64_t result_hash = 0;  ///< hash of the solution array bytes
+  /// The concrete registry variant that ran: spec.variant for explicit
+  /// jobs, the tune selector's pick for "auto" jobs (empty if the job
+  /// failed before resolution).
+  std::string resolved_variant;
 };
 
 struct BatchOptions {
@@ -91,8 +103,48 @@ struct BatchReport {
 /// against sequential replays only when this holds.
 bool schedule_deterministic(Problem problem, const std::string& variant);
 
+// ----------------------------------------------------------------------
+// The prepare / execute / verify pipeline. run_job composes the three
+// stages; they are public so callers with different lifecycles (sbg_serve,
+// benches, the auto fuzz family) can resolve once and execute many times,
+// or execute without the oracle and verify later.
+
+/// A JobSpec whose variant has been resolved to a concrete registry name.
+struct PreparedJob {
+  JobSpec spec;              ///< variant is never kAutoVariant here
+  bool auto_resolved = false;
+  std::string auto_reason;   ///< tune selector rationale when auto_resolved
+};
+
+/// Resolve spec's variant. kAutoVariant consults the sbg::tune selector
+/// per (graph, problem) — every call re-resolves, so one batch mixing
+/// graphs gets a per-graph decision; any other variant passes through
+/// unchanged. Throws InputError when an auto job has no graph.
+PreparedJob prepare_job(const JobSpec& spec);
+
+/// The solution arrays a job produced; only the member matching the job's
+/// problem is populated.
+struct JobSolution {
+  MatchResult mm;
+  ColorResult color;
+  MisResult mis;
+};
+
+/// Solve a prepared job in the calling thread under the caller's current
+/// OpenMP thread count, with its own cooperative-cancellation scope.
+/// Never throws; failures land in the result. Does NOT oracle-gate —
+/// that is verify_job's stage. `seconds` covers the solve only.
+JobResult execute_job(const PreparedJob& job, JobSolution& sol,
+                      double deadline_ms = 0);
+
+/// Oracle-check sol against the job's problem. Returns "" when the
+/// solution passes, else the first-violation message.
+std::string verify_job(const PreparedJob& job, const JobSolution& sol);
+
 /// Run one job in the calling thread under the caller's current OpenMP
-/// thread count. Never throws: every failure mode lands in the result.
+/// thread count: prepare (auto resolution) -> execute -> verify, then
+/// record the run into the sbg::tune telemetry store on success. Never
+/// throws: every failure mode lands in the result.
 JobResult run_job(const JobSpec& spec, double deadline_ms = 0,
                   bool verify = true);
 

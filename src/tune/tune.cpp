@@ -1,0 +1,602 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_map>
+
+#include <unistd.h>
+
+#include "common.hpp"
+#include "graph/stats.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace sbg::tune {
+
+namespace {
+
+// Decision-table thresholds (DESIGN.md §10). Named so the boundary tests in
+// tests/test_tune.cpp pin the same constants the selector uses.
+constexpr std::uint64_t kTinyVertices = 256;  ///< below: overhead dominates
+constexpr double kBridgeHeavyPct = 30.0;      ///< %bridges at/above: BRIDGE
+constexpr double kLowDegreePct = 45.0;        ///< %deg<=2 at/above and ...
+constexpr double kLowDegreeAvg = 4.0;         ///< ... avg deg at/below: DEGk
+constexpr double kDenseAvg = 32.0;            ///< avg deg at/above: dense
+
+std::string entry_key(const std::string& graph_key, sched::Problem problem,
+                      const std::string& variant) {
+  return graph_key + "|" + sched::to_string(problem) + "|" + variant;
+}
+
+/// Suggested OpenMP team for a solve: one thread per ~256K arcs, capped at
+/// the hardware. Small graphs run serial — their rounds are barrier-bound.
+int suggest_threads(std::uint64_t arcs) {
+  const std::uint64_t per_thread = std::uint64_t{1} << 18;
+  const std::uint64_t want = 1 + arcs / per_thread;
+  return static_cast<int>(std::min<std::uint64_t>(
+      want, static_cast<std::uint64_t>(std::max(1, max_threads()))));
+}
+
+/// RAND partition count for a fingerprint: the paper's Section III-B2
+/// heuristic (k near the average degree, k=100 for kron-class density).
+int suggest_partitions(const Fingerprint& fp) {
+  if (fp.avg_degree >= kDenseAvg) return 100;
+  return static_cast<int>(std::clamp<long>(std::lround(fp.avg_degree), 2, 32));
+}
+
+/// Fill the kind-dependent fields of a choice for `variant`.
+Choice make_choice(const Fingerprint& fp, const std::string& variant,
+                   std::string reason) {
+  Choice c;
+  c.variant = variant;
+  c.kind = variant_kind(variant);
+  c.threads = suggest_threads(fp.num_arcs);
+  c.reason = std::move(reason);
+  switch (c.kind) {
+    case VariantKind::kRand:
+      c.partitions = suggest_partitions(fp);
+      c.k = static_cast<vid_t>(c.partitions);
+      break;
+    case VariantKind::kDegk:
+      c.k = 2;  // the degk-* / degk2 registry variants fix k = 2
+      break;
+    case VariantKind::kBaseline:
+    case VariantKind::kBridge:
+      break;  // k stays at the inert 2, partitions at 1
+  }
+  return c;
+}
+
+}  // namespace
+
+Fingerprint fingerprint_of(const CsrGraph& g, BridgeAlgo algo) {
+  SBG_SPAN("tune.fingerprint");
+  Fingerprint fp;
+  const GraphStats s = graph_stats(g);
+  fp.num_vertices = s.num_vertices;
+  fp.num_arcs = 2ull * s.num_edges;
+  fp.avg_degree = s.avg_degree;
+  fp.pct_deg2 = s.pct_deg2;
+  if (s.num_edges > 0) {
+    const std::size_t bridges = find_bridges(g, algo).size();
+    fp.pct_bridges = 100.0 * static_cast<double>(bridges) /
+                     static_cast<double>(s.num_edges);
+  }
+  SBG_COUNTER_ADD("tune.fingerprints", 1);
+  return fp;
+}
+
+Fingerprint fingerprint_of(const DatasetPaperRow& row) {
+  Fingerprint fp;
+  fp.num_vertices = row.num_vertices;
+  fp.num_arcs = row.num_arcs;
+  fp.avg_degree = row.avg_degree;
+  fp.pct_deg2 = row.pct_deg2;
+  fp.pct_bridges = row.pct_bridges;
+  return fp;
+}
+
+std::string graph_key(const std::string& name, const CsrGraph& g) {
+  return (name.empty() ? std::string("g") : name) + "|" +
+         std::to_string(g.num_vertices()) + "|" +
+         std::to_string(2ull * g.num_edges());
+}
+
+const char* to_string(VariantKind k) {
+  switch (k) {
+    case VariantKind::kBaseline: return "baseline";
+    case VariantKind::kBridge: return "bridge";
+    case VariantKind::kRand: return "rand";
+    case VariantKind::kDegk: return "degk";
+  }
+  return "?";
+}
+
+VariantKind variant_kind(const std::string& variant) {
+  // Registry naming: composites are "<decomposition>-<engine>" on the CPU
+  // ("bridge-gm", "rand-vb", "degk-eb"), bare decomposition names for MIS
+  // ("bridge", "rand", "degk2"); everything else is a baseline engine.
+  if (variant.rfind("bridge", 0) == 0) return VariantKind::kBridge;
+  if (variant.rfind("rand", 0) == 0) return VariantKind::kRand;
+  if (variant.rfind("degk", 0) == 0) return VariantKind::kDegk;
+  return VariantKind::kBaseline;
+}
+
+// ---------------------------------------------------------------- store --
+
+void TelemetryStore::record(const std::string& graph_key,
+                            sched::Problem problem, const std::string& variant,
+                            double seconds, double rounds) {
+  if (!(seconds >= 0) || !std::isfinite(seconds)) return;  // poisoned sample
+  const std::string key = entry_key(graph_key, problem, variant);
+  std::lock_guard<std::mutex> lock(mu_);
+  VariantStats& s = entries_[key];
+  if (s.runs == 0) {
+    s.ewma_seconds = seconds;
+    s.ewma_rounds = rounds;
+  } else {
+    s.ewma_seconds += kAlpha * (seconds - s.ewma_seconds);
+    s.ewma_rounds += kAlpha * (rounds - s.ewma_rounds);
+  }
+  ++s.runs;
+  dirty_ = true;
+  SBG_COUNTER_ADD("tune.records", 1);
+}
+
+std::optional<VariantStats> TelemetryStore::stats(
+    const std::string& graph_key, sched::Problem problem,
+    const std::string& variant) const {
+  const std::string key = entry_key(graph_key, problem, variant);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t TelemetryStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool TelemetryStore::dirty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_;
+}
+
+void TelemetryStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  dirty_ = false;
+}
+
+std::string TelemetryStore::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(64 + entries_.size() * 96);
+  out += "{\"sbg_tune_version\":1,\"entries\":[";
+  bool first = true;
+  for (const auto& [key, s] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"key\":";
+    obs::append_json_string(out, key);
+    out += ",\"runs\":" + std::to_string(s.runs);
+    out += ",\"ewma_seconds\":";
+    obs::append_json_number(out, s.ewma_seconds);
+    out += ",\"ewma_rounds\":";
+    obs::append_json_number(out, s.ewma_rounds);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Strict cursor over the store schema. Every helper returns false on any
+/// deviation; from_json then drops everything parsed so far.
+class StoreParser {
+ public:
+  explicit StoreParser(const std::string& s) : s_(s) {}
+
+  bool parse(std::map<std::string, VariantStats>& out) {
+    std::uint64_t version = 0;
+    if (!lit('{') || !key("sbg_tune_version") || !number_u64(version)) {
+      return false;
+    }
+    if (version != 1) return false;
+    if (!lit(',') || !key("entries") || !lit('[')) return false;
+    ws();
+    if (peek() == ']') {
+      ++i_;
+      return lit('}') && at_end();
+    }
+    for (;;) {
+      std::string ekey;
+      VariantStats st;
+      double runs = 0;
+      if (!lit('{') || !key("key") || !string(ekey)) return false;
+      if (!lit(',') || !key("runs") || !number(runs)) return false;
+      if (!lit(',') || !key("ewma_seconds") || !number(st.ewma_seconds)) {
+        return false;
+      }
+      if (!lit(',') || !key("ewma_rounds") || !number(st.ewma_rounds)) {
+        return false;
+      }
+      if (!lit('}')) return false;
+      if (runs < 0 || runs != std::floor(runs)) return false;
+      st.runs = static_cast<std::uint64_t>(runs);
+      out[ekey] = st;
+      ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    return lit(']') && lit('}') && at_end();
+  }
+
+ private:
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool lit(char c) {
+    ws();
+    if (peek() != c) return false;
+    ++i_;
+    return true;
+  }
+
+  bool key(const char* name) {
+    std::string k;
+    if (!string(k) || k != name) return false;
+    return lit(':');
+  }
+
+  bool string(std::string& out) {
+    if (!lit('"')) return false;
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i_ >= s_.size()) return false;
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {  // writer only emits \u00XX for control bytes
+            if (i_ + 4 > s_.size()) return false;
+            unsigned v = 0;
+            for (int d = 0; d < 4; ++d) {
+              const char h = s_[i_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (v > 0x7f) return false;
+            out += static_cast<char>(v);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double& out) {
+    ws();
+    // "null" is what append_json_number writes for non-finite values;
+    // treat it as a poisoned entry -> reject the file.
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    if (peek() == '.') {
+      ++i_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (i_ == start) return false;
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, i_ - start);
+    out = std::strtod(tok.c_str(), &end);
+    return end != nullptr && *end == '\0' && std::isfinite(out);
+  }
+
+  bool number_u64(std::uint64_t& out) {
+    double d = 0;
+    if (!number(d) || d < 0 || d != std::floor(d)) return false;
+    out = static_cast<std::uint64_t>(d);
+    return true;
+  }
+
+  bool at_end() {
+    ws();
+    return i_ == s_.size();
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+bool TelemetryStore::from_json(const std::string& text) {
+  std::map<std::string, VariantStats> parsed;
+  const bool ok = StoreParser(text).parse(parsed);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = ok ? std::move(parsed) : std::map<std::string, VariantStats>{};
+  dirty_ = false;
+  return ok;
+}
+
+bool TelemetryStore::load(const std::string& path) {
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      clear();
+      SBG_COUNTER_ADD("tune.store.missing", 1);
+      return false;
+    }
+    char buf[1 << 14];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+  }
+  const bool ok = from_json(text);
+  SBG_COUNTER_ADD(ok ? "tune.store.loaded" : "tune.store.corrupt", 1);
+  return ok;
+}
+
+void TelemetryStore::save(const std::string& path) const {
+  const std::string body = to_json();
+  // Unique temp sibling + rename, the ingest-cache discipline: concurrent
+  // processes saving the same store race benignly (last rename wins, both
+  // files are complete).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw InputError("tune: cannot write " + tmp);
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  const bool flushed = std::fclose(f) == 0 && wrote == body.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    throw InputError("tune: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw InputError("tune: cannot rename " + tmp + " -> " + path + ": " +
+                     ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = false;
+}
+
+// ------------------------------------------------------------- selector --
+
+const std::vector<std::string>& Selector::candidates(sched::Problem problem) {
+  // The CPU Table-I cells, baseline first — identical to table1_matrix().
+  static const std::vector<std::string> kMm = {"gm", "bridge-gm", "rand-gm",
+                                               "degk-gm"};
+  static const std::vector<std::string> kColor = {"vb", "bridge-vb", "rand-vb",
+                                                  "degk-vb"};
+  static const std::vector<std::string> kMis = {"luby", "bridge", "rand",
+                                                "degk2"};
+  switch (problem) {
+    case sched::Problem::kMM: return kMm;
+    case sched::Problem::kColor: return kColor;
+    case sched::Problem::kMis: return kMis;
+  }
+  return kMm;
+}
+
+Choice Selector::table_choice(const Fingerprint& fp, sched::Problem problem) {
+  const std::vector<std::string>& cand = candidates(problem);
+  const std::string& baseline = cand[0];
+
+  // Rule 1 — tiny or edgeless graphs: any decomposition is pure overhead.
+  if (fp.num_arcs == 0 || fp.num_vertices < kTinyVertices) {
+    return make_choice(fp, baseline, "table:tiny");
+  }
+  // Rule 2 — bridge-heavy graphs (lp1, webbase-1M): removing bridges
+  // shatters the graph, so BRIDGE's phase-1 pieces are nearly free.
+  if (fp.pct_bridges >= kBridgeHeavyPct) {
+    for (const std::string& v : cand) {
+      if (variant_kind(v) == VariantKind::kBridge) {
+        return make_choice(fp, v, "table:bridge-heavy");
+      }
+    }
+  }
+  // Rule 3 — road-class graphs (germany-osm, road-central): most vertices
+  // sit at degree <= 2, exactly the mass DEGk peels into the fast oriented
+  // low-degree solvers.
+  if (fp.pct_deg2 >= kLowDegreePct && fp.avg_degree <= kLowDegreeAvg) {
+    for (const std::string& v : cand) {
+      if (variant_kind(v) == VariantKind::kDegk) {
+        return make_choice(fp, v, "table:low-degree");
+      }
+    }
+  }
+  // Rule 4 — kron-class density: for MM, RAND (k=100, Section III-C)
+  // breaks GM's long proposal chains; COLOR/MIS baselines already converge
+  // in few rounds there, so a decomposition pass cannot pay for itself.
+  if (fp.avg_degree >= kDenseAvg) {
+    if (problem == sched::Problem::kMM) {
+      return make_choice(fp, "rand-gm", "table:dense");
+    }
+    return make_choice(fp, baseline, "table:dense");
+  }
+  // Rule 5 — everything moderate (c-73, collaboration, web, rgg): RAND with
+  // k near the average degree, the paper's most robust middle ground.
+  for (const std::string& v : cand) {
+    if (variant_kind(v) == VariantKind::kRand) {
+      return make_choice(fp, v, "table:moderate");
+    }
+  }
+  return make_choice(fp, baseline, "table:fallback");
+}
+
+Selector::Selector(const TelemetryStore* history, SelectorOptions opt)
+    : history_(history), opt_(opt) {}
+
+Choice Selector::choose(const Fingerprint& fp, sched::Problem problem,
+                        const std::string& graph_key) const {
+  Choice base = table_choice(fp, problem);
+  if (history_ == nullptr || graph_key.empty()) return base;
+
+  // Candidate order: the table pick first, then the rest of the Table-I
+  // cells — so exploration starts from the heuristic's opinion.
+  std::vector<std::string> order = {base.variant};
+  for (const std::string& v : candidates(problem)) {
+    if (v != base.variant) order.push_back(v);
+  }
+
+  std::vector<std::optional<VariantStats>> seen;
+  seen.reserve(order.size());
+  for (const std::string& v : order) {
+    seen.push_back(history_->stats(graph_key, problem, v));
+  }
+
+  // Exploration: sample every candidate min_runs times before trusting
+  // EWMAs. The table pick is order[0], so a cold store keeps answering
+  // with the static table while its samples accumulate.
+  if (opt_.explore) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::uint64_t runs = seen[i] ? seen[i]->runs : 0;
+      if (runs < opt_.min_runs) {
+        Choice c = make_choice(fp, order[i],
+                               i == 0 ? base.reason : "explore");
+        SBG_COUNTER_ADD("tune.choices_explore", 1);
+        return c;
+      }
+    }
+  } else if (!seen[0] || seen[0]->runs < opt_.min_runs) {
+    return base;  // not enough history on the table pick to compare against
+  }
+
+  // Lock-in: the EWMA-best fully-sampled candidate takes over when it beats
+  // the table pick by the margin; otherwise the table stands confirmed.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (!seen[i] || seen[i]->runs < opt_.min_runs) continue;
+    if (!seen[best] || seen[i]->ewma_seconds < seen[best]->ewma_seconds) {
+      best = i;
+    }
+  }
+  if (best != 0 && seen[best] && seen[0] &&
+      seen[best]->ewma_seconds <= opt_.lock_in_margin * seen[0]->ewma_seconds) {
+    Choice c = make_choice(fp, order[best], "telemetry:lock-in");
+    c.from_telemetry = true;
+    SBG_COUNTER_ADD("tune.choices_locked_in", 1);
+    return c;
+  }
+  base.reason += " (telemetry confirms)";
+  return base;
+}
+
+// --------------------------------------------------------- global tuner --
+
+namespace {
+
+struct GlobalTuner {
+  TelemetryStore store;
+  std::mutex fp_mu;
+  std::unordered_map<std::string, Fingerprint> fingerprints;
+
+  GlobalTuner() {
+    const std::string path = default_store_path();
+    if (!path.empty()) store.load(path);  // missing/corrupt -> empty store
+  }
+};
+
+GlobalTuner& global_tuner() {
+  static GlobalTuner t;
+  return t;
+}
+
+}  // namespace
+
+TelemetryStore& global_store() { return global_tuner().store; }
+
+std::string default_store_path() {
+  if (const char* p = std::getenv("SBG_TUNE_PATH"); p != nullptr && *p) {
+    return p;
+  }
+  if (const char* d = std::getenv("SBG_CACHE_DIR"); d != nullptr && *d) {
+    return (std::filesystem::path(d) / "sbg_tune.json").string();
+  }
+  return "";
+}
+
+bool save_global_store(std::string* error) {
+  const std::string path = default_store_path();
+  if (path.empty() || !global_store().dirty()) return true;
+  try {
+    global_store().save(path);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    SBG_COUNTER_ADD("tune.store.save_failed", 1);
+    return false;
+  }
+  SBG_COUNTER_ADD("tune.store.saved", 1);
+  return true;
+}
+
+Choice choose_for_graph(const CsrGraph& g, sched::Problem problem,
+                        const std::string& graph_key, SelectorOptions opt) {
+  GlobalTuner& t = global_tuner();
+  Fingerprint fp;
+  {
+    std::lock_guard<std::mutex> lock(t.fp_mu);
+    const auto it = t.fingerprints.find(graph_key);
+    if (it != t.fingerprints.end()) fp = it->second;
+    else {
+      // Compute outside the lock? The bridge find is parallel and two
+      // workers racing to fingerprint the same graph would just duplicate
+      // work; holding the lock serializes them instead, which is cheaper
+      // in every batch shape we run (jobs on one graph arrive together).
+      fp = fingerprint_of(g);
+      t.fingerprints.emplace(graph_key, fp);
+    }
+  }
+  return Selector(&t.store, opt).choose(fp, problem, graph_key);
+}
+
+void record_run(const std::string& graph_key, sched::Problem problem,
+                const std::string& variant, double seconds, double rounds) {
+  global_store().record(graph_key, problem, variant, seconds, rounds);
+}
+
+}  // namespace sbg::tune

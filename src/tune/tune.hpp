@@ -1,0 +1,204 @@
+// sbg::tune — adaptive decomposition selection (the paper's Table I as a
+// policy, not just a report).
+//
+// The paper's headline result is that no single decomposition wins: the
+// best of BRIDGE / RAND / DEGk depends on the graph's structure and on the
+// problem. The structural fingerprints that decide it (avg degree, %deg<=2,
+// %bridges — the Table II columns) are all cheap to compute, so this module
+// turns them into a selector:
+//
+//   1. an explicit, testable DECISION TABLE seeded from Table I maps
+//      (fingerprint, problem) -> (variant, k, partitions, threads);
+//   2. a TELEMETRY STORE keeps a per-(graph, problem, variant) EWMA of
+//      wall-clock seconds and solver rounds from prior sched::run_job runs,
+//      persisted as JSON next to the .sbgc cache (SBG_TUNE_PATH /
+//      SBG_CACHE_DIR), so warm processes lock in the measured winner;
+//   3. the SELECTOR follows the measure -> tune -> lock-in loop: cold start
+//      answers from the table, a bounded exploration pass samples each
+//      candidate min_runs times, and after that the EWMA-best variant wins
+//      whenever it beats the table's pick by the lock-in margin.
+//
+// Consumed by sched::prepare_job (JobSpec variant "auto"), the sbg_tool
+// `auto` subcommand, and bench_auto_select (which gates the selector's
+// regret against the per-graph best explicit variant).
+//
+// A corrupt, truncated, or version-mismatched history file always degrades
+// to the static table — never an error (mirror of the .sbgc
+// degrade-to-reparse guarantee).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "graph/csr.hpp"
+#include "graph/dataset.hpp"
+#include "sched/sched.hpp"
+
+namespace sbg::tune {
+
+/// The deciding structural fingerprint of a graph — the Table II columns.
+struct Fingerprint {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;  ///< directed arc count (2x undirected edges)
+  double avg_degree = 0.0;     ///< arcs / vertices
+  double pct_deg2 = 0.0;       ///< % vertices with degree <= 2
+  double pct_bridges = 0.0;    ///< % undirected edges that are bridges
+};
+
+/// Measure g's fingerprint (one stats pass + one bridge find).
+Fingerprint fingerprint_of(const CsrGraph& g,
+                           BridgeAlgo algo = BridgeAlgo::kShortcutWalk);
+
+/// The paper-reported fingerprint of a Table II row (for decision-table
+/// tests and paper-scale what-if queries; no graph needs to exist).
+Fingerprint fingerprint_of(const DatasetPaperRow& row);
+
+/// Stable telemetry key for a graph: "<name>|<vertices>|<arcs>". Needs no
+/// fingerprint, so explicit (non-auto) runs can be recorded cheaply. Two
+/// distinct graphs with equal name, |V| and arc count share history — by
+/// design (dataset reloads at one scale must hit the same entry).
+std::string graph_key(const std::string& name, const CsrGraph& g);
+
+/// Which decomposition family a registered variant name belongs to.
+enum class VariantKind { kBaseline, kBridge, kRand, kDegk };
+const char* to_string(VariantKind k);
+VariantKind variant_kind(const std::string& variant);
+
+/// A selector decision. `variant` is always a name registered in
+/// check/solvers.hpp for the problem, so sched can execute it directly.
+struct Choice {
+  std::string variant;
+  VariantKind kind = VariantKind::kBaseline;
+  /// Decomposition parameter: degree bound for DEGk, partition count for
+  /// RAND; inert (2) for baseline/BRIDGE so every choice satisfies k >= 2.
+  vid_t k = 2;
+  /// RAND partition count (1 when the choice does not partition).
+  int partitions = 1;
+  /// Suggested OpenMP team size for the solve.
+  int threads = 1;
+  /// Which table rule or telemetry policy produced this ("table:dense",
+  /// "explore", "telemetry:lock-in", ...).
+  std::string reason;
+  bool from_telemetry = false;
+};
+
+/// Per-(graph, problem, variant) run history: exponentially weighted moving
+/// averages so one noisy run cannot flip the selector.
+struct VariantStats {
+  std::uint64_t runs = 0;
+  double ewma_seconds = 0.0;
+  double ewma_rounds = 0.0;
+};
+
+/// Thread-safe EWMA history with JSON persistence. All methods are safe to
+/// call from concurrent sched workers.
+class TelemetryStore {
+ public:
+  /// Weight of the newest sample in the EWMA (first sample seeds it).
+  static constexpr double kAlpha = 0.3;
+
+  void record(const std::string& graph_key, sched::Problem problem,
+              const std::string& variant, double seconds, double rounds);
+
+  std::optional<VariantStats> stats(const std::string& graph_key,
+                                    sched::Problem problem,
+                                    const std::string& variant) const;
+
+  std::size_t size() const;
+  /// True when record() ran since the last save()/load()/clear().
+  bool dirty() const;
+  void clear();
+
+  /// {"sbg_tune_version":1,"entries":[{"key":...,"runs":...,...},...]}
+  std::string to_json() const;
+
+  /// Strict parse of to_json()'s schema. Any malformed, truncated, or
+  /// version-mismatched input leaves the store EMPTY and returns false —
+  /// the selector then answers from the static table. Never throws.
+  bool from_json(const std::string& text);
+
+  /// Load `path`. Missing, unreadable, or corrupt files degrade to an empty
+  /// store (return false). Never throws.
+  bool load(const std::string& path);
+
+  /// Atomic write (temp file + rename), like the .sbgc cache writer, so a
+  /// concurrent reader never sees a partial store. Throws InputError on IO
+  /// failure.
+  void save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, VariantStats> entries_;  // "<graph>|<problem>|<variant>"
+  mutable bool dirty_ = false;
+};
+
+struct SelectorOptions {
+  /// Samples a candidate needs before the selector trusts its EWMA; also
+  /// the per-candidate exploration budget.
+  std::uint64_t min_runs = 2;
+  /// A telemetry winner must beat the table pick's EWMA by this factor to
+  /// take over (guards against flapping on noise).
+  double lock_in_margin = 0.9;
+  /// Explore candidates that still lack min_runs samples (round-robin,
+  /// table pick first). Disable for pure table + lock-in behaviour.
+  bool explore = true;
+};
+
+/// Maps (fingerprint, problem) -> Choice: static decision table plus the
+/// optional telemetry refinement described in the header comment.
+class Selector {
+ public:
+  explicit Selector(const TelemetryStore* history = nullptr,
+                    SelectorOptions opt = {});
+
+  /// `graph_key` selects the history rows consulted; with an empty key or
+  /// no history the answer is the static table's.
+  Choice choose(const Fingerprint& fp, sched::Problem problem,
+                const std::string& graph_key = "") const;
+
+  /// The static decision table alone (rules documented in DESIGN.md §10).
+  static Choice table_choice(const Fingerprint& fp, sched::Problem problem);
+
+  /// CPU Table-I candidate variants for `problem` (baseline first), the
+  /// same cells table1_matrix() runs.
+  static const std::vector<std::string>& candidates(sched::Problem problem);
+
+ private:
+  const TelemetryStore* history_;
+  SelectorOptions opt_;
+};
+
+// ------------------------------------------------- process-global tuner --
+// sched::prepare_job and sbg_tool `auto` share one store + fingerprint
+// cache so every run in the process (explicit or auto) refines later picks.
+
+/// The process-global history, lazily loaded from default_store_path().
+TelemetryStore& global_store();
+
+/// Where the global store persists: $SBG_TUNE_PATH if set, else
+/// $SBG_CACHE_DIR/sbg_tune.json if SBG_CACHE_DIR is set, else "" —
+/// persistence disabled (the in-process store still refines picks).
+std::string default_store_path();
+
+/// Save the global store to default_store_path() when dirty. Returns false
+/// with *error filled on IO failure; true (no-op) when persistence is
+/// disabled or the store is clean. Called by run_batch and sbg_tool auto.
+bool save_global_store(std::string* error = nullptr);
+
+/// Resolve a choice for g using the global store. The fingerprint is
+/// computed once per graph_key and cached for the process lifetime.
+Choice choose_for_graph(const CsrGraph& g, sched::Problem problem,
+                        const std::string& graph_key,
+                        SelectorOptions opt = {});
+
+/// Record one finished run into the global store (sched::run_job calls this
+/// for every successful job, auto-resolved or explicit).
+void record_run(const std::string& graph_key, sched::Problem problem,
+                const std::string& variant, double seconds, double rounds);
+
+}  // namespace sbg::tune

@@ -25,13 +25,15 @@ int runs_per_graph() {
 }
 
 /// The families that draw generator graphs for the solver zoo. "ingest"
-/// instead runs the ingestion differential, and "batch" runs concurrent
-/// job batches over internally-rotated graphs; both count runs their own
-/// way and are exercised by dedicated campaigns below.
+/// instead runs the ingestion differential, "batch" runs concurrent job
+/// batches over internally-rotated graphs, and "auto" runs the selector
+/// differential; all three count runs their own way and are exercised by
+/// dedicated campaigns below.
 std::vector<std::string> generator_families() {
   std::vector<std::string> fams = check::fuzz_families();
   std::erase(fams, "ingest");
   std::erase(fams, "batch");
+  std::erase(fams, "auto");
   return fams;
 }
 
@@ -78,6 +80,23 @@ TEST(FuzzDifferential, SmallBatchCampaignIsClean) {
   // Each iteration runs a 4-8 job batch plus per-job sequential replays;
   // the exact count varies with the drawn job mix.
   EXPECT_GE(s.solver_runs, s.graphs * 4);
+  for (const auto& f : s.failures) {
+    ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
+                  << f.shape << "): " << f.what;
+  }
+}
+
+TEST(FuzzDifferential, SmallAutoCampaignIsClean) {
+  check::FuzzOptions opt;
+  opt.seed = 2026;
+  opt.graphs_per_family = 4;
+  opt.max_n = 72;
+  opt.families = {"auto"};
+  const check::FuzzSummary s = check::run_fuzz(opt);
+  EXPECT_EQ(s.graphs, 4);
+  // Each iteration runs one auto job plus an explicit rerun per problem;
+  // injected-failure draws add more.
+  EXPECT_GE(s.solver_runs, s.graphs * 6);
   for (const auto& f : s.failures) {
     ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
                   << f.shape << "): " << f.what;

@@ -1,0 +1,620 @@
+// sbg::tune — decision table pins, selector properties, online refinement,
+// and telemetry persistence (ISSUE 7 satellite battery).
+//
+// The decision-table tests pin the selector's choice on every Table II
+// fingerprint row: these are the paper's datasets, so a pick changing is a
+// behavioural change someone must have intended. Boundary tests perturb
+// fingerprints across each threshold so the rule edges are explicit.
+// Refinement tests drive the measure -> tune -> lock-in loop with fake
+// telemetry; persistence tests mirror the .sbgc degrade-to-reparse
+// guarantee for the history JSON. Everything that touches graphs runs
+// under the t in {1,2,8} sweep.
+#include "tune/tune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "parallel/thread_env.hpp"
+#include "sched/sched.hpp"
+#include "test_helpers.hpp"
+#include "test_json.hpp"
+
+namespace sbg {
+namespace {
+
+namespace fs = std::filesystem;
+using tune::Choice;
+using tune::Fingerprint;
+using tune::Selector;
+using tune::TelemetryStore;
+using tune::VariantKind;
+
+constexpr int kThreadSweep[] = {1, 2, 8};
+
+constexpr sched::Problem kProblems[] = {
+    sched::Problem::kMM, sched::Problem::kColor, sched::Problem::kMis};
+
+/// RAII scratch dir per test (same shape as test_ingest's).
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const char* name) {
+    path = fs::temp_directory_path() / name;
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// A fingerprint that hits the moderate rule for easy perturbation.
+Fingerprint moderate_fp() {
+  Fingerprint fp;
+  fp.num_vertices = 100'000;
+  fp.avg_degree = 8.0;
+  fp.num_arcs = 800'000;
+  fp.pct_deg2 = 10.0;
+  fp.pct_bridges = 2.0;
+  return fp;
+}
+
+void expect_valid(const Choice& c, sched::Problem p, const std::string& ctx) {
+  bool registered = false;
+  for (const std::string& v : Selector::candidates(p)) {
+    registered |= v == c.variant;
+  }
+  EXPECT_TRUE(registered) << ctx << ": variant " << c.variant;
+  EXPECT_GE(c.k, 2u) << ctx;
+  EXPECT_GE(c.partitions, 1) << ctx;
+  EXPECT_GE(c.threads, 1) << ctx;
+  EXPECT_LE(c.threads, max_threads()) << ctx;
+  EXPECT_FALSE(c.reason.empty()) << ctx;
+}
+
+// ------------------------------------------------------- decision table --
+
+TEST(TuneTable, PinsEveryTableTwoRow) {
+  // The expected decomposition family per Table II dataset, from the
+  // DESIGN.md §10 rules. MM on the kron rows is the one problem-dependent
+  // cell: RAND k=100 for matching (Section III-C), baselines for
+  // COLOR/MIS where the dense graph converges in few rounds anyway.
+  const struct {
+    const char* name;
+    VariantKind kind;    // for COLOR and MIS (and MM unless overridden)
+    VariantKind mm_kind;
+  } kExpected[] = {
+      {"c-73", VariantKind::kRand, VariantKind::kRand},
+      {"lp1", VariantKind::kBridge, VariantKind::kBridge},
+      {"Cit-Patents", VariantKind::kRand, VariantKind::kRand},
+      {"coAuthorsCiteseer", VariantKind::kRand, VariantKind::kRand},
+      {"germany-osm", VariantKind::kDegk, VariantKind::kDegk},
+      {"road-central", VariantKind::kDegk, VariantKind::kDegk},
+      {"kron-g500-logn20", VariantKind::kBaseline, VariantKind::kRand},
+      {"kron-g500-logn21", VariantKind::kBaseline, VariantKind::kRand},
+      {"rgg-n-2-23-s0", VariantKind::kRand, VariantKind::kRand},
+      {"rgg-n-2-24-s0", VariantKind::kRand, VariantKind::kRand},
+      {"web-Google", VariantKind::kRand, VariantKind::kRand},
+      {"webbase-1M", VariantKind::kBridge, VariantKind::kBridge},
+  };
+  ASSERT_EQ(std::size(kExpected), dataset_table().size());
+  for (const auto& row : kExpected) {
+    const Fingerprint fp = tune::fingerprint_of(dataset_row(row.name));
+    for (const sched::Problem p : kProblems) {
+      const Choice c = Selector::table_choice(fp, p);
+      const VariantKind want =
+          p == sched::Problem::kMM ? row.mm_kind : row.kind;
+      EXPECT_EQ(tune::to_string(want), tune::to_string(c.kind))
+          << row.name << "/" << to_string(p) << " -> " << c.variant << " ("
+          << c.reason << ")";
+      expect_valid(c, p, row.name);
+    }
+  }
+}
+
+TEST(TuneTable, ConcreteVariantNamesPerProblem) {
+  // Kind pins above, exact registry names here for one row of each rule.
+  const Fingerprint lp1 = tune::fingerprint_of(dataset_row("lp1"));
+  EXPECT_EQ("bridge-gm",
+            Selector::table_choice(lp1, sched::Problem::kMM).variant);
+  EXPECT_EQ("bridge-vb",
+            Selector::table_choice(lp1, sched::Problem::kColor).variant);
+  EXPECT_EQ("bridge",
+            Selector::table_choice(lp1, sched::Problem::kMis).variant);
+
+  const Fingerprint osm = tune::fingerprint_of(dataset_row("germany-osm"));
+  EXPECT_EQ("degk-gm",
+            Selector::table_choice(osm, sched::Problem::kMM).variant);
+  EXPECT_EQ("degk-vb",
+            Selector::table_choice(osm, sched::Problem::kColor).variant);
+  EXPECT_EQ("degk2",
+            Selector::table_choice(osm, sched::Problem::kMis).variant);
+
+  const Fingerprint kron =
+      tune::fingerprint_of(dataset_row("kron-g500-logn20"));
+  EXPECT_EQ("rand-gm",
+            Selector::table_choice(kron, sched::Problem::kMM).variant);
+  EXPECT_EQ("vb",
+            Selector::table_choice(kron, sched::Problem::kColor).variant);
+  EXPECT_EQ("luby",
+            Selector::table_choice(kron, sched::Problem::kMis).variant);
+}
+
+TEST(TuneTable, RandPartitionsFollowThePaperHeuristic) {
+  // Moderate density: k tracks the average degree (rgg rows: 15.1, 15.8).
+  const Fingerprint rgg = tune::fingerprint_of(dataset_row("rgg-n-2-23-s0"));
+  EXPECT_EQ(15, Selector::table_choice(rgg, sched::Problem::kMM).partitions);
+  // kron density: the paper's k = 100 (Section III-C).
+  const Fingerprint kron =
+      tune::fingerprint_of(dataset_row("kron-g500-logn20"));
+  EXPECT_EQ(100, Selector::table_choice(kron, sched::Problem::kMM).partitions);
+}
+
+TEST(TuneTable, BoundaryFingerprints) {
+  for (const sched::Problem p : kProblems) {
+    // %bridges threshold (30.0): at the line BRIDGE, just under falls
+    // through to moderate RAND.
+    Fingerprint fp = moderate_fp();
+    fp.pct_bridges = 30.0;
+    EXPECT_EQ(VariantKind::kBridge, Selector::table_choice(fp, p).kind);
+    fp.pct_bridges = 29.99;
+    EXPECT_EQ(VariantKind::kRand, Selector::table_choice(fp, p).kind);
+
+    // Low-degree rule needs BOTH %deg<=2 >= 45 and avg degree <= 4.
+    fp = moderate_fp();
+    fp.pct_deg2 = 45.0;
+    fp.avg_degree = 4.0;
+    EXPECT_EQ(VariantKind::kDegk, Selector::table_choice(fp, p).kind);
+    fp.avg_degree = 4.01;
+    EXPECT_EQ(VariantKind::kRand, Selector::table_choice(fp, p).kind);
+    fp.avg_degree = 4.0;
+    fp.pct_deg2 = 44.99;
+    EXPECT_EQ(VariantKind::kRand, Selector::table_choice(fp, p).kind);
+
+    // Density threshold (32.0): dense is rand-gm for MM, baseline
+    // otherwise; just under is moderate RAND for every problem.
+    fp = moderate_fp();
+    fp.avg_degree = 32.0;
+    const Choice dense = Selector::table_choice(fp, p);
+    if (p == sched::Problem::kMM) {
+      EXPECT_EQ("rand-gm", dense.variant);
+      EXPECT_EQ(100, dense.partitions);
+    } else {
+      EXPECT_EQ(VariantKind::kBaseline, dense.kind);
+    }
+    fp.avg_degree = 31.99;
+    EXPECT_EQ(VariantKind::kRand, Selector::table_choice(fp, p).kind);
+
+    // Tiny rule: below 256 vertices (or no arcs at all) -> baseline.
+    fp = moderate_fp();
+    fp.num_vertices = 255;
+    EXPECT_EQ(VariantKind::kBaseline, Selector::table_choice(fp, p).kind);
+    fp.num_vertices = 256;
+    EXPECT_EQ(VariantKind::kRand, Selector::table_choice(fp, p).kind);
+    fp = moderate_fp();
+    fp.num_arcs = 0;
+    EXPECT_EQ(VariantKind::kBaseline, Selector::table_choice(fp, p).kind);
+  }
+}
+
+TEST(TuneTable, AnyFingerprintYieldsValidChoice) {
+  // Property test: random (even implausible) fingerprints always resolve
+  // to a registered variant with k>=2, partitions>=1, threads>=1 — with
+  // and without a history store attached.
+  std::mt19937_64 rng(20170529);
+  std::uniform_real_distribution<double> pct(0.0, 100.0);
+  std::uniform_real_distribution<double> deg(0.0, 90.0);
+  TelemetryStore empty;
+  for (int i = 0; i < 500; ++i) {
+    Fingerprint fp;
+    fp.num_vertices = rng() % 3'000'000;
+    fp.avg_degree = deg(rng);
+    fp.num_arcs = static_cast<std::uint64_t>(
+        fp.avg_degree * static_cast<double>(fp.num_vertices));
+    fp.pct_deg2 = pct(rng);
+    fp.pct_bridges = pct(rng);
+    for (const sched::Problem p : kProblems) {
+      expect_valid(Selector::table_choice(fp, p), p, "table");
+      expect_valid(Selector(&empty).choose(fp, p, "prop-key"), p, "stored");
+    }
+  }
+}
+
+// ---------------------------------------------------- online refinement --
+
+TEST(TuneRefine, SwitchesToThreeTimesFasterVariantWithinNineRuns) {
+  // The heuristic's pick costs 3 ms, one rival costs 1 ms: driving the
+  // measure -> record loop must flip the selector to the rival within
+  // candidates x min_runs + 1 = 9 runs, and keep it there.
+  for (const sched::Problem p : kProblems) {
+    const Fingerprint fp = moderate_fp();
+    const std::string key = "refine-key";
+    const Choice table = Selector::table_choice(fp, p);
+    const std::string fast = Selector::candidates(p)[0] == table.variant
+                                 ? Selector::candidates(p)[1]
+                                 : Selector::candidates(p)[0];
+    TelemetryStore store;
+    const Selector sel(&store);
+    int switched_at = -1;
+    for (int run = 1; run <= 9; ++run) {
+      const Choice c = sel.choose(fp, p, key);
+      expect_valid(c, p, "refine");
+      store.record(key, p, c.variant, c.variant == fast ? 1e-3 : 3e-3, 10.0);
+      if (c.from_telemetry && c.variant == fast && switched_at < 0) {
+        switched_at = run;
+      }
+    }
+    EXPECT_GT(switched_at, 0) << to_string(p)
+                              << ": never locked in the 3x-faster variant";
+    // Once locked in, the choice is stable (no flapping on equal history).
+    const Choice locked = sel.choose(fp, p, key);
+    EXPECT_EQ(fast, locked.variant) << to_string(p);
+    EXPECT_TRUE(locked.from_telemetry);
+  }
+}
+
+TEST(TuneRefine, ExplorationVisitsEveryCandidateBeforeLockIn) {
+  const Fingerprint fp = moderate_fp();
+  const sched::Problem p = sched::Problem::kMM;
+  TelemetryStore store;
+  const Selector sel(&store);
+  std::vector<std::string> visited;
+  for (int run = 0; run < 8; ++run) {  // 4 candidates x min_runs=2
+    const Choice c = sel.choose(fp, p, "explore-key");
+    visited.push_back(c.variant);
+    store.record("explore-key", p, c.variant, 1e-3, 5.0);
+  }
+  for (const std::string& v : Selector::candidates(p)) {
+    EXPECT_EQ(2, std::count(visited.begin(), visited.end(), v)) << v;
+  }
+}
+
+TEST(TuneRefine, MarginalWinStaysWithTheTablePick) {
+  // 5% faster does not clear the 0.9 lock-in margin: the table pick holds
+  // (anti-flapping), and the choice is marked telemetry-confirmed.
+  const Fingerprint fp = moderate_fp();
+  const sched::Problem p = sched::Problem::kColor;
+  const Choice table = Selector::table_choice(fp, p);
+  TelemetryStore store;
+  for (const std::string& v : Selector::candidates(p)) {
+    for (int r = 0; r < 2; ++r) {
+      store.record("margin-key", p, v, v == table.variant ? 1.00 : 0.95, 5.0);
+    }
+  }
+  const Choice c = Selector(&store).choose(fp, p, "margin-key");
+  EXPECT_EQ(table.variant, c.variant);
+  EXPECT_FALSE(c.from_telemetry);
+}
+
+TEST(TuneRefine, EwmaMathAndThreadSafety) {
+  TelemetryStore store;
+  store.record("k", sched::Problem::kMM, "gm", 1.0, 10.0);
+  store.record("k", sched::Problem::kMM, "gm", 2.0, 20.0);
+  const auto s = store.stats("k", sched::Problem::kMM, "gm");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(2u, s->runs);
+  // First sample seeds; second moves by alpha = 0.3.
+  EXPECT_DOUBLE_EQ(1.0 + 0.3 * (2.0 - 1.0), s->ewma_seconds);
+  EXPECT_DOUBLE_EQ(10.0 + 0.3 * (20.0 - 10.0), s->ewma_rounds);
+  // Non-finite and negative samples are dropped, not recorded.
+  store.record("k", sched::Problem::kMM, "gm",
+               std::numeric_limits<double>::quiet_NaN(), 1.0);
+  store.record("k", sched::Problem::kMM, "gm", -1.0, 1.0);
+  EXPECT_EQ(2u, store.stats("k", sched::Problem::kMM, "gm")->runs);
+
+#pragma omp parallel for
+  for (int i = 0; i < 64; ++i) {
+    store.record("mt", sched::Problem::kMis, "luby", 1e-3, 1.0);
+  }
+  EXPECT_EQ(64u, store.stats("mt", sched::Problem::kMis, "luby")->runs);
+}
+
+// -------------------------------------------------- persistence + decay --
+
+TEST(TuneStore, JsonRoundTripPreservesEntries) {
+  TelemetryStore store;
+  store.record("g|100|200", sched::Problem::kMM, "gm", 0.5, 12.0);
+  store.record("g|100|200", sched::Problem::kMM, "gm", 0.7, 14.0);
+  store.record("weird\"key\n|1|2", sched::Problem::kColor, "vb", 0.25, 3.0);
+
+  const std::string body = store.to_json();
+  // Structurally valid JSON with the documented schema.
+  const test::Json doc = test::JsonParser(body).parse();
+  EXPECT_EQ(1.0, doc.at("sbg_tune_version").number);
+  EXPECT_EQ(2u, doc.at("entries").array.size());
+
+  TelemetryStore copy;
+  ASSERT_TRUE(copy.from_json(body));
+  EXPECT_EQ(2u, copy.size());
+  const auto s = copy.stats("g|100|200", sched::Problem::kMM, "gm");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(2u, s->runs);
+  EXPECT_DOUBLE_EQ(0.5 + 0.3 * (0.7 - 0.5), s->ewma_seconds);
+  const auto w =
+      copy.stats("weird\"key\n|1|2", sched::Problem::kColor, "vb");
+  ASSERT_TRUE(w.has_value()) << "escaped keys must round-trip";
+}
+
+TEST(TuneStore, SaveLoadRoundTripOnDisk) {
+  ScratchDir dir("sbg_tune_roundtrip");
+  const std::string path = (dir.path / "sbg_tune.json").string();
+  TelemetryStore store;
+  store.record("g|10|20", sched::Problem::kMis, "rand", 0.125, 7.0);
+  EXPECT_TRUE(store.dirty());
+  store.save(path);
+  EXPECT_FALSE(store.dirty());
+
+  TelemetryStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(1u, loaded.size());
+  EXPECT_EQ(0.125,
+            loaded.stats("g|10|20", sched::Problem::kMis, "rand")->ewma_seconds);
+  // No stray temp files left behind by the atomic write.
+  int files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir.path)) {
+    ++files;
+  }
+  EXPECT_EQ(1, files);
+}
+
+TEST(TuneStore, CorruptHistoryDegradesToStaticTable) {
+  // Mirror of the .sbgc degrade-to-reparse tests: any malformed history
+  // leaves the store empty (selector falls back to the table) — never a
+  // throw, never a partial load.
+  TelemetryStore good;
+  good.record("g|1|2", sched::Problem::kMM, "gm", 1.0, 1.0);
+  const std::string valid = good.to_json();
+
+  const std::vector<std::string> kCorrupt = {
+      "",
+      "not json at all",
+      "{}",
+      "[1,2,3]",
+      valid.substr(0, valid.size() / 2),             // truncated mid-entry
+      valid + "trailing garbage",
+      "{\"sbg_tune_version\":2,\"entries\":[]}",     // future version
+      "{\"sbg_tune_version\":1,\"entries\":{}}",     // wrong container
+      "{\"sbg_tune_version\":1,\"entries\":[{\"key\":\"k\",\"runs\":-3,"
+      "\"ewma_seconds\":1,\"ewma_rounds\":1}]}",     // negative runs
+      "{\"sbg_tune_version\":1,\"entries\":[{\"key\":\"k\",\"runs\":1,"
+      "\"ewma_seconds\":null,\"ewma_rounds\":1}]}",  // poisoned ewma
+  };
+  for (const std::string& text : kCorrupt) {
+    TelemetryStore store;
+    store.record("preexisting", sched::Problem::kMM, "gm", 1.0, 1.0);
+    EXPECT_FALSE(store.from_json(text))
+        << "accepted: " << text.substr(0, 60);
+    EXPECT_EQ(0u, store.size()) << "partial load from: " << text.substr(0, 60);
+    // A selector over the degraded store answers exactly like the table.
+    const Fingerprint fp = moderate_fp();
+    for (const sched::Problem p : kProblems) {
+      const Choice c = Selector(&store).choose(fp, p, "any-key");
+      EXPECT_EQ(Selector::table_choice(fp, p).variant, c.variant);
+      EXPECT_FALSE(c.from_telemetry);
+    }
+  }
+
+  // Same via load(): a corrupt file on disk and a missing file both
+  // degrade to empty and report false.
+  ScratchDir dir("sbg_tune_corrupt");
+  const std::string path = (dir.path / "sbg_tune.json").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << valid.substr(0, valid.size() - 5);
+  }
+  TelemetryStore store;
+  EXPECT_FALSE(store.load(path));
+  EXPECT_EQ(0u, store.size());
+  EXPECT_FALSE(store.load((dir.path / "does_not_exist.json").string()));
+}
+
+TEST(TuneStore, DefaultStorePathFollowsEnv) {
+  const char* old_tune = std::getenv("SBG_TUNE_PATH");
+  const std::string saved_tune = old_tune ? old_tune : "";
+  setenv("SBG_TUNE_PATH", "/tmp/explicit_tune.json", 1);
+  EXPECT_EQ("/tmp/explicit_tune.json", tune::default_store_path());
+  unsetenv("SBG_TUNE_PATH");
+  // Falls back to SBG_CACHE_DIR/sbg_tune.json, mirroring the .sbgc cache.
+  const char* old_cache = std::getenv("SBG_CACHE_DIR");
+  const std::string saved_cache = old_cache ? old_cache : "";
+  setenv("SBG_CACHE_DIR", "/tmp/tunecache", 1);
+  EXPECT_EQ(std::string("/tmp/tunecache") + "/sbg_tune.json",
+            tune::default_store_path());
+  if (old_cache) setenv("SBG_CACHE_DIR", saved_cache.c_str(), 1);
+  else unsetenv("SBG_CACHE_DIR");
+  if (old_tune) setenv("SBG_TUNE_PATH", saved_tune.c_str(), 1);
+}
+
+// --------------------------------------------- fingerprints over graphs --
+
+TEST(TuneFingerprint, MatchesGraphStructureAcrossThreadCounts) {
+  const CsrGraph path = build_graph(gen_path(600), false);
+  const CsrGraph cycle = build_graph(gen_cycle(600), false);
+  Fingerprint base;
+  for (int t = 0; t < 2; ++t) {
+    for (const int threads : kThreadSweep) {
+      const ScopedThreads st(threads);
+      const Fingerprint fp = tune::fingerprint_of(path);
+      EXPECT_EQ(600u, fp.num_vertices);
+      EXPECT_EQ(2u * 599u, fp.num_arcs);
+      EXPECT_DOUBLE_EQ(100.0, fp.pct_deg2);
+      EXPECT_DOUBLE_EQ(100.0, fp.pct_bridges);  // every path edge a bridge
+      const Fingerprint fc = tune::fingerprint_of(cycle);
+      EXPECT_DOUBLE_EQ(0.0, fc.pct_bridges);    // no cycle edge is
+      EXPECT_DOUBLE_EQ(2.0, fc.avg_degree);
+      if (threads == 1) base = fp;
+      EXPECT_EQ(base.num_arcs, fp.num_arcs);
+      EXPECT_DOUBLE_EQ(base.pct_deg2, fp.pct_deg2);
+    }
+  }
+}
+
+TEST(TuneFingerprint, GraphKeyFormat) {
+  const CsrGraph g = build_graph(gen_path(10), false);
+  EXPECT_EQ("road|10|18", tune::graph_key("road", g));
+  EXPECT_EQ("g|10|18", tune::graph_key("", g));  // unnamed graphs bucket
+}
+
+TEST(TuneFingerprint, SinglePassStatsAgreeWithReferenceCounts) {
+  // The fused graph_stats pass must agree with the one-quantity helpers
+  // (and report isolated vertices, new in this pass) at every thread count.
+  CsrGraph g = test::random_graph(800, 1500, 99);
+  for (const int threads : kThreadSweep) {
+    const ScopedThreads st(threads);
+    const GraphStats s = graph_stats(g, 5);
+    EXPECT_DOUBLE_EQ(pct_degree_at_most(g, 2), s.pct_deg2);
+    EXPECT_DOUBLE_EQ(pct_degree_at_most(g, 5), s.pct_degk);
+    vid_t mind = kNoVertex, maxd = 0, iso = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      mind = std::min(mind, g.degree(v));
+      maxd = std::max(maxd, g.degree(v));
+      iso += g.degree(v) == 0 ? 1 : 0;
+    }
+    EXPECT_EQ(mind, s.min_degree);
+    EXPECT_EQ(maxd, s.max_degree);
+    EXPECT_EQ(iso, s.num_isolated);
+  }
+}
+
+TEST(TuneFingerprint, VariantKindClassifiesTheWholeRegistry) {
+  EXPECT_EQ(VariantKind::kBaseline, tune::variant_kind("gm"));
+  EXPECT_EQ(VariantKind::kBaseline, tune::variant_kind("luby"));
+  EXPECT_EQ(VariantKind::kBridge, tune::variant_kind("bridge-vb"));
+  EXPECT_EQ(VariantKind::kBridge, tune::variant_kind("bridge"));
+  EXPECT_EQ(VariantKind::kRand, tune::variant_kind("rand-gm"));
+  EXPECT_EQ(VariantKind::kDegk, tune::variant_kind("degk2"));
+  EXPECT_EQ(VariantKind::kDegk, tune::variant_kind("degk-vb"));
+}
+
+// ----------------------------------------------------- sched integration --
+
+TEST(TuneSched, AutoJobMatchesExplicitRerunAtEveryThreadCount) {
+  // Store-state independent by construction: whatever the process-global
+  // history says, the auto run must name a Table-I candidate and be
+  // byte-identical to an explicit run of that candidate (deterministic
+  // solvers). This is the unit-test twin of the "auto" fuzz family.
+  const auto graph =
+      std::make_shared<const CsrGraph>(test::random_graph(400, 1200, 21));
+  for (const int threads : kThreadSweep) {
+    const ScopedThreads st(threads);
+    for (const sched::Problem p : kProblems) {
+      sched::JobSpec spec;
+      spec.graph = graph;
+      spec.graph_name = "tune-sched-er400";
+      spec.problem = p;
+      spec.variant = sched::kAutoVariant;
+      spec.seed = 5;
+      spec.name = std::string("auto/") + to_string(p);
+      const sched::JobResult res = sched::run_job(spec);
+      ASSERT_EQ(sched::JobStatus::kOk, res.status) << res.error;
+      bool candidate = false;
+      for (const std::string& v : Selector::candidates(p)) {
+        candidate |= v == res.resolved_variant;
+      }
+      EXPECT_TRUE(candidate) << res.resolved_variant;
+
+      sched::JobSpec explicit_spec = spec;
+      explicit_spec.variant = res.resolved_variant;
+      const sched::JobResult ref = sched::run_job(explicit_spec);
+      ASSERT_EQ(sched::JobStatus::kOk, ref.status) << ref.error;
+      EXPECT_EQ(res.resolved_variant, ref.resolved_variant);
+      if (sched::schedule_deterministic(p, res.resolved_variant)) {
+        EXPECT_EQ(ref.result_hash, res.result_hash) << to_string(p);
+        EXPECT_EQ(ref.value, res.value);
+        EXPECT_EQ(ref.rounds, res.rounds);
+      }
+    }
+  }
+}
+
+TEST(TuneSched, PrepareExecuteVerifyStages) {
+  const auto graph =
+      std::make_shared<const CsrGraph>(test::random_graph(300, 900, 31));
+  sched::JobSpec spec;
+  spec.graph = graph;
+  spec.graph_name = "stages";
+  spec.problem = sched::Problem::kMM;
+  spec.variant = "gm";
+  spec.name = "stages/mm/gm";
+
+  // Explicit variants pass through prepare untouched.
+  const sched::PreparedJob prep = sched::prepare_job(spec);
+  EXPECT_FALSE(prep.auto_resolved);
+  EXPECT_EQ("gm", prep.spec.variant);
+
+  // Auto resolves to a concrete candidate and says why.
+  sched::JobSpec auto_spec = spec;
+  auto_spec.variant = sched::kAutoVariant;
+  const sched::PreparedJob auto_prep = sched::prepare_job(auto_spec);
+  EXPECT_TRUE(auto_prep.auto_resolved);
+  EXPECT_NE(sched::kAutoVariant, auto_prep.spec.variant);
+  EXPECT_FALSE(auto_prep.auto_reason.empty());
+
+  // An auto job with no graph is a prepare-time error; run_job absorbs it
+  // into a failed result instead of throwing.
+  sched::JobSpec no_graph = auto_spec;
+  no_graph.graph = nullptr;
+  EXPECT_THROW(sched::prepare_job(no_graph), InputError);
+  const sched::JobResult failed = sched::run_job(no_graph);
+  EXPECT_EQ(sched::JobStatus::kFailed, failed.status);
+
+  // execute then verify, staged by hand, agrees with run_job end-to-end.
+  sched::JobSolution sol;
+  const sched::JobResult exec = sched::execute_job(prep, sol);
+  ASSERT_EQ(sched::JobStatus::kOk, exec.status) << exec.error;
+  EXPECT_EQ("gm", exec.resolved_variant);
+  EXPECT_EQ("", sched::verify_job(prep, sol));
+  const sched::JobResult whole = sched::run_job(spec);
+  EXPECT_EQ(exec.result_hash, whole.result_hash);
+
+  // A corrupted solution is caught by the verify stage.
+  if (!sol.mm.mate.empty()) {
+    sched::JobSolution bad = sol;
+    bad.mm.mate[0] = bad.mm.mate[0] == 1 ? 2 : 1;  // break symmetry
+    EXPECT_NE("", sched::verify_job(prep, bad));
+  }
+}
+
+TEST(TuneSched, SuccessfulRunsLandInTheGlobalStore) {
+  // run_job records (graph_key, problem, resolved variant) EWMAs; injected
+  // failures must not. Unique graph name isolates this test's rows.
+  const auto graph =
+      std::make_shared<const CsrGraph>(test::random_graph(256, 700, 41));
+  const std::string name =
+      "tune-store-" + std::to_string(::testing::UnitTest::GetInstance()
+                                         ->random_seed());
+  sched::JobSpec spec;
+  spec.graph = graph;
+  spec.graph_name = name;
+  spec.problem = sched::Problem::kMis;
+  spec.variant = "luby";
+  spec.name = name + "/mis/luby";
+  const std::string key = tune::graph_key(name, *graph);
+
+  const auto before =
+      tune::global_store().stats(key, spec.problem, "luby");
+  const std::uint64_t runs_before = before ? before->runs : 0;
+  ASSERT_EQ(sched::JobStatus::kOk, sched::run_job(spec).status);
+  const auto after = tune::global_store().stats(key, spec.problem, "luby");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(runs_before + 1, after->runs);
+
+  sched::JobSpec failing = spec;
+  failing.inject_failure = true;
+  ASSERT_EQ(sched::JobStatus::kFailed, sched::run_job(failing).status);
+  EXPECT_EQ(runs_before + 1,
+            tune::global_store().stats(key, spec.problem, "luby")->runs);
+}
+
+}  // namespace
+}  // namespace sbg
