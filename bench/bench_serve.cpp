@@ -1,0 +1,117 @@
+// Serving overhead: what the HTTP front end + hot registry add to a solve.
+//
+// Three measurements over the same (graph, problem, variant) job:
+//   direct      — sched::run_job in-process, graph already in hand: the
+//                 floor the service is judged against.
+//   serve-cold  — one sbg_serve round-trip where the graph must be loaded
+//                 into the registry first (registry miss).
+//   serve-warm  — repeated round-trips against the resident graph
+//                 (registry hits): steady-state service latency.
+//
+// The acceptance story: warm round-trip minus direct is the full serving
+// tax (loopback TCP + HTTP framing + JSON + admission queue), and it must
+// be small against even the smallest Table-I solves; cold minus warm is
+// the ingest cost the registry amortizes away after request one.
+//
+// Environment: SBG_SCALE / SBG_GRAPHS / SBG_JSON_OUT as usual; the obs
+// gauges serve_bench.{direct,warm,cold}_seconds feed the perf gate.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/obs.hpp"
+#include "parallel/timer.hpp"
+#include "sched/sched.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sbg;
+
+constexpr int kWarmIters = 50;
+
+double round_trip(int port, const std::string& body, bool* ok) {
+  serve::ClientResponse res;
+  std::string err;
+  Timer t;
+  if (!serve::http_request(port, "POST", "/v1/jobs", body, &res, &err) ||
+      res.status != 200) {
+    std::fprintf(stderr, "bench_serve: request failed: %s (status %d)\n",
+                 err.c_str(), res.status);
+    *ok = false;
+    return 0;
+  }
+  return t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const double scale =
+      bench::announce("Serving overhead: HTTP round-trip vs direct run_job");
+
+  std::vector<std::string> names;
+  if (std::getenv("SBG_GRAPHS") != nullptr) {
+    names = bench::selected_graphs();
+  } else {
+    names = {"c-73", "lp1"};
+  }
+
+  std::printf("%-12s %-10s %12s %12s %12s %10s\n", "graph", "variant",
+              "direct_ms", "warm_ms", "cold_ms", "tax");
+  bool ok = true;
+  for (const std::string& name : names) {
+    const auto graph =
+        std::make_shared<const CsrGraph>(make_dataset(name, scale));
+    const std::string body =
+        "{\"graph\":\"" + name + "\",\"problem\":\"mm\","
+        "\"variant\":\"rand-gm\",\"seed\":42}";
+
+    // Direct floor: same spec, no service in the way.
+    sched::JobSpec spec;
+    spec.name = name + "/mm/rand-gm";
+    spec.graph_name = name;
+    spec.graph = graph;
+    spec.problem = sched::Problem::kMM;
+    spec.variant = "rand-gm";
+    spec.seed = 42;
+    sched::run_job(spec);  // warm the code paths once
+    Timer td;
+    for (int i = 0; i < kWarmIters; ++i) sched::run_job(spec);
+    const double direct = td.seconds() / kWarmIters;
+
+    serve::ServerOptions opt;
+    opt.workers = 2;
+    opt.dataset_scale = scale;
+    serve::Server server(opt);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+      return 1;
+    }
+    // Cold: request one pays the registry load.
+    const double cold = round_trip(server.port(), body, &ok);
+    // Warm: the resident graph answers every later request.
+    double warm_total = 0;
+    for (int i = 0; i < kWarmIters; ++i) {
+      warm_total += round_trip(server.port(), body, &ok);
+    }
+    const double warm = warm_total / kWarmIters;
+    server.shutdown();
+
+    // registry().gauge directly: the SBG_GAUGE_SET macro caches a static
+    // handle, which is wrong for per-graph dynamic names in a loop.
+    const std::string slug = bench::detail::slugify(name.c_str());
+    obs::registry().gauge("serve_bench." + slug + ".direct_seconds").set(direct);
+    obs::registry().gauge("serve_bench." + slug + ".warm_seconds").set(warm);
+    obs::registry().gauge("serve_bench." + slug + ".cold_seconds").set(cold);
+    std::printf("%-12s %-10s %12.3f %12.3f %12.3f %9.2fx\n", name.c_str(),
+                "rand-gm", direct * 1e3, warm * 1e3, cold * 1e3,
+                direct > 0 ? warm / direct : 0.0);
+  }
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// sbg_serve — the resident graph-analytics daemon (src/serve/).
+//
+// Starts the HTTP service, optionally pre-warms graphs into the registry,
+// and runs until SIGTERM/SIGINT, which drains in-flight jobs before exit.
+//
+//   sbg_serve [--port N] [--workers N] [--threads-per-job N] [--queue N]
+//             [--mem-cap BYTES] [--deadline-ms D] [--warm GRAPH]...
+//             [--once]
+//
+// Flags override the SBG_SERVE_* environment (see ENVIRONMENT.md). --warm
+// loads a dataset name or graph file into the registry before serving, so
+// the first request pays no ingest. --once exits after the first request
+// completes (CI smoke harnesses use it with an external client).
+//
+//   SBG_SERVE_PORT=8080 sbg_serve --warm c-73
+//   curl -s localhost:8080/v1/jobs -d '{"graph":"c-73","problem":"mm"}'
+//   curl -s localhost:8080/metrics | grep sbg_serve_registry_hits
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/export/sampler.hpp"
+#include "parallel/thread_env.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+sbg::serve::Server* g_server = nullptr;
+
+// Only async-signal-safe work here: request_shutdown is an atomic store
+// plus a self-pipe write; the drain itself runs on the server's threads.
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sbg_serve [--port N] [--workers N] "
+               "[--threads-per-job N] [--queue N]\n"
+               "                 [--mem-cap BYTES] [--deadline-ms D] "
+               "[--warm GRAPH]... [--once]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sbg::apply_thread_env();
+  std::vector<std::string> warm;
+  bool once = false;
+  sbg::serve::ServerOptions opt;
+  try {
+    opt = sbg::serve::options_from_env();
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) throw sbg::InputError(a + " needs a value");
+        return argv[++i];
+      };
+      if (a == "--port") opt.port = std::atoi(next());
+      else if (a == "--workers") opt.workers = std::atoi(next());
+      else if (a == "--threads-per-job") opt.per_job_threads = std::atoi(next());
+      else if (a == "--queue") opt.queue_cap = std::atoi(next());
+      else if (a == "--mem-cap") opt.mem_cap_bytes = std::strtoull(next(), nullptr, 10);
+      else if (a == "--deadline-ms") opt.default_deadline_ms = std::atof(next());
+      else if (a == "--warm") warm.emplace_back(next());
+      else if (a == "--once") once = true;
+      else return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sbg_serve: %s\n", e.what());
+    return 2;
+  }
+
+  const auto sampler = sbg::obs::start_sampler_from_env();
+  sbg::serve::Server server(opt);
+  g_server = &server;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "sbg_serve: %s\n", err.c_str());
+    return 1;
+  }
+  for (const std::string& name : warm) {
+    std::string lerr;
+    if (server.registry().acquire(name, &lerr) == nullptr) {
+      std::fprintf(stderr, "sbg_serve: warm %s: %s\n", name.c_str(),
+                   lerr.c_str());
+      server.shutdown();
+      return 1;
+    }
+    std::fprintf(stderr, "sbg_serve: warmed %s\n", name.c_str());
+  }
+  // The port line is the readiness signal scripts wait for (and the only
+  // way to learn an ephemeral --port 0 binding).
+  std::printf("sbg_serve: listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  while (!server.draining() && !(once && server.requests_served() > 0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.shutdown();
+  std::fprintf(stderr, "sbg_serve: drained, exiting\n");
+  return 0;
+}

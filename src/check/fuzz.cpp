@@ -218,7 +218,7 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
 
 const std::vector<std::string>& fuzz_families() {
   static const std::vector<std::string> kFamilies = {
-      "basic", "rgg", "rmat", "synth", "ingest", "batch", "auto"};
+      "basic", "rgg", "rmat", "synth", "ingest", "batch", "auto", "serve"};
   return kFamilies;
 }
 
@@ -394,6 +394,11 @@ FuzzSummary run_fuzz(const FuzzOptions& opt) {
           // (see fuzz_auto.cpp).
           fails = fuzz_check_auto(graph_seed, opt.max_n, &shape,
                                   &summary.solver_runs);
+        } else if (family == "serve") {
+          // Service fuzz: concurrent clients against a live in-process
+          // daemon, adversarial HTTP included (see fuzz_serve.cpp).
+          fails = fuzz_check_serve(graph_seed, opt.max_n, &shape,
+                                   &summary.solver_runs);
         } else {
           const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
           fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);

@@ -34,9 +34,11 @@ namespace sbg::check {
 /// which skips the solver zoo and differentially tests the text-ingestion
 /// pipeline instead (see fuzz_check_ingest), "batch", which runs 2-4
 /// concurrent sched jobs and replays them sequentially for hash agreement
-/// (see fuzz_check_batch), and "auto", which solves through the sbg::tune
+/// (see fuzz_check_batch), "auto", which solves through the sbg::tune
 /// adaptive-selection path and replays the resolved variant explicitly
-/// (see fuzz_check_auto).
+/// (see fuzz_check_auto), and "serve", which fires concurrent clients —
+/// adversarial HTTP included — at a live in-process sbg_serve daemon
+/// (see fuzz_check_serve).
 const std::vector<std::string>& fuzz_families();
 
 /// Deterministic random graph for (family, seed): shape and size are drawn
@@ -87,6 +89,17 @@ std::vector<std::string> fuzz_check_batch(std::uint64_t seed, vid_t max_n,
 std::vector<std::string> fuzz_check_auto(std::uint64_t seed, vid_t max_n,
                                          std::string* shape = nullptr,
                                          int* solver_runs = nullptr);
+
+/// One "serve" family iteration: an in-process sbg_serve daemon on an
+/// ephemeral loopback port under 2-4 concurrent fuzz clients mixing valid
+/// job requests (differentially checked against direct sched::run_job)
+/// with malformed JSON, raw garbage, oversized bodies, expired deadlines
+/// (must 504), and unknown names (404/422); some iterations drain the
+/// server mid-request and require the in-flight response to complete and
+/// later connects to be refused. Returns one string per failure.
+std::vector<std::string> fuzz_check_serve(std::uint64_t seed, vid_t max_n,
+                                          std::string* shape = nullptr,
+                                          int* solver_runs = nullptr);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;

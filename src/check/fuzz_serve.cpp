@@ -1,0 +1,292 @@
+// The "serve" fuzz family: concurrent clients against a live daemon.
+//
+// One iteration boots an in-process serve::Server on an ephemeral loopback
+// port, registers a fuzzed graph, and fires 2-4 client threads at it. Each
+// client interleaves well-formed job requests with the adversarial traffic
+// the HTTP layer must shrug off: malformed JSON, raw garbage bytes,
+// oversized bodies, already-expired deadlines, unknown graphs/variants.
+// Every well-formed answer is differentially checked against a direct
+// sched::run_job on the same spec (hash equality for schedule-deterministic
+// variants). Some iterations drain the server mid-request — the in-flight
+// response must still arrive complete, and post-drain connects must be
+// refused. Under TSan this family is the data-race gate for the whole
+// serve path (CI: serve-tsan).
+#include "check/fuzz.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "parallel/rng.hpp"
+#include "sched/sched.hpp"
+#include "serve/client.hpp"
+#include "serve/minijson.hpp"
+#include "serve/server.hpp"
+
+namespace sbg::check {
+
+namespace {
+
+struct DoneJob {
+  sched::JobSpec spec;
+  std::string served_hash;  ///< decimal string, as the response carries it
+  std::uint64_t served_value = 0;
+};
+
+const char* pick_variant(sched::Problem p, Rng& rng) {
+  static const char* kMm[] = {"gm", "rand-gm", "degk-gm", "bridge-gm"};
+  static const char* kColor[] = {"vb", "jp-random", "rand-vb", "degk-vb"};
+  static const char* kMis[] = {"luby", "rand", "degk2", "bridge"};
+  switch (p) {
+    case sched::Problem::kMM: return kMm[rng.below(4)];
+    case sched::Problem::kColor: return kColor[rng.below(4)];
+    case sched::Problem::kMis: return kMis[rng.below(4)];
+  }
+  return "gm";
+}
+
+std::string job_body(const std::string& graph, sched::Problem p,
+                     const std::string& variant, std::uint64_t seed) {
+  return std::string("{\"graph\":\"") + graph + "\",\"problem\":\"" +
+         sched::to_string(p) + "\",\"variant\":\"" + variant +
+         "\",\"seed\":" + std::to_string(seed) + "}";
+}
+
+}  // namespace
+
+std::vector<std::string> fuzz_check_serve(std::uint64_t seed, vid_t max_n,
+                                          std::string* shape,
+                                          int* solver_runs) {
+  SBG_COUNTER_ADD("fuzz.serve_iterations", 1);
+  std::vector<std::string> fails;
+  Rng rng(mix64(seed ^ 0x5e47e));
+
+  static const char* kGraphFamilies[] = {"basic", "rgg", "rmat", "synth"};
+  const std::string family = kGraphFamilies[rng.below(4)];
+  std::string graph_shape;
+  auto graph = std::make_shared<const CsrGraph>(
+      fuzz_graph(family, rng.next(), max_n, &graph_shape));
+
+  serve::ServerOptions opt;
+  opt.workers = 2 + int(rng.below(3));
+  opt.queue_cap = 32;  // ample: a spontaneous 429 would fail valid requests
+  opt.limits.max_body_bytes = 2048;  // small enough to trip with one string
+  opt.telemetry_flush_s = 0;         // no disk traffic from the fuzzer
+  serve::Server server(opt);
+  std::string err;
+  if (!server.start(&err)) {
+    fails.push_back("serve/start: " + err);
+    return fails;
+  }
+  server.registry().put("fg", graph, "fuzz:" + graph_shape);
+
+  const bool drain_mid_request = rng.below(3) == 0;
+  const int nclients = 2 + int(rng.below(3));
+  // Seeds ride the wire as JSON numbers (doubles), exact only to 2^53 —
+  // a full 64-bit seed would silently lose low bits server-side and break
+  // the differential. 32 bits of entropy is plenty for the solvers.
+  const std::uint64_t job_seed = rng.next() & 0xffffffffull;
+  if (shape) {
+    *shape = graph_shape + " clients=" + std::to_string(nclients) +
+             " workers=" + std::to_string(opt.workers) +
+             (drain_mid_request ? " drain" : "");
+  }
+
+  std::mutex mu;  // guards fails + done from the client threads
+  std::vector<DoneJob> done;
+  const auto fail = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    fails.push_back("serve/" + msg);
+  };
+  // In drain iterations the regular clients race the shutdown, so a refused
+  // connect is expected there — only answers that DID arrive are checked.
+  const auto fail_transport = [&](const std::string& msg) {
+    if (!drain_mid_request) fail(msg);
+  };
+
+  // Per-client request scripts are drawn up-front from the iteration Rng so
+  // the traffic mix is a pure function of the seed; only the interleaving
+  // varies across runs.
+  struct Step { int kind; sched::Problem p; std::string variant; };
+  std::vector<std::vector<Step>> scripts(static_cast<std::size_t>(nclients));
+  for (auto& script : scripts) {
+    const int nreq = 2 + int(rng.below(3));
+    for (int r = 0; r < nreq; ++r) {
+      Step s;
+      s.kind = int(rng.below(8));
+      s.p = static_cast<sched::Problem>(rng.below(3));
+      s.variant = pick_variant(s.p, rng);
+      script.push_back(std::move(s));
+    }
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(std::size_t(nclients));
+  for (int c = 0; c < nclients; ++c) {
+    clients.emplace_back([&, c] {
+      for (const Step& step : scripts[std::size_t(c)]) {
+        serve::ClientResponse res;
+        std::string cerr;
+        switch (step.kind) {
+          case 0:    // malformed JSON -> 400
+          case 1: {
+            if (!serve::http_request(server.port(), "POST", "/v1/jobs",
+                                     "{\"graph\": nope", &res, &cerr)) {
+              fail_transport("malformed: transport: " + cerr);
+            } else if (res.status != 400) {
+              fail("malformed: got " + std::to_string(res.status));
+            }
+            break;
+          }
+          case 2: {  // oversized body -> 413
+            if (!serve::http_request(server.port(), "POST", "/v1/jobs",
+                                     std::string(4096, 'a'), &res, &cerr)) {
+              fail_transport("oversized: transport: " + cerr);
+            } else if (res.status != 413) {
+              fail("oversized: got " + std::to_string(res.status));
+            }
+            break;
+          }
+          case 3: {  // expired deadline -> 504 cancelled
+            const std::string body =
+                "{\"graph\":\"fg\",\"problem\":\"" +
+                std::string(sched::to_string(step.p)) +
+                "\",\"deadline_ms\":0.000001}";
+            if (!serve::http_request(server.port(), "POST", "/v1/jobs", body,
+                                     &res, &cerr)) {
+              fail_transport("deadline: transport: " + cerr);
+            } else if (res.status != 504) {
+              fail("deadline: got " + std::to_string(res.status) + ": " +
+                   res.body);
+            }
+            break;
+          }
+          case 4: {  // unknown graph -> 404; unknown variant -> 422
+            const bool bad_variant = step.variant.size() % 2 == 0;
+            const std::string body =
+                bad_variant
+                    ? "{\"graph\":\"fg\",\"variant\":\"no-such-variant\"}"
+                    : "{\"graph\":\"no-such-graph.mtx\"}";
+            const int want = bad_variant ? 422 : 404;
+            if (!serve::http_request(server.port(), "POST", "/v1/jobs", body,
+                                     &res, &cerr)) {
+              fail_transport("unknown: transport: " + cerr);
+            } else if (res.status != want) {
+              fail("unknown: want " + std::to_string(want) + " got " +
+                   std::to_string(res.status));
+            }
+            break;
+          }
+          case 5: {  // raw garbage must get an error answer, never a hang
+            std::string raw;
+            serve::http_raw(server.port(),
+                            "\x01\x02garbage\r\nnot-http\r\n\r\n", &raw,
+                            &cerr);
+            // Any outcome but a crash/hang is fine; a response, if one
+            // came, must be a 4xx.
+            if (!raw.empty() && raw.find("HTTP/1.1 4") != 0) {
+              fail("raw: unexpected response: " + raw.substr(0, 40));
+            }
+            break;
+          }
+          default: {  // well-formed job -> 200, recorded for differential
+            sched::JobSpec spec;
+            spec.name = "fuzz";
+            spec.graph_name = "fg";
+            spec.graph = graph;
+            spec.problem = step.p;
+            spec.variant = step.variant;
+            spec.seed = job_seed;
+            if (!serve::http_request(server.port(), "POST", "/v1/jobs",
+                                     job_body("fg", step.p, step.variant,
+                                              job_seed),
+                                     &res, &cerr)) {
+              fail_transport("job: transport: " + cerr);
+              break;
+            }
+            if (res.status != 200) {
+              fail("job " + spec.variant + ": got " +
+                   std::to_string(res.status) + ": " + res.body);
+              break;
+            }
+            const auto doc = serve::parse_json(res.body);
+            if (!doc || !doc->is_object()) {
+              fail("job " + spec.variant + ": unparseable body");
+              break;
+            }
+            DoneJob dj;
+            dj.spec = std::move(spec);
+            dj.served_hash = doc->get_string("result_hash", "");
+            dj.served_value = std::uint64_t(doc->get_number("value", 0));
+            std::lock_guard<std::mutex> lock(mu);
+            done.push_back(std::move(dj));
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  if (drain_mid_request) {
+    // One more client parked on a slow job, then drain under it: the
+    // response must arrive complete anyway, and fresh connects must fail.
+    std::thread slow([&] {
+      serve::ClientResponse res;
+      std::string cerr;
+      if (!serve::http_request(server.port(), "POST", "/v1/jobs",
+                               "{\"graph\":\"fg\",\"problem\":\"mm\","
+                               "\"sleep_ms\":150}",
+                               &res, &cerr)) {
+        fail("drain: in-flight transport: " + cerr);
+      } else if (res.status != 200) {
+        fail("drain: in-flight got " + std::to_string(res.status));
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const int port = server.port();
+    server.shutdown();  // same path the SIGTERM handler triggers
+    slow.join();
+    for (auto& t : clients) t.join();
+    serve::ClientResponse res;
+    std::string cerr;
+    if (serve::http_request(port, "GET", "/healthz", "", &res, &cerr, 2.0)) {
+      fail("drain: connect after drain succeeded (" +
+           std::to_string(res.status) + ")");
+    }
+  } else {
+    for (auto& t : clients) t.join();
+    server.shutdown();
+  }
+
+  // Differential: every served job must equal a direct run_job on the same
+  // spec. Hash/value equality is only a contract for schedule-deterministic
+  // variants; the rest were already oracle-gated inside the server.
+  for (const DoneJob& dj : done) {
+    if (solver_runs) ++*solver_runs;
+    if (!sched::schedule_deterministic(dj.spec.problem, dj.spec.variant)) {
+      continue;
+    }
+    const sched::JobResult ref = sched::run_job(dj.spec);
+    if (ref.status != sched::JobStatus::kOk) {
+      fails.push_back("serve/diff " + dj.spec.variant +
+                      ": direct replay failed: " + ref.error);
+    } else if (dj.served_hash != std::to_string(ref.result_hash) ||
+               dj.served_value != ref.value) {
+      fails.push_back("serve/diff " + dj.spec.variant + ": served hash " +
+                      dj.served_hash + " value " +
+                      std::to_string(dj.served_value) + " != direct " +
+                      std::to_string(ref.result_hash) + " value " +
+                      std::to_string(ref.value));
+    }
+  }
+  if (solver_runs) *solver_runs += int(done.size());
+
+  SBG_COUNTER_ADD("fuzz.failures", fails.size());
+  return fails;
+}
+
+}  // namespace sbg::check

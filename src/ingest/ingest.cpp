@@ -186,6 +186,17 @@ CsrGraph load(const std::string& path, const Options& opt,
   return g;
 }
 
+std::shared_ptr<const CsrGraph> load_shared(const std::string& path,
+                                            const Options& opt,
+                                            LoadReport* report) {
+  return std::make_shared<const CsrGraph>(load(path, opt, report));
+}
+
+std::uint64_t resident_bytes(const CsrGraph& g) {
+  return std::uint64_t(g.offsets().size()) * sizeof(eid_t) +
+         std::uint64_t(g.adjacency().size()) * sizeof(vid_t);
+}
+
 std::string warm_cache(const std::string& path, const Options& opt,
                        LoadReport* report) {
   const std::string ext = lower_ext(path);

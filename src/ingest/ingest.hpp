@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "graph/csr.hpp"
@@ -69,6 +70,17 @@ std::uint64_t options_hash(const Options& opt);
 /// never errors, they degrade to the text path.
 CsrGraph load(const std::string& path, const Options& opt = {},
               LoadReport* report = nullptr);
+
+/// load() wrapped in a shared_ptr — the form long-lived holders (the serve
+/// GraphRegistry) want, so concurrent jobs can share one resident CSR and
+/// eviction is a refcount drop, never a dangling span.
+std::shared_ptr<const CsrGraph> load_shared(const std::string& path,
+                                            const Options& opt = {},
+                                            LoadReport* report = nullptr);
+
+/// Heap footprint of a resident CSR (offsets + adjacency arrays) — the
+/// bytes a registry charges against SBG_SERVE_MEM_CAP.
+std::uint64_t resident_bytes(const CsrGraph& g);
 
 /// The text pipeline alone: mmap + parallel parse + build, no cache probe
 /// or write. (Benches use this to time parsing against the cache path.)

@@ -308,6 +308,14 @@ BatchReport run_batch(const std::vector<JobSpec>& specs,
   const int workers =
       std::max(1, std::min<int>(opt.jobs, static_cast<int>(specs.size())));
   std::atomic<std::size_t> next{0};
+  // Mid-batch telemetry flushes: a long batch killed at job 400 of 500 used
+  // to lose every EWMA it had learned (the only save was post-join). One
+  // worker at a time flushes the dirty store every few seconds; the
+  // post-join save below still catches the tail.
+  constexpr double kFlushIntervalSeconds = 5.0;
+  std::atomic<bool> flush_claimed{false};
+  Timer flush_timer;
+  std::atomic<std::int64_t> last_flush_ms{0};
   Timer timer;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
@@ -323,6 +331,14 @@ BatchReport run_batch(const std::vector<JobSpec>& specs,
         if (i >= specs.size()) break;
         report.results[i] = run_job(specs[i], opt.deadline_ms, opt.verify);
         report.results[i].worker = w;
+        const auto now_ms = std::int64_t(flush_timer.seconds() * 1000.0);
+        if (now_ms - last_flush_ms.load(std::memory_order_relaxed) >=
+                std::int64_t(kFlushIntervalSeconds * 1000.0) &&
+            !flush_claimed.exchange(true)) {
+          last_flush_ms.store(now_ms, std::memory_order_relaxed);
+          tune::save_global_store();
+          flush_claimed.store(false);
+        }
       }
     });
   }

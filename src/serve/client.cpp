@@ -1,0 +1,137 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace sbg::serve {
+
+namespace {
+
+int connect_loopback(int port, double timeout_s, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (timeout_s > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_s);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeout_s - double(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("connect: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read until the peer closes (the server always does) or recv times out.
+bool recv_until_close(int fd, std::string* out, std::string* error) {
+  for (;;) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n == 0) return true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    out->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+bool http_request(int port, const std::string& method,
+                  const std::string& target, const std::string& body,
+                  ClientResponse* out, std::string* error, double timeout_s) {
+  const int fd = connect_loopback(port, timeout_s, error);
+  if (fd < 0) return false;
+
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    req += "Content-Type: application/json\r\n";
+  }
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  req += body;
+  if (!send_all(fd, req, error)) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string raw;
+  const bool ok = recv_until_close(fd, &raw, error);
+  ::close(fd);
+  if (!ok) return false;
+
+  // Status line: HTTP/1.1 NNN Reason
+  const std::size_t sp = raw.find(' ');
+  if (raw.rfind("HTTP/1.", 0) != 0 || sp == std::string::npos ||
+      sp + 4 > raw.size()) {
+    if (error != nullptr) *error = "malformed response status line";
+    return false;
+  }
+  const std::string code = raw.substr(sp + 1, 3);
+  if (code.find_first_not_of("0123456789") != std::string::npos) {
+    if (error != nullptr) *error = "malformed response status code";
+    return false;
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (error != nullptr) *error = "response missing header terminator";
+    return false;
+  }
+  out->status = std::stoi(code);
+  out->body = raw.substr(header_end + 4);
+  return true;
+}
+
+bool http_raw(int port, const std::string& bytes, std::string* response_bytes,
+              std::string* error, double timeout_s) {
+  const int fd = connect_loopback(port, timeout_s, error);
+  if (fd < 0) return false;
+  if (!send_all(fd, bytes, error)) {
+    ::close(fd);
+    return false;
+  }
+  const bool ok = recv_until_close(fd, response_bytes, error);
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace sbg::serve

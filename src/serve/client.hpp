@@ -1,0 +1,30 @@
+// Minimal blocking HTTP/1.1 client — just enough to drive sbg_serve from
+// tests, the serve fuzz family, and the serve benches without curl. One
+// request per connection, mirroring the server's Connection: close policy.
+#pragma once
+
+#include <string>
+
+namespace sbg::serve {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Connect to 127.0.0.1:`port`, send one request, read the full response.
+/// Returns false with *error on connect/send/parse failure (a refused
+/// connection after drain, a 429 slammed-shut socket, ...). `timeout_s`
+/// bounds each recv.
+bool http_request(int port, const std::string& method,
+                  const std::string& target, const std::string& body,
+                  ClientResponse* out, std::string* error = nullptr,
+                  double timeout_s = 30.0);
+
+/// Send raw bytes verbatim and collect whatever comes back until the server
+/// closes — the fuzzer's door for malformed request lines, oversized
+/// headers, and truncated bodies that http_request() could never produce.
+bool http_raw(int port, const std::string& bytes, std::string* response_bytes,
+              std::string* error = nullptr, double timeout_s = 30.0);
+
+}  // namespace sbg::serve

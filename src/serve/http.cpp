@@ -1,0 +1,267 @@
+#include "serve/http.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "obs/report.hpp"
+
+namespace sbg::serve {
+
+namespace {
+
+bool set_recv_timeout(int fd, double seconds) {
+  if (seconds <= 0) return true;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - double(tv.tv_sec)) * 1e6);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+/// ASCII lowercase in place (header names are case-insensitive).
+void lower(std::string& s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+/// Strip leading/trailing HTTP optional whitespace (space / htab).
+std::string trim_ows(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+ParseStatus fail(ParseStatus st, std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return st;
+}
+
+}  // namespace
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+ParseStatus read_http_request(int fd, const HttpLimits& limits,
+                              HttpRequest* out, std::string* error) {
+  set_recv_timeout(fd, limits.read_timeout_s);
+
+  // Read until the blank line that ends the header block. Whatever arrives
+  // past it is the start of the body.
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (buf.size() > limits.max_header_bytes) {
+      return fail(ParseStatus::kTooLarge, error, "header block too large");
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+    if (got == 0) return fail(ParseStatus::kClosed, error, "peer closed");
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return fail(ParseStatus::kTimeout, error, "read timeout");
+      }
+      if (errno == EINTR) continue;
+      return fail(ParseStatus::kClosed, error,
+                  std::string("recv: ") + std::strerror(errno));
+    }
+    buf.append(chunk, static_cast<std::size_t>(got));
+    header_end = buf.find("\r\n\r\n");
+  }
+  if (header_end > limits.max_header_bytes) {
+    return fail(ParseStatus::kTooLarge, error, "header block too large");
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return fail(ParseStatus::kMalformed, error, "bad request line");
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/' ||
+      version.rfind("HTTP/1.", 0) != 0) {
+    return fail(ParseStatus::kMalformed, error, "bad request line");
+  }
+  // The service routes on the path alone; drop any query string.
+  if (const std::size_t q = req.target.find('?'); q != std::string::npos) {
+    req.target.resize(q);
+  }
+
+  // Header fields.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string field = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail(ParseStatus::kMalformed, error, "bad header field");
+    }
+    std::string name = field.substr(0, colon);
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      return fail(ParseStatus::kMalformed, error, "whitespace in header name");
+    }
+    lower(name);
+    req.headers[name] = trim_ows(field.substr(colon + 1));
+  }
+
+  if (req.headers.count("transfer-encoding") != 0) {
+    return fail(ParseStatus::kUnsupported, error,
+                "transfer-encoding not supported");
+  }
+
+  // Body: exactly Content-Length bytes (0 when absent).
+  std::size_t content_length = 0;
+  if (const auto it = req.headers.find("content-length");
+      it != req.headers.end()) {
+    const std::string& v = it->second;
+    if (v.empty() || v.size() > 12 ||
+        v.find_first_not_of("0123456789") != std::string::npos) {
+      return fail(ParseStatus::kMalformed, error, "bad content-length");
+    }
+    content_length = static_cast<std::size_t>(std::stoull(v));
+  }
+  if (content_length > limits.max_body_bytes) {
+    return fail(ParseStatus::kTooLarge, error, "body over limit");
+  }
+
+  req.body = buf.substr(header_end + 4);
+  if (req.body.size() > content_length) {
+    // Pipelined extra bytes: we serve one request per connection, drop them.
+    req.body.resize(content_length);
+  }
+  while (req.body.size() < content_length) {
+    char chunk[4096];
+    const std::size_t want =
+        std::min(sizeof chunk, content_length - req.body.size());
+    const ssize_t got = ::recv(fd, chunk, want, 0);
+    if (got == 0) return fail(ParseStatus::kClosed, error, "body truncated");
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return fail(ParseStatus::kTimeout, error, "read timeout in body");
+      }
+      if (errno == EINTR) continue;
+      return fail(ParseStatus::kClosed, error,
+                  std::string("recv: ") + std::strerror(errno));
+    }
+    req.body.append(chunk, static_cast<std::size_t>(got));
+  }
+
+  *out = std::move(req);
+  return ParseStatus::kOk;
+}
+
+bool write_http_response(int fd, const HttpResponse& res) {
+  std::string out;
+  out.reserve(res.body.size() + 160);
+  out += "HTTP/1.1 " + std::to_string(res.status) + " " +
+         status_text(res.status) + "\r\n";
+  out += "Content-Type: " + res.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += res.body;
+
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int open_listener(int port, int* bound_port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+void drain_and_close(int fd, double timeout_s) {
+  ::shutdown(fd, SHUT_WR);  // FIN after the response; reads stay open
+  set_recv_timeout(fd, timeout_s);
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout, or error: safe to close now
+  }
+  ::close(fd);
+}
+
+std::string error_body(const std::string& message) {
+  std::string out = "{\"error\":";
+  obs::append_json_string(out, message);
+  out += "}";
+  return out;
+}
+
+}  // namespace sbg::serve

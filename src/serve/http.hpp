@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 plumbing for the sbg_serve daemon — no external deps.
+//
+// Scope is deliberately small: one request per connection, Connection:
+// close on every response, Content-Length bodies only (chunked transfer
+// gets 501), and hard caps on header and body size so an adversarial
+// client cannot balloon memory. That is all the service API (JSON in, JSON
+// or Prometheus text out) needs, and it keeps every byte that crosses the
+// socket inspectable by the serve fuzz family.
+//
+// The split is protocol-only: sockets in, a parsed HttpRequest out, an
+// HttpResponse serialized back. Routing and semantics live in server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sbg::serve {
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 1 * 1024 * 1024;
+  /// recv timeout while reading one request; <= 0 disables.
+  double read_timeout_s = 10.0;
+};
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< path only; the query string (if any) is dropped
+  std::string body;
+  /// Header names lowercased; last value wins on duplicates.
+  std::map<std::string, std::string> headers;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits
+/// ("Gateway Timeout" for 504, ...); "Unknown" otherwise.
+const char* status_text(int status);
+
+enum class ParseStatus {
+  kOk,
+  kClosed,       ///< peer closed before a full request arrived
+  kTimeout,      ///< read_timeout_s elapsed mid-request
+  kTooLarge,     ///< headers or body over the limits -> 431/413
+  kUnsupported,  ///< chunked transfer-encoding -> 501
+  kMalformed,    ///< anything else -> 400
+};
+
+/// Read and parse one request from connected socket `fd`. Blocking, with
+/// SO_RCVTIMEO set from limits.read_timeout_s. On kOk fills *out; every
+/// other status leaves *out unspecified and fills *error (if non-null) with
+/// a one-line reason.
+ParseStatus read_http_request(int fd, const HttpLimits& limits,
+                              HttpRequest* out, std::string* error = nullptr);
+
+/// Serialize and send `res` on `fd` (HTTP/1.1, Content-Length, Connection:
+/// close). Returns false when the peer went away mid-write — the caller
+/// just closes the fd either way.
+bool write_http_response(int fd, const HttpResponse& res);
+
+/// Open a listening TCP socket on 127.0.0.1:`port` (port 0 picks an
+/// ephemeral port). Returns the fd (>= 0) and stores the bound port in
+/// *bound_port; returns -1 with *error filled on failure.
+int open_listener(int port, int* bound_port, std::string* error);
+
+/// Close `fd` without risking an RST racing the response: drain any unread
+/// request bytes, shut down the write side, then read until the peer
+/// closes (bounded by `timeout_s`). Needed whenever we answer before
+/// consuming the full request (429 at admission, 413 on oversized bodies)
+/// — a plain close() with buffered input makes TCP reset the connection,
+/// which can destroy the in-flight response before the client reads it.
+void drain_and_close(int fd, double timeout_s = 0.25);
+
+/// {"error":"<escaped message>"} — the uniform error body.
+std::string error_body(const std::string& message);
+
+}  // namespace sbg::serve

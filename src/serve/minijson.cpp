@@ -1,0 +1,333 @@
+#include "serve/minijson.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sbg::serve {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::get_string(const std::string& key,
+                                  const std::string& fallback,
+                                  bool* type_error) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    if (type_error != nullptr) *type_error = true;
+    return fallback;
+  }
+  return v->as_string();
+}
+
+double JsonValue::get_number(const std::string& key, double fallback,
+                             bool* type_error) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    if (type_error != nullptr) *type_error = true;
+    return fallback;
+  }
+  return v->as_number();
+}
+
+bool JsonValue::get_bool(const std::string& key, bool fallback,
+                         bool* type_error) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    if (type_error != nullptr) *type_error = true;
+    return fallback;
+  }
+  return v->as_bool();
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& s, int max_depth) : s_(s), max_depth_(max_depth) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value(0);
+    if (!v) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    ws();
+    if (i_ != s_.size()) {
+      if (error != nullptr) *error = "trailing bytes after document";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " at byte " + std::to_string(i_);
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i_) {
+      if (peek() != *p) return fail("bad literal");
+    }
+    return true;
+  }
+
+  std::optional<JsonValue> value(int depth) {
+    if (depth > max_depth_) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    ws();
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': {
+        std::string s;
+        if (!string(s)) return std::nullopt;
+        return JsonValue::make_string(std::move(s));
+      }
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return JsonValue::make_null();
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> object(int depth) {
+    ++i_;  // '{'
+    std::map<std::string, JsonValue> members;
+    ws();
+    if (peek() == '}') {
+      ++i_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      ws();
+      std::string key;
+      if (!string(key)) return std::nullopt;
+      ws();
+      if (peek() != ':') {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      ++i_;
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      members.insert_or_assign(std::move(key), std::move(*v));
+      ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++i_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array(int depth) {
+    ++i_;  // '['
+    std::vector<JsonValue> items;
+    ws();
+    if (peek() == ']') {
+      ++i_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      std::optional<JsonValue> v = value(depth + 1);
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      ws();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++i_;
+        return JsonValue::make_array(std::move(items));
+      }
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (peek() != '"') return fail("expected string");
+    ++i_;
+    out.clear();
+    while (i_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[i_++]);
+      if (c == '"') return true;
+      if (c < 0x20) return fail("raw control byte in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      if (i_ >= s_.size()) return fail("truncated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned v = 0;
+          if (!hex4(v)) return false;
+          if (v >= 0xd800 && v <= 0xdfff) {
+            // Surrogate pairs are beyond what any sbg client sends; reject
+            // rather than emit broken UTF-8.
+            return fail("surrogate escapes unsupported");
+          }
+          // Encode the code point as UTF-8.
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xc0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (v & 0x3f));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool hex4(unsigned& out) {
+    out = 0;
+    for (int d = 0; d < 4; ++d) {
+      const char h = peek();
+      ++i_;
+      out <<= 4;
+      if (h >= '0' && h <= '9') out |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') out |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') out |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    // JSON forbids leading zeros ("01"); accept the grammar strictly so the
+    // fuzzer's malformed inputs reliably get a 400, not a lenient parse.
+    if (peek() == '0') {
+      ++i_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (peek() == '.') {
+      ++i_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required after '.'");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++i_;
+      if (peek() == '+' || peek() == '-') ++i_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digits required in exponent");
+        return std::nullopt;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++i_;
+    }
+    const std::string tok = s_.substr(start, i_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
+    return JsonValue::make_number(d);
+  }
+
+  const std::string& s_;
+  const int max_depth_;
+  std::size_t i_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text, int max_depth,
+                                    std::string* error) {
+  return Parser(text, max_depth).parse(error);
+}
+
+}  // namespace sbg::serve

@@ -1,0 +1,82 @@
+// Minimal JSON value parser for service request bodies.
+//
+// The daemon accepts untrusted bytes from the network, so unlike the strict
+// single-schema cursors elsewhere in the tree (tune::StoreParser pins the
+// telemetry-store layout), requests need a small generic parser: clients
+// send fields in any order, omit optional ones, and fuzzers send garbage.
+// This is a recursive-descent parser over the full JSON grammar with a
+// depth cap (default 32) and no dependencies; numbers are doubles, strings
+// support the \u00XX escapes our writers emit plus full surrogate-free BMP
+// escapes. Parse failures return std::nullopt — the server maps them to
+// HTTP 400, never an exception across the socket loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sbg::serve {
+
+/// One parsed JSON value. Objects keep only the LAST value for a repeated
+/// key (matching common parser behaviour); member order is not preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const JsonValue* get(const std::string& key) const;
+
+  // ------------------------------------------------ typed field helpers --
+  // For request decoding: each returns the fallback when the member is
+  // missing, and sets *type_error when it exists with the wrong type (so
+  // handlers can reject {"seed": "forty-two"} instead of ignoring it).
+
+  std::string get_string(const std::string& key, const std::string& fallback,
+                         bool* type_error = nullptr) const;
+  double get_number(const std::string& key, double fallback,
+                    bool* type_error = nullptr) const;
+  bool get_bool(const std::string& key, bool fallback,
+                bool* type_error = nullptr) const;
+
+  // Construction (used by the parser; tests build expected values directly).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(std::map<std::string, JsonValue> o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse `text` as one complete JSON document (leading/trailing whitespace
+/// allowed, nothing else). Returns std::nullopt on any syntax error, on
+/// nesting deeper than `max_depth`, or on non-finite numbers. Never throws.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    int max_depth = 32,
+                                    std::string* error = nullptr);
+
+}  // namespace sbg::serve

@@ -1,0 +1,165 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/dataset.hpp"
+#include "ingest/ingest.hpp"
+#include "obs/obs.hpp"
+
+namespace sbg::serve {
+
+namespace {
+
+bool is_dataset_name(const std::string& s) {
+  for (const auto& name : dataset_names()) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GraphRegistry::GraphRegistry(RegistryOptions opt) : opt_(opt) {}
+
+std::shared_ptr<const CsrGraph> GraphRegistry::acquire(const std::string& name,
+                                                       std::string* error) {
+  if (std::shared_ptr<const CsrGraph> g = get(name)) return g;
+  SBG_COUNTER_ADD("serve.registry_misses", 1);
+
+  // Load OUTSIDE the lock: a Table II parse can take seconds and must not
+  // serialize unrelated requests behind it.
+  std::shared_ptr<const CsrGraph> graph;
+  std::string source;
+  bool from_cache = false;
+  try {
+    if (is_dataset_name(name)) {
+      graph = std::make_shared<const CsrGraph>(
+          make_dataset(name, opt_.dataset_scale, opt_.dataset_seed));
+      source = "dataset:" + name;
+    } else {
+      ingest::LoadReport rep;
+      graph = ingest::load_shared(name, {}, &rep);
+      source = "file:" + name;
+      from_cache = rep.cache_hit;
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = "cannot load graph '" + name + "': " + e.what();
+    }
+    SBG_COUNTER_ADD("serve.registry_load_failures", 1);
+    return nullptr;
+  }
+  SBG_COUNTER_ADD("serve.registry_loads", 1);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // A racing request may have inserted while we parsed; keep theirs.
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    it->second.last_use = ++tick_;
+    return it->second.graph;
+  }
+  Entry e;
+  e.graph = graph;
+  e.info.name = name;
+  e.info.vertices = graph->num_vertices();
+  e.info.edges = graph->num_edges();
+  e.info.bytes = ingest::resident_bytes(*graph);
+  e.info.source = std::move(source);
+  e.info.loaded_from_cache = from_cache;
+  e.last_use = ++tick_;
+  total_bytes_ += e.info.bytes;
+  entries_.emplace(name, std::move(e));
+  evict_over_cap_locked();
+  refresh_gauges_locked();
+  return graph;
+}
+
+void GraphRegistry::put(const std::string& name,
+                        std::shared_ptr<const CsrGraph> graph,
+                        std::string source, bool loaded_from_cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    total_bytes_ -= it->second.info.bytes;
+    entries_.erase(it);
+  }
+  Entry e;
+  e.info.name = name;
+  e.info.vertices = graph->num_vertices();
+  e.info.edges = graph->num_edges();
+  e.info.bytes = ingest::resident_bytes(*graph);
+  e.info.source = std::move(source);
+  e.info.loaded_from_cache = loaded_from_cache;
+  e.graph = std::move(graph);
+  e.last_use = ++tick_;
+  total_bytes_ += e.info.bytes;
+  entries_.emplace(name, std::move(e));
+  SBG_COUNTER_ADD("serve.registry_loads", 1);
+  evict_over_cap_locked();
+  refresh_gauges_locked();
+}
+
+std::shared_ptr<const CsrGraph> GraphRegistry::get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_use = ++tick_;
+  ++it->second.info.hits;
+  SBG_COUNTER_ADD("serve.registry_hits", 1);
+  return it->second.graph;
+}
+
+bool GraphRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  total_bytes_ -= it->second.info.bytes;
+  entries_.erase(it);
+  refresh_gauges_locked();
+  return true;
+}
+
+std::vector<RegistryEntryInfo> GraphRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RegistryEntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(e.info);
+  std::sort(out.begin(), out.end(),
+            [](const RegistryEntryInfo& a, const RegistryEntryInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t GraphRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void GraphRegistry::evict_over_cap_locked() {
+  if (opt_.mem_cap_bytes == 0) return;
+  while (total_bytes_ > opt_.mem_cap_bytes && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    total_bytes_ -= victim->second.info.bytes;
+    entries_.erase(victim);
+    SBG_COUNTER_ADD("serve.registry_evictions", 1);
+  }
+}
+
+void GraphRegistry::refresh_gauges_locked() const {
+  SBG_GAUGE_SET("serve.registry_entries", static_cast<double>(entries_.size()));
+  SBG_GAUGE_SET("serve.registry_resident_bytes",
+                static_cast<double>(total_bytes_));
+}
+
+}  // namespace sbg::serve

@@ -1,0 +1,562 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "check/solvers.hpp"
+#include "common.hpp"
+#include "graph/dataset.hpp"
+#include "ingest/ingest.hpp"
+#include "obs/export/prom.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "parallel/thread_env.hpp"
+#include "sched/sched.hpp"
+#include "serve/minijson.hpp"
+#include "tune/tune.hpp"
+
+namespace sbg::serve {
+
+namespace {
+
+// ------------------------------------------------------- env parsing ------
+
+long env_long(const char* name, long fallback, long min_v, long max_v) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || v < min_v || v > max_v) {
+    throw InputError(std::string(name) + ": expected integer in [" +
+                     std::to_string(min_v) + ", " + std::to_string(max_v) +
+                     "], got '" + raw + "'");
+  }
+  return v;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw, &end);
+  if (errno != 0 || end == raw || *end != '\0' || !(v >= 0)) {
+    throw InputError(std::string(name) + ": expected non-negative number, got '" +
+                     raw + "'");
+  }
+  return v;
+}
+
+/// Byte count with optional K/M/G suffix (powers of 1024), e.g. "512M".
+std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string s(raw);
+  std::uint64_t mult = 1;
+  switch (s.back()) {
+    case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
+    case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
+    case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
+    default: break;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0' || s.empty()) {
+    throw InputError(std::string(name) +
+                     ": expected bytes (optional K/M/G suffix), got '" + raw +
+                     "'");
+  }
+  return std::uint64_t(v) * mult;
+}
+
+// ----------------------------------------------------- job decoding -------
+
+bool parse_problem(const std::string& s, sched::Problem* out) {
+  if (s == "mm") { *out = sched::Problem::kMM; return true; }
+  if (s == "color") { *out = sched::Problem::kColor; return true; }
+  if (s == "mis") { *out = sched::Problem::kMis; return true; }
+  return false;
+}
+
+/// Whether `variant` names a registered solver for `problem` (or "auto").
+bool variant_known(sched::Problem problem, const std::string& variant) {
+  if (variant == sched::kAutoVariant) return true;
+  switch (problem) {
+    case sched::Problem::kMM:
+      for (const auto& v : check::matching_variants()) {
+        if (v.name == variant) return true;
+      }
+      return false;
+    case sched::Problem::kColor:
+      for (const auto& v : check::coloring_variants()) {
+        if (v.name == variant) return true;
+      }
+      return false;
+    case sched::Problem::kMis:
+      for (const auto& v : check::mis_variants()) {
+        if (v.name == variant) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+const char* status_word(sched::JobStatus s) {
+  switch (s) {
+    case sched::JobStatus::kOk: return "ok";
+    case sched::JobStatus::kFailed: return "failed";
+    case sched::JobStatus::kCancelled: return "cancelled";
+  }
+  return "failed";
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const HttpResponse kOverloadResponse{
+    429, "application/json",
+    "{\"error\":\"server overloaded: admission queue full\"}"};
+
+}  // namespace
+
+ServerOptions options_from_env() {
+  ServerOptions o;
+  o.port = int(env_long("SBG_SERVE_PORT", o.port, 0, 65535));
+  o.workers = int(env_long("SBG_SERVE_WORKERS", o.workers, 1, 256));
+  o.per_job_threads =
+      int(env_long("SBG_SERVE_PER_JOB_THREADS", o.per_job_threads, 1, 1024));
+  o.queue_cap = int(env_long("SBG_SERVE_QUEUE", o.queue_cap, 1, 1 << 20));
+  o.default_deadline_ms =
+      env_double("SBG_SERVE_DEADLINE_MS", o.default_deadline_ms);
+  o.telemetry_flush_s =
+      env_double("SBG_SERVE_FLUSH_MS", o.telemetry_flush_s * 1000.0) / 1000.0;
+  o.mem_cap_bytes = env_bytes("SBG_SERVE_MEM_CAP", o.mem_cap_bytes);
+  o.limits.max_body_bytes = std::size_t(
+      env_bytes("SBG_SERVE_MAX_BODY", o.limits.max_body_bytes));
+  o.dataset_scale = env_double("SBG_SERVE_SCALE", o.dataset_scale);
+  return o;
+}
+
+Server::Server(ServerOptions opt)
+    : opt_(opt),
+      registry_(RegistryOptions{opt.mem_cap_bytes, opt.dataset_scale,
+                                opt.dataset_seed}) {}
+
+Server::~Server() { shutdown(); }
+
+bool Server::start(std::string* error) {
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  listen_fd_ = open_listener(opt_.port, &port_, error);
+  if (listen_fd_ < 0) return false;
+
+  last_flush_ns_.store(now_ns(), std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(std::size_t(opt_.workers));
+  for (int w = 0; w < opt_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  SBG_GAUGE_SET("serve.workers", double(opt_.workers));
+  return true;
+}
+
+void Server::request_shutdown() {
+  // Async-signal-safe on purpose: the sbg_serve SIGTERM handler calls this.
+  // Only an atomic store and a pipe write — the acceptor wakes on the pipe
+  // and performs the non-signal-safe teardown (cv notify, close) itself.
+  stopping_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_) return;
+  joined_ = true;
+  if (acceptor_.joinable()) acceptor_.join();
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  // Final telemetry flush: everything the served jobs learned survives the
+  // process. IO failure must not turn a clean drain into a crash.
+  tune::save_global_store();
+}
+
+void Server::shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  request_shutdown();
+  wait();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        (fds[1].revents & POLLIN) != 0) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    // Admission control: a bounded queue, and the decision is made HERE so
+    // an overloaded server answers 429 in microseconds instead of letting
+    // clients pile up behind a solve.
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (int(queue_.size()) < opt_.queue_cap) {
+        queue_.push_back(fd);
+        admitted = true;
+        SBG_GAUGE_SET("serve.queue_depth", double(queue_.size()));
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+      SBG_COUNTER_ADD("serve.admitted", 1);
+    } else {
+      SBG_COUNTER_ADD("serve.admission_rejects", 1);
+      write_http_response(fd, kOverloadResponse);
+      // Graceful close, short-fused: the request was never read, and an
+      // abrupt close would RST the 429 away before the client sees it. The
+      // 100ms bound caps how long a hostile client can hold the acceptor.
+      drain_and_close(fd, 0.1);
+    }
+  }
+  // Drain begins: refuse new connections at the socket level. Queued fds
+  // stay queued — the workers still serve them.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  queue_cv_.notify_all();
+}
+
+void Server::worker_loop(int id) {
+  // Each worker is its own OpenMP contention group, exactly like a sched
+  // batch worker: its jobs' parallel regions are capped at per_job_threads.
+  set_num_threads(std::max(1, opt_.per_job_threads));
+  SBG_TRACE_THREAD_NAME("serve-worker-" + std::to_string(id));
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      // Bounded wait instead of a pure cv sleep: the periodic telemetry
+      // flush ticks even when no requests arrive.
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (!queue_.empty()) {
+        fd = queue_.front();
+        queue_.pop_front();
+        SBG_GAUGE_SET("serve.queue_depth", double(queue_.size()));
+      } else if (stopping_.load(std::memory_order_acquire)) {
+        return;  // drained: queue empty and no more arrivals
+      }
+    }
+    if (fd >= 0) {
+      handle_connection(fd);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    maybe_flush_telemetry();
+  }
+}
+
+void Server::handle_connection(int fd) {
+  HttpRequest req;
+  std::string perr;
+  const ParseStatus st = read_http_request(fd, opt_.limits, &req, &perr);
+  HttpResponse res;
+  switch (st) {
+    case ParseStatus::kOk:
+      try {
+        res = route(req);
+      } catch (const std::exception& e) {
+        // Route handlers map expected failures themselves; anything that
+        // still throws is a server bug surfaced as 500, never a dead worker.
+        res.status = 500;
+        res.body = error_body(std::string("internal error: ") + e.what());
+        SBG_COUNTER_ADD("serve.internal_errors", 1);
+      }
+      break;
+    case ParseStatus::kClosed:
+      ::close(fd);  // nothing arrived / peer vanished: nothing to answer
+      SBG_COUNTER_ADD("serve.closed_early", 1);
+      return;
+    case ParseStatus::kTimeout:
+      res.status = 408;
+      res.body = error_body(perr);
+      break;
+    case ParseStatus::kTooLarge:
+      res.status = perr.find("header") != std::string::npos ? 431 : 413;
+      res.body = error_body(perr);
+      break;
+    case ParseStatus::kUnsupported:
+      res.status = 501;
+      res.body = error_body(perr);
+      break;
+    case ParseStatus::kMalformed:
+      res.status = 400;
+      res.body = error_body(perr);
+      break;
+  }
+  write_http_response(fd, res);
+  // Error paths answer before consuming the request (413 decides on the
+  // Content-Length header alone); drain what is left so the close FINs
+  // instead of RSTing the response away.
+  drain_and_close(fd);
+  SBG_COUNTER_ADD("serve.responses", 1);
+  if (res.status >= 400) SBG_COUNTER_ADD("serve.error_responses", 1);
+}
+
+HttpResponse Server::route(const HttpRequest& req) {
+  SBG_SPAN("serve.request");
+  if (req.target == "/healthz") {
+    if (req.method != "GET") return {405, "application/json",
+                                     error_body("healthz is GET-only")};
+    return handle_healthz();
+  }
+  if (req.target == "/metrics") {
+    if (req.method != "GET") return {405, "application/json",
+                                     error_body("metrics is GET-only")};
+    return handle_metrics();
+  }
+  if (req.target == "/v1/graphs") {
+    if (req.method == "GET") return handle_graphs_get();
+    if (req.method == "POST") return handle_graphs_post(req);
+    return {405, "application/json", error_body("graphs is GET/POST")};
+  }
+  if (req.target == "/v1/jobs") {
+    if (req.method != "POST") return {405, "application/json",
+                                      error_body("jobs is POST-only")};
+    return handle_job(req);
+  }
+  return {404, "application/json", error_body("no such route: " + req.target)};
+}
+
+HttpResponse Server::handle_healthz() {
+  std::string body = "{\"status\":\"ok\",\"draining\":";
+  body += stopping_.load(std::memory_order_acquire) ? "true" : "false";
+  body += ",\"requests_served\":" + std::to_string(requests_served()) + "}";
+  return {200, "application/json", std::move(body)};
+}
+
+HttpResponse Server::handle_metrics() {
+  return {200, "text/plain; version=0.0.4", obs::prometheus_exposition()};
+}
+
+HttpResponse Server::handle_graphs_get() {
+  std::string body = "{\"graphs\":[";
+  bool first = true;
+  for (const RegistryEntryInfo& e : registry_.list()) {
+    if (!first) body += ",";
+    first = false;
+    body += "{\"name\":";
+    obs::append_json_string(body, e.name);
+    body += ",\"vertices\":" + std::to_string(e.vertices);
+    body += ",\"edges\":" + std::to_string(e.edges);
+    body += ",\"bytes\":" + std::to_string(e.bytes);
+    body += ",\"hits\":" + std::to_string(e.hits);
+    body += ",\"source\":";
+    obs::append_json_string(body, e.source);
+    body += ",\"loaded_from_cache\":";
+    body += e.loaded_from_cache ? "true" : "false";
+    body += "}";
+  }
+  body += "],\"resident_bytes\":" + std::to_string(registry_.resident_bytes());
+  body += ",\"mem_cap_bytes\":" + std::to_string(registry_.mem_cap_bytes());
+  body += "}";
+  return {200, "application/json", std::move(body)};
+}
+
+HttpResponse Server::handle_graphs_post(const HttpRequest& req) {
+  std::string jerr;
+  const std::optional<JsonValue> doc = parse_json(req.body, 32, &jerr);
+  if (!doc || !doc->is_object()) {
+    return {400, "application/json",
+            error_body("request body must be a JSON object" +
+                       (jerr.empty() ? "" : ": " + jerr))};
+  }
+  bool bad_type = false;
+  const std::string name = doc->get_string("name", "", &bad_type);
+  const std::string path = doc->get_string("path", "", &bad_type);
+  const std::string dataset = doc->get_string("dataset", "", &bad_type);
+  const double scale = doc->get_number("scale", opt_.dataset_scale, &bad_type);
+  const double seed = doc->get_number("seed", double(opt_.dataset_seed),
+                                      &bad_type);
+  if (bad_type) {
+    return {400, "application/json", error_body("field has wrong JSON type")};
+  }
+  if (name.empty()) {
+    return {400, "application/json", error_body("missing field: name")};
+  }
+
+  try {
+    if (!dataset.empty()) {
+      auto g = std::make_shared<const CsrGraph>(
+          make_dataset(dataset, scale, std::uint64_t(seed)));
+      registry_.put(name, std::move(g), "dataset:" + dataset);
+    } else if (!path.empty()) {
+      ingest::LoadReport rep;
+      auto g = ingest::load_shared(path, {}, &rep);
+      registry_.put(name, std::move(g), "file:" + path, rep.cache_hit);
+    } else {
+      // No source given: resolve `name` itself (dataset name or path).
+      std::string lerr;
+      if (registry_.acquire(name, &lerr) == nullptr) {
+        return {404, "application/json", error_body(lerr)};
+      }
+    }
+  } catch (const std::exception& e) {
+    return {404, "application/json",
+            error_body("cannot load graph: " + std::string(e.what()))};
+  }
+  return handle_graphs_get();
+}
+
+HttpResponse Server::handle_job(const HttpRequest& req) {
+  std::string jerr;
+  const std::optional<JsonValue> doc = parse_json(req.body, 32, &jerr);
+  if (!doc || !doc->is_object()) {
+    return {400, "application/json",
+            error_body("request body must be a JSON object" +
+                       (jerr.empty() ? "" : ": " + jerr))};
+  }
+  bool bad_type = false;
+  const std::string graph_name = doc->get_string("graph", "", &bad_type);
+  const std::string problem_str = doc->get_string("problem", "mm", &bad_type);
+  const std::string variant =
+      doc->get_string("variant", sched::kAutoVariant, &bad_type);
+  const double seed = doc->get_number("seed", 42, &bad_type);
+  const double deadline_ms =
+      doc->get_number("deadline_ms", opt_.default_deadline_ms, &bad_type);
+  const bool verify = doc->get_bool("verify", true, &bad_type);
+  const double sleep_ms = doc->get_number("sleep_ms", 0, &bad_type);
+  if (bad_type) {
+    return {400, "application/json", error_body("field has wrong JSON type")};
+  }
+  if (graph_name.empty()) {
+    return {400, "application/json", error_body("missing field: graph")};
+  }
+  sched::Problem problem;
+  if (!parse_problem(problem_str, &problem)) {
+    return {422, "application/json",
+            error_body("unknown problem '" + problem_str +
+                       "' (expected mm/color/mis)")};
+  }
+  if (!variant_known(problem, variant)) {
+    return {422, "application/json",
+            error_body("unknown " + problem_str + " variant '" + variant + "'")};
+  }
+
+  // Test hook: hold this worker before solving, so tests and the serve fuzz
+  // family can fill the admission queue deterministically.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::int64_t(std::min(sleep_ms, 10000.0))));
+  }
+
+  sched::JobSpec spec;
+  spec.name = graph_name + "/" + problem_str + "/" + variant;
+  spec.graph_name = graph_name;
+  spec.problem = problem;
+  spec.variant = variant;
+  spec.seed = std::uint64_t(seed);
+  std::string lerr;
+  spec.graph = registry_.acquire(graph_name, &lerr);
+  if (spec.graph == nullptr) {
+    return {404, "application/json", error_body(lerr)};
+  }
+
+  // The same code path a CLI batch takes (prepare -> execute -> verify ->
+  // telemetry record), so a serve answer is differentially comparable with
+  // a direct run_job on the same spec.
+  const sched::JobResult res = sched::run_job(spec, deadline_ms, verify);
+  SBG_COUNTER_ADD("serve.jobs", 1);
+  if (res.status == sched::JobStatus::kCancelled) {
+    SBG_COUNTER_ADD("serve.jobs_cancelled", 1);
+  } else if (res.status == sched::JobStatus::kFailed) {
+    SBG_COUNTER_ADD("serve.jobs_failed", 1);
+  }
+
+  std::string body = "{\"name\":";
+  obs::append_json_string(body, spec.name);
+  body += ",\"graph\":";
+  obs::append_json_string(body, graph_name);
+  body += ",\"problem\":";
+  obs::append_json_string(body, problem_str);
+  body += ",\"variant\":";
+  obs::append_json_string(body, variant);
+  body += ",\"resolved_variant\":";
+  obs::append_json_string(body, res.resolved_variant);
+  body += ",\"status\":";
+  obs::append_json_string(body, status_word(res.status));
+  body += ",\"error\":";
+  obs::append_json_string(body, res.error);
+  body += ",\"seconds\":";
+  obs::append_json_number(body, res.seconds);
+  body += ",\"rounds\":" + std::to_string(res.rounds);
+  body += ",\"value\":" + std::to_string(res.value);
+  // Decimal string: uint64 hashes do not survive a double round-trip.
+  body += ",\"result_hash\":\"" + std::to_string(res.result_hash) + "\"";
+  body += ",\"deterministic\":";
+  body += (!res.resolved_variant.empty() &&
+           sched::schedule_deterministic(problem, res.resolved_variant))
+              ? "true"
+              : "false";
+  body += ",\"obs\":" + obs::report_json({{"tool", "sbg_serve"}});
+  body += "}";
+
+  int status = 200;
+  if (res.status == sched::JobStatus::kCancelled) status = 504;
+  if (res.status == sched::JobStatus::kFailed) status = 500;
+  return {status, "application/json", std::move(body)};
+}
+
+void Server::maybe_flush_telemetry() {
+  if (opt_.telemetry_flush_s <= 0) return;
+  const std::int64_t interval_ns =
+      std::int64_t(opt_.telemetry_flush_s * 1e9);
+  const std::int64_t last = last_flush_ns_.load(std::memory_order_relaxed);
+  if (now_ns() - last < interval_ns) return;
+  // One flusher at a time; losers just skip — the winner writes everything.
+  if (flush_in_progress_.exchange(true)) return;
+  last_flush_ns_.store(now_ns(), std::memory_order_relaxed);
+  tune::global_store().flush(tune::default_store_path());
+  flush_in_progress_.store(false);
+}
+
+}  // namespace sbg::serve

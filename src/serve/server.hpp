@@ -1,0 +1,152 @@
+// sbg::serve — the resident graph-analytics service (DESIGN.md §11).
+//
+// A Server is a long-running daemon over the existing machinery: the
+// sched prepare/execute/verify job stages do the solving, the GraphRegistry
+// keeps hot CSRs resident across requests, the tune telemetry store warms
+// with every job so "auto" requests get faster as the service runs, and the
+// obs exporter renders /metrics. The HTTP front end is a blocking accept
+// loop feeding a bounded connection queue drained by a worker pool — no
+// external deps, no async machinery; concurrency comes from the workers
+// (each its own OpenMP contention group, exactly like a sched batch worker).
+//
+// API:
+//   POST /v1/jobs    {"graph": <registry name | dataset | path>,
+//                     "problem": "mm"|"color"|"mis",
+//                     "variant": "<registry name>" | "auto" (default),
+//                     "seed": N (JSON number: exact up to 2^53),
+//                     "deadline_ms": D, "verify": true,
+//                     "sleep_ms": S (test hook: hold the worker busy)}
+//                    -> 200 job JSON (status/seconds/rounds/value/
+//                       result_hash/resolved_variant + embedded obs report)
+//                    -> 400 malformed, 404 unknown graph, 422 unknown
+//                       variant/problem, 500 solver or oracle failure,
+//                       504 deadline exceeded (body status "cancelled")
+//   POST /v1/graphs  {"name": ..., "path": ...} or {"name": ...,
+//                     "dataset": ..., "scale": S, "seed": N} — warm a graph
+//                     into the registry under an explicit name
+//   GET  /v1/graphs  registry listing + resident/cap bytes
+//   GET  /metrics    Prometheus text exposition of the live obs registry
+//   GET  /healthz    {"status":"ok","draining":false}
+//
+// Admission control: the connection queue is bounded (queue_cap); a client
+// arriving with the queue full gets an immediate 429 and the accept loop
+// moves on — workers are never blocked by overload, and memory stays
+// bounded no matter how many clients pile up. Per-request deadlines ride
+// the cooperative CancelToken polls inside the solvers, exactly as in a
+// batch run, and map to HTTP 504.
+//
+// Shutdown drains: request_shutdown() (async-signal-safe, called from the
+// SIGTERM handler in sbg_serve) stops the accept loop, already-queued
+// connections are still served, in-flight jobs run to completion, the
+// telemetry store is flushed, and wait() returns. New connections during
+// the drain are refused at the socket level (listener closed).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/registry.hpp"
+
+namespace sbg::serve {
+
+struct ServerOptions {
+  int port = 0;             ///< 0 = ephemeral (bound port via Server::port())
+  int workers = 4;          ///< request worker threads
+  int per_job_threads = 1;  ///< OpenMP team inside each worker's jobs
+  int queue_cap = 64;       ///< pending connections before 429
+  double default_deadline_ms = 0;   ///< applied when a job sends none
+  double telemetry_flush_s = 5.0;   ///< periodic tune-store flush; <=0 off
+  std::uint64_t mem_cap_bytes = 0;  ///< registry budget; 0 = unlimited
+  double dataset_scale = 1.0 / 32.0;
+  std::uint64_t dataset_seed = 42;
+  HttpLimits limits;
+};
+
+/// ServerOptions from SBG_SERVE_* (see ENVIRONMENT.md): PORT, WORKERS,
+/// PER_JOB_THREADS, QUEUE, DEADLINE_MS, MEM_CAP (bytes, K/M/G suffixes),
+/// MAX_BODY, FLUSH_MS, SCALE. Unset variables keep the defaults above;
+/// malformed values throw InputError naming the variable.
+ServerOptions options_from_env();
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt = {});
+  ~Server();  ///< implies shutdown() + wait()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept loop + workers. False with *error
+  /// on bind failure. Idempotent-hostile: a Server starts once.
+  bool start(std::string* error);
+
+  /// TCP port actually bound (after start()).
+  int port() const { return port_; }
+
+  /// Begin the drain: stop accepting, serve what is queued, finish what is
+  /// in flight. Safe from any thread and from a signal handler (atomic
+  /// store + pipe write). Idempotent.
+  void request_shutdown();
+
+  /// Block until the drain completes and all threads are joined. Also
+  /// flushes the telemetry store one final time. Idempotent.
+  void wait();
+
+  /// request_shutdown() + wait().
+  void shutdown();
+
+  /// True once a drain was requested (signal or shutdown call).
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Requests fully served since start (any status).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  GraphRegistry& registry() { return registry_; }
+
+ private:
+  void accept_loop();
+  void worker_loop(int id);
+  void handle_connection(int fd);
+
+  HttpResponse route(const HttpRequest& req);
+  HttpResponse handle_job(const HttpRequest& req);
+  HttpResponse handle_graphs_get();
+  HttpResponse handle_graphs_post(const HttpRequest& req);
+  HttpResponse handle_metrics();
+  HttpResponse handle_healthz();
+
+  void maybe_flush_telemetry();
+
+  ServerOptions opt_;
+  GraphRegistry registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: signal-safe shutdown wakeup
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::int64_t> last_flush_ns_{0};
+  std::atomic<bool> flush_in_progress_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  ///< accepted connection fds awaiting a worker
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex join_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace sbg::serve

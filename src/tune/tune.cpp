@@ -404,6 +404,19 @@ void TelemetryStore::save(const std::string& path) const {
   dirty_ = false;
 }
 
+bool TelemetryStore::flush(const std::string& path, std::string* error) const {
+  if (path.empty() || !dirty()) return true;
+  try {
+    save(path);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    SBG_COUNTER_ADD("tune.store.save_failed", 1);
+    return false;
+  }
+  SBG_COUNTER_ADD("tune.store.saved", 1);
+  return true;
+}
+
 // ------------------------------------------------------------- selector --
 
 const std::vector<std::string>& Selector::candidates(sched::Problem problem) {
@@ -561,17 +574,7 @@ std::string default_store_path() {
 }
 
 bool save_global_store(std::string* error) {
-  const std::string path = default_store_path();
-  if (path.empty() || !global_store().dirty()) return true;
-  try {
-    global_store().save(path);
-  } catch (const std::exception& e) {
-    if (error != nullptr) *error = e.what();
-    SBG_COUNTER_ADD("tune.store.save_failed", 1);
-    return false;
-  }
-  SBG_COUNTER_ADD("tune.store.saved", 1);
-  return true;
+  return global_store().flush(default_store_path(), error);
 }
 
 Choice choose_for_graph(const CsrGraph& g, sched::Problem problem,

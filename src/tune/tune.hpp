@@ -131,6 +131,13 @@ class TelemetryStore {
   /// failure.
   void save(const std::string& path) const;
 
+  /// save(path) only if dirty, never throwing: IO failure lands in *error
+  /// and returns false. The periodic flush hooks (sched::run_batch workers
+  /// mid-batch, the sbg_serve daemon) call this so a killed process loses
+  /// at most one flush interval of session EWMAs instead of everything
+  /// since the last post-join save. No-op success when path is empty.
+  bool flush(const std::string& path, std::string* error = nullptr) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, VariantStats> entries_;  // "<graph>|<problem>|<variant>"

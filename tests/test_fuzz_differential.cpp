@@ -26,14 +26,16 @@ int runs_per_graph() {
 
 /// The families that draw generator graphs for the solver zoo. "ingest"
 /// instead runs the ingestion differential, "batch" runs concurrent job
-/// batches over internally-rotated graphs, and "auto" runs the selector
-/// differential; all three count runs their own way and are exercised by
-/// dedicated campaigns below.
+/// batches over internally-rotated graphs, "auto" runs the selector
+/// differential, and "serve" runs concurrent clients against an
+/// in-process daemon; all four count runs their own way and are
+/// exercised by dedicated campaigns below.
 std::vector<std::string> generator_families() {
   std::vector<std::string> fams = check::fuzz_families();
   std::erase(fams, "ingest");
   std::erase(fams, "batch");
   std::erase(fams, "auto");
+  std::erase(fams, "serve");
   return fams;
 }
 
@@ -97,6 +99,24 @@ TEST(FuzzDifferential, SmallAutoCampaignIsClean) {
   // Each iteration runs one auto job plus an explicit rerun per problem;
   // injected-failure draws add more.
   EXPECT_GE(s.solver_runs, s.graphs * 6);
+  for (const auto& f : s.failures) {
+    ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
+                  << f.shape << "): " << f.what;
+  }
+}
+
+TEST(FuzzDifferential, SmallServeCampaignIsClean) {
+  check::FuzzOptions opt;
+  opt.seed = 2026;
+  opt.graphs_per_family = 3;
+  opt.max_n = 72;
+  opt.families = {"serve"};
+  const check::FuzzSummary s = check::run_fuzz(opt);
+  EXPECT_EQ(s.graphs, 3);
+  // Each iteration serves 2-4 client scripts; only the well-formed jobs
+  // (and their differential replays) count as solver runs, so the floor
+  // is just "the campaign did real work".
+  EXPECT_GE(s.solver_runs, s.graphs);
   for (const auto& f : s.failures) {
     ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
                   << f.shape << "): " << f.what;
