@@ -13,6 +13,9 @@ regressed by more than the threshold:
 
 Metrics faster than --min-seconds in the baseline are reported but never
 gated: micro-timings under a millisecond are noise on shared runners.
+Candidate artifacts with no committed baseline (including the case where
+the two directories share no files at all) are reported as notes and pass:
+a brand-new bench cannot regress against nothing.
 
 Usage:
   bench_compare.py --baseline bench/baselines --candidate bench-json \\
@@ -82,13 +85,20 @@ def compare_dirs(baseline_dir, candidate_dir, threshold, min_seconds,
     cand_files = {f for f in os.listdir(candidate_dir) if f.endswith(".json")}
     common = sorted(base_files & cand_files)
     if not common:
-        print(
-            f"error: no common *.json between {baseline_dir} "
-            f"({sorted(base_files)}) and {candidate_dir} "
-            f"({sorted(cand_files)})",
-            file=sys.stderr,
-        )
-        sys.exit(2)
+        # A bench with no committed baseline is not a regression — the
+        # first run of a new harness has nothing to regress against. Report
+        # what exists on each side and pass; the gate arms itself once a
+        # baseline is committed for the artifact.
+        for only in sorted(base_files):
+            print(f"note: {only} only in baseline (not produced this run)",
+                  file=out)
+        for only in sorted(cand_files):
+            print(f"note: {only} only in candidate (no baseline committed)",
+                  file=out)
+        print("no common *.json to compare — informational pass "
+              "(commit baselines under bench/baselines/ to arm the gate)",
+              file=out)
+        return 0
     for only in sorted(base_files - cand_files):
         print(f"note: {only} only in baseline (not produced this run)",
               file=out)

@@ -15,6 +15,16 @@
 //                  [--auto]
 //   sbg_tool auto <graph> [mm|color|mis]
 //   sbg_tool metrics <graph> [mm|color|mis] [--variant V]
+//   sbg_tool plan <graph> [rand|degk] [--mem-budget B] [--k K] [--levels L]
+//
+// `plan` classifies the graph once under the out-of-core piece scheduler
+// (src/ooc/) and prints the resulting schedule + cost model as JSON:
+// per-piece arcs, live vertices, spill segments, rebuilt-CSR bytes, and
+// exact store bytes, plus the total working set vs the budget. The budget
+// comes from --mem-budget (bytes, K/M/G suffix) or $SBG_MEM_BUDGET; with
+// neither, the plan is the in-core reference shape. Run the plan through
+// the registered "ooc-rand-gm"/"ooc-degk-gm" variants (`metrics`, `batch`,
+// or sched) or bench_ooc.
 //
 // `auto` fingerprints the graph (avg degree, %deg<=2, %bridges — the
 // Table II columns) and lets the sbg::tune selector pick the
@@ -71,6 +81,7 @@
 // (exit 1 if any fails). For randomized campaigns use sbg_fuzz.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -95,6 +106,7 @@
 #include "obs/export/sampler.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "ooc/ooc.hpp"
 #include "parallel/thread_env.hpp"
 #include "sched/sched.hpp"
 #include "tune/tune.hpp"
@@ -115,6 +127,10 @@ struct Options {
   bool no_cache = false; ///< --no-cache: bypass the .sbgc cache entirely
   int threads = 0;       ///< --threads: parser worker count (0 = OpenMP)
 
+  // ooc planning flags (`plan`)
+  std::uint64_t mem_budget = 0;  ///< --mem-budget: bytes, K/M/G suffix
+  std::uint32_t levels = 0;      ///< --levels: co-partition levels (0 = auto)
+
   // batch-only flags
   int jobs = 4;                  ///< --jobs: concurrent batch workers
   int per_job_threads = 1;       ///< --per-job-threads: OpenMP team per job
@@ -131,6 +147,28 @@ struct Options {
     return io;
   }
 };
+
+/// "512M"-style byte count (powers of 1024), same grammar as
+/// SBG_MEM_BUDGET / SBG_SERVE_MEM_CAP.
+std::uint64_t parse_mem_bytes(const std::string& flag, const char* raw) {
+  std::string s(raw);
+  std::uint64_t mult = 1;
+  if (!s.empty()) {
+    switch (s.back()) {
+      case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
+      case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
+      case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
+      default: break;
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end == s.c_str() || *end != '\0') {
+    throw InputError(flag + ": expected bytes (optional K/M/G suffix), got '" +
+                     raw + "'");
+  }
+  return std::uint64_t(v) * mult;
+}
 
 Options parse_flags(int argc, char** argv, int first) {
   Options o;
@@ -163,6 +201,10 @@ Options parse_flags(int argc, char** argv, int first) {
       o.no_cache = true;
     } else if (a == "--threads") {
       o.threads = std::atoi(next());
+    } else if (a == "--mem-budget") {
+      o.mem_budget = parse_mem_bytes(a, next());
+    } else if (a == "--levels") {
+      o.levels = static_cast<std::uint32_t>(std::atoll(next()));
     } else if (a == "--jobs") {
       o.jobs = std::atoi(next());
     } else if (a == "--per-job-threads") {
@@ -627,10 +669,35 @@ int cmd_metrics(const std::string& spec, const std::string& problem,
   return 0;
 }
 
+// ---- plan: out-of-core piece schedule + cost model -----------------------
+
+int cmd_plan(const std::string& spec, const std::string& family,
+             const Options& o) {
+  ooc::PlanOptions po;
+  if (family == "rand") {
+    po.family = ooc::PieceFamily::kRand;
+  } else if (family == "degk") {
+    po.family = ooc::PieceFamily::kDegk;
+  } else {
+    std::fprintf(stderr, "error: unknown piece family '%s' (rand|degk)\n",
+                 family.c_str());
+    return 2;
+  }
+  po.seed = o.seed;
+  po.k = o.k;
+  po.levels = o.levels;
+  po.mem_budget =
+      o.mem_budget > 0 ? o.mem_budget : ooc::mem_budget_from_env();
+  const CsrGraph g = load_or_generate(spec, o);
+  const ooc::Plan plan = ooc::plan_ooc(ooc::CsrSource::from_graph(g), po);
+  std::printf("%s\n", plan.to_json().c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: sbg_tool <gen|load|cache|stats|convert|decompose|check"
-               "|mm|color|mis|batch|auto|metrics> ...\n"
+               "|mm|color|mis|batch|auto|metrics|plan> ...\n"
                "see the header comment of examples/sbg_tool.cpp\n");
   return 2;
 }
@@ -676,6 +743,8 @@ int main(int argc, char** argv) {
       rc = cmd_auto(argv[2], algo, o);
     } else if (cmd == "metrics") {
       rc = cmd_metrics(argv[2], algo, o);
+    } else if (cmd == "plan") {
+      rc = cmd_plan(argv[2], algo.empty() ? "rand" : algo, o);
     }
     if (rc < 0) return usage();
 

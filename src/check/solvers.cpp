@@ -1,8 +1,39 @@
 #include "check/solvers.hpp"
 
 #include "gpusim/gpu_algorithms.hpp"
+#include "ooc/ooc.hpp"
 
 namespace sbg::check {
+
+namespace {
+
+/// Run the out-of-core executor as a registry variant: budget comes from
+/// SBG_MEM_BUDGET (0 = in-core piece store), so the same differential and
+/// oracle suites exercise the spill path when the env var is set.
+MatchResult mm_ooc(const CsrGraph& g, ooc::PieceFamily family,
+                   std::uint64_t seed) {
+  ooc::PlanOptions po;
+  po.family = family;
+  po.engine = ooc::Engine::kGM;
+  po.seed = seed;
+  po.mem_budget = ooc::mem_budget_from_env();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan = ooc::plan_ooc(src, po);
+  ooc::OocResult r = ooc::run_ooc(src, plan);
+  if (r.status != ooc::RunStatus::kOk) {
+    throw InputError("ooc run failed: " + r.error);
+  }
+  MatchResult mr;
+  mr.mate = std::move(r.mate);
+  mr.cardinality = r.cardinality;
+  mr.rounds = r.rounds;
+  mr.total_seconds = r.total_seconds;
+  mr.decompose_seconds = r.extract_seconds;
+  mr.solve_seconds = r.solve_seconds;
+  return mr;
+}
+
+}  // namespace
 
 const std::vector<MatchingVariant>& matching_variants() {
   static const std::vector<MatchingVariant> kVariants = {
@@ -45,6 +76,14 @@ const std::vector<MatchingVariant>& matching_variants() {
       {"degk-lmax",
        [](const CsrGraph& g, std::uint64_t s) {
          return mm_degk(g, 2, MatchEngine::kLMAX, s);
+       }},
+      {"ooc-rand-gm",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_ooc(g, ooc::PieceFamily::kRand, s);
+       }},
+      {"ooc-degk-gm",
+       [](const CsrGraph& g, std::uint64_t s) {
+         return mm_ooc(g, ooc::PieceFamily::kDegk, s);
        }},
       {"gpu/lmax",
        [](const CsrGraph& g, std::uint64_t s) { return gpu::mm_lmax_gpu(g, s); }},

@@ -66,6 +66,14 @@ class CsrGraph {
   std::span<const eid_t> offsets() const { return offsets_; }
   std::span<const vid_t> adjacency() const { return adj_; }
 
+  /// Heap bytes reserved by every backing array — capacities, not sizes,
+  /// so allocator slack from oversized builds is charged too. This is the
+  /// number memory budgets (serve registry cap, SBG_MEM_BUDGET) account.
+  std::uint64_t heap_bytes() const {
+    return static_cast<std::uint64_t>(offsets_.capacity()) * sizeof(eid_t) +
+           static_cast<std::uint64_t>(adj_.capacity()) * sizeof(vid_t);
+  }
+
   /// Structural invariants: monotone offsets, in-range sorted neighbor ids,
   /// no self-loops, symmetric arcs. Throws std::logic_error on violation.
   /// O(m log d) — intended for tests and debug assertions, not hot paths.

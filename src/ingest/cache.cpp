@@ -15,6 +15,7 @@
 #include "parallel/rng.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
 #include <unistd.h>
 #endif
 
@@ -32,25 +33,6 @@ unsigned long process_id() {
 #endif
 }
 
-/// Unique temp name for an atomic temp+rename write of `cache_path`. The
-/// pid separates processes; the mixed counter/clock suffix separates
-/// concurrent writers INSIDE one process (two batch jobs caching the same
-/// graph), which a pid-only suffix cannot — they would open the same temp
-/// file and interleave their payloads before one renames the torn result
-/// into place.
-std::string unique_tmp_path(const std::string& cache_path) {
-  static std::atomic<std::uint64_t> counter{0};
-  const auto now =
-      std::chrono::steady_clock::now().time_since_epoch().count();
-  const std::uint64_t tag =
-      mix64(mix64(counter.fetch_add(1, std::memory_order_relaxed) ^
-                  static_cast<std::uint64_t>(now)) ^
-            process_id());
-  char hex[17];
-  std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(tag));
-  return cache_path + ".tmp." + std::to_string(process_id()) + "." + hex;
-}
 
 /// Best-effort sweep of `<cache name>.tmp.*` orphans left next to
 /// `cache_path` by writers that died mid-write. Only entries older than an
@@ -114,7 +96,67 @@ std::uint64_t payload_checksum(const Header& h, const CsrGraph& g) {
                     g.adjacency().size() * sizeof(vid_t), c);
 }
 
+/// Shared validation for the copying and mapping readers: header sanity,
+/// optional staleness against `expect`, exact length, payload checksum.
+/// Fills *h on any non-corrupt header so callers can size their views.
+CacheStatus validate_entry(const MappedFile& file, const CacheKey* expect,
+                           Header* h) {
+  const char* bytes = file.data();
+  const std::uint64_t actual = file.size();
+  if (actual < kHeaderBytes) return CacheStatus::kCorrupt;
+
+  std::memcpy(h, bytes, sizeof(*h));
+  if (h->magic != kMagic) return CacheStatus::kCorrupt;
+  if (h->version != kCacheFormatVersion || h->endian != kEndianTag) {
+    return CacheStatus::kStale;
+  }
+  if (expect != nullptr &&
+      (h->source_size != expect->source_size ||
+       h->source_mtime != expect->source_mtime ||
+       h->options_hash != expect->options_hash)) {
+    return CacheStatus::kStale;
+  }
+  if (h->n > kNoVertex) return CacheStatus::kCorrupt;
+
+  // The layout fully determines the file length; verify it BEFORE sizing
+  // any allocation, so a corrupted n/arcs cannot trigger a huge alloc.
+  const std::uint64_t want = kHeaderBytes + (h->n + 1) * sizeof(eid_t) +
+                             h->arcs * sizeof(vid_t);
+  if (actual != want) return CacheStatus::kCorrupt;
+
+  const char* off_bytes = bytes + kHeaderBytes;
+  const std::size_t off_len =
+      (static_cast<std::size_t>(h->n) + 1) * sizeof(eid_t);
+  const char* adj_bytes = off_bytes + off_len;
+  const std::size_t adj_len =
+      static_cast<std::size_t>(h->arcs) * sizeof(vid_t);
+
+  std::uint64_t c = hash_bytes(off_bytes, off_len, checksum_seed(*h));
+  c = hash_bytes(adj_bytes, adj_len, c);
+  if (c != h->checksum) return CacheStatus::kCorrupt;
+  return CacheStatus::kHit;
+}
+
 }  // namespace
+
+/// The pid separates processes; the mixed counter/clock suffix separates
+/// concurrent writers INSIDE one process (two batch jobs caching the same
+/// graph), which a pid-only suffix cannot — they would open the same temp
+/// file and interleave their payloads before one renames the torn result
+/// into place.
+std::string unique_temp_path(const std::string& target) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const std::uint64_t tag =
+      mix64(mix64(counter.fetch_add(1, std::memory_order_relaxed) ^
+                  static_cast<std::uint64_t>(now)) ^
+            process_id());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(tag));
+  return target + ".tmp." + std::to_string(process_id()) + "." + hex;
+}
 
 const char* to_string(CacheStatus s) {
   switch (s) {
@@ -210,39 +252,15 @@ CacheStatus read_cache_file(const std::string& cache_path,
   } catch (const InputError&) {
     return CacheStatus::kMissing;
   }
-  const char* bytes = file->data();
-  const std::uint64_t actual = file->size();
-  if (actual < kHeaderBytes) return CacheStatus::kCorrupt;
-
   Header h;
-  std::memcpy(&h, bytes, sizeof(h));
-  if (h.magic != kMagic) return CacheStatus::kCorrupt;
-  if (h.version != kCacheFormatVersion || h.endian != kEndianTag) {
-    return CacheStatus::kStale;
-  }
-  if (expect != nullptr &&
-      (h.source_size != expect->source_size ||
-       h.source_mtime != expect->source_mtime ||
-       h.options_hash != expect->options_hash)) {
-    return CacheStatus::kStale;
-  }
-  if (h.n > kNoVertex) return CacheStatus::kCorrupt;
+  const CacheStatus status = validate_entry(*file, expect, &h);
+  if (status != CacheStatus::kHit) return status;
 
-  // The layout fully determines the file length; verify it BEFORE sizing
-  // any allocation, so a corrupted n/arcs cannot trigger a huge alloc.
-  const std::uint64_t want = kHeaderBytes + (h.n + 1) * sizeof(eid_t) +
-                             h.arcs * sizeof(vid_t);
-  if (actual != want) return CacheStatus::kCorrupt;
-
-  const char* off_bytes = bytes + kHeaderBytes;
+  const char* off_bytes = file->data() + kHeaderBytes;
   const std::size_t off_len =
       (static_cast<std::size_t>(h.n) + 1) * sizeof(eid_t);
   const char* adj_bytes = off_bytes + off_len;
   const std::size_t adj_len = static_cast<std::size_t>(h.arcs) * sizeof(vid_t);
-
-  std::uint64_t c = hash_bytes(off_bytes, off_len, checksum_seed(h));
-  c = hash_bytes(adj_bytes, adj_len, c);
-  if (c != h.checksum) return CacheStatus::kCorrupt;
 
   EidBuffer offsets(static_cast<std::size_t>(h.n) + 1);
   VidBuffer adj(static_cast<std::size_t>(h.arcs));
@@ -282,7 +300,7 @@ void write_cache_file(const std::string& cache_path, const CacheKey& key,
   // per-write temp name keeps concurrent writers (threads as well as
   // processes) off each other's temp files; last rename wins, and every
   // rename installs a complete entry.
-  const std::string tmp = unique_tmp_path(cache_path);
+  const std::string tmp = unique_temp_path(cache_path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw InputError("cannot create " + tmp);
@@ -307,6 +325,48 @@ void write_cache_file(const std::string& cache_path, const CacheKey& key,
     throw InputError("cannot move cache entry into place at " + cache_path);
   }
   remove_orphaned_temps(cache_path);
+}
+
+const std::string& MappedCsr::path() const {
+  static const std::string kEmpty;
+  return file_ ? file_->path() : kEmpty;
+}
+
+void MappedCsr::drop_pages() const {
+#if defined(__unix__) || defined(__APPLE__)
+  if (file_ == nullptr || !file_->mapped() || file_->size() == 0) return;
+  // The mapping base is page-aligned (mmap contract), so advising the whole
+  // file is legal; DONTNEED on a read-only file mapping just drops clean
+  // pages — the next fault re-reads from disk.
+  (void)::posix_madvise(const_cast<char*>(file_->data()), file_->size(),
+                        POSIX_MADV_DONTNEED);
+#endif
+}
+
+CacheStatus map_cache_file(const std::string& cache_path, MappedCsr* out) {
+  std::shared_ptr<MappedFile> file;
+  try {
+    file = std::make_shared<MappedFile>(cache_path);
+  } catch (const InputError&) {
+    return CacheStatus::kMissing;
+  }
+  Header h;
+  const CacheStatus status = validate_entry(*file, nullptr, &h);
+  if (status != CacheStatus::kHit) return status;
+
+  const char* off_bytes = file->data() + kHeaderBytes;
+  const char* adj_bytes =
+      off_bytes + (static_cast<std::size_t>(h.n) + 1) * sizeof(eid_t);
+  // The payload starts 64 bytes into a page-aligned (mmap) or new-aligned
+  // (slurp fallback) base, so both typed views are safely aligned.
+  SBG_CHECK(reinterpret_cast<std::uintptr_t>(off_bytes) % alignof(eid_t) == 0,
+            "unaligned sbgc mapping");
+  out->file_ = std::move(file);
+  out->offsets_ = {reinterpret_cast<const eid_t*>(off_bytes),
+                   static_cast<std::size_t>(h.n) + 1};
+  out->adj_ = {reinterpret_cast<const vid_t*>(adj_bytes),
+               static_cast<std::size_t>(h.arcs)};
+  return CacheStatus::kHit;
 }
 
 }  // namespace sbg::ingest

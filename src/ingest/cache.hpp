@@ -26,11 +26,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 
 #include "graph/csr.hpp"
 
 namespace sbg::ingest {
+
+class MappedFile;
 
 /// Bumped on any layout change; old entries then read as kStale and get
 /// rewritten.
@@ -81,5 +85,52 @@ CacheStatus read_cache_file(const std::string& cache_path,
 /// readers never observe a partial entry. Throws InputError on IO failure.
 void write_cache_file(const std::string& cache_path, const CacheKey& key,
                       const CsrGraph& g);
+
+/// Unique sibling temp name for an atomic temp+rename write of `target`
+/// (same scheme the cache writer uses: `<target>.tmp.<pid>.<hex>`, with a
+/// per-process counter/clock tag separating concurrent in-process writers).
+/// Exposed so other on-disk artifacts (the ooc spill store) install
+/// themselves with the identical all-or-nothing discipline.
+std::string unique_temp_path(const std::string& target);
+
+/// A validated v1 cache entry whose CSR arrays are *file-backed*: the
+/// offsets/adjacency spans point straight into the mapping, so consulting a
+/// graph costs page-cache residency (reclaimable under pressure) instead of
+/// heap — which is what lets the ooc executor stream over sources larger
+/// than its heap budget. Header and checksum are verified once at map time;
+/// the spans stay valid for the object's lifetime. Copyable (shares the
+/// mapping).
+class MappedCsr {
+ public:
+  MappedCsr() = default;
+
+  std::span<const eid_t> offsets() const { return offsets_; }
+  std::span<const vid_t> adjacency() const { return adj_; }
+  vid_t num_vertices() const {
+    return static_cast<vid_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  eid_t num_arcs() const { return adj_.size(); }
+  const std::string& path() const;
+  bool valid() const { return file_ != nullptr; }
+
+  /// Best-effort advice that the payload pages are no longer needed, so a
+  /// between-pieces executor can hand clean page-cache pages back to the
+  /// kernel. No-op on the slurp fallback or where madvise is unavailable.
+  void drop_pages() const;
+
+ private:
+  friend CacheStatus map_cache_file(const std::string& cache_path,
+                                    MappedCsr* out);
+  std::shared_ptr<MappedFile> file_;
+  std::span<const eid_t> offsets_;
+  std::span<const vid_t> adj_;
+};
+
+/// Validate `cache_path` exactly like read_cache_file (header, length,
+/// checksum) but return a file-backed view instead of copying the payload
+/// onto the heap. Staleness is skipped (standalone .sbgc semantics — the
+/// caller chose the file). On kHit fills *out; other statuses leave *out
+/// untouched and never throw.
+CacheStatus map_cache_file(const std::string& cache_path, MappedCsr* out);
 
 }  // namespace sbg::ingest

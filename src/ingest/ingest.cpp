@@ -193,8 +193,11 @@ std::shared_ptr<const CsrGraph> load_shared(const std::string& path,
 }
 
 std::uint64_t resident_bytes(const CsrGraph& g) {
-  return std::uint64_t(g.offsets().size()) * sizeof(eid_t) +
-         std::uint64_t(g.adjacency().size()) * sizeof(vid_t);
+  // Delegate to the graph's own capacity accounting: sizing by element
+  // counts under-reported residency whenever a backing buffer carried
+  // allocator slack, so SBG_SERVE_MEM_CAP admitted more bytes than were
+  // actually resident.
+  return g.heap_bytes();
 }
 
 std::string warm_cache(const std::string& path, const Options& opt,

@@ -78,8 +78,9 @@ std::shared_ptr<const CsrGraph> load_shared(const std::string& path,
                                             const Options& opt = {},
                                             LoadReport* report = nullptr);
 
-/// Heap footprint of a resident CSR (offsets + adjacency arrays) — the
-/// bytes a registry charges against SBG_SERVE_MEM_CAP.
+/// Heap footprint of a resident CSR — the bytes a registry charges against
+/// SBG_SERVE_MEM_CAP / SBG_MEM_BUDGET. Counts every backing array at its
+/// reserved capacity (see CsrGraph::heap_bytes), not element counts.
 std::uint64_t resident_bytes(const CsrGraph& g);
 
 /// The text pipeline alone: mmap + parallel parse + build, no cache probe

@@ -1,0 +1,37 @@
+#include "ooc/estimate.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace sbg::ooc {
+
+bool ScratchModel::calibrate(vid_t n, std::uint64_t observed) {
+  if (observed <= bytes(n)) return false;
+  if (n == 0) {
+    fixed_bytes = std::max(fixed_bytes, observed);
+  } else {
+    // Attribute the overshoot to the slope: the fixed term is small by
+    // construction and per-vertex arrays are what actually grow.
+    bytes_per_vertex =
+        static_cast<double>(observed - fixed_bytes) / static_cast<double>(n);
+  }
+  SBG_COUNTER_ADD("ooc.estimator_recalibrations", 1);
+  SBG_GAUGE_SET("ooc.scratch_model_bytes_per_vertex", bytes_per_vertex);
+  return true;
+}
+
+ScratchModel default_scratch_model(Workload w) {
+  ScratchModel m;
+  switch (w) {
+    case Workload::kMM:
+      // gm_extend: cursor (8B) + proposal + live + next_live (4B each),
+      // all n-sized, plus per-thread pack block sums (~KBs).
+      m.bytes_per_vertex = 20.0;
+      m.fixed_bytes = 64 << 10;
+      break;
+  }
+  return m;
+}
+
+}  // namespace sbg::ooc

@@ -1,0 +1,60 @@
+// Working-set estimation for out-of-core piece scheduling.
+//
+// Admission under SBG_MEM_BUDGET needs to know, before a piece is resident,
+// how many fast-memory bytes solving it will pin: the rebuilt sub-CSR, the
+// shared solution array, and the solver's scratch-arena high water. CSR
+// bytes are exact arithmetic; scratch is a model (bytes-per-vertex slope +
+// fixed intercept, derived from the solver's documented temporaries) that
+// the executor calibrates once against the live arena's `scratch.*` gauges
+// after the first piece solves — a model that under-predicts would let the
+// admission test overshoot the budget for every later piece.
+#pragma once
+
+#include <cstdint>
+
+#include "common.hpp"
+
+namespace sbg::ooc {
+
+/// What the executor is solving. Only maximal matching is piece-correct
+/// today (see DESIGN.md §12 for why MIS/coloring cannot be composed from
+/// co-partition pieces), but the estimator keys on the workload so the
+/// scratch models stay separable.
+enum class Workload { kMM };
+
+/// Linear scratch model: bytes ≈ slope * n + fixed. n is the *global*
+/// vertex count — pieces live in the global id space, so every per-vertex
+/// solver temporary is full-length no matter how few arcs the piece has.
+struct ScratchModel {
+  double bytes_per_vertex = 0.0;
+  std::uint64_t fixed_bytes = 0;
+
+  std::uint64_t bytes(vid_t n) const {
+    return static_cast<std::uint64_t>(bytes_per_vertex *
+                                      static_cast<double>(n)) +
+           fixed_bytes;
+  }
+
+  /// Widen the model so it would have predicted `observed` for `n` (called
+  /// with the arena high-water after the first solve). Never narrows:
+  /// calibration exists to stop under-prediction, not to chase noise down.
+  bool calibrate(vid_t n, std::uint64_t observed);
+};
+
+/// A-priori model for one workload's extend call. GM keeps four n-sized
+/// round arrays (cursor: 8B, proposal/live/next_live: 4B each) plus small
+/// per-thread pack blocks; LMAX is shaped the same.
+ScratchModel default_scratch_model(Workload w);
+
+/// Heap bytes of a rebuilt piece sub-CSR: (n+1) offsets + arc values.
+inline std::uint64_t piece_csr_bytes(vid_t n, eid_t arcs) {
+  return (static_cast<std::uint64_t>(n) + 1) * sizeof(eid_t) +
+         arcs * sizeof(vid_t);
+}
+
+/// Heap bytes of the shared solution array (mate / color / in-set).
+inline std::uint64_t solution_bytes(vid_t n) {
+  return static_cast<std::uint64_t>(n) * sizeof(vid_t);
+}
+
+}  // namespace sbg::ooc

@@ -1,0 +1,1096 @@
+#include "ooc/ooc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "matching/matching.hpp"
+#include "obs/obs.hpp"
+#include "ooc/spill.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/scratch.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::ooc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Piece ids must fit the extraction memo byte (uint8 per arc), so
+/// k * levels is capped at 255 (residual id == k * levels).
+constexpr std::uint32_t kMaxPieceId = 255;
+constexpr vid_t kMaxK = 64;
+constexpr std::uint32_t kMaxLevels = 24;
+
+/// The leveling hash: class of vertex v at `level`, a pure function of
+/// (seed, level, v) — deterministic in thread count like every sbg draw.
+struct Classifier {
+  PieceFamily family = PieceFamily::kRand;
+  vid_t k = 2;
+  std::uint32_t levels = 1;
+  vid_t degk_threshold = 8;
+  std::uint64_t seed = 1;
+  std::span<const eid_t> offsets;
+
+  std::uint32_t residual() const { return levels * k; }
+  std::uint32_t pieces() const { return residual() + 1; }
+
+  vid_t part(std::uint32_t level, vid_t v) const {
+    return static_cast<vid_t>(
+        RandomStream(seed, 0xC0DECA11u + level).below(v, k));
+  }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets[v + 1] - offsets[v]);
+  }
+
+  /// Piece of arc (u, v): first level whose classes agree (and, for DEGk
+  /// at level 0, whose endpoint degrees pass the gate); residual when the
+  /// endpoints separate everywhere. Symmetric in (u, v), so both copies of
+  /// an undirected edge land in one piece.
+  std::uint32_t classify(vid_t u, vid_t v) const {
+    for (std::uint32_t l = 0; l < levels; ++l) {
+      const vid_t pu = part(l, u);
+      if (pu != part(l, v)) continue;
+      if (family == PieceFamily::kDegk && l == 0 &&
+          (degree(u) > degk_threshold || degree(v) > degk_threshold)) {
+        continue;
+      }
+      return l * k + pu;
+    }
+    return residual();
+  }
+};
+
+Classifier make_classifier(const Plan& plan, const CsrSource& src) {
+  Classifier c;
+  c.family = plan.options.family;
+  c.k = plan.options.k;
+  c.levels = plan.options.levels;
+  c.degk_threshold = plan.options.degk_threshold;
+  c.seed = plan.options.seed;
+  c.offsets = src.offsets;  // the DEGk gate reads degrees from here
+  return c;
+}
+
+std::uint64_t fold_plan_hash(const PlanOptions& o, vid_t n, eid_t arcs) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(o.family) ^
+                          (static_cast<std::uint64_t>(o.engine) << 8));
+  h = mix64(h ^ o.seed);
+  h = mix64(h ^ o.k);
+  h = mix64(h ^ o.levels);
+  h = mix64(h ^ o.degk_threshold);
+  h = mix64(h ^ n);
+  return mix64(h ^ arcs);
+}
+
+/// Extend the shared mate array over one piece. Seeded per level so the
+/// LMAX engine draws fresh weights per phase, like mm_rand's two phases.
+vid_t extend_piece(Engine engine, const CsrGraph& piece,
+                   std::vector<vid_t>& mate, std::uint64_t seed) {
+  return engine == Engine::kGM ? gm_extend(piece, mate)
+                               : lmax_extend(piece, mate, seed);
+}
+
+std::uint64_t parse_bytes_env(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return 0;
+  std::string s(raw);
+  std::uint64_t mult = 1;
+  switch (s.back()) {
+    case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
+    case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
+    case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
+    default: break;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0' || s.empty()) {
+    throw InputError(std::string(name) +
+                     ": expected bytes (optional K/M/G suffix), got '" + raw +
+                     "'");
+  }
+  return std::uint64_t(v) * mult;
+}
+
+// ----------------------------------------------------------- piece store --
+
+/// Where extracted pieces wait between the sweep and their solve. The two
+/// implementations share the segment payloads and the assemble path, so a
+/// piece's rebuilt bytes are identical whether it waited on disk or on the
+/// heap — the hash-identity the bench checks rides on this.
+class PieceStore {
+ public:
+  virtual ~PieceStore() = default;
+  virtual void append(std::uint32_t piece, vid_t v_begin, vid_t v_end,
+                      std::span<const std::uint32_t> runs,
+                      std::span<const std::uint32_t> values) = 0;
+  /// Extraction done; fetches may begin.
+  virtual void seal() = 0;
+  virtual ingest::CacheStatus fetch(std::uint32_t piece, eid_t expect_arcs,
+                                    CsrGraph* out,
+                                    std::uint64_t* bytes_read) = 0;
+  virtual std::uint64_t bytes_spilled() const = 0;
+  /// Container bytes one piece occupies in the store (the write-side
+  /// traffic, measured from what was actually emitted).
+  virtual std::uint64_t piece_bytes(std::uint32_t piece) const = 0;
+  /// Resident heap bytes the store itself holds (0 for the disk store).
+  virtual std::uint64_t heap_bytes() const = 0;
+};
+
+class MemoryStore final : public PieceStore {
+ public:
+  MemoryStore(vid_t n, std::uint32_t pieces)
+      : n_(n), runs_(pieces), values_(pieces), piece_bytes_(pieces, 0) {}
+
+  void append(std::uint32_t piece, vid_t, vid_t,
+              std::span<const std::uint32_t> runs,
+              std::span<const std::uint32_t> values) override {
+    runs_[piece].emplace_back(runs.begin(), runs.end());
+    values_[piece].emplace_back(values.begin(), values.end());
+    heap_bytes_ += (runs.size() + values.size()) * 4;
+    piece_bytes_[piece] += (runs.size() + values.size()) * 4;
+  }
+
+  void seal() override {}
+
+  ingest::CacheStatus fetch(std::uint32_t piece, eid_t expect_arcs,
+                            CsrGraph* out,
+                            std::uint64_t* bytes_read) override {
+    std::vector<std::span<const std::uint32_t>> rc, vc;
+    std::uint64_t moved = 0;
+    for (const auto& r : runs_[piece]) rc.emplace_back(r);
+    for (const auto& v : values_[piece]) {
+      vc.emplace_back(v);
+      moved += v.size() * 4;
+    }
+    for (const auto& r : runs_[piece]) moved += r.size() * 4;
+    if (!assemble_piece(n_, expect_arcs, rc, vc, out)) {
+      return ingest::CacheStatus::kCorrupt;
+    }
+    if (bytes_read != nullptr) *bytes_read = moved;
+    return ingest::CacheStatus::kHit;
+  }
+
+  std::uint64_t bytes_spilled() const override { return 0; }
+  std::uint64_t piece_bytes(std::uint32_t piece) const override {
+    return piece < piece_bytes_.size() ? piece_bytes_[piece] : 0;
+  }
+  std::uint64_t heap_bytes() const override { return heap_bytes_; }
+
+ private:
+  vid_t n_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> runs_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> values_;
+  std::vector<std::uint64_t> piece_bytes_;
+  std::uint64_t heap_bytes_ = 0;
+};
+
+class SpillStore final : public PieceStore {
+ public:
+  SpillStore(std::string path, vid_t n, std::uint32_t pieces,
+             std::uint64_t plan_hash, bool keep)
+      : n_(n),
+        pieces_(pieces),
+        plan_hash_(plan_hash),
+        keep_(keep),
+        writer_(std::make_unique<SpillWriter>(std::move(path), n, pieces,
+                                              plan_hash)),
+        dir_(pieces) {}
+
+  ~SpillStore() override {
+    if (keep_ || path_.empty()) return;
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+
+  void append(std::uint32_t piece, vid_t v_begin, vid_t v_end,
+              std::span<const std::uint32_t> runs,
+              std::span<const std::uint32_t> values) override {
+    dir_[piece].push_back(writer_->append(piece, v_begin, v_end, runs,
+                                          values));
+  }
+
+  void seal() override {
+    bytes_spilled_ = writer_->bytes_written() - kSpillHeaderBytes;
+    path_ = writer_->path();
+    writer_->finish();
+    writer_.reset();
+    const ingest::CacheStatus st =
+        SpillReader::open(path_, n_, pieces_, plan_hash_, &reader_);
+    if (st != ingest::CacheStatus::kHit) {
+      throw InputError("spill store failed validation after install: " +
+                       path_);
+    }
+  }
+
+  ingest::CacheStatus fetch(std::uint32_t piece, eid_t expect_arcs,
+                            CsrGraph* out,
+                            std::uint64_t* bytes_read) override {
+    return reader_.read_piece(dir_[piece], expect_arcs, out, bytes_read);
+  }
+
+  std::uint64_t bytes_spilled() const override { return bytes_spilled_; }
+  std::uint64_t piece_bytes(std::uint32_t piece) const override {
+    std::uint64_t b = 0;
+    for (const SegmentRef& ref : dir_[piece]) {
+      b += segment_bytes(ref.runs, ref.arcs);
+    }
+    return b;
+  }
+  std::uint64_t heap_bytes() const override { return 0; }
+
+ private:
+  vid_t n_;
+  std::uint32_t pieces_;
+  std::uint64_t plan_hash_;
+  bool keep_;
+  std::unique_ptr<SpillWriter> writer_;
+  SpillReader reader_;
+  std::string path_;
+  std::vector<std::vector<SegmentRef>> dir_;
+  std::uint64_t bytes_spilled_ = 0;
+};
+
+std::string spill_store_path(const std::string& dir_opt) {
+  std::string dir = dir_opt;
+  if (dir.empty()) {
+    const char* env = std::getenv("SBG_OOC_DIR");
+    if (env != nullptr && *env != '\0') dir = env;
+  }
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = (tmp != nullptr && *tmp != '\0') ? tmp : ".";
+  }
+  // The unique temp suffix already separates writers; the final name only
+  // needs to be collision-free per run, which the same tag machinery gives.
+  const std::string base = (fs::path(dir) / "sbg_ooc_spill.sbgc").string();
+  const std::string tagged = ingest::unique_temp_path(base);
+  // unique_temp_path appends ".tmp.<pid>.<hex>"; keep the uniqueness but
+  // restore the .sbgc suffix so the artifact is recognizable.
+  return tagged + ".sbgc";
+}
+
+// ----------------------------------------------------------- piece cache --
+
+/// Ready pieces, keyed by schedule position, under a byte budget. The
+/// prefetch thread puts, the solver takes/erases; eviction drops the
+/// least-recently-staged unpinned piece (it can be re-fetched from the
+/// store). All methods are thread-safe.
+class PieceCache {
+ public:
+  /// `max_staged` bounds how many pieces the prefetcher may have resident
+  /// at once (the piece being solved + prefetch_depth ahead); the byte
+  /// budget bounds their total size. The solver's inline fetches bypass
+  /// both — forward progress always wins over the soft budget.
+  PieceCache(std::uint64_t budget, std::size_t max_staged)
+      : budget_(budget), max_staged_(max_staged) {}
+
+  /// Block until `bytes` more would fit and a staging slot is free (or the
+  /// cache is empty — a piece larger than the whole budget must still make
+  /// progress, alone) or `stop` goes true. Returns false on stop.
+  bool wait_admit(std::uint64_t bytes, const std::atomic<bool>& stop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return stop.load(std::memory_order_relaxed) ||
+             (resident_ + bytes <= budget_ &&
+              entries_.size() < max_staged_) ||
+             entries_.empty();
+    });
+    return !stop.load(std::memory_order_relaxed);
+  }
+
+  /// Exactly one thread may build a given piece at a time (they would race
+  /// on its stats record otherwise), so both fetchers must win the claim
+  /// first. Eviction releases the claim — an evicted piece is claimable
+  /// again for its refetch.
+  bool try_claim(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return claimed_.insert(id).second;
+  }
+
+  /// The prefetcher's claim: atomically wins the piece AND marks it
+  /// in flight, so the solver's await() can distinguish "coming, wait"
+  /// from "nobody has it, fetch inline".
+  bool begin_prefetch(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!claimed_.insert(id).second) return false;
+    fetching_ = static_cast<std::int64_t>(id);
+    return true;
+  }
+
+  void put(std::uint32_t id, CsrGraph g, bool pinned = false) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry e;
+    e.bytes = g.heap_bytes();
+    e.graph = std::make_shared<CsrGraph>(std::move(g));
+    e.stamp = ++clock_;
+    e.pinned = pinned;
+    resident_ += e.bytes;
+    entries_[id] = std::move(e);
+    if (fetching_ == static_cast<std::int64_t>(id)) fetching_ = -1;
+    evict_locked(id);
+    peak_ = std::max(peak_, resident_);
+    SBG_GAUGE_SET("ooc.resident_piece_bytes", resident_);
+    cv_.notify_all();
+  }
+
+  /// Block while the prefetcher has `id` in flight; returns the entry if
+  /// it lands (pinning it), null when the caller must fetch inline.
+  std::shared_ptr<const CsrGraph> await(std::uint32_t id,
+                                        const std::atomic<bool>& stop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return stop.load(std::memory_order_relaxed) ||
+             entries_.count(id) != 0 ||
+             fetching_ != static_cast<std::int64_t>(id);
+    });
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return nullptr;
+    it->second.pinned = true;
+    it->second.stamp = ++clock_;
+    return it->second.graph;
+  }
+
+  /// The solver's lookup. Pins the entry (eviction skips it) and reports
+  /// whether the prefetcher had it staged.
+  std::shared_ptr<const CsrGraph> take(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return nullptr;
+    it->second.pinned = true;
+    it->second.stamp = ++clock_;
+    return it->second.graph;
+  }
+
+  /// Solved pieces leave for good.
+  void erase(std::uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    resident_ -= it->second.bytes;
+    entries_.erase(it);
+    SBG_GAUGE_SET("ooc.resident_piece_bytes", resident_);
+    cv_.notify_all();
+  }
+
+  void wake() { cv_.notify_all(); }
+
+  /// Tighten (or relax) the admission budget mid-run — the estimator's
+  /// one-shot scratch calibration lands here.
+  void set_budget(std::uint64_t budget) {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = budget;
+    cv_.notify_all();
+  }
+
+  std::uint64_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+  std::uint32_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<CsrGraph> graph;
+    std::uint64_t bytes = 0;
+    std::uint64_t stamp = 0;
+    bool pinned = false;
+  };
+
+  /// Drop least-recently-staged unpinned entries (sparing `keep`) until the
+  /// budget holds or nothing evictable remains.
+  void evict_locked(std::uint32_t keep) {
+    while (resident_ > budget_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.pinned || it->first == keep) continue;
+        if (victim == entries_.end() ||
+            it->second.stamp < victim->second.stamp) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;
+      resident_ -= victim->second.bytes;
+      claimed_.erase(victim->first);  // refetchable again
+      entries_.erase(victim);
+      ++evictions_;
+      SBG_COUNTER_ADD("ooc.evictions", 1);
+      SBG_TRACE_INSTANT("ooc.evict");
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, Entry> entries_;
+  std::set<std::uint32_t> claimed_;
+  std::int64_t fetching_ = -1;
+  std::uint64_t budget_;
+  std::size_t max_staged_;
+  std::uint64_t resident_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t clock_ = 0;
+  std::uint32_t evictions_ = 0;
+};
+
+/// Extraction sweep staging for one range: a classification memo byte per
+/// arc plus per-piece run/value buffers. Reused across ranges.
+struct SweepBuffers {
+  std::vector<std::uint8_t> memo;
+  std::vector<std::vector<std::uint32_t>> runs;
+  std::vector<std::vector<std::uint32_t>> values;
+  std::uint64_t peak_bytes = 0;
+
+  void note_peak() {
+    std::uint64_t b = memo.capacity();
+    for (const auto& r : runs) b += r.capacity() * 4;
+    for (const auto& v : values) b += v.capacity() * 4;
+    peak_bytes = std::max(peak_bytes, b);
+  }
+};
+
+/// Sentinel for a run_ooc-internal cancellation (opt.cancel fired with no
+/// thread-local token installed): becomes status kCancelled, not a throw.
+struct LocalCancel {};
+
+/// One streaming pass: classify each range's arcs in parallel, then a
+/// serial bucket sweep emits every piece's (vertex, count) runs + values
+/// for that range into the store. Vertex ranges ascend, so each piece's
+/// segments concatenate into canonical CSR order.
+void extract_all(const CsrSource& src, const Plan& plan, const Classifier& c,
+                 PieceStore& store, const CancelToken* cancel,
+                 SweepBuffers& buf) {
+  const std::uint32_t P = c.pieces();
+  buf.runs.assign(P, {});
+  buf.values.assign(P, {});
+  const std::span<const eid_t> offsets = src.offsets;
+  const std::span<const vid_t> adj = src.adjacency;
+
+  for (std::size_t r = 0; r + 1 < plan.ranges.size(); ++r) {
+    poll_cancellation();
+    if (cancel != nullptr && cancel->cancel_requested()) {
+      throw LocalCancel{};
+    }
+    const vid_t v0 = plan.ranges[r];
+    const vid_t v1 = plan.ranges[r + 1];
+    const eid_t a0 = offsets[v0];
+    const eid_t a1 = offsets[v1];
+    buf.memo.resize(a1 - a0);
+
+    parallel_for(v1 - v0, [&](std::size_t i) {
+      const vid_t u = v0 + static_cast<vid_t>(i);
+      for (eid_t a = offsets[u]; a < offsets[u + 1]; ++a) {
+        buf.memo[a - a0] = static_cast<std::uint8_t>(c.classify(u, adj[a]));
+      }
+    });
+
+    for (vid_t u = v0; u < v1; ++u) {
+      for (eid_t a = offsets[u]; a < offsets[u + 1]; ++a) {
+        const std::uint8_t p = buf.memo[a - a0];
+        auto& runs = buf.runs[p];
+        if (runs.size() < 2 || runs[runs.size() - 2] != u) {
+          runs.push_back(u);
+          runs.push_back(1);
+        } else {
+          ++runs.back();
+        }
+        buf.values[p].push_back(adj[a]);
+      }
+    }
+
+    buf.note_peak();
+    for (std::uint32_t p = 0; p < P; ++p) {
+      if (buf.values[p].empty()) continue;
+      store.append(p, v0, v1, buf.runs[p], buf.values[p]);
+      buf.runs[p].clear();
+      buf.values[p].clear();
+    }
+    SBG_COUNTER_ADD("ooc.bytes_scanned", (a1 - a0) * sizeof(vid_t));
+    SBG_COUNTER_ADD("ooc.pieces_ranges_swept", 1);
+  }
+}
+
+}  // namespace
+
+std::uint64_t mem_budget_from_env() {
+  return parse_bytes_env("SBG_MEM_BUDGET");
+}
+
+// ------------------------------------------------------------------ plan --
+
+Plan plan_ooc(const CsrSource& src, const PlanOptions& opt) {
+  SBG_SPAN("ooc.plan");
+  if (opt.workload != Workload::kMM) {
+    throw InputError(
+        "ooc: only the MM workload is piece-correct (see DESIGN.md §12)");
+  }
+  Plan plan;
+  plan.options = opt;
+  plan.n = src.num_vertices();
+  plan.arcs = src.num_arcs();
+  const vid_t n = plan.n;
+  const eid_t m = plan.arcs;
+  const std::uint64_t offsets_bytes = (std::uint64_t(n) + 1) * sizeof(eid_t);
+
+  // ---- resolve k / levels from the budget ----
+  PlanOptions& o = plan.options;
+  // A piece should leave room for the shared arrays and a prefetched
+  // sibling: target ~1/6 of the budget each.
+  const std::uint64_t target =
+      o.mem_budget > 0 ? std::max<std::uint64_t>(o.mem_budget / 6, 1u << 20)
+                       : 0;
+  if (o.k == 0) {
+    if (target == 0) {
+      o.k = 4;
+    } else {
+      // Level-0 piece ≈ offsets + 4m/k² arc bytes; solve for k.
+      const double arc_room = target > offsets_bytes
+                                  ? double(target - offsets_bytes)
+                                  : double(1u << 20);
+      o.k = static_cast<vid_t>(
+          std::ceil(std::sqrt(4.0 * double(m) / arc_room)));
+    }
+    o.k = std::clamp<vid_t>(o.k, 2, kMaxK);
+  }
+  o.k = std::clamp<vid_t>(o.k, 2, kMaxK);
+  if (o.levels == 0) {
+    if (target == 0) {
+      o.levels = 3;
+    } else {
+      // Smallest L whose expected residual (m(1-1/k)^L arcs) fits.
+      const double shrink = 1.0 - 1.0 / double(o.k);
+      double resid = 4.0 * double(m);
+      std::uint32_t L = 1;
+      resid *= shrink;
+      while (L < kMaxLevels &&
+             resid + double(offsets_bytes) > double(target)) {
+        resid *= shrink;
+        ++L;
+      }
+      o.levels = L;
+    }
+  }
+  o.levels = std::clamp<std::uint32_t>(o.levels, 1, kMaxLevels);
+  while (std::uint64_t(o.k) * o.levels > kMaxPieceId && o.levels > 1) {
+    --o.levels;
+  }
+  if (std::uint64_t(o.k) * o.levels > kMaxPieceId) {
+    throw InputError("ooc: k * levels must be <= 255");
+  }
+  if (o.chunk_arcs == 0) {
+    // The sweep stages ~13 bytes per range arc (memo + runs + values);
+    // keep that around a quarter of the budget.
+    o.chunk_arcs =
+        o.mem_budget > 0
+            ? std::clamp<eid_t>(o.mem_budget / 52, 1u << 16, 1u << 28)
+            : std::max<eid_t>(m, 1u << 16);
+  }
+
+  // ---- extraction ranges: contiguous vertex intervals of ~chunk_arcs ----
+  plan.ranges.push_back(0);
+  {
+    vid_t v = 0;
+    while (v < n) {
+      const eid_t limit = src.offsets[v] + o.chunk_arcs;
+      vid_t hi = v + 1;  // always advance, even past a super-heavy vertex
+      while (hi < n && src.offsets[hi + 1] <= limit) ++hi;
+      plan.ranges.push_back(hi);
+      v = hi;
+    }
+  }
+  const std::size_t R = plan.ranges.size() - 1;
+
+  // ---- the classify pass: exact per-piece arcs / live / segments ----
+  const Classifier c = make_classifier(plan, src);
+  const std::uint32_t P = c.pieces();
+  std::vector<std::uint64_t> arcs_per(P, 0), live_per(P, 0);
+  std::vector<std::uint8_t> seg_presence(std::size_t(P) * R, 0);
+
+  // Range index per vertex via the boundaries (monotone scan per block).
+  std::mutex merge_mu;
+  parallel_blocks(n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    if (lo >= hi) return;
+    std::vector<std::uint64_t> l_arcs(P, 0), l_live(P, 0);
+    std::vector<std::uint8_t> l_seg(std::size_t(P) * R, 0);
+    // Locate the range of the first vertex, then walk forward.
+    std::size_t r = std::size_t(
+        std::upper_bound(plan.ranges.begin(), plan.ranges.end(), vid_t(lo)) -
+        plan.ranges.begin() - 1);
+    std::uint64_t touched[4];
+    for (vid_t u = vid_t(lo); u < vid_t(hi); ++u) {
+      while (plan.ranges[r + 1] <= u) ++r;
+      touched[0] = touched[1] = touched[2] = touched[3] = 0;
+      for (eid_t a = src.offsets[u]; a < src.offsets[u + 1]; ++a) {
+        const std::uint32_t p = c.classify(u, src.adjacency[a]);
+        ++l_arcs[p];
+        touched[p >> 6] |= 1ull << (p & 63);
+      }
+      for (std::uint32_t w = 0; w < 4; ++w) {
+        std::uint64_t bits = touched[w];
+        while (bits != 0) {
+          const std::uint32_t p = w * 64 + std::uint32_t(std::countr_zero(bits));
+          bits &= bits - 1;
+          ++l_live[p];
+          l_seg[std::size_t(p) * R + r] = 1;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (std::uint32_t p = 0; p < P; ++p) {
+      arcs_per[p] += l_arcs[p];
+      live_per[p] += l_live[p];
+    }
+    for (std::size_t i = 0; i < l_seg.size(); ++i) {
+      seg_presence[i] |= l_seg[i];
+    }
+  });
+
+  // ---- assemble descriptors in schedule order ----
+  plan.plan_hash = fold_plan_hash(o, n, m);
+  plan.solution_bytes = solution_bytes(n);
+  plan.scratch_bytes = default_scratch_model(o.workload).bytes(n);
+  plan.pieces.resize(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    PieceDesc& d = plan.pieces[p];
+    d.id = p;
+    d.level = p / o.k;  // residual (p == k*levels) lands on level == levels
+    d.slot = p == c.residual() ? 0 : p % o.k;
+    d.arcs = arcs_per[p];
+    d.live = static_cast<vid_t>(live_per[p]);
+    std::uint32_t segs = 0;
+    for (std::size_t r = 0; r < R; ++r) {
+      segs += seg_presence[std::size_t(p) * R + r];
+    }
+    d.segments = segs;
+    d.csr_bytes = piece_csr_bytes(n, d.arcs);
+    d.store_bytes = std::uint64_t(segs) * kSegmentHeaderBytes +
+                    std::uint64_t(d.live) * 8 + std::uint64_t(d.arcs) * 4;
+    plan.total_working_set += d.csr_bytes;
+    plan.max_piece_bytes = std::max(plan.max_piece_bytes, d.csr_bytes);
+    plan.spill_bytes += d.store_bytes;
+  }
+  plan.total_working_set += plan.solution_bytes + plan.scratch_bytes;
+  SBG_COUNTER_ADD("ooc.plans", 1);
+  SBG_GAUGE_SET("ooc.plan_pieces", P);
+  SBG_GAUGE_SET("ooc.plan_working_set_bytes", plan.total_working_set);
+  return plan;
+}
+
+CsrGraph extract_single_piece(const CsrSource& src, const Plan& plan,
+                              std::uint32_t piece) {
+  const Classifier c = make_classifier(plan, src);
+  const vid_t n = src.num_vertices();
+  EidBuffer counts(std::size_t(n) + 1);
+  std::memset(counts.data(), 0, counts.size() * sizeof(eid_t));
+  parallel_for(n, [&](std::size_t u) {
+    eid_t cnt = 0;
+    for (eid_t a = src.offsets[u]; a < src.offsets[u + 1]; ++a) {
+      cnt += c.classify(vid_t(u), src.adjacency[a]) == piece;
+    }
+    counts[u] = cnt;
+  });
+  const eid_t total = exclusive_prefix_sum(std::span<eid_t>(counts));
+  VidBuffer adj(total);
+  // counts now holds per-vertex piece offsets; scatter in a second pass.
+  parallel_for(n, [&](std::size_t u) {
+    eid_t cursor = counts[u];
+    for (eid_t a = src.offsets[u]; a < src.offsets[u + 1]; ++a) {
+      const vid_t v = src.adjacency[a];
+      if (c.classify(vid_t(u), v) == piece) adj[cursor++] = v;
+    }
+  });
+  SBG_COUNTER_ADD("ooc.bytes_scanned", src.adjacency.size_bytes());
+  return CsrGraph(std::move(counts), std::move(adj));
+}
+
+// ------------------------------------------------------------------- run --
+
+OocResult run_ooc(const CsrSource& src, const Plan& plan,
+                  const RunOptions& opt) {
+  SBG_SPAN("ooc.run");
+  Timer total;
+  OocResult res;
+  res.budget_bytes = plan.options.mem_budget;
+  const vid_t n = plan.n;
+  const std::uint32_t P = static_cast<std::uint32_t>(plan.pieces.size());
+  const bool budgeted = plan.options.mem_budget > 0;
+  const Classifier cls = make_classifier(plan, src);
+  SBG_GAUGE_SET("ooc.budget_bytes", res.budget_bytes);
+
+  // Predictions come straight from the plan: the store is written once and
+  // read once, so predicted traffic is 2x container bytes (the in-memory
+  // store moves payload but no headers).
+  res.pieces.resize(P);
+  for (std::uint32_t p = 0; p < P; ++p) {
+    const PieceDesc& d = plan.pieces[p];
+    res.pieces[p].id = p;
+    res.pieces[p].arcs = d.arcs;
+    const std::uint64_t container =
+        budgeted ? d.store_bytes
+                 : std::uint64_t(d.live) * 8 + std::uint64_t(d.arcs) * 4;
+    res.pieces[p].predicted_store_bytes = 2 * container;
+    res.predicted_bytes_moved += 2 * container;
+  }
+
+  ScratchModel scratch_model = default_scratch_model(plan.options.workload);
+  std::unique_ptr<PieceStore> store;
+  SweepBuffers sweep;
+  try {
+    if (budgeted) {
+      store = std::make_unique<SpillStore>(spill_store_path(opt.spill_dir), n,
+                                           P, plan.plan_hash, opt.keep_spill);
+    } else {
+      store = std::make_unique<MemoryStore>(n, P);
+    }
+
+    {
+      SBG_SPAN("ooc.extract");
+      Timer t;
+      extract_all(src, plan, cls, *store, opt.cancel, sweep);
+      store->seal();
+      res.extract_seconds = t.seconds();
+    }
+    res.bytes_spilled = store->bytes_spilled();
+    // Write-side traffic, measured from what the store actually emitted.
+    for (std::uint32_t p = 0; p < P; ++p) {
+      res.pieces[p].actual_store_bytes = store->piece_bytes(p);
+    }
+
+    // ---- solve phase ----
+    res.mate.assign(n, kNoVertex);
+    const std::uint64_t shared =
+        plan.solution_bytes + scratch_model.bytes(n);
+    const std::uint64_t piece_budget =
+        !budgeted ? std::numeric_limits<std::uint64_t>::max()
+        : plan.options.mem_budget > shared
+            ? plan.options.mem_budget - shared
+            : 0;
+    if (budgeted && plan.max_piece_bytes > piece_budget) {
+      // Soft budget: an oversized piece still runs (alone); flag it.
+      SBG_GAUGE_SET("ooc.budget_overrun_bytes",
+                    plan.max_piece_bytes - piece_budget);
+    }
+    PieceCache cache(piece_budget,
+                     std::size_t(1) + std::max<std::uint32_t>(
+                                          opt.prefetch_depth, 1));
+    std::atomic<bool> stop{false};
+    std::string prefetch_error;
+    std::mutex prefetch_error_mu;
+
+    // Fetch with corrupt-store recovery: a bad segment degrades to a
+    // re-extraction from the source, never a crash or a short CSR.
+    const auto fetch_piece = [&](std::uint32_t p, PieceStats& st) {
+      SBG_SPAN("ooc.fetch");
+      CsrGraph g;
+      std::uint64_t bytes = 0;
+      const ingest::CacheStatus s =
+          store->fetch(p, plan.pieces[p].arcs, &g, &bytes);
+      if (s != ingest::CacheStatus::kHit) {
+        SBG_COUNTER_ADD("ooc.reextracts", 1);
+        ++st.reextracts;
+        g = extract_single_piece(src, plan, p);
+        bytes = src.adjacency.size_bytes();
+      }
+      ++st.fetches;
+      st.actual_store_bytes += bytes;
+      return g;
+    };
+
+    {
+      std::thread prefetcher;
+      if (opt.overlap && P > 0) {
+        prefetcher = std::thread([&] {
+          SBG_TRACE_THREAD_NAME("ooc-prefetch");
+          try {
+            for (std::uint32_t p = 0; p < P; ++p) {
+              if (plan.pieces[p].arcs == 0) continue;
+              if (!cache.wait_admit(plan.pieces[p].csr_bytes, stop)) return;
+              if (opt.cancel != nullptr && opt.cancel->cancel_requested()) {
+                return;
+              }
+              // The solver got there first (inline fetch): nothing to do.
+              if (!cache.begin_prefetch(p)) continue;
+              cache.put(p, fetch_piece(p, res.pieces[p]));
+            }
+          } catch (const std::exception& e) {
+            std::lock_guard<std::mutex> lock(prefetch_error_mu);
+            prefetch_error = e.what();
+            stop.store(true, std::memory_order_relaxed);
+            cache.wake();
+          }
+        });
+      }
+      // Joins the prefetcher on every exit path (including throws below).
+      struct Joiner {
+        std::thread& t;
+        std::atomic<bool>& stop;
+        PieceCache& cache;
+        ~Joiner() {
+          stop.store(true, std::memory_order_relaxed);
+          cache.wake();
+          if (t.joinable()) t.join();
+        }
+      } joiner{prefetcher, stop, cache};
+
+      SBG_SPAN("ooc.solve");
+      Timer solve_t;
+      bool calibrated = false;
+      for (std::uint32_t p = 0; p < P; ++p) {
+        if (plan.pieces[p].arcs == 0) continue;
+        poll_cancellation();
+        if (opt.cancel != nullptr && opt.cancel->cancel_requested()) {
+          throw LocalCancel{};
+        }
+        {
+          std::lock_guard<std::mutex> lock(prefetch_error_mu);
+          if (!prefetch_error.empty()) {
+            throw InputError("ooc prefetch failed: " + prefetch_error);
+          }
+        }
+        PieceStats& st = res.pieces[p];
+        Timer fetch_t;
+        std::shared_ptr<const CsrGraph> piece = cache.take(p);
+        if (piece != nullptr) {
+          st.prefetched = true;
+          ++res.prefetch_hits;
+          SBG_COUNTER_ADD("ooc.prefetch_hits", 1);
+        } else {
+          // Not staged: the stall the overlap mode is built to hide.
+          // Either win the claim and fetch inline (pinned, so a concurrent
+          // prefetch put cannot evict it before the solve), or the
+          // prefetcher has it in flight — wait rather than fetch twice.
+          ++res.prefetch_stalls;
+          SBG_COUNTER_ADD("ooc.prefetch_stalls", 1);
+          while (piece == nullptr) {
+            {
+              std::lock_guard<std::mutex> lock(prefetch_error_mu);
+              if (!prefetch_error.empty()) {
+                throw InputError("ooc prefetch failed: " + prefetch_error);
+              }
+            }
+            if (cache.try_claim(p)) {
+              cache.put(p, fetch_piece(p, st), /*pinned=*/true);
+              piece = cache.take(p);
+              SBG_CHECK(piece != nullptr, "inline-fetched piece evicted");
+            } else {
+              piece = cache.await(p, stop);
+            }
+          }
+        }
+        st.fetch_seconds = fetch_t.seconds();
+        res.fetch_stall_seconds += st.fetch_seconds;
+
+        Timer solve_piece_t;
+        {
+          SBG_SPAN("ooc.solve_piece");
+          const std::uint64_t piece_seed =
+              plan.options.seed + plan.pieces[p].level;
+          st.rounds = extend_piece(plan.options.engine, *piece, res.mate,
+                                   piece_seed);
+          res.rounds += st.rounds;
+        }
+        st.solve_seconds = solve_piece_t.seconds();
+        piece.reset();
+        cache.erase(p);
+
+        if (!calibrated) {
+          // One-shot calibration against the live arena: if the solver's
+          // high water beat the model, widen it and re-derive the piece
+          // admission budget so later pieces stop under-reserving.
+          calibrated = true;
+          const std::uint64_t observed = Scratch::local().capacity_bytes();
+          SBG_GAUGE_SET("ooc.scratch_observed_bytes", observed);
+          if (scratch_model.calibrate(n, observed) && budgeted) {
+            const std::uint64_t reserve =
+                plan.solution_bytes + scratch_model.bytes(n);
+            cache.set_budget(plan.options.mem_budget > reserve
+                                 ? plan.options.mem_budget - reserve
+                                 : 0);
+          }
+        }
+      }
+      res.solve_seconds = solve_t.seconds();
+    }  // prefetcher joined here
+
+    for (std::uint32_t p = 0; p < P; ++p) {
+      const PieceStats& st = res.pieces[p];
+      res.actual_bytes_moved += st.actual_store_bytes;
+      res.reextracts += st.reextracts;
+      const std::uint64_t written = store->piece_bytes(p);
+      if (budgeted && st.actual_store_bytes > written) {
+        res.bytes_fetched += st.actual_store_bytes - written;
+      }
+    }
+    res.evictions = cache.evictions();
+    res.cardinality = matching_cardinality(res.mate);
+    res.result_hash =
+        ingest::hash_bytes(res.mate.data(), res.mate.size() * sizeof(vid_t),
+                           plan.options.seed);
+    const std::uint64_t solve_peak = plan.solution_bytes +
+                                     scratch_model.bytes(n) +
+                                     cache.peak_bytes() + store->heap_bytes();
+    const std::uint64_t extract_peak =
+        sweep.peak_bytes + store->heap_bytes();
+    res.peak_resident_bytes = std::max(solve_peak, extract_peak);
+  } catch (const LocalCancel&) {
+    res.status = RunStatus::kCancelled;
+    res.error = "cancelled";
+  } catch (const JobCancelled&) {
+    // A caller-installed token fired inside a solver round: re-throw after
+    // cleanup (the Joiner above already ran) so sched records kCancelled.
+    throw;
+  } catch (const std::exception& e) {
+    res.status = RunStatus::kFailed;
+    res.error = e.what();
+  }
+
+  res.total_seconds = total.seconds();
+  SBG_GAUGE_SET("ooc.peak_resident_bytes", res.peak_resident_bytes);
+  SBG_GAUGE_SET("ooc.extract_seconds", res.extract_seconds);
+  SBG_GAUGE_SET("ooc.solve_seconds", res.solve_seconds);
+  SBG_GAUGE_SET("ooc.fetch_stall_seconds", res.fetch_stall_seconds);
+  SBG_COUNTER_ADD("ooc.runs", 1);
+  return res;
+}
+
+// ------------------------------------------------------------------ json --
+
+namespace {
+
+void json_kv(std::string& s, const char* key, std::uint64_t v, bool comma) {
+  s += '"';
+  s += key;
+  s += "\":";
+  s += std::to_string(v);
+  if (comma) s += ',';
+}
+
+void json_kv(std::string& s, const char* key, double v, bool comma) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  s += '"';
+  s += key;
+  s += "\":";
+  s += buf;
+  if (comma) s += ',';
+}
+
+const char* family_name(PieceFamily f) {
+  return f == PieceFamily::kRand ? "rand" : "degk";
+}
+
+const char* engine_name(Engine e) { return e == Engine::kGM ? "gm" : "lmax"; }
+
+}  // namespace
+
+std::string Plan::to_json() const {
+  std::string s = "{";
+  s += "\"family\":\"";
+  s += family_name(options.family);
+  s += "\",\"engine\":\"";
+  s += engine_name(options.engine);
+  s += "\",";
+  json_kv(s, "seed", options.seed, true);
+  json_kv(s, "mem_budget", options.mem_budget, true);
+  json_kv(s, "k", std::uint64_t(options.k), true);
+  json_kv(s, "levels", std::uint64_t(options.levels), true);
+  json_kv(s, "degk_threshold", std::uint64_t(options.degk_threshold), true);
+  json_kv(s, "chunk_arcs", options.chunk_arcs, true);
+  json_kv(s, "n", std::uint64_t(n), true);
+  json_kv(s, "arcs", arcs, true);
+  json_kv(s, "ranges", std::uint64_t(ranges.size() - (ranges.empty() ? 0 : 1)),
+          true);
+  json_kv(s, "solution_bytes", solution_bytes, true);
+  json_kv(s, "scratch_bytes", scratch_bytes, true);
+  json_kv(s, "total_working_set", total_working_set, true);
+  json_kv(s, "max_piece_bytes", max_piece_bytes, true);
+  json_kv(s, "spill_bytes", spill_bytes, true);
+  json_kv(s, "plan_hash", plan_hash, true);
+  s += "\"pieces\":[";
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const PieceDesc& d = pieces[i];
+    if (i != 0) s += ',';
+    s += '{';
+    json_kv(s, "id", std::uint64_t(d.id), true);
+    json_kv(s, "level", std::uint64_t(d.level), true);
+    json_kv(s, "slot", std::uint64_t(d.slot), true);
+    json_kv(s, "live", std::uint64_t(d.live), true);
+    json_kv(s, "arcs", d.arcs, true);
+    json_kv(s, "segments", std::uint64_t(d.segments), true);
+    json_kv(s, "csr_bytes", d.csr_bytes, true);
+    json_kv(s, "store_bytes", d.store_bytes, false);
+    s += '}';
+  }
+  s += "]}";
+  return s;
+}
+
+std::string OocResult::to_json() const {
+  std::string s = "{";
+  s += "\"status\":\"";
+  s += status == RunStatus::kOk ? "ok"
+       : status == RunStatus::kCancelled ? "cancelled"
+                                         : "failed";
+  s += "\",";
+  json_kv(s, "cardinality", cardinality, true);
+  json_kv(s, "rounds", std::uint64_t(rounds), true);
+  json_kv(s, "result_hash", result_hash, true);
+  json_kv(s, "total_seconds", total_seconds, true);
+  json_kv(s, "extract_seconds", extract_seconds, true);
+  json_kv(s, "solve_seconds", solve_seconds, true);
+  json_kv(s, "fetch_stall_seconds", fetch_stall_seconds, true);
+  json_kv(s, "budget_bytes", budget_bytes, true);
+  json_kv(s, "peak_resident_bytes", peak_resident_bytes, true);
+  json_kv(s, "bytes_spilled", bytes_spilled, true);
+  json_kv(s, "bytes_fetched", bytes_fetched, true);
+  json_kv(s, "predicted_bytes_moved", predicted_bytes_moved, true);
+  json_kv(s, "actual_bytes_moved", actual_bytes_moved, true);
+  json_kv(s, "evictions", std::uint64_t(evictions), true);
+  json_kv(s, "reextracts", std::uint64_t(reextracts), true);
+  json_kv(s, "prefetch_hits", std::uint64_t(prefetch_hits), true);
+  json_kv(s, "prefetch_stalls", std::uint64_t(prefetch_stalls), true);
+  s += "\"pieces\":[";
+  bool first = true;
+  for (const PieceStats& st : pieces) {
+    if (st.arcs == 0) continue;  // empty pieces never execute
+    if (!first) s += ',';
+    first = false;
+    s += '{';
+    json_kv(s, "id", std::uint64_t(st.id), true);
+    json_kv(s, "arcs", st.arcs, true);
+    json_kv(s, "rounds", std::uint64_t(st.rounds), true);
+    json_kv(s, "predicted_store_bytes", st.predicted_store_bytes, true);
+    json_kv(s, "actual_store_bytes", st.actual_store_bytes, true);
+    json_kv(s, "fetch_seconds", st.fetch_seconds, true);
+    json_kv(s, "solve_seconds", st.solve_seconds, true);
+    json_kv(s, "fetches", std::uint64_t(st.fetches), true);
+    json_kv(s, "reextracts", std::uint64_t(st.reextracts), true);
+    s += "\"prefetched\":";
+    s += st.prefetched ? "true" : "false";
+    s += '}';
+  }
+  s += "]}";
+  return s;
+}
+
+}  // namespace sbg::ooc

@@ -1,0 +1,217 @@
+// sbg::ooc — memory-budgeted out-of-core piece scheduling.
+//
+// Treats one decomposition run as a sequence of subgraph-piece jobs with
+// estimated working sets and executes it under an explicit fast-memory
+// budget (SBG_MEM_BUDGET): pieces are extracted in a single streaming pass
+// over the source, parked in a piece-granular spill store (spill.hpp), and
+// rebuilt on demand by a prefetch thread that overlaps the fetch of piece
+// N+1 with the solve of piece N. The source itself may be file-backed
+// (ingest::MappedCsr), so neither the input CSR nor the piece set ever has
+// to fit on the heap at once.
+//
+// Decomposition: recursive co-partition leveling. Level ℓ hashes every
+// vertex into k classes with a per-level salt; an arc belongs to the first
+// level where its endpoints land in the same class (that class is its
+// piece), and arcs that separate at every level form one residual piece.
+// Expected residual mass shrinks geometrically, (1-1/k)^levels of the
+// arcs, so the piece working sets can be driven under any budget by adding
+// levels. The DEGk family additionally requires both endpoints to have
+// degree <= threshold at level 0 — the paper's DEGk gate applied to the
+// leveling.
+//
+// Correctness: pieces partition the arc set, every piece lives in the
+// global vertex-id space, and pieces are solved strictly in schedule order
+// against one shared mate array. Each extend call is maximal on its piece
+// among still-unmatched vertices, so the union is maximal on G; and
+// because gm/lmax extends are component-local and deterministic, the
+// result is a pure function of the plan — byte-identical whether pieces
+// came from memory, from the spill store, or through eviction/refetch
+// cycles. That is the property the bench verifies by hashing.
+//
+// Only maximal matching is offered: MIS and coloring extenders are NOT
+// composable over co-partition pieces (a vertex isolated in its piece
+// joins the independent set unconditionally and conflicts with a later
+// piece's arcs), see DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ingest/cache.hpp"
+#include "ooc/estimate.hpp"
+#include "parallel/cancel.hpp"
+
+namespace sbg::ooc {
+
+/// Which co-partition family drives the leveling (RAND: hash only; DEGk:
+/// hash + degree gate at level 0).
+enum class PieceFamily { kRand, kDegk };
+
+/// Which extender solves the pieces.
+enum class Engine { kGM, kLMAX };
+
+/// A borrowed view of the source CSR arrays. The ooc pipeline only ever
+/// streams over these spans, so the backing storage can be a resident
+/// CsrGraph or a mapped .sbgc payload — the caller keeps it alive.
+struct CsrSource {
+  std::span<const eid_t> offsets;
+  std::span<const vid_t> adjacency;
+
+  vid_t num_vertices() const {
+    return static_cast<vid_t>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  eid_t num_arcs() const { return adjacency.size(); }
+
+  static CsrSource from_graph(const CsrGraph& g) {
+    return {g.offsets(), g.adjacency()};
+  }
+  static CsrSource from_mapped(const ingest::MappedCsr& m) {
+    return {m.offsets(), m.adjacency()};
+  }
+};
+
+struct PlanOptions {
+  Workload workload = Workload::kMM;
+  PieceFamily family = PieceFamily::kRand;
+  Engine engine = Engine::kGM;
+  std::uint64_t seed = 1;
+  /// Fast-memory budget in bytes; 0 = unlimited (in-core reference mode).
+  std::uint64_t mem_budget = 0;
+  /// Classes per level; 0 = auto from the budget. Clamped to [2, 64].
+  vid_t k = 0;
+  /// Co-partition levels; 0 = auto from the budget. Clamped so that
+  /// k * levels <= 255 (piece ids must fit the extraction memo byte).
+  std::uint32_t levels = 0;
+  /// DEGk level-0 degree gate.
+  vid_t degk_threshold = 8;
+  /// Arcs per extraction range; 0 = auto (bounds the sweep's staging
+  /// memory: one classification byte plus ~12 staged bytes per range arc).
+  eid_t chunk_arcs = 0;
+};
+
+/// One scheduled piece. `id` is also its schedule position: level-major,
+/// slot-ascending, residual last.
+struct PieceDesc {
+  std::uint32_t id = 0;
+  std::uint32_t level = 0;     ///< == plan levels for the residual piece
+  std::uint32_t slot = 0;      ///< 0 for the residual piece
+  vid_t live = 0;              ///< vertices with >= 1 arc in the piece
+  eid_t arcs = 0;
+  std::uint32_t segments = 0;  ///< spill segments the extractor will emit
+  std::uint64_t csr_bytes = 0;    ///< rebuilt sub-CSR footprint
+  std::uint64_t store_bytes = 0;  ///< exact spill container bytes
+};
+
+/// The cost model + schedule one classify pass produces. Every count is
+/// exact (measured on the source, not estimated), so run_ooc's observed
+/// traffic must match store_bytes modulo refetches — the invariant the
+/// bench checks at 25%.
+struct Plan {
+  PlanOptions options;  ///< resolved: k/levels/chunk_arcs filled in
+  vid_t n = 0;
+  eid_t arcs = 0;
+  std::vector<PieceDesc> pieces;
+  /// Extraction range boundaries (vertex ids, ranges.front()==0,
+  /// ranges.back()==n). Shared by the plan's segment counts and the
+  /// executor's sweep, so predictions line up with emissions.
+  std::vector<vid_t> ranges;
+  std::uint64_t solution_bytes = 0;      ///< shared mate array
+  std::uint64_t scratch_bytes = 0;       ///< solver scratch model
+  std::uint64_t total_working_set = 0;   ///< sum piece CSRs + shared arrays
+  std::uint64_t max_piece_bytes = 0;
+  std::uint64_t spill_bytes = 0;         ///< total store bytes (write == read)
+  /// Identity of (family, k, levels, threshold, seed, n): what a spill
+  /// store must have been written under to be fetched against this plan.
+  std::uint64_t plan_hash = 0;
+
+  std::string to_json() const;
+};
+
+/// Classify the source once and build the schedule + cost model. Resolves
+/// k/levels/chunk_arcs from the budget when left 0. Throws InputError for
+/// non-MM workloads or unsatisfiable shapes (k*levels > 255 after
+/// clamping).
+Plan plan_ooc(const CsrSource& src, const PlanOptions& opt);
+
+enum class RunStatus { kOk, kCancelled, kFailed };
+
+struct RunOptions {
+  /// Overlap the fetch of piece N+1 with the solve of piece N on a
+  /// dedicated prefetch thread. Off = stop-and-fetch (the bench baseline).
+  bool overlap = true;
+  /// Ready pieces the prefetcher may hold beyond the one being solved.
+  std::uint32_t prefetch_depth = 1;
+  /// Directory for the spill store ("" = $SBG_OOC_DIR, then $TMPDIR, then
+  /// "."). Budgeted runs only; in-core runs keep pieces in memory.
+  std::string spill_dir;
+  /// Keep the spill store after the run (debugging; default deletes it).
+  bool keep_spill = false;
+  /// Observed by the prefetch thread and polled between pieces; the solve
+  /// itself polls the calling thread's installed token per round as usual.
+  CancelToken* cancel = nullptr;
+};
+
+/// Per-piece execution record, paired with the plan's prediction so the
+/// cost model can be validated piece by piece.
+struct PieceStats {
+  std::uint32_t id = 0;
+  eid_t arcs = 0;
+  vid_t rounds = 0;
+  std::uint64_t predicted_store_bytes = 0;  ///< plan's write+read prediction
+  std::uint64_t actual_store_bytes = 0;     ///< measured write+read traffic
+  double fetch_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::uint32_t fetches = 0;     ///< rebuilds (1 + refetches after eviction)
+  std::uint32_t reextracts = 0;  ///< corrupt-store recoveries from source
+  bool prefetched = false;       ///< piece was ready when the solver arrived
+};
+
+struct OocResult {
+  RunStatus status = RunStatus::kOk;
+  std::string error;
+  std::vector<vid_t> mate;
+  eid_t cardinality = 0;
+  vid_t rounds = 0;
+  std::uint64_t result_hash = 0;  ///< hash of the mate bytes, seed-seeded
+  double total_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double fetch_stall_seconds = 0.0;  ///< solver time spent waiting on pieces
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t peak_resident_bytes = 0;  ///< pieces + shared arrays + scratch
+  std::uint64_t bytes_spilled = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t predicted_bytes_moved = 0;
+  std::uint64_t actual_bytes_moved = 0;
+  std::uint32_t evictions = 0;
+  std::uint32_t reextracts = 0;
+  std::uint32_t prefetch_hits = 0;
+  std::uint32_t prefetch_stalls = 0;
+  std::vector<PieceStats> pieces;
+
+  std::string to_json() const;
+};
+
+/// Execute `plan` against `src`: extract (spilling when budgeted), then
+/// solve pieces in schedule order under the plan's budget with LRU
+/// eviction and optional prefetch overlap. Returns kCancelled when the
+/// installed CancelToken (or `opt.cancel`) fires, kFailed on IO errors;
+/// never throws for those. JobCancelled raised by a caller-installed token
+/// is re-thrown after cleanup so sched's batch engine records it normally.
+OocResult run_ooc(const CsrSource& src, const Plan& plan,
+                  const RunOptions& opt = {});
+
+/// Extract one piece directly from the source (two-pass count + scatter
+/// over the whole arc set). The recovery path for corrupt spill segments,
+/// and the oracle the spill tests compare rebuilt pieces against.
+CsrGraph extract_single_piece(const CsrSource& src, const Plan& plan,
+                              std::uint32_t piece);
+
+/// The byte budget the process should run under: SBG_MEM_BUDGET with an
+/// optional K/M/G suffix, 0 (unlimited) when unset or empty.
+std::uint64_t mem_budget_from_env();
+
+}  // namespace sbg::ooc

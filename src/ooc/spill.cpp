@@ -1,0 +1,353 @@
+#include "ooc/spill.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+
+#include "common.hpp"
+#include "ingest/mmap_file.hpp"
+#include "obs/obs.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg::ooc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::array<char, 8> kMagic = {'S', 'B', 'G', 'C', 'A', 'C', 'H', 'E'};
+constexpr std::array<char, 8> kSegMagic = {'S', 'B', 'G', 'C',
+                                           'S', 'E', 'G', '1'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+struct FileHeader {
+  std::array<char, 8> magic = kMagic;
+  std::uint32_t version = kSpillFormatVersion;
+  std::uint32_t endian = kEndianTag;
+  std::uint64_t n = 0;
+  std::uint64_t pieces = 0;
+  std::uint64_t plan_hash = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(FileHeader) == kSpillHeaderBytes,
+              "spill header layout drifted");
+
+struct SegHeader {
+  std::array<char, 8> magic = kSegMagic;
+  std::uint32_t piece = 0;
+  std::uint32_t runs = 0;
+  std::uint64_t v_begin = 0;
+  std::uint64_t v_end = 0;
+  std::uint64_t arcs = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(SegHeader) == kSegmentHeaderBytes,
+              "spill segment header layout drifted");
+
+/// Folds every field that determines the payload's shape, so a header edit
+/// that moves bytes between the runs and values blobs (or between adjacent
+/// segments) fails verification even when the payload is untouched. Same
+/// discipline as the v1 checksum_seed.
+std::uint64_t seg_checksum_seed(const SegHeader& h, std::uint64_t n) {
+  std::uint64_t s = mix64(h.piece);
+  s = mix64(s ^ h.runs);
+  s = mix64(s ^ h.v_begin);
+  s = mix64(s ^ h.v_end);
+  s = mix64(s ^ h.arcs);
+  return mix64(s ^ n);
+}
+
+std::uint64_t seg_payload_checksum(const SegHeader& h, std::uint64_t n,
+                                   std::span<const std::uint32_t> runs,
+                                   std::span<const std::uint32_t> values) {
+  std::uint64_t c = ingest::hash_bytes(runs.data(), runs.size_bytes(),
+                                       seg_checksum_seed(h, n));
+  return ingest::hash_bytes(values.data(), values.size_bytes(), c);
+}
+
+}  // namespace
+
+SpillWriter::SpillWriter(std::string path, vid_t n, std::uint64_t piece_count,
+                         std::uint64_t plan_hash)
+    : path_(std::move(path)),
+      tmp_(ingest::unique_temp_path(path_)),
+      n_(n),
+      piece_count_(piece_count),
+      plan_hash_(plan_hash) {
+  {
+    std::error_code ec;
+    const fs::path parent = fs::path(path_).parent_path();
+    if (!parent.empty()) fs::create_directories(parent, ec);
+  }
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  if (!out_) throw InputError("cannot create spill temp " + tmp_);
+  // Header placeholder; finish() rewrites it with the final segment count.
+  FileHeader h;
+  h.n = n_;
+  h.pieces = piece_count_;
+  h.plan_hash = plan_hash_;
+  out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  bytes_written_ = kSpillHeaderBytes;
+}
+
+SpillWriter::~SpillWriter() {
+  if (finished_) return;
+  out_.close();
+  std::error_code ec;
+  fs::remove(tmp_, ec);
+}
+
+SegmentRef SpillWriter::append(std::uint32_t piece, vid_t v_begin, vid_t v_end,
+                               std::span<const std::uint32_t> runs,
+                               std::span<const std::uint32_t> values) {
+  SBG_CHECK(!finished_, "append after finish");
+  SBG_CHECK(runs.size() % 2 == 0, "runs must be {vertex, count} pairs");
+  SegHeader h;
+  h.piece = piece;
+  h.runs = static_cast<std::uint32_t>(runs.size() / 2);
+  h.v_begin = v_begin;
+  h.v_end = v_end;
+  h.arcs = values.size();
+  h.checksum = seg_payload_checksum(h, n_, runs, values);
+
+  SegmentRef ref;
+  ref.offset = bytes_written_;
+  ref.piece = piece;
+  ref.runs = h.runs;
+  ref.arcs = h.arcs;
+
+  out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out_.write(reinterpret_cast<const char*>(runs.data()),
+             static_cast<std::streamsize>(runs.size_bytes()));
+  out_.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size_bytes()));
+  if (!out_) throw InputError("cannot write spill segment to " + tmp_);
+  bytes_written_ += segment_bytes(h.runs, h.arcs);
+  ++segments_;
+  SBG_COUNTER_ADD("ooc.segments_written", 1);
+  SBG_COUNTER_ADD("ooc.bytes_spilled", segment_bytes(h.runs, h.arcs));
+  return ref;
+}
+
+void SpillWriter::finish() {
+  SBG_CHECK(!finished_, "finish called twice");
+  // Backpatch the header's segment count, then install atomically: readers
+  // see either no store or the complete one.
+  FileHeader h;
+  h.n = n_;
+  h.pieces = piece_count_;
+  h.plan_hash = plan_hash_;
+  h.segments = segments_;
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out_.flush();
+  if (!out_) {
+    out_.close();
+    std::error_code ec;
+    fs::remove(tmp_, ec);
+    throw InputError("cannot finalize spill store " + tmp_);
+  }
+  out_.close();
+  std::error_code ec;
+  fs::rename(tmp_, path_, ec);
+  if (ec) {
+    fs::remove(tmp_, ec);
+    throw InputError("cannot move spill store into place at " + path_);
+  }
+  finished_ = true;
+}
+
+ingest::CacheStatus SpillReader::open(const std::string& path, vid_t n,
+                                      std::uint64_t piece_count,
+                                      std::uint64_t plan_hash,
+                                      SpillReader* out) {
+  using ingest::CacheStatus;
+  FileHeader h;
+  try {
+    ingest::MappedFile file(path);
+    if (file.size() < kSpillHeaderBytes) return CacheStatus::kCorrupt;
+    std::memcpy(&h, file.data(), sizeof(h));
+  } catch (const InputError&) {
+    return CacheStatus::kMissing;
+  }
+  if (h.magic != kMagic) return CacheStatus::kCorrupt;
+  if (h.version != kSpillFormatVersion || h.endian != kEndianTag) {
+    return CacheStatus::kStale;
+  }
+  if (h.n != n || h.pieces != piece_count || h.plan_hash != plan_hash) {
+    return CacheStatus::kStale;
+  }
+  out->path_ = path;
+  out->n_ = n;
+  out->piece_count_ = piece_count;
+  out->declared_segments_ = h.segments;
+  return CacheStatus::kHit;
+}
+
+ingest::CacheStatus SpillReader::read_piece(
+    std::span<const SegmentRef> segments, eid_t expect_arcs, CsrGraph* out,
+    std::uint64_t* bytes_read) const {
+  using ingest::CacheStatus;
+  // Re-map on demand: between fetches the store costs nothing but disk.
+  std::unique_ptr<ingest::MappedFile> file;
+  try {
+    file = std::make_unique<ingest::MappedFile>(path_);
+  } catch (const InputError&) {
+    return CacheStatus::kMissing;
+  }
+  const char* base = file->data();
+  const std::uint64_t size = file->size();
+
+  std::vector<std::span<const std::uint32_t>> runs_chunks;
+  std::vector<std::span<const std::uint32_t>> value_chunks;
+  runs_chunks.reserve(segments.size());
+  value_chunks.reserve(segments.size());
+  std::uint64_t consumed = 0;
+
+  for (const SegmentRef& ref : segments) {
+    // Bounds first — every arithmetic step checked against the *live* file
+    // size, so a store truncated behind our back cannot fault the mapping.
+    if (ref.offset > size || size - ref.offset < kSegmentHeaderBytes) {
+      return CacheStatus::kCorrupt;
+    }
+    SegHeader h;
+    std::memcpy(&h, base + ref.offset, sizeof(h));
+    if (h.magic != kSegMagic || h.piece != ref.piece || h.runs != ref.runs ||
+        h.arcs != ref.arcs) {
+      return CacheStatus::kCorrupt;
+    }
+    const std::uint64_t payload =
+        std::uint64_t(h.runs) * 8 + h.arcs * 4;
+    if (size - ref.offset - kSegmentHeaderBytes < payload) {
+      return CacheStatus::kCorrupt;
+    }
+    const char* runs_bytes = base + ref.offset + kSegmentHeaderBytes;
+    const char* value_bytes = runs_bytes + std::uint64_t(h.runs) * 8;
+    const auto* runs_u32 = reinterpret_cast<const std::uint32_t*>(runs_bytes);
+    const auto* values_u32 =
+        reinterpret_cast<const std::uint32_t*>(value_bytes);
+    const std::span<const std::uint32_t> runs{runs_u32,
+                                              std::size_t(h.runs) * 2};
+    const std::span<const std::uint32_t> values{values_u32,
+                                                std::size_t(h.arcs)};
+    if (seg_payload_checksum(h, n_, runs, values) != h.checksum) {
+      return CacheStatus::kCorrupt;
+    }
+    runs_chunks.push_back(runs);
+    value_chunks.push_back(values);
+    consumed += segment_bytes(h.runs, h.arcs);
+  }
+
+  if (!assemble_piece(n_, expect_arcs, runs_chunks, value_chunks, out)) {
+    return CacheStatus::kCorrupt;
+  }
+  if (bytes_read != nullptr) *bytes_read = consumed;
+  SBG_COUNTER_ADD("ooc.bytes_fetched", consumed);
+  return CacheStatus::kHit;
+}
+
+ingest::CacheStatus SpillReader::scan(
+    std::vector<std::vector<SegmentRef>>* dir) const {
+  using ingest::CacheStatus;
+  dir->assign(piece_count_, {});
+  std::unique_ptr<ingest::MappedFile> file;
+  try {
+    file = std::make_unique<ingest::MappedFile>(path_);
+  } catch (const InputError&) {
+    return CacheStatus::kMissing;
+  }
+  const char* base = file->data();
+  const std::uint64_t size = file->size();
+  std::uint64_t off = kSpillHeaderBytes;
+  std::uint64_t seen = 0;
+  while (seen < declared_segments_) {
+    if (off > size || size - off < kSegmentHeaderBytes) {
+      return CacheStatus::kCorrupt;
+    }
+    SegHeader h;
+    std::memcpy(&h, base + off, sizeof(h));
+    if (h.magic != kSegMagic || h.piece >= piece_count_) {
+      return CacheStatus::kCorrupt;
+    }
+    const std::uint64_t payload = std::uint64_t(h.runs) * 8 + h.arcs * 4;
+    if (size - off - kSegmentHeaderBytes < payload) {
+      return CacheStatus::kCorrupt;
+    }
+    const char* runs_bytes = base + off + kSegmentHeaderBytes;
+    const std::span<const std::uint32_t> runs{
+        reinterpret_cast<const std::uint32_t*>(runs_bytes),
+        std::size_t(h.runs) * 2};
+    const std::span<const std::uint32_t> values{
+        reinterpret_cast<const std::uint32_t*>(runs_bytes +
+                                               std::uint64_t(h.runs) * 8),
+        std::size_t(h.arcs)};
+    if (seg_payload_checksum(h, n_, runs, values) != h.checksum) {
+      return CacheStatus::kCorrupt;
+    }
+    SegmentRef ref;
+    ref.offset = off;
+    ref.piece = h.piece;
+    ref.runs = h.runs;
+    ref.arcs = h.arcs;
+    (*dir)[h.piece].push_back(ref);
+    off += kSegmentHeaderBytes + payload;
+    ++seen;
+  }
+  return off == size ? CacheStatus::kHit : CacheStatus::kCorrupt;
+}
+
+bool assemble_piece(
+    vid_t n, eid_t expect_arcs,
+    std::span<const std::span<const std::uint32_t>> runs_chunks,
+    std::span<const std::span<const std::uint32_t>> value_chunks,
+    CsrGraph* out) {
+  if (runs_chunks.size() != value_chunks.size()) return false;
+
+  // Pass 1: scatter run counts into a zeroed degree array, checking order
+  // and ranges. Vertices ascend across the concatenated chunks, so the
+  // payloads are already in canonical CSR order.
+  EidBuffer offsets(std::size_t(n) + 1);
+  std::memset(offsets.data(), 0, offsets.size() * sizeof(eid_t));
+  std::uint64_t total_arcs = 0;
+  std::int64_t prev_vertex = -1;
+  for (std::size_t c = 0; c < runs_chunks.size(); ++c) {
+    const auto runs = runs_chunks[c];
+    if (runs.size() % 2 != 0) return false;
+    std::uint64_t chunk_arcs = 0;
+    for (std::size_t i = 0; i < runs.size(); i += 2) {
+      const std::uint32_t v = runs[i];
+      const std::uint32_t cnt = runs[i + 1];
+      if (v >= n || cnt == 0) return false;
+      if (std::int64_t(v) <= prev_vertex) return false;
+      prev_vertex = v;
+      offsets[std::size_t(v)] = cnt;
+      chunk_arcs += cnt;
+    }
+    if (chunk_arcs != value_chunks[c].size()) return false;
+    total_arcs += chunk_arcs;
+  }
+  if (total_arcs != expect_arcs) return false;
+
+  // Counts live at offsets[v] with offsets[n] == 0; the exclusive prefix
+  // turns that directly into the final offsets array (offsets[n] = total).
+  (void)exclusive_prefix_sum(std::span<eid_t>(offsets));
+
+  VidBuffer adj(total_arcs);
+  std::size_t cursor = 0;
+  for (const auto values : value_chunks) {
+    std::memcpy(adj.data() + cursor, values.data(), values.size_bytes());
+    cursor += values.size();
+  }
+
+  try {
+    *out = CsrGraph(std::move(offsets), std::move(adj));
+  } catch (const std::logic_error&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sbg::ooc

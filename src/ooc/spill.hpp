@@ -1,0 +1,175 @@
+// Piece-granular spill store: .sbgc format version 2.
+//
+// The out-of-core executor extracts decomposition pieces in one streaming
+// pass over the source and parks the cold ones on disk. The container
+// extends the versioned .sbgc family: same magic, bumped version (a v1
+// reader sees kStale and degrades gracefully), same checksum machinery
+// (ingest::hash_bytes with a header-folded seed), same atomic temp+rename
+// install (ingest::unique_temp_path) so a crashed extraction never leaves a
+// half-written store that a later fetch would trust.
+//
+// File layout (little-endian):
+//
+//   offset  size  field
+//   0       8     magic "SBGCACHE"
+//   8       4     format version (kSpillFormatVersion = 2)
+//   12      4     endianness tag 0x01020304, written natively
+//   16      8     n      (global vertex count every piece shares)
+//   24      8     pieces (piece count of the emitting plan)
+//   32      8     plan identity hash (family/k/levels/threshold/seed fold)
+//   40      8     segment count
+//   48      16    reserved, zero
+//   64      …     segments, back to back
+//
+// Each segment covers one (piece, vertex-range) cell of the extraction
+// sweep:
+//
+//   offset  size  field
+//   0       8     segment magic "SBGCSEG1"
+//   8       4     piece id
+//   12      4     run count   (vertices of the range with arcs in piece)
+//   16      8     v_begin     \  vertex range the sweep emitted
+//   24      8     v_end       /
+//   32      8     arc count
+//   40      8     payload checksum (seeded with piece/range/runs/arcs/n)
+//   48      16    reserved, zero
+//   64      runs*8   {u32 vertex, u32 count} pairs, vertex ascending
+//   …       arcs*4   adjacency values, global CSR order
+//
+// Ranges ascend across a piece's segments and vertices ascend within one,
+// so concatenating a piece's payloads reproduces its sub-CSR arrays in
+// canonical order: rebuild is zero-fill + run scatter + prefix sum + one
+// memcpy per segment, byte-identical to an in-memory extraction of the
+// same piece.
+//
+// Failure contract: every read path (mapping, directory scan, per-segment
+// fetch) bounds-checks against the live file size and verifies the segment
+// checksum before any byte is trusted, so truncation or mid-file corruption
+// degrades to CacheStatus::kCorrupt — the executor then re-extracts the
+// piece from the source. No read throws for bad bytes and none can return
+// a silently short CSR.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "ingest/cache.hpp"
+
+namespace sbg::ooc {
+
+/// Version written into the shared .sbgc header by spill stores.
+inline constexpr std::uint32_t kSpillFormatVersion = 2;
+
+/// Fixed header sizes (the layouts above).
+inline constexpr std::size_t kSpillHeaderBytes = 64;
+inline constexpr std::size_t kSegmentHeaderBytes = 64;
+
+/// Where one segment lives inside the store. Writers hand the directory to
+/// readers in-process; readers can also rebuild it by scanning the file.
+struct SegmentRef {
+  std::uint64_t offset = 0;  ///< file offset of the segment header
+  std::uint32_t piece = 0;
+  std::uint32_t runs = 0;
+  std::uint64_t arcs = 0;
+};
+
+/// Exact container bytes one segment occupies (header + runs + values).
+inline std::uint64_t segment_bytes(std::uint32_t runs, std::uint64_t arcs) {
+  return kSegmentHeaderBytes + std::uint64_t(runs) * 8 + arcs * 4;
+}
+
+/// Streams segments into a temp file; finish() installs the store with an
+/// atomic rename. The destructor of an unfinished writer removes the temp
+/// file, so abandoned extractions leave nothing behind.
+class SpillWriter {
+ public:
+  /// Throws InputError when the temp file cannot be created.
+  SpillWriter(std::string path, vid_t n, std::uint64_t piece_count,
+              std::uint64_t plan_hash);
+  ~SpillWriter();
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  /// Append one (piece, range) segment. `runs` holds interleaved
+  /// {vertex, count} u32 pairs; `values` the adjacency payload. Returns the
+  /// segment's directory entry. Throws InputError on IO failure.
+  SegmentRef append(std::uint32_t piece, vid_t v_begin, vid_t v_end,
+                    std::span<const std::uint32_t> runs,
+                    std::span<const std::uint32_t> values);
+
+  /// Flush + atomically rename the temp file into place. Throws InputError
+  /// on IO failure. No append may follow.
+  void finish();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t segments() const { return segments_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  vid_t n_ = 0;
+  std::uint64_t piece_count_ = 0;
+  std::uint64_t plan_hash_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t segments_ = 0;
+  bool finished_ = false;
+};
+
+/// Fetches pieces back out of a finished store. Every read_piece call
+/// re-maps the file via ingest::MappedFile (so evicted stores cost nothing
+/// between fetches) and re-validates everything it touches against the
+/// mapped length — a store truncated after finish() yields kCorrupt, not a
+/// crash.
+class SpillReader {
+ public:
+  /// Validate the store header. n/piece_count/plan_hash must match the plan
+  /// that wrote the store (a mismatched store is kStale). Never throws.
+  static ingest::CacheStatus open(const std::string& path, vid_t n,
+                                  std::uint64_t piece_count,
+                                  std::uint64_t plan_hash, SpillReader* out);
+
+  /// Assemble one piece from its segments (the writer's directory entries,
+  /// range-ascending). On kHit *out holds the piece sub-CSR over the global
+  /// vertex space and *bytes_read the container bytes consumed. Any header,
+  /// bounds, checksum, or shape violation returns kCorrupt with *out
+  /// untouched.
+  ingest::CacheStatus read_piece(std::span<const SegmentRef> segments,
+                                 eid_t expect_arcs, CsrGraph* out,
+                                 std::uint64_t* bytes_read) const;
+
+  /// Walk the file front to back and rebuild a per-piece directory,
+  /// stopping at the first malformed segment. Returns kHit when every
+  /// declared segment scanned clean, kCorrupt otherwise (with *dir holding
+  /// the clean prefix — recovery can fetch those pieces and re-extract the
+  /// rest).
+  ingest::CacheStatus scan(
+      std::vector<std::vector<SegmentRef>>* dir) const;
+
+  vid_t num_vertices() const { return n_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  vid_t n_ = 0;
+  std::uint64_t piece_count_ = 0;
+  std::uint64_t declared_segments_ = 0;
+};
+
+/// Rebuild a piece sub-CSR from ordered payload chunks (the shared tail of
+/// the disk and in-memory fetch paths). `runs_chunks[i]`/`value_chunks[i]`
+/// are one segment's payload views, range-ascending. Returns false (leaving
+/// *out untouched) when the chunks are internally inconsistent: counts not
+/// summing to `expect_arcs`, vertices out of range or out of order, value
+/// counts disagreeing with run counts.
+bool assemble_piece(vid_t n, eid_t expect_arcs,
+                    std::span<const std::span<const std::uint32_t>> runs_chunks,
+                    std::span<const std::span<const std::uint32_t>> value_chunks,
+                    CsrGraph* out);
+
+}  // namespace sbg::ooc

@@ -143,7 +143,11 @@ ServerOptions options_from_env() {
       env_double("SBG_SERVE_DEADLINE_MS", o.default_deadline_ms);
   o.telemetry_flush_s =
       env_double("SBG_SERVE_FLUSH_MS", o.telemetry_flush_s * 1000.0) / 1000.0;
-  o.mem_cap_bytes = env_bytes("SBG_SERVE_MEM_CAP", o.mem_cap_bytes);
+  // The registry's eviction budget: its own knob first, else the
+  // process-wide out-of-core budget (SBG_MEM_BUDGET) so one setting caps
+  // both the hot-graph cache and piece scheduling.
+  o.mem_cap_bytes = env_bytes(
+      "SBG_SERVE_MEM_CAP", env_bytes("SBG_MEM_BUDGET", o.mem_cap_bytes));
   o.limits.max_body_bytes = std::size_t(
       env_bytes("SBG_SERVE_MAX_BODY", o.limits.max_body_bytes));
   o.dataset_scale = env_double("SBG_SERVE_SCALE", o.dataset_scale);

@@ -1,0 +1,623 @@
+// sbg::ooc — out-of-core piece scheduling: plan invariants, spill-store
+// round trips and corruption handling, hash identity across memory/spill/
+// eviction paths, mapped sources, cancellation, and the scratch-arena
+// interaction of piece-local solves (ISSUE 9 satellites 1, 3, 4).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "ingest/cache.hpp"
+#include "ingest/ingest.hpp"
+#include "matching/matching.hpp"
+#include "ooc/ooc.hpp"
+#include "ooc/spill.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/scratch.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace sbg;
+namespace fs = std::filesystem;
+
+ooc::PlanOptions small_options(std::uint64_t budget = 0,
+                               ooc::PieceFamily family =
+                                   ooc::PieceFamily::kRand) {
+  ooc::PlanOptions po;
+  po.family = family;
+  po.engine = ooc::Engine::kGM;
+  po.seed = 7;
+  po.k = 4;
+  po.levels = 3;
+  po.mem_budget = budget;
+  return po;
+}
+
+CsrGraph test_graph() {
+  return build_graph(gen_rmat(2000, 16'000, 77), true);
+}
+
+/// Interleaved {vertex, count} runs + adjacency payload of a piece
+/// sub-CSR, the exact shape SpillWriter::append consumes.
+struct PiecePayload {
+  std::vector<std::uint32_t> runs;
+  std::vector<std::uint32_t> values;
+};
+
+PiecePayload payload_of(const CsrGraph& piece) {
+  PiecePayload p;
+  const std::span<const eid_t> off = piece.offsets();
+  for (vid_t v = 0; v + 1 < off.size(); ++v) {
+    const eid_t cnt = off[v + 1] - off[v];
+    if (cnt == 0) continue;
+    p.runs.push_back(v);
+    p.runs.push_back(static_cast<std::uint32_t>(cnt));
+  }
+  const std::span<const vid_t> adj = piece.adjacency();
+  p.values.assign(adj.begin(), adj.end());
+  return p;
+}
+
+void expect_same_csr(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  const auto ao = a.offsets(), bo = b.offsets();
+  for (std::size_t i = 0; i < ao.size(); ++i) ASSERT_EQ(ao[i], bo[i]);
+  const auto aa = a.adjacency(), ba = b.adjacency();
+  for (std::size_t i = 0; i < aa.size(); ++i) ASSERT_EQ(aa[i], ba[i]);
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+// ------------------------------------------------------------------ plan --
+
+TEST(OocPlan, PartitionsEveryArcExactly) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan = ooc::plan_ooc(src, small_options());
+
+  ASSERT_EQ(plan.pieces.size(), std::size_t(4 * 3 + 1));
+  eid_t arcs = 0;
+  for (const ooc::PieceDesc& d : plan.pieces) {
+    arcs += d.arcs;
+    // store_bytes is exact: header per segment, 8B per live vertex (one
+    // run per vertex — its arcs lie inside one extraction range), 4B/arc.
+    EXPECT_EQ(d.store_bytes, std::uint64_t(d.segments) *
+                                     ooc::kSegmentHeaderBytes +
+                                 std::uint64_t(d.live) * 8 +
+                                 std::uint64_t(d.arcs) * 4);
+    if (d.arcs > 0) {
+      EXPECT_GT(d.segments, 0u);
+    } else {
+      EXPECT_EQ(d.live, 0u);
+    }
+  }
+  EXPECT_EQ(arcs, g.num_arcs());
+  ASSERT_GE(plan.ranges.size(), 2u);
+  EXPECT_EQ(plan.ranges.front(), 0u);
+  EXPECT_EQ(plan.ranges.back(), g.num_vertices());
+  for (std::size_t i = 0; i + 1 < plan.ranges.size(); ++i) {
+    EXPECT_LT(plan.ranges[i], plan.ranges[i + 1]);
+  }
+}
+
+TEST(OocPlan, PieceExtractionMatchesPlanCounts) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan = ooc::plan_ooc(src, small_options());
+  for (const ooc::PieceDesc& d : plan.pieces) {
+    const CsrGraph piece = ooc::extract_single_piece(src, plan, d.id);
+    EXPECT_EQ(piece.num_arcs(), d.arcs) << "piece " << d.id;
+    vid_t live = 0;
+    const auto off = piece.offsets();
+    for (vid_t v = 0; v + 1 < off.size(); ++v) live += off[v + 1] > off[v];
+    EXPECT_EQ(live, d.live) << "piece " << d.id;
+  }
+}
+
+TEST(OocPlan, HashCoversShapeAndSeed) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan a = ooc::plan_ooc(src, small_options());
+  const ooc::Plan b = ooc::plan_ooc(src, small_options());
+  EXPECT_EQ(a.plan_hash, b.plan_hash);
+
+  ooc::PlanOptions other = small_options();
+  other.seed = 8;
+  EXPECT_NE(ooc::plan_ooc(src, other).plan_hash, a.plan_hash);
+
+  // The budget is execution policy, not identity: a budgeted plan may
+  // fetch from a store written by an unbudgeted one.
+  EXPECT_EQ(ooc::plan_ooc(src, small_options(1 << 20)).plan_hash,
+            a.plan_hash);
+}
+
+TEST(OocPlan, ClampsLevelsToPieceIdByteAndAutoSizes) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  ooc::PlanOptions po = small_options();
+  po.k = 64;
+  po.levels = 24;  // 64 * 24 way over the uint8 piece-id ceiling
+  const ooc::Plan plan = ooc::plan_ooc(src, po);
+  EXPECT_LE(std::uint64_t(plan.options.k) * plan.options.levels, 255u);
+
+  ooc::PlanOptions autod;
+  autod.seed = 7;
+  autod.mem_budget = 1 << 20;
+  const ooc::Plan ap = ooc::plan_ooc(src, autod);
+  EXPECT_GE(ap.options.k, 2u);
+  EXPECT_GE(ap.options.levels, 1u);
+  EXPECT_GT(ap.options.chunk_arcs, 0u);
+}
+
+TEST(OocPlan, EmptyAndTinyGraphs) {
+  const CsrGraph empty;
+  const ooc::Plan ep =
+      ooc::plan_ooc(ooc::CsrSource::from_graph(empty), small_options());
+  EXPECT_EQ(ep.arcs, 0u);
+  const ooc::OocResult er =
+      ooc::run_ooc(ooc::CsrSource::from_graph(empty), ep);
+  EXPECT_EQ(er.status, ooc::RunStatus::kOk);
+  EXPECT_EQ(er.cardinality, 0u);
+
+  const CsrGraph star = build_graph(gen_star(16), false);
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(star);
+  const ooc::Plan sp = ooc::plan_ooc(src, small_options());
+  const ooc::OocResult sr = ooc::run_ooc(src, sp);
+  ASSERT_EQ(sr.status, ooc::RunStatus::kOk);
+  EXPECT_TRUE(test::IsMaximalMatching(star, sr.mate));
+  EXPECT_EQ(sr.cardinality, 1u);  // a star has exactly one matched edge
+}
+
+// ----------------------------------------------------------- spill store --
+
+class OocSpill : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = test_graph();
+    src_ = ooc::CsrSource::from_graph(g_);
+    plan_ = ooc::plan_ooc(src_, small_options());
+    path_ = (fs::path(::testing::TempDir()) / "ooc_spill_test.sbgc").string();
+    fs::remove(path_);
+
+    ooc::SpillWriter writer(path_, g_.num_vertices(), plan_.pieces.size(),
+                            plan_.plan_hash);
+    dir_.resize(plan_.pieces.size());
+    for (const ooc::PieceDesc& d : plan_.pieces) {
+      pieces_.push_back(ooc::extract_single_piece(src_, plan_, d.id));
+      const PiecePayload p = payload_of(pieces_.back());
+      if (p.values.empty()) continue;
+      dir_[d.id].push_back(
+          writer.append(d.id, 0, g_.num_vertices(), p.runs, p.values));
+    }
+    writer.finish();
+    ASSERT_EQ(ooc::SpillReader::open(path_, g_.num_vertices(),
+                                     plan_.pieces.size(), plan_.plan_hash,
+                                     &reader_),
+              ingest::CacheStatus::kHit);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+
+  CsrGraph g_;
+  ooc::CsrSource src_;
+  ooc::Plan plan_;
+  std::string path_;
+  std::vector<CsrGraph> pieces_;
+  std::vector<std::vector<ooc::SegmentRef>> dir_;
+  ooc::SpillReader reader_;
+};
+
+TEST_F(OocSpill, RoundTripsEveryPiece) {
+  for (const ooc::PieceDesc& d : plan_.pieces) {
+    if (d.arcs == 0) continue;
+    CsrGraph rebuilt;
+    std::uint64_t bytes = 0;
+    ASSERT_EQ(reader_.read_piece(dir_[d.id], d.arcs, &rebuilt, &bytes),
+              ingest::CacheStatus::kHit)
+        << "piece " << d.id;
+    expect_same_csr(rebuilt, pieces_[d.id]);
+    EXPECT_GT(bytes, 0u);
+  }
+}
+
+TEST_F(OocSpill, MultiSegmentConcatenationMatchesSingleSegment) {
+  // Re-emit piece 0 as two range segments and check the concatenated
+  // rebuild is byte-identical to the single-segment one.
+  const CsrGraph& piece = pieces_[0];
+  ASSERT_GT(piece.num_arcs(), 0u);
+  const vid_t n = g_.num_vertices();
+  const vid_t mid = n / 2;
+  const std::span<const eid_t> off = piece.offsets();
+  const std::span<const vid_t> adj = piece.adjacency();
+
+  const std::string path2 =
+      (fs::path(::testing::TempDir()) / "ooc_spill_two_seg.sbgc").string();
+  ooc::SpillWriter writer(path2, n, plan_.pieces.size(), plan_.plan_hash);
+  std::vector<ooc::SegmentRef> refs;
+  const auto emit = [&](vid_t v0, vid_t v1) {
+    PiecePayload p;
+    for (vid_t v = v0; v < v1; ++v) {
+      const eid_t cnt = off[v + 1] - off[v];
+      if (cnt == 0) continue;
+      p.runs.push_back(v);
+      p.runs.push_back(static_cast<std::uint32_t>(cnt));
+    }
+    p.values.assign(adj.begin() + off[v0], adj.begin() + off[v1]);
+    if (!p.values.empty()) {
+      refs.push_back(writer.append(0, v0, v1, p.runs, p.values));
+    }
+  };
+  emit(0, mid);
+  emit(mid, n);
+  writer.finish();
+
+  ooc::SpillReader reader;
+  ASSERT_EQ(ooc::SpillReader::open(path2, n, plan_.pieces.size(),
+                                   plan_.plan_hash, &reader),
+            ingest::CacheStatus::kHit);
+  CsrGraph rebuilt;
+  ASSERT_EQ(reader.read_piece(refs, piece.num_arcs(), &rebuilt, nullptr),
+            ingest::CacheStatus::kHit);
+  expect_same_csr(rebuilt, piece);
+  fs::remove(path2);
+}
+
+TEST_F(OocSpill, ScanRebuildsTheDirectory) {
+  std::vector<std::vector<ooc::SegmentRef>> scanned;
+  ASSERT_EQ(reader_.scan(&scanned), ingest::CacheStatus::kHit);
+  ASSERT_EQ(scanned.size(), dir_.size());
+  for (std::size_t p = 0; p < dir_.size(); ++p) {
+    ASSERT_EQ(scanned[p].size(), dir_[p].size()) << "piece " << p;
+    for (std::size_t s = 0; s < dir_[p].size(); ++s) {
+      EXPECT_EQ(scanned[p][s].offset, dir_[p][s].offset);
+      EXPECT_EQ(scanned[p][s].runs, dir_[p][s].runs);
+      EXPECT_EQ(scanned[p][s].arcs, dir_[p][s].arcs);
+    }
+  }
+}
+
+TEST_F(OocSpill, TruncatedStoreDegradesToCorruptNeverShortCsr) {
+  // Chop the tail off the last nonempty piece's segment: its read must
+  // come back kCorrupt (and re-extraction must still produce the piece),
+  // while untouched earlier pieces keep reading clean.
+  std::uint32_t last = 0, first = 0;
+  bool seen = false;
+  for (const ooc::PieceDesc& d : plan_.pieces) {
+    if (d.arcs == 0) continue;
+    if (!seen) first = d.id;
+    seen = true;
+    last = d.id;
+  }
+  ASSERT_TRUE(seen);
+  ASSERT_NE(first, last);
+
+  fs::resize_file(path_, fs::file_size(path_) - 9);
+  CsrGraph rebuilt;
+  EXPECT_EQ(reader_.read_piece(dir_[last], plan_.pieces[last].arcs, &rebuilt,
+                               nullptr),
+            ingest::CacheStatus::kCorrupt);
+  EXPECT_EQ(rebuilt.num_arcs(), 0u);  // *out untouched, not a short CSR
+
+  // The executor's recovery path: re-extract from the source.
+  const CsrGraph recovered = ooc::extract_single_piece(src_, plan_, last);
+  expect_same_csr(recovered, pieces_[last]);
+
+  ASSERT_EQ(reader_.read_piece(dir_[first], plan_.pieces[first].arcs,
+                               &rebuilt, nullptr),
+            ingest::CacheStatus::kHit);
+  expect_same_csr(rebuilt, pieces_[first]);
+
+  // scan() keeps the clean prefix and reports the truncation.
+  std::vector<std::vector<ooc::SegmentRef>> scanned;
+  EXPECT_EQ(reader_.scan(&scanned), ingest::CacheStatus::kCorrupt);
+  ASSERT_EQ(scanned.size(), plan_.pieces.size());
+  EXPECT_EQ(scanned[first].size(), dir_[first].size());
+}
+
+TEST_F(OocSpill, PayloadCorruptionFailsTheChecksum) {
+  std::uint32_t victim = 0;
+  for (const ooc::PieceDesc& d : plan_.pieces) {
+    if (d.arcs > 0) victim = d.id;
+  }
+  // Flip one adjacency byte in the victim's payload (header + runs skipped).
+  const ooc::SegmentRef ref = dir_[victim][0];
+  flip_byte(path_, ref.offset + ooc::kSegmentHeaderBytes +
+                       std::uint64_t(ref.runs) * 8 + 2);
+  CsrGraph rebuilt;
+  EXPECT_EQ(reader_.read_piece(dir_[victim], plan_.pieces[victim].arcs,
+                               &rebuilt, nullptr),
+            ingest::CacheStatus::kCorrupt);
+}
+
+TEST_F(OocSpill, MismatchedPlanReadsStale) {
+  ooc::SpillReader reader;
+  EXPECT_EQ(ooc::SpillReader::open(path_, g_.num_vertices(),
+                                   plan_.pieces.size(), plan_.plan_hash ^ 1,
+                                   &reader),
+            ingest::CacheStatus::kStale);
+  // A v1 cache reader refuses the v2 container as stale, not corrupt.
+  CsrGraph out;
+  EXPECT_EQ(ingest::read_cache_file(path_, nullptr, &out),
+            ingest::CacheStatus::kStale);
+}
+
+// ------------------------------------------------------------------ runs --
+
+TEST(OocRun, HashIdenticalAcrossMemorySpillAndOverlapPaths) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan_mem = ooc::plan_ooc(src, small_options());
+  // Budget chosen well under the working set so the spill store, LRU
+  // eviction, and refetch paths all genuinely run.
+  const ooc::Plan plan_spill =
+      ooc::plan_ooc(src, small_options(plan_mem.total_working_set / 4));
+
+  ooc::RunOptions stop;
+  stop.overlap = false;
+  stop.spill_dir = ::testing::TempDir();
+  ooc::RunOptions over;
+  over.spill_dir = ::testing::TempDir();
+
+  const ooc::OocResult mem = ooc::run_ooc(src, plan_mem);
+  const ooc::OocResult spill = ooc::run_ooc(src, plan_spill, stop);
+  const ooc::OocResult lap = ooc::run_ooc(src, plan_spill, over);
+
+  ASSERT_EQ(mem.status, ooc::RunStatus::kOk) << mem.error;
+  ASSERT_EQ(spill.status, ooc::RunStatus::kOk) << spill.error;
+  ASSERT_EQ(lap.status, ooc::RunStatus::kOk) << lap.error;
+
+  EXPECT_TRUE(test::IsMaximalMatching(g, mem.mate));
+  EXPECT_EQ(mem.result_hash, spill.result_hash);
+  EXPECT_EQ(mem.result_hash, lap.result_hash);
+  EXPECT_EQ(mem.cardinality, spill.cardinality);
+  EXPECT_EQ(mem.mate, spill.mate);
+  EXPECT_EQ(mem.mate, lap.mate);
+
+  EXPECT_GT(spill.bytes_spilled, 0u);
+  EXPECT_EQ(spill.bytes_spilled, plan_spill.spill_bytes);
+  EXPECT_EQ(mem.bytes_spilled, 0u);
+}
+
+TEST(OocRun, CostModelIsExactWithoutRefetches) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan =
+      ooc::plan_ooc(src, small_options(1ull << 22));  // roomy: no evictions
+  ooc::RunOptions ro;
+  ro.overlap = false;
+  ro.spill_dir = ::testing::TempDir();
+  const ooc::OocResult res = ooc::run_ooc(src, plan, ro);
+  ASSERT_EQ(res.status, ooc::RunStatus::kOk) << res.error;
+  ASSERT_EQ(res.evictions, 0u);
+  for (const ooc::PieceStats& st : res.pieces) {
+    if (st.arcs == 0) continue;
+    EXPECT_EQ(st.actual_store_bytes, st.predicted_store_bytes)
+        << "piece " << st.id;
+  }
+  EXPECT_EQ(res.actual_bytes_moved, res.predicted_bytes_moved);
+  EXPECT_EQ(res.reextracts, 0u);
+}
+
+TEST(OocRun, PeakResidentStaysUnderBudgetPlusSlack) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan ref = ooc::plan_ooc(src, small_options());
+  const std::uint64_t budget = ref.total_working_set / 4;
+  const ooc::Plan plan = ooc::plan_ooc(src, small_options(budget));
+  for (const bool overlap : {false, true}) {
+    ooc::RunOptions ro;
+    ro.overlap = overlap;
+    ro.spill_dir = ::testing::TempDir();
+    const ooc::OocResult res = ooc::run_ooc(src, plan, ro);
+    ASSERT_EQ(res.status, ooc::RunStatus::kOk) << res.error;
+    EXPECT_LE(res.peak_resident_bytes, budget + (1u << 20))
+        << "overlap=" << overlap;
+  }
+}
+
+TEST(OocRun, MappedSourceMatchesHeapSource) {
+  const CsrGraph g = test_graph();
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "ooc_mapped_source.sbgc").string();
+  ingest::write_cache_file(path, ingest::CacheKey{}, g);
+  ingest::MappedCsr mapped;
+  ASSERT_EQ(ingest::map_cache_file(path, &mapped), ingest::CacheStatus::kHit);
+  ASSERT_TRUE(mapped.valid());
+  EXPECT_EQ(mapped.num_vertices(), g.num_vertices());
+  EXPECT_EQ(mapped.num_arcs(), g.num_arcs());
+
+  const ooc::CsrSource heap_src = ooc::CsrSource::from_graph(g);
+  const ooc::CsrSource map_src = ooc::CsrSource::from_mapped(mapped);
+  const ooc::Plan heap_plan = ooc::plan_ooc(heap_src, small_options());
+  const ooc::Plan map_plan = ooc::plan_ooc(map_src, small_options());
+  EXPECT_EQ(heap_plan.plan_hash, map_plan.plan_hash);
+  const ooc::OocResult a = ooc::run_ooc(heap_src, heap_plan);
+  const ooc::OocResult b = ooc::run_ooc(map_src, map_plan);
+  ASSERT_EQ(a.status, ooc::RunStatus::kOk);
+  ASSERT_EQ(b.status, ooc::RunStatus::kOk);
+  EXPECT_EQ(a.result_hash, b.result_hash);
+  mapped.drop_pages();  // advisory, must be harmless
+  EXPECT_EQ(map_src.offsets[0], 0u);
+
+  // A truncated standalone .sbgc maps as corrupt, never a short view.
+  fs::resize_file(path, fs::file_size(path) - 5);
+  ingest::MappedCsr bad;
+  EXPECT_EQ(ingest::map_cache_file(path, &bad),
+            ingest::CacheStatus::kCorrupt);
+  EXPECT_FALSE(bad.valid());
+  fs::remove(path);
+}
+
+TEST(OocRun, ShapeSweepStaysOracleCleanUnderTinyBudget) {
+  for (const test::GraphCase& c : test::shape_sweep()) {
+    const CsrGraph g = c.make();
+    const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+    for (const ooc::PieceFamily family :
+         {ooc::PieceFamily::kRand, ooc::PieceFamily::kDegk}) {
+      const ooc::Plan mem_plan =
+          ooc::plan_ooc(src, small_options(0, family));
+      const ooc::Plan spill_plan =
+          ooc::plan_ooc(src, small_options(64 << 10, family));
+      ooc::RunOptions ro;
+      ro.spill_dir = ::testing::TempDir();
+      const ooc::OocResult mem = ooc::run_ooc(src, mem_plan);
+      const ooc::OocResult spill = ooc::run_ooc(src, spill_plan, ro);
+      ASSERT_EQ(mem.status, ooc::RunStatus::kOk) << c.name << ": "
+                                                 << mem.error;
+      ASSERT_EQ(spill.status, ooc::RunStatus::kOk) << c.name << ": "
+                                                   << spill.error;
+      EXPECT_TRUE(test::IsMaximalMatching(g, mem.mate)) << c.name;
+      EXPECT_EQ(mem.result_hash, spill.result_hash) << c.name;
+    }
+  }
+}
+
+TEST(OocRun, LmaxEngineIsOracleCleanAndBudgetStable) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  ooc::PlanOptions po = small_options();
+  po.engine = ooc::Engine::kLMAX;
+  const ooc::Plan mem_plan = ooc::plan_ooc(src, po);
+  po.mem_budget = mem_plan.total_working_set / 4;
+  const ooc::Plan spill_plan = ooc::plan_ooc(src, po);
+  ooc::RunOptions ro;
+  ro.spill_dir = ::testing::TempDir();
+  const ooc::OocResult mem = ooc::run_ooc(src, mem_plan);
+  const ooc::OocResult spill = ooc::run_ooc(src, spill_plan, ro);
+  ASSERT_EQ(mem.status, ooc::RunStatus::kOk) << mem.error;
+  ASSERT_EQ(spill.status, ooc::RunStatus::kOk) << spill.error;
+  EXPECT_TRUE(test::IsMaximalMatching(g, mem.mate));
+  EXPECT_EQ(mem.result_hash, spill.result_hash);
+}
+
+TEST(OocRun, CancelTokenCancelsBothPhases) {
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan = ooc::plan_ooc(src, small_options());
+  CancelToken token;
+  token.request_cancel();
+  ooc::RunOptions ro;
+  ro.cancel = &token;
+  const ooc::OocResult res = ooc::run_ooc(src, plan, ro);
+  EXPECT_EQ(res.status, ooc::RunStatus::kCancelled);
+}
+
+TEST(OocRun, NonMatchingWorkloadsAreRejected) {
+  // MIS/coloring extenders are not composable over co-partition pieces
+  // (DESIGN.md §12); the plan API only admits kMM and the enum has no
+  // other member — assert the guard text survives refactors.
+  const ooc::Plan plan = ooc::plan_ooc(
+      ooc::CsrSource::from_graph(test_graph()), small_options());
+  EXPECT_EQ(plan.options.workload, ooc::Workload::kMM);
+}
+
+// ---------------------------------------------- memory accounting (sat 1) --
+
+TEST(OocAccounting, ResidentBytesCoversAllCsrArrays) {
+  const CsrGraph g = test_graph();
+  // heap_bytes charges capacities of every backing array; the old
+  // size-based accounting is its floor.
+  const std::uint64_t floor_bytes =
+      (std::uint64_t(g.num_vertices()) + 1) * sizeof(eid_t) +
+      std::uint64_t(g.num_arcs()) * sizeof(vid_t);
+  EXPECT_GE(g.heap_bytes(), floor_bytes);
+  EXPECT_EQ(ingest::resident_bytes(g), g.heap_bytes());
+}
+
+TEST(OocAccounting, EnvBudgetParsesSuffixes) {
+  setenv("SBG_MEM_BUDGET", "64M", 1);
+  EXPECT_EQ(ooc::mem_budget_from_env(), 64ull << 20);
+  setenv("SBG_MEM_BUDGET", "2G", 1);
+  EXPECT_EQ(ooc::mem_budget_from_env(), 2ull << 30);
+  setenv("SBG_MEM_BUDGET", "512k", 1);
+  EXPECT_EQ(ooc::mem_budget_from_env(), 512ull << 10);
+  setenv("SBG_MEM_BUDGET", "1234", 1);
+  EXPECT_EQ(ooc::mem_budget_from_env(), 1234u);
+  setenv("SBG_MEM_BUDGET", "nonsense", 1);
+  EXPECT_THROW(ooc::mem_budget_from_env(), InputError);
+  unsetenv("SBG_MEM_BUDGET");
+  EXPECT_EQ(ooc::mem_budget_from_env(), 0u);
+}
+
+// ------------------------------------------- scratch interaction (sat 4) --
+
+/// Piece-local solves on t concurrent threads: each thread's arena obeys
+/// SBG_SCRATCH_CAP after its solve's rewind-to-empty (largest-first
+/// release), so the sum across concurrently resident piece solvers is
+/// bounded by t * cap.
+void run_scratch_cap_solves(int threads) {
+  constexpr std::size_t kCap = 48 << 10;
+  const CsrGraph g = test_graph();
+  const ooc::CsrSource src = ooc::CsrSource::from_graph(g);
+  const ooc::Plan plan = ooc::plan_ooc(src, small_options());
+
+  std::vector<std::thread> pool;
+  std::vector<std::size_t> after(std::size_t(threads), 0);
+  std::vector<int> solved(std::size_t(threads), 0);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      // Fresh thread => fresh thread-local arena, capped via the same
+      // setter SBG_SCRATCH_CAP drives at construction.
+      Scratch::local().set_capacity_cap(kCap);
+      std::vector<vid_t> mate(g.num_vertices(), kNoVertex);
+      for (std::size_t p = std::size_t(t); p < plan.pieces.size();
+           p += std::size_t(threads)) {
+        if (plan.pieces[p].arcs == 0) continue;
+        const CsrGraph piece = ooc::extract_single_piece(src, plan,
+                                                         plan.pieces[p].id);
+        gm_extend(piece, mate);
+        ++solved[std::size_t(t)];
+        // Post-solve (rewind-to-empty) the arena must have trimmed
+        // largest-first back under the cap — this bounds the sum of all
+        // concurrently resident piece solvers at threads * cap.
+        EXPECT_LE(Scratch::local().capacity_bytes(), kCap)
+            << "thread " << t << " piece " << p;
+      }
+      after[std::size_t(t)] = Scratch::local().capacity_bytes();
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  std::size_t sum = 0;
+  int total_solved = 0;
+  for (int t = 0; t < threads; ++t) {
+    sum += after[std::size_t(t)];
+    total_solved += solved[std::size_t(t)];
+  }
+  EXPECT_GT(total_solved, 0);
+  EXPECT_LE(sum, kCap * std::size_t(threads));
+}
+
+TEST(OocScratch, CapBoundsConcurrentPieceSolvesT1) {
+  run_scratch_cap_solves(1);
+}
+TEST(OocScratch, CapBoundsConcurrentPieceSolvesT2) {
+  run_scratch_cap_solves(2);
+}
+TEST(OocScratch, CapBoundsConcurrentPieceSolvesT8) {
+  run_scratch_cap_solves(8);
+}
+
+}  // namespace
