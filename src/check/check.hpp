@@ -29,6 +29,7 @@
 #include "core/bridge.hpp"
 #include "core/degk.hpp"
 #include "core/grow.hpp"
+#include "core/kcore.hpp"
 #include "core/rand.hpp"
 #include "graph/csr.hpp"
 #include "mis/mis.hpp"
@@ -128,6 +129,13 @@ CheckResult check_decomposition(const CsrGraph& g, const GrowDecomposition& d);
 /// holds exactly its filter: G_H both-high, G_L both-low, G_C mixed,
 /// G_L∪G_C not-both-high. G_H + G_L + G_C cover every edge exactly once.
 CheckResult check_decomposition(const CsrGraph& g, const DegkDecomposition& d,
+                                unsigned pieces);
+
+/// KCORE oracle: core numbers match the sequential Matula–Beck reference
+/// (full differential check), degeneracy is their max, the peeling order is
+/// a core-nondecreasing permutation, is_high/num_high agree with the
+/// threshold, and each materialized piece holds exactly its filter.
+CheckResult check_decomposition(const CsrGraph& g, const KcoreDecomposition& d,
                                 unsigned pieces);
 
 }  // namespace sbg::check

@@ -220,4 +220,87 @@ CheckResult check_decomposition(const CsrGraph& g, const DegkDecomposition& d,
   return CheckResult::pass();
 }
 
+CheckResult check_decomposition(const CsrGraph& g, const KcoreDecomposition& d,
+                                unsigned pieces) {
+  SBG_COUNTER_ADD("check.decomposition.runs", 1);
+  const vid_t n = g.num_vertices();
+  if (d.core.size() != n) {
+    return CheckResult::fail("core array size != num_vertices");
+  }
+  // Differential: the parallel bucketed peel must agree vertex-for-vertex
+  // with the sequential Matula–Beck reference.
+  const std::vector<vid_t> ref = kcore_reference(g);
+  const std::size_t bad_core =
+      parallel_first(n, [&](std::size_t v) { return d.core[v] != ref[v]; });
+  if (bad_core < n) {
+    return CheckResult::fail("core number disagrees with sequential peeling",
+                             static_cast<vid_t>(bad_core));
+  }
+  const vid_t degeneracy = static_cast<vid_t>(parallel_max<std::size_t>(
+      n, [&](std::size_t v) { return d.core[v]; }, 0));
+  if (d.degeneracy != degeneracy) {
+    return CheckResult::fail("degeneracy != max core number");
+  }
+
+  if (d.order.size() != n) {
+    return CheckResult::fail("peeling order size != num_vertices");
+  }
+  std::vector<std::uint8_t> seen(n, 0);
+  for (std::size_t i = 0; i < d.order.size(); ++i) {
+    const vid_t v = d.order[i];
+    if (v >= n || seen[v]) {
+      return CheckResult::fail("peeling order is not a permutation",
+                               v < n ? v : kNoVertex);
+    }
+    seen[v] = 1;
+    if (i > 0 && d.core[d.order[i - 1]] > d.core[v]) {
+      return CheckResult::fail("peeling order not core-nondecreasing", v);
+    }
+  }
+
+  if (d.is_high.size() != n) {
+    return CheckResult::fail("is_high size != num_vertices");
+  }
+  const std::size_t bad_side = parallel_first(n, [&](std::size_t i) {
+    const vid_t v = static_cast<vid_t>(i);
+    return (d.is_high[v] != 0) != (d.core[v] > d.k);
+  });
+  if (bad_side < n) {
+    return CheckResult::fail("is_high disagrees with the core threshold",
+                             static_cast<vid_t>(bad_side));
+  }
+  const vid_t num_high = static_cast<vid_t>(
+      parallel_count(n, [&](std::size_t v) { return d.is_high[v] != 0; }));
+  if (num_high != d.num_high) {
+    return CheckResult::fail("num_high != population count of is_high");
+  }
+
+  const auto high = [&](vid_t v) { return d.is_high[v] != 0; };
+  if (pieces & kKcoreHigh) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_high, "g_high",
+            [&](vid_t v, vid_t w) { return high(v) && high(w); });
+        !r) {
+      return r;
+    }
+  }
+  if (pieces & kKcoreLow) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_low, "g_low",
+            [&](vid_t v, vid_t w) { return !high(v) && !high(w); });
+        !r) {
+      return r;
+    }
+  }
+  if (pieces & kKcoreCross) {
+    if (const CheckResult r = check_filtered_piece(
+            g, d.g_cross, "g_cross",
+            [&](vid_t v, vid_t w) { return high(v) != high(w); });
+        !r) {
+      return r;
+    }
+  }
+  return CheckResult::pass();
+}
+
 }  // namespace sbg::check

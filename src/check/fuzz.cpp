@@ -166,7 +166,7 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
   const auto push = [&](const char* name, const CheckResult& r) {
     if (!r) fails.push_back(fmt("decompose/", name, r.message()));
   };
-  if (runs) *runs += 6;
+  if (runs) *runs += 7;
   try {
     const BridgeDecomposition naive =
         decompose_bridge(g, BridgeAlgo::kNaiveWalk);
@@ -212,13 +212,21 @@ void check_decompositions(const CsrGraph& g, std::uint64_t seed, int* runs,
     fails.push_back(fmt("decompose/", "degk",
                         std::string("exception: ") + e.what()));
   }
+  try {
+    push("kcore-2",
+         check_decomposition(g, decompose_kcore(g, 2, kKcoreAll), kKcoreAll));
+  } catch (const std::exception& e) {
+    fails.push_back(fmt("decompose/", "kcore",
+                        std::string("exception: ") + e.what()));
+  }
 }
 
 }  // namespace
 
 const std::vector<std::string>& fuzz_families() {
   static const std::vector<std::string> kFamilies = {
-      "basic", "rgg", "rmat", "synth", "ingest", "batch", "auto", "serve"};
+      "basic", "rgg", "rmat", "synth", "ingest", "batch", "auto", "serve",
+      "dyn"};
   return kFamilies;
 }
 
@@ -399,6 +407,12 @@ FuzzSummary run_fuzz(const FuzzOptions& opt) {
           // daemon, adversarial HTTP included (see fuzz_serve.cpp).
           fails = fuzz_check_serve(graph_seed, opt.max_n, &shape,
                                    &summary.solver_runs);
+        } else if (family == "dyn") {
+          // Dynamic-graph fuzz: random update batches applied to a DynGraph
+          // with incremental repair, differenced against from-scratch solves
+          // on the materialized graph (see fuzz_dyn.cpp).
+          fails = fuzz_check_dyn(graph_seed, opt.max_n, &shape,
+                                 &summary.solver_runs);
         } else {
           const CsrGraph g = fuzz_graph(family, graph_seed, opt.max_n, &shape);
           fails = fuzz_check_graph(g, graph_seed, &summary.solver_runs);

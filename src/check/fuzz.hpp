@@ -36,9 +36,11 @@ namespace sbg::check {
 /// concurrent sched jobs and replays them sequentially for hash agreement
 /// (see fuzz_check_batch), "auto", which solves through the sbg::tune
 /// adaptive-selection path and replays the resolved variant explicitly
-/// (see fuzz_check_auto), and "serve", which fires concurrent clients —
+/// (see fuzz_check_auto), "serve", which fires concurrent clients —
 /// adversarial HTTP included — at a live in-process sbg_serve daemon
-/// (see fuzz_check_serve).
+/// (see fuzz_check_serve), and "dyn", which streams random update batches
+/// through a DynGraph with incremental repair and differences the result
+/// against from-scratch solves (see fuzz_check_dyn).
 const std::vector<std::string>& fuzz_families();
 
 /// Deterministic random graph for (family, seed): shape and size are drawn
@@ -100,6 +102,20 @@ std::vector<std::string> fuzz_check_auto(std::uint64_t seed, vid_t max_n,
 std::vector<std::string> fuzz_check_serve(std::uint64_t seed, vid_t max_n,
                                           std::string* shape = nullptr,
                                           int* solver_runs = nullptr);
+
+/// One "dyn" family iteration: a base graph plus a seed-chosen sequence of
+/// update batches (insert-heavy, delete-heavy, mixed, sometimes empty)
+/// applied to a dyn::DynGraph with incremental MM/MIS/coloring repair after
+/// every batch. After each batch the materialized graph must hash-agree
+/// byte-for-byte with a from-scratch build of the ground-truth edge set,
+/// every repaired solution must pass its oracle on the materialized graph,
+/// and cardinalities must stay inside the cross-solution agreement bounds
+/// (|M| within 2x of a fresh solve, |I| >= n/(maxdeg+1), palette inside the
+/// explosion envelope). Compaction is forced on some iterations to cover
+/// the delta-to-CSR rebuild. Returns one string per failure.
+std::vector<std::string> fuzz_check_dyn(std::uint64_t seed, vid_t max_n,
+                                        std::string* shape = nullptr,
+                                        int* solver_runs = nullptr);
 
 struct FuzzOptions {
   std::uint64_t seed = 1;

@@ -1,0 +1,184 @@
+// The "dyn" fuzz family: differential fuzzing for the dynamic-graph path.
+//
+// One iteration draws a base graph, opens a dyn::Session over it, and
+// streams a seed-chosen sequence of update batches through it — insert-
+// heavy, delete-heavy, mixed, and deliberately empty ones, with occasional
+// vertex growth past the current n and duplicate / self-loop / no-op
+// entries left in to exercise canonicalization. A plain std::set of
+// canonical edges is maintained alongside as ground truth with the same
+// inserts-then-removes semantics. After every batch:
+//
+//  * the session's materialized CSR must hash-agree byte-for-byte with a
+//    from-scratch build of the ground-truth edge set (offsets + adjacency),
+//  * every repaired solution must pass its oracle on that graph (the
+//    session verifies internally; oracle_error must stay empty),
+//  * the repaired matching must agree with a from-scratch solve on the
+//    materialized graph within the maximal-matching 2x bound.
+//
+// A quarter of iterations shrink the compaction threshold so nearly every
+// batch folds the deltas back into a fresh base CSR, covering the
+// compact/re-peel path; repair correctness must be oblivious to when
+// compaction happens.
+#include "check/fuzz.hpp"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dyn/session.hpp"
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "matching/matching.hpp"
+#include "obs/obs.hpp"
+#include "parallel/rng.hpp"
+
+namespace sbg::check {
+
+std::vector<std::string> fuzz_check_dyn(std::uint64_t seed, vid_t max_n,
+                                        std::string* shape,
+                                        int* solver_runs) {
+  SBG_COUNTER_ADD("fuzz.dyn_iterations", 1);
+  std::vector<std::string> fails;
+  Rng rng(mix64(seed ^ 0xd1f0));
+
+  static const char* kGraphFamilies[] = {"basic", "rgg", "rmat", "synth"};
+  const std::string family = kGraphFamilies[rng.below(4)];
+  std::string graph_shape;
+  CsrGraph base = fuzz_graph(family, rng.next(), max_n, &graph_shape);
+
+  // Ground truth: the canonical (u < v) edge set of the evolving graph.
+  std::set<std::pair<vid_t, vid_t>> truth;
+  for (vid_t v = 0; v < base.num_vertices(); ++v) {
+    for (const vid_t w : base.neighbors(v)) {
+      if (v < w) truth.insert({v, w});
+    }
+  }
+  vid_t truth_n = base.num_vertices();
+
+  dyn::SessionOptions sopt;
+  sopt.seed = rng.next();
+  // A quarter of iterations compact after nearly every batch.
+  const bool force_compact = rng.below(4) == 0;
+  if (force_compact) sopt.compact_fraction = 1e-6;
+
+  dyn::Session session(std::move(base), sopt);
+  if (solver_runs) *solver_runs += 3;  // the initial MM / color / MIS solves
+
+  const int batches = 3 + static_cast<int>(rng.below(6));
+  for (int b = 0; b < batches; ++b) {
+    const std::string tag =
+        "dyn/" + graph_shape + " batch#" + std::to_string(b);
+
+    // Batch profile: empty / insert-heavy / delete-heavy / mixed.
+    dyn::UpdateBatch batch;
+    std::size_t n_ins = 0, n_rem = 0;
+    const std::size_t scale = 1 + rng.below(16);
+    switch (rng.below(8)) {
+      case 0: break;  // deliberately empty
+      case 1:
+      case 2: n_ins = scale; break;
+      case 3:
+      case 4: n_rem = scale; break;
+      default: n_ins = scale; n_rem = scale; break;
+    }
+    for (std::size_t i = 0; i < n_ins; ++i) {
+      // Occasionally name endpoints past the current n (vertex growth,
+      // sometimes far past it so the grown range contains isolated ids on
+      // no inserted edge); duplicates, self-loops and already-present
+      // edges stay in.
+      const vid_t span = truth_n == 0
+                             ? 4
+                             : truth_n + (rng.below(8) == 0
+                                              ? 1 + vid_t(rng.below(12))
+                                              : 0);
+      batch.insert.push_back(
+          {vid_t(rng.below(span)), vid_t(rng.below(span))});
+    }
+    for (std::size_t i = 0; i < n_rem; ++i) {
+      if (!truth.empty() && rng.below(4) != 0) {
+        auto it = truth.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.below(truth.size())));
+        batch.remove.push_back({it->first, it->second});
+      } else if (truth_n > 0) {
+        // Mostly-absent edge: deleting a non-edge must be a no-op.
+        batch.remove.push_back(
+            {vid_t(rng.below(truth_n)), vid_t(rng.below(truth_n))});
+      }
+    }
+
+    // Mirror apply()'s semantics on the ground truth: canonicalize both
+    // lists, drop inserts that the same batch also removes (removes win),
+    // then union the inserts and subtract the removes. Vertex growth comes
+    // only from surviving insert endpoints.
+    std::set<std::pair<vid_t, vid_t>> ins, rem;
+    for (Edge e : batch.remove) {
+      if (e.u == e.v) continue;
+      if (e.u > e.v) std::swap(e.u, e.v);
+      rem.insert({e.u, e.v});
+    }
+    for (Edge e : batch.insert) {
+      if (e.u == e.v) continue;
+      if (e.u > e.v) std::swap(e.u, e.v);
+      if (rem.count({e.u, e.v})) continue;
+      ins.insert({e.u, e.v});
+    }
+    for (const auto& e : ins) {
+      truth.insert(e);
+      truth_n = std::max(truth_n, static_cast<vid_t>(e.second + 1));
+    }
+    for (const auto& e : rem) truth.erase(e);
+
+    const dyn::UpdateOutcome out = session.update(batch, /*verify=*/true);
+    if (solver_runs) *solver_runs += 3;
+
+    // 1) The session's own oracle pass (repairs checked against the
+    //    materialized graph) must be clean.
+    if (!out.oracle_error.empty()) {
+      fails.push_back(tag + ": oracle: " + out.oracle_error);
+    }
+
+    // 2) Differential anchor: materialize must hash-agree with a
+    //    from-scratch build of the ground truth.
+    EdgeList el;
+    el.num_vertices = truth_n;
+    el.edges.reserve(truth.size());
+    for (const auto& e : truth) el.edges.push_back({e.first, e.second});
+    const CsrGraph ref = build_csr(el);  // set order is already normalized
+    if (dyn::hash_graph(ref) != out.graph_hash) {
+      fails.push_back(tag + ": materialized graph hash " +
+                      std::to_string(out.graph_hash) +
+                      " != ground-truth build " +
+                      std::to_string(dyn::hash_graph(ref)));
+    }
+    if (out.num_vertices != truth_n ||
+        out.num_edges != static_cast<eid_t>(truth.size())) {
+      fails.push_back(tag + ": size n=" + std::to_string(out.num_vertices) +
+                      " m=" + std::to_string(out.num_edges) +
+                      " != truth n=" + std::to_string(truth_n) +
+                      " m=" + std::to_string(truth.size()));
+    }
+
+    // 3) Cross-solution agreement: two maximal matchings of the same graph
+    //    are within 2x of each other.
+    const MatchResult fresh = mm_gm(ref);
+    if (solver_runs) ++*solver_runs;
+    if (2 * out.mm_cardinality < fresh.cardinality ||
+        2 * fresh.cardinality < out.mm_cardinality) {
+      fails.push_back(tag + ": repaired |M|=" +
+                      std::to_string(out.mm_cardinality) +
+                      " vs fresh |M|=" + std::to_string(fresh.cardinality) +
+                      " breaks the maximal-matching 2x bound");
+    }
+  }
+
+  if (shape) {
+    *shape = graph_shape + " batches=" + std::to_string(batches) +
+             (force_compact ? " compact-heavy" : "");
+  }
+  SBG_COUNTER_ADD("fuzz.failures", fails.size());
+  return fails;
+}
+
+}  // namespace sbg::check

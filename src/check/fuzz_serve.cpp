@@ -111,15 +111,22 @@ std::vector<std::string> fuzz_check_serve(std::uint64_t seed, vid_t max_n,
   // Per-client request scripts are drawn up-front from the iteration Rng so
   // the traffic mix is a pure function of the seed; only the interleaving
   // varies across runs.
-  struct Step { int kind; sched::Problem p; std::string variant; };
+  struct Step {
+    int kind;
+    sched::Problem p;
+    std::string variant;
+    std::uint64_t x = 0;  ///< per-step entropy, drawn up-front (threads
+                          ///< must not share the iteration Rng)
+  };
   std::vector<std::vector<Step>> scripts(static_cast<std::size_t>(nclients));
   for (auto& script : scripts) {
     const int nreq = 2 + int(rng.below(3));
     for (int r = 0; r < nreq; ++r) {
       Step s;
-      s.kind = int(rng.below(8));
+      s.kind = int(rng.below(10));
       s.p = static_cast<sched::Problem>(rng.below(3));
       s.variant = pick_variant(s.p, rng);
+      s.x = rng.next();
       script.push_back(std::move(s));
     }
   }
@@ -190,6 +197,56 @@ std::vector<std::string> fuzz_check_serve(std::uint64_t seed, vid_t max_n,
             // came, must be a 4xx.
             if (!raw.empty() && raw.find("HTTP/1.1 4") != 0) {
               fail("raw: unexpected response: " + raw.substr(0, 40));
+            }
+            break;
+          }
+          case 6: {  // truncated / malformed status lines fail structurally
+            serve::ClientResponse pr;
+            std::string perr;
+            static const char* kBad[] = {
+                "HTTP/1.1 20\r\nX: 2000\r\n\r\n",  // truncated code, but a
+                                                   // later "2000" in headers
+                "HTTP/1.1 20",                     // no line terminator
+                "",                                // empty
+                "HTTP/1.1\r\n\r\n",                // no space on first line
+                "HTTP/1.1 2xx OK\r\n\r\n",         // non-digit code
+                "junk\r\nHTTP/1.1 200 OK\r\n\r\n"  // status not first line
+            };
+            for (const char* bad : kBad) {
+              perr.clear();
+              if (serve::parse_http_response(bad, &pr, &perr)) {
+                fail(std::string("parse: accepted malformed response: ") +
+                     (bad[0] ? bad : "<empty>"));
+              } else if (perr.empty()) {
+                fail("parse: rejected a response without an error message");
+              }
+            }
+            if (!serve::parse_http_response(
+                    "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok", &pr,
+                    &perr) ||
+                pr.status != 200 || pr.body != "ok") {
+              fail("parse: rejected well-formed response: " + perr);
+            }
+            break;
+          }
+          case 7: {  // streaming update batch -> 200, oracle-clean repair
+            Rng local(mix64(step.x ^ 0xdab));
+            std::string body = "{\"verify\":true,\"insert\":[";
+            const int ne = 1 + int(local.below(4));
+            for (int i = 0; i < ne; ++i) {
+              if (i) body += ",";
+              body += "[" + std::to_string(local.below(64)) + "," +
+                      std::to_string(local.below(64)) + "]";
+            }
+            body += "],\"delete\":[[" + std::to_string(local.below(64)) +
+                    "," + std::to_string(local.below(64)) + "]]}";
+            if (!serve::http_request(server.port(), "POST",
+                                     "/v1/graphs/fg/updates", body, &res,
+                                     &cerr)) {
+              fail_transport("updates: transport: " + cerr);
+            } else if (res.status != 200) {
+              fail("updates: got " + std::to_string(res.status) + ": " +
+                   res.body);
             }
             break;
           }

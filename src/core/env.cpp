@@ -1,0 +1,89 @@
+#include "core/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common.hpp"
+
+namespace sbg::env {
+
+std::uint64_t bytes(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::string s(raw);
+  std::uint64_t mult = 1;
+  switch (s.back()) {
+    case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
+    case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
+    case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
+    default: break;
+  }
+  // strtoull accepts a leading '-' and wraps it modulo 2^64; reject it
+  // before parsing so "-1G" cannot become a near-infinite budget.
+  if (s.empty() || s.front() == '-' || s.front() == '+') {
+    throw InputError(std::string(name) +
+                     ": expected bytes (optional K/M/G suffix), got '" + raw +
+                     "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') {
+    throw InputError(std::string(name) +
+                     ": expected bytes (optional K/M/G suffix), got '" + raw +
+                     "'");
+  }
+  if (mult > 1 && v > std::numeric_limits<std::uint64_t>::max() / mult) {
+    throw InputError(std::string(name) +
+                     ": byte count overflows 64 bits, got '" + raw + "'");
+  }
+  return std::uint64_t(v) * mult;
+}
+
+long get_long(const char* name, long fallback, long min_v, long max_v) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || v < min_v || v > max_v) {
+    throw InputError(std::string(name) + ": expected integer in [" +
+                     std::to_string(min_v) + ", " + std::to_string(max_v) +
+                     "], got '" + raw + "'");
+  }
+  return v;
+}
+
+double get_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(raw, &end);
+  if (errno != 0 || end == raw || *end != '\0' || !(v >= 0)) {
+    throw InputError(std::string(name) +
+                     ": expected non-negative number, got '" + raw + "'");
+  }
+  return v;
+}
+
+long long_or_warn(const char* name, long fallback, long min_v, long max_v) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || v < min_v || v > max_v) {
+    std::fprintf(stderr,
+                 "warning: %s ignored: expected integer in [%ld, %ld], "
+                 "got '%s'\n",
+                 name, min_v, max_v, raw);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace sbg::env

@@ -1,0 +1,40 @@
+// Shared environment-variable parsing.
+//
+// Every SBG_* knob used to grow its own ad-hoc parser; two of the byte-size
+// ones (serve mem cap, ooc budget) were copy-pasted and both multiplied
+// suffixes unchecked, so "99999999999999999G" silently wrapped to a tiny
+// budget. This is the one implementation, with two severities:
+//
+//   * strict (bytes / get_long / get_double): a malformed value throws
+//     InputError naming the variable — these knobs gate resource budgets
+//     and server limits, where a silently-misread value is worse than a
+//     refused start;
+//   * soft (long_or_warn): a malformed value prints one "warning: <NAME>
+//     ignored: ..." line (matching the SBG_OBS_EXPORT style) and falls back
+//     — these knobs only tune behaviour (sampler period, thread count), and
+//     observability must never crash the workload it observes.
+#pragma once
+
+#include <cstdint>
+
+namespace sbg::env {
+
+/// Byte count with optional K/M/G suffix (powers of 1024), e.g. "512M".
+/// Unset/empty returns `fallback`. Throws InputError on garbage, negative
+/// values, or any value whose suffix multiplication would overflow 64 bits.
+std::uint64_t bytes(const char* name, std::uint64_t fallback);
+
+/// Integer in [min_v, max_v]; unset/empty returns `fallback`, anything else
+/// malformed or out of range throws InputError.
+long get_long(const char* name, long fallback, long min_v, long max_v);
+
+/// Non-negative floating-point value; unset/empty returns `fallback`,
+/// malformed or negative throws InputError.
+double get_double(const char* name, double fallback);
+
+/// Soft integer knob: unset/empty returns `fallback`; garbage or a value
+/// outside [min_v, max_v] emits one "warning: <NAME> ignored: ..." line on
+/// stderr and returns `fallback` instead of throwing.
+long long_or_warn(const char* name, long fallback, long min_v, long max_v);
+
+}  // namespace sbg::env

@@ -1,0 +1,156 @@
+#include "core/kcore.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+#include "obs/obs.hpp"
+#include "parallel/atomics.hpp"
+#include "parallel/compact.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg {
+
+KcoreDecomposition decompose_kcore(const CsrGraph& g, vid_t k,
+                                   unsigned pieces) {
+  SBG_SPAN("decompose.kcore");
+  Timer timer;
+  KcoreDecomposition d;
+  d.k = k;
+  const vid_t n = g.num_vertices();
+  d.core.assign(n, 0);
+  d.order.clear();
+  d.order.reserve(n);
+
+  // deg[v] = remaining degree in the not-yet-peeled subgraph. Peeled
+  // vertices are the ones already appended to the order; `peeled[v]` gates
+  // both re-insertion and decrements among a single round's frontier.
+  std::vector<vid_t> deg(n);
+  std::vector<std::uint8_t> peeled(n, 0);
+  parallel_for(n, [&](std::size_t v) {
+    deg[v] = g.degree(static_cast<vid_t>(v));
+  });
+
+  std::vector<vid_t> cur(n), next(n);
+  vid_t level = 0;
+  vid_t remaining = n;
+  while (remaining > 0) {
+    // Seed the level-`level` frontier: every survivor at or under the
+    // threshold. pack_index keeps it ascending, so rounds are deterministic.
+    std::size_t cur_size = pack_index(
+        n, [&](std::size_t v) { return !peeled[v] && deg[v] <= level; },
+        std::span<vid_t>(cur));
+    while (cur_size > 0) {
+      SBG_COUNTER_ADD("decomp.kcore.rounds", 1);
+      // The whole frontier peels simultaneously: everyone in it already has
+      // remaining degree <= level, so same-round neighbors never owe each
+      // other decrements.
+      parallel_for(cur_size, [&](std::size_t i) {
+        const vid_t v = cur[i];
+        peeled[v] = 1;
+        d.core[v] = level;
+      });
+      // A neighbor enters the next frontier exactly when its degree first
+      // crosses from level + 1 to level — decrements are atomic, so exactly
+      // one peeler observes the crossing.
+      std::size_t next_size = 0;
+      parallel_for(cur_size, [&](std::size_t i) {
+        for (const vid_t w : g.neighbors(cur[i])) {
+          if (atomic_read(&peeled[w]) != 0) continue;
+          const vid_t before = fetch_add(&deg[w], vid_t(0) - 1);
+          if (before == level + 1) {
+            next[fetch_add(&next_size, std::size_t{1})] = w;
+          }
+        }
+      });
+      d.order.insert(d.order.end(), cur.begin(), cur.begin() + cur_size);
+      remaining -= static_cast<vid_t>(cur_size);
+      // Crossing order depends on thread schedule; sort to keep the peeling
+      // order (and therefore the whole decomposition) deterministic.
+      std::sort(next.begin(), next.begin() + static_cast<std::ptrdiff_t>(next_size));
+      std::swap(cur, next);
+      cur_size = next_size;
+    }
+    ++level;
+  }
+  d.degeneracy = n == 0 ? 0 : level - 1;
+
+  d.is_high.assign(n, 0);
+  parallel_for(n, [&](std::size_t v) { d.is_high[v] = d.core[v] > k ? 1 : 0; });
+  d.num_high = static_cast<vid_t>(
+      parallel_count(n, [&](std::size_t v) { return d.is_high[v] != 0; }));
+
+  if (pieces != 0) {
+    const auto& high = d.is_high;
+    constexpr std::uint8_t kDropSlot = 0xff;
+    std::uint8_t slot_hh = kDropSlot, slot_ll = kDropSlot,
+                 slot_cross = kDropSlot;
+    unsigned slots = 0;
+    if (pieces & kKcoreHigh) slot_hh = static_cast<std::uint8_t>(slots++);
+    if (pieces & kKcoreLow) slot_ll = static_cast<std::uint8_t>(slots++);
+    if (pieces & kKcoreCross) slot_cross = static_cast<std::uint8_t>(slots++);
+    std::vector<CsrGraph> parts = split_edges(
+        g,
+        [&](vid_t u, vid_t v) -> unsigned {
+          if (high[u] && high[v]) return slot_hh;
+          if (!high[u] && !high[v]) return slot_ll;
+          return slot_cross;
+        },
+        slots);
+    if (pieces & kKcoreHigh) d.g_high = std::move(parts[slot_hh]);
+    if (pieces & kKcoreLow) d.g_low = std::move(parts[slot_ll]);
+    if (pieces & kKcoreCross) d.g_cross = std::move(parts[slot_cross]);
+  }
+  d.decompose_seconds = timer.seconds();
+  return d;
+}
+
+std::vector<vid_t> kcore_reference(const CsrGraph& g) {
+  // Matula–Beck: bin-sort vertices by degree, peel the minimum repeatedly,
+  // sifting neighbors down one bin as their remaining degree drops.
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> deg(n), pos(n), vert(n), core(n, 0);
+  vid_t max_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<vid_t> bin(static_cast<std::size_t>(max_deg) + 2, 0);
+  for (vid_t v = 0; v < n; ++v) ++bin[deg[v]];
+  vid_t start = 0;
+  for (std::size_t dd = 0; dd < bin.size(); ++dd) {
+    const vid_t count = bin[dd];
+    bin[dd] = start;
+    start += count;
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    pos[v] = bin[deg[v]]++;
+    vert[pos[v]] = v;
+  }
+  for (std::size_t dd = bin.size() - 1; dd > 0; --dd) bin[dd] = bin[dd - 1];
+  bin[0] = 0;
+
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t v = vert[i];
+    core[v] = deg[v];
+    for (const vid_t u : g.neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      // Swap u with the first vertex of its bin, then shrink its bin.
+      const vid_t du = deg[u], pu = pos[u];
+      const vid_t pw = bin[du];
+      const vid_t w = vert[pw];
+      if (u != w) {
+        pos[u] = pw;
+        vert[pu] = w;
+        pos[w] = pu;
+        vert[pw] = u;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+  return core;
+}
+
+}  // namespace sbg

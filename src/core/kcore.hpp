@@ -1,0 +1,68 @@
+// KCORE decomposition: bucketed k-core peeling.
+//
+// The k-core of G is the maximal subgraph whose vertices all have degree
+// >= k inside it; core(v) is the largest k whose k-core contains v, and the
+// degeneracy of G is max_v core(v). Peeling computes every core number in
+// one sweep: repeatedly remove all vertices of degree <= k, bumping k when
+// the frontier dries up. We parallelize the classic algorithm the way the
+// recent parallel k-core literature does (Liu & Dong, arXiv:2502.08042):
+// peel a whole frontier per round with atomic degree decrements, a vertex
+// entering the next frontier exactly when its remaining degree first
+// crosses the threshold.
+//
+// Two consumers:
+//  * a fourth decomposition alongside BRIDGE/RAND/GROW/DEGk — split by a
+//    core-number threshold instead of a raw degree threshold. Cores are
+//    robust to hubs: a star center has huge degree but core 1, so KCORE
+//    keeps it in the low piece where DEGk would promote it.
+//  * the dynamic-graph repair scheduler (src/dyn) — the peeling order is a
+//    degeneracy order, and repairing along it resolves conflicts toward
+//    sparse vertices first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace sbg {
+
+/// Bitmask of subgraphs to materialize (mirrors DegkPieces).
+enum KcorePieces : unsigned {
+  kKcoreHigh = 1u << 0,   ///< G[{core > k}]
+  kKcoreLow = 1u << 1,    ///< G[{core <= k}]
+  kKcoreCross = 1u << 2,  ///< edges with one endpoint on each side
+  kKcoreAll = kKcoreHigh | kKcoreLow | kKcoreCross,
+};
+
+struct KcoreDecomposition {
+  /// Core-number threshold for the high/low split.
+  vid_t k = 2;
+  /// Per-vertex core number.
+  std::vector<vid_t> core;
+  /// max_v core[v] (0 for the empty graph).
+  vid_t degeneracy = 0;
+  /// Peeling order: a permutation of the vertices, core-nondecreasing;
+  /// every vertex has < degeneracy + 1 neighbors *later* in the order
+  /// (a degeneracy ordering). Ties within a round are by ascending id, so
+  /// the order is deterministic at any thread count.
+  std::vector<vid_t> order;
+  /// Per-vertex: 1 iff core[v] > k.
+  std::vector<std::uint8_t> is_high;
+  vid_t num_high = 0;
+  CsrGraph g_high;   ///< valid iff kKcoreHigh requested
+  CsrGraph g_low;    ///< valid iff kKcoreLow requested
+  CsrGraph g_cross;  ///< valid iff kKcoreCross requested
+  /// Wall-clock seconds spent decomposing.
+  double decompose_seconds = 0.0;
+};
+
+KcoreDecomposition decompose_kcore(const CsrGraph& g, vid_t k = 2,
+                                   unsigned pieces = kKcoreAll);
+
+/// Sequential textbook peeling (Matula–Beck bin sort, O(n + m)) — the
+/// differential reference for the parallel decomposition, same role as
+/// bridges_reference() for BRIDGE.
+std::vector<vid_t> kcore_reference(const CsrGraph& g);
+
+}  // namespace sbg

@@ -1,0 +1,223 @@
+#include "dyn/dyn_graph.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "core/env.hpp"
+#include "graph/builder.hpp"
+#include "obs/obs.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/prefix_sum.hpp"
+
+namespace sbg::dyn {
+
+namespace {
+
+/// Binary-search membership in a sorted vector.
+bool contains(const std::vector<vid_t>& sorted, vid_t w) {
+  return std::binary_search(sorted.begin(), sorted.end(), w);
+}
+
+void sorted_insert(std::vector<vid_t>& sorted, vid_t w) {
+  sorted.insert(std::lower_bound(sorted.begin(), sorted.end(), w), w);
+}
+
+void sorted_erase(std::vector<vid_t>& sorted, vid_t w) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), w);
+  if (it != sorted.end() && *it == w) sorted.erase(it);
+}
+
+/// Canonicalize (u < v), drop self-loops, sort, dedup — the batch-local
+/// analogue of normalize_edge_list.
+std::vector<Edge> canonicalize(const std::vector<Edge>& raw) {
+  std::vector<Edge> out;
+  out.reserve(raw.size());
+  for (Edge e : raw) {
+    if (e.u == e.v) continue;
+    if (e.u > e.v) std::swap(e.u, e.v);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+DynGraph::DynGraph(std::shared_ptr<const CsrGraph> base,
+                   double compact_fraction)
+    : base_(std::move(base)) {
+  n_ = base_->num_vertices();
+  num_edges_ = base_->num_edges();
+  compact_fraction_ = compact_fraction > 0
+                          ? compact_fraction
+                          : env::get_double("SBG_DYN_COMPACT", 0.25);
+  added_.resize(n_);
+  removed_.resize(n_);
+  refresh_cores();
+}
+
+bool DynGraph::has_edge(vid_t u, vid_t v) const {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  if (contains(added_[u], v)) return true;
+  if (u >= base_->num_vertices() || v >= base_->num_vertices()) return false;
+  return base_->has_edge(u, v) && !contains(removed_[u], v);
+}
+
+EdgeDelta DynGraph::apply(const UpdateBatch& batch) {
+  SBG_SPAN("dyn.apply");
+  EdgeDelta delta;
+  std::vector<Edge> ins = canonicalize(batch.insert);
+  const std::vector<Edge> rem = canonicalize(batch.remove);
+
+  // Inserts apply before removes, so an edge named in both nets out to
+  // absent — i.e. the insert is moot; drop it up front.
+  if (!rem.empty()) {
+    std::erase_if(ins, [&](const Edge& e) {
+      return std::binary_search(rem.begin(), rem.end(), e);
+    });
+  }
+
+  // Grow the vertex space to cover every inserted endpoint.
+  vid_t max_v = n_;
+  for (const Edge& e : ins) max_v = std::max(max_v, static_cast<vid_t>(e.v + 1));
+  if (max_v > n_) {
+    delta.new_vertices = max_v - n_;
+    n_ = max_v;
+    added_.resize(n_);
+    removed_.resize(n_);
+  }
+
+  // Decide every toggle against the pre-batch state (the lists are deduped,
+  // so decisions are independent), then mutate the per-vertex delta sets in
+  // parallel, each vertex owned by exactly one task.
+  enum : std::uint8_t { kAddIns, kAddErs, kRemIns, kRemErs };
+  struct Mut {
+    vid_t v, w;
+    std::uint8_t kind;
+    bool operator<(const Mut& o) const {
+      return std::tie(v, w, kind) < std::tie(o.v, o.w, o.kind);
+    }
+  };
+  std::vector<Mut> muts;
+  muts.reserve(2 * (ins.size() + rem.size()));
+  const auto toggle = [&](vid_t u, vid_t v, std::uint8_t kind) {
+    muts.push_back({u, v, kind});
+    muts.push_back({v, u, kind});
+  };
+
+  for (const Edge& e : ins) {
+    if (has_edge(e.u, e.v)) continue;  // already present: no-op
+    delta.inserted.push_back(e);
+    const bool base_edge = e.u < base_->num_vertices() &&
+                           e.v < base_->num_vertices() &&
+                           base_->has_edge(e.u, e.v);
+    // A tombstoned base edge resurrects by clearing its tombstone, so the
+    // deltas never hold an edge in both sets.
+    toggle(e.u, e.v, base_edge ? kRemErs : kAddIns);
+  }
+  for (const Edge& e : rem) {
+    if (!has_edge(e.u, e.v)) continue;  // absent: no-op
+    // has_edge reads the pre-batch deltas — inserts above have only been
+    // recorded as muts, not applied yet, and edges in both lists were
+    // already dropped from `ins`, so pre-batch presence is the right test.
+    delta.removed.push_back(e);
+    const bool base_edge = e.u < base_->num_vertices() &&
+                           e.v < base_->num_vertices() &&
+                           base_->has_edge(e.u, e.v) &&
+                           !contains(removed_[e.u], e.v);
+    toggle(e.u, e.v, base_edge ? kRemIns : kAddErs);
+  }
+
+  std::sort(muts.begin(), muts.end());
+  // Group by owning vertex; each group mutates only added_[v]/removed_[v].
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < muts.size(); ++i) {
+    if (i == 0 || muts[i].v != muts[i - 1].v) starts.push_back(i);
+  }
+  starts.push_back(muts.size());
+  parallel_for_dynamic(starts.empty() ? 0 : starts.size() - 1,
+                       [&](std::size_t gi) {
+    for (std::size_t i = starts[gi]; i < starts[gi + 1]; ++i) {
+      const Mut& m = muts[i];
+      switch (m.kind) {
+        case kAddIns: sorted_insert(added_[m.v], m.w); break;
+        case kAddErs: sorted_erase(added_[m.v], m.w); break;
+        case kRemIns: sorted_insert(removed_[m.v], m.w); break;
+        case kRemErs: sorted_erase(removed_[m.v], m.w); break;
+      }
+    }
+  });
+
+  num_edges_ += delta.inserted.size();
+  num_edges_ -= delta.removed.size();
+  // Every mut adds or drops exactly one delta entry: inserts grow a set,
+  // erases (resurrects, un-inserts) shrink one.
+  for (const Mut& m : muts) {
+    if (m.kind == kAddIns || m.kind == kRemIns) {
+      ++delta_arcs_;
+    } else {
+      --delta_arcs_;
+    }
+  }
+
+  SBG_COUNTER_ADD("dyn.batches", 1);
+  SBG_COUNTER_ADD("dyn.edges_inserted", delta.inserted.size());
+  SBG_COUNTER_ADD("dyn.edges_removed", delta.removed.size());
+  SBG_GAUGE_SET("dyn.delta_arcs", static_cast<double>(delta_arcs_));
+
+  const eid_t base_arcs = base_->num_arcs();
+  if (delta_arcs_ > 0 &&
+      static_cast<double>(delta_arcs_) >
+          compact_fraction_ * static_cast<double>(base_arcs < 64 ? 64
+                                                                 : base_arcs)) {
+    compact();
+  }
+  return delta;
+}
+
+CsrGraph DynGraph::materialize() const {
+  SBG_SPAN("dyn.materialize");
+  // Emission is v-ascending then neighbor-ascending with u < v, so the
+  // edge list is already normalized — build_csr directly.
+  EdgeList el;
+  el.num_vertices = n_;
+  el.edges.reserve(static_cast<std::size_t>(num_edges_));
+  for (vid_t v = 0; v < n_; ++v) {
+    for_neighbors(v, [&](vid_t w) {
+      if (v < w) el.edges.push_back({v, w});
+    });
+  }
+  return build_csr(el);
+}
+
+void DynGraph::compact() {
+  if (delta_arcs_ == 0 && base_->num_vertices() == n_) return;
+  SBG_SPAN("dyn.compact");
+  base_ = std::make_shared<const CsrGraph>(materialize());
+  added_.assign(n_, {});
+  removed_.assign(n_, {});
+  delta_arcs_ = 0;
+  ++compactions_;
+  SBG_COUNTER_ADD("dyn.compactions", 1);
+  refresh_cores();
+}
+
+std::uint64_t DynGraph::heap_bytes() const {
+  std::uint64_t bytes = base_->heap_bytes();
+  for (vid_t v = 0; v < n_; ++v) {
+    bytes += (added_[v].capacity() + removed_[v].capacity()) * sizeof(vid_t);
+  }
+  bytes += (added_.capacity() + removed_.capacity()) *
+           sizeof(std::vector<vid_t>);
+  bytes += core_.capacity() * sizeof(vid_t);
+  return bytes;
+}
+
+void DynGraph::refresh_cores() {
+  // Pieces are not needed — only the core numbers feed repair priorities.
+  core_ = decompose_kcore(*base_, 2, 0).core;
+}
+
+}  // namespace sbg::dyn

@@ -1,0 +1,151 @@
+// sbg::dyn — dynamic graphs: batched edge updates over an immutable base.
+//
+// Everything else in this library operates on the immutable CsrGraph. A
+// DynGraph keeps that property for the bulk of the graph: it overlays two
+// small per-vertex delta sets — `added` (edges not in the base) and
+// `removed` (base edges tombstoned out) — on a shared base CSR. Update
+// batches toggle edges in the deltas; neighbor iteration merges the sorted
+// base adjacency (minus tombstones) with the sorted additions, so consumers
+// see one sorted, duplicate-free neighborhood without rebuilding anything.
+//
+// When the deltas grow past a fraction of the base (SBG_DYN_COMPACT,
+// default 0.25) the graph *compacts*: the merged view is materialized into
+// a fresh CSR, the deltas reset to empty, and the advisory core numbers
+// (used by src/dyn/repair.* to decide which endpoint of a conflict yields)
+// are re-peeled. Between compactions every operation is proportional to
+// delta size and touched degrees, never to m.
+//
+// apply() returns the EdgeDelta of toggles that actually happened —
+// inserting an edge that already exists or deleting one that does not is a
+// no-op and is NOT reported — which is exactly the set the incremental
+// repair kernels need to compute their frontier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/kcore.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace sbg::dyn {
+
+/// One streaming update batch, as submitted: any orientation, duplicates
+/// and self-loops tolerated (canonicalized away by apply). Inserts are
+/// applied before removes, so an edge named in both ends up absent.
+struct UpdateBatch {
+  std::vector<Edge> insert;
+  std::vector<Edge> remove;
+};
+
+/// What an apply() actually changed: canonical (u < v), sorted, duplicate-
+/// free lists of edges toggled on / off, plus how many vertex slots the
+/// batch grew the graph by (inserts may name vertices past the current n).
+struct EdgeDelta {
+  std::vector<Edge> inserted;
+  std::vector<Edge> removed;
+  vid_t new_vertices = 0;
+
+  bool empty() const { return inserted.empty() && removed.empty(); }
+};
+
+class DynGraph {
+ public:
+  DynGraph() = default;
+
+  /// Wrap a base CSR. `compact_fraction` <= 0 reads SBG_DYN_COMPACT (a
+  /// strict env::get_double knob; default 0.25): compaction triggers when
+  /// delta arcs exceed that fraction of base arcs (and always covers the
+  /// has-new-vertices case at the next threshold crossing).
+  explicit DynGraph(CsrGraph base, double compact_fraction = 0.0)
+      : DynGraph(std::make_shared<const CsrGraph>(std::move(base)),
+                 compact_fraction) {}
+
+  /// Shared-ownership overload: wraps a registry-resident CSR without
+  /// copying it (the base is immutable; compaction swaps the pointer).
+  explicit DynGraph(std::shared_ptr<const CsrGraph> base,
+                    double compact_fraction = 0.0);
+
+  vid_t num_vertices() const { return n_; }
+  eid_t num_edges() const { return num_edges_; }
+
+  vid_t degree(vid_t v) const {
+    const vid_t base_deg = v < base_->num_vertices() ? base_->degree(v) : 0;
+    return static_cast<vid_t>(base_deg + added_[v].size() -
+                              removed_[v].size());
+  }
+
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// f(w) for every live neighbor w of v, ascending, duplicate-free: the
+  /// sorted base adjacency minus tombstones, merged with the sorted
+  /// additions.
+  template <typename F>
+  void for_neighbors(vid_t v, F&& f) const {
+    const auto& add = added_[v];
+    const auto& rem = removed_[v];
+    std::size_t ai = 0, ri = 0;
+    if (v < base_->num_vertices()) {
+      for (const vid_t w : base_->neighbors(v)) {
+        while (ri < rem.size() && rem[ri] < w) ++ri;
+        if (ri < rem.size() && rem[ri] == w) continue;
+        while (ai < add.size() && add[ai] < w) f(add[ai++]);
+        f(w);
+      }
+    }
+    while (ai < add.size()) f(add[ai++]);
+  }
+
+  /// Apply one batch (inserts, then removes) and return what changed.
+  /// Parallel over the batch's touched vertices. May auto-compact after
+  /// the toggles; the returned delta always refers to pre/post edge
+  /// presence, which compaction does not alter.
+  EdgeDelta apply(const UpdateBatch& batch);
+
+  /// The merged view as a fresh immutable CSR (same vertex-id space).
+  CsrGraph materialize() const;
+
+  /// Fold the deltas into a new base CSR and re-peel the advisory core
+  /// numbers. Idempotent when the deltas are empty.
+  void compact();
+
+  const CsrGraph& base() const { return *base_; }
+  std::shared_ptr<const CsrGraph> base_ptr() const { return base_; }
+
+  /// Directed arcs currently held in the delta sets (2 per toggled edge).
+  eid_t delta_arcs() const { return delta_arcs_; }
+  /// Compactions performed so far (auto + explicit).
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Advisory core number of v, peeled from the base at construction and
+  /// at every compaction — NOT updated per batch. Repair uses it as a
+  /// stable conflict-resolution priority; staleness costs only repair
+  /// quality, never correctness. Vertices added since the last compaction
+  /// report core 0.
+  vid_t core_hint(vid_t v) const {
+    return v < core_.size() ? core_[v] : 0;
+  }
+
+  /// Heap bytes of base + deltas (the number memory budgets account).
+  std::uint64_t heap_bytes() const;
+
+ private:
+  void refresh_cores();
+
+  std::shared_ptr<const CsrGraph> base_ =
+      std::make_shared<const CsrGraph>();
+  vid_t n_ = 0;
+  eid_t num_edges_ = 0;
+  eid_t delta_arcs_ = 0;
+  double compact_fraction_ = 0.25;
+  std::uint64_t compactions_ = 0;
+  /// Per-vertex sorted delta adjacency. added_[v] is disjoint from the
+  /// base adjacency of v; removed_[v] is a subset of it.
+  std::vector<std::vector<vid_t>> added_;
+  std::vector<std::vector<vid_t>> removed_;
+  std::vector<vid_t> core_;
+};
+
+}  // namespace sbg::dyn

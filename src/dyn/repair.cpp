@@ -1,0 +1,330 @@
+#include "dyn/repair.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::dyn {
+
+namespace {
+
+void sort_dedup(std::vector<vid_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Conflict priority: the vertex deeper in the core ordering outranks the
+/// shallower one (it is the more constrained, more expensive one to redo);
+/// ties break toward the lower id. Strict total order.
+bool outranks(const DynGraph& g, vid_t a, vid_t b) {
+  const vid_t ca = g.core_hint(a), cb = g.core_hint(b);
+  if (ca != cb) return ca > cb;
+  return a < b;
+}
+
+void record(const char* problem, const RepairStats& st) {
+  SBG_COUNTER_ADD("dyn.repairs", 1);
+  SBG_HIST_RECORD("dyn.repair.frontier", st.frontier);
+  SBG_HIST_RECORD("dyn.repair.repaired", st.repaired);
+  SBG_COUNTER_ADD(problem, st.repaired);
+}
+
+}  // namespace
+
+RepairStats repair_matching(const DynGraph& g, const EdgeDelta& delta,
+                            std::vector<vid_t>& mate) {
+  SBG_SPAN("dyn.repair.mm");
+  Timer timer;
+  RepairStats st;
+  const vid_t n = g.num_vertices();
+  mate.resize(n, kNoVertex);
+
+  // Freed vertices: pairs split by a deleted matched edge.
+  std::vector<vid_t> seeds;
+  for (const Edge& e : delta.removed) {
+    if (mate[e.u] == e.v) {
+      mate[e.u] = kNoVertex;
+      mate[e.v] = kNoVertex;
+      st.repaired += 2;
+      seeds.push_back(e.u);
+      seeds.push_back(e.v);
+    }
+  }
+  // Unmatched endpoints of inserted edges (new vertices are always such an
+  // endpoint, so they are covered here too).
+  for (const Edge& e : delta.inserted) {
+    if (mate[e.u] == kNoVertex) seeds.push_back(e.u);
+    if (mate[e.v] == kNoVertex) seeds.push_back(e.v);
+  }
+  sort_dedup(seeds);
+  st.frontier = static_cast<vid_t>(seeds.size());
+  if (seeds.empty()) {
+    st.seconds = timer.seconds();
+    record("dyn.repair.mm.repaired", st);
+    return st;
+  }
+
+  // Active set = seeds + their unmatched neighbors. Sufficient: any edge
+  // with two unmatched endpoints has a seed endpoint (pre-batch maximality
+  // covers edges between survivors), and its other endpoint is therefore
+  // an unmatched neighbor of a seed.
+  std::vector<std::uint8_t> active(n, 0);
+  std::vector<vid_t> work;
+  for (const vid_t v : seeds) {
+    if (mate[v] == kNoVertex && !active[v]) {
+      active[v] = 1;
+      work.push_back(v);
+    }
+  }
+  const std::size_t num_seeds = work.size();
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    g.for_neighbors(work[i], [&](vid_t w) {
+      if (mate[w] == kNoVertex && !active[w]) {
+        active[w] = 1;
+        work.push_back(w);
+      }
+    });
+  }
+  std::sort(work.begin(), work.end());
+
+  // GM proposal rounds confined to the active set: each live vertex
+  // proposes to its smallest unmatched active neighbor; mutual proposals
+  // match. The smallest live vertex always lands a mutual pair, so every
+  // round makes progress.
+  std::vector<vid_t> proposal(n, kNoVertex);
+  std::vector<std::uint8_t> drop(work.size(), 0);
+  while (!work.empty()) {
+    poll_cancellation();
+    ++st.rounds;
+    drop.assign(work.size(), 0);
+    parallel_for(work.size(), [&](std::size_t i) {
+      const vid_t v = work[i];
+      if (mate[v] != kNoVertex) {
+        drop[i] = 1;
+        return;
+      }
+      vid_t target = kNoVertex;
+      g.for_neighbors(v, [&](vid_t w) {
+        if (target == kNoVertex && active[w] && mate[w] == kNoVertex) {
+          target = w;
+        }
+      });
+      proposal[v] = target;
+      if (target == kNoVertex) drop[i] = 1;  // permanently unmatchable
+    });
+    parallel_for(work.size(), [&](std::size_t i) {
+      const vid_t v = work[i];
+      if (drop[i]) return;
+      const vid_t u = proposal[v];
+      if (u != kNoVertex && v < u && proposal[u] == v) {
+        mate[v] = u;
+        mate[u] = v;
+      }
+    });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (!drop[i] && mate[work[i]] == kNoVertex) work[kept++] = work[i];
+      if (!drop[i] && mate[work[i]] != kNoVertex) st.repaired += 1;
+    }
+    work.resize(kept);
+    drop.resize(kept);
+  }
+  st.seconds = timer.seconds();
+  record("dyn.repair.mm.repaired", st);
+  return st;
+}
+
+RepairStats repair_coloring(const DynGraph& g, const EdgeDelta& delta,
+                            std::vector<std::uint32_t>& color) {
+  SBG_SPAN("dyn.repair.color");
+  Timer timer;
+  RepairStats st;
+  const vid_t n = g.num_vertices();
+  color.resize(n, kNoColor);
+
+  // Deletions never break properness. Each inserted monochromatic edge
+  // uncolors the endpoint the core ordering says should yield.
+  std::vector<vid_t> work;
+  for (const Edge& e : delta.inserted) {
+    if (color[e.u] != kNoColor && color[e.u] == color[e.v]) {
+      const vid_t loser = outranks(g, e.u, e.v) ? e.v : e.u;
+      color[loser] = kNoColor;
+      work.push_back(loser);
+    }
+  }
+  // Uncolored inserted-edge endpoints (new vertices, mostly) need a color.
+  for (const Edge& e : delta.inserted) {
+    if (color[e.u] == kNoColor) work.push_back(e.u);
+    if (color[e.v] == kNoColor) work.push_back(e.v);
+  }
+  // A batch inserting (u, v) with v far past the old n grows the vertex
+  // space by more than its endpoints: ids between old n and v exist now
+  // but sit on no inserted edge. They arrive uncolored too — seed every
+  // grown id, not just the endpoints.
+  for (vid_t v = n - delta.new_vertices; v < n; ++v) {
+    if (color[v] == kNoColor) work.push_back(v);
+  }
+  sort_dedup(work);
+  st.frontier = static_cast<vid_t>(work.size());
+
+  // Speculative first-fit over the uncolored set. Colored neighbors are
+  // fixed; only same-round work–work conflicts can arise, resolved by the
+  // core-order priority — the top-ranked work vertex always sticks, so
+  // every round makes progress.
+  std::vector<std::uint32_t> pick(work.size());
+  std::vector<std::uint8_t> keep(work.size());
+  std::vector<std::uint32_t> used;
+  while (!work.empty()) {
+    poll_cancellation();
+    ++st.rounds;
+#pragma omp parallel private(used)
+    {
+#pragma omp for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(work.size());
+           ++i) {
+        const vid_t v = work[static_cast<std::size_t>(i)];
+        used.clear();
+        g.for_neighbors(v, [&](vid_t w) {
+          if (color[w] != kNoColor) used.push_back(color[w]);
+        });
+        std::sort(used.begin(), used.end());
+        std::uint32_t c = 0;
+        for (const std::uint32_t uc : used) {
+          if (uc > c) break;
+          if (uc == c) ++c;
+        }
+        pick[static_cast<std::size_t>(i)] = c;
+      }
+    }
+    parallel_for(work.size(), [&](std::size_t i) { color[work[i]] = pick[i]; });
+    parallel_for(work.size(), [&](std::size_t i) {
+      const vid_t v = work[i];
+      bool ok = true;
+      g.for_neighbors(v, [&](vid_t w) {
+        if (color[w] == color[v] && outranks(g, w, v)) ok = false;
+      });
+      keep[i] = ok ? 1 : 0;
+    });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (keep[i]) {
+        st.repaired += 1;
+      } else {
+        color[work[i]] = kNoColor;
+        work[kept] = work[i];
+        pick[kept] = pick[i];
+        ++kept;
+      }
+    }
+    work.resize(kept);
+    pick.resize(kept);
+    keep.resize(kept);
+  }
+  st.seconds = timer.seconds();
+  record("dyn.repair.color.repaired", st);
+  return st;
+}
+
+RepairStats repair_mis(const DynGraph& g, const EdgeDelta& delta,
+                       std::vector<MisState>& state, std::uint64_t seed) {
+  SBG_SPAN("dyn.repair.mis");
+  Timer timer;
+  RepairStats st;
+  const vid_t n = g.num_vertices();
+  const vid_t old_n = static_cast<vid_t>(state.size());
+  state.resize(n, MisState::kUndecided);
+
+  // Inserted kIn–kIn edges: the shallower-core endpoint demotes to kOut
+  // (valid — its winner neighbor stays kIn). Serial: later conflicts must
+  // see earlier demotions.
+  std::vector<vid_t> demoted;
+  for (const Edge& e : delta.inserted) {
+    if (state[e.u] == MisState::kIn && state[e.v] == MisState::kIn) {
+      const vid_t loser = outranks(g, e.u, e.v) ? e.v : e.u;
+      state[loser] = MisState::kOut;
+      demoted.push_back(loser);
+      st.repaired += 1;
+    }
+  }
+
+  // kOut vertices that may have lost their last kIn witness: neighbors of
+  // demoted vertices, and endpoints of deleted edges.
+  std::vector<vid_t> candidates;
+  for (const vid_t d : demoted) {
+    g.for_neighbors(d, [&](vid_t w) {
+      if (state[w] == MisState::kOut) candidates.push_back(w);
+    });
+  }
+  for (const Edge& e : delta.removed) {
+    if (e.u < old_n && state[e.u] == MisState::kOut) candidates.push_back(e.u);
+    if (e.v < old_n && state[e.v] == MisState::kOut) candidates.push_back(e.v);
+  }
+  sort_dedup(candidates);
+  // Read-only orphan scan, then the writes — no concurrent read/write.
+  std::vector<std::uint8_t> orphan(candidates.size(), 0);
+  parallel_for(candidates.size(), [&](std::size_t i) {
+    bool has_in = false;
+    g.for_neighbors(candidates[i], [&](vid_t w) {
+      if (state[w] == MisState::kIn) has_in = true;
+    });
+    orphan[i] = has_in ? 0 : 1;
+  });
+  std::vector<vid_t> work;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (orphan[i]) {
+      state[candidates[i]] = MisState::kUndecided;
+      work.push_back(candidates[i]);
+    }
+  }
+  // New vertices reopen as undecided (isolated ones will simply join).
+  for (vid_t v = old_n; v < n; ++v) work.push_back(v);
+  sort_dedup(work);
+  st.frontier = static_cast<vid_t>(work.size() + demoted.size());
+
+  // Fixed-priority greedy close over the undecided set: a vertex joins
+  // when it has no kIn neighbor and beats every undecided neighbor's
+  // priority; a vertex with a kIn neighbor goes kOut. Strict total order
+  // on priorities — the global minimum joins each round.
+  const auto pri = [&](vid_t v) { return mix64(seed ^ (0xD11Full + v)); };
+  std::vector<MisState> decide(work.size());
+  while (!work.empty()) {
+    poll_cancellation();
+    ++st.rounds;
+    parallel_for(work.size(), [&](std::size_t i) {
+      const vid_t v = work[i];
+      const std::uint64_t pv = pri(v);
+      bool has_in = false, beaten = false;
+      g.for_neighbors(v, [&](vid_t w) {
+        if (state[w] == MisState::kIn) {
+          has_in = true;
+        } else if (state[w] == MisState::kUndecided) {
+          const std::uint64_t pw = pri(w);
+          if (pw < pv || (pw == pv && w < v)) beaten = true;
+        }
+      });
+      decide[i] = has_in ? MisState::kOut
+                         : beaten ? MisState::kUndecided
+                                  : MisState::kIn;
+    });
+    parallel_for(work.size(), [&](std::size_t i) { state[work[i]] = decide[i]; });
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (decide[i] == MisState::kUndecided) {
+        work[kept++] = work[i];
+      } else {
+        st.repaired += 1;
+      }
+    }
+    work.resize(kept);
+    decide.resize(kept);
+  }
+  st.seconds = timer.seconds();
+  record("dyn.repair.mis.repaired", st);
+  return st;
+}
+
+}  // namespace sbg::dyn

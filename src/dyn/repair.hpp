@@ -1,0 +1,66 @@
+// Incremental repair of MM / coloring / MIS solutions after a DynGraph
+// update batch.
+//
+// Each kernel takes a solution that was valid for the pre-batch graph and
+// the EdgeDelta apply() returned, computes the *frontier* — the vertices
+// whose validity the batch could have disturbed — and re-solves only that
+// neighborhood, touching work proportional to the frontier and its
+// degrees, never to n or m (beyond one O(n) sentinel resize when the batch
+// grew the vertex space and reusable n-sized scratch arrays).
+//
+// Why each frontier is sufficient (the oracle-checked claims):
+//  * MM: a maximal matching stays valid everywhere except (i) pairs split
+//    by a deleted matched edge, (ii) endpoints of inserted edges that are
+//    unmatched, (iii) new vertices. Any edge left with two unmatched
+//    endpoints must touch one of those freed/new vertices (pre-batch
+//    maximality covers the rest), so GM-style proposal rounds over the
+//    frontier plus its unmatched neighbors restore maximality without ever
+//    unmatching a surviving pair.
+//  * Coloring: deletions never create conflicts; each inserted
+//    monochromatic edge uncolors one endpoint (the one the core ordering
+//    says is cheaper to recolor), and speculative first-fit over the
+//    uncolored set restores properness.
+//  * MIS: an inserted kIn–kIn edge demotes one endpoint to kOut; a
+//    demotion or a deleted edge can orphan kOut vertices whose only kIn
+//    neighbor went away — those reopen as undecided and a fixed-priority
+//    greedy over the undecided set re-closes them.
+//
+// Conflict resolution is prioritized by (core_hint, id): the vertex deeper
+// in the core ordering keeps its assignment, the shallower one —
+// statistically cheaper to fix, fewer constrained neighbors — yields.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/coloring.hpp"
+#include "dyn/dyn_graph.hpp"
+#include "matching/matching.hpp"
+#include "mis/mis.hpp"
+
+namespace sbg::dyn {
+
+struct RepairStats {
+  vid_t frontier = 0;   ///< vertices whose state the batch disturbed
+  vid_t repaired = 0;   ///< vertices whose assignment the repair changed
+  vid_t rounds = 0;     ///< repair rounds executed
+  double seconds = 0.0;
+};
+
+/// Repair `mate` (valid + maximal for the pre-batch graph) into a valid
+/// maximal matching of g's current state. Resizes mate for new vertices.
+RepairStats repair_matching(const DynGraph& g, const EdgeDelta& delta,
+                            std::vector<vid_t>& mate);
+
+/// Repair `color` (proper for the pre-batch graph) into a proper coloring
+/// of g's current state. Resizes color for new vertices.
+RepairStats repair_coloring(const DynGraph& g, const EdgeDelta& delta,
+                            std::vector<std::uint32_t>& color);
+
+/// Repair `state` (valid MIS for the pre-batch graph) into a valid MIS of
+/// g's current state. Resizes state for new vertices. `seed` feeds the
+/// fixed greedy priorities of the re-close rounds.
+RepairStats repair_mis(const DynGraph& g, const EdgeDelta& delta,
+                       std::vector<MisState>& state, std::uint64_t seed);
+
+}  // namespace sbg::dyn

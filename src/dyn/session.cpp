@@ -1,0 +1,159 @@
+#include "dyn/session.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "check/check.hpp"
+#include "ingest/cache.hpp"
+#include "obs/obs.hpp"
+#include "parallel/timer.hpp"
+
+namespace sbg::dyn {
+
+std::uint64_t hash_solution(const std::vector<std::uint32_t>& arr) {
+  return ingest::hash_bytes(arr.data(), arr.size() * sizeof(std::uint32_t));
+}
+
+std::uint64_t hash_solution(const std::vector<MisState>& state) {
+  return ingest::hash_bytes(state.data(), state.size() * sizeof(MisState));
+}
+
+std::uint64_t hash_graph(const CsrGraph& g) {
+  const auto off = g.offsets();
+  const auto adj = g.adjacency();
+  const std::uint64_t h =
+      ingest::hash_bytes(off.data(), off.size_bytes());
+  return ingest::hash_bytes(adj.data(), adj.size_bytes(), h);
+}
+
+Session::Session(CsrGraph base, SessionOptions opt)
+    : Session(std::make_shared<const CsrGraph>(std::move(base)), opt) {}
+
+Session::Session(std::shared_ptr<const CsrGraph> base, SessionOptions opt)
+    : opt_(opt), graph_(std::move(base), opt.compact_fraction) {
+  resolve_fresh(graph_.base());
+}
+
+void Session::resolve_fresh(const CsrGraph& g) {
+  if (opt_.maintain_mm) {
+    mate_.assign(g.num_vertices(), kNoVertex);
+    gm_extend(g, mate_);
+  }
+  if (opt_.maintain_color) {
+    color_ = color_vb(g).color;
+  }
+  if (opt_.maintain_mis) {
+    state_.assign(g.num_vertices(), MisState::kUndecided);
+    greedy_extend(g, state_, opt_.seed + batches_);
+  }
+  dirty_ = false;
+}
+
+UpdateOutcome Session::update(const UpdateBatch& batch, bool verify) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SBG_SPAN("dyn.update");
+  Timer timer;
+  UpdateOutcome out;
+  SBG_HIST_RECORD("dyn.batch_size", batch.insert.size() + batch.remove.size());
+
+  // A previous batch was cancelled mid-repair: rebuild every maintained
+  // solution from scratch before touching this batch, so repairs always
+  // start from an oracle-valid state. (May throw JobCancelled again under
+  // an already-expired deadline, leaving dirty_ set — that is correct.)
+  if (dirty_) {
+    SBG_COUNTER_ADD("dyn.recoveries", 1);
+    resolve_fresh(graph_.materialize());
+  }
+
+  const EdgeDelta delta = graph_.apply(batch);
+  out.inserted = static_cast<vid_t>(delta.inserted.size());
+  out.removed = static_cast<vid_t>(delta.removed.size());
+  out.new_vertices = delta.new_vertices;
+  out.num_vertices = graph_.num_vertices();
+  out.num_edges = graph_.num_edges();
+
+  try {
+    if (opt_.maintain_mm) {
+      out.mm = repair_matching(graph_, delta, mate_);
+      out.mm_cardinality = matching_cardinality(mate_);
+      out.mm_hash = hash_solution(mate_);
+    }
+    if (opt_.maintain_color) {
+      out.color = repair_coloring(graph_, delta, color_);
+      out.palette = count_colors(color_);
+      out.color_hash = hash_solution(color_);
+    }
+    if (opt_.maintain_mis) {
+      out.mis = repair_mis(graph_, delta, state_, opt_.seed + batches_);
+      out.mis_size = mis_size(state_);
+      out.mis_hash = hash_solution(state_);
+    }
+  } catch (...) {
+    dirty_ = true;
+    ++batches_;  // the batch's structural effect IS applied
+    throw;
+  }
+  ++batches_;
+
+  if (verify) {
+    const CsrGraph g = graph_.materialize();
+    out.graph_hash = hash_graph(g);
+    out.verified = true;
+    if (opt_.maintain_mm && out.oracle_error.empty()) {
+      const check::MatchingReport rep = check::check_matching(g, mate_);
+      if (!rep.result) out.oracle_error = "mm: " + rep.result.message();
+    }
+    if (opt_.maintain_color && out.oracle_error.empty()) {
+      const check::ColoringReport rep = check::check_coloring(g, color_);
+      if (!rep.result) out.oracle_error = "color: " + rep.result.message();
+    }
+    if (opt_.maintain_mis && out.oracle_error.empty()) {
+      const check::MisReport rep = check::check_mis(g, state_);
+      if (!rep.result) out.oracle_error = "mis: " + rep.result.message();
+    }
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+std::vector<vid_t> Session::mate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mate_;
+}
+
+std::vector<std::uint32_t> Session::color() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return color_;
+}
+
+std::vector<MisState> Session::mis_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CsrGraph Session::materialized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.materialize();
+}
+
+vid_t Session::num_vertices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.num_vertices();
+}
+
+eid_t Session::num_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.num_edges();
+}
+
+std::uint64_t Session::batches_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+std::uint64_t Session::heap_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_.heap_bytes();
+}
+
+}  // namespace sbg::dyn

@@ -1,0 +1,110 @@
+// dyn::Session — one graph's live dynamic state: a DynGraph plus the
+// maintained MM / coloring / MIS solutions, repaired incrementally after
+// every update batch.
+//
+// This is the unit sbg_serve registers per hot graph (POST
+// /v1/graphs/<name>/updates routes here) and the dyn fuzz family drives
+// directly. All mutation goes through update(), which serializes batches
+// under an internal mutex — concurrent submitters see some total batch
+// order, and each response describes exactly one batch's effect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/repair.hpp"
+
+namespace sbg::dyn {
+
+/// One batch's effect: what changed structurally, what each repair kernel
+/// did, and the post-repair solution summaries (hashes are of the raw
+/// solution-array bytes, comparable across runs like sched result hashes).
+struct UpdateOutcome {
+  vid_t inserted = 0;
+  vid_t removed = 0;
+  vid_t new_vertices = 0;
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;
+  RepairStats mm, color, mis;
+  std::uint64_t mm_cardinality = 0;
+  std::uint32_t palette = 0;      ///< distinct-color span after repair
+  std::uint64_t mis_size = 0;
+  std::uint64_t mm_hash = 0;
+  std::uint64_t color_hash = 0;
+  std::uint64_t mis_hash = 0;
+  /// Content hash of the materialized CSR (offsets ^ adjacency); only
+  /// computed when verify ran — the differential anchor the fuzz family
+  /// compares against a from-scratch build of the ground-truth edges.
+  std::uint64_t graph_hash = 0;
+  bool verified = false;
+  std::string oracle_error;  ///< empty when valid / not verified
+  double seconds = 0.0;      ///< apply + repairs (+ verify when requested)
+};
+
+struct SessionOptions {
+  std::uint64_t seed = 42;
+  bool maintain_mm = true;
+  bool maintain_color = true;
+  bool maintain_mis = true;
+  /// Forwarded to DynGraph (<= 0 reads SBG_DYN_COMPACT).
+  double compact_fraction = 0.0;
+};
+
+class Session {
+ public:
+  /// Solves the initial MM / coloring / MIS on `base` (the maintained
+  /// subset only).
+  explicit Session(CsrGraph base, SessionOptions opt = {});
+
+  /// Shared-ownership overload for registry-resident graphs (no copy).
+  explicit Session(std::shared_ptr<const CsrGraph> base,
+                   SessionOptions opt = {});
+
+  /// Apply one batch and repair every maintained solution. With `verify`,
+  /// materializes the post-batch graph and oracle-checks each repaired
+  /// solution against it (first failure lands in oracle_error). Throws
+  /// JobCancelled out of the repair round loops when a sched cancel token
+  /// is armed — callers wrap in run_update_job for deadline handling. A
+  /// cancellation can strand a solution mid-repair; the session marks
+  /// itself dirty and the next update() re-solves all maintained problems
+  /// from scratch on the materialized graph before applying its batch, so
+  /// a timed-out batch never poisons later ones.
+  UpdateOutcome update(const UpdateBatch& batch, bool verify = false);
+
+  // Snapshot accessors (copy under the session lock).
+  std::vector<vid_t> mate() const;
+  std::vector<std::uint32_t> color() const;
+  std::vector<MisState> mis_state() const;
+  CsrGraph materialized() const;
+  vid_t num_vertices() const;
+  eid_t num_edges() const;
+  std::uint64_t batches_applied() const;
+  std::uint64_t heap_bytes() const;
+
+ private:
+  /// From-scratch re-solve of every maintained solution on the current
+  /// materialized graph (initial state and post-cancellation recovery).
+  void resolve_fresh(const CsrGraph& g);
+
+  mutable std::mutex mu_;
+  SessionOptions opt_;
+  DynGraph graph_;
+  std::vector<vid_t> mate_;
+  std::vector<std::uint32_t> color_;
+  std::vector<MisState> state_;
+  std::uint64_t batches_ = 0;
+  bool dirty_ = false;  ///< a repair was interrupted; re-solve before next batch
+};
+
+/// Solution-array content hash (ingest::hash_bytes over the raw elements).
+/// vid_t and color arrays share the first overload (both uint32).
+std::uint64_t hash_solution(const std::vector<std::uint32_t>& arr);
+std::uint64_t hash_solution(const std::vector<MisState>& state);
+/// CSR content hash: offsets bytes hashed, chained into adjacency bytes.
+std::uint64_t hash_graph(const CsrGraph& g);
+
+}  // namespace sbg::dyn

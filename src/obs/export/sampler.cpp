@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/env.hpp"
 #include "obs/export/prom.hpp"
 #include "obs/perf.hpp"
 #include "obs/registry.hpp"
@@ -249,11 +250,11 @@ std::unique_ptr<Sampler> start_sampler_from_env() {
                  error.c_str());
     return nullptr;
   }
-  if (const char* period = std::getenv("SBG_OBS_PERIOD_MS");
-      period && *period) {
-    opt.period_ms = std::atoi(period);
-    if (opt.period_ms <= 0) opt.period_ms = 1000;
-  }
+  // Soft knob: "SBG_OBS_PERIOD_MS=abc" used to silently atoi() to the
+  // default — now it warns once (same style as the SBG_OBS_EXPORT warning
+  // above) and keeps the default.
+  opt.period_ms = int(
+      env::long_or_warn("SBG_OBS_PERIOD_MS", opt.period_ms, 1, 86400000));
   return std::make_unique<Sampler>(opt);
 }
 

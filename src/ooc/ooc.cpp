@@ -17,6 +17,7 @@
 #include <set>
 #include <thread>
 
+#include "core/env.hpp"
 #include "matching/matching.hpp"
 #include "obs/obs.hpp"
 #include "ooc/spill.hpp"
@@ -109,25 +110,9 @@ vid_t extend_piece(Engine engine, const CsrGraph& piece,
 }
 
 std::uint64_t parse_bytes_env(const char* name) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return 0;
-  std::string s(raw);
-  std::uint64_t mult = 1;
-  switch (s.back()) {
-    case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
-    case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
-    case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
-    default: break;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0' || s.empty()) {
-    throw InputError(std::string(name) +
-                     ": expected bytes (optional K/M/G suffix), got '" + raw +
-                     "'");
-  }
-  return std::uint64_t(v) * mult;
+  // Shared strict parser: K/M/G suffixes, throws InputError on garbage or
+  // 64-bit overflow instead of silently wrapping the budget.
+  return env::bytes(name, 0);
 }
 
 // ----------------------------------------------------------- piece store --

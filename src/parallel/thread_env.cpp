@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/env.hpp"
+
 namespace sbg {
 
 int num_threads() { return omp_get_max_threads(); }
@@ -14,10 +16,10 @@ int max_threads() { return omp_get_num_procs(); }
 void set_num_threads(int n) { omp_set_num_threads(n < 1 ? 1 : n); }
 
 int apply_thread_env() {
-  if (const char* env = std::getenv("SBG_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) set_num_threads(n);
-  }
+  // Soft knob: "SBG_THREADS=abc" used to silently atoi() to 0 and be
+  // ignored — now garbage warns once and the current team size stands.
+  const long n = env::long_or_warn("SBG_THREADS", 0, 1, 1 << 16);
+  if (n >= 1) set_num_threads(int(n));
   return num_threads();
 }
 

@@ -297,6 +297,47 @@ JobResult run_job(const JobSpec& spec, double deadline_ms, bool verify) {
   return res;
 }
 
+UpdateJobResult run_update_job(const UpdateJobSpec& spec,
+                               double deadline_ms) {
+  UpdateJobResult res;
+  Timer timer;
+  CancelToken token;
+  token.set_deadline_ms(deadline_ms);
+  ScopedCancel install(&token);
+  try {
+    if (!spec.session) throw InputError("update job has no session");
+    SBG_SPAN(spec.name.empty() ? "sched.update_job" : spec.name);
+    SBG_SPAN_PERF("sched.update_job");
+    poll_cancellation();
+    res.outcome = spec.session->update(spec.batch, spec.verify);
+    if (!res.outcome.oracle_error.empty()) {
+      res.status = JobStatus::kFailed;
+      res.error = "oracle: " + res.outcome.oracle_error;
+    } else {
+      res.status = JobStatus::kOk;
+    }
+  } catch (const JobCancelled& e) {
+    res.status = JobStatus::kCancelled;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res.status = JobStatus::kFailed;
+    res.error = e.what();
+  }
+  res.seconds = timer.seconds();
+  switch (res.status) {
+    case JobStatus::kOk:
+      SBG_COUNTER_ADD("sched.update_jobs_ok", 1);
+      break;
+    case JobStatus::kFailed:
+      SBG_COUNTER_ADD("sched.update_jobs_failed", 1);
+      break;
+    case JobStatus::kCancelled:
+      SBG_COUNTER_ADD("sched.update_jobs_cancelled", 1);
+      break;
+  }
+  return res;
+}
+
 BatchReport run_batch(const std::vector<JobSpec>& specs,
                       const BatchOptions& opt) {
   SBG_SPAN("sched.batch");

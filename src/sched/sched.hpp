@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "coloring/coloring.hpp"
+#include "dyn/session.hpp"
 #include "graph/csr.hpp"
 #include "matching/matching.hpp"
 #include "mis/mis.hpp"
@@ -147,6 +148,39 @@ std::string verify_job(const PreparedJob& job, const JobSolution& sol);
 /// throws: every failure mode lands in the result.
 JobResult run_job(const JobSpec& spec, double deadline_ms = 0,
                   bool verify = true);
+
+// ------------------------------------------------------------------------
+// Streaming update jobs (src/dyn). An update job is one batch applied to a
+// live dyn::Session: apply + incremental MM/coloring/MIS repair, optionally
+// oracle-verified against the materialized post-batch graph. It rides the
+// same cooperative-cancellation scope as solve jobs, so deadlines land in
+// the repair round loops and map to kCancelled.
+
+/// One update batch against a live session.
+struct UpdateJobSpec {
+  std::string name;        ///< report key, e.g. "c-73/updates/42"
+  std::string graph_name;  ///< registry name the session belongs to
+  std::shared_ptr<dyn::Session> session;
+  dyn::UpdateBatch batch;
+  /// Oracle-check every repaired solution against the materialized graph.
+  bool verify = true;
+};
+
+struct UpdateJobResult {
+  JobStatus status = JobStatus::kFailed;
+  std::string error;  ///< empty on kOk
+  double seconds = 0.0;
+  /// Populated on kOk; on a verify failure it still carries the batch's
+  /// structural effect and the offending oracle message is in `error`.
+  dyn::UpdateOutcome outcome;
+};
+
+/// Run one update job in the calling thread with its own cancellation
+/// scope. Never throws; an oracle rejection is a kFailed result (the
+/// session keeps its repaired state either way — callers decide whether
+/// to drop the session).
+UpdateJobResult run_update_job(const UpdateJobSpec& spec,
+                               double deadline_ms = 0);
 
 /// Run `specs` concurrently. Must be called from serial code (the workers
 /// it spawns are their own OpenMP contention groups).

@@ -75,6 +75,39 @@ bool recv_until_close(int fd, std::string* out, std::string* error) {
 
 }  // namespace
 
+bool parse_http_response(const std::string& raw, ClientResponse* out,
+                         std::string* error) {
+  // Status line: HTTP/1.1 NNN Reason\r\n — confine every check to the first
+  // line. The old code ran raw.find(' ') over the whole response, so a
+  // truncated status line ("HTTP/1.1 20") could borrow a space and digits
+  // from a header below it and report a fabricated status code.
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) {
+    if (error != nullptr) *error = "response missing status line terminator";
+    return false;
+  }
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t sp = line.find(' ');
+  if (line.rfind("HTTP/1.", 0) != 0 || sp == std::string::npos ||
+      sp + 4 > line.size()) {
+    if (error != nullptr) *error = "malformed response status line";
+    return false;
+  }
+  const std::string code = line.substr(sp + 1, 3);
+  if (code.find_first_not_of("0123456789") != std::string::npos) {
+    if (error != nullptr) *error = "malformed response status code";
+    return false;
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (error != nullptr) *error = "response missing header terminator";
+    return false;
+  }
+  out->status = std::stoi(code);
+  out->body = raw.substr(header_end + 4);
+  return true;
+}
+
 bool http_request(int port, const std::string& method,
                   const std::string& target, const std::string& body,
                   ClientResponse* out, std::string* error, double timeout_s) {
@@ -98,27 +131,7 @@ bool http_request(int port, const std::string& method,
   const bool ok = recv_until_close(fd, &raw, error);
   ::close(fd);
   if (!ok) return false;
-
-  // Status line: HTTP/1.1 NNN Reason
-  const std::size_t sp = raw.find(' ');
-  if (raw.rfind("HTTP/1.", 0) != 0 || sp == std::string::npos ||
-      sp + 4 > raw.size()) {
-    if (error != nullptr) *error = "malformed response status line";
-    return false;
-  }
-  const std::string code = raw.substr(sp + 1, 3);
-  if (code.find_first_not_of("0123456789") != std::string::npos) {
-    if (error != nullptr) *error = "malformed response status code";
-    return false;
-  }
-  const std::size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    if (error != nullptr) *error = "response missing header terminator";
-    return false;
-  }
-  out->status = std::stoi(code);
-  out->body = raw.substr(header_end + 4);
-  return true;
+  return parse_http_response(raw, out, error);
 }
 
 bool http_raw(int port, const std::string& bytes, std::string* response_bytes,

@@ -12,6 +12,14 @@ struct ClientResponse {
   std::string body;
 };
 
+/// Parse a raw HTTP/1.1 response (status line + headers + body) into `out`.
+/// Strict about the status line: the three-digit code must sit on the first
+/// line, before its CRLF — a truncated "HTTP/1.1 20" or a line with no space
+/// is a structured parse error, never a number scraped from a header further
+/// down. Returns false with *error naming what was malformed.
+bool parse_http_response(const std::string& raw, ClientResponse* out,
+                         std::string* error = nullptr);
+
 /// Connect to 127.0.0.1:`port`, send one request, read the full response.
 /// Returns false with *error on connect/send/parse failure (a refused
 /// connection after drain, a 429 slammed-shut socket, ...). `timeout_s`

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include "check/solvers.hpp"
 #include "common.hpp"
+#include "core/env.hpp"
 #include "graph/dataset.hpp"
 #include "ingest/ingest.hpp"
 #include "obs/export/prom.hpp"
@@ -26,58 +28,6 @@
 namespace sbg::serve {
 
 namespace {
-
-// ------------------------------------------------------- env parsing ------
-
-long env_long(const char* name, long fallback, long min_v, long max_v) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(raw, &end, 10);
-  if (errno != 0 || end == raw || *end != '\0' || v < min_v || v > max_v) {
-    throw InputError(std::string(name) + ": expected integer in [" +
-                     std::to_string(min_v) + ", " + std::to_string(max_v) +
-                     "], got '" + raw + "'");
-  }
-  return v;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(raw, &end);
-  if (errno != 0 || end == raw || *end != '\0' || !(v >= 0)) {
-    throw InputError(std::string(name) + ": expected non-negative number, got '" +
-                     raw + "'");
-  }
-  return v;
-}
-
-/// Byte count with optional K/M/G suffix (powers of 1024), e.g. "512M".
-std::uint64_t env_bytes(const char* name, std::uint64_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  std::string s(raw);
-  std::uint64_t mult = 1;
-  switch (s.back()) {
-    case 'k': case 'K': mult = 1ull << 10; s.pop_back(); break;
-    case 'm': case 'M': mult = 1ull << 20; s.pop_back(); break;
-    case 'g': case 'G': mult = 1ull << 30; s.pop_back(); break;
-    default: break;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0' || s.empty()) {
-    throw InputError(std::string(name) +
-                     ": expected bytes (optional K/M/G suffix), got '" + raw +
-                     "'");
-  }
-  return std::uint64_t(v) * mult;
-}
 
 // ----------------------------------------------------- job decoding -------
 
@@ -134,23 +84,24 @@ const HttpResponse kOverloadResponse{
 
 ServerOptions options_from_env() {
   ServerOptions o;
-  o.port = int(env_long("SBG_SERVE_PORT", o.port, 0, 65535));
-  o.workers = int(env_long("SBG_SERVE_WORKERS", o.workers, 1, 256));
-  o.per_job_threads =
-      int(env_long("SBG_SERVE_PER_JOB_THREADS", o.per_job_threads, 1, 1024));
-  o.queue_cap = int(env_long("SBG_SERVE_QUEUE", o.queue_cap, 1, 1 << 20));
+  o.port = int(env::get_long("SBG_SERVE_PORT", o.port, 0, 65535));
+  o.workers = int(env::get_long("SBG_SERVE_WORKERS", o.workers, 1, 256));
+  o.per_job_threads = int(
+      env::get_long("SBG_SERVE_PER_JOB_THREADS", o.per_job_threads, 1, 1024));
+  o.queue_cap = int(env::get_long("SBG_SERVE_QUEUE", o.queue_cap, 1, 1 << 20));
   o.default_deadline_ms =
-      env_double("SBG_SERVE_DEADLINE_MS", o.default_deadline_ms);
+      env::get_double("SBG_SERVE_DEADLINE_MS", o.default_deadline_ms);
   o.telemetry_flush_s =
-      env_double("SBG_SERVE_FLUSH_MS", o.telemetry_flush_s * 1000.0) / 1000.0;
+      env::get_double("SBG_SERVE_FLUSH_MS", o.telemetry_flush_s * 1000.0) /
+      1000.0;
   // The registry's eviction budget: its own knob first, else the
   // process-wide out-of-core budget (SBG_MEM_BUDGET) so one setting caps
   // both the hot-graph cache and piece scheduling.
-  o.mem_cap_bytes = env_bytes(
-      "SBG_SERVE_MEM_CAP", env_bytes("SBG_MEM_BUDGET", o.mem_cap_bytes));
+  o.mem_cap_bytes = env::bytes(
+      "SBG_SERVE_MEM_CAP", env::bytes("SBG_MEM_BUDGET", o.mem_cap_bytes));
   o.limits.max_body_bytes = std::size_t(
-      env_bytes("SBG_SERVE_MAX_BODY", o.limits.max_body_bytes));
-  o.dataset_scale = env_double("SBG_SERVE_SCALE", o.dataset_scale);
+      env::bytes("SBG_SERVE_MAX_BODY", o.limits.max_body_bytes));
+  o.dataset_scale = env::get_double("SBG_SERVE_SCALE", o.dataset_scale);
   return o;
 }
 
@@ -363,6 +314,27 @@ HttpResponse Server::route(const HttpRequest& req) {
     if (req.method == "POST") return handle_graphs_post(req);
     return {405, "application/json", error_body("graphs is GET/POST")};
   }
+  // /v1/graphs/<name>/updates — the only parameterized route; <name> is a
+  // single path segment (registry names never contain '/').
+  {
+    constexpr const char kPrefix[] = "/v1/graphs/";
+    constexpr const char kSuffix[] = "/updates";
+    const std::size_t plen = sizeof(kPrefix) - 1;
+    const std::size_t slen = sizeof(kSuffix) - 1;
+    if (req.target.size() > plen + slen &&
+        req.target.compare(0, plen, kPrefix) == 0 &&
+        req.target.compare(req.target.size() - slen, slen, kSuffix) == 0) {
+      const std::string name =
+          req.target.substr(plen, req.target.size() - plen - slen);
+      if (!name.empty() && name.find('/') == std::string::npos) {
+        if (req.method != "POST") {
+          return {405, "application/json",
+                  error_body("updates is POST-only")};
+        }
+        return handle_updates(req, name);
+      }
+    }
+  }
   if (req.target == "/v1/jobs") {
     if (req.method != "POST") return {405, "application/json",
                                       error_body("jobs is POST-only")};
@@ -542,6 +514,196 @@ HttpResponse Server::handle_job(const HttpRequest& req) {
               ? "true"
               : "false";
   body += ",\"obs\":" + obs::report_json({{"tool", "sbg_serve"}});
+  body += "}";
+
+  int status = 200;
+  if (res.status == sched::JobStatus::kCancelled) status = 504;
+  if (res.status == sched::JobStatus::kFailed) status = 500;
+  return {status, "application/json", std::move(body)};
+}
+
+namespace {
+
+/// Decode an optional "[[u,v],...]" member into an edge list. Absent is an
+/// empty list; anything not an array of integer pairs is an error.
+bool parse_edge_field(const JsonValue& doc, const char* field,
+                      std::vector<Edge>* out, std::string* err) {
+  const JsonValue* arr = doc.get(field);
+  if (arr == nullptr) return true;
+  if (!arr->is_array()) {
+    *err = std::string(field) + " must be an array of [u,v] pairs";
+    return false;
+  }
+  out->reserve(arr->as_array().size());
+  for (const JsonValue& e : arr->as_array()) {
+    if (!e.is_array() || e.as_array().size() != 2 ||
+        !e.as_array()[0].is_number() || !e.as_array()[1].is_number()) {
+      *err = std::string(field) + " entries must be [u,v] number pairs";
+      return false;
+    }
+    const double u = e.as_array()[0].as_number();
+    const double v = e.as_array()[1].as_number();
+    if (u < 0 || v < 0 || u != std::floor(u) || v != std::floor(v) ||
+        u >= double(kNoVertex) || v >= double(kNoVertex)) {
+      *err = std::string(field) +
+             " endpoints must be integers in [0, 4294967294)";
+      return false;
+    }
+    out->push_back({vid_t(u), vid_t(v)});
+  }
+  return true;
+}
+
+void append_repair_stats(std::string& body, const char* key,
+                         const dyn::RepairStats& st) {
+  body += "\"";
+  body += key;
+  body += "\":{\"frontier\":" + std::to_string(st.frontier);
+  body += ",\"repaired\":" + std::to_string(st.repaired);
+  body += ",\"rounds\":" + std::to_string(st.rounds);
+  body += ",\"seconds\":";
+  obs::append_json_number(body, st.seconds);
+  body += "}";
+}
+
+}  // namespace
+
+HttpResponse Server::handle_updates(const HttpRequest& req,
+                                    const std::string& graph_name) {
+  std::string jerr;
+  const std::optional<JsonValue> doc = parse_json(req.body, 32, &jerr);
+  if (!doc || !doc->is_object()) {
+    return {400, "application/json",
+            error_body("request body must be a JSON object" +
+                       (jerr.empty() ? "" : ": " + jerr))};
+  }
+  bool bad_type = false;
+  const bool verify = doc->get_bool("verify", true, &bad_type);
+  const double deadline_ms =
+      doc->get_number("deadline_ms", opt_.default_deadline_ms, &bad_type);
+  const double seed = doc->get_number("seed", 42, &bad_type);
+  if (bad_type) {
+    return {400, "application/json", error_body("field has wrong JSON type")};
+  }
+
+  dyn::UpdateBatch batch;
+  std::string perr;
+  if (!parse_edge_field(*doc, "insert", &batch.insert, &perr) ||
+      !parse_edge_field(*doc, "delete", &batch.remove, &perr)) {
+    return {400, "application/json", error_body(perr)};
+  }
+
+  std::shared_ptr<dyn::Session> session;
+  {
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    const auto it = dyn_sessions_.find(graph_name);
+    if (it != dyn_sessions_.end()) session = it->second;
+  }
+  if (session == nullptr) {
+    std::string lerr;
+    std::shared_ptr<const CsrGraph> g = registry_.acquire(graph_name, &lerr);
+    if (g == nullptr) {
+      return {404, "application/json", error_body(lerr)};
+    }
+    dyn::SessionOptions sopt;
+    sopt.seed = std::uint64_t(seed);
+    // "repair" picks the maintained problems; only honored at session
+    // creation (the first batch for this graph) — later batches repair
+    // whatever the session maintains.
+    if (const JsonValue* repair = doc->get("repair")) {
+      if (!repair->is_array()) {
+        return {400, "application/json",
+                error_body("repair must be an array of problem names")};
+      }
+      sopt.maintain_mm = sopt.maintain_color = sopt.maintain_mis = false;
+      for (const JsonValue& p : repair->as_array()) {
+        if (!p.is_string()) {
+          return {400, "application/json",
+                  error_body("repair entries must be strings")};
+        }
+        if (p.as_string() == "mm") {
+          sopt.maintain_mm = true;
+        } else if (p.as_string() == "color") {
+          sopt.maintain_color = true;
+        } else if (p.as_string() == "mis") {
+          sopt.maintain_mis = true;
+        } else {
+          return {422, "application/json",
+                  error_body("unknown repair problem '" + p.as_string() +
+                             "' (expected mm/color/mis)")};
+        }
+      }
+    }
+    // The initial solves run outside dyn_mu_ (they can be seconds on a big
+    // graph); racing creators are resolved first-insert-wins and the
+    // loser's session is discarded.
+    auto fresh = std::make_shared<dyn::Session>(std::move(g), sopt);
+    std::lock_guard<std::mutex> lock(dyn_mu_);
+    session = dyn_sessions_.emplace(graph_name, std::move(fresh))
+                  .first->second;
+  }
+
+  // Cap per-batch vertex growth so one hostile endpoint id cannot balloon
+  // the per-vertex delta arrays.
+  constexpr std::uint64_t kMaxGrow = 1u << 20;
+  const std::uint64_t grow_cap =
+      std::uint64_t(session->num_vertices()) + kMaxGrow;
+  for (const Edge& e : batch.insert) {
+    const std::uint64_t top = std::max(e.u, e.v);
+    if (top >= grow_cap) {
+      return {422, "application/json",
+              error_body("inserted endpoint " + std::to_string(top) +
+                         " exceeds the vertex growth cap (current n + 2^20)")};
+    }
+  }
+
+  sched::UpdateJobSpec spec;
+  spec.name =
+      graph_name + "/updates/" + std::to_string(session->batches_applied());
+  spec.graph_name = graph_name;
+  spec.session = session;
+  spec.batch = std::move(batch);
+  spec.verify = verify;
+  const sched::UpdateJobResult res = sched::run_update_job(spec, deadline_ms);
+  SBG_COUNTER_ADD("serve.update_jobs", 1);
+  if (res.status == sched::JobStatus::kCancelled) {
+    SBG_COUNTER_ADD("serve.update_jobs_cancelled", 1);
+  } else if (res.status == sched::JobStatus::kFailed) {
+    SBG_COUNTER_ADD("serve.update_jobs_failed", 1);
+  }
+
+  const dyn::UpdateOutcome& o = res.outcome;
+  std::string body = "{\"graph\":";
+  obs::append_json_string(body, graph_name);
+  body += ",\"status\":";
+  obs::append_json_string(body, status_word(res.status));
+  body += ",\"error\":";
+  obs::append_json_string(body, res.error);
+  body += ",\"inserted\":" + std::to_string(o.inserted);
+  body += ",\"removed\":" + std::to_string(o.removed);
+  body += ",\"new_vertices\":" + std::to_string(o.new_vertices);
+  body += ",\"vertices\":" + std::to_string(o.num_vertices);
+  body += ",\"edges\":" + std::to_string(o.num_edges);
+  body += ",\"repair\":{";
+  append_repair_stats(body, "mm", o.mm);
+  body += ",";
+  append_repair_stats(body, "color", o.color);
+  body += ",";
+  append_repair_stats(body, "mis", o.mis);
+  body += "}";
+  body += ",\"mm_cardinality\":" + std::to_string(o.mm_cardinality);
+  body += ",\"palette\":" + std::to_string(o.palette);
+  body += ",\"mis_size\":" + std::to_string(o.mis_size);
+  // Decimal strings: uint64 hashes do not survive a double round-trip.
+  body += ",\"mm_hash\":\"" + std::to_string(o.mm_hash) + "\"";
+  body += ",\"color_hash\":\"" + std::to_string(o.color_hash) + "\"";
+  body += ",\"mis_hash\":\"" + std::to_string(o.mis_hash) + "\"";
+  body += ",\"graph_hash\":\"" + std::to_string(o.graph_hash) + "\"";
+  body += ",\"verified\":";
+  body += o.verified ? "true" : "false";
+  body += ",\"batches\":" + std::to_string(session->batches_applied());
+  body += ",\"seconds\":";
+  obs::append_json_number(body, res.seconds);
   body += "}";
 
   int status = 200;

@@ -24,6 +24,18 @@
 //   POST /v1/graphs  {"name": ..., "path": ...} or {"name": ...,
 //                     "dataset": ..., "scale": S, "seed": N} — warm a graph
 //                     into the registry under an explicit name
+//   POST /v1/graphs/<name>/updates
+//                    {"insert": [[u,v],...], "delete": [[u,v],...],
+//                     "verify": true, "deadline_ms": D,
+//                     "seed": N, "repair": ["mm","color","mis"]}
+//                    — one streaming update batch against the named graph's
+//                    dyn::Session (created lazily on the first batch, when
+//                    "seed"/"repair" take effect; the registry CSR is the
+//                    base). Applies the batch and incrementally repairs the
+//                    maintained solutions (src/dyn). 200 with per-kernel
+//                    repair stats + solution hashes; 404 unknown graph,
+//                    400 malformed, 422 endpoint ids out of range, 500
+//                    oracle failure, 504 deadline exceeded.
 //   GET  /v1/graphs  registry listing + resident/cap bytes
 //   GET  /metrics    Prometheus text exposition of the live obs registry
 //   GET  /healthz    {"status":"ok","draining":false}
@@ -46,12 +58,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dyn/session.hpp"
 #include "serve/http.hpp"
 #include "serve/registry.hpp"
 
@@ -122,6 +136,8 @@ class Server {
   HttpResponse handle_job(const HttpRequest& req);
   HttpResponse handle_graphs_get();
   HttpResponse handle_graphs_post(const HttpRequest& req);
+  HttpResponse handle_updates(const HttpRequest& req,
+                              const std::string& graph_name);
   HttpResponse handle_metrics();
   HttpResponse handle_healthz();
 
@@ -142,6 +158,13 @@ class Server {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<int> queue_;  ///< accepted connection fds awaiting a worker
+
+  /// Dynamic sessions keyed by registry graph name, created lazily on the
+  /// first updates batch. The map lock only guards lookup/insert; batches
+  /// serialize on each Session's own mutex, so updates to different graphs
+  /// run concurrently.
+  std::mutex dyn_mu_;
+  std::map<std::string, std::shared_ptr<dyn::Session>> dyn_sessions_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,306 @@
+// src/dyn — dynamic graphs: DynGraph toggle semantics (insert / delete /
+// resurrect / no-op), the merged neighbor view against materialize(),
+// compaction invariance, vertex growth, and Session's incremental
+// MM/coloring/MIS repair checked through the standard oracles after every
+// batch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dyn/dyn_graph.hpp"
+#include "dyn/repair.hpp"
+#include "dyn/session.hpp"
+#include "parallel/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+using dyn::DynGraph;
+using dyn::Session;
+using dyn::SessionOptions;
+using dyn::UpdateBatch;
+
+std::vector<vid_t> neighbor_list(const DynGraph& g, vid_t v) {
+  std::vector<vid_t> out;
+  g.for_neighbors(v, [&](vid_t w) { out.push_back(w); });
+  return out;
+}
+
+TEST(DynGraph, InsertAndDeleteToggleEdges) {
+  DynGraph g(test::make_path_200());
+  ASSERT_TRUE(g.has_edge(3, 4));
+  ASSERT_FALSE(g.has_edge(3, 5));
+
+  UpdateBatch b;
+  b.insert.push_back({3, 5});
+  b.remove.push_back({3, 4});
+  const dyn::EdgeDelta d = g.apply(b);
+  EXPECT_EQ(d.inserted.size(), 1u);
+  EXPECT_EQ(d.removed.size(), 1u);
+  EXPECT_TRUE(g.has_edge(3, 5));
+  EXPECT_TRUE(g.has_edge(5, 3));  // undirected
+  EXPECT_FALSE(g.has_edge(3, 4));
+  EXPECT_EQ(g.num_edges(), 199u);  // one in, one out
+}
+
+TEST(DynGraph, NoOpInsertsAndDeletesAreNotReported) {
+  DynGraph g(test::make_path_200());
+  UpdateBatch b;
+  b.insert.push_back({3, 4});    // already present
+  b.insert.push_back({7, 7});    // self-loop: dropped
+  b.insert.push_back({9, 8});    // duplicate orientation of a present edge
+  b.remove.push_back({50, 90});  // absent
+  const dyn::EdgeDelta d = g.apply(b);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(g.num_edges(), 199u);
+}
+
+TEST(DynGraph, InsertThenRemoveInOneBatchNetsToAbsent) {
+  DynGraph g(test::make_path_200());
+  UpdateBatch b;
+  b.insert.push_back({10, 100});
+  b.remove.push_back({100, 10});  // removes win over inserts
+  const dyn::EdgeDelta d = g.apply(b);
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(g.has_edge(10, 100));
+}
+
+TEST(DynGraph, ResurrectingATombstonedEdgeClearsTheTombstone) {
+  DynGraph g(test::make_path_200());
+  UpdateBatch del;
+  del.remove.push_back({3, 4});
+  g.apply(del);
+  ASSERT_FALSE(g.has_edge(3, 4));
+  EXPECT_EQ(g.delta_arcs(), 2u);
+
+  UpdateBatch res;
+  res.insert.push_back({3, 4});
+  const dyn::EdgeDelta d = g.apply(res);
+  EXPECT_EQ(d.inserted.size(), 1u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  // The pair cancelled out instead of living in both delta sets.
+  EXPECT_EQ(g.delta_arcs(), 0u);
+}
+
+TEST(DynGraph, MergedNeighborViewMatchesMaterialize) {
+  Rng rng(99);
+  DynGraph g(test::make_er_sparse());
+  for (int round = 0; round < 5; ++round) {
+    UpdateBatch b;
+    for (int i = 0; i < 30; ++i) {
+      const vid_t u = vid_t(rng.below(g.num_vertices()));
+      const vid_t v = vid_t(rng.below(g.num_vertices()));
+      if (rng.below(2) == 0) {
+        b.insert.push_back({u, v});
+      } else {
+        b.remove.push_back({u, v});
+      }
+    }
+    g.apply(b);
+    const CsrGraph m = g.materialize();
+    ASSERT_EQ(m.num_vertices(), g.num_vertices());
+    ASSERT_EQ(m.num_edges(), g.num_edges());
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      const auto span = m.neighbors(v);
+      const std::vector<vid_t> want(span.begin(), span.end());
+      ASSERT_EQ(neighbor_list(g, v), want) << "v=" << v;
+      ASSERT_EQ(g.degree(v), m.degree(v)) << "v=" << v;
+    }
+  }
+}
+
+TEST(DynGraph, CompactionPreservesTheViewAndResetsDeltas) {
+  DynGraph g(test::make_er_sparse(), /*compact_fraction=*/1e9);
+  UpdateBatch b;
+  b.insert.push_back({1, 5});
+  b.insert.push_back({2, 9});
+  b.remove.push_back({0, 1});
+  g.apply(b);
+  const CsrGraph before = g.materialize();
+  ASSERT_GT(g.delta_arcs(), 0u);
+
+  g.compact();
+  EXPECT_EQ(g.delta_arcs(), 0u);
+  EXPECT_EQ(g.compactions(), 1u);
+  const CsrGraph after = g.materialize();
+  EXPECT_EQ(dyn::hash_graph(before), dyn::hash_graph(after));
+  // Idempotent with empty deltas.
+  g.compact();
+  EXPECT_EQ(g.compactions(), 1u);
+}
+
+TEST(DynGraph, AutoCompactionTriggersOnDeltaGrowth) {
+  DynGraph g(test::make_path_200(), /*compact_fraction=*/0.01);
+  UpdateBatch b;
+  for (vid_t i = 0; i < 20; ++i) b.insert.push_back({i, vid_t(i + 50)});
+  g.apply(b);
+  EXPECT_GE(g.compactions(), 1u);
+  EXPECT_EQ(g.delta_arcs(), 0u);
+  EXPECT_EQ(g.num_edges(), 219u);
+}
+
+TEST(DynGraph, InsertsGrowTheVertexSpace) {
+  DynGraph g(test::make_path_200());
+  UpdateBatch b;
+  b.insert.push_back({5, 205});
+  const dyn::EdgeDelta d = g.apply(b);
+  EXPECT_EQ(d.new_vertices, 6u);
+  EXPECT_EQ(g.num_vertices(), 206u);
+  EXPECT_TRUE(g.has_edge(5, 205));
+  EXPECT_EQ(g.degree(203), 0u);  // fresh isolated slots
+  EXPECT_EQ(g.core_hint(205), 0u);
+  const CsrGraph m = g.materialize();
+  EXPECT_EQ(m.num_vertices(), 206u);
+}
+
+TEST(DynGraph, CoreHintRefreshesOnCompaction) {
+  // Base is a path (all core 1); densify a clique on 0..5, compact, and
+  // the hints must reflect the new structure.
+  DynGraph g(test::make_path_200(), /*compact_fraction=*/1e9);
+  UpdateBatch b;
+  for (vid_t u = 0; u < 6; ++u) {
+    for (vid_t v = u + 1; v < 6; ++v) b.insert.push_back({u, v});
+  }
+  g.apply(b);
+  EXPECT_EQ(g.core_hint(3), 1u);  // stale until compaction
+  g.compact();
+  EXPECT_EQ(g.core_hint(3), 5u);
+  EXPECT_EQ(g.core_hint(150), 1u);
+}
+
+// ------------------------------------------------------------- session ----
+
+void expect_session_valid(Session& s, const char* what) {
+  const CsrGraph g = s.materialized();
+  EXPECT_TRUE(test::IsMaximalMatching(g, s.mate())) << what;
+  EXPECT_TRUE(test::IsProperColoring(g, s.color())) << what;
+  EXPECT_TRUE(test::IsMaximalIndependentSet(g, s.mis_state())) << what;
+}
+
+TEST(DynSession, InitialSolutionsAreValid) {
+  Session s(test::make_er_sparse());
+  expect_session_valid(s, "initial");
+}
+
+TEST(DynSession, EmptyBatchIsValidAndCheap) {
+  Session s(test::make_er_sparse());
+  const dyn::UpdateOutcome out = s.update({}, /*verify=*/true);
+  EXPECT_TRUE(out.oracle_error.empty()) << out.oracle_error;
+  EXPECT_EQ(out.inserted, 0u);
+  EXPECT_EQ(out.removed, 0u);
+  EXPECT_EQ(out.mm.frontier, 0u);
+  EXPECT_EQ(out.color.frontier, 0u);
+  EXPECT_EQ(out.mis.frontier, 0u);
+}
+
+TEST(DynSession, RepairsStayOracleCleanAcrossRandomBatches) {
+  Rng rng(4242);
+  Session s(test::make_er_sparse());
+  const vid_t n = s.num_vertices();
+  for (int round = 0; round < 8; ++round) {
+    UpdateBatch b;
+    const int k = 1 + int(rng.below(12));
+    for (int i = 0; i < k; ++i) {
+      const vid_t u = vid_t(rng.below(n));
+      const vid_t v = vid_t(rng.below(n));
+      if (rng.below(3) == 0) {
+        b.remove.push_back({u, v});
+      } else {
+        b.insert.push_back({u, v});
+      }
+    }
+    const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+    EXPECT_TRUE(out.oracle_error.empty())
+        << "round " << round << ": " << out.oracle_error;
+    EXPECT_TRUE(out.verified);
+  }
+  expect_session_valid(s, "after batches");
+}
+
+TEST(DynSession, DeleteHeavyBatchesStayValid) {
+  Session s(test::make_cycle_201());
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    UpdateBatch b;
+    for (int i = 0; i < 10; ++i) {
+      const vid_t u = vid_t(rng.below(201));
+      b.remove.push_back({u, vid_t((u + 1) % 201)});
+    }
+    const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+    EXPECT_TRUE(out.oracle_error.empty())
+        << "round " << round << ": " << out.oracle_error;
+  }
+}
+
+TEST(DynSession, GrowingVerticesRepairsNewcomers) {
+  Session s(test::make_path_200());
+  UpdateBatch b;
+  b.insert.push_back({0, 200});
+  b.insert.push_back({200, 201});
+  b.insert.push_back({201, 202});
+  const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+  EXPECT_TRUE(out.oracle_error.empty()) << out.oracle_error;
+  EXPECT_EQ(out.new_vertices, 3u);
+  EXPECT_EQ(out.num_vertices, 203u);
+  // Newcomers must be colored and MIS-decided (the oracles above prove it
+  // globally; spot-check the arrays grew).
+  EXPECT_EQ(s.color().size(), 203u);
+  EXPECT_EQ(s.mis_state().size(), 203u);
+}
+
+TEST(DynSession, RepairTouchesTheFrontierNotTheWholeGraph) {
+  // One edge into a 400-vertex graph must not rewrite distant state.
+  Session s(test::make_er_sparse());
+  const std::vector<std::uint32_t> color_before = s.color();
+  UpdateBatch b;
+  b.insert.push_back({0, 1});
+  const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+  EXPECT_TRUE(out.oracle_error.empty()) << out.oracle_error;
+  const std::vector<std::uint32_t> color_after = s.color();
+  std::size_t changed = 0;
+  for (std::size_t v = 0; v < color_before.size(); ++v) {
+    changed += color_before[v] != color_after[v];
+  }
+  // The repair may cascade a little, but it must stay local: strictly
+  // fewer than 10% of vertices recolored for a single-edge batch.
+  EXPECT_LT(changed, color_before.size() / 10);
+  EXPECT_LE(out.color.repaired, out.color.frontier * 4 + 4);
+}
+
+TEST(DynSession, MaintainSubsetOnlyRepairsWhatItMaintains) {
+  SessionOptions opt;
+  opt.maintain_mm = false;
+  opt.maintain_mis = false;
+  Session s(test::make_er_sparse(), opt);
+  UpdateBatch b;
+  b.insert.push_back({0, 7});
+  const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+  EXPECT_TRUE(out.oracle_error.empty()) << out.oracle_error;
+  EXPECT_TRUE(s.mate().empty());
+  EXPECT_TRUE(s.mis_state().empty());
+  EXPECT_FALSE(s.color().empty());
+  EXPECT_EQ(out.mm_hash, 0u);
+}
+
+TEST(DynSession, HashGraphAgreesWithGroundTruthBuild) {
+  Session s(test::make_path_200());
+  UpdateBatch b;
+  b.insert.push_back({0, 2});
+  b.remove.push_back({0, 1});
+  const dyn::UpdateOutcome out = s.update(b, /*verify=*/true);
+  ASSERT_TRUE(out.verified);
+
+  EdgeList el;
+  el.num_vertices = 200;
+  el.add(0, 2);
+  for (vid_t v = 1; v + 1 < 200; ++v) el.add(v, v + 1);
+  const CsrGraph ref = build_graph(el, false);
+  EXPECT_EQ(out.graph_hash, dyn::hash_graph(ref));
+}
+
+}  // namespace
+}  // namespace sbg

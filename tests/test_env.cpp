@@ -1,0 +1,150 @@
+// src/core/env.hpp — the shared SBG_* knob parser. The strict helpers
+// (bytes / get_long / get_double) throw InputError naming the variable;
+// the soft helper (long_or_warn) warns on stderr and falls back. The
+// regression anchors: the byte parser must REJECT suffix multiplications
+// that overflow 64 bits (the old copies in serve and ooc silently
+// wrapped), and the soft knobs (SBG_OBS_PERIOD_MS, SBG_THREADS) must
+// diagnose garbage instead of silently treating it as zero via atoi.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/env.hpp"
+#include "graph/csr.hpp"
+#include "parallel/thread_env.hpp"
+
+namespace sbg {
+namespace {
+
+constexpr const char* kVar = "SBG_TEST_ENV_VAR";
+
+class EnvParsing : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv(kVar); }
+  void TearDown() override { unsetenv(kVar); }
+
+  void set(const char* value) { ASSERT_EQ(setenv(kVar, value, 1), 0); }
+};
+
+TEST_F(EnvParsing, BytesUnsetAndEmptyFallBack) {
+  EXPECT_EQ(env::bytes(kVar, 123), 123u);
+  set("");
+  EXPECT_EQ(env::bytes(kVar, 123), 123u);
+}
+
+TEST_F(EnvParsing, BytesParsesPlainAndSuffixedValues) {
+  set("1234");
+  EXPECT_EQ(env::bytes(kVar, 0), 1234u);
+  set("512K");
+  EXPECT_EQ(env::bytes(kVar, 0), 512u * 1024);
+  set("512k");
+  EXPECT_EQ(env::bytes(kVar, 0), 512u * 1024);
+  set("3M");
+  EXPECT_EQ(env::bytes(kVar, 0), 3u * 1024 * 1024);
+  set("2G");
+  EXPECT_EQ(env::bytes(kVar, 0), 2ull * 1024 * 1024 * 1024);
+  set("0");
+  EXPECT_EQ(env::bytes(kVar, 7), 0u);
+}
+
+TEST_F(EnvParsing, BytesRejectsGarbage) {
+  for (const char* bad : {"nonsense", "12Q", "1.5G", "G", "12 34", "0x10"}) {
+    set(bad);
+    EXPECT_THROW((void)env::bytes(kVar, 0), InputError) << bad;
+  }
+}
+
+TEST_F(EnvParsing, BytesRejectsNegativeAndSigned) {
+  set("-1");
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+  set("-512M");
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+  set("+1");
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+}
+
+TEST_F(EnvParsing, BytesRejectsOverflowInsteadOfWrapping) {
+  // The historical bug: 99999999999999999G wrapped to a small number and
+  // silently shrank the budget it configured. Now every suffixed value
+  // whose multiplication cannot be represented must throw.
+  set("99999999999999999G");
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+  set("18446744073709551616");  // 2^64, overflows even unsuffixed
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+  set("17179869184G");  // 2^34 * 2^30 = 2^64
+  EXPECT_THROW((void)env::bytes(kVar, 0), InputError);
+  // The largest representable suffixed values still parse.
+  set("16777215G");
+  EXPECT_EQ(env::bytes(kVar, 0), 16777215ull << 30);
+}
+
+TEST_F(EnvParsing, GetLongParsesAndBoundsChecks) {
+  EXPECT_EQ(env::get_long(kVar, 5, 0, 100), 5);
+  set("42");
+  EXPECT_EQ(env::get_long(kVar, 5, 0, 100), 42);
+  set("-3");
+  EXPECT_EQ(env::get_long(kVar, 5, -10, 100), -3);
+  set("101");
+  EXPECT_THROW((void)env::get_long(kVar, 5, 0, 100), InputError);
+  set("abc");
+  EXPECT_THROW((void)env::get_long(kVar, 5, 0, 100), InputError);
+  set("12abc");
+  EXPECT_THROW((void)env::get_long(kVar, 5, 0, 100), InputError);
+}
+
+TEST_F(EnvParsing, GetDoubleParsesAndRejectsNegative) {
+  EXPECT_DOUBLE_EQ(env::get_double(kVar, 0.25), 0.25);
+  set("0.5");
+  EXPECT_DOUBLE_EQ(env::get_double(kVar, 0.25), 0.5);
+  set("-0.5");
+  EXPECT_THROW((void)env::get_double(kVar, 0.25), InputError);
+  set("half");
+  EXPECT_THROW((void)env::get_double(kVar, 0.25), InputError);
+}
+
+TEST_F(EnvParsing, LongOrWarnFallsBackOnGarbageWithoutThrowing) {
+  set("abc");
+  EXPECT_EQ(env::long_or_warn(kVar, 17, 1, 100), 17);
+  set("0");  // below min: warned, not accepted
+  EXPECT_EQ(env::long_or_warn(kVar, 17, 1, 100), 17);
+  set("99");
+  EXPECT_EQ(env::long_or_warn(kVar, 17, 1, 100), 99);
+  unsetenv(kVar);
+  EXPECT_EQ(env::long_or_warn(kVar, 17, 1, 100), 17);
+}
+
+TEST_F(EnvParsing, LongOrWarnDiagnosesGarbageOnStderr) {
+  set("abc");
+  ::testing::internal::CaptureStderr();
+  (void)env::long_or_warn(kVar, 17, 1, 100);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("warning:"), std::string::npos) << err;
+  EXPECT_NE(err.find(kVar), std::string::npos) << err;
+  EXPECT_NE(err.find("abc"), std::string::npos) << err;
+}
+
+TEST(ThreadEnv, GarbageThreadCountWarnsAndKeepsDefault) {
+  // SBG_THREADS=abc used to atoi() to zero and be silently ignored; now it
+  // must produce a diagnostic and leave the thread count untouched.
+  const int before = num_threads();
+  ASSERT_EQ(setenv("SBG_THREADS", "abc", 1), 0);
+  ::testing::internal::CaptureStderr();
+  const int after = apply_thread_env();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  unsetenv("SBG_THREADS");
+  EXPECT_EQ(after, before);
+  EXPECT_NE(err.find("warning:"), std::string::npos) << err;
+  EXPECT_NE(err.find("SBG_THREADS"), std::string::npos) << err;
+}
+
+TEST(ThreadEnv, ValidThreadCountStillApplies) {
+  const int before = num_threads();
+  ASSERT_EQ(setenv("SBG_THREADS", "2", 1), 0);
+  EXPECT_EQ(apply_thread_env(), 2);
+  unsetenv("SBG_THREADS");
+  set_num_threads(before);
+}
+
+}  // namespace
+}  // namespace sbg

@@ -17,25 +17,28 @@ namespace sbg {
 namespace {
 
 int runs_per_graph() {
-  // Every registered variant plus the six decomposition checks.
+  // Every registered variant plus the seven decomposition checks
+  // (bridge, rand, grow, degk x2 engines, degk-0, kcore).
   return static_cast<int>(check::matching_variants().size() +
                           check::coloring_variants().size() +
                           check::mis_variants().size()) +
-         6;
+         7;
 }
 
 /// The families that draw generator graphs for the solver zoo. "ingest"
 /// instead runs the ingestion differential, "batch" runs concurrent job
 /// batches over internally-rotated graphs, "auto" runs the selector
-/// differential, and "serve" runs concurrent clients against an
-/// in-process daemon; all four count runs their own way and are
-/// exercised by dedicated campaigns below.
+/// differential, "serve" runs concurrent clients against an in-process
+/// daemon, and "dyn" streams update batches through a dyn::Session; all
+/// five count runs their own way and are exercised by dedicated campaigns
+/// below.
 std::vector<std::string> generator_families() {
   std::vector<std::string> fams = check::fuzz_families();
   std::erase(fams, "ingest");
   std::erase(fams, "batch");
   std::erase(fams, "auto");
   std::erase(fams, "serve");
+  std::erase(fams, "dyn");
   return fams;
 }
 
@@ -117,6 +120,23 @@ TEST(FuzzDifferential, SmallServeCampaignIsClean) {
   // (and their differential replays) count as solver runs, so the floor
   // is just "the campaign did real work".
   EXPECT_GE(s.solver_runs, s.graphs);
+  for (const auto& f : s.failures) {
+    ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
+                  << f.shape << "): " << f.what;
+  }
+}
+
+TEST(FuzzDifferential, SmallDynCampaignIsClean) {
+  check::FuzzOptions opt;
+  opt.seed = 2026;
+  opt.graphs_per_family = 4;
+  opt.max_n = 72;
+  opt.families = {"dyn"};
+  const check::FuzzSummary s = check::run_fuzz(opt);
+  EXPECT_EQ(s.graphs, 4);
+  // Each iteration runs the initial three solves plus three repairs and
+  // one fresh differential solve per batch (3-8 batches).
+  EXPECT_GE(s.solver_runs, s.graphs * (3 + 3 * 3 + 3));
   for (const auto& f : s.failures) {
     ADD_FAILURE() << f.family << " graph_seed=" << f.graph_seed << " ("
                   << f.shape << "): " << f.what;

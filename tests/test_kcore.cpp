@@ -1,0 +1,147 @@
+// KCORE decomposition (src/core/kcore.*): core numbers against hand-derived
+// values on the canonical shapes, the parallel peel against the sequential
+// Matula–Beck reference, the degeneracy-ordering property of the peel
+// order, and the high/low/cross piece split through the shared
+// check_decomposition oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kcore.hpp"
+#include "test_helpers.hpp"
+
+namespace sbg {
+namespace {
+
+using test::figure1_graph;
+using test::random_graph;
+
+TEST(Kcore, PathIsAllCoreOne) {
+  const CsrGraph g = test::make_path_200();
+  const KcoreDecomposition d = decompose_kcore(g);
+  EXPECT_EQ(d.degeneracy, 1u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(d.core[v], 1u);
+}
+
+TEST(Kcore, CycleIsAllCoreTwo) {
+  const CsrGraph g = test::make_cycle_201();
+  const KcoreDecomposition d = decompose_kcore(g);
+  EXPECT_EQ(d.degeneracy, 2u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(d.core[v], 2u);
+}
+
+TEST(Kcore, StarCenterIsCoreOneDespiteItsDegree) {
+  // The shape that separates KCORE from DEGk: the hub has degree 63 but
+  // core number 1, so a core split keeps the whole star together.
+  const CsrGraph g = test::make_star_64();
+  const KcoreDecomposition d = decompose_kcore(g);
+  EXPECT_EQ(d.degeneracy, 1u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(d.core[v], 1u);
+  EXPECT_EQ(d.num_high, 0u);
+}
+
+TEST(Kcore, CompleteGraphIsOneCore) {
+  const CsrGraph g = test::make_complete_24();
+  const KcoreDecomposition d = decompose_kcore(g);
+  EXPECT_EQ(d.degeneracy, 23u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(d.core[v], 23u);
+  EXPECT_EQ(d.num_high, g.num_vertices());
+}
+
+TEST(Kcore, Figure1TrianglesAreCoreTwoBridgesCoreOne) {
+  const CsrGraph g = figure1_graph();
+  const KcoreDecomposition d = decompose_kcore(g);
+  // a,b,c and d,e,f sit on triangles; g,h hang off bridges.
+  const std::vector<vid_t> want = {2, 2, 2, 2, 2, 2, 1, 1};
+  ASSERT_EQ(d.core.size(), want.size());
+  for (vid_t v = 0; v < 8; ++v) EXPECT_EQ(d.core[v], want[v]) << "v=" << v;
+  EXPECT_EQ(d.degeneracy, 2u);
+}
+
+TEST(Kcore, EmptyAndEdgelessGraphs) {
+  const KcoreDecomposition empty = decompose_kcore(CsrGraph());
+  EXPECT_EQ(empty.degeneracy, 0u);
+  EXPECT_TRUE(empty.order.empty());
+
+  EdgeList el;
+  el.num_vertices = 5;  // isolated vertices only
+  const KcoreDecomposition iso = decompose_kcore(build_csr(el));
+  EXPECT_EQ(iso.degeneracy, 0u);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(iso.core[v], 0u);
+}
+
+TEST(Kcore, ParallelPeelMatchesSequentialReference) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph graph = c.make();
+    const KcoreDecomposition d = decompose_kcore(graph, 2, 0);
+    const std::vector<vid_t> ref = kcore_reference(graph);
+    ASSERT_EQ(d.core.size(), ref.size()) << c.name;
+    for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+      ASSERT_EQ(d.core[v], ref[v]) << c.name << " v=" << v;
+    }
+  }
+}
+
+TEST(Kcore, OrderIsADegeneracyOrdering) {
+  const CsrGraph g = random_graph(300, 900, 17);
+  const KcoreDecomposition d = decompose_kcore(g);
+  ASSERT_EQ(d.order.size(), g.num_vertices());
+
+  // Permutation, core-nondecreasing along the order.
+  std::vector<char> seen(g.num_vertices(), 0);
+  vid_t prev_core = 0;
+  for (const vid_t v : d.order) {
+    ASSERT_LT(v, g.num_vertices());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+    EXPECT_GE(d.core[v], prev_core);
+    prev_core = d.core[v];
+  }
+
+  // Degeneracy ordering: every vertex has <= degeneracy neighbors later
+  // in the order.
+  std::vector<vid_t> pos(g.num_vertices());
+  for (std::size_t i = 0; i < d.order.size(); ++i) {
+    pos[d.order[i]] = static_cast<vid_t>(i);
+  }
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    vid_t later = 0;
+    for (const vid_t w : g.neighbors(v)) {
+      if (pos[w] > pos[v]) ++later;
+    }
+    EXPECT_LE(later, d.degeneracy) << "v=" << v;
+  }
+}
+
+TEST(Kcore, DecompositionOracleAcceptsEveryShape) {
+  for (const auto& c : test::shape_sweep()) {
+    const CsrGraph graph = c.make();
+    for (const vid_t k : {vid_t(1), vid_t(2), vid_t(3)}) {
+      const KcoreDecomposition d = decompose_kcore(graph, k, kKcoreAll);
+      const check::CheckResult res =
+          check::check_decomposition(graph, d, kKcoreAll);
+      EXPECT_TRUE(res.ok) << c.name << " k=" << k << ": " << res.message();
+    }
+  }
+}
+
+TEST(Kcore, PieceSplitCoversEveryEdgeExactlyOnce) {
+  const CsrGraph g = random_graph(200, 800, 23);
+  const KcoreDecomposition d = decompose_kcore(g, 2, kKcoreAll);
+  EXPECT_EQ(d.g_high.num_edges() + d.g_low.num_edges() +
+                d.g_cross.num_edges(),
+            g.num_edges());
+}
+
+TEST(Kcore, IsDeterministicAcrossRuns) {
+  const CsrGraph g = random_graph(250, 1000, 29);
+  const KcoreDecomposition a = decompose_kcore(g);
+  const KcoreDecomposition b = decompose_kcore(g);
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.degeneracy, b.degeneracy);
+}
+
+}  // namespace
+}  // namespace sbg

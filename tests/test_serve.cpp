@@ -350,6 +350,128 @@ TEST_F(ServeEndToEnd, OverloadGets429) {
   EXPECT_GT(ok.load(), 0) << "admitted requests should still succeed";
 }
 
+TEST(HttpClient, TruncatedStatusLineIsAStructuredError) {
+  // Regression: "HTTP/1.1 20" followed by headers used to be parsed by
+  // scanning the WHOLE response for a space + 3 digits, so a later header
+  // like "X: 2000" could donate the status code. The status line must be
+  // judged alone, and a truncated one must fail with a message.
+  serve::ClientResponse res;
+  std::string err;
+  EXPECT_FALSE(
+      serve::parse_http_response("HTTP/1.1 20\r\nX: 2000\r\n\r\n", &res, &err));
+  EXPECT_FALSE(err.empty());
+
+  err.clear();
+  EXPECT_FALSE(serve::parse_http_response("HTTP/1.1 20", &res, &err));
+  EXPECT_NE(err.find("status line"), std::string::npos) << err;
+
+  for (const char* bad :
+       {"", "\r\n\r\n", "HTTP/1.1\r\n\r\n", "HTTP/1.1 abc OK\r\n\r\n"}) {
+    err.clear();
+    EXPECT_FALSE(serve::parse_http_response(bad, &res, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(HttpClient, WellFormedResponseStillParses) {
+  serve::ClientResponse res;
+  std::string err;
+  ASSERT_TRUE(serve::parse_http_response(
+      "HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\n"
+      "Content-Length: 2\r\n\r\n{}",
+      &res, &err))
+      << err;
+  EXPECT_EQ(res.status, 404);
+  EXPECT_EQ(res.body, "{}");
+}
+
+TEST_F(ServeEndToEnd, UpdatesEndpointAppliesBatchAndRepairs) {
+  // Warm a named graph, then stream two update batches at it.
+  ASSERT_EQ(post("/v1/graphs", R"({"name":"dynG","dataset":"c-73"})").status,
+            200);
+  const auto res = post("/v1/graphs/dynG/updates",
+                        R"({"insert":[[0,1],[2,5],[7,9]],)"
+                        R"("delete":[[0,1]],"verify":true})");
+  ASSERT_EQ(res.status, 200) << res.body;
+  const auto doc = parse_json(res.body);
+  ASSERT_TRUE(doc.has_value()) << res.body;
+  EXPECT_EQ(doc->get_string("status", ""), "ok");
+  EXPECT_TRUE(doc->get_string("error", "x").empty());
+  EXPECT_TRUE(doc->get_bool("verified", false));
+  EXPECT_EQ(doc->get_number("batches", 0), 1.0);
+  ASSERT_TRUE(doc->get("repair") != nullptr && doc->get("repair")->is_object());
+
+  // Second batch reuses the session: batches counter advances and the
+  // graph keeps its accumulated state.
+  const auto res2 = post("/v1/graphs/dynG/updates",
+                         R"({"insert":[[3,11]],"verify":true})");
+  ASSERT_EQ(res2.status, 200) << res2.body;
+  const auto doc2 = parse_json(res2.body);
+  ASSERT_TRUE(doc2.has_value());
+  EXPECT_EQ(doc2->get_number("batches", 0), 2.0);
+}
+
+TEST_F(ServeEndToEnd, UpdatesEndpointValidatesItsInput) {
+  ASSERT_EQ(post("/v1/graphs", R"({"name":"dynV","dataset":"c-73"})").status,
+            200);
+  // Unknown graph -> 404.
+  EXPECT_EQ(post("/v1/graphs/no-such-graph/updates", "{}").status, 404);
+  // Malformed JSON -> 400.
+  EXPECT_EQ(post("/v1/graphs/dynV/updates", "{nope").status, 400);
+  // Non-pair entries -> 400.
+  EXPECT_EQ(post("/v1/graphs/dynV/updates", R"({"insert":[[1]]})").status,
+            400);
+  EXPECT_EQ(
+      post("/v1/graphs/dynV/updates", R"({"insert":[["a","b"]]})").status,
+      400);
+  // Fractional / out-of-range endpoints -> 400.
+  EXPECT_EQ(
+      post("/v1/graphs/dynV/updates", R"({"insert":[[0.5,1]]})").status, 400);
+  // Endpoint past the growth cap -> 422.
+  EXPECT_EQ(
+      post("/v1/graphs/dynV/updates", R"({"insert":[[0,99999999]]})").status,
+      422);
+  // Unknown repair problem -> 422 (fresh name so creation-time parsing
+  // runs).
+  ASSERT_EQ(post("/v1/graphs", R"({"name":"dynW","dataset":"c-73"})").status,
+            200);
+  EXPECT_EQ(post("/v1/graphs/dynW/updates",
+                 R"({"repair":["mm","nope"]})")
+                .status,
+            422);
+  // GET -> 405.
+  EXPECT_EQ(get("/v1/graphs/dynV/updates").status, 405);
+}
+
+TEST_F(ServeEndToEnd, ConcurrentUpdatesSerializePerSession) {
+  ASSERT_EQ(post("/v1/graphs", R"({"name":"dynC","dataset":"c-73"})").status,
+            200);
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 3; ++r) {
+        const int base = 16 * c + r;
+        const std::string body =
+            "{\"verify\":true,\"insert\":[[" + std::to_string(base) + "," +
+            std::to_string(base + 5) + "]],\"delete\":[[" +
+            std::to_string(base) + "," + std::to_string(base + 1) + "]]}";
+        serve::ClientResponse res;
+        std::string err;
+        if (serve::http_request(server_->port(), "POST",
+                                "/v1/graphs/dynC/updates", body, &res,
+                                &err) &&
+            res.status == 200) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  // Every batch must have been admitted, serialized, and oracle-clean.
+  EXPECT_EQ(ok.load(), 12);
+}
+
 TEST_F(ServeEndToEnd, DrainFinishesQueuedWorkThenRefuses) {
   // A slow job in flight, then shutdown from another thread: the in-flight
   // response must still arrive complete, and new connections must fail.
